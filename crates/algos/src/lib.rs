@@ -1,0 +1,43 @@
+//! Graph algorithms built on the PCPM engine.
+//!
+//! The paper's closing section proposes PCPM as "an efficient programming
+//! model for other graph algorithms". This crate realizes that: every
+//! algorithm here runs the same partition-centric scatter → gather
+//! pipeline (PNG layout, MSB-demarcated bins, branch-avoiding gather) —
+//! only the gather algebra and the apply step differ.
+//!
+//! - [`propagate::PropagationEngine`] — the generic iterate-to-fixpoint
+//!   driver over any [`pcpm_core::algebra::Algebra`];
+//! - [`components::connected_components`] — min-label propagation over the
+//!   undirected closure;
+//! - [`bfs::bfs_levels`] — hop counts from a source (min-level algebra);
+//! - [`sssp::sssp`] — Bellman-Ford-style shortest paths over the
+//!   `(min, +)` semiring with edge weights riding in the destID bins;
+//! - [`ppr::personalized_pagerank`] — random walk with restart to a seed
+//!   set;
+//! - [`wpr::weighted_pagerank`] — PageRank with edge-weight-proportional
+//!   transition probabilities (the §3.5 weighted extension, end to end);
+//! - [`katz::katz_centrality`] — attenuated path counting (`α·Aᵀx + β`);
+//! - [`hits::hits`] — hubs and authorities via paired forward/transpose
+//!   engines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod components;
+pub mod hits;
+pub mod katz;
+pub mod ppr;
+pub mod propagate;
+pub mod sssp;
+pub mod wpr;
+
+pub use bfs::bfs_levels;
+pub use components::connected_components;
+pub use hits::{hits, HitsResult};
+pub use katz::{katz_centrality, KatzConfig};
+pub use ppr::personalized_pagerank;
+pub use propagate::PropagationEngine;
+pub use sssp::sssp;
+pub use wpr::weighted_pagerank;

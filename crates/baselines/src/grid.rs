@@ -1,0 +1,262 @@
+//! Cache-blocked / GridGraph-style 2D-partitioned PageRank (paper §2.2).
+//!
+//! Cache Blocking [Williams et al., Nishtala et al.] and GridGraph [Zhu
+//! et al., ATC'15] tile the adjacency matrix into a `k × k` grid of block
+//! matrices. Processing destination-stripe `j` streams the source blocks
+//! `(0, j), (1, j), …`: the source values of one block and the partial
+//! sums of one stripe are both cache-resident, bounding the random-access
+//! range just like PCPM's partitions — but **every block re-reads its
+//! slice of the partial sums and re-scans its block structure**, the
+//! sub-optimality the paper contrasts PCPM against ("the partial sums
+//! [must] be re-read for each block", §2.2).
+//!
+//! Edges of block `(i, j)` are stored as a block-local CSR so the
+//! traversal is sequential within a block; blocks in a stripe are
+//! processed by the stripe's owning worker, making the phase lock-free.
+
+use crate::pdpr::{dangling_bonus, empty_result};
+use pcpm_core::config::{run_with_threads, PcpmConfig};
+use pcpm_core::error::PcpmError;
+use pcpm_core::partition::{split_by_lens, Partitioner};
+use pcpm_core::pr::{PhaseTimings, PrResult};
+use pcpm_graph::Csr;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// One tile of the 2D grid: sources from block `i`, destinations in
+/// stripe `j`, stored as a block-local CSR over the sources.
+#[derive(Clone, Debug, Default)]
+struct Block {
+    /// Offsets over the `q` sources of the block (`len = q + 1`).
+    offsets: Vec<u32>,
+    /// Global destination IDs, grouped by block-local source.
+    targets: Vec<u32>,
+}
+
+/// Pre-processed 2D-blocked state.
+pub struct GridRunner {
+    parts: Partitioner,
+    /// Blocks in stripe-major order: `blocks[j * k + i]`.
+    blocks: Vec<Block>,
+    out_deg: Vec<u32>,
+    preprocess: Duration,
+}
+
+impl GridRunner {
+    /// Tiles the graph into `k × k` blocks of `cfg.partition_nodes()`
+    /// wide stripes.
+    pub fn new(graph: &Csr, cfg: &PcpmConfig) -> Result<Self, PcpmError> {
+        cfg.validate()?;
+        if u64::from(graph.num_nodes()) > pcpm_graph::MAX_NODES {
+            return Err(PcpmError::TooManyNodes(u64::from(graph.num_nodes())));
+        }
+        let t0 = Instant::now();
+        let parts = Partitioner::new(graph.num_nodes(), cfg.partition_nodes())?;
+        let k = parts.num_partitions() as usize;
+        let q = parts.partition_size();
+        // Count edges per block, then fill per-block CSRs.
+        let blocks: Vec<Block> = (0..(k * k) as u64)
+            .into_par_iter()
+            .map(|flat| {
+                let j = (flat as usize) / k; // destination stripe
+                let i = (flat as usize) % k; // source block
+                let src_range = parts.range(i as u32);
+                let lo = u64::from(j as u32 * q);
+                let hi = lo + u64::from(q);
+                let mut offsets = vec![0u32; (src_range.end - src_range.start) as usize + 1];
+                for v in src_range.clone() {
+                    let nbrs = graph.neighbors(v);
+                    let a = nbrs.partition_point(|&t| u64::from(t) < lo);
+                    let b = nbrs.partition_point(|&t| u64::from(t) < hi);
+                    offsets[(v - src_range.start) as usize + 1] = (b - a) as u32;
+                }
+                for idx in 0..offsets.len() - 1 {
+                    offsets[idx + 1] += offsets[idx];
+                }
+                let mut targets = vec![0u32; *offsets.last().unwrap() as usize];
+                let mut cur = 0usize;
+                for v in src_range.clone() {
+                    let nbrs = graph.neighbors(v);
+                    let a = nbrs.partition_point(|&t| u64::from(t) < lo);
+                    let b = nbrs.partition_point(|&t| u64::from(t) < hi);
+                    targets[cur..cur + (b - a)].copy_from_slice(&nbrs[a..b]);
+                    cur += b - a;
+                }
+                Block { offsets, targets }
+            })
+            .collect();
+        Ok(Self {
+            parts,
+            blocks,
+            out_deg: graph.out_degrees(),
+            preprocess: t0.elapsed(),
+        })
+    }
+
+    /// Pre-processing (grid construction) time.
+    pub fn preprocess_time(&self) -> Duration {
+        self.preprocess
+    }
+
+    /// Total edges across all blocks (equals the graph's edge count).
+    pub fn num_grid_edges(&self) -> u64 {
+        self.blocks.iter().map(|b| b.targets.len() as u64).sum()
+    }
+
+    /// Runs PageRank with 2D-blocked traversal.
+    pub fn run(&self, cfg: &PcpmConfig) -> Result<PrResult, PcpmError> {
+        cfg.validate()?;
+        let n = self.parts.num_nodes() as usize;
+        if n == 0 {
+            return Ok(empty_result());
+        }
+        let k = self.parts.num_partitions() as usize;
+        let damping = cfg.damping as f32;
+        let base = ((1.0 - cfg.damping) / n as f64) as f32;
+        let inv_deg: Vec<f32> = self
+            .out_deg
+            .iter()
+            .map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 })
+            .collect();
+        let mut pr = vec![1.0 / n as f32; n];
+        let mut x: Vec<f32> = pr.iter().zip(&inv_deg).map(|(&p, &i)| p * i).collect();
+        let mut timings = PhaseTimings::default();
+        let mut iterations = 0usize;
+        let mut converged = false;
+        let mut last_delta = f64::INFINITY;
+
+        run_with_threads(cfg.threads, || {
+            let mut sums = vec![0.0f32; n];
+            for _ in 0..cfg.iterations {
+                let t0 = Instant::now();
+                let stripe_lens = self.parts.lens();
+                let stripes = split_by_lens(&mut sums, &stripe_lens);
+                stripes.into_par_iter().enumerate().for_each(|(j, ys)| {
+                    ys.fill(0.0);
+                    let stripe_base = self.parts.range(j as u32).start as usize;
+                    for i in 0..k {
+                        let block = &self.blocks[j * k + i];
+                        let src_base = self.parts.range(i as u32).start;
+                        for local in 0..block.offsets.len() - 1 {
+                            let val = x[src_base as usize + local];
+                            let lo = block.offsets[local] as usize;
+                            let hi = block.offsets[local + 1] as usize;
+                            for &t in &block.targets[lo..hi] {
+                                ys[t as usize - stripe_base] += val;
+                            }
+                        }
+                    }
+                });
+                timings.gather += t0.elapsed();
+
+                let t1 = Instant::now();
+                let bonus = dangling_bonus(cfg, &pr, &self.out_deg, n);
+                let delta: f64 = pr
+                    .par_iter_mut()
+                    .zip(&sums)
+                    .map(|(p, &s)| {
+                        let new = base + damping * s + bonus;
+                        let d = f64::from((new - *p).abs());
+                        *p = new;
+                        d
+                    })
+                    .sum();
+                x.par_iter_mut()
+                    .zip(&pr)
+                    .zip(&inv_deg)
+                    .for_each(|((xv, &p), &i)| *xv = p * i);
+                timings.apply += t1.elapsed();
+
+                iterations += 1;
+                last_delta = delta;
+                if let Some(tol) = cfg.tolerance {
+                    if delta < tol {
+                        converged = true;
+                        break;
+                    }
+                }
+            }
+        });
+
+        Ok(PrResult {
+            scores: pr,
+            iterations,
+            converged,
+            last_delta,
+            timings,
+            preprocess: self.preprocess,
+            compression_ratio: None,
+        })
+    }
+}
+
+/// One-shot convenience wrapper.
+pub fn grid_pagerank(graph: &Csr, cfg: &PcpmConfig) -> Result<PrResult, PcpmError> {
+    GridRunner::new(graph, cfg)?.run(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::assert_matches_oracle;
+    use pcpm_graph::gen::{erdos_renyi, rmat, RmatConfig};
+
+    #[test]
+    fn matches_oracle() {
+        let g = rmat(&RmatConfig::graph500(9, 8, 81)).unwrap();
+        let cfg = PcpmConfig::default()
+            .with_partition_bytes(512)
+            .with_iterations(8);
+        let r = grid_pagerank(&g, &cfg).unwrap();
+        assert_matches_oracle(&r.scores, &g, &cfg, 1e-3);
+    }
+
+    #[test]
+    fn grid_covers_every_edge_exactly_once() {
+        let g = erdos_renyi(300, 2000, 7).unwrap();
+        let cfg = PcpmConfig::default().with_partition_bytes(64 * 4);
+        let runner = GridRunner::new(&g, &cfg).unwrap();
+        assert_eq!(runner.num_grid_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn block_size_does_not_change_result() {
+        let g = erdos_renyi(200, 1600, 3).unwrap();
+        let results: Vec<Vec<f32>> = [16usize, 128, 4096]
+            .iter()
+            .map(|&bytes| {
+                let cfg = PcpmConfig::default()
+                    .with_partition_bytes(bytes)
+                    .with_iterations(6);
+                grid_pagerank(&g, &cfg).unwrap().scores
+            })
+            .collect();
+        for other in &results[1..] {
+            for (a, b) in results[0].iter().zip(other) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_pcpm() {
+        let g = rmat(&RmatConfig::graph500(8, 6, 82)).unwrap();
+        let cfg = PcpmConfig::default()
+            .with_partition_bytes(256)
+            .with_iterations(10);
+        let grid = grid_pagerank(&g, &cfg).unwrap();
+        let pcpm = pcpm_core::pagerank::pagerank(&g, &cfg).unwrap();
+        for (a, b) in grid.scores.iter().zip(&pcpm.scores) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[]).unwrap();
+        assert!(grid_pagerank(&g, &PcpmConfig::default())
+            .unwrap()
+            .scores
+            .is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! Baseline PageRank kernels the paper compares against.
+//!
+//! - [`reference`] — a serial, f64-accumulating oracle used by every test
+//!   in the workspace;
+//! - [`pdpr`] — Pull-Direction PageRank (Algorithm 1), the conventional
+//!   CSC-based kernel with edge-balanced static parallelism;
+//! - [`push`] — push-direction PageRank with atomic partial sums, the
+//!   secondary baseline motivating the GAS decoupling;
+//! - [`bvgas`] — Binning with Vertex-centric GAS (Algorithm 5), the
+//!   state-of-the-art the paper benchmarks PCPM against, with the
+//!   implementation details of §3.6/§5.2 (write-combining buffers,
+//!   destination IDs written once, per-thread bin spaces).
+//!
+//! All kernels share the scaled-value and dangling-node conventions of
+//! `pcpm-core`, so their outputs are directly comparable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bvgas;
+pub mod edge_centric;
+pub mod grid;
+pub mod pdpr;
+pub mod push;
+pub mod reference;
+
+pub use bvgas::{bvgas, BvgasRunner};
+pub use edge_centric::{edge_centric, EdgeCentricRunner};
+pub use grid::{grid_pagerank, GridRunner};
+pub use pdpr::{pdpr, PdprRunner};
+pub use push::push_pagerank;
+pub use reference::serial_pagerank;

@@ -1,0 +1,158 @@
+//! Push-direction PageRank with atomic partial sums.
+//!
+//! The row-major counterpart of PDPR (§2.1): each vertex adds its scaled
+//! value to all of its out-neighbors' partial sums. Multiple rows update
+//! the same output element, so the accumulation needs synchronization —
+//! here a compare-and-swap loop over bit-cast `f32`s. This kernel is the
+//! motivation for the GAS decoupling: it pays both the random accesses
+//! *and* the atomics.
+
+use crate::pdpr::{dangling_bonus, empty_result};
+use pcpm_core::config::{run_with_threads, PcpmConfig};
+use pcpm_core::error::PcpmError;
+use pcpm_core::pr::{PhaseTimings, PrResult};
+use pcpm_graph::Csr;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+/// Atomically adds `val` to the f32 stored in `cell` (CAS loop).
+#[inline]
+fn atomic_add_f32(cell: &AtomicU32, val: f32) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = (f32::from_bits(cur) + val).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Runs PageRank in the push direction with atomic partial sums.
+pub fn push_pagerank(graph: &Csr, cfg: &PcpmConfig) -> Result<PrResult, PcpmError> {
+    cfg.validate()?;
+    let n = graph.num_nodes() as usize;
+    if n == 0 {
+        return Ok(empty_result());
+    }
+    let damping = cfg.damping as f32;
+    let base = ((1.0 - cfg.damping) / n as f64) as f32;
+    let out_deg = graph.out_degrees();
+    let inv_deg: Vec<f32> = out_deg
+        .iter()
+        .map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 })
+        .collect();
+    let mut pr: Vec<f32> = vec![1.0 / n as f32; n];
+    let mut x: Vec<f32> = pr.iter().zip(&inv_deg).map(|(&p, &i)| p * i).collect();
+    let sums: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let mut timings = PhaseTimings::default();
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut last_delta = f64::INFINITY;
+
+    run_with_threads(cfg.threads, || {
+        for _ in 0..cfg.iterations {
+            let t0 = Instant::now();
+            sums.par_iter().for_each(|s| s.store(0, Ordering::Relaxed));
+            (0..n as u32).into_par_iter().for_each(|v| {
+                let val = x[v as usize];
+                if val != 0.0 {
+                    for &t in graph.neighbors(v) {
+                        atomic_add_f32(&sums[t as usize], val);
+                    }
+                }
+            });
+            timings.scatter += t0.elapsed();
+
+            let t1 = Instant::now();
+            let bonus = dangling_bonus(cfg, &pr, &out_deg, n);
+            let delta: f64 = pr
+                .par_iter_mut()
+                .enumerate()
+                .map(|(v, p)| {
+                    let s = f32::from_bits(sums[v].load(Ordering::Relaxed));
+                    let new = base + damping * s + bonus;
+                    let d = f64::from((new - *p).abs());
+                    *p = new;
+                    d
+                })
+                .sum();
+            x.par_iter_mut()
+                .zip(&pr)
+                .zip(&inv_deg)
+                .for_each(|((xv, &p), &i)| *xv = p * i);
+            timings.apply += t1.elapsed();
+
+            iterations += 1;
+            last_delta = delta;
+            if let Some(tol) = cfg.tolerance {
+                if delta < tol {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+    });
+
+    Ok(PrResult {
+        scores: pr,
+        iterations,
+        converged,
+        last_delta,
+        timings,
+        preprocess: std::time::Duration::ZERO,
+        compression_ratio: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::assert_matches_oracle;
+    use pcpm_graph::gen::{erdos_renyi, rmat, RmatConfig};
+
+    #[test]
+    fn matches_oracle() {
+        let g = rmat(&RmatConfig::graph500(8, 8, 15)).unwrap();
+        let cfg = PcpmConfig::default().with_iterations(8);
+        let r = push_pagerank(&g, &cfg).unwrap();
+        // Atomic f32 accumulation order varies; allow a slightly looser
+        // tolerance than the deterministic kernels.
+        assert_matches_oracle(&r.scores, &g, &cfg, 5e-3);
+    }
+
+    #[test]
+    fn matches_oracle_er() {
+        let g = erdos_renyi(400, 3000, 5).unwrap();
+        let cfg = PcpmConfig::default().with_iterations(10);
+        let r = push_pagerank(&g, &cfg).unwrap();
+        assert_matches_oracle(&r.scores, &g, &cfg, 5e-3);
+    }
+
+    #[test]
+    fn atomic_add_accumulates() {
+        let cell = AtomicU32::new(0.0f32.to_bits());
+        atomic_add_f32(&cell, 1.5);
+        atomic_add_f32(&cell, 2.25);
+        assert_eq!(f32::from_bits(cell.load(Ordering::Relaxed)), 3.75);
+    }
+
+    #[test]
+    fn atomic_add_is_race_free_under_contention() {
+        let cell = AtomicU32::new(0.0f32.to_bits());
+        (0..10_000)
+            .into_par_iter()
+            .for_each(|_| atomic_add_f32(&cell, 1.0));
+        assert_eq!(f32::from_bits(cell.load(Ordering::Relaxed)), 10_000.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[]).unwrap();
+        assert!(push_pagerank(&g, &PcpmConfig::default())
+            .unwrap()
+            .scores
+            .is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Serial f64 PageRank oracle.
+//!
+//! Deliberately simple and obviously correct: one edge pass per iteration,
+//! f64 accumulation throughout. Every parallel kernel in the workspace is
+//! validated against this.
+
+use pcpm_core::config::PcpmConfig;
+use pcpm_graph::Csr;
+
+/// Runs PageRank serially with f64 precision and returns the final score
+/// vector. Uses the same damping / dangling conventions as the parallel
+/// kernels.
+///
+/// # Examples
+///
+/// ```
+/// use pcpm_graph::Csr;
+/// use pcpm_baselines::serial_pagerank;
+/// use pcpm_core::PcpmConfig;
+///
+/// let g = Csr::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+/// let pr = serial_pagerank(&g, &PcpmConfig::default());
+/// assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// ```
+pub fn serial_pagerank(graph: &Csr, cfg: &PcpmConfig) -> Vec<f64> {
+    let n = graph.num_nodes() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let d = cfg.damping;
+    let out_deg = graph.out_degrees();
+    let mut pr = vec![1.0 / n as f64; n];
+    for _ in 0..cfg.iterations {
+        let mut sums = vec![0.0f64; n];
+        for (s, t) in graph.edges() {
+            sums[t as usize] += pr[s as usize] / f64::from(out_deg[s as usize]);
+        }
+        let dangling_bonus = if cfg.redistribute_dangling {
+            let mass: f64 = (0..n).filter(|&v| out_deg[v] == 0).map(|v| pr[v]).sum();
+            d * mass / n as f64
+        } else {
+            0.0
+        };
+        let mut delta = 0.0f64;
+        for v in 0..n {
+            let new = (1.0 - d) / n as f64 + d * sums[v] + dangling_bonus;
+            delta += (new - pr[v]).abs();
+            pr[v] = new;
+        }
+        if let Some(tol) = cfg.tolerance {
+            if delta < tol {
+                break;
+            }
+        }
+    }
+    pr
+}
+
+/// Asserts that an f32 kernel result matches the oracle within a relative
+/// tolerance of the largest score (test helper shared across crates).
+pub fn assert_matches_oracle(scores: &[f32], graph: &Csr, cfg: &PcpmConfig, rel_tol: f64) {
+    let want = serial_pagerank(graph, cfg);
+    assert_eq!(scores.len(), want.len(), "length mismatch");
+    let scale = want.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+    for (i, (&a, &b)) in scores.iter().zip(&want).enumerate() {
+        assert!(
+            (f64::from(a) - b).abs() <= rel_tol * scale,
+            "node {i}: {a} vs oracle {b} (scale {scale})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_is_uniform() {
+        let n = 10u32;
+        let edges: Vec<_> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        let g = Csr::from_edges(n, &edges).unwrap();
+        let pr = serial_pagerank(&g, &PcpmConfig::default());
+        for &p in &pr {
+            assert!((p - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sink_accumulates_rank() {
+        // Star into node 0: node 0 must outrank the leaves.
+        let g = Csr::from_edges(4, &[(1, 0), (2, 0), (3, 0), (0, 1)]).unwrap();
+        let pr = serial_pagerank(&g, &PcpmConfig::default());
+        assert!(pr[0] > pr[2]);
+        assert!(pr[0] > pr[3]);
+    }
+
+    #[test]
+    fn tolerance_short_circuits() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        // Uniform start on a cycle is already stationary.
+        let cfg = PcpmConfig::default()
+            .with_iterations(1000)
+            .with_tolerance(1e-12);
+        let pr = serial_pagerank(&g, &cfg);
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[]).unwrap();
+        assert!(serial_pagerank(&g, &PcpmConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn damping_zero_gives_uniform() {
+        let g = Csr::from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        let cfg = PcpmConfig {
+            damping: 0.0,
+            ..Default::default()
+        };
+        let pr = serial_pagerank(&g, &cfg);
+        for &p in &pr {
+            assert!((p - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Programming-model benches: the §6 generalisation workloads on the
+//! PCPM pipeline (connected components, BFS, SSSP, personalized PageRank)
+//! plus the classical pull-style comparisons where one exists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcpm_algos::{bfs_levels, connected_components, personalized_pagerank, sssp};
+use pcpm_core::PcpmConfig;
+use pcpm_graph::gen::datasets::{standin_at, Dataset};
+use pcpm_graph::EdgeWeights;
+
+const SCALE: u32 = 12;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let cfg = PcpmConfig::default()
+        .with_partition_bytes(8 * 1024)
+        .with_iterations(10);
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10);
+    for d in [Dataset::Kron, Dataset::Web] {
+        let g = standin_at(d, SCALE).expect("standin");
+        let w = EdgeWeights::random(&g, 5);
+        group.throughput(Throughput::Elements(g.num_edges()));
+        group.bench_with_input(BenchmarkId::new("components", d.name()), &g, |b, g| {
+            b.iter(|| connected_components(g, &cfg).expect("cc"));
+        });
+        group.bench_with_input(BenchmarkId::new("bfs", d.name()), &g, |b, g| {
+            b.iter(|| bfs_levels(g, 0, &cfg).expect("bfs"));
+        });
+        group.bench_with_input(BenchmarkId::new("sssp", d.name()), &g, |b, g| {
+            b.iter(|| sssp(g, &w, 0, &cfg).expect("sssp"));
+        });
+        group.bench_with_input(BenchmarkId::new("ppr", d.name()), &g, |b, g| {
+            b.iter(|| personalized_pagerank(g, &[0, 1, 2], &cfg).expect("ppr"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Compact-bin ablation (paper §6 future work): wide 32-bit vs compact
+//! 16-bit destination IDs. The compact layout halves the gather's
+//! destID-scan bytes (`m·di/2` in Eq. 5), which should show up as gather
+//! time on memory-bound runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcpm_core::pagerank::{pagerank_with_engine, PcpmVariant};
+use pcpm_core::{PcpmConfig, PcpmEngine};
+use pcpm_graph::gen::datasets::{standin_at, Dataset};
+
+const SCALE: u32 = 13;
+
+fn bench_compact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compact_bins");
+    group.sample_size(20);
+    for d in [Dataset::Kron, Dataset::Sd1] {
+        let g = standin_at(d, SCALE).expect("standin");
+        group.throughput(Throughput::Elements(g.num_edges()));
+        let wide_cfg = PcpmConfig::default()
+            .with_partition_bytes(8 * 1024)
+            .with_iterations(1);
+        let compact_cfg = wide_cfg.with_compact_bins();
+        let mut wide = PcpmEngine::new(&g, &wide_cfg).expect("wide engine");
+        let mut compact = PcpmEngine::new(&g, &compact_cfg).expect("compact engine");
+        group.bench_with_input(BenchmarkId::new("wide32", d.name()), &g, |b, g| {
+            b.iter(|| {
+                pagerank_with_engine(g, &wide_cfg, PcpmVariant::default(), &mut wide)
+                    .expect("wide run")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("compact16", d.name()), &g, |b, g| {
+            b.iter(|| {
+                pagerank_with_engine(g, &compact_cfg, PcpmVariant::default(), &mut compact)
+                    .expect("compact run")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compact);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 7 / Table 5 micro-version: one PageRank iteration per kernel per
+//! dataset stand-in. Criterion gives confidence intervals on the GTEPS
+//! comparison; the `repro` binary prints the full 20-iteration tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcpm_baselines::{BvgasRunner, PdprRunner};
+use pcpm_core::pagerank::{pagerank_with_engine, PcpmVariant};
+use pcpm_core::{PcpmConfig, PcpmEngine};
+use pcpm_graph::gen::datasets::{standin_at, Dataset};
+
+const SCALE: u32 = 13;
+
+fn bench_kernels(c: &mut Criterion) {
+    let cfg = PcpmConfig::default()
+        .with_partition_bytes(8 * 1024)
+        .with_iterations(1);
+    let mut group = c.benchmark_group("pagerank_iteration");
+    group.sample_size(10);
+    for d in Dataset::ALL {
+        let g = standin_at(d, SCALE).expect("standin");
+        group.throughput(Throughput::Elements(g.num_edges()));
+        let pdpr = PdprRunner::new(&g);
+        group.bench_with_input(BenchmarkId::new("pdpr", d.name()), &g, |b, _| {
+            b.iter(|| pdpr.run(&cfg).expect("pdpr"));
+        });
+        let bv = BvgasRunner::new(&g, &cfg).expect("bvgas build");
+        group.bench_with_input(BenchmarkId::new("bvgas", d.name()), &g, |b, g| {
+            b.iter(|| bv.run(g, &cfg).expect("bvgas"));
+        });
+        let mut engine = PcpmEngine::new(&g, &cfg).expect("engine");
+        group.bench_with_input(BenchmarkId::new("pcpm", d.name()), &g, |b, g| {
+            b.iter(|| {
+                pagerank_with_engine(g, &cfg, PcpmVariant::default(), &mut engine).expect("pcpm")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Shared helpers for the reproduction harness and criterion benches.
+
+#![forbid(unsafe_code)]
+
+pub mod suite;

@@ -1,0 +1,219 @@
+//! Semiring-style algebras: PCPM as a programming model (paper §6).
+//!
+//! The paper closes by suggesting PCPM as "an efficient programming model
+//! for other graph algorithms". The whole pipeline — partitioning, PNG,
+//! bins, branch-avoiding gather — is agnostic to *what* flows along the
+//! edges; only the gather's reduction and the per-edge contribution
+//! change. This module captures that variation point:
+//!
+//! - [`PlusF32`] — the PageRank / SpMV semiring (`+`, `w·x`);
+//! - [`MinPlusF32`] — shortest paths (`min`, `x + w`);
+//! - [`MinLabel`] — label propagation / connected components (`min`, `x`);
+//! - [`MinLevel`] — BFS levels (`min`, `x + 1`);
+//! - [`OrBool`] — reachability (`|`, `x`).
+//!
+//! Algorithms built on these live in the `pcpm-algos` crate.
+
+/// A gather-phase algebra: how messages combine into a vertex value and
+/// what an individual edge contributes.
+pub trait Algebra: Send + Sync {
+    /// The scalar carried in update bins and vertex arrays.
+    type T: Copy + Default + PartialEq + Send + Sync + std::fmt::Debug + 'static;
+
+    /// Identity of [`Algebra::combine`] (the gather initializes partial
+    /// results with this).
+    fn identity() -> Self::T;
+
+    /// Associative, commutative reduction of two contributions.
+    fn combine(a: Self::T, b: Self::T) -> Self::T;
+
+    /// Contribution of an unweighted edge whose source propagated `x`.
+    #[inline]
+    fn extend(x: Self::T) -> Self::T {
+        x
+    }
+
+    /// Contribution of an edge with weight `w` whose source propagated
+    /// `x`.
+    fn extend_weighted(w: f32, x: Self::T) -> Self::T;
+}
+
+/// The ordinary `(+, ×)` semiring over `f32`: PageRank and SpMV.
+pub struct PlusF32;
+
+impl Algebra for PlusF32 {
+    type T = f32;
+
+    #[inline]
+    fn identity() -> f32 {
+        0.0
+    }
+
+    #[inline]
+    fn combine(a: f32, b: f32) -> f32 {
+        a + b
+    }
+
+    #[inline]
+    fn extend_weighted(w: f32, x: f32) -> f32 {
+        w * x
+    }
+}
+
+/// The tropical `(min, +)` semiring over `f32`: single-source shortest
+/// paths by Bellman-Ford-style relaxation.
+pub struct MinPlusF32;
+
+impl Algebra for MinPlusF32 {
+    type T = f32;
+
+    #[inline]
+    fn identity() -> f32 {
+        f32::INFINITY
+    }
+
+    #[inline]
+    fn combine(a: f32, b: f32) -> f32 {
+        a.min(b)
+    }
+
+    #[inline]
+    fn extend_weighted(w: f32, x: f32) -> f32 {
+        x + w
+    }
+}
+
+/// Minimum-label propagation over `u32`: connected components.
+pub struct MinLabel;
+
+impl Algebra for MinLabel {
+    type T = u32;
+
+    #[inline]
+    fn identity() -> u32 {
+        u32::MAX
+    }
+
+    #[inline]
+    fn combine(a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    #[inline]
+    fn extend_weighted(_w: f32, x: u32) -> u32 {
+        x
+    }
+}
+
+/// Hop-count propagation over `u32`: BFS levels (`u32::MAX` means
+/// unreached; saturating so the identity survives `extend`).
+pub struct MinLevel;
+
+impl Algebra for MinLevel {
+    type T = u32;
+
+    #[inline]
+    fn identity() -> u32 {
+        u32::MAX
+    }
+
+    #[inline]
+    fn combine(a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    #[inline]
+    fn extend(x: u32) -> u32 {
+        x.saturating_add(1)
+    }
+
+    #[inline]
+    fn extend_weighted(_w: f32, x: u32) -> u32 {
+        x.saturating_add(1)
+    }
+}
+
+/// Boolean reachability (`false` = unreached).
+pub struct OrBool;
+
+impl Algebra for OrBool {
+    type T = bool;
+
+    #[inline]
+    fn identity() -> bool {
+        false
+    }
+
+    #[inline]
+    fn combine(a: bool, b: bool) -> bool {
+        a | b
+    }
+
+    #[inline]
+    fn extend_weighted(_w: f32, x: bool) -> bool {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_semiring_laws<A: Algebra>(samples: &[A::T]) {
+        for &a in samples {
+            // Identity law.
+            assert_eq!(A::combine(A::identity(), a), a);
+            assert_eq!(A::combine(a, A::identity()), a);
+            for &b in samples {
+                // Commutativity.
+                assert_eq!(A::combine(a, b), A::combine(b, a));
+                for &c in samples {
+                    // Associativity.
+                    assert_eq!(
+                        A::combine(A::combine(a, b), c),
+                        A::combine(a, A::combine(b, c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plus_f32_laws() {
+        check_semiring_laws::<PlusF32>(&[0.0, 1.0, 2.5, -3.0]);
+        assert_eq!(PlusF32::extend_weighted(2.0, 3.0), 6.0);
+    }
+
+    #[test]
+    fn min_plus_laws() {
+        check_semiring_laws::<MinPlusF32>(&[0.0, 1.0, 5.5, f32::INFINITY]);
+        assert_eq!(MinPlusF32::extend_weighted(2.0, 3.0), 5.0);
+        // Infinity stays absorbing through extension.
+        assert_eq!(
+            MinPlusF32::extend_weighted(1.0, f32::INFINITY),
+            f32::INFINITY
+        );
+    }
+
+    #[test]
+    fn min_label_laws() {
+        check_semiring_laws::<MinLabel>(&[0, 7, 42, u32::MAX]);
+        assert_eq!(MinLabel::extend(9), 9);
+    }
+
+    #[test]
+    fn min_level_saturates() {
+        check_semiring_laws::<MinLevel>(&[0, 3, u32::MAX]);
+        assert_eq!(
+            MinLevel::extend(u32::MAX),
+            u32::MAX,
+            "unreached must stay unreached"
+        );
+        assert_eq!(MinLevel::extend(4), 5);
+    }
+
+    #[test]
+    fn or_bool_laws() {
+        check_semiring_laws::<OrBool>(&[false, true]);
+    }
+}

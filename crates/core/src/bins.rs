@@ -1,0 +1,270 @@
+//! Message bins: update values and MSB-demarcated destination IDs.
+//!
+//! Each destination partition conceptually owns one *update bin* and one
+//! *destID bin* (paper §3.1, Fig. 3b). Physically both live in two global
+//! arrays laid out **source-partition-major**: source partition `s` owns
+//! the contiguous region `[region[s], region[s+1])`, subdivided by
+//! destination partition. This gives every scatter worker one contiguous
+//! writable slice (lock-free, fully safe splitting) while the gather phase
+//! streams, for destination partition `p`, the `k_src` segments
+//! `(s, p)` — each itself contiguous.
+//!
+//! Destination IDs are written **once** (they do not change across
+//! PageRank iterations) with the MSB of the first ID of every message set,
+//! marking where the next update value begins (§3.2). For weighted SpMV
+//! the edge weights ride alongside the destination IDs (§3.5).
+
+use crate::png::{EdgeView, Png};
+use crate::MSB_FLAG;
+use rayon::prelude::*;
+
+/// The statically pre-allocated message bins for one PNG layout.
+///
+/// Generic over the update scalar `T`: PageRank uses `f32`, the algebra
+/// layer (connected components, BFS levels) uses integer labels. The
+/// destination-ID stream and optional weights are scalar-independent.
+#[derive(Clone, Debug)]
+pub struct BinSpace<T = f32> {
+    /// Update values, source-partition-major (`|E'|` entries).
+    pub updates: Vec<T>,
+    /// Destination IDs with MSB demarcation, source-partition-major
+    /// (`|E|` entries). Written once at construction.
+    pub dest_ids: Vec<u32>,
+    /// Optional edge weights parallel to [`Self::dest_ids`].
+    pub weights: Option<Vec<f32>>,
+}
+
+impl<T: Copy + Default + Send + Sync> BinSpace<T> {
+    /// Allocates the bins and writes the destination-ID (and weight)
+    /// streams for `png`, in parallel over source partitions.
+    pub fn build(view: EdgeView<'_>, png: &Png, edge_weights: Option<&[f32]>) -> Self {
+        let updates = vec![T::default(); png.num_compressed_edges() as usize];
+        let mut dest_ids = vec![0u32; png.num_raw_edges() as usize];
+        let mut weights = edge_weights.map(|_| vec![0.0f32; png.num_raw_edges() as usize]);
+
+        let did_lens = png.did_region_lens();
+        let regions = crate::partition::split_by_lens(&mut dest_ids, &did_lens);
+        match (&mut weights, edge_weights) {
+            (Some(w), Some(ew)) => {
+                let wregions = crate::partition::split_by_lens(w, &did_lens);
+                regions
+                    .into_par_iter()
+                    .zip(wregions)
+                    .enumerate()
+                    .for_each(|(s, (dst, wdst))| {
+                        fill_partition(view, png, s as u32, dst, Some((wdst, ew)));
+                    });
+            }
+            _ => {
+                regions.into_par_iter().enumerate().for_each(|(s, dst)| {
+                    fill_partition(view, png, s as u32, dst, None);
+                });
+            }
+        }
+        Self {
+            updates,
+            dest_ids,
+            weights,
+        }
+    }
+
+    /// Heap bytes held by the bins (for the communication accounting).
+    pub fn memory_bytes(&self) -> u64 {
+        (self.updates.len() * std::mem::size_of::<T>()
+            + self.dest_ids.len() * 4
+            + self.weights.as_ref().map_or(0, |w| w.len() * 4)) as u64
+    }
+}
+
+/// Writes the destination-ID segments of source partition `s` into its
+/// region, optionally copying edge weights alongside.
+fn fill_partition(
+    view: EdgeView<'_>,
+    png: &Png,
+    s: u32,
+    region: &mut [u32],
+    weights: Option<(&mut [f32], &[f32])>,
+) {
+    let q = png.dst_parts().partition_size();
+    let part = png.part(s);
+    // Per-destination-partition write cursors, local to this region.
+    let mut cursor: Vec<u64> = part.did_off[..part.did_off.len() - 1].to_vec();
+    let mut wsplit = weights;
+    for v in png.src_parts().range(s) {
+        let nbrs = view.neighbors(v);
+        let base = view.edge_range(v).start;
+        let mut i = 0;
+        while i < nbrs.len() {
+            let p = (nbrs[i] / q) as usize;
+            let mut j = i + 1;
+            while j < nbrs.len() && (nbrs[j] / q) as usize == p {
+                j += 1;
+            }
+            let c = cursor[p] as usize;
+            region[c] = nbrs[i] | MSB_FLAG;
+            region[c + 1..c + (j - i)].copy_from_slice(&nbrs[i + 1..j]);
+            if let Some((wregion, ew)) = wsplit.as_mut() {
+                wregion[c..c + (j - i)]
+                    .copy_from_slice(&ew[(base as usize + i)..(base as usize + j)]);
+            }
+            cursor[p] += (j - i) as u64;
+            i = j;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partitioner;
+    use crate::ID_MASK;
+    use pcpm_graph::Csr;
+
+    fn setup(q: u32) -> (Csr, Png) {
+        let g = Csr::from_edges(
+            9,
+            &[
+                (3, 2),
+                (6, 0),
+                (6, 1),
+                (7, 2),
+                (3, 4),
+                (6, 3),
+                (6, 4),
+                (7, 5),
+                (2, 8),
+                (7, 8),
+            ],
+        )
+        .unwrap();
+        let parts = Partitioner::new(9, q).unwrap();
+        let png = Png::build(EdgeView::from_csr(&g), parts, parts);
+        (g, png)
+    }
+
+    /// Decodes segment `(s, p)` into (source-order) messages of masked IDs.
+    fn decode(png: &Png, bins: &BinSpace, s: u32, p: u32) -> Vec<Vec<u32>> {
+        let part = png.part(s);
+        let base = png.did_region()[s as usize];
+        let lo = (base + part.did_off[p as usize]) as usize;
+        let hi = (base + part.did_off[p as usize + 1]) as usize;
+        let mut msgs: Vec<Vec<u32>> = Vec::new();
+        for &id in &bins.dest_ids[lo..hi] {
+            if id & MSB_FLAG != 0 {
+                msgs.push(vec![id & ID_MASK]);
+            } else {
+                msgs.last_mut().expect("first entry must set MSB").push(id);
+            }
+        }
+        msgs
+    }
+
+    #[test]
+    fn msb_demarcation_round_trips_fig3() {
+        let (_, png) = setup(3);
+        let view_holder = setup(3);
+        let bins = BinSpace::build(EdgeView::from_csr(&view_holder.0), &png, None);
+        // Fig. 4b: bin 0 receives from partition 2 the messages
+        // 6 -> {0, 1} and 7 -> {2}.
+        assert_eq!(decode(&png, &bins, 2, 0), vec![vec![0, 1], vec![2]]);
+        // Bin 2 receives from partition 0: 2 -> {8}; from partition 2: 7 -> {8}.
+        assert_eq!(decode(&png, &bins, 0, 2), vec![vec![8]]);
+        assert_eq!(decode(&png, &bins, 2, 2), vec![vec![8]]);
+    }
+
+    #[test]
+    fn message_counts_match_png() {
+        let (g, png) = setup(3);
+        let bins: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let k = png.dst_parts().num_partitions();
+        let mut total_msgs = 0u64;
+        let mut total_ids = 0u64;
+        for s in 0..k {
+            for p in 0..k {
+                let msgs = decode(&png, &bins, s, p);
+                total_msgs += msgs.len() as u64;
+                total_ids += msgs.iter().map(|m| m.len() as u64).sum::<u64>();
+                // One message per compressed edge in this row.
+                assert_eq!(msgs.len(), png.part(s).row(p).len());
+            }
+        }
+        assert_eq!(total_msgs, png.num_compressed_edges());
+        assert_eq!(total_ids, g.num_edges());
+    }
+
+    #[test]
+    fn decoded_structure_equals_original_adjacency() {
+        let g = pcpm_graph::gen::erdos_renyi(64, 400, 17).unwrap();
+        let parts = Partitioner::new(64, 10).unwrap();
+        let png = Png::build(EdgeView::from_csr(&g), parts, parts);
+        let bins: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        // Reconstruct every (src, dst) pair from the bins.
+        let mut rebuilt: Vec<(u32, u32)> = Vec::new();
+        for s in parts.iter() {
+            for p in parts.iter() {
+                let rows = png.part(s).row(p);
+                let msgs = decode(&png, &bins, s, p);
+                assert_eq!(rows.len(), msgs.len());
+                for (&src, msg) in rows.iter().zip(&msgs) {
+                    for &d in msg {
+                        rebuilt.push((src, d));
+                    }
+                }
+            }
+        }
+        rebuilt.sort_unstable();
+        let mut original: Vec<(u32, u32)> = g.edges().collect();
+        original.sort_unstable();
+        assert_eq!(rebuilt, original);
+    }
+
+    #[test]
+    fn weights_ride_with_dest_ids() {
+        let g = Csr::from_edges(4, &[(0, 1), (0, 3), (2, 1)]).unwrap();
+        // Weight of edge (s,t) is 10*s + t, in CSR edge order:
+        // (0,1)=1, (0,3)=3, (2,1)=21.
+        let w = vec![1.0f32, 3.0, 21.0];
+        let parts = Partitioner::new(4, 2).unwrap();
+        let png = Png::build(EdgeView::from_csr(&g), parts, parts);
+        let bins: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, Some(&w));
+        let bw = bins.weights.as_ref().unwrap();
+        // For every bin entry, the weight must match the (masked src->dst) edge.
+        for s in parts.iter() {
+            let part = png.part(s);
+            let base = png.did_region()[s as usize] as usize;
+            for p in parts.iter() {
+                let lo = base + part.did_off[p as usize] as usize;
+                let hi = base + part.did_off[p as usize + 1] as usize;
+                let rows = part.row(p);
+                let mut row_idx = 0usize;
+                for (offset, (&id, &weight)) in
+                    bins.dest_ids[lo..hi].iter().zip(&bw[lo..hi]).enumerate()
+                {
+                    if id & MSB_FLAG != 0 && offset != 0 {
+                        row_idx += 1;
+                    }
+                    let src = rows[row_idx];
+                    let dst = id & ID_MASK;
+                    let expected = (f32::from(src as u8) * 10.0) + f32::from(dst as u8);
+                    assert_eq!(weight, expected, "edge ({src},{dst})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unweighted_bins_have_no_weights() {
+        let (g, png) = setup(3);
+        let bins: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        assert!(bins.weights.is_none());
+        assert_eq!(bins.updates.len() as u64, png.num_compressed_edges());
+        assert_eq!(bins.dest_ids.len() as u64, g.num_edges());
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let (g, png) = setup(3);
+        let bins: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        assert_eq!(bins.memory_bytes(), (8 * 4 + 10 * 4) as u64);
+    }
+}

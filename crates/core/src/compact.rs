@@ -1,0 +1,261 @@
+//! Compact 16-bit destination-ID bins (paper §6 future work).
+//!
+//! The paper's conclusion observes that PCPM "accesses nodes from only
+//! one graph partition at a time", so G-Store's smallest-number-of-bits
+//! representation can shrink the destination-ID bins: within a gather of
+//! partition `p`, a destination is fully identified by its offset inside
+//! the partition. With partitions of at most `2^15` nodes, a destination
+//! fits in 15 bits plus the MSB demarcation flag — **halving** the
+//! destID-bin traffic, the largest single term of PCPM's communication
+//! model (`m·di` in Eq. 5).
+//!
+//! [`CompactBinSpace`] stores exactly that encoding;
+//! [`gather_compact_branch_avoiding`] mirrors Algorithm 4 on it. The
+//! engine switches automatically when
+//! [`crate::PcpmConfig::compact_bins`] is set and the partition size
+//! permits.
+
+use crate::partition::split_by_lens;
+use crate::png::{EdgeView, Png};
+use rayon::prelude::*;
+
+/// MSB flag in the 16-bit encoding.
+pub const MSB_FLAG16: u16 = 0x8000;
+
+/// Mask extracting the partition-local destination offset.
+pub const ID_MASK16: u16 = 0x7FFF;
+
+/// Largest partition size (in nodes) the compact encoding supports.
+pub const MAX_COMPACT_PARTITION: u32 = 1 << 15;
+
+/// Message bins with 16-bit partition-local destination IDs.
+#[derive(Clone, Debug)]
+pub struct CompactBinSpace {
+    /// Update values, source-partition-major (`|E'|` entries).
+    pub updates: Vec<f32>,
+    /// Partition-local destination offsets with MSB demarcation
+    /// (`|E|` entries), written once.
+    pub dest_ids: Vec<u16>,
+    /// Optional edge weights parallel to [`Self::dest_ids`].
+    pub weights: Option<Vec<f32>>,
+}
+
+impl CompactBinSpace {
+    /// Builds the compact bins; the destination partitioner must satisfy
+    /// `partition_size() <= MAX_COMPACT_PARTITION`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition size exceeds the 15-bit local ID range
+    /// (engine code checks this before choosing the compact path).
+    pub fn build(view: EdgeView<'_>, png: &Png, edge_weights: Option<&[f32]>) -> Self {
+        let q = png.dst_parts().partition_size();
+        assert!(
+            q <= MAX_COMPACT_PARTITION,
+            "partition size {q} exceeds the 15-bit compact range"
+        );
+        let updates = vec![0.0f32; png.num_compressed_edges() as usize];
+        let mut dest_ids = vec![0u16; png.num_raw_edges() as usize];
+        let mut weights = edge_weights.map(|_| vec![0.0f32; png.num_raw_edges() as usize]);
+
+        let did_lens = png.did_region_lens();
+        let regions = split_by_lens(&mut dest_ids, &did_lens);
+        match (&mut weights, edge_weights) {
+            (Some(w), Some(ew)) => {
+                let wregions = split_by_lens(w, &did_lens);
+                regions
+                    .into_par_iter()
+                    .zip(wregions)
+                    .enumerate()
+                    .for_each(|(s, (dst, wdst))| {
+                        fill_partition(view, png, s as u32, dst, Some((wdst, ew)));
+                    });
+            }
+            _ => {
+                regions.into_par_iter().enumerate().for_each(|(s, dst)| {
+                    fill_partition(view, png, s as u32, dst, None);
+                });
+            }
+        }
+        Self {
+            updates,
+            dest_ids,
+            weights,
+        }
+    }
+
+    /// Heap bytes held by the bins.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.updates.len() * 4
+            + self.dest_ids.len() * 2
+            + self.weights.as_ref().map_or(0, |w| w.len() * 4)) as u64
+    }
+}
+
+fn fill_partition(
+    view: EdgeView<'_>,
+    png: &Png,
+    s: u32,
+    region: &mut [u16],
+    weights: Option<(&mut [f32], &[f32])>,
+) {
+    let q = png.dst_parts().partition_size();
+    let part = png.part(s);
+    let mut cursor: Vec<u64> = part.did_off[..part.did_off.len() - 1].to_vec();
+    let mut wsplit = weights;
+    for v in png.src_parts().range(s) {
+        let nbrs = view.neighbors(v);
+        let base = view.edge_range(v).start;
+        let mut i = 0;
+        while i < nbrs.len() {
+            let p = nbrs[i] / q;
+            let p_lo = p * q;
+            let mut j = i + 1;
+            while j < nbrs.len() && nbrs[j] / q == p {
+                j += 1;
+            }
+            let c = cursor[p as usize] as usize;
+            region[c] = (nbrs[i] - p_lo) as u16 | MSB_FLAG16;
+            for (slot, &t) in region[c + 1..c + (j - i)].iter_mut().zip(&nbrs[i + 1..j]) {
+                *slot = (t - p_lo) as u16;
+            }
+            if let Some((wregion, ew)) = wsplit.as_mut() {
+                wregion[c..c + (j - i)]
+                    .copy_from_slice(&ew[(base as usize + i)..(base as usize + j)]);
+            }
+            cursor[p as usize] += (j - i) as u64;
+            i = j;
+        }
+    }
+}
+
+/// Algorithm 4 over compact bins: identical pointer arithmetic, local
+/// 15-bit destination offsets (no base subtraction needed).
+pub fn gather_compact_branch_avoiding(png: &Png, bins: &CompactBinSpace, y: &mut [f32]) {
+    assert_eq!(y.len(), png.dst_parts().num_nodes() as usize, "y length");
+    let lens = png.dst_parts().lens();
+    let slices = split_by_lens(y, &lens);
+    let k_src = png.src_parts().num_partitions();
+    slices.into_par_iter().enumerate().for_each(|(p, ys)| {
+        ys.fill(0.0);
+        for s in 0..k_src {
+            let part = png.part(s);
+            let ubase = png.upd_region()[s as usize] as usize;
+            let dbase = png.did_region()[s as usize] as usize;
+            let ulo = ubase + part.upd_off[p] as usize;
+            let uhi = ubase + part.upd_off[p + 1] as usize;
+            let dlo = dbase + part.did_off[p] as usize;
+            let dhi = dbase + part.did_off[p + 1] as usize;
+            let us = &bins.updates[ulo..uhi];
+            let ds = &bins.dest_ids[dlo..dhi];
+            match &bins.weights {
+                None => {
+                    let mut up = usize::MAX;
+                    for &id in ds {
+                        up = up.wrapping_add((id >> 15) as usize);
+                        ys[(id & ID_MASK16) as usize] += us[up];
+                    }
+                }
+                Some(w) => {
+                    let ws = &w[dlo..dhi];
+                    let mut up = usize::MAX;
+                    for (&id, &wt) in ds.iter().zip(ws) {
+                        up = up.wrapping_add((id >> 15) as usize);
+                        ys[(id & ID_MASK16) as usize] += wt * us[up];
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bins::BinSpace;
+    use crate::gather::gather_branch_avoiding;
+    use crate::partition::Partitioner;
+    use crate::scatter::png_scatter;
+    use pcpm_graph::gen::{erdos_renyi, rmat, RmatConfig};
+    use pcpm_graph::{Csr, EdgeWeights};
+
+    fn setup(g: &Csr, q: u32) -> Png {
+        let parts = Partitioner::new(g.num_nodes(), q).unwrap();
+        Png::build(EdgeView::from_csr(g), parts, parts)
+    }
+
+    #[test]
+    fn compact_gather_equals_wide_gather() {
+        let g = rmat(&RmatConfig::graph500(9, 8, 61)).unwrap();
+        for q in [16u32, 100, 512] {
+            let png = setup(&g, q);
+            let x: Vec<f32> = (0..g.num_nodes()).map(|v| (v as f32).sin()).collect();
+            let mut wide: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+            let mut compact = CompactBinSpace::build(EdgeView::from_csr(&g), &png, None);
+            png_scatter(&png, &x, &mut wide.updates);
+            png_scatter(&png, &x, &mut compact.updates);
+            let mut yw = vec![0.0f32; g.num_nodes() as usize];
+            let mut yc = vec![0.0f32; g.num_nodes() as usize];
+            gather_branch_avoiding(&png, &wide, &mut yw);
+            gather_compact_branch_avoiding(&png, &compact, &mut yc);
+            assert_eq!(yw, yc, "q={q}");
+        }
+    }
+
+    #[test]
+    fn compact_weighted_gather_equals_wide() {
+        let g = erdos_renyi(200, 1500, 3).unwrap();
+        let w = EdgeWeights::random(&g, 8);
+        let png = setup(&g, 64);
+        let x: Vec<f32> = (0..200).map(|v| v as f32 * 0.25).collect();
+        let mut wide: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, Some(w.as_slice()));
+        let mut compact = CompactBinSpace::build(EdgeView::from_csr(&g), &png, Some(w.as_slice()));
+        png_scatter(&png, &x, &mut wide.updates);
+        png_scatter(&png, &x, &mut compact.updates);
+        let mut yw = vec![0.0f32; 200];
+        let mut yc = vec![0.0f32; 200];
+        gather_branch_avoiding(&png, &wide, &mut yw);
+        gather_compact_branch_avoiding(&png, &compact, &mut yc);
+        assert_eq!(yw, yc);
+    }
+
+    #[test]
+    fn memory_footprint_is_halved_on_dest_ids() {
+        let g = erdos_renyi(500, 5000, 5).unwrap();
+        let png = setup(&g, 128);
+        let wide: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let compact = CompactBinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let dest_wide = wide.dest_ids.len() * 4;
+        let dest_compact = compact.dest_ids.len() * 2;
+        assert_eq!(dest_compact * 2, dest_wide);
+        assert!(compact.memory_bytes() < wide.memory_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "15-bit compact range")]
+    fn oversized_partition_rejected() {
+        let n = 70_000u32;
+        let g = Csr::from_edges(n, &[(0, 1), (0, 65_000)]).unwrap();
+        let png = setup(&g, n); // one partition of 70 K nodes > 2^15
+        let _ = CompactBinSpace::build(EdgeView::from_csr(&g), &png, None);
+    }
+
+    #[test]
+    fn max_boundary_partition_size_works() {
+        // Exactly 2^15-node partitions: local offsets use all 15 bits.
+        let n = MAX_COMPACT_PARTITION * 2;
+        let edges = [(0u32, MAX_COMPACT_PARTITION - 1), (0, n - 1), (1, 0)];
+        let g = Csr::from_edges(n, &edges).unwrap();
+        let png = setup(&g, MAX_COMPACT_PARTITION);
+        let mut bins = CompactBinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let mut x = vec![0.0f32; n as usize];
+        x[0] = 5.0;
+        x[1] = 7.0;
+        png_scatter(&png, &x, &mut bins.updates);
+        let mut y = vec![0.0f32; n as usize];
+        gather_compact_branch_avoiding(&png, &bins, &mut y);
+        assert_eq!(y[(MAX_COMPACT_PARTITION - 1) as usize], 5.0);
+        assert_eq!(y[(n - 1) as usize], 5.0);
+        assert_eq!(y[0], 7.0);
+    }
+}

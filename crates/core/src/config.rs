@@ -1,0 +1,196 @@
+//! Engine configuration.
+
+use crate::error::PcpmError;
+
+/// Size of one PageRank / update value in bytes (the paper uses 4-byte
+/// values and indices throughout, §5.1).
+pub const VALUE_BYTES: usize = 4;
+
+/// Default partition footprint: 256 KB of vertex values, the empirically
+/// optimal point found in the paper's design-space exploration (§5.3.2,
+/// Fig. 13–14) for a 256 KB private L2.
+pub const DEFAULT_PARTITION_BYTES: usize = 256 * 1024;
+
+/// Configuration for the PCPM engine and the PageRank driver.
+///
+/// # Examples
+///
+/// ```
+/// use pcpm_core::PcpmConfig;
+///
+/// let cfg = PcpmConfig::default().with_partition_bytes(64 * 1024);
+/// assert_eq!(cfg.partition_nodes(), 16 * 1024);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PcpmConfig {
+    /// Bytes of vertex values a partition may occupy; divided by
+    /// [`VALUE_BYTES`] this gives the partition size `q` in nodes.
+    pub partition_bytes: usize,
+    /// Damping factor `d` of the PageRank recurrence (default 0.85).
+    pub damping: f64,
+    /// Number of PageRank iterations (the paper runs 20).
+    pub iterations: usize,
+    /// Optional early-exit tolerance on the L1 delta between successive
+    /// PageRank vectors; `None` always runs all `iterations`.
+    pub tolerance: Option<f64>,
+    /// Redistribute the rank mass of dangling nodes uniformly. The paper's
+    /// kernels drop it (mass decays); keep `false` to match.
+    pub redistribute_dangling: bool,
+    /// Use 16-bit partition-local destination IDs (paper §6 / G-Store
+    /// future work). Requires `partition_nodes() <= 2^15`.
+    pub compact_bins: bool,
+    /// Thread count; `None` uses the global rayon default.
+    pub threads: Option<usize>,
+}
+
+impl Default for PcpmConfig {
+    fn default() -> Self {
+        Self {
+            partition_bytes: DEFAULT_PARTITION_BYTES,
+            damping: 0.85,
+            iterations: 20,
+            tolerance: None,
+            redistribute_dangling: false,
+            compact_bins: false,
+            threads: None,
+        }
+    }
+}
+
+impl PcpmConfig {
+    /// Partition size `q` in nodes.
+    pub fn partition_nodes(&self) -> u32 {
+        (self.partition_bytes / VALUE_BYTES).max(1) as u32
+    }
+
+    /// Returns a copy with a different partition byte budget.
+    pub fn with_partition_bytes(mut self, bytes: usize) -> Self {
+        self.partition_bytes = bytes;
+        self
+    }
+
+    /// Returns a copy with a different iteration count.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Returns a copy with a convergence tolerance.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = Some(tol);
+        self
+    }
+
+    /// Returns a copy with an explicit thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Returns a copy with compact 16-bit destination bins enabled.
+    pub fn with_compact_bins(mut self) -> Self {
+        self.compact_bins = true;
+        self
+    }
+
+    /// Validates field ranges.
+    pub fn validate(&self) -> Result<(), PcpmError> {
+        if self.partition_bytes < VALUE_BYTES {
+            return Err(PcpmError::PartitionTooSmall);
+        }
+        if !(0.0..=1.0).contains(&self.damping) {
+            return Err(PcpmError::BadConfig("damping must be in [0, 1]"));
+        }
+        if let Some(t) = self.tolerance {
+            // NaN must be rejected too, hence the explicit finite check.
+            if !t.is_finite() || t <= 0.0 {
+                return Err(PcpmError::BadConfig("tolerance must be positive"));
+            }
+        }
+        if self.threads == Some(0) {
+            return Err(PcpmError::BadConfig("threads must be at least 1"));
+        }
+        if self.compact_bins && self.partition_nodes() > crate::compact::MAX_COMPACT_PARTITION {
+            return Err(PcpmError::BadConfig(
+                "compact bins require partitions of at most 2^15 nodes (128 KB of values)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runs `f` on a rayon pool with the configured thread count, or inline on
+/// the global pool when unset. Shared by every kernel in the workspace so
+/// thread-count sweeps treat all methods identically.
+pub fn run_with_threads<R: Send>(threads: Option<usize>, f: impl FnOnce() -> R + Send) -> R {
+    match threads {
+        Some(t) => rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("failed to build rayon pool")
+            .install(f),
+        None => f(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let c = PcpmConfig::default();
+        assert_eq!(c.partition_bytes, 256 * 1024);
+        assert_eq!(c.partition_nodes(), 65_536);
+        assert_eq!(c.iterations, 20);
+        assert!((c.damping - 0.85).abs() < 1e-12);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        assert_eq!(
+            PcpmConfig::default().with_partition_bytes(0).validate(),
+            Err(PcpmError::PartitionTooSmall)
+        );
+        let c = PcpmConfig {
+            damping: 1.5,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = PcpmConfig {
+            tolerance: Some(-1.0),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = PcpmConfig {
+            tolerance: Some(f64::NAN),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = PcpmConfig {
+            threads: Some(0),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = PcpmConfig::default()
+            .with_partition_bytes(1024)
+            .with_iterations(5)
+            .with_tolerance(1e-9)
+            .with_threads(2);
+        assert_eq!(c.partition_nodes(), 256);
+        assert_eq!(c.iterations, 5);
+        assert_eq!(c.tolerance, Some(1e-9));
+        assert_eq!(c.threads, Some(2));
+    }
+
+    #[test]
+    fn run_with_threads_executes() {
+        assert_eq!(run_with_threads(Some(2), || 41 + 1), 42);
+        assert_eq!(run_with_threads(None, || 7), 7);
+    }
+}

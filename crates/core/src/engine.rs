@@ -1,0 +1,360 @@
+//! The PCPM engine: a reusable scatter/gather pipeline over a fixed
+//! structure.
+//!
+//! Building an engine performs all pre-processing (partitioning, PNG
+//! construction, bin allocation, destination-ID writing); each
+//! [`PcpmEngine::spmv`] call then executes one scatter + gather round,
+//! computing `y[t] = Σ_{(s,t) ∈ E} w(s,t) · x[s]` — the `Aᵀ·x` product at
+//! the heart of a PageRank iteration (Eq. 2).
+
+use crate::bins::BinSpace;
+use crate::compact::{gather_compact_branch_avoiding, CompactBinSpace};
+use crate::config::PcpmConfig;
+use crate::error::PcpmError;
+use crate::gather::{gather_branch_avoiding, gather_branchy};
+use crate::partition::Partitioner;
+use crate::png::{EdgeView, Png};
+use crate::pr::PhaseTimings;
+use crate::scatter::{csr_scatter, png_scatter};
+use pcpm_graph::Csr;
+use std::time::{Duration, Instant};
+
+/// Which physical bin encoding the engine built.
+enum BinStorage {
+    /// 32-bit global destination IDs (the paper's layout).
+    Wide(BinSpace),
+    /// 16-bit partition-local destination IDs (§6 future work).
+    Compact(CompactBinSpace),
+}
+
+/// Which scatter implementation to run (Algorithm 3 vs Algorithm 2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScatterKind {
+    /// PNG-driven branchless scatter (the paper's design, §3.3).
+    #[default]
+    Png,
+    /// Original-CSR traversal with per-edge partition comparison (§3.2),
+    /// kept as the data-layout ablation.
+    CsrTraversal,
+}
+
+/// Which gather implementation to run (Algorithm 4 vs Algorithm 2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GatherKind {
+    /// Branch-avoiding pointer arithmetic (§3.4).
+    #[default]
+    BranchAvoiding,
+    /// Conditional MSB check, kept as the branch-avoidance ablation.
+    Branchy,
+}
+
+/// A built PCPM pipeline over a fixed edge structure.
+pub struct PcpmEngine {
+    num_src: u32,
+    num_dst: u32,
+    png: Png,
+    bins: BinStorage,
+    preprocess: Duration,
+}
+
+impl PcpmEngine {
+    /// Builds the engine for a square graph.
+    pub fn new(graph: &Csr, cfg: &PcpmConfig) -> Result<Self, PcpmError> {
+        cfg.validate()?;
+        Self::from_view(EdgeView::from_csr(graph), cfg, None)
+    }
+
+    /// Builds the engine for a square graph with per-edge weights
+    /// (parallel to the CSR targets array).
+    pub fn new_weighted(
+        graph: &Csr,
+        weights: &pcpm_graph::EdgeWeights,
+        cfg: &PcpmConfig,
+    ) -> Result<Self, PcpmError> {
+        cfg.validate()?;
+        Self::from_view(EdgeView::from_csr(graph), cfg, Some(weights.as_slice()))
+    }
+
+    /// Builds the engine from a raw (possibly rectangular) edge view.
+    pub(crate) fn from_view(
+        view: EdgeView<'_>,
+        cfg: &PcpmConfig,
+        weights: Option<&[f32]>,
+    ) -> Result<Self, PcpmError> {
+        let max_dim = u64::from(view.num_src()).max(u64::from(view.num_dst()));
+        if max_dim > pcpm_graph::MAX_NODES {
+            return Err(PcpmError::TooManyNodes(max_dim));
+        }
+        let q = cfg.partition_nodes();
+        let src_parts = Partitioner::new(view.num_src(), q)?;
+        let dst_parts = Partitioner::new(view.num_dst(), q)?;
+        let t0 = Instant::now();
+        let compact = cfg.compact_bins;
+        let (png, bins) = crate::config::run_with_threads(cfg.threads, || {
+            let png = Png::build(view, src_parts, dst_parts);
+            let bins = if compact {
+                BinStorage::Compact(CompactBinSpace::build(view, &png, weights))
+            } else {
+                BinStorage::Wide(BinSpace::build(view, &png, weights))
+            };
+            (png, bins)
+        });
+        Ok(Self {
+            num_src: view.num_src(),
+            num_dst: view.num_dst(),
+            png,
+            bins,
+            preprocess: t0.elapsed(),
+        })
+    }
+
+    /// Number of source nodes (length of `x`).
+    pub fn num_src(&self) -> u32 {
+        self.num_src
+    }
+
+    /// Number of destination nodes (length of `y`).
+    pub fn num_dst(&self) -> u32 {
+        self.num_dst
+    }
+
+    /// The PNG layout (for inspection and the memory replays).
+    pub fn png(&self) -> &Png {
+        &self.png
+    }
+
+    /// The wide bins, when the engine uses the 32-bit encoding.
+    pub fn bins(&self) -> Option<&BinSpace> {
+        match &self.bins {
+            BinStorage::Wide(b) => Some(b),
+            BinStorage::Compact(_) => None,
+        }
+    }
+
+    /// Heap bytes held by the message bins (wide or compact).
+    pub fn bin_memory_bytes(&self) -> u64 {
+        match &self.bins {
+            BinStorage::Wide(b) => b.memory_bytes(),
+            BinStorage::Compact(b) => b.memory_bytes(),
+        }
+    }
+
+    /// PNG compression ratio `r = |E| / |E'|`.
+    pub fn compression_ratio(&self) -> f64 {
+        self.png.compression_ratio()
+    }
+
+    /// Pre-processing wall-clock time (PNG build + bin writing), Table 8.
+    pub fn preprocess_time(&self) -> Duration {
+        self.preprocess
+    }
+
+    /// One `y = Aᵀ·x` round with the default (paper) scatter and gather.
+    pub fn spmv(&mut self, x: &[f32], y: &mut [f32]) -> Result<PhaseTimings, PcpmError> {
+        self.spmv_with(x, y, ScatterKind::Png, GatherKind::BranchAvoiding, None)
+    }
+
+    /// One `y = Aᵀ·x` round with explicit phase variants.
+    ///
+    /// `graph` is required when `scatter` is [`ScatterKind::CsrTraversal`]
+    /// (the ablation needs the original adjacency).
+    pub fn spmv_with(
+        &mut self,
+        x: &[f32],
+        y: &mut [f32],
+        scatter: ScatterKind,
+        gather: GatherKind,
+        graph: Option<&Csr>,
+    ) -> Result<PhaseTimings, PcpmError> {
+        if x.len() != self.num_src as usize {
+            return Err(PcpmError::DimensionMismatch {
+                expected: self.num_src as usize,
+                got: x.len(),
+            });
+        }
+        if y.len() != self.num_dst as usize {
+            return Err(PcpmError::DimensionMismatch {
+                expected: self.num_dst as usize,
+                got: y.len(),
+            });
+        }
+        let t0 = Instant::now();
+        let updates = match &mut self.bins {
+            BinStorage::Wide(b) => &mut b.updates,
+            BinStorage::Compact(b) => &mut b.updates,
+        };
+        match scatter {
+            ScatterKind::Png => png_scatter(&self.png, x, updates),
+            ScatterKind::CsrTraversal => {
+                let g = graph.ok_or(PcpmError::BadConfig(
+                    "CsrTraversal scatter requires the original graph",
+                ))?;
+                csr_scatter(EdgeView::from_csr(g), &self.png, x, updates);
+            }
+        }
+        let scatter_t = t0.elapsed();
+        let t1 = Instant::now();
+        match (&self.bins, gather) {
+            (BinStorage::Wide(b), GatherKind::BranchAvoiding) => {
+                gather_branch_avoiding(&self.png, b, y)
+            }
+            (BinStorage::Wide(b), GatherKind::Branchy) => gather_branchy(&self.png, b, y),
+            (BinStorage::Compact(b), GatherKind::BranchAvoiding) => {
+                gather_compact_branch_avoiding(&self.png, b, y)
+            }
+            (BinStorage::Compact(_), GatherKind::Branchy) => {
+                return Err(PcpmError::BadConfig(
+                    "compact bins only implement the branch-avoiding gather",
+                ))
+            }
+        }
+        let gather_t = t1.elapsed();
+        Ok(PhaseTimings {
+            scatter: scatter_t,
+            gather: gather_t,
+            apply: Duration::ZERO,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcpm_graph::gen::{erdos_renyi, rmat, RmatConfig};
+
+    fn reference(g: &Csr, x: &[f32]) -> Vec<f32> {
+        let mut y = vec![0.0f32; g.num_nodes() as usize];
+        for (s, t) in g.edges() {
+            y[t as usize] += x[s as usize];
+        }
+        y
+    }
+
+    #[test]
+    fn engine_spmv_matches_reference() {
+        let g = erdos_renyi(300, 2400, 8).unwrap();
+        let cfg = PcpmConfig::default().with_partition_bytes(64 * 4); // q = 64
+        let mut eng = PcpmEngine::new(&g, &cfg).unwrap();
+        let x: Vec<f32> = (0..300).map(|v| (v as f32).sqrt()).collect();
+        let mut y = vec![0.0f32; 300];
+        eng.spmv(&x, &mut y).unwrap();
+        let want = reference(&g, &x);
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn all_variant_combinations_agree() {
+        let g = rmat(&RmatConfig::graph500(8, 6, 77)).unwrap();
+        let cfg = PcpmConfig::default().with_partition_bytes(40 * 4);
+        let x: Vec<f32> = (0..g.num_nodes()).map(|v| (v % 17) as f32).collect();
+        let mut outputs = Vec::new();
+        for scatter in [ScatterKind::Png, ScatterKind::CsrTraversal] {
+            for gather in [GatherKind::BranchAvoiding, GatherKind::Branchy] {
+                let mut eng = PcpmEngine::new(&g, &cfg).unwrap();
+                let mut y = vec![0.0f32; g.num_nodes() as usize];
+                eng.spmv_with(&x, &mut y, scatter, gather, Some(&g))
+                    .unwrap();
+                outputs.push(y);
+            }
+        }
+        for other in &outputs[1..] {
+            assert_eq!(&outputs[0], other);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let g = erdos_renyi(10, 30, 1).unwrap();
+        let mut eng = PcpmEngine::new(&g, &PcpmConfig::default()).unwrap();
+        let mut y = vec![0.0f32; 10];
+        assert!(matches!(
+            eng.spmv(&[0.0; 3], &mut y),
+            Err(PcpmError::DimensionMismatch {
+                expected: 10,
+                got: 3
+            })
+        ));
+        let x = vec![0.0f32; 10];
+        let mut y_bad = vec![0.0f32; 4];
+        assert!(eng.spmv(&x, &mut y_bad).is_err());
+    }
+
+    #[test]
+    fn csr_traversal_without_graph_errors() {
+        let g = erdos_renyi(10, 30, 1).unwrap();
+        let mut eng = PcpmEngine::new(&g, &PcpmConfig::default()).unwrap();
+        let x = vec![0.0f32; 10];
+        let mut y = vec![0.0f32; 10];
+        assert!(eng
+            .spmv_with(
+                &x,
+                &mut y,
+                ScatterKind::CsrTraversal,
+                GatherKind::BranchAvoiding,
+                None
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn repeated_spmv_reuses_bins() {
+        let g = erdos_renyi(100, 500, 4).unwrap();
+        let mut eng = PcpmEngine::new(&g, &PcpmConfig::default()).unwrap();
+        let x: Vec<f32> = vec![1.0; 100];
+        let mut y1 = vec![0.0f32; 100];
+        let mut y2 = vec![0.0f32; 100];
+        eng.spmv(&x, &mut y1).unwrap();
+        eng.spmv(&x, &mut y2).unwrap();
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn compression_ratio_exposed() {
+        let g = rmat(&RmatConfig::graph500(8, 8, 5)).unwrap();
+        let eng = PcpmEngine::new(&g, &PcpmConfig::default()).unwrap();
+        assert!(eng.compression_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn compact_engine_matches_wide_engine() {
+        let g = rmat(&RmatConfig::graph500(9, 8, 41)).unwrap();
+        let wide_cfg = PcpmConfig::default().with_partition_bytes(512 * 4);
+        let compact_cfg = wide_cfg.with_compact_bins();
+        let mut wide = PcpmEngine::new(&g, &wide_cfg).unwrap();
+        let mut compact = PcpmEngine::new(&g, &compact_cfg).unwrap();
+        let x: Vec<f32> = (0..g.num_nodes()).map(|v| (v as f32).cos()).collect();
+        let mut yw = vec![0.0f32; g.num_nodes() as usize];
+        let mut yc = vec![0.0f32; g.num_nodes() as usize];
+        wide.spmv(&x, &mut yw).unwrap();
+        compact.spmv(&x, &mut yc).unwrap();
+        assert_eq!(yw, yc);
+        // The destination stream is half as large.
+        assert!(compact.bin_memory_bytes() < wide.bin_memory_bytes());
+        assert!(compact.bins().is_none());
+        assert!(wide.bins().is_some());
+    }
+
+    #[test]
+    fn compact_with_oversized_partition_is_rejected() {
+        let g = erdos_renyi(100, 400, 2).unwrap();
+        // Default 256 KB partitions are 64 Ki nodes > 2^15.
+        let cfg = PcpmConfig::default().with_compact_bins();
+        assert!(PcpmEngine::new(&g, &cfg).is_err());
+    }
+
+    #[test]
+    fn compact_rejects_branchy_gather() {
+        let g = erdos_renyi(100, 400, 2).unwrap();
+        let cfg = PcpmConfig::default()
+            .with_partition_bytes(256)
+            .with_compact_bins();
+        let mut eng = PcpmEngine::new(&g, &cfg).unwrap();
+        let x = vec![0.0f32; 100];
+        let mut y = vec![0.0f32; 100];
+        assert!(eng
+            .spmv_with(&x, &mut y, ScatterKind::Png, GatherKind::Branchy, None)
+            .is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the PCPM engine.
+
+use std::fmt;
+
+/// Errors produced while configuring or running the PCPM engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcpmError {
+    /// The partition size must hold at least one node.
+    PartitionTooSmall,
+    /// Input vector length does not match the engine's source dimension.
+    DimensionMismatch {
+        /// What the engine expected.
+        expected: usize,
+        /// What the caller supplied.
+        got: usize,
+    },
+    /// The graph exceeds the `2^31` node limit imposed by the MSB trick.
+    TooManyNodes(u64),
+    /// A configuration field is out of its valid range.
+    BadConfig(&'static str),
+}
+
+impl fmt::Display for PcpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcpmError::PartitionTooSmall => {
+                write!(f, "partition size must hold at least one node")
+            }
+            PcpmError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            PcpmError::TooManyNodes(n) => {
+                write!(f, "{n} nodes exceeds the 2^31 PCPM limit (MSB is reserved)")
+            }
+            PcpmError::BadConfig(msg) => write!(f, "bad config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PcpmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_problem() {
+        assert!(PcpmError::PartitionTooSmall
+            .to_string()
+            .contains("partition"));
+        assert!(PcpmError::DimensionMismatch {
+            expected: 3,
+            got: 5
+        }
+        .to_string()
+        .contains("expected 3"));
+        assert!(PcpmError::TooManyNodes(1 << 33).to_string().contains("MSB"));
+        assert!(PcpmError::BadConfig("damping")
+            .to_string()
+            .contains("damping"));
+    }
+}

@@ -1,0 +1,241 @@
+//! PCPM gather phase.
+//!
+//! Two implementations of the same reduction:
+//!
+//! - [`gather_branch_avoiding`] — Algorithm 4: the MSB of each destination
+//!   ID is *added* to the update pointer instead of being branched on, so
+//!   the inner loop has no unpredictable control flow (§3.4).
+//! - [`gather_branchy`] — Algorithm 2's gather: `if MSB(id) != 0 { pop
+//!   update }`. Mispredicts on every message boundary; kept for the
+//!   branch-avoidance ablation benches.
+//!
+//! Both are parallel over destination partitions: worker `p` owns the
+//! partial-sum slice of partition `p` exclusively, so the phase is
+//! lock-free. Updates and destination IDs are streamed segment by segment
+//! (one segment per source partition, each contiguous).
+
+use crate::algebra::Algebra;
+use crate::bins::BinSpace;
+use crate::partition::split_by_lens;
+use crate::png::Png;
+use crate::ID_MASK;
+use rayon::prelude::*;
+
+/// Algorithm 4: branch-avoiding gather. Accumulates all messages into `y`
+/// (which is zeroed first). `y.len()` must equal the destination node
+/// count.
+pub fn gather_branch_avoiding(png: &Png, bins: &BinSpace, y: &mut [f32]) {
+    run_gather(png, bins, y, GatherImpl::BranchAvoiding);
+}
+
+/// Algorithm 2 gather: branch on the MSB flag (ablation baseline).
+pub fn gather_branchy(png: &Png, bins: &BinSpace, y: &mut [f32]) {
+    run_gather(png, bins, y, GatherImpl::Branchy);
+}
+
+/// Branch-avoiding gather over an arbitrary [`Algebra`].
+///
+/// The reduction into `y` starts from `A::identity()` per node; callers
+/// that need "keep my own value" semantics (label propagation, BFS)
+/// combine `y` with the previous vertex state afterwards.
+pub fn gather_algebra<A: Algebra>(png: &Png, bins: &BinSpace<A::T>, y: &mut [A::T]) {
+    assert_eq!(y.len(), png.dst_parts().num_nodes() as usize, "y length");
+    let lens = png.dst_parts().lens();
+    let slices = split_by_lens(y, &lens);
+    let k_src = png.src_parts().num_partitions();
+    slices.into_par_iter().enumerate().for_each(|(p, ys)| {
+        ys.fill(A::identity());
+        let base = png.dst_parts().range(p as u32).start as usize;
+        for s in 0..k_src {
+            let part = png.part(s);
+            let ubase = png.upd_region()[s as usize] as usize;
+            let dbase = png.did_region()[s as usize] as usize;
+            let ulo = ubase + part.upd_off[p] as usize;
+            let uhi = ubase + part.upd_off[p + 1] as usize;
+            let dlo = dbase + part.did_off[p] as usize;
+            let dhi = dbase + part.did_off[p + 1] as usize;
+            let us = &bins.updates[ulo..uhi];
+            let ds = &bins.dest_ids[dlo..dhi];
+            match &bins.weights {
+                None => {
+                    let mut up = usize::MAX;
+                    for &id in ds {
+                        up = up.wrapping_add((id >> 31) as usize);
+                        let slot = &mut ys[(id & ID_MASK) as usize - base];
+                        *slot = A::combine(*slot, A::extend(us[up]));
+                    }
+                }
+                Some(w) => {
+                    let ws = &w[dlo..dhi];
+                    let mut up = usize::MAX;
+                    for (&id, &wt) in ds.iter().zip(ws) {
+                        up = up.wrapping_add((id >> 31) as usize);
+                        let slot = &mut ys[(id & ID_MASK) as usize - base];
+                        *slot = A::combine(*slot, A::extend_weighted(wt, us[up]));
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[derive(Clone, Copy)]
+enum GatherImpl {
+    BranchAvoiding,
+    Branchy,
+}
+
+fn run_gather(png: &Png, bins: &BinSpace, y: &mut [f32], imp: GatherImpl) {
+    assert_eq!(y.len(), png.dst_parts().num_nodes() as usize, "y length");
+    let lens = png.dst_parts().lens();
+    let slices = split_by_lens(y, &lens);
+    let k_src = png.src_parts().num_partitions();
+    slices.into_par_iter().enumerate().for_each(|(p, ys)| {
+        ys.fill(0.0);
+        let base = png.dst_parts().range(p as u32).start as usize;
+        for s in 0..k_src {
+            let part = png.part(s);
+            let ubase = png.upd_region()[s as usize] as usize;
+            let dbase = png.did_region()[s as usize] as usize;
+            let ulo = ubase + part.upd_off[p] as usize;
+            let uhi = ubase + part.upd_off[p + 1] as usize;
+            let dlo = dbase + part.did_off[p] as usize;
+            let dhi = dbase + part.did_off[p + 1] as usize;
+            let us = &bins.updates[ulo..uhi];
+            let ds = &bins.dest_ids[dlo..dhi];
+            match (imp, &bins.weights) {
+                (GatherImpl::BranchAvoiding, None) => {
+                    // `up` starts one before the segment; the first entry
+                    // always carries the MSB flag and advances it to 0.
+                    let mut up = usize::MAX;
+                    for &id in ds {
+                        up = up.wrapping_add((id >> 31) as usize);
+                        ys[(id & ID_MASK) as usize - base] += us[up];
+                    }
+                }
+                (GatherImpl::BranchAvoiding, Some(w)) => {
+                    let ws = &w[dlo..dhi];
+                    let mut up = usize::MAX;
+                    for (&id, &wt) in ds.iter().zip(ws) {
+                        up = up.wrapping_add((id >> 31) as usize);
+                        ys[(id & ID_MASK) as usize - base] += wt * us[up];
+                    }
+                }
+                (GatherImpl::Branchy, None) => {
+                    let mut up = usize::MAX;
+                    for &id in ds {
+                        if id >> 31 != 0 {
+                            up = up.wrapping_add(1);
+                        }
+                        ys[(id & ID_MASK) as usize - base] += us[up];
+                    }
+                }
+                (GatherImpl::Branchy, Some(w)) => {
+                    let ws = &w[dlo..dhi];
+                    let mut up = usize::MAX;
+                    for (&id, &wt) in ds.iter().zip(ws) {
+                        if id >> 31 != 0 {
+                            up = up.wrapping_add(1);
+                        }
+                        ys[(id & ID_MASK) as usize - base] += wt * us[up];
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partitioner;
+    use crate::png::EdgeView;
+    use crate::scatter::png_scatter;
+    use pcpm_graph::{Csr, EdgeWeights};
+
+    fn full_spmv(g: &Csr, q: u32, x: &[f32], branchy: bool) -> Vec<f32> {
+        let parts = Partitioner::new(g.num_nodes(), q).unwrap();
+        let png = Png::build(EdgeView::from_csr(g), parts, parts);
+        let mut bins = BinSpace::build(EdgeView::from_csr(g), &png, None);
+        png_scatter(&png, x, &mut bins.updates);
+        let mut y = vec![0.0f32; g.num_nodes() as usize];
+        if branchy {
+            gather_branchy(&png, &bins, &mut y);
+        } else {
+            gather_branch_avoiding(&png, &bins, &mut y);
+        }
+        y
+    }
+
+    /// Dense reference: y[t] = sum over edges (s -> t) of x[s].
+    fn reference(g: &Csr, x: &[f32]) -> Vec<f32> {
+        let mut y = vec![0.0f32; g.num_nodes() as usize];
+        for (s, t) in g.edges() {
+            y[t as usize] += x[s as usize];
+        }
+        y
+    }
+
+    #[test]
+    fn gather_computes_transposed_spmv() {
+        let g = pcpm_graph::gen::erdos_renyi(200, 1500, 5).unwrap();
+        let x: Vec<f32> = (0..200).map(|v| (v as f32 * 0.37).cos()).collect();
+        for q in [1u32, 7, 50, 200, 1000] {
+            let y = full_spmv(&g, q, &x, false);
+            let want = reference(&g, &x);
+            for (i, (a, b)) in y.iter().zip(&want).enumerate() {
+                assert!((a - b).abs() < 1e-4, "q={q} node {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn branchy_equals_branch_avoiding() {
+        let g = pcpm_graph::gen::rmat(&pcpm_graph::gen::RmatConfig::graph500(9, 6, 2)).unwrap();
+        let x: Vec<f32> = (0..g.num_nodes()).map(|v| v as f32 + 1.0).collect();
+        let a = full_spmv(&g, 37, &x, false);
+        let b = full_spmv(&g, 37, &x, true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_gather_scales_by_edge_weight() {
+        let g = Csr::from_edges(4, &[(0, 1), (0, 3), (2, 1), (2, 3)]).unwrap();
+        let w = EdgeWeights::new(&g, vec![2.0, 4.0, 8.0, 16.0]).unwrap();
+        let parts = Partitioner::new(4, 2).unwrap();
+        let png = Png::build(EdgeView::from_csr(&g), parts, parts);
+        let mut bins = BinSpace::build(EdgeView::from_csr(&g), &png, Some(w.as_slice()));
+        let x = vec![1.0f32, 0.0, 10.0, 0.0];
+        png_scatter(&png, &x, &mut bins.updates);
+        let mut y = vec![0.0f32; 4];
+        gather_branch_avoiding(&png, &bins, &mut y);
+        // y[1] = 2*x[0] + 8*x[2] = 82; y[3] = 4*x[0] + 16*x[2] = 164.
+        assert_eq!(y, vec![0.0, 82.0, 0.0, 164.0]);
+        let mut yb = vec![0.0f32; 4];
+        gather_branchy(&png, &bins, &mut yb);
+        assert_eq!(y, yb);
+    }
+
+    #[test]
+    fn gather_zeroes_stale_output() {
+        let g = Csr::from_edges(2, &[(0, 1)]).unwrap();
+        let parts = Partitioner::new(2, 1).unwrap();
+        let png = Png::build(EdgeView::from_csr(&g), parts, parts);
+        let mut bins = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        png_scatter(&png, &[3.0, 0.0], &mut bins.updates);
+        let mut y = vec![99.0f32; 2];
+        gather_branch_avoiding(&png, &bins, &mut y);
+        assert_eq!(y, vec![0.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "y length")]
+    fn wrong_output_length_panics() {
+        let g = Csr::from_edges(2, &[(0, 1)]).unwrap();
+        let parts = Partitioner::new(2, 1).unwrap();
+        let png = Png::build(EdgeView::from_csr(&g), parts, parts);
+        let bins = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let mut y = vec![0.0f32; 5];
+        gather_branch_avoiding(&png, &bins, &mut y);
+    }
+}

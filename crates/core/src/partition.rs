@@ -1,0 +1,192 @@
+//! Equisized index-based graph partitioning (paper §3.1).
+//!
+//! Partition `P_i` owns all vertices with index in `[i*q, (i+1)*q)`. The
+//! paper deliberately uses this trivial scheme — partition membership is a
+//! single shift/divide, and the abstraction still captures most of the
+//! benefit; smarter edge partitioners are future work (§6).
+
+use crate::error::PcpmError;
+use std::ops::Range;
+
+/// Maps node IDs to equisized contiguous partitions.
+///
+/// # Examples
+///
+/// ```
+/// use pcpm_core::Partitioner;
+///
+/// let p = Partitioner::new(10, 4).unwrap();
+/// assert_eq!(p.num_partitions(), 3);
+/// assert_eq!(p.partition_of(7), 1);
+/// assert_eq!(p.range(2), 8..10); // last partition is short
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Partitioner {
+    num_nodes: u32,
+    size: u32,
+    num_partitions: u32,
+}
+
+impl Partitioner {
+    /// Creates a partitioner with `size` nodes per partition.
+    pub fn new(num_nodes: u32, size: u32) -> Result<Self, PcpmError> {
+        if size == 0 {
+            return Err(PcpmError::PartitionTooSmall);
+        }
+        let num_partitions = if num_nodes == 0 {
+            0
+        } else {
+            (num_nodes - 1) / size + 1
+        };
+        Ok(Self {
+            num_nodes,
+            size,
+            num_partitions,
+        })
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Partition size `q` in nodes (the last partition may be shorter).
+    #[inline]
+    pub fn partition_size(&self) -> u32 {
+        self.size
+    }
+
+    /// Number of partitions `k`.
+    #[inline]
+    pub fn num_partitions(&self) -> u32 {
+        self.num_partitions
+    }
+
+    /// The partition owning node `v`.
+    #[inline]
+    pub fn partition_of(&self, v: u32) -> u32 {
+        debug_assert!(v < self.num_nodes);
+        v / self.size
+    }
+
+    /// The node range of partition `p` (clamped for the last partition).
+    #[inline]
+    pub fn range(&self, p: u32) -> Range<u32> {
+        debug_assert!(p < self.num_partitions);
+        let lo = p * self.size;
+        let hi = (lo + self.size).min(self.num_nodes);
+        lo..hi
+    }
+
+    /// Number of nodes in partition `p`.
+    #[inline]
+    pub fn len(&self, p: u32) -> u32 {
+        let r = self.range(p);
+        r.end - r.start
+    }
+
+    /// True when there are no partitions (empty graph).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_partitions == 0
+    }
+
+    /// Iterator over all partition indices.
+    pub fn iter(&self) -> Range<u32> {
+        0..self.num_partitions
+    }
+
+    /// The per-partition node counts as lengths, for slice splitting.
+    pub fn lens(&self) -> Vec<usize> {
+        self.iter().map(|p| self.len(p) as usize).collect()
+    }
+}
+
+/// Splits `slice` into consecutive sub-slices of the given lengths.
+///
+/// Used to hand each partition its disjoint region of a shared array in
+/// fully safe code (the scatter phase writes per-source-partition regions,
+/// the gather phase per-destination-partition regions).
+///
+/// # Panics
+///
+/// Panics if the lengths do not sum to `slice.len()`.
+pub fn split_by_lens<'a, T>(mut slice: &'a mut [T], lens: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(lens.len());
+    for &len in lens {
+        let (head, tail) = slice.split_at_mut(len);
+        out.push(head);
+        slice = tail;
+    }
+    assert!(slice.is_empty(), "lengths must cover the whole slice");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let p = Partitioner::new(8, 4).unwrap();
+        assert_eq!(p.num_partitions(), 2);
+        assert_eq!(p.range(0), 0..4);
+        assert_eq!(p.range(1), 4..8);
+        assert_eq!(p.len(1), 4);
+    }
+
+    #[test]
+    fn ragged_last_partition() {
+        let p = Partitioner::new(10, 4).unwrap();
+        assert_eq!(p.num_partitions(), 3);
+        assert_eq!(p.range(2), 8..10);
+        assert_eq!(p.len(2), 2);
+        assert_eq!(p.lens(), vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn partition_of_is_consistent_with_range() {
+        let p = Partitioner::new(100, 7).unwrap();
+        for v in 0..100 {
+            let part = p.partition_of(v);
+            assert!(p.range(part).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zero_nodes() {
+        let p = Partitioner::new(0, 4).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.num_partitions(), 0);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        assert_eq!(Partitioner::new(4, 0), Err(PcpmError::PartitionTooSmall));
+    }
+
+    #[test]
+    fn oversize_partition_covers_everything() {
+        let p = Partitioner::new(5, 1000).unwrap();
+        assert_eq!(p.num_partitions(), 1);
+        assert_eq!(p.range(0), 0..5);
+    }
+
+    #[test]
+    fn split_by_lens_partitions_slice() {
+        let mut data = [1, 2, 3, 4, 5];
+        let parts = split_by_lens(&mut data, &[2, 0, 3]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], &[1, 2]);
+        assert_eq!(parts[1], &[] as &[i32]);
+        assert_eq!(parts[2], &[3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the whole slice")]
+    fn split_by_lens_rejects_short_cover() {
+        let mut data = [1, 2, 3];
+        let _ = split_by_lens(&mut data, &[1]);
+    }
+}

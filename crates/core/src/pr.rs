@@ -1,0 +1,114 @@
+//! Shared PageRank result and timing types.
+
+use std::ops::AddAssign;
+use std::time::Duration;
+
+/// Wall-clock time spent in each phase of a GAS-style PageRank run.
+///
+/// The paper's Table 5 reports scatter and gather separately; `apply`
+/// covers the per-vertex normalization (and, for the pull baseline, the
+/// whole edge traversal is accounted under `gather`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Time in the scatter phase.
+    pub scatter: Duration,
+    /// Time in the gather phase.
+    pub gather: Duration,
+    /// Time in the apply phase.
+    pub apply: Duration,
+}
+
+impl PhaseTimings {
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.scatter + self.gather + self.apply
+    }
+}
+
+impl AddAssign for PhaseTimings {
+    fn add_assign(&mut self, rhs: Self) {
+        self.scatter += rhs.scatter;
+        self.gather += rhs.gather;
+        self.apply += rhs.apply;
+    }
+}
+
+/// The outcome of a PageRank computation.
+#[derive(Clone, Debug)]
+pub struct PrResult {
+    /// Final PageRank score per node (unscaled, i.e. the actual
+    /// probabilities — not the out-degree-scaled propagation values).
+    pub scores: Vec<f32>,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Whether the L1 tolerance was met before the iteration cap.
+    pub converged: bool,
+    /// Final L1 delta between the last two iterations.
+    pub last_delta: f64,
+    /// Accumulated per-phase timings across all iterations.
+    pub timings: PhaseTimings,
+    /// Pre-processing time (PNG construction + bin allocation for PCPM,
+    /// bin sizing for BVGAS, zero for the pull baseline) — Table 8.
+    pub preprocess: Duration,
+    /// PNG compression ratio `r`, when the kernel has one.
+    pub compression_ratio: Option<f64>,
+}
+
+impl PrResult {
+    /// Throughput in giga-edges traversed per second for one iteration,
+    /// the paper's Fig. 7 metric: `m / (total_time / iterations) / 1e9`.
+    pub fn gteps(&self, num_edges: u64) -> f64 {
+        let per_iter = self.timings.total().as_secs_f64() / self.iterations.max(1) as f64;
+        if per_iter == 0.0 {
+            0.0
+        } else {
+            num_edges as f64 / per_iter / 1e9
+        }
+    }
+
+    /// Sum of all scores (≈ 1 − dropped dangling mass).
+    pub fn mass(&self) -> f64 {
+        self.scores.iter().map(|&x| f64::from(x)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_accumulate() {
+        let mut a = PhaseTimings {
+            scatter: Duration::from_millis(10),
+            gather: Duration::from_millis(20),
+            apply: Duration::from_millis(5),
+        };
+        let b = PhaseTimings {
+            scatter: Duration::from_millis(1),
+            gather: Duration::from_millis(2),
+            apply: Duration::from_millis(3),
+        };
+        a += b;
+        assert_eq!(a.scatter, Duration::from_millis(11));
+        assert_eq!(a.total(), Duration::from_millis(41));
+    }
+
+    #[test]
+    fn gteps_definition() {
+        let r = PrResult {
+            scores: vec![],
+            iterations: 10,
+            converged: false,
+            last_delta: 0.0,
+            timings: PhaseTimings {
+                scatter: Duration::from_secs(1),
+                gather: Duration::from_secs(1),
+                apply: Duration::ZERO,
+            },
+            preprocess: Duration::ZERO,
+            compression_ratio: None,
+        };
+        // 2s / 10 iters = 0.2 s/iter; 1e9 edges / 0.2s = 5 GTEPS.
+        assert!((r.gteps(1_000_000_000) - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,202 @@
+//! Deduplicating, parallel graph builder.
+//!
+//! Generators emit raw edge streams that may contain duplicates and
+//! self-loops; [`GraphBuilder`] normalizes them into a sorted [`Csr`].
+//! Sorting is done in parallel with rayon, which matters for the larger
+//! stand-in datasets (several million edges).
+
+use crate::coo::Coo;
+use crate::csr::{Csr, NodeId};
+use crate::error::GraphError;
+use rayon::prelude::*;
+
+/// Accumulates edges and produces a normalized [`Csr`].
+///
+/// # Examples
+///
+/// ```
+/// use pcpm_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4).unwrap();
+/// b.add_edge(0, 1);
+/// b.add_edge(0, 1); // duplicate — removed by default
+/// b.add_edge(2, 2); // self-loop — removed by default
+/// b.add_edge(3, 0);
+/// let g = b.build().unwrap();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_nodes: u32,
+    edges: Vec<(NodeId, NodeId)>,
+    dedup: bool,
+    keep_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` nodes.
+    pub fn new(num_nodes: u32) -> Result<Self, GraphError> {
+        if u64::from(num_nodes) > crate::MAX_NODES {
+            return Err(GraphError::TooManyNodes {
+                requested: u64::from(num_nodes),
+            });
+        }
+        Ok(Self {
+            num_nodes,
+            edges: Vec::new(),
+            dedup: true,
+            keep_self_loops: false,
+        })
+    }
+
+    /// Creates a builder with pre-reserved capacity for `cap` edges.
+    pub fn with_capacity(num_nodes: u32, cap: usize) -> Result<Self, GraphError> {
+        let mut b = Self::new(num_nodes)?;
+        b.edges.reserve(cap);
+        Ok(b)
+    }
+
+    /// Keep duplicate parallel edges instead of removing them.
+    pub fn keep_duplicates(mut self) -> Self {
+        self.dedup = false;
+        self
+    }
+
+    /// Keep self-loops instead of removing them.
+    pub fn keep_self_loops(mut self) -> Self {
+        self.keep_self_loops = true;
+        self
+    }
+
+    /// Number of nodes the builder was created with.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Number of raw (pre-normalization) edges added so far.
+    pub fn num_raw_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// Adds one edge; out-of-range endpoints are a caller bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if an endpoint is out of range; release builds
+    /// defer the error to [`build`](Self::build).
+    #[inline]
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) {
+        debug_assert!(src < self.num_nodes && dst < self.num_nodes);
+        self.edges.push((src, dst));
+    }
+
+    /// Adds many edges at once.
+    pub fn extend(&mut self, edges: impl IntoIterator<Item = (NodeId, NodeId)>) {
+        self.edges.extend(edges);
+    }
+
+    /// Builds the final sorted, normalized CSR.
+    pub fn build(self) -> Result<Csr, GraphError> {
+        let Self {
+            num_nodes,
+            mut edges,
+            dedup,
+            keep_self_loops,
+        } = self;
+        for &(s, t) in &edges {
+            if s >= num_nodes || t >= num_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node: u64::from(s.max(t)),
+                    num_nodes: u64::from(num_nodes),
+                });
+            }
+        }
+        if !keep_self_loops {
+            edges.retain(|&(s, t)| s != t);
+        }
+        edges.par_sort_unstable();
+        if dedup {
+            edges.dedup();
+        }
+        // Edges are globally sorted, so per-row target runs are already
+        // sorted; build offsets with one counting pass.
+        let n = num_nodes as usize;
+        let mut offsets = vec![0u64; n + 1];
+        for &(s, _) in &edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let targets: Vec<NodeId> = edges.iter().map(|&(_, t)| t).collect();
+        Csr::from_parts(num_nodes, offsets, targets)
+    }
+
+    /// Builds from a [`Coo`] edge list using default normalization.
+    pub fn from_coo(coo: Coo) -> Result<Csr, GraphError> {
+        let mut b = Self::new(coo.num_nodes())?;
+        b.edges = coo.into_edges();
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_removal_by_default() {
+        let mut b = GraphBuilder::new(3).unwrap();
+        b.extend([(0, 1), (1, 2), (0, 1), (2, 2), (1, 0)]);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn keep_duplicates_preserves_multiplicity() {
+        let mut b = GraphBuilder::new(2).unwrap().keep_duplicates();
+        b.extend([(0, 1), (0, 1)]);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn keep_self_loops_preserves_loops() {
+        let mut b = GraphBuilder::new(2).unwrap().keep_self_loops();
+        b.add_edge(1, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(1), &[1]);
+    }
+
+    #[test]
+    fn out_of_range_reported_at_build() {
+        let mut b = GraphBuilder::new(2).unwrap();
+        b.edges.push((0, 9)); // bypass the debug_assert deliberately
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rows_are_sorted_after_build() {
+        let mut b = GraphBuilder::new(5).unwrap();
+        b.extend([(0, 4), (0, 2), (0, 3), (0, 1), (4, 3), (4, 0)]);
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+        assert_eq!(g.neighbors(4), &[0, 3]);
+    }
+
+    #[test]
+    fn from_coo_matches_manual_build() {
+        let coo = Coo::from_edges(3, vec![(0, 1), (1, 2), (0, 1)]).unwrap();
+        let g = GraphBuilder::from_coo(coo).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn empty_builder_yields_empty_graph() {
+        let g = GraphBuilder::new(4).unwrap().build().unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Coordinate-format edge list.
+//!
+//! [`Coo`] is the interchange format between generators, I/O, and the
+//! [`GraphBuilder`](crate::builder::GraphBuilder). The Edge-centric systems
+//! the paper compares against (X-Stream, Zhou et al.) operate directly on
+//! COO; here it is primarily a construction vehicle.
+
+use crate::csr::NodeId;
+use crate::error::GraphError;
+
+/// A mutable edge list with an explicit node count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Coo {
+    num_nodes: u32,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Coo {
+    /// Creates an empty edge list over `num_nodes` nodes.
+    pub fn new(num_nodes: u32) -> Result<Self, GraphError> {
+        if u64::from(num_nodes) > crate::MAX_NODES {
+            return Err(GraphError::TooManyNodes {
+                requested: u64::from(num_nodes),
+            });
+        }
+        Ok(Self {
+            num_nodes,
+            edges: Vec::new(),
+        })
+    }
+
+    /// Creates an edge list from parts, validating endpoints.
+    pub fn from_edges(num_nodes: u32, edges: Vec<(NodeId, NodeId)>) -> Result<Self, GraphError> {
+        let mut coo = Self::new(num_nodes)?;
+        for &(s, t) in &edges {
+            coo.check(s)?;
+            coo.check(t)?;
+        }
+        coo.edges = edges;
+        Ok(coo)
+    }
+
+    fn check(&self, v: NodeId) -> Result<(), GraphError> {
+        if v >= self.num_nodes {
+            Err(GraphError::NodeOutOfRange {
+                node: u64::from(v),
+                num_nodes: u64::from(self.num_nodes),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Appends one edge.
+    pub fn push(&mut self, src: NodeId, dst: NodeId) -> Result<(), GraphError> {
+        self.check(src)?;
+        self.check(dst)?;
+        self.edges.push((src, dst));
+        Ok(())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Number of edges currently stored.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// Borrow the raw edges.
+    #[inline]
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Consume into the raw edge vector.
+    pub fn into_edges(self) -> Vec<(NodeId, NodeId)> {
+        self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_endpoints() {
+        let mut coo = Coo::new(2).unwrap();
+        coo.push(0, 1).unwrap();
+        assert!(coo.push(0, 2).is_err());
+        assert!(coo.push(2, 0).is_err());
+        assert_eq!(coo.num_edges(), 1);
+    }
+
+    #[test]
+    fn from_edges_validates() {
+        assert!(Coo::from_edges(2, vec![(0, 1), (1, 0)]).is_ok());
+        assert!(Coo::from_edges(2, vec![(0, 3)]).is_err());
+    }
+
+    #[test]
+    fn into_edges_round_trips() {
+        let coo = Coo::from_edges(3, vec![(0, 1), (2, 0)]).unwrap();
+        assert_eq!(coo.into_edges(), vec![(0, 1), (2, 0)]);
+    }
+}

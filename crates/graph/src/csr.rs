@@ -1,0 +1,388 @@
+//! Compressed Sparse Row graph representation.
+//!
+//! [`Csr`] is the canonical immutable directed-graph container used across
+//! the workspace. Adjacency lists are stored sorted by target ID, which the
+//! PCPM engine relies on: sorted neighbors make per-partition neighbor runs
+//! contiguous, so destination-ID bins can be filled with a single scan
+//! (paper §3.2–3.3).
+
+use crate::error::GraphError;
+
+/// Node identifier. 32 bits, with the MSB reserved by the PCPM engine.
+pub type NodeId = u32;
+
+/// An immutable directed graph in Compressed Sparse Row form.
+///
+/// `offsets` has `num_nodes + 1` entries; the out-neighbors of node `v` are
+/// `targets[offsets[v] as usize .. offsets[v + 1] as usize]`, sorted
+/// ascending.
+///
+/// # Examples
+///
+/// ```
+/// use pcpm_graph::Csr;
+///
+/// // 0 -> 1, 0 -> 2, 2 -> 0
+/// let g = Csr::from_edges(3, &[(0, 1), (0, 2), (2, 0)]).unwrap();
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.neighbors(0), &[1, 2]);
+/// assert_eq!(g.out_degree(1), 0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    num_nodes: u32,
+    offsets: Vec<u64>,
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Builds a CSR from raw parts, validating every structural invariant.
+    ///
+    /// `offsets` must be monotonically non-decreasing, start at 0, end at
+    /// `targets.len()`, and have length `num_nodes + 1`. Targets must be in
+    /// range; each adjacency list must be sorted ascending (duplicates are
+    /// allowed here — the deduplicating path is
+    /// [`GraphBuilder`](crate::builder::GraphBuilder)).
+    pub fn from_parts(
+        num_nodes: u32,
+        offsets: Vec<u64>,
+        targets: Vec<NodeId>,
+    ) -> Result<Self, GraphError> {
+        if u64::from(num_nodes) > crate::MAX_NODES {
+            return Err(GraphError::TooManyNodes {
+                requested: u64::from(num_nodes),
+            });
+        }
+        if offsets.len() != num_nodes as usize + 1 {
+            return Err(GraphError::MalformedOffsets("length must be num_nodes + 1"));
+        }
+        if offsets.first() != Some(&0) {
+            return Err(GraphError::MalformedOffsets("must start at 0"));
+        }
+        if *offsets.last().expect("non-empty") != targets.len() as u64 {
+            return Err(GraphError::MalformedOffsets("must end at targets.len()"));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::MalformedOffsets("must be non-decreasing"));
+        }
+        for &t in &targets {
+            if t >= num_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node: u64::from(t),
+                    num_nodes: u64::from(num_nodes),
+                });
+            }
+        }
+        for v in 0..num_nodes as usize {
+            let row = &targets[offsets[v] as usize..offsets[v + 1] as usize];
+            if row.windows(2).any(|w| w[0] > w[1]) {
+                return Err(GraphError::MalformedOffsets(
+                    "adjacency lists must be sorted",
+                ));
+            }
+        }
+        Ok(Self {
+            num_nodes,
+            offsets,
+            targets,
+        })
+    }
+
+    /// Builds a CSR directly from an edge list.
+    ///
+    /// Edges are counted, bucketed and sorted per row; duplicates are kept.
+    /// For deduplication use [`GraphBuilder`](crate::builder::GraphBuilder).
+    pub fn from_edges(num_nodes: u32, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        if u64::from(num_nodes) > crate::MAX_NODES {
+            return Err(GraphError::TooManyNodes {
+                requested: u64::from(num_nodes),
+            });
+        }
+        let n = num_nodes as usize;
+        let mut degree = vec![0u64; n];
+        for &(s, t) in edges {
+            if s >= num_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node: u64::from(s),
+                    num_nodes: u64::from(num_nodes),
+                });
+            }
+            if t >= num_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node: u64::from(t),
+                    num_nodes: u64::from(num_nodes),
+                });
+            }
+            degree[s as usize] += 1;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut targets = vec![0 as NodeId; edges.len()];
+        let mut cursor = offsets.clone();
+        for &(s, t) in edges {
+            let c = &mut cursor[s as usize];
+            targets[*c as usize] = t;
+            *c += 1;
+        }
+        for v in 0..n {
+            targets[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        Ok(Self {
+            num_nodes,
+            offsets,
+            targets,
+        })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Number of directed edges (duplicates included if present).
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_nodes`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> u32 {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as u32
+    }
+
+    /// Sorted out-neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_nodes`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// The raw offsets array (`num_nodes + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw concatenated targets array.
+    #[inline]
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Iterator over all edges as `(source, target)` pairs in row order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes).flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
+    }
+
+    /// Out-degree array for all nodes.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        (0..self.num_nodes).map(|v| self.out_degree(v)).collect()
+    }
+
+    /// In-degree array for all nodes (one pass over targets).
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_nodes as usize];
+        for &t in &self.targets {
+            deg[t as usize] += 1;
+        }
+        deg
+    }
+
+    /// Number of dangling nodes (out-degree zero).
+    pub fn num_dangling(&self) -> u32 {
+        (0..self.num_nodes as usize)
+            .filter(|&v| self.offsets[v] == self.offsets[v + 1])
+            .count() as u32
+    }
+
+    /// Average out-degree `m / n` (0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / f64::from(self.num_nodes)
+        }
+    }
+
+    /// Returns the transpose graph (reverses every edge).
+    ///
+    /// The transpose of an out-adjacency CSR is the in-adjacency CSC of the
+    /// original graph; the pull-direction baseline (Algorithm 1) traverses
+    /// this. Adjacency lists of the result are sorted, because the counting
+    /// pass scans rows in ascending source order.
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_nodes as usize;
+        let mut degree = vec![0u64; n];
+        for &t in &self.targets {
+            degree[t as usize] += 1;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut targets = vec![0 as NodeId; self.targets.len()];
+        let mut cursor = offsets.clone();
+        for s in 0..self.num_nodes {
+            for &t in self.neighbors(s) {
+                let c = &mut cursor[t as usize];
+                targets[*c as usize] = s;
+                *c += 1;
+            }
+        }
+        Csr {
+            num_nodes: self.num_nodes,
+            offsets,
+            targets,
+        }
+    }
+
+    /// Returns the undirected closure: for every edge `(u, v)` both
+    /// `(u, v)` and `(v, u)` are present, deduplicated and without
+    /// self-loops. Used by algorithms that need connectivity rather than
+    /// direction (e.g. connected components).
+    pub fn symmetrize(&self) -> Csr {
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(2 * self.targets.len());
+        for (s, t) in self.edges() {
+            if s != t {
+                edges.push((s, t));
+                edges.push((t, s));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Csr::from_edges(self.num_nodes, &edges).expect("endpoints already validated")
+    }
+
+    /// Total heap bytes used by the structure arrays.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.offsets.len() * std::mem::size_of::<u64>()
+            + self.targets.len() * std::mem::size_of::<NodeId>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> {1, 2}, 1 -> 3, 2 -> 3, 3 -> 0
+        Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)]).unwrap()
+    }
+
+    #[test]
+    fn from_edges_builds_sorted_rows() {
+        let g = Csr::from_edges(3, &[(0, 2), (0, 1), (2, 0)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[NodeId]);
+        assert_eq!(g.neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        assert!(matches!(
+            Csr::from_edges(2, &[(0, 5)]),
+            Err(GraphError::NodeOutOfRange { node: 5, .. })
+        ));
+        assert!(matches!(
+            Csr::from_edges(2, &[(5, 0)]),
+            Err(GraphError::NodeOutOfRange { node: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn from_parts_validates_offsets() {
+        assert!(Csr::from_parts(2, vec![0, 1], vec![0]).is_err()); // wrong len
+        assert!(Csr::from_parts(2, vec![1, 1, 1], vec![0]).is_err()); // start != 0
+        assert!(Csr::from_parts(2, vec![0, 2, 1], vec![0]).is_err()); // end mismatch + decreasing
+        assert!(Csr::from_parts(2, vec![0, 0, 1], vec![7]).is_err()); // target oob
+        assert!(Csr::from_parts(2, vec![0, 2, 2], vec![1, 0]).is_err()); // unsorted row
+        assert!(Csr::from_parts(2, vec![0, 2, 2], vec![0, 1]).is_ok());
+    }
+
+    #[test]
+    fn degrees_and_dangling() {
+        let g = diamond();
+        assert_eq!(g.out_degrees(), vec![2, 1, 1, 1]);
+        assert_eq!(g.in_degrees(), vec![1, 1, 1, 2]);
+        assert_eq!(g.num_dangling(), 0);
+        let g2 = Csr::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(g2.num_dangling(), 2);
+        assert!((g2.avg_degree() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.num_edges(), g.num_edges());
+        let mut fwd: Vec<_> = g.edges().collect();
+        let mut rev: Vec<_> = t.edges().map(|(s, t)| (t, s)).collect();
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let g = diamond();
+        assert_eq!(g.transpose().transpose(), g);
+    }
+
+    #[test]
+    fn edges_iterator_matches_neighbor_lists() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 5);
+        assert!(edges.contains(&(3, 0)));
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = Csr::from_edges(0, &[]).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        let t = g.transpose();
+        assert_eq!(t.num_nodes(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_are_preserved_by_from_edges() {
+        let g = Csr::from_edges(2, &[(0, 1), (0, 1)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 1]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn symmetrize_adds_reverse_edges_once() {
+        let g = Csr::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 3)]).unwrap();
+        let u = g.symmetrize();
+        // (0,1)+(1,0) stay as the pair; (2,3) gains (3,2); the self-loop
+        // is dropped.
+        let mut edges: Vec<_> = u.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 0), (2, 3), (3, 2)]);
+        // Symmetrizing twice is idempotent.
+        assert_eq!(u.symmetrize(), u);
+    }
+
+    #[test]
+    fn memory_bytes_counts_both_arrays() {
+        let g = diamond();
+        assert_eq!(g.memory_bytes(), (5 * 8 + 5 * 4) as u64);
+    }
+}

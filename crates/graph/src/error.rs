@@ -1,0 +1,102 @@
+//! Error type shared by graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building, validating, or (de)serializing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// The graph has more nodes than [`crate::MAX_NODES`] (the PCPM engine
+    /// reserves the MSB of node IDs).
+    TooManyNodes {
+        /// Requested node count.
+        requested: u64,
+    },
+    /// An edge endpoint is outside `[0, num_nodes)`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: u64,
+        /// The number of nodes the graph was declared with.
+        num_nodes: u64,
+    },
+    /// CSR offsets are malformed (non-monotonic or wrong length).
+    MalformedOffsets(&'static str),
+    /// A permutation passed to a relabeling routine is not a bijection on
+    /// `[0, num_nodes)`.
+    InvalidPermutation(&'static str),
+    /// A parse error while reading a text edge list.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Binary payload failed structural validation.
+    CorruptBinary(&'static str),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::TooManyNodes { requested } => write!(
+                f,
+                "graph has {requested} nodes; PCPM supports at most {} (MSB is reserved)",
+                crate::MAX_NODES
+            ),
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "edge endpoint {node} out of range for {num_nodes} nodes")
+            }
+            GraphError::MalformedOffsets(msg) => write!(f, "malformed CSR offsets: {msg}"),
+            GraphError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::CorruptBinary(msg) => write!(f, "corrupt binary graph: {msg}"),
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::TooManyNodes { requested: 1 << 40 };
+        assert!(e.to_string().contains("MSB is reserved"));
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 4,
+        };
+        assert!(e.to_string().contains("out of range"));
+        let e = GraphError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_round_trips_through_source() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = GraphError::from(inner);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

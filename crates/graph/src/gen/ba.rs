@@ -1,0 +1,86 @@
+//! Barabási–Albert preferential-attachment generator.
+//!
+//! Produces power-law in-degree graphs resembling follower networks
+//! (gplus/twitter in the paper). Attachment is implemented with the
+//! classic repeated-endpoint trick: sampling a uniformly random endpoint
+//! of an existing edge is equivalent to degree-proportional sampling.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, NodeId};
+use crate::error::GraphError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a directed preferential-attachment graph.
+///
+/// Each new node emits `out_per_node` edges; each edge points to an
+/// existing node chosen with probability proportional to its current
+/// in-degree (plus one smoothing unit so early nodes remain reachable).
+///
+/// # Examples
+///
+/// ```
+/// use pcpm_graph::gen::preferential_attachment;
+///
+/// let g = preferential_attachment(500, 4, 7).unwrap();
+/// assert_eq!(g.num_nodes(), 500);
+/// ```
+pub fn preferential_attachment(
+    num_nodes: u32,
+    out_per_node: u32,
+    seed: u64,
+) -> Result<Csr, GraphError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = u64::from(num_nodes) * u64::from(out_per_node);
+    let mut b = GraphBuilder::with_capacity(num_nodes, m as usize)?;
+    // `endpoints` holds one entry per unit of attachment mass: each node
+    // contributes one smoothing entry on arrival plus one entry per
+    // received edge.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity((2 * m) as usize);
+    for v in 0..num_nodes {
+        endpoints.push(v);
+        if v == 0 {
+            continue;
+        }
+        for _ in 0..out_per_node {
+            let t = endpoints[rng.gen_range(0..endpoints.len() - 1)];
+            b.add_edge(v, t);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            preferential_attachment(200, 3, 1).unwrap(),
+            preferential_attachment(200, 3, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn in_degree_is_heavy_tailed() {
+        let g = preferential_attachment(2000, 8, 3).unwrap();
+        let mut indeg = g.in_degrees();
+        indeg.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u64 = indeg[..20].iter().map(|&d| u64::from(d)).sum();
+        let total: u64 = indeg.iter().map(|&d| u64::from(d)).sum();
+        // The 1% highest in-degree nodes should capture a disproportionate
+        // share (>5%) of all edges.
+        assert!(
+            top * 20 > total,
+            "top share {top} of {total} not heavy-tailed"
+        );
+    }
+
+    #[test]
+    fn node_zero_has_no_out_edges() {
+        let g = preferential_attachment(50, 2, 9).unwrap();
+        assert_eq!(g.out_degree(0), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Laptop-scale stand-ins for the paper's six datasets.
+//!
+//! Table 4 of the paper lists six graphs between 0.46 and 1.9 billion
+//! edges. Rebuilding them verbatim is out of scope for a single-machine
+//! reproduction, so each gets a seeded synthetic stand-in that preserves
+//! the properties PCPM is sensitive to:
+//!
+//! | dataset | paper (n, m, deg)            | stand-in                                  |
+//! |---------|------------------------------|-------------------------------------------|
+//! | gplus   | 28.94 M, 463.0 M, 16.0       | R-MAT (social skew), deg 16               |
+//! | pld     | 42.89 M, 623.1 M, 14.5       | R-MAT (milder skew), deg 15               |
+//! | web     | 118.1 M, 992.8 M, 8.4        | community-block crawl, deg 8, high r      |
+//! | kron    | 33.5 M, 1047.9 M, 31.3       | Graph500 R-MAT, deg 31                    |
+//! | twitter | 61.58 M, 1468.4 M, 23.8      | R-MAT (social skew), deg 24               |
+//! | sd1     | 94.95 M, 1937.5 M, 20.4      | R-MAT (milder skew), one scale larger     |
+//!
+//! The relative ordering of node counts is kept (web and sd1 are the
+//! largest, kron is densest, web is sparsest and most local), which is what
+//! the cross-dataset comparisons in Figs. 7–10 exercise.
+
+use crate::csr::Csr;
+use crate::error::GraphError;
+use crate::gen::rmat::{rmat, RmatConfig};
+use crate::gen::web::{web_crawl, WebConfig};
+
+/// The six evaluation datasets of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Google Plus follower graph.
+    Gplus,
+    /// Pay-Level-Domain hyperlink graph.
+    Pld,
+    /// Webbase-2001 crawl (high-locality labeling).
+    Web,
+    /// Graph500 scale-25 Kronecker graph.
+    Kron,
+    /// Twitter follower graph.
+    Twitter,
+    /// Subdomain hyperlink graph.
+    Sd1,
+}
+
+impl Dataset {
+    /// All six datasets in the paper's presentation order.
+    pub const ALL: [Dataset; 6] = [
+        Dataset::Gplus,
+        Dataset::Pld,
+        Dataset::Web,
+        Dataset::Kron,
+        Dataset::Twitter,
+        Dataset::Sd1,
+    ];
+
+    /// Lower-case name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Gplus => "gplus",
+            Dataset::Pld => "pld",
+            Dataset::Web => "web",
+            Dataset::Kron => "kron",
+            Dataset::Twitter => "twitter",
+            Dataset::Sd1 => "sd1",
+        }
+    }
+
+    /// Table 4 row for the original dataset: (nodes, edges, avg degree).
+    pub fn paper_stats(self) -> (f64, f64, f64) {
+        match self {
+            Dataset::Gplus => (28.94e6, 462.99e6, 16.0),
+            Dataset::Pld => (42.89e6, 623.06e6, 14.53),
+            Dataset::Web => (118.14e6, 992.84e6, 8.4),
+            Dataset::Kron => (33.5e6, 1047.93e6, 31.28),
+            Dataset::Twitter => (61.58e6, 1468.36e6, 23.84),
+            Dataset::Sd1 => (94.95e6, 1937.49e6, 20.4),
+        }
+    }
+
+    /// Stand-in generation spec at the default reproduction scale.
+    pub fn spec(self) -> DatasetSpec {
+        self.spec_at(DEFAULT_SCALE)
+    }
+
+    /// Stand-in generation spec with nodes scaled to roughly `2^scale`.
+    ///
+    /// `web` and `sd1` are one scale larger than the rest, mirroring their
+    /// larger node counts in Table 4; `kron` keeps the Graph500 skew.
+    pub fn spec_at(self, scale: u32) -> DatasetSpec {
+        match self {
+            Dataset::Gplus => DatasetSpec::Rmat(RmatConfig {
+                scale,
+                edge_factor: 16,
+                a: 0.57,
+                b: 0.19,
+                c: 0.19,
+                noise: 0.1,
+                seed: 0xE115,
+            }),
+            Dataset::Pld => DatasetSpec::Rmat(RmatConfig {
+                scale,
+                edge_factor: 15,
+                a: 0.50,
+                b: 0.22,
+                c: 0.22,
+                noise: 0.1,
+                seed: 0x91D,
+            }),
+            Dataset::Web => DatasetSpec::Web(WebConfig {
+                num_nodes: 1 << (scale + 1),
+                avg_degree: 8,
+                site_size: 64,
+                intra_site: 0.82,
+                hub_fraction: 0.04,
+                num_hubs: 256,
+                max_hop_exp: 4,
+                seed: 0x3EB,
+            }),
+            Dataset::Kron => DatasetSpec::Rmat(RmatConfig::graph500(scale, 31, 0x1409)),
+            Dataset::Twitter => DatasetSpec::Rmat(RmatConfig {
+                scale,
+                edge_factor: 24,
+                a: 0.57,
+                b: 0.19,
+                c: 0.19,
+                noise: 0.1,
+                seed: 0x7717,
+            }),
+            Dataset::Sd1 => DatasetSpec::Rmat(RmatConfig {
+                scale: scale + 1,
+                edge_factor: 20,
+                a: 0.52,
+                b: 0.21,
+                c: 0.21,
+                noise: 0.1,
+                seed: 0x5D1,
+            }),
+        }
+    }
+}
+
+/// Default log2 node count for the stand-ins (2^17 = 131 K nodes for most
+/// datasets, 2^18 for `web`/`sd1`). Chosen so the full six-dataset sweep
+/// of every figure finishes in minutes on a laptop.
+pub const DEFAULT_SCALE: u32 = 17;
+
+/// How a stand-in is generated.
+#[derive(Clone, Copy, Debug)]
+pub enum DatasetSpec {
+    /// R-MAT sampler with explicit quadrant probabilities.
+    Rmat(RmatConfig),
+    /// Community-block web crawl.
+    Web(WebConfig),
+}
+
+impl DatasetSpec {
+    /// Generates the stand-in graph.
+    pub fn generate(&self) -> Result<Csr, GraphError> {
+        match self {
+            DatasetSpec::Rmat(cfg) => rmat(cfg),
+            DatasetSpec::Web(cfg) => web_crawl(cfg),
+        }
+    }
+}
+
+/// Generates the default stand-in for `dataset`.
+///
+/// # Examples
+///
+/// ```no_run
+/// use pcpm_graph::gen::{standin, Dataset};
+///
+/// let g = standin(Dataset::Kron).unwrap();
+/// assert!(g.avg_degree() > 20.0);
+/// ```
+pub fn standin(dataset: Dataset) -> Result<Csr, GraphError> {
+    dataset.spec().generate()
+}
+
+/// Generates a reduced-scale stand-in, for tests and quick runs.
+pub fn standin_at(dataset: Dataset, scale: u32) -> Result<Csr, GraphError> {
+    dataset.spec_at(scale).generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_generate_at_small_scale() {
+        for d in Dataset::ALL {
+            let g = standin_at(d, 10).unwrap();
+            assert!(g.num_nodes() >= 1 << 10, "{}", d.name());
+            assert!(g.num_edges() > 0, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn kron_is_densest_web_is_sparsest() {
+        let degs: Vec<(Dataset, f64)> = Dataset::ALL
+            .iter()
+            .map(|&d| (d, standin_at(d, 10).unwrap().avg_degree()))
+            .collect();
+        let kron = degs.iter().find(|(d, _)| *d == Dataset::Kron).unwrap().1;
+        let web = degs.iter().find(|(d, _)| *d == Dataset::Web).unwrap().1;
+        for &(d, deg) in &degs {
+            if d != Dataset::Kron {
+                assert!(kron >= deg, "kron {kron} < {} {deg}", d.name());
+            }
+            if d != Dataset::Web {
+                assert!(web <= deg, "web {web} > {} {deg}", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<_> = Dataset::ALL.iter().map(|d| d.name()).collect();
+        assert_eq!(names, vec!["gplus", "pld", "web", "kron", "twitter", "sd1"]);
+    }
+
+    #[test]
+    fn paper_stats_are_consistent() {
+        for d in Dataset::ALL {
+            let (n, m, deg) = d.paper_stats();
+            assert!(
+                (m / n - deg).abs() / deg < 0.05,
+                "{}: {} vs {}",
+                d.name(),
+                m / n,
+                deg
+            );
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Erdős–Rényi `G(n, m)` generator.
+//!
+//! Uniform random graphs have no degree skew and no labeling locality, so
+//! they are the adversarial case for PCPM's compression (r stays close to
+//! its minimum). They are used in tests and the ablation benches.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, NodeId};
+use crate::error::GraphError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a directed `G(n, m)` graph with `num_edges` sampled uniformly
+/// (before dedup / self-loop removal).
+///
+/// # Examples
+///
+/// ```
+/// use pcpm_graph::gen::erdos_renyi;
+///
+/// let g = erdos_renyi(1000, 8000, 1).unwrap();
+/// assert_eq!(g.num_nodes(), 1000);
+/// ```
+pub fn erdos_renyi(num_nodes: u32, num_edges: u64, seed: u64) -> Result<Csr, GraphError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(num_nodes, num_edges as usize)?;
+    if num_nodes > 1 {
+        for _ in 0..num_edges {
+            let s: NodeId = rng.gen_range(0..num_nodes);
+            let t: NodeId = rng.gen_range(0..num_nodes);
+            b.add_edge(s, t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            erdos_renyi(100, 500, 9).unwrap(),
+            erdos_renyi(100, 500, 9).unwrap()
+        );
+    }
+
+    #[test]
+    fn single_node_graph_has_no_edges() {
+        let g = erdos_renyi(1, 100, 0).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn degrees_are_roughly_uniform() {
+        let g = erdos_renyi(1 << 10, 1 << 14, 5).unwrap();
+        let max = g.out_degrees().into_iter().max().unwrap();
+        // Expected degree 16; a uniform graph should not have 10x outliers.
+        assert!(max < 60, "max degree {max} too skewed for ER");
+    }
+}

@@ -1,0 +1,20 @@
+//! Seeded synthetic graph generators.
+//!
+//! The paper evaluates on six public graphs between 0.46 and 1.9 billion
+//! edges (Table 4). At laptop scale we regenerate the *shape* of each with
+//! a seeded generator (see [`datasets`]): R-MAT/Kronecker skew for the
+//! social and synthetic graphs, and a community-block crawl for the
+//! high-locality `web` graph. All generators are deterministic for a fixed
+//! seed, so every experiment in the harness is reproducible bit-for-bit.
+
+pub mod ba;
+pub mod datasets;
+pub mod er;
+pub mod rmat;
+pub mod web;
+
+pub use ba::preferential_attachment;
+pub use datasets::{standin, Dataset, DatasetSpec};
+pub use er::erdos_renyi;
+pub use rmat::{rmat, RmatConfig};
+pub use web::{web_crawl, WebConfig};

@@ -1,0 +1,192 @@
+//! Community-block web-crawl generator.
+//!
+//! The `web` (Webbase-2001) dataset in the paper is the outlier: it is very
+//! sparse (average degree 8.4) but its node labeling has extremely high
+//! locality — the paper reports a compression ratio `r = 8.4` under the
+//! *original* labeling, i.e. nearly every vertex's out-neighbors fall in a
+//! single partition. That locality is what lets the pull baseline win and
+//! what makes GOrder useless on it (Table 6).
+//!
+//! This generator reproduces that structure directly: nodes are grouped
+//! into contiguously-labeled "sites"; most edges stay within the site or
+//! point to nearby sites (geometric distance decay), and a small fraction
+//! point to global hub pages, mimicking cross-site links to popular
+//! portals.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, NodeId};
+use crate::error::GraphError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Parameters for the web-crawl generator.
+#[derive(Clone, Copy, Debug)]
+pub struct WebConfig {
+    /// Total number of pages.
+    pub num_nodes: u32,
+    /// Average out-degree.
+    pub avg_degree: u32,
+    /// Pages per site (contiguous ID block). Smaller sites → higher
+    /// labeling locality.
+    pub site_size: u32,
+    /// Fraction of edges that stay inside the source's own site.
+    pub intra_site: f64,
+    /// Fraction of edges that point to one of the global hub pages
+    /// (the rest go to geometrically-nearby sites).
+    pub hub_fraction: f64,
+    /// Number of global hub pages (the first IDs in the graph).
+    pub num_hubs: u32,
+    /// Cross-site links jump `2^U(0, max_hop_exp)` sites; smaller keeps
+    /// links shorter and the compression ratio closer to the Webbase
+    /// optimum.
+    pub max_hop_exp: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WebConfig {
+    fn default() -> Self {
+        Self {
+            num_nodes: 1 << 18,
+            avg_degree: 8,
+            site_size: 64,
+            intra_site: 0.8,
+            hub_fraction: 0.05,
+            num_hubs: 256,
+            max_hop_exp: 5,
+            seed: 2001,
+        }
+    }
+}
+
+/// Generates a high-locality web-crawl graph.
+///
+/// # Examples
+///
+/// ```
+/// use pcpm_graph::gen::{web_crawl, WebConfig};
+///
+/// let g = web_crawl(&WebConfig { num_nodes: 4096, ..WebConfig::default() }).unwrap();
+/// assert_eq!(g.num_nodes(), 4096);
+/// ```
+pub fn web_crawl(cfg: &WebConfig) -> Result<Csr, GraphError> {
+    if u64::from(cfg.num_nodes) > crate::MAX_NODES {
+        return Err(GraphError::TooManyNodes {
+            requested: u64::from(cfg.num_nodes),
+        });
+    }
+    let n = cfg.num_nodes;
+    let site = cfg.site_size.max(2);
+    let hubs = cfg.num_hubs.min(n);
+    let chunks: u32 = 64;
+    let per_chunk = n / chunks + 1;
+    let edge_chunks: Vec<Vec<(NodeId, NodeId)>> = (0..chunks)
+        .into_par_iter()
+        .map(|chunk| {
+            let mut rng = StdRng::seed_from_u64(
+                cfg.seed ^ (0xd134_2543_de82_ef95u64).wrapping_mul(u64::from(chunk) + 1),
+            );
+            let lo = chunk * per_chunk;
+            let hi = ((chunk + 1) * per_chunk).min(n);
+            let mut edges = Vec::new();
+            for v in lo..hi {
+                let site_base = (v / site) * site;
+                for _ in 0..cfg.avg_degree {
+                    let roll = rng.gen::<f64>();
+                    let t = if roll < cfg.intra_site {
+                        // Link within the page's own site.
+                        site_base + rng.gen_range(0..site.min(n - site_base))
+                    } else if roll < cfg.intra_site + cfg.hub_fraction && hubs > 0 {
+                        // Link to a global hub portal.
+                        rng.gen_range(0..hubs)
+                    } else {
+                        // Link to a geometrically-nearby site: distance
+                        // decays as 2^k sites away with probability 2^-k.
+                        let hop_sites = 1u32 << rng.gen_range(0..=cfg.max_hop_exp);
+                        let dir: bool = rng.gen();
+                        let delta = hop_sites * site;
+                        let base = if dir {
+                            site_base.saturating_add(delta) % n
+                        } else {
+                            site_base.wrapping_sub(delta).min(n - 1) % n
+                        };
+                        let sb = (base / site) * site;
+                        sb + rng.gen_range(0..site.min(n - sb))
+                    };
+                    edges.push((v, t));
+                }
+            }
+            edges
+        })
+        .collect();
+    let mut b = GraphBuilder::with_capacity(n, (n as usize) * cfg.avg_degree as usize)?;
+    for chunk in edge_chunks {
+        b.extend(chunk);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WebConfig {
+        WebConfig {
+            num_nodes: 1 << 12,
+            ..WebConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(web_crawl(&small()).unwrap(), web_crawl(&small()).unwrap());
+    }
+
+    #[test]
+    fn most_edges_are_local() {
+        let cfg = small();
+        let g = web_crawl(&cfg).unwrap();
+        let window = u64::from(cfg.site_size) * 4;
+        let local = g
+            .edges()
+            .filter(|&(s, t)| {
+                let d = i64::from(s) - i64::from(t);
+                d.unsigned_abs() <= window
+            })
+            .count() as u64;
+        // With 80% intra-site edges, well over half of all edges must land
+        // within a few sites of the source even after dedup.
+        assert!(
+            local * 2 > g.num_edges(),
+            "only {local}/{} edges local",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn hubs_receive_many_links() {
+        let cfg = small();
+        let g = web_crawl(&cfg).unwrap();
+        let indeg = g.in_degrees();
+        let hub_avg: f64 = indeg[..cfg.num_hubs as usize]
+            .iter()
+            .map(|&d| f64::from(d))
+            .sum::<f64>()
+            / f64::from(cfg.num_hubs);
+        let all_avg: f64 = indeg.iter().map(|&d| f64::from(d)).sum::<f64>() / indeg.len() as f64;
+        // At this tiny test scale hubs are 6% of all nodes, so the contrast
+        // is milder than at reproduction scale; 1.5x is still a clear signal.
+        assert!(
+            hub_avg > 1.5 * all_avg,
+            "hubs not hot: {hub_avg:.1} vs {all_avg:.1}"
+        );
+    }
+
+    #[test]
+    fn respects_node_count_and_sparsity() {
+        let g = web_crawl(&small()).unwrap();
+        assert_eq!(g.num_nodes(), 1 << 12);
+        assert!(g.avg_degree() > 4.0 && g.avg_degree() <= 8.0);
+    }
+}

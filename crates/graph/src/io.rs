@@ -1,0 +1,213 @@
+//! Graph serialization: text edge lists and a compact binary format.
+//!
+//! The text format is the de-facto standard `src dst` whitespace-separated
+//! edge list with `#` comments (SNAP-compatible). The binary format is a
+//! little-endian dump of the CSR arrays with a magic header, suitable for
+//! caching generated stand-ins between harness runs.
+
+use crate::csr::{Csr, NodeId};
+use crate::error::GraphError;
+use crate::GraphBuilder;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying the binary CSR format ("PCPMGRPH", version 1).
+const MAGIC: &[u8; 8] = b"PCPMGR01";
+
+/// Parses a whitespace-separated edge list from a reader.
+///
+/// Lines starting with `#` or `%` are comments. Node IDs may be sparse;
+/// the graph size is `max_id + 1` unless `num_nodes` is given.
+pub fn read_edge_list<R: Read>(reader: R, num_nodes: Option<u32>) -> Result<Csr, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut max_id: u32 = 0;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>, idx: usize| -> Result<u32, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: idx + 1,
+                message: "expected two node IDs".into(),
+            })?
+            .parse::<u32>()
+            .map_err(|e| GraphError::Parse {
+                line: idx + 1,
+                message: e.to_string(),
+            })
+        };
+        let s = parse(it.next(), idx)?;
+        let t = parse(it.next(), idx)?;
+        max_id = max_id.max(s).max(t);
+        edges.push((s, t));
+    }
+    let n = match num_nodes {
+        Some(n) => n,
+        None if edges.is_empty() => 0,
+        None => max_id + 1,
+    };
+    let mut b = GraphBuilder::with_capacity(n, edges.len())?;
+    b.extend(edges);
+    b.build()
+}
+
+/// Writes a graph as a `src dst` text edge list.
+pub fn write_edge_list<W: Write>(graph: &Csr, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# nodes: {} edges: {}",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
+    for (s, t) in graph.edges() {
+        writeln!(w, "{s} {t}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Serializes the CSR into the binary format.
+pub fn to_bytes(graph: &Csr) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        MAGIC.len() + 12 + graph.offsets().len() * 8 + graph.targets().len() * 4,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(graph.num_nodes());
+    buf.put_u64_le(graph.num_edges());
+    for &o in graph.offsets() {
+        buf.put_u64_le(o);
+    }
+    for &t in graph.targets() {
+        buf.put_u32_le(t);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a CSR from the binary format, revalidating all invariants.
+pub fn from_bytes(mut data: &[u8]) -> Result<Csr, GraphError> {
+    if data.len() < MAGIC.len() + 12 {
+        return Err(GraphError::CorruptBinary("truncated header"));
+    }
+    if &data[..MAGIC.len()] != MAGIC {
+        return Err(GraphError::CorruptBinary("bad magic"));
+    }
+    data.advance(MAGIC.len());
+    let n = data.get_u32_le();
+    let m = data.get_u64_le();
+    let need = (n as usize + 1)
+        .checked_mul(8)
+        .and_then(|x| x.checked_add((m as usize).checked_mul(4)?))
+        .ok_or(GraphError::CorruptBinary("size overflow"))?;
+    if data.remaining() != need {
+        return Err(GraphError::CorruptBinary("payload size mismatch"));
+    }
+    let mut offsets = Vec::with_capacity(n as usize + 1);
+    for _ in 0..=n {
+        offsets.push(data.get_u64_le());
+    }
+    let mut targets = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        targets.push(data.get_u32_le());
+    }
+    Csr::from_parts(n, offsets, targets)
+}
+
+/// Writes the binary format to a file path.
+pub fn save_binary<P: AsRef<Path>>(graph: &Csr, path: P) -> Result<(), GraphError> {
+    std::fs::write(path, to_bytes(graph))?;
+    Ok(())
+}
+
+/// Reads the binary format from a file path.
+pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<Csr, GraphError> {
+    let data = std::fs::read(path)?;
+    from_bytes(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        Csr::from_edges(5, &[(0, 1), (0, 4), (2, 3), (4, 0)]).unwrap()
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], Some(5)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn text_infers_node_count() {
+        let input = b"# comment\n0 1\n3 2\n";
+        let g = read_edge_list(&input[..], None).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        let input = b"0 x\n";
+        assert!(matches!(
+            read_edge_list(&input[..], None),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        let input = b"0\n";
+        assert!(read_edge_list(&input[..], None).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let input = b"% matrix-market style\n\n# snap style\n1 0\n";
+        let g = read_edge_list(&input[..], None).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = sample();
+        let bytes = to_bytes(&g);
+        let g2 = from_bytes(&bytes).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = sample();
+        let bytes = to_bytes(&g);
+        assert!(from_bytes(&bytes[..4]).is_err());
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(from_bytes(&bad).is_err());
+        let mut truncated = bytes.to_vec();
+        truncated.pop();
+        assert!(from_bytes(&truncated).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("pcpm_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        let g = sample();
+        save_binary(&g, &path).unwrap();
+        assert_eq!(load_binary(&path).unwrap(), g);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Csr::from_edges(0, &[]).unwrap();
+        assert_eq!(from_bytes(&to_bytes(&g)).unwrap(), g);
+    }
+}

@@ -1,0 +1,45 @@
+//! Graph substrate for the PCPM PageRank reproduction.
+//!
+//! This crate provides everything the partition-centric engine and the
+//! baselines need from a graph library:
+//!
+//! - compressed sparse representations ([`Csr`], [`Coo`]) with sorted
+//!   adjacency lists and cheap transposition,
+//! - a deduplicating [`builder::GraphBuilder`],
+//! - seeded synthetic generators ([`gen`]) including R-MAT/Kronecker and a
+//!   locality-preserving web-crawl generator, plus laptop-scale stand-ins for
+//!   the six datasets of the paper ([`gen::datasets`]),
+//! - node-ordering algorithms ([`order`]) including a greedy GOrder
+//!   implementation used by the locality experiments (Tables 6 and 7),
+//! - plain-text and binary I/O ([`io`]),
+//! - degree/locality statistics ([`stats`]).
+//!
+//! The crate is deliberately free of any PCPM-specific concepts; partitions
+//! and the PNG layout live in `pcpm-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod coo;
+pub mod csr;
+pub mod error;
+pub mod gen;
+pub mod io;
+pub mod mm;
+pub mod order;
+pub mod stats;
+pub mod weights;
+
+pub use builder::GraphBuilder;
+pub use coo::Coo;
+pub use csr::{Csr, NodeId};
+pub use error::GraphError;
+pub use weights::EdgeWeights;
+
+/// Maximum number of nodes supported by the PCPM engine.
+///
+/// PCPM reserves the most significant bit of a 32-bit node ID to demarcate
+/// message boundaries in destination-ID bins (paper §3.2), so graphs are
+/// limited to `2^31` nodes rather than `2^32`.
+pub const MAX_NODES: u64 = 1 << 31;

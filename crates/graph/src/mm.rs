@@ -1,0 +1,262 @@
+//! Matrix Market (`.mtx`) reader.
+//!
+//! Supports the `matrix coordinate` format in `pattern`, `real` and
+//! `integer` fields with `general` or `symmetric` symmetry — the encoding
+//! used by the SuiteSparse collection, which is where SpMV papers
+//! (including the cache-blocking work this paper compares against) source
+//! their matrices. An entry `(i, j)` becomes the directed edge `i → j`;
+//! symmetric files also add the mirror edge. Duplicate coordinates are
+//! summed, matching SpMV semantics.
+
+use crate::csr::{Csr, NodeId};
+use crate::error::GraphError;
+use crate::weights::EdgeWeights;
+use std::io::{BufRead, BufReader, Read};
+
+/// Parses a Matrix Market coordinate file into a square graph and, when
+/// the field is numeric, its edge weights (aligned with the CSR edge
+/// order).
+///
+/// # Examples
+///
+/// ```
+/// use pcpm_graph::mm::read_matrix_market;
+///
+/// let input = "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 0.5\n3 1 2.0\n";
+/// let (g, w) = read_matrix_market(input.as_bytes()).unwrap();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.neighbors(0), &[1]);
+/// assert_eq!(w.unwrap().row(&g, 0), &[0.5]);
+/// ```
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<(Csr, Option<EdgeWeights>), GraphError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty file"))?
+        .1
+        .map_err(GraphError::from)?;
+    let header_lc = header.to_ascii_lowercase();
+    let tokens: Vec<&str> = header_lc.split_whitespace().collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(parse_err(1, "expected '%%MatrixMarket matrix ...' header"));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(parse_err(1, "only the coordinate format is supported"));
+    }
+    let has_values = match tokens[3] {
+        "pattern" => false,
+        "real" | "integer" | "double" => true,
+        other => return Err(parse_err(1, &format!("unsupported field '{other}'"))),
+    };
+    let symmetric = match tokens[4] {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(parse_err(1, &format!("unsupported symmetry '{other}'"))),
+    };
+
+    // Size line (first non-comment line).
+    let mut size_line = None;
+    for (idx, line) in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some((idx, t.to_string()));
+        break;
+    }
+    let (size_idx, size) = size_line.ok_or_else(|| parse_err(1, "missing size line"))?;
+    let dims: Vec<u64> = size
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<u64>()
+                .map_err(|e| parse_err(size_idx + 1, &e.to_string()))
+        })
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err(size_idx + 1, "size line must be 'rows cols nnz'"));
+    }
+    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+    if rows != cols {
+        return Err(parse_err(
+            size_idx + 1,
+            "graph import requires a square matrix",
+        ));
+    }
+    if rows > crate::MAX_NODES {
+        return Err(GraphError::TooManyNodes { requested: rows });
+    }
+    let n = rows as u32;
+
+    // Entries. The header's nnz is untrusted input: cap the up-front
+    // reservation so a hostile size line cannot force a huge allocation.
+    let mut triplets: Vec<(NodeId, NodeId, f32)> =
+        Vec::with_capacity(nnz.min(1 << 20) as usize);
+    let mut seen = 0u64;
+    for (idx, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: u64 = next_num(&mut it, idx)?;
+        let j: u64 = next_num(&mut it, idx)?;
+        let w: f32 = if has_values {
+            it.next()
+                .ok_or_else(|| parse_err(idx + 1, "missing value"))?
+                .parse()
+                .map_err(|e: std::num::ParseFloatError| parse_err(idx + 1, &e.to_string()))?
+        } else {
+            1.0
+        };
+        if i == 0 || j == 0 || i > rows || j > cols {
+            return Err(GraphError::NodeOutOfRange {
+                node: i.max(j),
+                num_nodes: rows,
+            });
+        }
+        let (s, d) = ((i - 1) as NodeId, (j - 1) as NodeId);
+        triplets.push((s, d, w));
+        if symmetric && s != d {
+            triplets.push((d, s, w));
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(
+            0,
+            &format!("expected {nnz} entries, found {seen}"),
+        ));
+    }
+
+    // Sort, sum duplicates, build CSR + aligned weights.
+    triplets.sort_unstable_by_key(|&(s, d, _)| (s, d));
+    let mut merged: Vec<(NodeId, NodeId, f32)> = Vec::with_capacity(triplets.len());
+    for (s, d, w) in triplets {
+        match merged.last_mut() {
+            Some((ls, ld, lw)) if *ls == s && *ld == d => *lw += w,
+            _ => merged.push((s, d, w)),
+        }
+    }
+    let mut offsets = vec![0u64; n as usize + 1];
+    for &(s, _, _) in &merged {
+        offsets[s as usize + 1] += 1;
+    }
+    for v in 0..n as usize {
+        offsets[v + 1] += offsets[v];
+    }
+    let targets: Vec<NodeId> = merged.iter().map(|&(_, d, _)| d).collect();
+    let graph = Csr::from_parts(n, offsets, targets)?;
+    let weights = if has_values {
+        Some(EdgeWeights::new(
+            &graph,
+            merged.iter().map(|&(_, _, w)| w).collect(),
+        )?)
+    } else {
+        None
+    };
+    Ok((graph, weights))
+}
+
+fn parse_err(line: usize, message: &str) -> GraphError {
+    GraphError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+fn next_num<'a>(it: &mut impl Iterator<Item = &'a str>, idx: usize) -> Result<u64, GraphError> {
+    it.next()
+        .ok_or_else(|| parse_err(idx + 1, "missing coordinate"))?
+        .parse()
+        .map_err(|e: std::num::ParseIntError| parse_err(idx + 1, &e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_general() {
+        let input = "%%MatrixMarket matrix coordinate pattern general\n% c\n4 4 3\n1 2\n2 3\n4 1\n";
+        let (g, w) = read_matrix_market(input.as_bytes()).unwrap();
+        assert!(w.is_none());
+        assert_eq!(g.num_nodes(), 4);
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (3, 0)]);
+    }
+
+    #[test]
+    fn symmetric_adds_mirror_edges() {
+        let input = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n";
+        let (g, _) = read_matrix_market(input.as_bytes()).unwrap();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        // (2,1) mirrors to (1,2); the diagonal (3,3) does not duplicate.
+        assert_eq!(edges, vec![(0, 1), (1, 0), (2, 2)]);
+    }
+
+    #[test]
+    fn real_values_align_with_csr_order() {
+        let input =
+            "%%MatrixMarket matrix coordinate real general\n3 3 3\n1 3 30.0\n1 2 20.0\n2 1 10.0\n";
+        let (g, w) = read_matrix_market(input.as_bytes()).unwrap();
+        let w = w.unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(w.row(&g, 0), &[20.0, 30.0]);
+        assert_eq!(w.row(&g, 1), &[10.0]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let input = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.5\n1 2 2.5\n";
+        let (g, w) = read_matrix_market(input.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(w.unwrap().row(&g, 0), &[4.0]);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(read_matrix_market(&b""[..]).is_err());
+        assert!(read_matrix_market(&b"%%MatrixMarket matrix array real general\n"[..]).is_err());
+        assert!(
+            read_matrix_market(
+                &b"%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1.0\n"[..]
+            )
+            .is_err(),
+            "non-square must be rejected"
+        );
+        assert!(
+            read_matrix_market(
+                &b"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"[..]
+            )
+            .is_err(),
+            "nnz mismatch must be rejected"
+        );
+        assert!(
+            read_matrix_market(
+                &b"%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n"[..]
+            )
+            .is_err(),
+            "0-based coordinates must be rejected"
+        );
+        assert!(
+            read_matrix_market(
+                &b"%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n"[..]
+            )
+            .is_err(),
+            "out-of-range coordinates must be rejected"
+        );
+    }
+
+    #[test]
+    fn one_based_bounds_are_inclusive() {
+        let input = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n2 2\n";
+        let (g, _) = read_matrix_market(input.as_bytes()).unwrap();
+        assert_eq!(g.neighbors(1), &[1]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Applying and validating node permutations.
+
+use crate::csr::{Csr, NodeId};
+use crate::error::GraphError;
+
+/// Checks that `perm` is a bijection on `[0, num_nodes)`.
+pub fn validate_permutation(num_nodes: u32, perm: &[u32]) -> Result<(), GraphError> {
+    if perm.len() != num_nodes as usize {
+        return Err(GraphError::InvalidPermutation("length mismatch"));
+    }
+    let mut seen = vec![false; num_nodes as usize];
+    for &p in perm {
+        if p >= num_nodes {
+            return Err(GraphError::InvalidPermutation("image out of range"));
+        }
+        if seen[p as usize] {
+            return Err(GraphError::InvalidPermutation("duplicate image"));
+        }
+        seen[p as usize] = true;
+    }
+    Ok(())
+}
+
+/// Computes the inverse permutation (`inv[new] = old`).
+///
+/// # Panics
+///
+/// Panics if `perm` is not a valid permutation (validate first).
+pub fn inverse_permutation(perm: &[u32]) -> Vec<u32> {
+    let mut inv = vec![0u32; perm.len()];
+    for (old, &new) in perm.iter().enumerate() {
+        inv[new as usize] = old as u32;
+    }
+    inv
+}
+
+/// Relabels every node of `graph` through `perm` (`perm[old] = new`).
+///
+/// The result is a structurally identical graph whose node `perm[v]` has
+/// the (relabeled) neighbors of old node `v`.
+pub fn apply_permutation(graph: &Csr, perm: &[u32]) -> Result<Csr, GraphError> {
+    validate_permutation(graph.num_nodes(), perm)?;
+    let n = graph.num_nodes() as usize;
+    let inv = inverse_permutation(perm);
+    let mut offsets = vec![0u64; n + 1];
+    for new in 0..n {
+        let old = inv[new];
+        offsets[new + 1] = offsets[new] + u64::from(graph.out_degree(old));
+    }
+    let mut targets = vec![0 as NodeId; graph.num_edges() as usize];
+    for new in 0..n {
+        let old = inv[new];
+        let row = &mut targets[offsets[new] as usize..offsets[new + 1] as usize];
+        for (slot, &t) in row.iter_mut().zip(graph.neighbors(old)) {
+            *slot = perm[t as usize];
+        }
+        row.sort_unstable();
+    }
+    Csr::from_parts(graph.num_nodes(), offsets, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path() -> Csr {
+        Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let g = path();
+        let id: Vec<u32> = (0..4).collect();
+        assert_eq!(apply_permutation(&g, &id).unwrap(), g);
+    }
+
+    #[test]
+    fn reversal_relabels_edges() {
+        let g = path();
+        let rev = vec![3, 2, 1, 0];
+        let r = apply_permutation(&g, &rev).unwrap();
+        // old edge (0,1) -> new edge (3,2), etc.
+        let mut edges: Vec<_> = r.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(1, 0), (2, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_perms() {
+        assert!(validate_permutation(3, &[0, 1]).is_err());
+        assert!(validate_permutation(3, &[0, 1, 3]).is_err());
+        assert!(validate_permutation(3, &[0, 1, 1]).is_err());
+        assert!(validate_permutation(3, &[2, 0, 1]).is_ok());
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let perm = vec![2u32, 0, 3, 1];
+        let inv = inverse_permutation(&perm);
+        for old in 0..4usize {
+            assert_eq!(inv[perm[old] as usize] as usize, old);
+        }
+    }
+
+    #[test]
+    fn apply_then_inverse_restores_graph() {
+        let g = path();
+        let perm = vec![2u32, 0, 3, 1];
+        let forward = apply_permutation(&g, &perm).unwrap();
+        let back = apply_permutation(&forward, &inverse_permutation(&perm)).unwrap();
+        assert_eq!(back, g);
+    }
+}

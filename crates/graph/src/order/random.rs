@@ -1,0 +1,40 @@
+//! Random node ordering (locality-destroying control).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A uniformly random permutation of `[0, num_nodes)`, seeded.
+///
+/// Used as the adversarial control in locality experiments: applying it to
+/// a high-locality graph drives the PCPM compression ratio toward its
+/// minimum and the pull baseline's cache miss ratio toward its maximum.
+pub fn random_order(num_nodes: u32, seed: u64) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..num_nodes).collect();
+    perm.shuffle(&mut StdRng::seed_from_u64(seed));
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::permute::validate_permutation;
+
+    #[test]
+    fn valid_and_deterministic() {
+        let p1 = random_order(100, 7);
+        let p2 = random_order(100, 7);
+        assert_eq!(p1, p2);
+        validate_permutation(100, &p1).unwrap();
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(random_order(100, 1), random_order(100, 2));
+    }
+
+    #[test]
+    fn zero_nodes() {
+        assert!(random_order(0, 1).is_empty());
+    }
+}

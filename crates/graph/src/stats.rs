@@ -1,0 +1,113 @@
+//! Graph statistics used by the harness and the analytical models.
+
+use crate::csr::Csr;
+
+/// Summary statistics for a graph, as printed in Table 4 style rows.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub num_nodes: u32,
+    /// Number of edges.
+    pub num_edges: u64,
+    /// Average out-degree.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: u32,
+    /// Maximum in-degree.
+    pub max_in_degree: u32,
+    /// Number of dangling (out-degree 0) nodes.
+    pub dangling: u32,
+    /// Average |old_label - neighbor_label| across edges — a cheap proxy
+    /// for labeling locality (smaller is more local).
+    pub avg_edge_span: f64,
+}
+
+/// Computes [`GraphStats`] in two passes.
+pub fn stats(graph: &Csr) -> GraphStats {
+    let mut span_sum: u64 = 0;
+    for (s, t) in graph.edges() {
+        span_sum += (i64::from(s) - i64::from(t)).unsigned_abs();
+    }
+    let m = graph.num_edges();
+    GraphStats {
+        num_nodes: graph.num_nodes(),
+        num_edges: m,
+        avg_degree: graph.avg_degree(),
+        max_out_degree: graph.out_degrees().into_iter().max().unwrap_or(0),
+        max_in_degree: graph.in_degrees().into_iter().max().unwrap_or(0),
+        dangling: graph.num_dangling(),
+        avg_edge_span: if m == 0 {
+            0.0
+        } else {
+            span_sum as f64 / m as f64
+        },
+    }
+}
+
+/// Out-degree histogram with log2 buckets: `hist[i]` counts nodes whose
+/// out-degree `d` satisfies `2^(i-1) < d <= 2^i` (bucket 0 is degree 0..=1).
+pub fn degree_histogram(graph: &Csr) -> Vec<u64> {
+    let mut hist = vec![0u64; 33];
+    for v in 0..graph.num_nodes() {
+        let d = graph.out_degree(v);
+        let bucket = if d <= 1 {
+            0
+        } else {
+            32 - (d - 1).leading_zeros() as usize
+        };
+        hist[bucket] += 1;
+    }
+    while hist.len() > 1 && *hist.last().unwrap() == 0 {
+        hist.pop();
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let g = Csr::from_edges(4, &[(0, 1), (0, 3), (3, 0)]).unwrap();
+        let s = stats(&g);
+        assert_eq!(s.num_nodes, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 1);
+        assert_eq!(s.dangling, 2);
+        assert!((s.avg_edge_span - (1.0 + 3.0 + 3.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        // degrees: 0, 1, 2, 5
+        let g = Csr::from_edges(
+            4,
+            &[
+                (1, 0),
+                (2, 0),
+                (2, 1),
+                (3, 0),
+                (3, 1),
+                (3, 2),
+                (3, 2),
+                (3, 1),
+            ],
+        )
+        .unwrap();
+        // After dedup in from_edges? from_edges keeps duplicates.
+        let h = degree_histogram(&g);
+        let total: u64 = h.iter().sum();
+        assert_eq!(total, 4);
+        assert_eq!(h[0], 2); // degrees 0 and 1
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Csr::from_edges(0, &[]).unwrap();
+        let s = stats(&g);
+        assert_eq!(s.avg_edge_span, 0.0);
+        assert_eq!(degree_histogram(&g), vec![0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Edge weights for the weighted-SpMV generalisation (paper §3.5).
+//!
+//! Weights are stored structure-of-arrays style: a `Vec<f32>` parallel to
+//! the CSR targets array. The PCPM engine interleaves them into the
+//! destination-ID bins during the first scatter, exactly as the paper
+//! describes ("storing the edge weights along with destination IDs").
+
+use crate::csr::Csr;
+use crate::error::GraphError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Edge weights parallel to a [`Csr`]'s targets array.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeWeights {
+    weights: Vec<f32>,
+}
+
+impl EdgeWeights {
+    /// Wraps a weight vector; must have exactly one entry per edge.
+    pub fn new(graph: &Csr, weights: Vec<f32>) -> Result<Self, GraphError> {
+        if weights.len() as u64 != graph.num_edges() {
+            return Err(GraphError::MalformedOffsets(
+                "weights.len() must equal num_edges",
+            ));
+        }
+        Ok(Self { weights })
+    }
+
+    /// Uniform weight 1.0 on every edge (makes weighted SpMV equal plain
+    /// adjacency SpMV — used to cross-validate the two paths).
+    pub fn ones(graph: &Csr) -> Self {
+        Self {
+            weights: vec![1.0; graph.num_edges() as usize],
+        }
+    }
+
+    /// Seeded uniform random weights in `(0, 1]`.
+    pub fn random(graph: &Csr, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            weights: (0..graph.num_edges())
+                .map(|_| 1.0 - rng.gen::<f32>())
+                .collect(),
+        }
+    }
+
+    /// Weight of the `i`-th edge in CSR order.
+    #[inline]
+    pub fn get(&self, edge_index: u64) -> f32 {
+        self.weights[edge_index as usize]
+    }
+
+    /// Weights of node `v`'s out-edges, parallel to `graph.neighbors(v)`.
+    #[inline]
+    pub fn row<'a>(&'a self, graph: &Csr, v: u32) -> &'a [f32] {
+        let lo = graph.offsets()[v as usize] as usize;
+        let hi = graph.offsets()[v as usize + 1] as usize;
+        &self.weights[lo..hi]
+    }
+
+    /// The full weight slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_is_validated() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert!(EdgeWeights::new(&g, vec![1.0]).is_err());
+        assert!(EdgeWeights::new(&g, vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn row_is_aligned_with_neighbors() {
+        let g = Csr::from_edges(3, &[(0, 1), (0, 2), (2, 0)]).unwrap();
+        let w = EdgeWeights::new(&g, vec![0.5, 0.25, 0.125]).unwrap();
+        assert_eq!(w.row(&g, 0), &[0.5, 0.25]);
+        assert_eq!(w.row(&g, 1), &[] as &[f32]);
+        assert_eq!(w.row(&g, 2), &[0.125]);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_positive() {
+        let g = Csr::from_edges(2, &[(0, 1), (1, 0)]).unwrap();
+        let w1 = EdgeWeights::random(&g, 3);
+        let w2 = EdgeWeights::random(&g, 3);
+        assert_eq!(w1, w2);
+        assert!(w1.as_slice().iter().all(|&x| x > 0.0 && x <= 1.0));
+    }
+
+    #[test]
+    fn ones_matches_edge_count() {
+        let g = Csr::from_edges(2, &[(0, 1)]).unwrap();
+        assert_eq!(EdgeWeights::ones(&g).as_slice(), &[1.0]);
+    }
+}

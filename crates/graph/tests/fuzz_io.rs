@@ -1,0 +1,64 @@
+//! Failure-injection tests for the I/O layer: arbitrary bytes and text
+//! must produce errors, never panics or bogus graphs.
+
+use pcpm_graph::{io, Csr, GraphBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_binary_loader(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Must return Ok(valid graph) or Err, never panic.
+        if let Ok(g) = io::from_bytes(&data) {
+            // Anything accepted must satisfy all CSR invariants.
+            prop_assert!(g.edges().all(|(s, t)| s < g.num_nodes() && t < g.num_nodes()));
+        }
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics_edge_list_parser(text in "[ -~\n]{0,400}") {
+        let _ = io::read_edge_list(text.as_bytes(), None);
+    }
+
+    #[test]
+    fn corrupting_one_byte_is_detected_or_still_valid(
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 1..80),
+        pos_seed in any::<u64>(),
+        new_byte in any::<u8>(),
+    ) {
+        let mut b = GraphBuilder::new(40).unwrap();
+        b.extend(edges);
+        let g = b.build().unwrap();
+        let mut bytes = io::to_bytes(&g).to_vec();
+        let pos = (pos_seed as usize) % bytes.len();
+        bytes[pos] = new_byte;
+        if let Ok(g2) = io::from_bytes(&bytes) {
+            // A surviving parse must still be structurally valid.
+            prop_assert!(g2.edges().all(|(s, t)| s < g2.num_nodes() && t < g2.num_nodes()));
+        }
+    }
+
+    #[test]
+    fn round_trip_is_lossless(edges in proptest::collection::vec((0u32..60, 0u32..60), 0..200)) {
+        let mut b = GraphBuilder::new(60).unwrap();
+        b.extend(edges);
+        let g = b.build().unwrap();
+        prop_assert_eq!(io::from_bytes(&io::to_bytes(&g)).unwrap(), g.clone());
+        let mut text = Vec::new();
+        io::write_edge_list(&g, &mut text).unwrap();
+        prop_assert_eq!(io::read_edge_list(&text[..], Some(60)).unwrap(), g);
+    }
+}
+
+#[test]
+fn truncation_at_every_boundary_is_an_error() {
+    let g = Csr::from_edges(5, &[(0, 1), (2, 3), (4, 0)]).unwrap();
+    let bytes = io::to_bytes(&g);
+    for cut in 0..bytes.len() {
+        assert!(
+            io::from_bytes(&bytes[..cut]).is_err(),
+            "cut at {cut} accepted"
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! Set-associative LRU cache model.
+//!
+//! Write-back, write-allocate, true-LRU replacement. The default geometry
+//! matches the shared L3 of the paper's Xeon E5-2650 v2: 25 MB, 64-byte
+//! lines, 20 ways (Table 3). Only the last level matters for DRAM-traffic
+//! accounting, so the inner levels are not modeled.
+
+/// Cache geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl Default for CacheConfig {
+    /// The paper machine's shared L3: 25 MB, 64 B lines, 20 ways.
+    fn default() -> Self {
+        Self {
+            capacity: 25 * 1024 * 1024,
+            line: 64,
+            ways: 20,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        (self.capacity / self.line / self.ways).max(1)
+    }
+}
+
+/// Outcome of a single cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// The access missed and a line was fetched from DRAM.
+    pub miss: bool,
+    /// A dirty line was evicted (one line written back to DRAM).
+    pub writeback: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    tag: u64,
+    dirty: bool,
+    valid: bool,
+}
+
+/// A set-associative write-back LRU cache.
+///
+/// # Examples
+///
+/// ```
+/// use pcpm_memsim::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig { capacity: 1024, line: 64, ways: 2 });
+/// assert!(c.read(0).miss);       // cold miss
+/// assert!(!c.read(0).miss);      // hit
+/// assert!(!c.read(32).miss);     // same line
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    line_shift: u32,
+    num_sets: usize,
+    /// `num_sets * ways` entries; within a set, index 0 is most recent.
+    sets: Vec<Way>,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size is not a power of two or the geometry
+    /// yields zero ways.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(
+            cfg.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(cfg.ways > 0, "ways must be positive");
+        let num_sets = cfg.num_sets();
+        Self {
+            cfg,
+            line_shift: cfg.line.trailing_zeros(),
+            num_sets,
+            sets: vec![
+                Way {
+                    tag: 0,
+                    dirty: false,
+                    valid: false
+                };
+                num_sets * cfg.ways
+            ],
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total dirty-line writebacks so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Miss ratio over all accesses (0 when nothing was accessed).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Performs a read of one datum at `addr` (within one line).
+    pub fn read(&mut self, addr: u64) -> AccessResult {
+        self.access(addr, false)
+    }
+
+    /// Performs a write of one datum at `addr` (write-allocate).
+    pub fn write(&mut self, addr: u64) -> AccessResult {
+        self.access(addr, true)
+    }
+
+    fn access(&mut self, addr: u64, write: bool) -> AccessResult {
+        let line = addr >> self.line_shift;
+        let set = (line % self.num_sets as u64) as usize;
+        let ways = self.cfg.ways;
+        let base = set * ways;
+        let slot = self.sets[base..base + ways]
+            .iter()
+            .position(|w| w.valid && w.tag == line);
+        match slot {
+            Some(i) => {
+                self.hits += 1;
+                // Move to front (most recently used), preserving order.
+                let mut way = self.sets[base + i];
+                way.dirty |= write;
+                self.sets.copy_within(base..base + i, base + 1);
+                self.sets[base] = way;
+                AccessResult {
+                    miss: false,
+                    writeback: false,
+                }
+            }
+            None => {
+                self.misses += 1;
+                let victim = self.sets[base + ways - 1];
+                let writeback = victim.valid && victim.dirty;
+                if writeback {
+                    self.writebacks += 1;
+                }
+                self.sets.copy_within(base..base + ways - 1, base + 1);
+                self.sets[base] = Way {
+                    tag: line,
+                    dirty: write,
+                    valid: true,
+                };
+                AccessResult {
+                    miss: true,
+                    writeback,
+                }
+            }
+        }
+    }
+
+    /// Writes back and invalidates every dirty line, returning the number
+    /// of lines flushed to DRAM (end-of-phase accounting).
+    pub fn flush(&mut self) -> u64 {
+        let mut flushed = 0;
+        for w in &mut self.sets {
+            if w.valid && w.dirty {
+                flushed += 1;
+            }
+            w.valid = false;
+            w.dirty = false;
+        }
+        self.writebacks += flushed;
+        flushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64 B lines = 512 B.
+        Cache::new(CacheConfig {
+            capacity: 512,
+            line: 64,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(c.read(100).miss);
+        assert!(!c.read(100).miss);
+        assert!(c.read(200).miss); // different line (line 3)
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn same_line_different_offsets_hit() {
+        let mut c = tiny();
+        c.read(0);
+        assert!(!c.read(4).miss);
+        assert!(!c.write(60).miss);
+        assert_eq!(c.hits(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set index = (addr/64) % 4. Lines 0, 1024, 2048 all map to set 0.
+        c.read(0);
+        c.read(1024);
+        c.read(0); // refresh line 0
+        c.read(2048); // evicts 1024 (LRU)
+        assert!(!c.read(0).miss, "line 0 must survive");
+        assert!(c.read(1024).miss, "line 1024 must have been evicted");
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let mut c = tiny();
+        c.write(0);
+        c.read(1024);
+        let r = c.read(2048); // evicts dirty line 0
+        assert!(r.miss && r.writeback);
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny();
+        c.read(0);
+        c.read(1024);
+        let r = c.read(2048);
+        assert!(r.miss && !r.writeback);
+    }
+
+    #[test]
+    fn flush_counts_dirty_lines() {
+        let mut c = tiny();
+        c.write(0);
+        c.write(64);
+        c.read(128);
+        assert_eq!(c.flush(), 2);
+        // After flush everything is cold again.
+        assert!(c.read(0).miss);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = tiny();
+        c.read(0);
+        c.read(0);
+        c.read(0);
+        c.read(0);
+        assert!((c.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn working_set_within_capacity_has_only_cold_misses() {
+        let mut c = Cache::new(CacheConfig {
+            capacity: 4096,
+            line: 64,
+            ways: 4,
+        });
+        for round in 0..10 {
+            for addr in (0..4096u64).step_by(64) {
+                let r = c.read(addr);
+                assert_eq!(r.miss, round == 0, "addr {addr} round {round}");
+            }
+        }
+        assert_eq!(c.misses(), 64);
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        let mut c = Cache::new(CacheConfig {
+            capacity: 512,
+            line: 64,
+            ways: 2,
+        });
+        // 16 lines over a 8-line cache, scanned repeatedly: LRU gives 0 hits.
+        for _ in 0..3 {
+            for addr in (0..1024u64).step_by(64) {
+                c.read(addr);
+            }
+        }
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn default_geometry_matches_paper_l3() {
+        let cfg = CacheConfig::default();
+        assert_eq!(cfg.capacity, 25 * 1024 * 1024);
+        assert_eq!(cfg.num_sets(), 20480);
+    }
+}

@@ -1,0 +1,87 @@
+//! DRAM energy model (Fig. 10).
+//!
+//! The paper reports DRAM energy per edge measured by Intel PCM. We
+//! substitute a first-order DDR3 energy model:
+//!
+//! `E = bytes · E_BYTE + random_accesses · E_ACT`
+//!
+//! where `E_BYTE` covers the I/O + burst energy of moving one byte and
+//! `E_ACT` the activate/precharge cost of opening a new row (charged per
+//! non-consecutive access, which is what breaks row-buffer hits). The
+//! constants are representative DDR3-1866 figures (Micron power
+//! calculator ballpark); the *ratios* between kernels — which is what
+//! Fig. 10 shows — depend only on the traffic and randomness profiles,
+//! not on the absolute constants.
+
+use crate::memory::TrafficReport;
+
+/// Energy to move one byte through the DRAM interface, in picojoules.
+pub const E_BYTE_PJ: f64 = 70.0;
+
+/// Energy of one row activate + precharge cycle, in picojoules.
+pub const E_ACT_PJ: f64 = 2000.0;
+
+/// Estimated DRAM energy of a replayed iteration, in microjoules.
+pub fn dram_energy_uj(traffic: &TrafficReport) -> f64 {
+    (traffic.total_bytes() as f64 * E_BYTE_PJ + traffic.random_accesses as f64 * E_ACT_PJ) / 1e6
+}
+
+/// Fig. 10 metric: microjoules per edge.
+pub fn energy_per_edge_uj(traffic: &TrafficReport, num_edges: u64) -> f64 {
+    if num_edges == 0 {
+        0.0
+    } else {
+        dram_energy_uj(traffic) / num_edges as f64
+    }
+}
+
+/// Fig. 9 metric: sustained bandwidth in GB/s given the measured
+/// wall-clock time of the phase the traffic belongs to.
+pub fn sustained_bandwidth_gbs(traffic: &TrafficReport, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        0.0
+    } else {
+        traffic.total_bytes() as f64 / seconds / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::memory::{MemoryModel, Region};
+
+    fn report(bytes: u64, jumps: u64) -> TrafficReport {
+        let mut mm = MemoryModel::new(CacheConfig {
+            capacity: 1024,
+            line: 64,
+            ways: 2,
+        });
+        mm.stream_write_jumps(bytes, jumps, Region::Updates);
+        mm.report()
+    }
+
+    #[test]
+    fn energy_scales_with_bytes_and_randomness() {
+        let smooth = report(1_000_000, 10);
+        let rough = report(1_000_000, 100_000);
+        assert!(dram_energy_uj(&rough) > dram_energy_uj(&smooth));
+        let double = report(2_000_000, 10);
+        assert!(dram_energy_uj(&double) > 1.9 * dram_energy_uj(&smooth));
+    }
+
+    #[test]
+    fn per_edge_normalization() {
+        let t = report(64_000_000, 0);
+        // 64 MB * 70 pJ/B = 4480 µJ over 1M edges = 4.48e-3 µJ/edge.
+        assert!((energy_per_edge_uj(&t, 1_000_000) - 4.48e-3).abs() < 1e-5);
+        assert_eq!(energy_per_edge_uj(&t, 0), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_definition() {
+        let t = report(10_000_000_000, 0);
+        assert!((sustained_bandwidth_gbs(&t, 2.0) - 5.0).abs() < 1e-9);
+        assert_eq!(sustained_bandwidth_gbs(&t, 0.0), 0.0);
+    }
+}

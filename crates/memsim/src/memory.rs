@@ -1,0 +1,331 @@
+//! DRAM traffic accounting: cache-filtered plus streaming accesses.
+//!
+//! [`MemoryModel`] distinguishes two access classes, mirroring how the
+//! kernels actually touch memory:
+//!
+//! - **cached** accesses go through the simulated LLC; only misses and
+//!   dirty writebacks reach DRAM. Used for the vertex-value and
+//!   partial-sum arrays, whose locality is the whole point of the paper.
+//! - **streaming** accesses model sequential scans of structure arrays
+//!   (CSR offsets/edges, PNG, bins) and non-temporal stores. They always
+//!   move their full byte count to/from DRAM but do not disturb the cache
+//!   (hardware prefetchers and NT stores make these effectively
+//!   cache-neutral; see DESIGN.md).
+//!
+//! Every access is attributed to a [`Region`], which is how Fig. 1's
+//! "fraction of traffic due to vertex values" is computed. A *random*
+//! DRAM access is a non-consecutive jump in the DRAM-visible address
+//! stream (paper §4.1); the model counts one for each cache miss whose
+//! line is not adjacent to the previous miss, and lets streaming callers
+//! report their own jump counts (e.g. one per bin switch).
+
+use crate::cache::{Cache, CacheConfig};
+
+/// What a memory access belongs to, for traffic attribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// CSR/CSC offset arrays.
+    Offsets,
+    /// CSR/CSC edge (adjacency) arrays.
+    Edges,
+    /// Source vertex values (`PR` / scaled values).
+    Values,
+    /// Partial-sum / output vertex values.
+    Sums,
+    /// Update bins.
+    Updates,
+    /// Destination-ID bins (including weights when present).
+    DestIds,
+    /// PNG layout arrays (offsets + compressed-edge sources).
+    Png,
+}
+
+impl Region {
+    /// All regions, for report iteration.
+    pub const ALL: [Region; 7] = [
+        Region::Offsets,
+        Region::Edges,
+        Region::Values,
+        Region::Sums,
+        Region::Updates,
+        Region::DestIds,
+        Region::Png,
+    ];
+
+    /// Short label for table output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Offsets => "offsets",
+            Region::Edges => "edges",
+            Region::Values => "values",
+            Region::Sums => "sums",
+            Region::Updates => "updates",
+            Region::DestIds => "destids",
+            Region::Png => "png",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Region::Offsets => 0,
+            Region::Edges => 1,
+            Region::Values => 2,
+            Region::Sums => 3,
+            Region::Updates => 4,
+            Region::DestIds => 5,
+            Region::Png => 6,
+        }
+    }
+}
+
+/// Aggregated DRAM traffic of one replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficReport {
+    /// Bytes read from DRAM.
+    pub read_bytes: u64,
+    /// Bytes written to DRAM.
+    pub write_bytes: u64,
+    /// Non-consecutive DRAM accesses (paper §4.1).
+    pub random_accesses: u64,
+    /// Per-region `(read, write)` byte split.
+    pub per_region: [(u64, u64); 7],
+}
+
+impl TrafficReport {
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Bytes attributed to `region`.
+    pub fn region_bytes(&self, region: Region) -> u64 {
+        let (r, w) = self.per_region[region.index()];
+        r + w
+    }
+
+    /// Fraction of all traffic attributed to `region` (Fig. 1 metric).
+    pub fn region_fraction(&self, region: Region) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.region_bytes(region) as f64 / total as f64
+        }
+    }
+
+    /// Bytes per edge (Figs. 8 and 12 metric).
+    pub fn bytes_per_edge(&self, num_edges: u64) -> f64 {
+        if num_edges == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / num_edges as f64
+        }
+    }
+}
+
+/// The combined cache + streaming DRAM model.
+pub struct MemoryModel {
+    cache: Cache,
+    report: TrafficReport,
+    last_miss_line: Option<u64>,
+    line: u64,
+}
+
+impl MemoryModel {
+    /// Creates a model over a cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let line = cfg.line as u64;
+        Self {
+            cache: Cache::new(cfg),
+            report: TrafficReport::default(),
+            last_miss_line: None,
+            line,
+        }
+    }
+
+    /// Model with the paper machine's L3.
+    pub fn paper_l3() -> Self {
+        Self::new(CacheConfig::default())
+    }
+
+    /// Access to the underlying cache statistics.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Sequential streaming read of `bytes` from DRAM.
+    pub fn stream_read(&mut self, bytes: u64, region: Region) {
+        self.report.read_bytes += bytes;
+        self.report.per_region[region.index()].0 += bytes;
+        // A stream is one jump to its start, then consecutive.
+        if bytes > 0 {
+            self.report.random_accesses += 1;
+            self.last_miss_line = None;
+        }
+    }
+
+    /// Sequential streaming write of `bytes` to DRAM (non-temporal).
+    pub fn stream_write(&mut self, bytes: u64, region: Region) {
+        self.report.write_bytes += bytes;
+        self.report.per_region[region.index()].1 += bytes;
+        if bytes > 0 {
+            self.report.random_accesses += 1;
+            self.last_miss_line = None;
+        }
+    }
+
+    /// Streaming write with an explicit number of non-consecutive jumps
+    /// (e.g. one per bin switch or per write-combining flush).
+    pub fn stream_write_jumps(&mut self, bytes: u64, jumps: u64, region: Region) {
+        self.report.write_bytes += bytes;
+        self.report.per_region[region.index()].1 += bytes;
+        self.report.random_accesses += jumps;
+    }
+
+    /// Cached read of one datum at `addr`; misses fetch a full line.
+    pub fn cached_read(&mut self, addr: u64, region: Region) {
+        let r = self.cache.read(addr);
+        self.account_cache(addr, r, region);
+    }
+
+    /// Cached write of one datum at `addr` (write-allocate: a miss reads
+    /// the line; the writeback is charged on eviction).
+    pub fn cached_write(&mut self, addr: u64, region: Region) {
+        let r = self.cache.write(addr);
+        self.account_cache(addr, r, region);
+    }
+
+    /// Cached write that installs the line *without* a DRAM read on miss.
+    ///
+    /// Models zero-fill / full-line streaming stores: `ys.fill(0.0)` at
+    /// the start of a gather dirties the partial-sum lines without
+    /// fetching them. Dirty evictions are still charged as writebacks, so
+    /// a partition larger than the cache correctly thrashes.
+    pub fn cached_write_noread(&mut self, addr: u64, region: Region) {
+        let r = self.cache.write(addr);
+        if r.writeback {
+            self.report.write_bytes += self.line;
+            self.report.per_region[region.index()].1 += self.line;
+        }
+        if r.miss {
+            let miss_line = addr / self.line;
+            if self.last_miss_line != Some(miss_line.wrapping_sub(1)) {
+                self.report.random_accesses += 1;
+            }
+            self.last_miss_line = Some(miss_line);
+        }
+    }
+
+    fn account_cache(&mut self, addr: u64, r: crate::cache::AccessResult, region: Region) {
+        if r.miss {
+            self.report.read_bytes += self.line;
+            self.report.per_region[region.index()].0 += self.line;
+            let miss_line = addr / self.line;
+            if self.last_miss_line != Some(miss_line.wrapping_sub(1)) {
+                self.report.random_accesses += 1;
+            }
+            self.last_miss_line = Some(miss_line);
+        }
+        if r.writeback {
+            self.report.write_bytes += self.line;
+            // Writebacks of value lines are attributed to the same region.
+            self.report.per_region[region.index()].1 += self.line;
+        }
+    }
+
+    /// Flushes remaining dirty lines (end of run), charging their
+    /// writebacks to `region`, and returns the final report.
+    pub fn finish(mut self, dirty_region: Region) -> TrafficReport {
+        let flushed = self.cache.flush();
+        let bytes = flushed * self.line;
+        self.report.write_bytes += bytes;
+        self.report.per_region[dirty_region.index()].1 += bytes;
+        self.report
+    }
+
+    /// The report accumulated so far, without flushing.
+    pub fn report(&self) -> TrafficReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MemoryModel {
+        MemoryModel::new(CacheConfig {
+            capacity: 1024,
+            line: 64,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn streaming_counts_bytes_exactly() {
+        let mut mm = small();
+        mm.stream_read(1000, Region::Edges);
+        mm.stream_write(500, Region::Updates);
+        let r = mm.report();
+        assert_eq!(r.read_bytes, 1000);
+        assert_eq!(r.write_bytes, 500);
+        assert_eq!(r.region_bytes(Region::Edges), 1000);
+        assert_eq!(r.region_bytes(Region::Updates), 500);
+    }
+
+    #[test]
+    fn cached_hit_moves_no_bytes() {
+        let mut mm = small();
+        mm.cached_read(0, Region::Values);
+        mm.cached_read(4, Region::Values);
+        assert_eq!(mm.report().read_bytes, 64); // one line for both
+    }
+
+    #[test]
+    fn consecutive_misses_are_not_random() {
+        let mut mm = small();
+        mm.cached_read(0, Region::Values); // random (first)
+        mm.cached_read(64, Region::Values); // consecutive line
+        mm.cached_read(128, Region::Values); // consecutive line
+        mm.cached_read(4096, Region::Values); // jump
+        assert_eq!(mm.report().random_accesses, 2);
+    }
+
+    #[test]
+    fn finish_flushes_dirty_lines() {
+        let mut mm = small();
+        mm.cached_write(0, Region::Sums);
+        mm.cached_write(64, Region::Sums);
+        let r = mm.finish(Region::Sums);
+        // 2 line fills (write-allocate) + 2 writebacks.
+        assert_eq!(r.read_bytes, 128);
+        assert_eq!(r.write_bytes, 128);
+        assert_eq!(r.region_bytes(Region::Sums), 256);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut mm = small();
+        mm.stream_read(300, Region::Edges);
+        mm.stream_read(700, Region::Offsets);
+        let r = mm.report();
+        let total: f64 = Region::ALL.iter().map(|&reg| r.region_fraction(reg)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_per_edge() {
+        let mut mm = small();
+        mm.stream_read(640, Region::Edges);
+        assert!((mm.report().bytes_per_edge(10) - 64.0).abs() < 1e-12);
+        assert_eq!(mm.report().bytes_per_edge(0), 0.0);
+    }
+
+    #[test]
+    fn stream_write_jumps_counts_randoms() {
+        let mut mm = small();
+        mm.stream_write_jumps(4096, 32, Region::Updates);
+        assert_eq!(mm.report().random_accesses, 32);
+        assert_eq!(mm.report().write_bytes, 4096);
+    }
+}

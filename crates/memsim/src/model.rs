@@ -1,0 +1,181 @@
+//! The paper's closed-form communication and random-access models (§4).
+//!
+//! All quantities are DRAM bytes (or access counts) for **one** PageRank
+//! iteration. Parameter names follow Table 2: `n` nodes, `m` edges, `k`
+//! partitions, `r` compression ratio, `cmr` cache miss ratio for PDPR's
+//! source-value reads, `l` cache line bytes, `di`/`dv` index/value sizes.
+
+/// Model parameters (Table 2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelParams {
+    /// Number of nodes `n`.
+    pub n: f64,
+    /// Number of edges `m`.
+    pub m: f64,
+    /// Number of partitions `k` (PCPM) or bins (BVGAS).
+    pub k: f64,
+    /// Cache line size `l` in bytes.
+    pub l: f64,
+    /// Index size `di` in bytes.
+    pub di: f64,
+    /// Value size `dv` in bytes.
+    pub dv: f64,
+}
+
+impl ModelParams {
+    /// The paper's constants (`l = 64`, `di = dv = 4`) for a given graph.
+    pub fn paper(n: f64, m: f64, k: f64) -> Self {
+        Self {
+            n,
+            m,
+            k,
+            l: 64.0,
+            di: 4.0,
+            dv: 4.0,
+        }
+    }
+
+    /// The kron dataset of Fig. 6: `n = 33.5 M`, `m = 1070 M`, `k = 512`.
+    pub fn fig6_kron() -> Self {
+        Self::paper(33.5e6, 1070e6, 512.0)
+    }
+}
+
+/// Eq. 3 — PDPR communication volume: `m(di + cmr·l) + n(di + dv)`.
+pub fn pdpr_comm(p: &ModelParams, cmr: f64) -> f64 {
+    p.m * (p.di + cmr * p.l) + p.n * (p.di + p.dv)
+}
+
+/// Eq. 4 — BVGAS communication volume: `2m(di + dv) + n(di + 2dv)`.
+pub fn bvgas_comm(p: &ModelParams) -> f64 {
+    2.0 * p.m * (p.di + p.dv) + p.n * (p.di + 2.0 * p.dv)
+}
+
+/// Eq. 5 — PCPM communication volume:
+/// `m(di(1 + 1/r) + 2dv/r) + k²·di + 2n·dv`.
+pub fn pcpm_comm(p: &ModelParams, r: f64) -> f64 {
+    assert!(r >= 1.0, "compression ratio must be >= 1");
+    p.m * (p.di * (1.0 + 1.0 / r) + 2.0 * p.dv / r) + p.k * p.k * p.di + 2.0 * p.n * p.dv
+}
+
+/// Eq. 6 — the `cmr` above which BVGAS beats PDPR: `(di + 2dv) / l`.
+pub fn bvgas_crossover_cmr(p: &ModelParams) -> f64 {
+    (p.di + 2.0 * p.dv) / p.l
+}
+
+/// Eq. 7 — the `cmr` above which PCPM beats PDPR: `(di + 2dv) / (r·l)`.
+pub fn pcpm_crossover_cmr(p: &ModelParams, r: f64) -> f64 {
+    (p.di + 2.0 * p.dv) / (r * p.l)
+}
+
+/// Eq. 8 — PDPR random DRAM accesses: `O(m · cmr)`.
+pub fn pdpr_random(p: &ModelParams, cmr: f64) -> f64 {
+    p.m * cmr
+}
+
+/// Eq. 9 — BVGAS random DRAM accesses: `O(m · dv / l)`.
+pub fn bvgas_random(p: &ModelParams) -> f64 {
+    p.m * p.dv / p.l
+}
+
+/// Eq. 10 — PCPM random DRAM accesses: `O(k²)`.
+pub fn pcpm_random(p: &ModelParams) -> f64 {
+    p.k * p.k
+}
+
+/// One point of the Fig. 6 curve: predicted PCPM DRAM traffic (GB) for a
+/// given compression ratio.
+pub fn fig6_point(p: &ModelParams, r: f64) -> f64 {
+    pcpm_comm(p, r) / 1e9
+}
+
+/// The full Fig. 6 sweep: `(r, predicted GB)` pairs.
+pub fn fig6_curve(p: &ModelParams, rs: &[f64]) -> Vec<(f64, f64)> {
+    rs.iter().map(|&r| (r, fig6_point(p, r))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_reference_values() {
+        // Fig. 6 annotates r = 3.13 for kron's original labeling and shows
+        // ~24 GB at r = 1, dropping below 8 GB for large r.
+        let p = ModelParams::fig6_kron();
+        let at_1 = fig6_point(&p, 1.0);
+        assert!((16.0..20.0).contains(&at_1), "traffic at r=1: {at_1} GB");
+        let at_313 = fig6_point(&p, 3.13);
+        assert!(
+            (7.5..10.0).contains(&at_313),
+            "traffic at r=3.13: {at_313} GB"
+        );
+        let at_32 = fig6_point(&p, 32.0);
+        assert!(at_32 < 6.0, "traffic at r=32: {at_32} GB");
+    }
+
+    #[test]
+    fn fig6_curve_is_decreasing_and_convex_shaped() {
+        let p = ModelParams::fig6_kron();
+        let rs: Vec<f64> = (1..=35).map(f64::from).collect();
+        let curve = fig6_curve(&p, &rs);
+        for w in curve.windows(2) {
+            assert!(w[1].1 < w[0].1, "not decreasing at r={}", w[0].0);
+        }
+        // Rapid drop below r = 5, slow convergence after (paper §4).
+        let drop_low = curve[0].1 - curve[4].1;
+        let drop_high = curve[9].1 - curve[29].1;
+        assert!(drop_low > drop_high * 2.0);
+    }
+
+    #[test]
+    fn pcpm_at_r1_close_to_bvgas() {
+        // §4: in the worst case (r = 1) PCPM is still as good as BVGAS.
+        let p = ModelParams::fig6_kron();
+        let pc = pcpm_comm(&p, 1.0);
+        let bv = bvgas_comm(&p);
+        assert!(pc <= bv * 1.02, "pcpm {pc} vs bvgas {bv}");
+    }
+
+    #[test]
+    fn pcpm_lower_bound_matches_pdpr_best_case() {
+        // §4: at r = m/n (perfect compression), PCPM approaches m·di like
+        // best-case PDPR.
+        let p = ModelParams::paper(1e6, 32e6, 64.0);
+        let r = p.m / p.n;
+        let pc = pcpm_comm(&p, r);
+        let pdpr_best = pdpr_comm(&p, p.n * p.dv / (p.m * p.l));
+        assert!(pc < pdpr_best * 1.6, "pcpm {pc} vs best pdpr {pdpr_best}");
+    }
+
+    #[test]
+    fn crossover_thresholds() {
+        let p = ModelParams::paper(1e6, 16e6, 64.0);
+        // di=4, dv=4, l=64: BVGAS crossover at cmr = 12/64 = 0.1875.
+        assert!((bvgas_crossover_cmr(&p) - 0.1875).abs() < 1e-12);
+        // PCPM relaxes it by 1/r.
+        assert!((pcpm_crossover_cmr(&p, 3.0) - 0.0625).abs() < 1e-12);
+        // Consistency: at exactly the crossover cmr, volumes match.
+        let cmr = bvgas_crossover_cmr(&p);
+        let diff = (pdpr_comm(&p, cmr) - bvgas_comm(&p)).abs();
+        assert!(
+            diff / bvgas_comm(&p) < 0.05,
+            "crossover inconsistent: {diff}"
+        );
+    }
+
+    #[test]
+    fn random_access_example_from_section_4_1() {
+        // §4.1: kron with dv=4, l=64, k=512 gives BVGAS_ra ≈ 66.9 M and
+        // PCPM_ra ≈ 0.26 M.
+        let p = ModelParams::fig6_kron();
+        assert!((bvgas_random(&p) / 1e6 - 66.9).abs() < 0.5);
+        assert!((pcpm_random(&p) / 1e6 - 0.262).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "compression ratio")]
+    fn pcpm_comm_rejects_r_below_one() {
+        pcpm_comm(&ModelParams::fig6_kron(), 0.5);
+    }
+}

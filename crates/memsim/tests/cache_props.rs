@@ -1,0 +1,124 @@
+//! Property-based validation of the cache model against reference
+//! implementations of LRU.
+
+use pcpm_memsim::{Cache, CacheConfig};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Reference fully-associative LRU over line numbers.
+struct RefLru {
+    capacity_lines: usize,
+    stack: VecDeque<(u64, bool)>, // (line, dirty), front = most recent
+}
+
+impl RefLru {
+    fn new(capacity_lines: usize) -> Self {
+        Self {
+            capacity_lines,
+            stack: VecDeque::new(),
+        }
+    }
+
+    /// Returns (miss, writeback).
+    fn access(&mut self, line: u64, write: bool) -> (bool, bool) {
+        if let Some(pos) = self.stack.iter().position(|&(l, _)| l == line) {
+            let (_, dirty) = self.stack.remove(pos).unwrap();
+            self.stack.push_front((line, dirty | write));
+            (false, false)
+        } else {
+            let mut wb = false;
+            if self.stack.len() == self.capacity_lines {
+                let (_, dirty) = self.stack.pop_back().unwrap();
+                wb = dirty;
+            }
+            self.stack.push_front((line, write));
+            (true, wb)
+        }
+    }
+}
+
+fn trace_strategy() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..4096, any::<bool>()), 1..600)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fully_associative_cache_equals_reference_lru(trace in trace_strategy()) {
+        // One set holding 16 lines: ways == total lines.
+        let cfg = CacheConfig { capacity: 16 * 64, line: 64, ways: 16 };
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefLru::new(16);
+        for &(addr, write) in &trace {
+            let r = if write { cache.write(addr) } else { cache.read(addr) };
+            let (want_miss, want_wb) = reference.access(addr / 64, write);
+            prop_assert_eq!(r.miss, want_miss, "addr {}", addr);
+            prop_assert_eq!(r.writeback, want_wb, "addr {}", addr);
+        }
+    }
+
+    #[test]
+    fn more_ways_never_more_misses_per_set_count(trace in trace_strategy()) {
+        // LRU stack inclusion: with the same set indexing, doubling
+        // associativity cannot increase misses on any trace.
+        let small = CacheConfig { capacity: 4 * 64 * 2, line: 64, ways: 2 }; // 4 sets x 2
+        let big = CacheConfig { capacity: 4 * 64 * 4, line: 64, ways: 4 }; // 4 sets x 4
+        assert_eq!(small.num_sets(), big.num_sets());
+        let mut a = Cache::new(small);
+        let mut b = Cache::new(big);
+        for &(addr, write) in &trace {
+            if write {
+                a.write(addr);
+                b.write(addr);
+            } else {
+                a.read(addr);
+                b.read(addr);
+            }
+        }
+        prop_assert!(b.misses() <= a.misses(), "{} > {}", b.misses(), a.misses());
+    }
+
+    #[test]
+    fn hits_plus_misses_equals_accesses(trace in trace_strategy()) {
+        let mut c = Cache::new(CacheConfig { capacity: 1024, line: 64, ways: 4 });
+        for &(addr, write) in &trace {
+            if write { c.write(addr); } else { c.read(addr); }
+        }
+        prop_assert_eq!(c.hits() + c.misses(), trace.len() as u64);
+    }
+
+    #[test]
+    fn write_once_lines_write_back_exactly_once(lines in proptest::collection::btree_set(0u64..512, 1..100)) {
+        // Write each distinct line once; after flush, the number of
+        // writebacks equals the number of distinct lines.
+        let mut c = Cache::new(CacheConfig { capacity: 512, line: 64, ways: 2 });
+        for &l in &lines {
+            c.write(l * 64);
+        }
+        c.flush();
+        prop_assert_eq!(c.writebacks(), lines.len() as u64);
+    }
+
+    #[test]
+    fn flush_then_everything_misses(trace in trace_strategy()) {
+        let mut c = Cache::new(CacheConfig { capacity: 2048, line: 64, ways: 4 });
+        for &(addr, _) in &trace {
+            c.read(addr);
+        }
+        c.flush();
+        let misses_before = c.misses();
+        // Re-touch the first few addresses: all must miss again.
+        for &(addr, _) in trace.iter().take(5) {
+            // Dedup within the probe window: a line may repeat in trace.
+            let _ = addr;
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &(addr, _) in trace.iter().take(5) {
+            if seen.insert(addr / 64) {
+                prop_assert!(c.read(addr).miss);
+            }
+        }
+        prop_assert!(c.misses() > misses_before || seen.is_empty());
+    }
+}

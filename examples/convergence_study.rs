@@ -1,0 +1,75 @@
+//! Convergence behavior: tolerance-driven runs, damping sensitivity, and
+//! warm-starting after incremental graph updates.
+//!
+//! ```sh
+//! cargo run --release --example convergence_study
+//! ```
+
+use pcpm::core::pagerank::pagerank_warm_start;
+use pcpm::prelude::*;
+
+fn main() {
+    let graph = pcpm::graph::gen::rmat(&RmatConfig::graph500(14, 16, 23)).expect("generate");
+    println!(
+        "graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    // --- Iterations needed per tolerance ---
+    println!("\niterations to reach an L1 tolerance (damping 0.85):");
+    for tol in [1e-3, 1e-5, 1e-7, 1e-9] {
+        let cfg = PcpmConfig::default()
+            .with_partition_bytes(16 * 1024)
+            .with_iterations(500)
+            .with_tolerance(tol);
+        let r = pagerank(&graph, &cfg).expect("pagerank");
+        println!(
+            "  tol {tol:>7.0e}: {:>3} iterations (final delta {:.2e})",
+            r.iterations, r.last_delta
+        );
+    }
+
+    // --- Damping factor sensitivity ---
+    println!("\ndamping factor vs convergence speed (tol 1e-7):");
+    for damping in [0.5, 0.7, 0.85, 0.95] {
+        let mut cfg = PcpmConfig::default()
+            .with_partition_bytes(16 * 1024)
+            .with_iterations(1000)
+            .with_tolerance(1e-7);
+        cfg.damping = damping;
+        let r = pagerank(&graph, &cfg).expect("pagerank");
+        println!("  d = {damping:.2}: {:>3} iterations", r.iterations);
+    }
+
+    // --- Warm start after an incremental update ---
+    let cfg = PcpmConfig::default()
+        .with_partition_bytes(16 * 1024)
+        .with_iterations(500)
+        .with_tolerance(1e-8);
+    let cold = pagerank(&graph, &cfg).expect("cold run");
+
+    // Simulate a small batch of new follows: 0.1% extra edges.
+    let mut edges: Vec<(u32, u32)> = graph.edges().collect();
+    let extra = edges.len() / 1000;
+    for i in 0..extra {
+        let s = (i as u32 * 97) % graph.num_nodes();
+        let t = (i as u32 * 31 + 5) % graph.num_nodes();
+        edges.push((s, t));
+    }
+    let updated = Csr::from_edges(graph.num_nodes(), &edges).expect("updated graph");
+
+    let from_scratch = pagerank(&updated, &cfg).expect("cold rerun");
+    let warm = pagerank_warm_start(&updated, &cfg, &cold.scores).expect("warm rerun");
+    println!(
+        "\nincremental update ({extra} new edges): cold {} iterations, warm {} iterations",
+        from_scratch.iterations, warm.iterations
+    );
+    let max_dev = warm
+        .scores
+        .iter()
+        .zip(&from_scratch.scores)
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("warm and cold agree to {max_dev:.1e}");
+}

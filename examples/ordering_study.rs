@@ -1,0 +1,66 @@
+//! Node-ordering ablation: how labeling locality drives PCPM's
+//! compression ratio and the pull baseline's cache behavior (Tables 6/7).
+//!
+//! ```sh
+//! cargo run --release --example ordering_study
+//! ```
+
+use pcpm::core::partition::Partitioner;
+use pcpm::core::png::{EdgeView, Png};
+use pcpm::graph::order::{reorder, OrderingKind};
+use pcpm::memsim::{replay_pcpm, replay_pdpr, CacheConfig};
+use std::time::Instant;
+
+fn main() {
+    let graph = pcpm::graph::gen::web_crawl(&pcpm::graph::gen::WebConfig {
+        num_nodes: 1 << 16,
+        ..Default::default()
+    })
+    .expect("generate");
+    println!(
+        "web crawl: {} nodes, {} edges (original labeling is already local)",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    let q = 512u32;
+    let llc = CacheConfig {
+        capacity: 64 * 1024,
+        line: 64,
+        ways: 16,
+    };
+    let kinds = [
+        OrderingKind::Original,
+        OrderingKind::Gorder,
+        OrderingKind::Bfs,
+        OrderingKind::Dfs,
+        OrderingKind::DegreeSort,
+        OrderingKind::Rcm,
+        OrderingKind::Random,
+    ];
+
+    println!(
+        "\n{:<10} {:>10} {:>8} {:>14} {:>14} {:>12}",
+        "ordering", "reorder(s)", "r", "PCPM B/edge", "PDPR B/edge", "PDPR cmr"
+    );
+    for kind in kinds {
+        let t0 = Instant::now();
+        let (g, _) = reorder(&graph, kind, 3).expect("reorder");
+        let reorder_s = t0.elapsed().as_secs_f64();
+        let parts = Partitioner::new(g.num_nodes(), q).expect("parts");
+        let png = Png::build(EdgeView::from_csr(&g), parts, parts);
+        let pcpm_traffic = replay_pcpm(&g, q, llc);
+        let (pdpr_traffic, cmr) = replay_pdpr(&g, llc);
+        println!(
+            "{:<10} {:>10.2} {:>8.2} {:>14.2} {:>14.2} {:>12.3}",
+            kind.name(),
+            reorder_s,
+            png.compression_ratio(),
+            pcpm_traffic.bytes_per_edge(g.num_edges()),
+            pdpr_traffic.bytes_per_edge(g.num_edges()),
+            cmr
+        );
+    }
+    println!("\n(higher r => less PCPM traffic; lower cmr => less PDPR traffic —");
+    println!(" BVGAS, not shown, is identical under every labeling: the paper's Table 7)");
+}

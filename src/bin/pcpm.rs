@@ -1,0 +1,229 @@
+//! `pcpm` — command-line graph analytics on the partition-centric engine.
+//!
+//! ```text
+//! pcpm stats      <graph>                 structural summary
+//! pcpm pagerank   <graph> [--top K]       PageRank (weighted when .mtx has values)
+//! pcpm components <graph>                 connected components
+//! pcpm bfs        <graph> --source V      BFS levels
+//! pcpm sssp       <graph> --source V      shortest paths (needs weighted .mtx)
+//! pcpm convert    <graph> --out FILE      any input -> binary format
+//!
+//! common flags: --binary (pcpm binary input) | --mtx (Matrix Market input)
+//!               --iters N --damping D --tolerance T --partition-bytes B
+//!               --top K (print only the K best rows)
+//! ```
+//!
+//! Text inputs are SNAP-style whitespace edge lists with `#` comments.
+
+use pcpm::prelude::*;
+use std::process::ExitCode;
+
+struct Options {
+    command: String,
+    path: String,
+    binary: bool,
+    mtx: bool,
+    iters: usize,
+    damping: f64,
+    tolerance: Option<f64>,
+    partition_bytes: usize,
+    top: usize,
+    source: u32,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing command")?;
+    let mut opts = Options {
+        command,
+        path: String::new(),
+        binary: false,
+        mtx: false,
+        iters: 20,
+        damping: 0.85,
+        tolerance: None,
+        partition_bytes: 256 * 1024,
+        top: 10,
+        source: 0,
+        out: None,
+    };
+    let mut positional = Vec::new();
+    let mut rest: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let take_value = |rest: &mut Vec<String>, i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            rest.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("flag {} needs a value", rest[*i - 1]))
+        };
+        match rest[i].as_str() {
+            "--binary" => opts.binary = true,
+            "--mtx" => opts.mtx = true,
+            "--iters" => {
+                opts.iters = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--damping" => {
+                opts.damping = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--tolerance" => {
+                opts.tolerance = Some(
+                    take_value(&mut rest, &mut i)?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--partition-bytes" => {
+                opts.partition_bytes = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--top" => {
+                opts.top = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--source" => {
+                opts.source = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--out" => opts.out = Some(take_value(&mut rest, &mut i)?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            pos => positional.push(pos.to_string()),
+        }
+        i += 1;
+    }
+    opts.path = positional.first().cloned().ok_or("missing graph path")?;
+    Ok(opts)
+}
+
+fn load(opts: &Options) -> Result<(Csr, Option<EdgeWeights>), String> {
+    if opts.binary {
+        let g = pcpm::graph::io::load_binary(&opts.path).map_err(|e| e.to_string())?;
+        Ok((g, None))
+    } else if opts.mtx {
+        let file = std::fs::File::open(&opts.path).map_err(|e| e.to_string())?;
+        pcpm::graph::mm::read_matrix_market(file).map_err(|e| e.to_string())
+    } else {
+        let file = std::fs::File::open(&opts.path).map_err(|e| e.to_string())?;
+        let g = pcpm::graph::io::read_edge_list(file, None).map_err(|e| e.to_string())?;
+        Ok((g, None))
+    }
+}
+
+fn config(opts: &Options) -> PcpmConfig {
+    let mut cfg = PcpmConfig::default()
+        .with_partition_bytes(opts.partition_bytes)
+        .with_iterations(opts.iters);
+    cfg.damping = opts.damping;
+    cfg.tolerance = opts.tolerance;
+    cfg
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let (graph, weights) = load(&opts)?;
+    let cfg = config(&opts);
+    match opts.command.as_str() {
+        "stats" => {
+            let s = pcpm::graph::stats::stats(&graph);
+            println!("nodes          {}", s.num_nodes);
+            println!("edges          {}", s.num_edges);
+            println!("avg degree     {:.2}", s.avg_degree);
+            println!("max out-degree {}", s.max_out_degree);
+            println!("max in-degree  {}", s.max_in_degree);
+            println!("dangling       {}", s.dangling);
+            println!("avg edge span  {:.1}", s.avg_edge_span);
+        }
+        "pagerank" => {
+            let r = match &weights {
+                Some(w) => weighted_pagerank(&graph, w, &cfg).map_err(|e| e.to_string())?,
+                None => pagerank(&graph, &cfg).map_err(|e| e.to_string())?,
+            };
+            eprintln!(
+                "# {} iterations ({}), r = {:.2}, {:?} total",
+                r.iterations,
+                if r.converged { "converged" } else { "cap" },
+                r.compression_ratio.unwrap_or(1.0),
+                r.timings.total()
+            );
+            let mut ranked: Vec<(u32, f32)> = r
+                .scores
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(v, s)| (v as u32, s))
+                .collect();
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+            for (v, s) in ranked.iter().take(opts.top) {
+                println!("{v}\t{s:.6e}");
+            }
+        }
+        "components" => {
+            let labels = connected_components(&graph, &cfg).map_err(|e| e.to_string())?;
+            let mut counts = std::collections::HashMap::new();
+            for &l in &labels {
+                *counts.entry(l).or_insert(0u64) += 1;
+            }
+            let mut by_size: Vec<(u32, u64)> = counts.into_iter().collect();
+            by_size.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            eprintln!("# {} components", by_size.len());
+            for (label, size) in by_size.iter().take(opts.top) {
+                println!("{label}\t{size}");
+            }
+        }
+        "bfs" => {
+            let levels = bfs_levels(&graph, opts.source, &cfg).map_err(|e| e.to_string())?;
+            let reached = levels.iter().filter(|&&l| l != u32::MAX).count();
+            eprintln!("# {} reached from {}", reached, opts.source);
+            let mut hist = std::collections::BTreeMap::new();
+            for &l in levels.iter().filter(|&&l| l != u32::MAX) {
+                *hist.entry(l).or_insert(0u64) += 1;
+            }
+            for (level, count) in hist {
+                println!("{level}\t{count}");
+            }
+        }
+        "sssp" => {
+            let w = weights.ok_or("sssp needs a weighted .mtx input (--mtx)")?;
+            let dist = sssp(&graph, &w, opts.source, &cfg).map_err(|e| e.to_string())?;
+            let finite = dist.iter().filter(|d| d.is_finite()).count();
+            eprintln!("# {} reachable from {}", finite, opts.source);
+            let mut ranked: Vec<(u32, f32)> = dist
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(_, d)| d.is_finite())
+                .map(|(v, d)| (v as u32, d))
+                .collect();
+            ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+            for (v, d) in ranked.iter().take(opts.top) {
+                println!("{v}\t{d:.4}");
+            }
+        }
+        "convert" => {
+            let out = opts.out.as_deref().ok_or("convert needs --out FILE")?;
+            pcpm::graph::io::save_binary(&graph, out).map_err(|e| e.to_string())?;
+            eprintln!("# wrote {out}");
+        }
+        other => return Err(format!("unknown command '{other}'")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pcpm: {e}");
+            eprintln!("usage: pcpm <stats|pagerank|components|bfs|sssp|convert> <graph> [flags]");
+            ExitCode::from(2)
+        }
+    }
+}

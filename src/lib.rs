@@ -1,0 +1,52 @@
+//! # PCPM — Partition-Centric Processing for PageRank and SpMV
+//!
+//! A complete Rust reproduction of *"Accelerating PageRank using
+//! Partition-Centric Processing"* (Lakhotia, Kannan, Prasanna — USENIX ATC
+//! 2018), packaged as one umbrella crate re-exporting the workspace:
+//!
+//! - [`graph`] — CSR graphs, generators, orderings, I/O (`pcpm-graph`);
+//! - [`core`] — partitions, the PNG layout, scatter/gather, the PageRank
+//!   driver and generic SpMV (`pcpm-core`);
+//! - [`baselines`] — PDPR (pull), push, and BVGAS kernels
+//!   (`pcpm-baselines`);
+//! - [`memsim`] — the cache simulator, traffic replays and analytical
+//!   models (`pcpm-memsim`).
+//!
+//! # Quick start
+//!
+//! ```
+//! use pcpm::prelude::*;
+//!
+//! // Build a small social-network-like graph.
+//! let g = pcpm::graph::gen::rmat(&RmatConfig::graph500(10, 8, 42)).unwrap();
+//!
+//! // Run partition-centric PageRank.
+//! let cfg = PcpmConfig::default().with_iterations(10);
+//! let result = pagerank(&g, &cfg).unwrap();
+//!
+//! // The engine reports its PNG compression ratio alongside the scores.
+//! assert!(result.compression_ratio.unwrap() >= 1.0);
+//! assert_eq!(result.scores.len() as u32, g.num_nodes());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pcpm_algos as algos;
+pub use pcpm_baselines as baselines;
+pub use pcpm_core as core;
+pub use pcpm_graph as graph;
+pub use pcpm_memsim as memsim;
+
+/// Commonly used items for `use pcpm::prelude::*`.
+pub mod prelude {
+    pub use pcpm_algos::{
+        bfs_levels, connected_components, personalized_pagerank, sssp, weighted_pagerank,
+    };
+    pub use pcpm_baselines::{bvgas, pdpr, push_pagerank, serial_pagerank};
+    pub use pcpm_core::pagerank::{pagerank, pagerank_with_variant};
+    pub use pcpm_core::spmv::{SpmvEngine, SpmvMatrix};
+    pub use pcpm_core::{Partitioner, PcpmConfig, PcpmEngine, Png, PrResult};
+    pub use pcpm_graph::gen::{RmatConfig, WebConfig};
+    pub use pcpm_graph::{Csr, EdgeWeights, GraphBuilder};
+}

@@ -1,0 +1,160 @@
+//! Cross-cutting invariants of the programming-model algorithms:
+//! permutation equivariance, cross-algorithm consistency, and agreement
+//! across partition sizes.
+
+use pcpm::graph::order::{apply_permutation, inverse_permutation, random_order};
+use pcpm::prelude::*;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (4u32..100).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 1..500).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n).expect("builder");
+            b.extend(edges);
+            b.build().expect("build")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn components_are_permutation_equivariant(g in arb_graph(), seed in any::<u64>()) {
+        let cfg = PcpmConfig::default().with_partition_bytes(64);
+        let base = connected_components(&g, &cfg).unwrap();
+        let perm = random_order(g.num_nodes(), seed);
+        let pg = apply_permutation(&g, &perm).unwrap();
+        let permuted = connected_components(&pg, &cfg).unwrap();
+        let inv = inverse_permutation(&perm);
+        // Same partition of the nodes: two nodes share a component in the
+        // permuted run iff they did originally.
+        for a in 0..g.num_nodes() as usize {
+            for b in (a + 1)..g.num_nodes() as usize {
+                let orig_same = base[inv[a] as usize] == base[inv[b] as usize];
+                let perm_same = permuted[a] == permuted[b];
+                prop_assert_eq!(orig_same, perm_same, "nodes {} {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_is_permutation_equivariant(g in arb_graph(), seed in any::<u64>()) {
+        let cfg = PcpmConfig::default().with_partition_bytes(64);
+        let base = bfs_levels(&g, 0, &cfg).unwrap();
+        let perm = random_order(g.num_nodes(), seed);
+        let pg = apply_permutation(&g, &perm).unwrap();
+        let permuted = bfs_levels(&pg, perm[0], &cfg).unwrap();
+        for old in 0..g.num_nodes() as usize {
+            prop_assert_eq!(base[old], permuted[perm[old] as usize], "node {}", old);
+        }
+    }
+
+    #[test]
+    fn partition_size_never_changes_any_result(g in arb_graph()) {
+        let w = EdgeWeights::random(&g, 5);
+        let mut reference: Option<(Vec<u32>, Vec<u32>, Vec<f32>)> = None;
+        for q in [1u32, 7, 33, 1000] {
+            let cfg = PcpmConfig::default().with_partition_bytes(q as usize * 4);
+            let cc = connected_components(&g, &cfg).unwrap();
+            let bfs = bfs_levels(&g, 0, &cfg).unwrap();
+            let dist = sssp(&g, &w, 0, &cfg).unwrap();
+            match &reference {
+                None => reference = Some((cc, bfs, dist)),
+                Some((rcc, rbfs, rdist)) => {
+                    prop_assert_eq!(&cc, rcc, "components differ at q={}", q);
+                    prop_assert_eq!(&bfs, rbfs, "bfs differs at q={}", q);
+                    for (a, b) in dist.iter().zip(rdist) {
+                        let same = (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-4;
+                        prop_assert!(same, "sssp differs at q={}: {} vs {}", q, a, b);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_never_exceeds_bfs_hops_times_max_weight(g in arb_graph()) {
+        // With weights in (0, 1], dist(v) <= bfs_level(v) * 1.0 and
+        // reachability sets coincide.
+        let w = EdgeWeights::random(&g, 9);
+        let cfg = PcpmConfig::default().with_partition_bytes(128);
+        let dist = sssp(&g, &w, 0, &cfg).unwrap();
+        let levels = bfs_levels(&g, 0, &cfg).unwrap();
+        for v in 0..g.num_nodes() as usize {
+            if levels[v] == u32::MAX {
+                prop_assert!(dist[v].is_infinite());
+            } else {
+                prop_assert!(dist[v].is_finite());
+                prop_assert!(dist[v] <= levels[v] as f32 + 1e-4,
+                    "node {}: dist {} > hops {}", v, dist[v], levels[v]);
+            }
+        }
+    }
+}
+
+#[test]
+fn katz_and_pagerank_rank_hubs_consistently() {
+    // On a strongly skewed graph, both centralities must put the same
+    // node first (the dominant in-degree hub).
+    let g = pcpm::graph::gen::preferential_attachment(2000, 8, 3).unwrap();
+    let cfg = PcpmConfig::default().with_partition_bytes(1024).with_iterations(30);
+    let pr = pagerank(&g, &cfg).unwrap();
+    let (katz, _) = pcpm::algos::katz_centrality(
+        &g,
+        &cfg,
+        &pcpm::algos::KatzConfig::conservative(&g),
+    )
+    .unwrap();
+    let argmax = |v: &[f32]| {
+        v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap()
+    };
+    assert_eq!(argmax(&pr.scores), argmax(&katz));
+}
+
+#[test]
+fn hits_authorities_correlate_with_indegree_on_bipartite_graphs() {
+    // Random bipartite hub->authority graph: the most-cited authority
+    // must top the authority vector.
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(8);
+    let n = 200u32;
+    let mut b = GraphBuilder::new(n).unwrap();
+    for s in 0..100u32 {
+        for _ in 0..5 {
+            b.add_edge(s, 100 + rng.gen_range(0..100));
+        }
+    }
+    let g = b.build().unwrap();
+    let r = pcpm::algos::hits(&g, &PcpmConfig::default().with_partition_bytes(256), 30, None)
+        .unwrap();
+    let indeg = g.in_degrees();
+    let top_auth = (0..n).max_by(|&a, &b| r.authorities[a as usize]
+        .total_cmp(&r.authorities[b as usize]))
+        .unwrap();
+    let top_indeg = (0..n).max_by_key(|&v| indeg[v as usize]).unwrap();
+    // Not necessarily identical (HITS weights by hub quality), but the
+    // top authority must be among the highest in-degree nodes.
+    let rank_of = |v: u32| {
+        let mut sorted: Vec<u32> = (0..n).collect();
+        sorted.sort_by_key(|&u| std::cmp::Reverse(indeg[u as usize]));
+        sorted.iter().position(|&u| u == v).unwrap()
+    };
+    assert!(rank_of(top_auth) < 20, "top authority has low in-degree rank");
+    let _ = top_indeg;
+}
+
+#[test]
+fn ppr_with_distinct_seeds_produces_distinct_locality() {
+    let g = pcpm::graph::gen::web_crawl(&WebConfig {
+        num_nodes: 1 << 12,
+        ..Default::default()
+    })
+    .unwrap();
+    let cfg = PcpmConfig::default().with_partition_bytes(1024).with_iterations(30);
+    let a = personalized_pagerank(&g, &[500], &cfg).unwrap();
+    let b = personalized_pagerank(&g, &[3500], &cfg).unwrap();
+    // Each seed dominates its own neighborhood.
+    assert!(a.scores[500] > b.scores[500] * 5.0);
+    assert!(b.scores[3500] > a.scores[3500] * 5.0);
+}

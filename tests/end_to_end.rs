@@ -1,0 +1,168 @@
+//! End-to-end behaviors: relabeling invariance, convergence, dataset
+//! stand-ins, and the paper's qualitative claims at test scale.
+
+use pcpm::core::partition::Partitioner;
+use pcpm::core::png::{EdgeView, Png};
+use pcpm::graph::gen::datasets::{standin_at, Dataset};
+use pcpm::graph::order::{
+    apply_permutation, inverse_permutation, random_order, reorder, OrderingKind,
+};
+use pcpm::prelude::*;
+
+/// PageRank commutes with relabeling: running on a permuted graph and
+/// permuting back must give the original scores.
+#[test]
+fn pagerank_is_permutation_equivariant() {
+    let g = pcpm::graph::gen::rmat(&RmatConfig::graph500(10, 8, 17)).unwrap();
+    let cfg = PcpmConfig::default()
+        .with_partition_bytes(512)
+        .with_iterations(10);
+    let base = pagerank(&g, &cfg).unwrap().scores;
+
+    let perm = random_order(g.num_nodes(), 5);
+    let pg = apply_permutation(&g, &perm).unwrap();
+    let permuted = pagerank(&pg, &cfg).unwrap().scores;
+    let inv = inverse_permutation(&perm);
+    for new in 0..g.num_nodes() as usize {
+        let old = inv[new] as usize;
+        assert!(
+            (permuted[new] - base[old]).abs() < 1e-6,
+            "node {old}->{new}: {} vs {}",
+            permuted[new],
+            base[old]
+        );
+    }
+}
+
+#[test]
+fn tolerance_driven_run_reaches_fixed_point() {
+    let g = standin_at(Dataset::Gplus, 11).unwrap();
+    let cfg = PcpmConfig::default()
+        .with_partition_bytes(2048)
+        .with_iterations(200)
+        .with_tolerance(1e-9);
+    let r = pagerank(&g, &cfg).unwrap();
+    assert!(r.converged, "did not converge in 200 iterations");
+    // One more iteration from the fixed point changes almost nothing.
+    let cfg2 = PcpmConfig::default()
+        .with_partition_bytes(2048)
+        .with_iterations(r.iterations + 1)
+        .with_tolerance(1e-12);
+    let r2 = pagerank(&g, &cfg2).unwrap();
+    let drift: f64 = r
+        .scores
+        .iter()
+        .zip(&r2.scores)
+        .map(|(&a, &b)| f64::from((a - b).abs()))
+        .sum();
+    assert!(drift < 1e-5, "fixed point drift {drift}");
+}
+
+#[test]
+fn gorder_never_hurts_compression_much() {
+    // Table 6: GOrder raises r on low-locality graphs; on the web graph
+    // (already local) it may dip slightly but must stay in the same
+    // ballpark.
+    for d in [Dataset::Gplus, Dataset::Kron, Dataset::Web] {
+        let g = standin_at(d, 11).unwrap();
+        let (gg, _) = reorder(&g, OrderingKind::Gorder, 0).unwrap();
+        let r = |g: &Csr| {
+            let parts = Partitioner::new(g.num_nodes(), 128).unwrap();
+            Png::build(EdgeView::from_csr(g), parts, parts).compression_ratio()
+        };
+        let orig = r(&g);
+        let gord = r(&gg);
+        // The paper sees a mild dip on web (8.4 -> 7.83); at test scale
+        // the greedy heuristic is noisier, so allow a wider band.
+        assert!(
+            gord > orig * 0.65,
+            "{}: gorder r {} << orig {}",
+            d.name(),
+            gord,
+            orig
+        );
+    }
+}
+
+#[test]
+fn gorder_improves_compression_on_skewed_graphs() {
+    let g = standin_at(Dataset::Twitter, 11).unwrap();
+    let (gg, _) = reorder(&g, OrderingKind::Gorder, 0).unwrap();
+    let r = |g: &Csr| {
+        let parts = Partitioner::new(g.num_nodes(), 128).unwrap();
+        Png::build(EdgeView::from_csr(g), parts, parts).compression_ratio()
+    };
+    assert!(
+        r(&gg) > r(&g),
+        "gorder should raise r on twitter: {} vs {}",
+        r(&gg),
+        r(&g)
+    );
+}
+
+#[test]
+fn web_standin_has_high_native_compression() {
+    // The web stand-in must reproduce Webbase's signature: near-optimal r
+    // under its original labeling (paper Table 6: r = 8.4 with deg 8.4).
+    let g = standin_at(Dataset::Web, 12).unwrap();
+    let r_at = |q: u32| {
+        let parts = Partitioner::new(g.num_nodes(), q).unwrap();
+        Png::build(EdgeView::from_csr(&g), parts, parts).compression_ratio()
+    };
+    let optimal =
+        g.num_edges() as f64 / (0..g.num_nodes()).filter(|&v| g.out_degree(v) > 0).count() as f64;
+    // At the simulated default partition the ratio must already be high,
+    // and it must approach the per-node optimum as partitions grow
+    // (Fig. 11's "web is flat and high" signature).
+    let r_small = r_at(512);
+    let r_large = r_at(4096);
+    assert!(
+        r_small > optimal * 0.5,
+        "web r {r_small} at q=512 far from optimal {optimal}"
+    );
+    assert!(
+        r_large > optimal * 0.75,
+        "web r {r_large} at q=4096 far from optimal {optimal}"
+    );
+}
+
+#[test]
+fn compression_grows_with_partition_size_on_all_standins() {
+    // Fig. 11 at test scale.
+    for d in Dataset::ALL {
+        let g = standin_at(d, 11).unwrap();
+        let r_at = |q: u32| {
+            let parts = Partitioner::new(g.num_nodes(), q).unwrap();
+            Png::build(EdgeView::from_csr(&g), parts, parts).compression_ratio()
+        };
+        let small = r_at(16);
+        let large = r_at(1024);
+        assert!(large >= small, "{}: r {} -> {}", d.name(), small, large);
+    }
+}
+
+#[test]
+fn engine_reuse_across_many_iterations_is_stable() {
+    // 100 SpMV rounds through one engine must not corrupt the bins.
+    let g = standin_at(Dataset::Pld, 10).unwrap();
+    let cfg = PcpmConfig::default().with_partition_bytes(1024);
+    let mut engine = PcpmEngine::new(&g, &cfg).unwrap();
+    let x: Vec<f32> = (0..g.num_nodes())
+        .map(|v| (v as f32 + 1.0).recip())
+        .collect();
+    let mut first = vec![0.0f32; g.num_nodes() as usize];
+    engine.spmv(&x, &mut first).unwrap();
+    let mut y = vec![0.0f32; g.num_nodes() as usize];
+    for _ in 0..100 {
+        engine.spmv(&x, &mut y).unwrap();
+    }
+    assert_eq!(first, y);
+}
+
+#[test]
+fn preprocess_time_is_recorded() {
+    let g = standin_at(Dataset::Kron, 11).unwrap();
+    let cfg = PcpmConfig::default().with_partition_bytes(1024);
+    let engine = PcpmEngine::new(&g, &cfg).unwrap();
+    assert!(engine.preprocess_time().as_nanos() > 0);
+}

@@ -1,0 +1,146 @@
+//! Cross-kernel agreement: every parallel kernel in the workspace must
+//! compute the same PageRank vector as the serial f64 oracle, on
+//! arbitrary graphs and configurations (property-based).
+
+use pcpm::core::engine::{GatherKind, ScatterKind};
+use pcpm::core::pagerank::{pagerank_with_variant, PcpmVariant};
+use pcpm::prelude::*;
+use proptest::prelude::*;
+
+/// Random graph strategy: up to 120 nodes, up to 600 edges.
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (2u32..120).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..600).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n).expect("builder");
+            b.extend(edges);
+            b.build().expect("build")
+        })
+    })
+}
+
+fn check_against_oracle(g: &Csr, cfg: &PcpmConfig, scores: &[f32], label: &str) {
+    let oracle = serial_pagerank(g, cfg);
+    let scale = oracle.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+    for (i, (&a, &b)) in scores.iter().zip(&oracle).enumerate() {
+        prop_assert_with(
+            (f64::from(a) - b).abs() <= 2e-3 * scale,
+            &format!("{label}: node {i}: {a} vs {b}"),
+        );
+    }
+}
+
+/// Local assert that plays well inside plain #[test] fns too.
+fn prop_assert_with(cond: bool, msg: &str) {
+    assert!(cond, "{msg}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pcpm_matches_oracle(g in arb_graph(), q in 1u32..64, iters in 1usize..8) {
+        let cfg = PcpmConfig::default()
+            .with_partition_bytes(q as usize * 4)
+            .with_iterations(iters);
+        let r = pagerank(&g, &cfg).unwrap();
+        check_against_oracle(&g, &cfg, &r.scores, "pcpm");
+    }
+
+    #[test]
+    fn all_pcpm_variants_identical(g in arb_graph(), q in 1u32..64) {
+        let cfg = PcpmConfig::default().with_partition_bytes(q as usize * 4).with_iterations(4);
+        let base = pagerank(&g, &cfg).unwrap().scores;
+        for scatter in [ScatterKind::Png, ScatterKind::CsrTraversal] {
+            for gather in [GatherKind::BranchAvoiding, GatherKind::Branchy] {
+                let r = pagerank_with_variant(&g, &cfg, PcpmVariant { scatter, gather }).unwrap();
+                prop_assert_eq!(&base, &r.scores);
+            }
+        }
+    }
+
+    #[test]
+    fn pdpr_matches_oracle(g in arb_graph(), iters in 1usize..8) {
+        let cfg = PcpmConfig::default().with_iterations(iters);
+        let r = pdpr(&g, &cfg).unwrap();
+        check_against_oracle(&g, &cfg, &r.scores, "pdpr");
+    }
+
+    #[test]
+    fn bvgas_matches_oracle(g in arb_graph(), q in 1u32..64, iters in 1usize..6) {
+        let cfg = PcpmConfig::default()
+            .with_partition_bytes(q as usize * 4)
+            .with_iterations(iters);
+        let r = bvgas(&g, &cfg).unwrap();
+        check_against_oracle(&g, &cfg, &r.scores, "bvgas");
+    }
+
+    #[test]
+    fn push_matches_oracle(g in arb_graph(), iters in 1usize..6) {
+        let cfg = PcpmConfig::default().with_iterations(iters);
+        let r = push_pagerank(&g, &cfg).unwrap();
+        check_against_oracle(&g, &cfg, &r.scores, "push");
+    }
+
+    #[test]
+    fn dangling_redistribution_conserves_mass_everywhere(g in arb_graph()) {
+        let mut cfg = PcpmConfig::default().with_iterations(15);
+        cfg.redistribute_dangling = true;
+        for (label, r) in [
+            ("pcpm", pagerank(&g, &cfg).unwrap()),
+            ("pdpr", pdpr(&g, &cfg).unwrap()),
+            ("bvgas", bvgas(&g, &cfg).unwrap()),
+        ] {
+            let mass = r.mass();
+            prop_assert!((mass - 1.0).abs() < 1e-2, "{} mass {}", label, mass);
+        }
+    }
+}
+
+#[test]
+fn four_kernels_agree_on_standins() {
+    for d in pcpm::graph::gen::Dataset::ALL {
+        let g = pcpm::graph::gen::datasets::standin_at(d, 11).unwrap();
+        let cfg = PcpmConfig::default()
+            .with_partition_bytes(2048)
+            .with_iterations(10);
+        let pc = pagerank(&g, &cfg).unwrap().scores;
+        let pd = pdpr(&g, &cfg).unwrap().scores;
+        let bv = bvgas(&g, &cfg).unwrap().scores;
+        let ps = push_pagerank(&g, &cfg).unwrap().scores;
+        for i in 0..g.num_nodes() as usize {
+            assert!(
+                (pc[i] - pd[i]).abs() < 1e-5,
+                "{}: pcpm vs pdpr node {i}",
+                d.name()
+            );
+            assert!(
+                (pc[i] - bv[i]).abs() < 1e-5,
+                "{}: pcpm vs bvgas node {i}",
+                d.name()
+            );
+            assert!(
+                (pc[i] - ps[i]).abs() < 1e-5,
+                "{}: pcpm vs push node {i}",
+                d.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ranking_is_stable_across_kernels() {
+    // The induced top-20 ranking (not just the values) must agree.
+    let g = pcpm::graph::gen::rmat(&RmatConfig::graph500(11, 12, 9)).unwrap();
+    let cfg = PcpmConfig::default()
+        .with_partition_bytes(1024)
+        .with_iterations(20);
+    let top = |scores: &[f32]| -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+        idx.sort_by(|&a, &b| scores[b as usize].total_cmp(&scores[a as usize]));
+        idx.truncate(20);
+        idx
+    };
+    let pc = top(&pagerank(&g, &cfg).unwrap().scores);
+    let pd = top(&pdpr(&g, &cfg).unwrap().scores);
+    assert_eq!(pc, pd);
+}

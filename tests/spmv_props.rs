@@ -1,0 +1,98 @@
+//! Property-based validation of the generic SpMV front end (§3.5).
+
+use pcpm::prelude::*;
+use proptest::prelude::*;
+
+fn arb_matrix() -> impl Strategy<Value = SpmvMatrix> {
+    ((1u32..80), (1u32..80)).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec((0..rows, 0..cols, -10i32..10), 0..400).prop_map(move |trip| {
+            let trip: Vec<(u32, u32, f32)> = trip
+                .into_iter()
+                .map(|(r, c, v)| (r, c, v as f32 * 0.25))
+                .collect();
+            SpmvMatrix::from_triplets(rows, cols, &trip).expect("matrix")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pcpm_spmv_matches_reference(m in arb_matrix(), q in 1u32..40) {
+        let cfg = PcpmConfig::default().with_partition_bytes(q as usize * 4);
+        let mut engine = SpmvEngine::new(&m, &cfg).unwrap();
+        let x: Vec<f32> = (0..m.num_cols()).map(|i| ((i % 7) as f32) - 3.0).collect();
+        let mut y = vec![0.0f32; m.num_rows() as usize];
+        engine.apply(&x, &mut y).unwrap();
+        let want = m.reference_apply(&x);
+        for (i, (&a, &b)) in y.iter().zip(&want).enumerate() {
+            prop_assert!((a - b).abs() < 1e-2 * b.abs().max(1.0), "row {}: {} vs {}", i, a, b);
+        }
+    }
+
+    #[test]
+    fn zero_vector_maps_to_zero(m in arb_matrix()) {
+        let cfg = PcpmConfig::default().with_partition_bytes(64);
+        let mut engine = SpmvEngine::new(&m, &cfg).unwrap();
+        let x = vec![0.0f32; m.num_cols() as usize];
+        let mut y = vec![7.0f32; m.num_rows() as usize];
+        engine.apply(&x, &mut y).unwrap();
+        prop_assert!(y.iter().all(|&v| v == 0.0));
+    }
+}
+
+#[test]
+fn weighted_graph_pagerank_style_product() {
+    // Weighted adjacency SpMV through the engine's weighted path must
+    // match an explicit weighted reference.
+    let g = pcpm::graph::gen::erdos_renyi(300, 2500, 4).unwrap();
+    let w = EdgeWeights::random(&g, 11);
+    let cfg = PcpmConfig::default().with_partition_bytes(64 * 4);
+    let mut engine = PcpmEngine::new_weighted(&g, &w, &cfg).unwrap();
+    let x: Vec<f32> = (0..300).map(|i| (i as f32 * 0.01).cos()).collect();
+    let mut y = vec![0.0f32; 300];
+    engine.spmv(&x, &mut y).unwrap();
+
+    let mut want = vec![0.0f64; 300];
+    let mut edge_idx = 0usize;
+    for v in 0..g.num_nodes() {
+        for &t in g.neighbors(v) {
+            want[t as usize] += f64::from(w.as_slice()[edge_idx]) * f64::from(x[v as usize]);
+            edge_idx += 1;
+        }
+    }
+    for (i, (&a, &b)) in y.iter().zip(&want).enumerate() {
+        assert!((f64::from(a) - b).abs() < 1e-4, "node {i}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn identity_matrix_is_identity() {
+    let n = 64u32;
+    let trip: Vec<(u32, u32, f32)> = (0..n).map(|i| (i, i, 1.0)).collect();
+    let m = SpmvMatrix::from_triplets(n, n, &trip).unwrap();
+    let mut engine = SpmvEngine::new(&m, &PcpmConfig::default().with_partition_bytes(40)).unwrap();
+    let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let mut y = vec![0.0f32; n as usize];
+    engine.apply(&x, &mut y).unwrap();
+    assert_eq!(x, y);
+}
+
+#[test]
+fn column_stochastic_preserves_mass() {
+    // Each column sums to 1: ||Ax||_1 == ||x||_1 for non-negative x.
+    let n = 100u32;
+    let mut trip = Vec::new();
+    for c in 0..n {
+        trip.push(((c + 1) % n, c, 0.5f32));
+        trip.push(((c + 7) % n, c, 0.5f32));
+    }
+    let m = SpmvMatrix::from_triplets(n, n, &trip).unwrap();
+    let mut engine = SpmvEngine::new(&m, &PcpmConfig::default().with_partition_bytes(64)).unwrap();
+    let x = vec![1.0f32 / n as f32; n as usize];
+    let mut y = vec![0.0f32; n as usize];
+    engine.apply(&x, &mut y).unwrap();
+    let mass: f32 = y.iter().sum();
+    assert!((mass - 1.0).abs() < 1e-5, "mass {mass}");
+}
