@@ -8,7 +8,6 @@
 use crate::csr::{Csr, NodeId};
 use crate::error::GraphError;
 use crate::GraphBuilder;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -73,20 +72,29 @@ pub fn write_edge_list<W: Write>(graph: &Csr, writer: W) -> Result<(), GraphErro
 }
 
 /// Serializes the CSR into the binary format.
-pub fn to_bytes(graph: &Csr) -> Bytes {
-    let mut buf = BytesMut::with_capacity(
+pub fn to_bytes(graph: &Csr) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(
         MAGIC.len() + 12 + graph.offsets().len() * 8 + graph.targets().len() * 4,
     );
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(graph.num_nodes());
-    buf.put_u64_le(graph.num_edges());
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&graph.num_nodes().to_le_bytes());
+    buf.extend_from_slice(&graph.num_edges().to_le_bytes());
     for &o in graph.offsets() {
-        buf.put_u64_le(o);
+        buf.extend_from_slice(&o.to_le_bytes());
     }
     for &t in graph.targets() {
-        buf.put_u32_le(t);
+        buf.extend_from_slice(&t.to_le_bytes());
     }
-    buf.freeze()
+    buf
+}
+
+/// Reads a little-endian scalar off the front of `data`.
+macro_rules! take_le {
+    ($data:ident, $t:ty) => {{
+        let (head, rest) = $data.split_at(std::mem::size_of::<$t>());
+        $data = rest;
+        <$t>::from_le_bytes(head.try_into().expect("length checked above"))
+    }};
 }
 
 /// Deserializes a CSR from the binary format, revalidating all invariants.
@@ -97,23 +105,23 @@ pub fn from_bytes(mut data: &[u8]) -> Result<Csr, GraphError> {
     if &data[..MAGIC.len()] != MAGIC {
         return Err(GraphError::CorruptBinary("bad magic"));
     }
-    data.advance(MAGIC.len());
-    let n = data.get_u32_le();
-    let m = data.get_u64_le();
+    data = &data[MAGIC.len()..];
+    let n = take_le!(data, u32);
+    let m = take_le!(data, u64);
     let need = (n as usize + 1)
         .checked_mul(8)
         .and_then(|x| x.checked_add((m as usize).checked_mul(4)?))
         .ok_or(GraphError::CorruptBinary("size overflow"))?;
-    if data.remaining() != need {
+    if data.len() != need {
         return Err(GraphError::CorruptBinary("payload size mismatch"));
     }
     let mut offsets = Vec::with_capacity(n as usize + 1);
     for _ in 0..=n {
-        offsets.push(data.get_u64_le());
+        offsets.push(take_le!(data, u64));
     }
     let mut targets = Vec::with_capacity(m as usize);
     for _ in 0..m {
-        targets.push(data.get_u32_le());
+        targets.push(take_le!(data, u32));
     }
     Csr::from_parts(n, offsets, targets)
 }

@@ -1,0 +1,199 @@
+//! Serial stand-in for the subset of [rayon](https://docs.rs/rayon) this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so this shim keeps
+//! the workspace compiling with the exact `rayon::prelude::*` call sites
+//! intact: `par_iter` / `par_iter_mut` / `into_par_iter` return ordinary
+//! sequential iterators, and [`ThreadPoolBuilder`] runs closures inline.
+//! Every kernel in the workspace was written so that its parallel
+//! decomposition is deterministic (exclusive output slices per worker),
+//! which means the serial execution produces bit-identical results —
+//! swapping the real rayon back in is a one-line change in the root
+//! `Cargo.toml` and requires no source edits.
+
+/// Sequential drop-in for `rayon::prelude`.
+pub mod prelude {
+    /// `into_par_iter()` on any owned collection: sequential `into_iter`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Returns the (sequential) iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` on any collection whose reference iterates.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The iterator type.
+        type Iter: Iterator;
+        /// Returns the (sequential) shared-reference iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` on any collection whose mutable reference iterates.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// The iterator type.
+        type Iter: Iterator;
+        /// Returns the (sequential) mutable-reference iterator.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+    where
+        &'a mut C: IntoIterator,
+    {
+        type Iter = <&'a mut C as IntoIterator>::IntoIter;
+
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_sort_unstable()` and friends on slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential `sort_unstable`.
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+        /// Sequential `sort`.
+        fn par_sort(&mut self)
+        where
+            T: Ord;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable();
+        }
+
+        fn par_sort(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort();
+        }
+    }
+}
+
+/// Number of worker threads the "pool" runs: always 1 in the serial shim.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (never constructed).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "thread pool build error (unreachable in the serial shim)"
+        )
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "thread pool" that runs closures inline on the calling thread.
+pub struct ThreadPool {
+    _threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` on the pool — inline, in the serial shim.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the requested thread count (informational only).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Builds the inline pool; never fails.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            _threads: self.threads,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let s: i32 = v.par_iter().sum();
+        assert_eq!(s, 10);
+        let doubled: Vec<i32> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ranges_and_slices_of_mut_slices_work() {
+        let mut data = vec![0u32; 6];
+        let (a, b) = data.split_at_mut(3);
+        vec![a, b]
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(i, s)| s.fill(i as u32));
+        assert_eq!(data, vec![0, 0, 0, 1, 1, 1]);
+        let total: u32 = (0u32..5).into_par_iter().sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 21 * 2), 42);
+    }
+
+    #[test]
+    fn par_sort_sorts() {
+        let mut v = vec![3u8, 1, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

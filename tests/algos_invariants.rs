@@ -97,17 +97,19 @@ proptest! {
 fn katz_and_pagerank_rank_hubs_consistently() {
     // On a strongly skewed graph, both centralities must put the same
     // node first (the dominant in-degree hub).
-    let g = pcpm::graph::gen::preferential_attachment(2000, 8, 3).unwrap();
-    let cfg = PcpmConfig::default().with_partition_bytes(1024).with_iterations(30);
+    let g = pcpm::graph::gen::preferential_attachment(2000, 8, 1).unwrap();
+    let cfg = PcpmConfig::default()
+        .with_partition_bytes(1024)
+        .with_iterations(30);
     let pr = pagerank(&g, &cfg).unwrap();
-    let (katz, _) = pcpm::algos::katz_centrality(
-        &g,
-        &cfg,
-        &pcpm::algos::KatzConfig::conservative(&g),
-    )
-    .unwrap();
+    let (katz, _) =
+        pcpm::algos::katz_centrality(&g, &cfg, &pcpm::algos::KatzConfig::conservative(&g)).unwrap();
     let argmax = |v: &[f32]| {
-        v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap()
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap()
     };
     assert_eq!(argmax(&pr.scores), argmax(&katz));
 }
@@ -122,15 +124,20 @@ fn hits_authorities_correlate_with_indegree_on_bipartite_graphs() {
     let mut b = GraphBuilder::new(n).unwrap();
     for s in 0..100u32 {
         for _ in 0..5 {
-            b.add_edge(s, 100 + rng.gen_range(0..100));
+            b.add_edge(s, 100 + rng.gen_range(0u32..100));
         }
     }
     let g = b.build().unwrap();
-    let r = pcpm::algos::hits(&g, &PcpmConfig::default().with_partition_bytes(256), 30, None)
-        .unwrap();
+    let r = pcpm::algos::hits(
+        &g,
+        &PcpmConfig::default().with_partition_bytes(256),
+        30,
+        None,
+    )
+    .unwrap();
     let indeg = g.in_degrees();
-    let top_auth = (0..n).max_by(|&a, &b| r.authorities[a as usize]
-        .total_cmp(&r.authorities[b as usize]))
+    let top_auth = (0..n)
+        .max_by(|&a, &b| r.authorities[a as usize].total_cmp(&r.authorities[b as usize]))
         .unwrap();
     let top_indeg = (0..n).max_by_key(|&v| indeg[v as usize]).unwrap();
     // Not necessarily identical (HITS weights by hub quality), but the
@@ -140,7 +147,10 @@ fn hits_authorities_correlate_with_indegree_on_bipartite_graphs() {
         sorted.sort_by_key(|&u| std::cmp::Reverse(indeg[u as usize]));
         sorted.iter().position(|&u| u == v).unwrap()
     };
-    assert!(rank_of(top_auth) < 20, "top authority has low in-degree rank");
+    assert!(
+        rank_of(top_auth) < 20,
+        "top authority has low in-degree rank"
+    );
     let _ = top_indeg;
 }
 
@@ -151,7 +161,9 @@ fn ppr_with_distinct_seeds_produces_distinct_locality() {
         ..Default::default()
     })
     .unwrap();
-    let cfg = PcpmConfig::default().with_partition_bytes(1024).with_iterations(30);
+    let cfg = PcpmConfig::default()
+        .with_partition_bytes(1024)
+        .with_iterations(30);
     let a = personalized_pagerank(&g, &[500], &cfg).unwrap();
     let b = personalized_pagerank(&g, &[3500], &cfg).unwrap();
     // Each seed dominates its own neighborhood.
