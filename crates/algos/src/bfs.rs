@@ -7,8 +7,9 @@
 //! PCPM pipeline and inherits its memory behavior, which is the point of
 //! the programming-model generalisation.
 
-use crate::propagate::PropagationEngine;
+use crate::propagate::{propagation_engine, run_to_fixpoint};
 use pcpm_core::algebra::MinLevel;
+use pcpm_core::backend::BackendKind;
 use pcpm_core::config::PcpmConfig;
 use pcpm_core::error::PcpmError;
 use pcpm_graph::Csr;
@@ -31,16 +32,26 @@ pub const UNREACHED: u32 = u32::MAX;
 /// assert_eq!(levels[3], pcpm_algos::bfs::UNREACHED);
 /// ```
 pub fn bfs_levels(graph: &Csr, source: u32, cfg: &PcpmConfig) -> Result<Vec<u32>, PcpmError> {
+    bfs_levels_on(graph, source, cfg, BackendKind::Pcpm)
+}
+
+/// As [`bfs_levels`], through any backend dataplane.
+pub fn bfs_levels_on(
+    graph: &Csr,
+    source: u32,
+    cfg: &PcpmConfig,
+    backend: BackendKind,
+) -> Result<Vec<u32>, PcpmError> {
     if source >= graph.num_nodes() {
         return Err(PcpmError::DimensionMismatch {
             expected: graph.num_nodes() as usize,
             got: source as usize,
         });
     }
-    let mut engine = PropagationEngine::<MinLevel>::new(graph, cfg, None)?;
+    let mut engine = propagation_engine::<MinLevel>(graph, cfg, None, backend)?;
     let mut init = vec![UNREACHED; graph.num_nodes() as usize];
     init[source as usize] = 0;
-    let r = engine.run_to_fixpoint(init, graph.num_nodes().max(1) as usize)?;
+    let r = run_to_fixpoint(&mut engine, init, graph.num_nodes().max(1) as usize)?;
     debug_assert!(r.converged);
     Ok(r.state)
 }

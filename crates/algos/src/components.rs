@@ -1,7 +1,8 @@
 //! Connected components via partition-centric min-label propagation.
 
-use crate::propagate::PropagationEngine;
+use crate::propagate::{propagation_engine, run_to_fixpoint};
 use pcpm_core::algebra::MinLabel;
+use pcpm_core::backend::BackendKind;
 use pcpm_core::config::PcpmConfig;
 use pcpm_core::error::PcpmError;
 use pcpm_graph::Csr;
@@ -25,12 +26,21 @@ use pcpm_graph::Csr;
 /// assert_eq!(labels, vec![0, 0, 0, 3, 3]);
 /// ```
 pub fn connected_components(graph: &Csr, cfg: &PcpmConfig) -> Result<Vec<u32>, PcpmError> {
+    connected_components_on(graph, cfg, BackendKind::Pcpm)
+}
+
+/// As [`connected_components`], through any backend dataplane.
+pub fn connected_components_on(
+    graph: &Csr,
+    cfg: &PcpmConfig,
+    backend: BackendKind,
+) -> Result<Vec<u32>, PcpmError> {
     let undirected = graph.symmetrize();
-    let mut engine = PropagationEngine::<MinLabel>::new(&undirected, cfg, None)?;
+    let mut engine = propagation_engine::<MinLabel>(&undirected, cfg, None, backend)?;
     let init: Vec<u32> = (0..graph.num_nodes()).collect();
     // Min-label over an undirected graph converges within the largest
     // component's diameter, bounded by n rounds.
-    let r = engine.run_to_fixpoint(init, graph.num_nodes().max(1) as usize)?;
+    let r = run_to_fixpoint(&mut engine, init, graph.num_nodes().max(1) as usize)?;
     debug_assert!(r.converged);
     Ok(r.state)
 }

@@ -5,8 +5,9 @@
 //! built on the transpose. Both reuse their layouts across all
 //! iterations, amortizing pre-processing exactly like PageRank does.
 
+use pcpm_core::algebra::PlusF32;
+use pcpm_core::backend::{BackendKind, Engine};
 use pcpm_core::config::PcpmConfig;
-use pcpm_core::engine::PcpmEngine;
 use pcpm_core::error::PcpmError;
 use pcpm_graph::Csr;
 
@@ -29,6 +30,18 @@ pub fn hits(
     iterations: usize,
     tolerance: Option<f64>,
 ) -> Result<HitsResult, PcpmError> {
+    hits_on(graph, cfg, iterations, tolerance, BackendKind::Pcpm)
+}
+
+/// As [`hits`], through any backend dataplane (both directions run the
+/// same kind).
+pub fn hits_on(
+    graph: &Csr,
+    cfg: &PcpmConfig,
+    iterations: usize,
+    tolerance: Option<f64>,
+    backend: BackendKind,
+) -> Result<HitsResult, PcpmError> {
     cfg.validate()?;
     let n = graph.num_nodes() as usize;
     if n == 0 {
@@ -39,8 +52,14 @@ pub fn hits(
         });
     }
     let transpose = graph.transpose();
-    let mut fwd = PcpmEngine::new(graph, cfg)?; // Aᵀ·x
-    let mut bwd = PcpmEngine::new(&transpose, cfg)?; // A·x
+    let mut fwd = Engine::<PlusF32>::builder(graph)
+        .config(*cfg)
+        .backend(backend)
+        .build()?; // Aᵀ·x
+    let mut bwd = Engine::<PlusF32>::builder(&transpose)
+        .config(*cfg)
+        .backend(backend)
+        .build()?; // A·x
     let norm = |v: &mut [f32]| {
         let s: f64 = v.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
         let s = (s.sqrt() as f32).max(f32::MIN_POSITIVE);
@@ -51,9 +70,9 @@ pub fn hits(
     let mut iters = 0;
     let mut prev_auth = auth.clone();
     while iters < iterations {
-        fwd.spmv(&hubs, &mut auth)?;
+        fwd.step(&hubs, &mut auth)?;
         norm(&mut auth);
-        bwd.spmv(&auth, &mut hubs)?;
+        bwd.step(&auth, &mut hubs)?;
         norm(&mut hubs);
         iters += 1;
         if let Some(tol) = tolerance {

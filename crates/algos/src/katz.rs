@@ -4,8 +4,9 @@
 //! `α < 1/λ_max(A)`. Another straight SpMV iteration, so it inherits the
 //! partition-centric memory behavior unchanged.
 
+use pcpm_core::algebra::PlusF32;
+use pcpm_core::backend::{BackendKind, Engine};
 use pcpm_core::config::PcpmConfig;
-use pcpm_core::engine::PcpmEngine;
 use pcpm_core::error::PcpmError;
 use pcpm_graph::Csr;
 use rayon::prelude::*;
@@ -45,6 +46,16 @@ pub fn katz_centrality(
     cfg: &PcpmConfig,
     katz: &KatzConfig,
 ) -> Result<(Vec<f32>, usize), PcpmError> {
+    katz_centrality_on(graph, cfg, katz, BackendKind::Pcpm)
+}
+
+/// As [`katz_centrality`], through any backend dataplane.
+pub fn katz_centrality_on(
+    graph: &Csr,
+    cfg: &PcpmConfig,
+    katz: &KatzConfig,
+    backend: BackendKind,
+) -> Result<(Vec<f32>, usize), PcpmError> {
     cfg.validate()?;
     // NaNs must be rejected too, hence the explicit finite checks.
     if !katz.alpha.is_finite()
@@ -58,12 +69,15 @@ pub fn katz_centrality(
     if n == 0 {
         return Ok((Vec::new(), 0));
     }
-    let mut engine = PcpmEngine::new(graph, cfg)?;
+    let mut engine = Engine::<PlusF32>::builder(graph)
+        .config(*cfg)
+        .backend(backend)
+        .build()?;
     let mut x = vec![katz.beta; n];
     let mut ax = vec![0.0f32; n];
     let mut iters = 0;
     while iters < katz.max_iters {
-        engine.spmv(&x, &mut ax)?;
+        engine.step(&x, &mut ax)?;
         let delta: f64 = x
             .par_iter_mut()
             .zip(&ax)

@@ -6,8 +6,10 @@
 //! pipeline (PNG layout, MSB-demarcated bins, branch-avoiding gather) —
 //! only the gather algebra and the apply step differ.
 //!
-//! - [`propagate::PropagationEngine`] — the generic iterate-to-fixpoint
-//!   driver over any [`pcpm_core::algebra::Algebra`];
+//! - [`propagate::propagation_engine`] + [`propagate::run_to_fixpoint`]
+//!   — the generic iterate-to-fixpoint driver over any
+//!   [`pcpm_core::algebra::Algebra`] and any
+//!   [`pcpm_core::BackendKind`];
 //! - [`components::connected_components`] — min-label propagation over the
 //!   undirected closure;
 //! - [`bfs::bfs_levels`] — hop counts from a source (min-level algebra);
@@ -20,6 +22,11 @@
 //! - [`katz::katz_centrality`] — attenuated path counting (`α·Aᵀx + β`);
 //! - [`hits::hits`] — hubs and authorities via paired forward/transpose
 //!   engines.
+//!
+//! Every algorithm also has an `*_on` variant taking a
+//! [`pcpm_core::BackendKind`], running the identical apply/convergence
+//! logic over the PCPM, pull, push or edge-centric dataplane — the
+//! backend-agnostic programming model of the paper's §6.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,11 +40,13 @@ pub mod propagate;
 pub mod sssp;
 pub mod wpr;
 
-pub use bfs::bfs_levels;
-pub use components::connected_components;
-pub use hits::{hits, HitsResult};
-pub use katz::{katz_centrality, KatzConfig};
-pub use ppr::personalized_pagerank;
+pub use bfs::{bfs_levels, bfs_levels_on};
+pub use components::{connected_components, connected_components_on};
+pub use hits::{hits, hits_on, HitsResult};
+pub use katz::{katz_centrality, katz_centrality_on, KatzConfig};
+pub use ppr::{personalized_pagerank, personalized_pagerank_on};
+#[allow(deprecated)]
 pub use propagate::PropagationEngine;
-pub use sssp::sssp;
-pub use wpr::weighted_pagerank;
+pub use propagate::{propagation_engine, run_to_fixpoint, FixpointResult};
+pub use sssp::{sssp, sssp_on};
+pub use wpr::{weighted_pagerank, weighted_pagerank_on};

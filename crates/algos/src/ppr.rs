@@ -6,8 +6,9 @@
 //! well (the standard RWR convention, which keeps the vector a proper
 //! probability distribution).
 
+use pcpm_core::algebra::PlusF32;
+use pcpm_core::backend::{BackendKind, Engine};
 use pcpm_core::config::PcpmConfig;
-use pcpm_core::engine::PcpmEngine;
 use pcpm_core::error::PcpmError;
 use pcpm_core::pr::{PhaseTimings, PrResult};
 use pcpm_graph::Csr;
@@ -34,6 +35,16 @@ pub fn personalized_pagerank(
     seeds: &[u32],
     cfg: &PcpmConfig,
 ) -> Result<PrResult, PcpmError> {
+    personalized_pagerank_on(graph, seeds, cfg, BackendKind::Pcpm)
+}
+
+/// As [`personalized_pagerank`], through any backend dataplane.
+pub fn personalized_pagerank_on(
+    graph: &Csr,
+    seeds: &[u32],
+    cfg: &PcpmConfig,
+    backend: BackendKind,
+) -> Result<PrResult, PcpmError> {
     cfg.validate()?;
     if seeds.is_empty() {
         return Err(PcpmError::BadConfig("seed set must be non-empty"));
@@ -47,7 +58,10 @@ pub fn personalized_pagerank(
             });
         }
     }
-    let mut engine = PcpmEngine::new(graph, cfg)?;
+    let mut engine = Engine::<PlusF32>::builder(graph)
+        .config(*cfg)
+        .backend(backend)
+        .build()?;
     let damping = cfg.damping as f32;
     let seed_share = 1.0 / seeds.len() as f32;
     let mut teleport = vec![0.0f32; n];
@@ -68,9 +82,9 @@ pub fn personalized_pagerank(
     let mut converged = false;
     let mut last_delta = f64::INFINITY;
 
-    pcpm_core::config::run_with_threads(cfg.threads, || -> Result<(), PcpmError> {
+    {
         for _ in 0..cfg.iterations {
-            timings += engine.spmv(&x, &mut sums)?;
+            timings += engine.step(&x, &mut sums)?;
             let t0 = Instant::now();
             // Dangling mass restarts at the seeds.
             let dangling: f64 = pr
@@ -105,17 +119,17 @@ pub fn personalized_pagerank(
                 }
             }
         }
-        Ok(())
-    })?;
+    }
 
+    let report = engine.report();
     Ok(PrResult {
         scores: pr,
         iterations,
         converged,
         last_delta,
         timings,
-        preprocess: engine.preprocess_time(),
-        compression_ratio: Some(engine.compression_ratio()),
+        preprocess: report.preprocess,
+        compression_ratio: report.compression_ratio,
     })
 }
 

@@ -1,18 +1,17 @@
-//! Generic fixpoint propagation over an [`Algebra`].
+//! Generic fixpoint propagation over an [`Algebra`], on the unified
+//! [`Engine`].
 //!
-//! One [`PropagationEngine`] step is exactly one PCPM round: PNG scatter
-//! of the current vertex states, branch-avoiding gather under the chosen
-//! algebra. The fixpoint driver combines each gathered value with the
+//! One [`Engine::step`] is exactly one propagation round: scatter the
+//! current vertex states, gather under the chosen algebra. The
+//! [`run_to_fixpoint`] driver combines each gathered value with the
 //! vertex's previous state (monotone algebras like `min` converge in at
-//! most the graph diameter).
+//! most the graph diameter) — on *any* backend, since it only drives the
+//! step method.
 
 use pcpm_core::algebra::Algebra;
-use pcpm_core::bins::BinSpace;
+use pcpm_core::backend::{BackendKind, Engine};
 use pcpm_core::config::PcpmConfig;
 use pcpm_core::error::PcpmError;
-use pcpm_core::partition::Partitioner;
-use pcpm_core::png::{EdgeView, Png};
-use pcpm_core::{gather, scatter};
 use pcpm_graph::{Csr, EdgeWeights};
 use rayon::prelude::*;
 
@@ -27,13 +26,66 @@ pub struct FixpointResult<T> {
     pub converged: bool,
 }
 
-/// A reusable PCPM pipeline for a fixed graph and algebra.
-pub struct PropagationEngine<A: Algebra> {
-    png: Png,
-    bins: BinSpace<A::T>,
-    num_nodes: u32,
+/// Builds a propagation engine for `graph` under the algebra `A`:
+/// [`Engine::builder`] with the algorithm-friendly defaults filled in.
+pub fn propagation_engine<A: Algebra>(
+    graph: &Csr,
+    cfg: &PcpmConfig,
+    weights: Option<&EdgeWeights>,
+    backend: BackendKind,
+) -> Result<Engine<A>, PcpmError> {
+    let mut builder = Engine::<A>::builder(graph).config(*cfg).backend(backend);
+    if let Some(w) = weights {
+        builder = builder.weights(w);
+    }
+    builder.build()
 }
 
+/// Iterates `state[v] ← combine(state[v], step(state)[v])` until no
+/// vertex changes or `max_rounds` is hit.
+pub fn run_to_fixpoint<A: Algebra>(
+    engine: &mut Engine<A>,
+    mut state: Vec<A::T>,
+    max_rounds: usize,
+) -> Result<FixpointResult<A::T>, PcpmError> {
+    let mut incoming = vec![A::identity(); state.len()];
+    let mut rounds = 0;
+    let mut converged = false;
+    while rounds < max_rounds {
+        engine.step(&state, &mut incoming)?;
+        rounds += 1;
+        let changed = state
+            .par_iter_mut()
+            .zip(&incoming)
+            .map(|(s, &inc)| {
+                let new = A::combine(*s, inc);
+                let changed = new != *s;
+                *s = new;
+                changed as u64
+            })
+            .sum::<u64>();
+        if changed == 0 {
+            converged = true;
+            break;
+        }
+    }
+    Ok(FixpointResult {
+        state,
+        rounds,
+        converged,
+    })
+}
+
+/// A reusable PCPM pipeline for a fixed graph and algebra.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `propagation_engine` / `Engine::builder` and `run_to_fixpoint`"
+)]
+pub struct PropagationEngine<A: Algebra> {
+    engine: Engine<A>,
+}
+
+#[allow(deprecated)]
 impl<A: Algebra> PropagationEngine<A> {
     /// Builds the PNG layout and bins for `graph`; `weights` enables the
     /// algebra's weighted extension (e.g. `(min, +)` for SSSP).
@@ -42,83 +94,34 @@ impl<A: Algebra> PropagationEngine<A> {
         cfg: &PcpmConfig,
         weights: Option<&EdgeWeights>,
     ) -> Result<Self, PcpmError> {
-        cfg.validate()?;
-        if u64::from(graph.num_nodes()) > pcpm_graph::MAX_NODES {
-            return Err(PcpmError::TooManyNodes(u64::from(graph.num_nodes())));
-        }
-        let parts = Partitioner::new(graph.num_nodes(), cfg.partition_nodes())?;
-        let view = EdgeView::from_csr(graph);
-        let png = Png::build(view, parts, parts);
-        let bins = BinSpace::build(view, &png, weights.map(|w| w.as_slice()));
         Ok(Self {
-            png,
-            bins,
-            num_nodes: graph.num_nodes(),
+            engine: propagation_engine(graph, cfg, weights, BackendKind::Pcpm)?,
         })
     }
 
     /// The PNG compression ratio of the built layout.
     pub fn compression_ratio(&self) -> f64 {
-        self.png.compression_ratio()
+        self.engine.report().compression_ratio.unwrap_or(1.0)
     }
 
     /// One propagation round: `y[t] = ⊕_{(s,t) ∈ E} extend(x[s])`, with
     /// `y` initialized to the algebra's identity.
     pub fn step(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<(), PcpmError> {
-        if x.len() != self.num_nodes as usize {
-            return Err(PcpmError::DimensionMismatch {
-                expected: self.num_nodes as usize,
-                got: x.len(),
-            });
-        }
-        if y.len() != self.num_nodes as usize {
-            return Err(PcpmError::DimensionMismatch {
-                expected: self.num_nodes as usize,
-                got: y.len(),
-            });
-        }
-        scatter::png_scatter(&self.png, x, &mut self.bins.updates);
-        gather::gather_algebra::<A>(&self.png, &self.bins, y);
-        Ok(())
+        self.engine.step(x, y).map(|_| ())
     }
 
-    /// Iterates `state[v] ← combine(state[v], step(state)[v])` until no
-    /// vertex changes or `max_rounds` is hit.
+    /// Iterates to a fixpoint (see [`run_to_fixpoint`]).
     pub fn run_to_fixpoint(
         &mut self,
-        mut state: Vec<A::T>,
+        state: Vec<A::T>,
         max_rounds: usize,
     ) -> Result<FixpointResult<A::T>, PcpmError> {
-        let mut incoming = vec![A::identity(); self.num_nodes as usize];
-        let mut rounds = 0;
-        let mut converged = false;
-        while rounds < max_rounds {
-            self.step(&state, &mut incoming)?;
-            rounds += 1;
-            let changed = state
-                .par_iter_mut()
-                .zip(&incoming)
-                .map(|(s, &inc)| {
-                    let new = A::combine(*s, inc);
-                    let changed = new != *s;
-                    *s = new;
-                    changed as u64
-                })
-                .sum::<u64>();
-            if changed == 0 {
-                converged = true;
-                break;
-            }
-        }
-        Ok(FixpointResult {
-            state,
-            rounds,
-            converged,
-        })
+        run_to_fixpoint(&mut self.engine, state, max_rounds)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use pcpm_core::algebra::{MinLabel, OrBool, PlusF32};
@@ -149,6 +152,23 @@ mod tests {
         assert!(r.state.iter().all(|&l| l == 0), "{:?}", r.state);
         // A 10-node chain needs ~9 rounds for label 0 to reach the end.
         assert!(r.rounds >= 9 && r.rounds <= 11, "rounds {}", r.rounds);
+    }
+
+    #[test]
+    fn fixpoint_agrees_on_every_backend() {
+        let g = chain(24).symmetrize();
+        let cfg = PcpmConfig::default().with_partition_bytes(16);
+        let init: Vec<u32> = (0..24).collect();
+        let mut results = Vec::new();
+        for kind in BackendKind::ALL {
+            let mut engine = propagation_engine::<MinLabel>(&g, &cfg, None, kind).unwrap();
+            let r = run_to_fixpoint(&mut engine, init.clone(), 100).unwrap();
+            assert!(r.converged, "{}", kind.name());
+            results.push(r.state);
+        }
+        for other in &results[1..] {
+            assert_eq!(&results[0], other);
+        }
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! fixpoint driver stops when no distance changes. Non-negative weights
 //! guarantee convergence within `n - 1` rounds.
 
-use crate::propagate::PropagationEngine;
+use crate::propagate::{propagation_engine, run_to_fixpoint};
 use pcpm_core::algebra::MinPlusF32;
+use pcpm_core::backend::BackendKind;
 use pcpm_core::config::PcpmConfig;
 use pcpm_core::error::PcpmError;
 use pcpm_graph::{Csr, EdgeWeights};
@@ -34,6 +35,17 @@ pub fn sssp(
     source: u32,
     cfg: &PcpmConfig,
 ) -> Result<Vec<f32>, PcpmError> {
+    sssp_on(graph, weights, source, cfg, BackendKind::Pcpm)
+}
+
+/// As [`sssp`], through any backend dataplane.
+pub fn sssp_on(
+    graph: &Csr,
+    weights: &EdgeWeights,
+    source: u32,
+    cfg: &PcpmConfig,
+    backend: BackendKind,
+) -> Result<Vec<f32>, PcpmError> {
     if source >= graph.num_nodes() {
         return Err(PcpmError::DimensionMismatch {
             expected: graph.num_nodes() as usize,
@@ -45,10 +57,10 @@ pub fn sssp(
             "sssp requires non-negative edge weights",
         ));
     }
-    let mut engine = PropagationEngine::<MinPlusF32>::new(graph, cfg, Some(weights))?;
+    let mut engine = propagation_engine::<MinPlusF32>(graph, cfg, Some(weights), backend)?;
     let mut init = vec![f32::INFINITY; graph.num_nodes() as usize];
     init[source as usize] = 0.0;
-    let r = engine.run_to_fixpoint(init, graph.num_nodes().max(1) as usize)?;
+    let r = run_to_fixpoint(&mut engine, init, graph.num_nodes().max(1) as usize)?;
     debug_assert!(r.converged);
     Ok(r.state)
 }

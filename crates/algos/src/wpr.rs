@@ -5,8 +5,9 @@
 //! scales each vertex by its total outgoing weight instead of its
 //! out-degree.
 
+use pcpm_core::algebra::PlusF32;
+use pcpm_core::backend::{BackendKind, Engine};
 use pcpm_core::config::PcpmConfig;
-use pcpm_core::engine::PcpmEngine;
 use pcpm_core::error::PcpmError;
 use pcpm_core::pr::{PhaseTimings, PrResult};
 use pcpm_graph::{Csr, EdgeWeights};
@@ -21,6 +22,17 @@ pub fn weighted_pagerank(
     weights: &EdgeWeights,
     cfg: &PcpmConfig,
 ) -> Result<PrResult, PcpmError> {
+    weighted_pagerank_on(graph, weights, cfg, BackendKind::Pcpm)
+}
+
+/// As [`weighted_pagerank`], through any backend dataplane (the weights
+/// ride in whatever auxiliary stream the backend builds).
+pub fn weighted_pagerank_on(
+    graph: &Csr,
+    weights: &EdgeWeights,
+    cfg: &PcpmConfig,
+    backend: BackendKind,
+) -> Result<PrResult, PcpmError> {
     cfg.validate()?;
     if weights.as_slice().iter().any(|&w| w < 0.0) {
         return Err(PcpmError::BadConfig(
@@ -28,7 +40,11 @@ pub fn weighted_pagerank(
         ));
     }
     let n = graph.num_nodes() as usize;
-    let mut engine = PcpmEngine::new_weighted(graph, weights, cfg)?;
+    let mut engine = Engine::<PlusF32>::builder(graph)
+        .config(*cfg)
+        .weights(weights)
+        .backend(backend)
+        .build()?;
     let damping = cfg.damping as f32;
     let base = if n == 0 {
         0.0
@@ -54,9 +70,9 @@ pub fn weighted_pagerank(
     let mut converged = false;
     let mut last_delta = f64::INFINITY;
 
-    pcpm_core::config::run_with_threads(cfg.threads, || -> Result<(), PcpmError> {
+    {
         for _ in 0..cfg.iterations {
-            timings += engine.spmv(&x, &mut sums)?;
+            timings += engine.step(&x, &mut sums)?;
             let t0 = Instant::now();
             let bonus = if cfg.redistribute_dangling {
                 let mass: f64 = pr
@@ -93,17 +109,17 @@ pub fn weighted_pagerank(
                 }
             }
         }
-        Ok(())
-    })?;
+    }
 
+    let report = engine.report();
     Ok(PrResult {
         scores: pr,
         iterations,
         converged,
         last_delta,
         timings,
-        preprocess: engine.preprocess_time(),
-        compression_ratio: Some(engine.compression_ratio()),
+        preprocess: report.preprocess,
+        compression_ratio: report.compression_ratio,
     })
 }
 

@@ -165,6 +165,57 @@ impl BvgasRunner {
         }
     }
 
+    /// One scatter+gather round over pre-scaled source values: appends
+    /// every edge's message through the write-combining buffers, then
+    /// drains the bins into `sums`. `updates` must hold `num_edges`
+    /// entries and is reused across rounds. Returns (scatter, gather)
+    /// wall-clock times. Shared by [`BvgasRunner::run`] and the unified
+    /// `Backend` implementation.
+    pub fn propagate_once(
+        &self,
+        graph: &Csr,
+        x: &[f32],
+        updates: &mut [f32],
+        sums: &mut [f32],
+    ) -> (Duration, Duration) {
+        let b = self.num_bins as usize;
+        let t = self.bounds.len() - 1;
+        let t0 = Instant::now();
+        let region_lens: Vec<usize> = (0..t)
+            .map(|ti| (self.seg_off[(ti + 1) * b] - self.seg_off[ti * b]) as usize)
+            .collect();
+        let regions = split_by_lens(updates, &region_lens);
+        regions
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(ti, region)| {
+                self.scatter_worker(graph, ti, region, x);
+            });
+        let scatter_t = t0.elapsed();
+
+        let t1 = Instant::now();
+        let bin_lens: Vec<usize> = (0..self.num_bins)
+            .map(|bi| {
+                let lo = bi * self.bin_width;
+                (self.num_nodes.min(lo + self.bin_width) - lo) as usize
+            })
+            .collect();
+        let slices = split_by_lens(sums, &bin_lens);
+        let updates = &*updates;
+        slices.into_par_iter().enumerate().for_each(|(bi, ys)| {
+            ys.fill(0.0);
+            let bin_base = bi * self.bin_width as usize;
+            for ti in 0..t {
+                let lo = self.seg_off[ti * b + bi] as usize;
+                let hi = self.seg_off[ti * b + bi + 1] as usize;
+                for (&dest, &upd) in self.dest_ids[lo..hi].iter().zip(&updates[lo..hi]) {
+                    ys[dest as usize - bin_base] += upd;
+                }
+            }
+        });
+        (scatter_t, t1.elapsed())
+    }
+
     /// Runs PageRank with the BVGAS schedule.
     pub fn run(&self, graph: &Csr, cfg: &PcpmConfig) -> Result<PrResult, PcpmError> {
         cfg.validate()?;
@@ -192,48 +243,15 @@ impl BvgasRunner {
         let mut iterations = 0usize;
         let mut converged = false;
         let mut last_delta = f64::INFINITY;
-        let b = self.num_bins as usize;
-        let t = self.bounds.len() - 1;
 
         run_with_threads(cfg.threads, || {
             let mut sums = vec![0.0f32; n];
             for _ in 0..cfg.iterations {
-                // Scatter: append x[v] for every out-edge, staged through
-                // write-combining buffers.
-                let t0 = Instant::now();
-                let region_lens: Vec<usize> = (0..t)
-                    .map(|ti| (self.seg_off[(ti + 1) * b] - self.seg_off[ti * b]) as usize)
-                    .collect();
-                let regions = split_by_lens(&mut updates, &region_lens);
-                regions
-                    .into_par_iter()
-                    .enumerate()
-                    .for_each(|(ti, region)| {
-                        self.scatter_worker(graph, ti, region, &x);
-                    });
-                timings.scatter += t0.elapsed();
-
-                // Gather: drain bins (dynamic scheduling over bins).
-                let t1 = Instant::now();
-                let bin_lens: Vec<usize> = (0..self.num_bins)
-                    .map(|bi| {
-                        let lo = bi * self.bin_width;
-                        (self.num_nodes.min(lo + self.bin_width) - lo) as usize
-                    })
-                    .collect();
-                let slices = split_by_lens(&mut sums, &bin_lens);
-                slices.into_par_iter().enumerate().for_each(|(bi, ys)| {
-                    ys.fill(0.0);
-                    let bin_base = bi * self.bin_width as usize;
-                    for ti in 0..t {
-                        let lo = self.seg_off[ti * b + bi] as usize;
-                        let hi = self.seg_off[ti * b + bi + 1] as usize;
-                        for (&dest, &upd) in self.dest_ids[lo..hi].iter().zip(&updates[lo..hi]) {
-                            ys[dest as usize - bin_base] += upd;
-                        }
-                    }
-                });
-                timings.gather += t1.elapsed();
+                // Scatter messages through the write-combining buffers,
+                // then drain the bins.
+                let (scatter_t, gather_t) = self.propagate_once(graph, &x, &mut updates, &mut sums);
+                timings.scatter += scatter_t;
+                timings.gather += gather_t;
 
                 // Apply.
                 let t2 = Instant::now();

@@ -78,6 +78,31 @@ impl EdgeCentricRunner {
         self.preprocess
     }
 
+    /// One combined scatter+gather round over pre-scaled source values:
+    /// stream each bin's edges, reading `x[src]` (random) and
+    /// accumulating into the bin's cached sum range. Parallel over bins —
+    /// destination ownership is exclusive per bin. Shared by
+    /// [`EdgeCentricRunner::run`] and the unified `Backend`
+    /// implementation.
+    pub fn propagate_once(&self, x: &[f32], sums: &mut [f32]) {
+        let bin_lens: Vec<usize> = (0..self.num_bins)
+            .map(|b| {
+                let lo = b * self.bin_width;
+                (self.num_nodes.min(lo + self.bin_width) - lo) as usize
+            })
+            .collect();
+        let slices = split_by_lens(sums, &bin_lens);
+        slices.into_par_iter().enumerate().for_each(|(b, ys)| {
+            ys.fill(0.0);
+            let lo = self.bin_off[b] as usize;
+            let hi = self.bin_off[b + 1] as usize;
+            let bin_base = b as u32 * self.bin_width;
+            for i in lo..hi {
+                ys[(self.dst[i] - bin_base) as usize] += x[self.src[i] as usize];
+            }
+        });
+    }
+
     /// Runs PageRank with edge-centric streaming.
     pub fn run(&self, cfg: &PcpmConfig) -> Result<PrResult, PcpmError> {
         cfg.validate()?;
@@ -102,27 +127,8 @@ impl EdgeCentricRunner {
         run_with_threads(cfg.threads, || {
             let mut sums = vec![0.0f32; n];
             for _ in 0..cfg.iterations {
-                // Combined scatter+gather: stream each bin's edges, reading
-                // x[src] (random) and accumulating into the bin's cached
-                // sum range. Parallel over bins — destination ownership is
-                // exclusive per bin.
                 let t0 = Instant::now();
-                let bin_lens: Vec<usize> = (0..self.num_bins)
-                    .map(|b| {
-                        let lo = b * self.bin_width;
-                        (self.num_nodes.min(lo + self.bin_width) - lo) as usize
-                    })
-                    .collect();
-                let slices = split_by_lens(&mut sums, &bin_lens);
-                slices.into_par_iter().enumerate().for_each(|(b, ys)| {
-                    ys.fill(0.0);
-                    let lo = self.bin_off[b] as usize;
-                    let hi = self.bin_off[b + 1] as usize;
-                    let bin_base = b as u32 * self.bin_width;
-                    for i in lo..hi {
-                        ys[(self.dst[i] - bin_base) as usize] += x[self.src[i] as usize];
-                    }
-                });
+                self.propagate_once(&x, &mut sums);
                 timings.gather += t0.elapsed();
 
                 let t1 = Instant::now();

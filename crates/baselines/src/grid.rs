@@ -103,6 +103,32 @@ impl GridRunner {
         self.blocks.iter().map(|b| b.targets.len() as u64).sum()
     }
 
+    /// One 2D-blocked round over pre-scaled source values: each stripe
+    /// owner streams its source blocks, re-reading its partial-sum slice
+    /// per block (the §2.2 sub-optimality). Shared by [`GridRunner::run`]
+    /// and the unified `Backend` implementation.
+    pub fn propagate_once(&self, x: &[f32], sums: &mut [f32]) {
+        let k = self.parts.num_partitions() as usize;
+        let stripe_lens = self.parts.lens();
+        let stripes = split_by_lens(sums, &stripe_lens);
+        stripes.into_par_iter().enumerate().for_each(|(j, ys)| {
+            ys.fill(0.0);
+            let stripe_base = self.parts.range(j as u32).start as usize;
+            for i in 0..k {
+                let block = &self.blocks[j * k + i];
+                let src_base = self.parts.range(i as u32).start;
+                for local in 0..block.offsets.len() - 1 {
+                    let val = x[src_base as usize + local];
+                    let lo = block.offsets[local] as usize;
+                    let hi = block.offsets[local + 1] as usize;
+                    for &t in &block.targets[lo..hi] {
+                        ys[t as usize - stripe_base] += val;
+                    }
+                }
+            }
+        });
+    }
+
     /// Runs PageRank with 2D-blocked traversal.
     pub fn run(&self, cfg: &PcpmConfig) -> Result<PrResult, PcpmError> {
         cfg.validate()?;
@@ -110,7 +136,6 @@ impl GridRunner {
         if n == 0 {
             return Ok(empty_result());
         }
-        let k = self.parts.num_partitions() as usize;
         let damping = cfg.damping as f32;
         let base = ((1.0 - cfg.damping) / n as f64) as f32;
         let inv_deg: Vec<f32> = self
@@ -129,24 +154,7 @@ impl GridRunner {
             let mut sums = vec![0.0f32; n];
             for _ in 0..cfg.iterations {
                 let t0 = Instant::now();
-                let stripe_lens = self.parts.lens();
-                let stripes = split_by_lens(&mut sums, &stripe_lens);
-                stripes.into_par_iter().enumerate().for_each(|(j, ys)| {
-                    ys.fill(0.0);
-                    let stripe_base = self.parts.range(j as u32).start as usize;
-                    for i in 0..k {
-                        let block = &self.blocks[j * k + i];
-                        let src_base = self.parts.range(i as u32).start;
-                        for local in 0..block.offsets.len() - 1 {
-                            let val = x[src_base as usize + local];
-                            let lo = block.offsets[local] as usize;
-                            let hi = block.offsets[local + 1] as usize;
-                            for &t in &block.targets[lo..hi] {
-                                ys[t as usize - stripe_base] += val;
-                            }
-                        }
-                    }
-                });
+                self.propagate_once(&x, &mut sums);
                 timings.gather += t0.elapsed();
 
                 let t1 = Instant::now();

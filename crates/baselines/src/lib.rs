@@ -12,11 +12,16 @@
 //!   destination IDs written once, per-thread bin spaces).
 //!
 //! All kernels share the scaled-value and dangling-node conventions of
-//! `pcpm-core`, so their outputs are directly comparable.
+//! `pcpm-core`, so their outputs are directly comparable. Each runner's
+//! dataplane also implements the unified
+//! [`pcpm_core::Backend`] trait (see [`backend_impls`]), so every
+//! algorithm in `pcpm-algos` can execute on a baseline for
+//! apples-to-apples ablations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend_impls;
 pub mod bvgas;
 pub mod edge_centric;
 pub mod grid;
@@ -24,6 +29,10 @@ pub mod pdpr;
 pub mod push;
 pub mod reference;
 
+pub use backend_impls::{
+    bvgas_engine, edge_centric_engine, grid_engine, pdpr_engine, BvgasBackend, GridBackend,
+    PdprBackend,
+};
 pub use bvgas::{bvgas, BvgasRunner};
 pub use edge_centric::{edge_centric, EdgeCentricRunner};
 pub use grid::{grid_pagerank, GridRunner};

@@ -58,6 +58,28 @@ impl PdprRunner {
         self.transpose_time
     }
 
+    /// One pull round over pre-scaled source values: `sums[v] = Σ x[u]`
+    /// over in-neighbors `u` of `v` — the kernel's dataplane, shared by
+    /// [`PdprRunner::run`] and the unified `Backend` implementation.
+    pub fn propagate_once(&self, x: &[f32], sums: &mut [f32]) {
+        let chunk_lens: Vec<usize> = self
+            .bounds
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .collect();
+        let slices = pcpm_core::partition::split_by_lens(sums, &chunk_lens);
+        slices.into_par_iter().enumerate().for_each(|(c, out)| {
+            let lo = self.bounds[c];
+            for (i, v) in (lo..self.bounds[c + 1]).enumerate() {
+                let mut temp = 0.0f32;
+                for &u in self.csc.neighbors(v) {
+                    temp += x[u as usize];
+                }
+                out[i] = temp;
+            }
+        });
+    }
+
     /// Runs PageRank in the pull direction.
     pub fn run(&self, cfg: &PcpmConfig) -> Result<PrResult, PcpmError> {
         cfg.validate()?;
@@ -84,22 +106,7 @@ impl PdprRunner {
             for _ in 0..cfg.iterations {
                 let t0 = Instant::now();
                 // Pull: each chunk owns a contiguous output range.
-                let chunk_lens: Vec<usize> = self
-                    .bounds
-                    .windows(2)
-                    .map(|w| (w[1] - w[0]) as usize)
-                    .collect();
-                let slices = pcpm_core::partition::split_by_lens(&mut next, &chunk_lens);
-                slices.into_par_iter().enumerate().for_each(|(c, out)| {
-                    let lo = self.bounds[c];
-                    for (i, v) in (lo..self.bounds[c + 1]).enumerate() {
-                        let mut temp = 0.0f32;
-                        for &u in self.csc.neighbors(v) {
-                            temp += x[u as usize];
-                        }
-                        out[i] = temp;
-                    }
-                });
+                self.propagate_once(&x, &mut next);
                 timings.gather += t0.elapsed();
 
                 let t1 = Instant::now();

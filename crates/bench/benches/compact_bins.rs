@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pcpm_core::pagerank::{pagerank_with_engine, PcpmVariant};
-use pcpm_core::{PcpmConfig, PcpmEngine};
+use pcpm_core::{PcpmConfig, PcpmPipeline};
 use pcpm_graph::gen::datasets::{standin_at, Dataset};
 
 const SCALE: u32 = 13;
@@ -20,8 +20,9 @@ fn bench_compact(c: &mut Criterion) {
             .with_partition_bytes(8 * 1024)
             .with_iterations(1);
         let compact_cfg = wide_cfg.with_compact_bins();
-        let mut wide = PcpmEngine::new(&g, &wide_cfg).expect("wide engine");
-        let mut compact = PcpmEngine::new(&g, &compact_cfg).expect("compact engine");
+        let mut wide: PcpmPipeline = PcpmPipeline::new(&g, &wide_cfg).expect("wide engine");
+        let mut compact: PcpmPipeline =
+            PcpmPipeline::new(&g, &compact_cfg).expect("compact engine");
         group.bench_with_input(BenchmarkId::new("wide32", d.name()), &g, |b, g| {
             b.iter(|| {
                 pagerank_with_engine(g, &wide_cfg, PcpmVariant::default(), &mut wide)

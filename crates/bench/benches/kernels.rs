@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pcpm_baselines::{BvgasRunner, PdprRunner};
 use pcpm_core::pagerank::{pagerank_with_engine, PcpmVariant};
-use pcpm_core::{PcpmConfig, PcpmEngine};
+use pcpm_core::{PcpmConfig, PcpmPipeline};
 use pcpm_graph::gen::datasets::{standin_at, Dataset};
 
 const SCALE: u32 = 13;
@@ -27,7 +27,7 @@ fn bench_kernels(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("bvgas", d.name()), &g, |b, g| {
             b.iter(|| bv.run(g, &cfg).expect("bvgas"));
         });
-        let mut engine = PcpmEngine::new(&g, &cfg).expect("engine");
+        let mut engine: PcpmPipeline = PcpmPipeline::new(&g, &cfg).expect("engine");
         group.bench_with_input(BenchmarkId::new("pcpm", d.name()), &g, |b, g| {
             b.iter(|| {
                 pagerank_with_engine(g, &cfg, PcpmVariant::default(), &mut engine).expect("pcpm")

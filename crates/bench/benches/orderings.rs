@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pcpm_core::pagerank::{pagerank_with_engine, PcpmVariant};
-use pcpm_core::{PcpmConfig, PcpmEngine};
+use pcpm_core::{PcpmConfig, PcpmPipeline};
 use pcpm_graph::gen::datasets::{standin_at, Dataset};
 use pcpm_graph::order::{reorder, OrderingKind};
 
@@ -26,7 +26,7 @@ fn bench_orderings(c: &mut Criterion) {
             OrderingKind::Random,
         ] {
             let (rg, _) = reorder(&g, kind, 7).expect("reorder");
-            let mut engine = PcpmEngine::new(&rg, &cfg).expect("engine");
+            let mut engine: PcpmPipeline = PcpmPipeline::new(&rg, &cfg).expect("engine");
             group.bench_with_input(BenchmarkId::new(kind.name(), d.name()), &rg, |b, rg| {
                 b.iter(|| {
                     pagerank_with_engine(rg, &cfg, PcpmVariant::default(), &mut engine)

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pcpm_core::pagerank::{pagerank_with_engine, PcpmVariant};
-use pcpm_core::{PcpmConfig, PcpmEngine};
+use pcpm_core::{PcpmConfig, PcpmPipeline};
 use pcpm_graph::gen::datasets::{standin_at, Dataset};
 
 const SCALE: u32 = 13;
@@ -19,7 +19,7 @@ fn bench_partition_sweep(c: &mut Criterion) {
         let cfg = PcpmConfig::default()
             .with_partition_bytes(bytes)
             .with_iterations(1);
-        let mut engine = PcpmEngine::new(&g, &cfg).expect("engine");
+        let mut engine: PcpmPipeline = PcpmPipeline::new(&g, &cfg).expect("engine");
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}KB", bytes / 1024)),
             &g,

@@ -483,7 +483,8 @@ fn fig13_14(suite: &SuiteConfig) {
                 .with_partition_bytes(bytes)
                 .with_iterations(iters);
             cfg.threads = suite.threads;
-            let mut engine = pcpm_core::PcpmEngine::new(&g, &cfg).expect("engine");
+            let mut engine: pcpm_core::PcpmPipeline =
+                pcpm_core::PcpmPipeline::new(&g, &cfg).expect("engine");
             let r = pcpm_core::pagerank::pagerank_with_engine(
                 &g,
                 &cfg,
@@ -624,7 +625,8 @@ fn table8(suite: &SuiteConfig) {
     ]);
     let cfg = PcpmConfig::default().with_partition_bytes(TIMING_PARTITION_BYTES);
     for (d, g) in suite.all_graphs() {
-        let engine = pcpm_core::PcpmEngine::new(&g, &cfg).expect("engine");
+        let engine: pcpm_core::PcpmPipeline =
+            pcpm_core::PcpmPipeline::new(&g, &cfg).expect("engine");
         let bv = pcpm_baselines::BvgasRunner::new(&g, &cfg).expect("bvgas");
         // One-iteration time for amortization context.
         let mut suite1 = suite.clone();

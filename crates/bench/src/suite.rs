@@ -19,7 +19,7 @@
 use pcpm_baselines::{BvgasRunner, PdprRunner};
 use pcpm_core::pagerank::{pagerank_with_engine, PcpmVariant};
 use pcpm_core::pr::PrResult;
-use pcpm_core::{PcpmConfig, PcpmEngine};
+use pcpm_core::{PcpmConfig, PcpmPipeline};
 use pcpm_graph::gen::datasets::{standin_at, Dataset};
 use pcpm_graph::order::{reorder, OrderingKind};
 use pcpm_graph::Csr;
@@ -146,7 +146,7 @@ impl SuiteConfig {
 /// Runs PCPM PageRank with the timing configuration.
 pub fn time_pcpm(g: &Csr, suite: &SuiteConfig) -> PrResult {
     let cfg = suite.timing_config();
-    let mut engine = PcpmEngine::new(g, &cfg).expect("engine build");
+    let mut engine: PcpmPipeline = PcpmPipeline::new(g, &cfg).expect("engine build");
     pagerank_with_engine(g, &cfg, PcpmVariant::default(), &mut engine).expect("pcpm run")
 }
 

@@ -16,7 +16,11 @@
 
 /// A gather-phase algebra: how messages combine into a vertex value and
 /// what an individual edge contributes.
-pub trait Algebra: Send + Sync {
+///
+/// The `'static` bound lets engines store algebra-parameterized backends
+/// as trait objects; algebras are zero-sized marker types, so this costs
+/// nothing.
+pub trait Algebra: Send + Sync + 'static {
     /// The scalar carried in update bins and vertex arrays.
     type T: Copy + Default + PartialEq + Send + Sync + std::fmt::Debug + 'static;
 

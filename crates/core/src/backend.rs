@@ -1,0 +1,942 @@
+//! The unified execution API: one algebra-generic [`Engine`] in front of
+//! pluggable [`Backend`] dataplanes.
+//!
+//! The paper closes by proposing PCPM as "an efficient programming model
+//! for other graph algorithms". This module turns that claim into an
+//! interface: *control plane* (pre-processing — partitioning, PNG and bin
+//! construction, edge sorting, transposition) happens once in
+//! [`Backend::prepare`], and the *dataplane* — one scatter→gather round
+//! `y[t] = ⊕_{(s,t) ∈ E} extend(w(s,t), x[s])` — is [`Backend::step`].
+//! Every algorithm in `pcpm-algos` drives that one method, so any
+//! algorithm runs on any backend and ablations are apples-to-apples.
+//!
+//! Four backends ship in this crate:
+//!
+//! - [`BackendKind::Pcpm`] — the paper's partition-centric pipeline
+//!   (PNG scatter + branch-avoiding gather, wide or compact bins,
+//!   per-phase ablation variants chosen at build time);
+//! - [`BackendKind::Pull`] — conventional pull-direction traversal over
+//!   the transpose (Algorithm 1's dataplane, the PDPR baseline);
+//! - [`BackendKind::Push`] — push-direction traversal over the original
+//!   CSR (the paper's §2.1 motivation baseline);
+//! - [`BackendKind::EdgeCentric`] — X-Stream-style streaming over a COO
+//!   list pre-sorted by destination bin (§2.2).
+//!
+//! The BVGAS and grid baselines implement [`Backend`] in
+//! `pcpm-baselines` and plug in through [`Engine::from_backend`].
+//!
+//! # Examples
+//!
+//! ```
+//! use pcpm_graph::gen::erdos_renyi;
+//! use pcpm_core::backend::{BackendKind, Engine};
+//! use pcpm_core::algebra::PlusF32;
+//!
+//! let g = erdos_renyi(100, 600, 1).unwrap();
+//! let mut engine = Engine::<PlusF32>::builder(&g)
+//!     .partition_bytes(64 * 4)
+//!     .backend(BackendKind::Pcpm)
+//!     .build()
+//!     .unwrap();
+//! let x = vec![1.0f32; 100];
+//! let mut y = vec![0.0f32; 100];
+//! engine.step(&x, &mut y).unwrap();
+//! assert!(engine.report().compression_ratio.unwrap() >= 1.0);
+//! ```
+
+use crate::algebra::Algebra;
+use crate::config::PcpmConfig;
+use crate::engine::{GatherKind, PcpmPipeline, ScatterKind};
+use crate::error::PcpmError;
+use crate::partition::split_by_lens;
+use crate::pr::PhaseTimings;
+use pcpm_graph::{Csr, EdgeWeights};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Everything a backend may use during pre-processing.
+///
+/// `scatter` / `gather` select ablation variants for backends that have
+/// them (currently only PCPM); other backends ignore the fields — the
+/// builder rejects non-default variants on backends that cannot honour
+/// them, so a prepared backend never silently drops a requested option.
+pub struct PrepareSpec<'a> {
+    /// The graph structure (sources → destinations).
+    pub graph: &'a Csr,
+    /// Optional per-edge weights, parallel to the CSR targets array.
+    pub weights: Option<&'a [f32]>,
+    /// Engine configuration (partitioning, threads, compact bins).
+    pub cfg: PcpmConfig,
+    /// Scatter variant (PCPM only).
+    pub scatter: ScatterKind,
+    /// Gather variant (PCPM only).
+    pub gather: GatherKind,
+}
+
+/// Static facts a backend reports about its prepared state.
+#[derive(Clone, Debug)]
+pub struct BackendMetrics {
+    /// Human-readable dataplane name (`"pcpm"`, `"pull"`, …).
+    pub name: &'static str,
+    /// Wall-clock pre-processing time spent in `prepare`.
+    pub preprocess: Duration,
+    /// Heap bytes held by message bins / auxiliary streams (0 when the
+    /// backend streams directly from the graph).
+    pub aux_memory_bytes: u64,
+    /// PNG compression ratio `r = |E| / |E'|`, when the backend has one.
+    pub compression_ratio: Option<f64>,
+}
+
+/// A pluggable dataplane: pre-processed state that can run one
+/// scatter→gather round per call.
+///
+/// Implementations must be deterministic: the same `x` must produce the
+/// same `y` on every call (all shipped backends decompose work into
+/// exclusively-owned output slices, so this holds under any scheduler).
+pub trait Backend<A: Algebra>: Send {
+    /// Builds the backend's pre-processed state (the control plane).
+    fn prepare(spec: &PrepareSpec<'_>) -> Result<Self, PcpmError>
+    where
+        Self: Sized;
+
+    /// One propagation round: `y[t] = ⊕_{(s,t) ∈ E} extend(w, x[s])`,
+    /// with `y` re-initialized to the algebra's identity first.
+    ///
+    /// Lengths are validated by [`Engine::step`]; implementations may
+    /// assume `x.len() == num_src` and `y.len() == num_dst`.
+    fn step(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError>;
+
+    /// Static facts about the prepared state.
+    fn metrics(&self) -> BackendMetrics;
+}
+
+/// The built-in backends the [`EngineBuilder`] can construct.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Partition-centric pipeline (the paper's design).
+    #[default]
+    Pcpm,
+    /// Pull-direction traversal over the transpose (PDPR's dataplane).
+    Pull,
+    /// Push-direction traversal over the original CSR.
+    Push,
+    /// Edge-centric streaming over a destination-bin-sorted COO list.
+    EdgeCentric,
+}
+
+impl BackendKind {
+    /// All built-in kinds, for sweep tests and benches.
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::Pcpm,
+        BackendKind::Pull,
+        BackendKind::Push,
+        BackendKind::EdgeCentric,
+    ];
+
+    /// The dataplane name as reported in [`BackendMetrics`].
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Pcpm => "pcpm",
+            BackendKind::Pull => "pull",
+            BackendKind::Push => "push",
+            BackendKind::EdgeCentric => "edge_centric",
+        }
+    }
+}
+
+/// Uniform per-run execution facts, threaded through every backend.
+#[derive(Clone, Debug)]
+pub struct ExecutionReport {
+    /// Dataplane name.
+    pub backend: &'static str,
+    /// Rounds executed so far.
+    pub steps: usize,
+    /// Accumulated per-phase wall-clock time across all rounds.
+    pub timings: PhaseTimings,
+    /// Pre-processing (control plane) time.
+    pub preprocess: Duration,
+    /// Heap bytes of auxiliary state (message bins, sorted edge copies).
+    pub aux_memory_bytes: u64,
+    /// PNG compression ratio, for backends that build one.
+    pub compression_ratio: Option<f64>,
+}
+
+impl ExecutionReport {
+    /// Throughput in giga-edges traversed per second per round, the
+    /// paper's Fig. 7 metric.
+    pub fn gteps(&self, num_edges: u64) -> f64 {
+        let per_round = self.timings.total().as_secs_f64() / self.steps.max(1) as f64;
+        if per_round == 0.0 {
+            0.0
+        } else {
+            num_edges as f64 / per_round / 1e9
+        }
+    }
+}
+
+/// The unified execution engine: dimension checks, timing accounting and
+/// a uniform report over any [`Backend`].
+pub struct Engine<A: Algebra> {
+    backend: Box<dyn Backend<A>>,
+    num_src: u32,
+    num_dst: u32,
+    threads: Option<usize>,
+    steps: usize,
+    timings: PhaseTimings,
+}
+
+impl<A: Algebra> Engine<A> {
+    /// Starts building an engine over `graph`.
+    pub fn builder(graph: &Csr) -> EngineBuilder<'_, A> {
+        EngineBuilder {
+            graph,
+            weights: None,
+            cfg: PcpmConfig::default(),
+            backend: BackendKind::default(),
+            scatter: ScatterKind::default(),
+            gather: GatherKind::default(),
+            _algebra: std::marker::PhantomData,
+        }
+    }
+
+    /// Wraps an externally prepared backend (e.g. the BVGAS or grid
+    /// implementations in `pcpm-baselines`).
+    pub fn from_backend(backend: Box<dyn Backend<A>>, num_src: u32, num_dst: u32) -> Self {
+        Self {
+            backend,
+            num_src,
+            num_dst,
+            threads: None,
+            steps: 0,
+            timings: PhaseTimings::default(),
+        }
+    }
+
+    /// Number of source nodes (length of `x`).
+    pub fn num_src(&self) -> u32 {
+        self.num_src
+    }
+
+    /// Number of destination nodes (length of `y`).
+    pub fn num_dst(&self) -> u32 {
+        self.num_dst
+    }
+
+    /// One propagation round through the backend dataplane.
+    pub fn step(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError> {
+        if x.len() != self.num_src as usize {
+            return Err(PcpmError::DimensionMismatch {
+                expected: self.num_src as usize,
+                got: x.len(),
+            });
+        }
+        if y.len() != self.num_dst as usize {
+            return Err(PcpmError::DimensionMismatch {
+                expected: self.num_dst as usize,
+                got: y.len(),
+            });
+        }
+        let backend = &mut self.backend;
+        let t = crate::config::run_with_threads(self.threads, || backend.step(x, y))?;
+        self.steps += 1;
+        self.timings += t;
+        Ok(t)
+    }
+
+    /// The backend's static metrics.
+    pub fn metrics(&self) -> BackendMetrics {
+        self.backend.metrics()
+    }
+
+    /// The uniform execution report (preprocess + accumulated timings).
+    pub fn report(&self) -> ExecutionReport {
+        let m = self.backend.metrics();
+        ExecutionReport {
+            backend: m.name,
+            steps: self.steps,
+            timings: self.timings,
+            preprocess: m.preprocess,
+            aux_memory_bytes: m.aux_memory_bytes,
+            compression_ratio: m.compression_ratio,
+        }
+    }
+}
+
+/// Fluent construction of an [`Engine`].
+///
+/// Invalid combinations — compact bins with a branchy gather, compact
+/// bins or ablation variants on a non-PCPM backend, an out-of-range
+/// partition budget — are rejected here, in [`EngineBuilder::build`]:
+/// a successfully built engine can never fail on a variant mismatch at
+/// step time.
+pub struct EngineBuilder<'g, A: Algebra> {
+    graph: &'g Csr,
+    weights: Option<&'g EdgeWeights>,
+    cfg: PcpmConfig,
+    backend: BackendKind,
+    scatter: ScatterKind,
+    gather: GatherKind,
+    _algebra: std::marker::PhantomData<A>,
+}
+
+impl<'g, A: Algebra> EngineBuilder<'g, A> {
+    /// Replaces the whole configuration.
+    pub fn config(mut self, cfg: PcpmConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the partition byte budget (partition size `q` in nodes is
+    /// `bytes / 4`).
+    pub fn partition_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.partition_bytes = bytes;
+        self
+    }
+
+    /// Sets an explicit thread count for every step.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = Some(threads);
+        self
+    }
+
+    /// Attaches per-edge weights (enables the weighted extension, §3.5).
+    pub fn weights(mut self, weights: &'g EdgeWeights) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Selects 16-bit partition-local destination bins (§6 future work).
+    pub fn compact_bins(mut self, compact: bool) -> Self {
+        self.cfg.compact_bins = compact;
+        self
+    }
+
+    /// Selects the scatter variant (PCPM backend only).
+    pub fn scatter(mut self, scatter: ScatterKind) -> Self {
+        self.scatter = scatter;
+        self
+    }
+
+    /// Selects the gather variant (PCPM backend only).
+    pub fn gather(mut self, gather: GatherKind) -> Self {
+        self.gather = gather;
+        self
+    }
+
+    /// Selects the dataplane.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Validates the combination and prepares the backend.
+    pub fn build(self) -> Result<Engine<A>, PcpmError> {
+        self.cfg.validate()?;
+        if self.cfg.compact_bins && self.gather == GatherKind::Branchy {
+            return Err(PcpmError::BadConfig(
+                "compact bins only implement the branch-avoiding gather",
+            ));
+        }
+        if self.backend != BackendKind::Pcpm {
+            if self.cfg.compact_bins {
+                return Err(PcpmError::BadConfig(
+                    "compact bins apply only to the PCPM backend",
+                ));
+            }
+            if self.scatter != ScatterKind::default() || self.gather != GatherKind::default() {
+                return Err(PcpmError::BadConfig(
+                    "scatter/gather variants apply only to the PCPM backend",
+                ));
+            }
+        }
+        let spec = PrepareSpec {
+            graph: self.graph,
+            weights: self.weights.map(|w| w.as_slice()),
+            cfg: self.cfg,
+            scatter: self.scatter,
+            gather: self.gather,
+        };
+        let threads = self.cfg.threads;
+        let backend: Box<dyn Backend<A>> = crate::config::run_with_threads(threads, || {
+            Ok::<_, PcpmError>(match self.backend {
+                BackendKind::Pcpm => Box::new(PcpmBackend::prepare(&spec)?) as Box<dyn Backend<A>>,
+                BackendKind::Pull => Box::new(PullBackend::prepare(&spec)?),
+                BackendKind::Push => Box::new(PushBackend::prepare(&spec)?),
+                BackendKind::EdgeCentric => Box::new(EdgeCentricBackend::prepare(&spec)?),
+            })
+        })?;
+        Ok(Engine {
+            backend,
+            num_src: self.graph.num_nodes(),
+            num_dst: self.graph.num_nodes(),
+            threads,
+            steps: 0,
+            timings: PhaseTimings::default(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PCPM backend
+// ---------------------------------------------------------------------------
+
+/// The paper's partition-centric dataplane behind the [`Backend`] trait.
+pub struct PcpmBackend<A: Algebra> {
+    pipeline: PcpmPipeline<A>,
+    scatter: ScatterKind,
+    gather: GatherKind,
+    /// Owned copy of the adjacency, kept only for the CSR-traversal
+    /// scatter ablation.
+    graph: Option<Csr>,
+}
+
+impl<A: Algebra> Backend<A> for PcpmBackend<A> {
+    fn prepare(spec: &PrepareSpec<'_>) -> Result<Self, PcpmError> {
+        if spec.cfg.compact_bins && spec.gather == GatherKind::Branchy {
+            return Err(PcpmError::BadConfig(
+                "compact bins only implement the branch-avoiding gather",
+            ));
+        }
+        let pipeline = match spec.weights {
+            Some(w) => PcpmPipeline::from_view(
+                crate::png::EdgeView::from_csr(spec.graph),
+                &spec.cfg,
+                Some(w),
+            )?,
+            None => PcpmPipeline::new(spec.graph, &spec.cfg)?,
+        };
+        let graph = (spec.scatter == ScatterKind::CsrTraversal).then(|| spec.graph.clone());
+        Ok(Self {
+            pipeline,
+            scatter: spec.scatter,
+            gather: spec.gather,
+            graph,
+        })
+    }
+
+    fn step(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError> {
+        self.pipeline
+            .spmv_with(x, y, self.scatter, self.gather, self.graph.as_ref())
+    }
+
+    fn metrics(&self) -> BackendMetrics {
+        BackendMetrics {
+            name: "pcpm",
+            preprocess: self.pipeline.preprocess_time(),
+            aux_memory_bytes: self.pipeline.bin_memory_bytes(),
+            compression_ratio: Some(self.pipeline.compression_ratio()),
+        }
+    }
+}
+
+impl<A: Algebra> PcpmBackend<A> {
+    /// Wraps an already-built pipeline (used by the rectangular SpMV
+    /// front end, whose edge view has no `Csr`).
+    pub(crate) fn from_pipeline(pipeline: PcpmPipeline<A>) -> Self {
+        Self {
+            pipeline,
+            scatter: ScatterKind::Png,
+            gather: GatherKind::BranchAvoiding,
+            graph: None,
+        }
+    }
+
+    /// The underlying pipeline (PNG inspection, memory replays).
+    pub fn pipeline(&self) -> &PcpmPipeline<A> {
+        &self.pipeline
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pull backend
+// ---------------------------------------------------------------------------
+
+/// Pull-direction dataplane: each destination walks its in-neighbors in
+/// the transpose (CSC). Fine-grained random reads of `x`, no auxiliary
+/// message state — Algorithm 1's traversal, generalized over the algebra.
+pub struct PullBackend<A: Algebra> {
+    /// Transpose offsets (`num_nodes + 1`).
+    offsets: Vec<u64>,
+    /// In-neighbor sources per destination.
+    srcs: Vec<u32>,
+    /// Weights aligned with [`Self::srcs`].
+    weights: Option<Vec<f32>>,
+    preprocess: Duration,
+    _algebra: std::marker::PhantomData<A>,
+}
+
+impl<A: Algebra> Backend<A> for PullBackend<A> {
+    fn prepare(spec: &PrepareSpec<'_>) -> Result<Self, PcpmError> {
+        let t0 = Instant::now();
+        let g = spec.graph;
+        let n = g.num_nodes() as usize;
+        let mut counts = vec![0u64; n + 1];
+        for (_, t) in g.edges() {
+            counts[t as usize + 1] += 1;
+        }
+        for v in 0..n {
+            counts[v + 1] += counts[v];
+        }
+        let offsets = counts;
+        let mut srcs = vec![0u32; g.num_edges() as usize];
+        let mut weights = spec.weights.map(|_| vec![0.0f32; g.num_edges() as usize]);
+        let mut cursor = offsets.clone();
+        let mut edge_idx = 0usize;
+        for s in 0..g.num_nodes() {
+            for &t in g.neighbors(s) {
+                let pos = cursor[t as usize] as usize;
+                srcs[pos] = s;
+                if let (Some(w), Some(ew)) = (&mut weights, spec.weights) {
+                    w[pos] = ew[edge_idx];
+                }
+                cursor[t as usize] += 1;
+                edge_idx += 1;
+            }
+        }
+        Ok(Self {
+            offsets,
+            srcs,
+            weights,
+            preprocess: t0.elapsed(),
+            _algebra: std::marker::PhantomData,
+        })
+    }
+
+    fn step(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError> {
+        let t0 = Instant::now();
+        y.par_iter_mut().enumerate().for_each(|(v, out)| {
+            let lo = self.offsets[v] as usize;
+            let hi = self.offsets[v + 1] as usize;
+            let mut acc = A::identity();
+            match &self.weights {
+                None => {
+                    for &s in &self.srcs[lo..hi] {
+                        acc = A::combine(acc, A::extend(x[s as usize]));
+                    }
+                }
+                Some(w) => {
+                    for (&s, &wt) in self.srcs[lo..hi].iter().zip(&w[lo..hi]) {
+                        acc = A::combine(acc, A::extend_weighted(wt, x[s as usize]));
+                    }
+                }
+            }
+            *out = acc;
+        });
+        Ok(PhaseTimings {
+            scatter: Duration::ZERO,
+            gather: t0.elapsed(),
+            apply: Duration::ZERO,
+        })
+    }
+
+    fn metrics(&self) -> BackendMetrics {
+        BackendMetrics {
+            name: "pull",
+            preprocess: self.preprocess,
+            aux_memory_bytes: (self.offsets.len() * 8
+                + self.srcs.len() * 4
+                + self.weights.as_ref().map_or(0, |w| w.len() * 4))
+                as u64,
+            compression_ratio: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Push backend
+// ---------------------------------------------------------------------------
+
+/// Push-direction dataplane: each source adds its contribution to all of
+/// its out-neighbors. The reduction order is source-major and the
+/// traversal is sequential — with a parallel scheduler this kernel needs
+/// atomics (see `pcpm_baselines::push`), which a generic algebra cannot
+/// provide, so the generic backend keeps the deterministic serial loop.
+pub struct PushBackend<A: Algebra> {
+    graph: Csr,
+    weights: Option<Vec<f32>>,
+    preprocess: Duration,
+    _algebra: std::marker::PhantomData<A>,
+}
+
+impl<A: Algebra> Backend<A> for PushBackend<A> {
+    fn prepare(spec: &PrepareSpec<'_>) -> Result<Self, PcpmError> {
+        let t0 = Instant::now();
+        Ok(Self {
+            graph: spec.graph.clone(),
+            weights: spec.weights.map(|w| w.to_vec()),
+            preprocess: t0.elapsed(),
+            _algebra: std::marker::PhantomData,
+        })
+    }
+
+    fn step(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError> {
+        let t0 = Instant::now();
+        y.fill(A::identity());
+        let mut edge_idx = 0usize;
+        for s in 0..self.graph.num_nodes() {
+            let xv = x[s as usize];
+            match &self.weights {
+                None => {
+                    for &t in self.graph.neighbors(s) {
+                        let slot = &mut y[t as usize];
+                        *slot = A::combine(*slot, A::extend(xv));
+                    }
+                    edge_idx += self.graph.neighbors(s).len();
+                }
+                Some(w) => {
+                    for &t in self.graph.neighbors(s) {
+                        let slot = &mut y[t as usize];
+                        *slot = A::combine(*slot, A::extend_weighted(w[edge_idx], xv));
+                        edge_idx += 1;
+                    }
+                }
+            }
+        }
+        Ok(PhaseTimings {
+            scatter: t0.elapsed(),
+            gather: Duration::ZERO,
+            apply: Duration::ZERO,
+        })
+    }
+
+    fn metrics(&self) -> BackendMetrics {
+        BackendMetrics {
+            name: "push",
+            preprocess: self.preprocess,
+            aux_memory_bytes: self.graph.memory_bytes()
+                + self.weights.as_ref().map_or(0, |w| w.len() as u64 * 4),
+            compression_ratio: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edge-centric backend
+// ---------------------------------------------------------------------------
+
+/// Edge-centric dataplane: a COO edge list pre-sorted by destination bin
+/// (X-Stream / Zhou et al. style); each bin's owner streams its edges and
+/// accumulates into its exclusive slice of `y`.
+pub struct EdgeCentricBackend<A: Algebra> {
+    num_nodes: u32,
+    bin_width: u32,
+    /// Edge sources sorted by destination bin.
+    src: Vec<u32>,
+    /// Edge destinations aligned with [`Self::src`].
+    dst: Vec<u32>,
+    /// Weights aligned with [`Self::src`].
+    weights: Option<Vec<f32>>,
+    /// `num_bins + 1` offsets into the sorted arrays.
+    bin_off: Vec<u64>,
+    preprocess: Duration,
+    _algebra: std::marker::PhantomData<A>,
+}
+
+impl<A: Algebra> Backend<A> for EdgeCentricBackend<A> {
+    fn prepare(spec: &PrepareSpec<'_>) -> Result<Self, PcpmError> {
+        let t0 = Instant::now();
+        let g = spec.graph;
+        let n = g.num_nodes();
+        let bin_width = spec.cfg.partition_nodes();
+        let num_bins = if n == 0 { 0 } else { (n - 1) / bin_width + 1 };
+        let m = g.num_edges() as usize;
+        let mut counts = vec![0u64; num_bins as usize];
+        for (_, t) in g.edges() {
+            counts[(t / bin_width) as usize] += 1;
+        }
+        let mut bin_off = vec![0u64; num_bins as usize + 1];
+        for b in 0..num_bins as usize {
+            bin_off[b + 1] = bin_off[b] + counts[b];
+        }
+        let mut src = vec![0u32; m];
+        let mut dst = vec![0u32; m];
+        let mut weights = spec.weights.map(|_| vec![0.0f32; m]);
+        let mut cursor = bin_off.clone();
+        for (edge_idx, (s, t)) in g.edges().enumerate() {
+            let c = &mut cursor[(t / bin_width) as usize];
+            src[*c as usize] = s;
+            dst[*c as usize] = t;
+            if let (Some(w), Some(ew)) = (&mut weights, spec.weights) {
+                w[*c as usize] = ew[edge_idx];
+            }
+            *c += 1;
+        }
+        Ok(Self {
+            num_nodes: n,
+            bin_width,
+            src,
+            dst,
+            weights,
+            bin_off,
+            preprocess: t0.elapsed(),
+            _algebra: std::marker::PhantomData,
+        })
+    }
+
+    fn step(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError> {
+        let t0 = Instant::now();
+        let num_bins = self.bin_off.len().saturating_sub(1);
+        let bin_lens: Vec<usize> = (0..num_bins as u32)
+            .map(|b| {
+                let lo = b * self.bin_width;
+                (self.num_nodes.min(lo.saturating_add(self.bin_width)) - lo) as usize
+            })
+            .collect();
+        let slices = split_by_lens(y, &bin_lens);
+        slices.into_par_iter().enumerate().for_each(|(b, ys)| {
+            ys.fill(A::identity());
+            let lo = self.bin_off[b] as usize;
+            let hi = self.bin_off[b + 1] as usize;
+            let bin_base = b as u32 * self.bin_width;
+            match &self.weights {
+                None => {
+                    for i in lo..hi {
+                        let slot = &mut ys[(self.dst[i] - bin_base) as usize];
+                        *slot = A::combine(*slot, A::extend(x[self.src[i] as usize]));
+                    }
+                }
+                Some(w) => {
+                    for i in lo..hi {
+                        let slot = &mut ys[(self.dst[i] - bin_base) as usize];
+                        *slot =
+                            A::combine(*slot, A::extend_weighted(w[i], x[self.src[i] as usize]));
+                    }
+                }
+            }
+        });
+        Ok(PhaseTimings {
+            scatter: Duration::ZERO,
+            gather: t0.elapsed(),
+            apply: Duration::ZERO,
+        })
+    }
+
+    fn metrics(&self) -> BackendMetrics {
+        BackendMetrics {
+            name: "edge_centric",
+            preprocess: self.preprocess,
+            aux_memory_bytes: (self.src.len() * 4
+                + self.dst.len() * 4
+                + self.bin_off.len() * 8
+                + self.weights.as_ref().map_or(0, |w| w.len() * 4))
+                as u64,
+            compression_ratio: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{MinLabel, MinPlusF32, PlusF32};
+    use pcpm_graph::gen::{erdos_renyi, rmat, RmatConfig};
+
+    /// Exact integer-valued inputs: every backend must produce
+    /// bit-identical f32 sums.
+    fn int_x(n: u32) -> Vec<f32> {
+        (0..n).map(|v| (v % 13) as f32).collect()
+    }
+
+    fn reference(g: &Csr, x: &[f32]) -> Vec<f32> {
+        let mut y = vec![0.0f32; g.num_nodes() as usize];
+        for (s, t) in g.edges() {
+            y[t as usize] += x[s as usize];
+        }
+        y
+    }
+
+    #[test]
+    fn all_backends_match_reference_unweighted() {
+        let g = rmat(&RmatConfig::graph500(9, 8, 3)).unwrap();
+        let x = int_x(g.num_nodes());
+        let want = reference(&g, &x);
+        for kind in BackendKind::ALL {
+            let mut engine = Engine::<PlusF32>::builder(&g)
+                .partition_bytes(64 * 4)
+                .backend(kind)
+                .build()
+                .unwrap();
+            let mut y = vec![0.0f32; g.num_nodes() as usize];
+            engine.step(&x, &mut y).unwrap();
+            assert_eq!(y, want, "backend {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn all_backends_match_on_weighted_min_plus() {
+        // Eighth-grain weights keep every sum exact in f32.
+        let g = erdos_renyi(200, 1600, 7).unwrap();
+        let w = EdgeWeights::new(
+            &g,
+            (0..g.num_edges())
+                .map(|i| ((i % 8) + 1) as f32 / 8.0)
+                .collect(),
+        )
+        .unwrap();
+        let x: Vec<f32> = (0..200).map(|v| (v % 5) as f32).collect();
+        let mut outputs = Vec::new();
+        for kind in BackendKind::ALL {
+            let mut engine = Engine::<MinPlusF32>::builder(&g)
+                .partition_bytes(32 * 4)
+                .weights(&w)
+                .backend(kind)
+                .build()
+                .unwrap();
+            let mut y = vec![0.0f32; 200];
+            engine.step(&x, &mut y).unwrap();
+            outputs.push(y);
+        }
+        for other in &outputs[1..] {
+            assert_eq!(&outputs[0], other);
+        }
+    }
+
+    #[test]
+    fn integer_algebra_runs_on_every_backend() {
+        let g = rmat(&RmatConfig::graph500(8, 6, 11)).unwrap();
+        let x: Vec<u32> = (0..g.num_nodes()).collect();
+        let mut outputs = Vec::new();
+        for kind in BackendKind::ALL {
+            let mut engine = Engine::<MinLabel>::builder(&g)
+                .partition_bytes(64 * 4)
+                .backend(kind)
+                .build()
+                .unwrap();
+            let mut y = vec![0u32; g.num_nodes() as usize];
+            engine.step(&x, &mut y).unwrap();
+            outputs.push(y);
+        }
+        for other in &outputs[1..] {
+            assert_eq!(&outputs[0], other);
+        }
+    }
+
+    #[test]
+    fn compact_and_csr_traversal_variants_agree() {
+        let g = rmat(&RmatConfig::graph500(9, 8, 19)).unwrap();
+        let x = int_x(g.num_nodes());
+        let want = reference(&g, &x);
+        let variants: Vec<Engine<PlusF32>> = vec![
+            Engine::builder(&g)
+                .partition_bytes(512 * 4)
+                .compact_bins(true)
+                .build()
+                .unwrap(),
+            Engine::builder(&g)
+                .partition_bytes(512 * 4)
+                .scatter(ScatterKind::CsrTraversal)
+                .build()
+                .unwrap(),
+            Engine::builder(&g)
+                .partition_bytes(512 * 4)
+                .gather(GatherKind::Branchy)
+                .build()
+                .unwrap(),
+        ];
+        for mut engine in variants {
+            let mut y = vec![0.0f32; g.num_nodes() as usize];
+            engine.step(&x, &mut y).unwrap();
+            assert_eq!(y, want);
+        }
+    }
+
+    #[test]
+    fn build_time_rejection_of_bad_combinations() {
+        let g = erdos_renyi(100, 400, 2).unwrap();
+        // Compact + branchy gather: rejected at build, not at step.
+        assert!(matches!(
+            Engine::<PlusF32>::builder(&g)
+                .partition_bytes(256)
+                .compact_bins(true)
+                .gather(GatherKind::Branchy)
+                .build(),
+            Err(PcpmError::BadConfig(_))
+        ));
+        // Compact bins on a non-PCPM backend.
+        assert!(Engine::<PlusF32>::builder(&g)
+            .partition_bytes(256)
+            .compact_bins(true)
+            .backend(BackendKind::Pull)
+            .build()
+            .is_err());
+        // Ablation variants on a non-PCPM backend.
+        assert!(Engine::<PlusF32>::builder(&g)
+            .scatter(ScatterKind::CsrTraversal)
+            .backend(BackendKind::Push)
+            .build()
+            .is_err());
+        // Oversized compact partitions still rejected by config validation.
+        assert!(Engine::<PlusF32>::builder(&g)
+            .compact_bins(true)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn built_engine_never_fails_on_variant_mismatch() {
+        // Every successfully built engine must run every step without a
+        // config error — the invariant the build-time validation buys.
+        let g = erdos_renyi(150, 900, 4).unwrap();
+        let x = int_x(150);
+        for kind in BackendKind::ALL {
+            let mut engine = Engine::<PlusF32>::builder(&g)
+                .partition_bytes(128)
+                .backend(kind)
+                .build()
+                .unwrap();
+            let mut y = vec![0.0f32; 150];
+            for _ in 0..3 {
+                engine.step(&x, &mut y).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn report_accumulates_and_names_backend() {
+        let g = erdos_renyi(100, 500, 9).unwrap();
+        let mut engine = Engine::<PlusF32>::builder(&g)
+            .partition_bytes(64 * 4)
+            .build()
+            .unwrap();
+        let x = int_x(100);
+        let mut y = vec![0.0f32; 100];
+        for _ in 0..5 {
+            engine.step(&x, &mut y).unwrap();
+        }
+        let report = engine.report();
+        assert_eq!(report.backend, "pcpm");
+        assert_eq!(report.steps, 5);
+        assert!(report.compression_ratio.unwrap() >= 1.0);
+        assert!(report.aux_memory_bytes > 0);
+        let pull = Engine::<PlusF32>::builder(&g)
+            .backend(BackendKind::Pull)
+            .build()
+            .unwrap();
+        assert_eq!(pull.report().backend, "pull");
+        assert!(pull.report().compression_ratio.is_none());
+    }
+
+    #[test]
+    fn step_validates_dimensions() {
+        let g = erdos_renyi(10, 30, 1).unwrap();
+        let mut engine = Engine::<PlusF32>::builder(&g).build().unwrap();
+        let mut y = vec![0.0f32; 10];
+        assert!(engine.step(&[0.0; 3], &mut y).is_err());
+        let x = vec![0.0f32; 10];
+        let mut y_bad = vec![0.0f32; 2];
+        assert!(engine.step(&x, &mut y_bad).is_err());
+    }
+
+    #[test]
+    fn empty_graph_on_every_backend() {
+        let g = Csr::from_edges(0, &[]).unwrap();
+        for kind in BackendKind::ALL {
+            let mut engine = Engine::<PlusF32>::builder(&g)
+                .backend(kind)
+                .build()
+                .unwrap();
+            let mut y: Vec<f32> = vec![];
+            engine.step(&[], &mut y).unwrap();
+        }
+    }
+}

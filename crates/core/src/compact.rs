@@ -29,10 +29,14 @@ pub const ID_MASK16: u16 = 0x7FFF;
 pub const MAX_COMPACT_PARTITION: u32 = 1 << 15;
 
 /// Message bins with 16-bit partition-local destination IDs.
+///
+/// Generic over the update scalar `T`, exactly like
+/// [`crate::bins::BinSpace`]: PageRank uses `f32`, the algebra layer uses
+/// integer labels.
 #[derive(Clone, Debug)]
-pub struct CompactBinSpace {
+pub struct CompactBinSpace<T = f32> {
     /// Update values, source-partition-major (`|E'|` entries).
-    pub updates: Vec<f32>,
+    pub updates: Vec<T>,
     /// Partition-local destination offsets with MSB demarcation
     /// (`|E|` entries), written once.
     pub dest_ids: Vec<u16>,
@@ -40,7 +44,7 @@ pub struct CompactBinSpace {
     pub weights: Option<Vec<f32>>,
 }
 
-impl CompactBinSpace {
+impl<T: Copy + Default + Send + Sync> CompactBinSpace<T> {
     /// Builds the compact bins; the destination partitioner must satisfy
     /// `partition_size() <= MAX_COMPACT_PARTITION`.
     ///
@@ -54,7 +58,7 @@ impl CompactBinSpace {
             q <= MAX_COMPACT_PARTITION,
             "partition size {q} exceeds the 15-bit compact range"
         );
-        let updates = vec![0.0f32; png.num_compressed_edges() as usize];
+        let updates = vec![T::default(); png.num_compressed_edges() as usize];
         let mut dest_ids = vec![0u16; png.num_raw_edges() as usize];
         let mut weights = edge_weights.map(|_| vec![0.0f32; png.num_raw_edges() as usize]);
 
@@ -86,7 +90,7 @@ impl CompactBinSpace {
 
     /// Heap bytes held by the bins.
     pub fn memory_bytes(&self) -> u64 {
-        (self.updates.len() * 4
+        (self.updates.len() * std::mem::size_of::<T>()
             + self.dest_ids.len() * 2
             + self.weights.as_ref().map_or(0, |w| w.len() * 4)) as u64
     }
@@ -129,15 +133,25 @@ fn fill_partition(
     }
 }
 
-/// Algorithm 4 over compact bins: identical pointer arithmetic, local
-/// 15-bit destination offsets (no base subtraction needed).
+/// Algorithm 4 over compact bins and the `(+, ×)` semiring.
 pub fn gather_compact_branch_avoiding(png: &Png, bins: &CompactBinSpace, y: &mut [f32]) {
+    gather_compact_algebra::<crate::algebra::PlusF32>(png, bins, y);
+}
+
+/// Algorithm 4 over compact bins for an arbitrary
+/// [`Algebra`](crate::algebra::Algebra): identical pointer arithmetic,
+/// local 15-bit destination offsets (no base subtraction needed).
+pub fn gather_compact_algebra<A: crate::algebra::Algebra>(
+    png: &Png,
+    bins: &CompactBinSpace<A::T>,
+    y: &mut [A::T],
+) {
     assert_eq!(y.len(), png.dst_parts().num_nodes() as usize, "y length");
     let lens = png.dst_parts().lens();
     let slices = split_by_lens(y, &lens);
     let k_src = png.src_parts().num_partitions();
     slices.into_par_iter().enumerate().for_each(|(p, ys)| {
-        ys.fill(0.0);
+        ys.fill(A::identity());
         for s in 0..k_src {
             let part = png.part(s);
             let ubase = png.upd_region()[s as usize] as usize;
@@ -153,7 +167,8 @@ pub fn gather_compact_branch_avoiding(png: &Png, bins: &CompactBinSpace, y: &mut
                     let mut up = usize::MAX;
                     for &id in ds {
                         up = up.wrapping_add((id >> 15) as usize);
-                        ys[(id & ID_MASK16) as usize] += us[up];
+                        let slot = &mut ys[(id & ID_MASK16) as usize];
+                        *slot = A::combine(*slot, A::extend(us[up]));
                     }
                 }
                 Some(w) => {
@@ -161,7 +176,8 @@ pub fn gather_compact_branch_avoiding(png: &Png, bins: &CompactBinSpace, y: &mut
                     let mut up = usize::MAX;
                     for (&id, &wt) in ds.iter().zip(ws) {
                         up = up.wrapping_add((id >> 15) as usize);
-                        ys[(id & ID_MASK16) as usize] += wt * us[up];
+                        let slot = &mut ys[(id & ID_MASK16) as usize];
+                        *slot = A::combine(*slot, A::extend_weighted(wt, us[up]));
                     }
                 }
             }
@@ -224,7 +240,7 @@ mod tests {
         let g = erdos_renyi(500, 5000, 5).unwrap();
         let png = setup(&g, 128);
         let wide: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, None);
-        let compact = CompactBinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let compact: CompactBinSpace = CompactBinSpace::build(EdgeView::from_csr(&g), &png, None);
         let dest_wide = wide.dest_ids.len() * 4;
         let dest_compact = compact.dest_ids.len() * 2;
         assert_eq!(dest_compact * 2, dest_wide);
@@ -237,7 +253,7 @@ mod tests {
         let n = 70_000u32;
         let g = Csr::from_edges(n, &[(0, 1), (0, 65_000)]).unwrap();
         let png = setup(&g, n); // one partition of 70 K nodes > 2^15
-        let _ = CompactBinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let _: CompactBinSpace = CompactBinSpace::build(EdgeView::from_csr(&g), &png, None);
     }
 
     #[test]

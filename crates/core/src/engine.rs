@@ -1,17 +1,25 @@
-//! The PCPM engine: a reusable scatter/gather pipeline over a fixed
-//! structure.
+//! The PCPM pipeline: a reusable scatter/gather dataplane over a fixed
+//! structure, generic over the gather [`Algebra`].
 //!
-//! Building an engine performs all pre-processing (partitioning, PNG
-//! construction, bin allocation, destination-ID writing); each
-//! [`PcpmEngine::spmv`] call then executes one scatter + gather round,
-//! computing `y[t] = Σ_{(s,t) ∈ E} w(s,t) · x[s]` — the `Aᵀ·x` product at
-//! the heart of a PageRank iteration (Eq. 2).
+//! Building a [`PcpmPipeline`] performs all pre-processing (partitioning,
+//! PNG construction, bin allocation, destination-ID writing); each
+//! [`PcpmPipeline::spmv`] call then executes one scatter + gather round,
+//! computing `y[t] = ⊕_{(s,t) ∈ E} extend(w(s,t), x[s])` — for the
+//! `(+, ×)` semiring, the `Aᵀ·x` product at the heart of a PageRank
+//! iteration (Eq. 2).
+//!
+//! Most callers should not touch this type directly: the unified
+//! [`Engine`](crate::backend::Engine) builder wraps it as the
+//! [`BackendKind::Pcpm`](crate::backend::BackendKind) dataplane and fixes
+//! the phase variants at build time. The pipeline remains public for the
+//! ablation benches, which switch scatter/gather variants per call.
 
+use crate::algebra::{Algebra, PlusF32};
 use crate::bins::BinSpace;
-use crate::compact::{gather_compact_branch_avoiding, CompactBinSpace};
+use crate::compact::{gather_compact_algebra, CompactBinSpace};
 use crate::config::PcpmConfig;
 use crate::error::PcpmError;
-use crate::gather::{gather_branch_avoiding, gather_branchy};
+use crate::gather::{gather_algebra, gather_algebra_branchy};
 use crate::partition::Partitioner;
 use crate::png::{EdgeView, Png};
 use crate::pr::PhaseTimings;
@@ -19,12 +27,12 @@ use crate::scatter::{csr_scatter, png_scatter};
 use pcpm_graph::Csr;
 use std::time::{Duration, Instant};
 
-/// Which physical bin encoding the engine built.
-enum BinStorage {
+/// Which physical bin encoding the pipeline built.
+enum BinStorage<T> {
     /// 32-bit global destination IDs (the paper's layout).
-    Wide(BinSpace),
+    Wide(BinSpace<T>),
     /// 16-bit partition-local destination IDs (§6 future work).
-    Compact(CompactBinSpace),
+    Compact(CompactBinSpace<T>),
 }
 
 /// Which scatter implementation to run (Algorithm 3 vs Algorithm 2).
@@ -48,23 +56,32 @@ pub enum GatherKind {
     Branchy,
 }
 
-/// A built PCPM pipeline over a fixed edge structure.
-pub struct PcpmEngine {
+/// A built PCPM dataplane (PNG layout + message bins) over a fixed edge
+/// structure, generic over the gather algebra.
+pub struct PcpmPipeline<A: Algebra = PlusF32> {
     num_src: u32,
     num_dst: u32,
     png: Png,
-    bins: BinStorage,
+    bins: BinStorage<A::T>,
     preprocess: Duration,
 }
 
-impl PcpmEngine {
-    /// Builds the engine for a square graph.
+/// The original f32 PCPM engine, now an alias of the algebra-generic
+/// pipeline specialized to the `(+, ×)` semiring.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `pcpm_core::Engine::builder(..)` (or `PcpmPipeline<PlusF32>` for per-call variant switching)"
+)]
+pub type PcpmEngine = PcpmPipeline<PlusF32>;
+
+impl<A: Algebra> PcpmPipeline<A> {
+    /// Builds the pipeline for a square graph.
     pub fn new(graph: &Csr, cfg: &PcpmConfig) -> Result<Self, PcpmError> {
         cfg.validate()?;
         Self::from_view(EdgeView::from_csr(graph), cfg, None)
     }
 
-    /// Builds the engine for a square graph with per-edge weights
+    /// Builds the pipeline for a square graph with per-edge weights
     /// (parallel to the CSR targets array).
     pub fn new_weighted(
         graph: &Csr,
@@ -75,7 +92,7 @@ impl PcpmEngine {
         Self::from_view(EdgeView::from_csr(graph), cfg, Some(weights.as_slice()))
     }
 
-    /// Builds the engine from a raw (possibly rectangular) edge view.
+    /// Builds the pipeline from a raw (possibly rectangular) edge view.
     pub(crate) fn from_view(
         view: EdgeView<'_>,
         cfg: &PcpmConfig,
@@ -123,8 +140,8 @@ impl PcpmEngine {
         &self.png
     }
 
-    /// The wide bins, when the engine uses the 32-bit encoding.
-    pub fn bins(&self) -> Option<&BinSpace> {
+    /// The wide bins, when the pipeline uses the 32-bit encoding.
+    pub fn bins(&self) -> Option<&BinSpace<A::T>> {
         match &self.bins {
             BinStorage::Wide(b) => Some(b),
             BinStorage::Compact(_) => None,
@@ -149,19 +166,25 @@ impl PcpmEngine {
         self.preprocess
     }
 
-    /// One `y = Aᵀ·x` round with the default (paper) scatter and gather.
-    pub fn spmv(&mut self, x: &[f32], y: &mut [f32]) -> Result<PhaseTimings, PcpmError> {
+    /// Whether the pipeline built the compact 16-bit bins.
+    pub fn is_compact(&self) -> bool {
+        matches!(self.bins, BinStorage::Compact(_))
+    }
+
+    /// One `y = ⊕ Aᵀ·x` round with the default (paper) scatter and
+    /// gather.
+    pub fn spmv(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError> {
         self.spmv_with(x, y, ScatterKind::Png, GatherKind::BranchAvoiding, None)
     }
 
-    /// One `y = Aᵀ·x` round with explicit phase variants.
+    /// One round with explicit phase variants.
     ///
     /// `graph` is required when `scatter` is [`ScatterKind::CsrTraversal`]
     /// (the ablation needs the original adjacency).
     pub fn spmv_with(
         &mut self,
-        x: &[f32],
-        y: &mut [f32],
+        x: &[A::T],
+        y: &mut [A::T],
         scatter: ScatterKind,
         gather: GatherKind,
         graph: Option<&Csr>,
@@ -196,11 +219,13 @@ impl PcpmEngine {
         let t1 = Instant::now();
         match (&self.bins, gather) {
             (BinStorage::Wide(b), GatherKind::BranchAvoiding) => {
-                gather_branch_avoiding(&self.png, b, y)
+                gather_algebra::<A>(&self.png, b, y)
             }
-            (BinStorage::Wide(b), GatherKind::Branchy) => gather_branchy(&self.png, b, y),
+            (BinStorage::Wide(b), GatherKind::Branchy) => {
+                gather_algebra_branchy::<A>(&self.png, b, y)
+            }
             (BinStorage::Compact(b), GatherKind::BranchAvoiding) => {
-                gather_compact_branch_avoiding(&self.png, b, y)
+                gather_compact_algebra::<A>(&self.png, b, y)
             }
             (BinStorage::Compact(_), GatherKind::Branchy) => {
                 return Err(PcpmError::BadConfig(
@@ -218,6 +243,7 @@ impl PcpmEngine {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use pcpm_graph::gen::{erdos_renyi, rmat, RmatConfig};
@@ -315,6 +341,35 @@ mod tests {
         let g = rmat(&RmatConfig::graph500(8, 8, 5)).unwrap();
         let eng = PcpmEngine::new(&g, &PcpmConfig::default()).unwrap();
         assert!(eng.compression_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn integer_algebra_pipeline_runs_min_label() {
+        use crate::algebra::MinLabel;
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (3, 2)]).unwrap();
+        let cfg = PcpmConfig::default().with_partition_bytes(8);
+        let mut pipe = PcpmPipeline::<MinLabel>::new(&g, &cfg).unwrap();
+        let x: Vec<u32> = vec![0, 1, 2, 3];
+        let mut y = vec![u32::MAX; 4];
+        pipe.spmv(&x, &mut y).unwrap();
+        assert_eq!(y, vec![u32::MAX, 0, 1, u32::MAX]);
+    }
+
+    #[test]
+    fn compact_integer_algebra_matches_wide() {
+        use crate::algebra::MinLevel;
+        let g = rmat(&RmatConfig::graph500(9, 6, 23)).unwrap();
+        let wide_cfg = PcpmConfig::default().with_partition_bytes(128 * 4);
+        let compact_cfg = wide_cfg.with_compact_bins();
+        let mut wide = PcpmPipeline::<MinLevel>::new(&g, &wide_cfg).unwrap();
+        let mut compact = PcpmPipeline::<MinLevel>::new(&g, &compact_cfg).unwrap();
+        let x: Vec<u32> = (0..g.num_nodes()).map(|v| v % 11).collect();
+        let n = g.num_nodes() as usize;
+        let mut yw = vec![0u32; n];
+        let mut yc = vec![0u32; n];
+        wide.spmv(&x, &mut yw).unwrap();
+        compact.spmv(&x, &mut yc).unwrap();
+        assert_eq!(yw, yc);
     }
 
     #[test]

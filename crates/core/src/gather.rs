@@ -1,13 +1,17 @@
 //! PCPM gather phase.
 //!
-//! Two implementations of the same reduction:
+//! Two implementations of the same reduction, both generic over the
+//! gather [`Algebra`] (f32 PageRank sums, min-label, min-plus, …):
 //!
-//! - [`gather_branch_avoiding`] — Algorithm 4: the MSB of each destination
-//!   ID is *added* to the update pointer instead of being branched on, so
-//!   the inner loop has no unpredictable control flow (§3.4).
-//! - [`gather_branchy`] — Algorithm 2's gather: `if MSB(id) != 0 { pop
-//!   update }`. Mispredicts on every message boundary; kept for the
+//! - [`gather_algebra`] — Algorithm 4: the MSB of each destination ID is
+//!   *added* to the update pointer instead of being branched on, so the
+//!   inner loop has no unpredictable control flow (§3.4).
+//! - [`gather_algebra_branchy`] — Algorithm 2's gather: `if MSB(id) != 0
+//!   { pop update }`. Mispredicts on every message boundary; kept for the
 //!   branch-avoidance ablation benches.
+//!
+//! [`gather_branch_avoiding`] and [`gather_branchy`] are the `(+, ×)` /
+//! `f32` specializations the PageRank driver uses.
 //!
 //! Both are parallel over destination partitions: worker `p` owns the
 //! partial-sum slice of partition `p` exclusively, so the phase is
@@ -21,24 +25,36 @@ use crate::png::Png;
 use crate::ID_MASK;
 use rayon::prelude::*;
 
-/// Algorithm 4: branch-avoiding gather. Accumulates all messages into `y`
-/// (which is zeroed first). `y.len()` must equal the destination node
-/// count.
+/// Algorithm 4 over the `(+, ×)` semiring: branch-avoiding gather.
+/// Accumulates all messages into `y` (which is zeroed first). `y.len()`
+/// must equal the destination node count.
 pub fn gather_branch_avoiding(png: &Png, bins: &BinSpace, y: &mut [f32]) {
-    run_gather(png, bins, y, GatherImpl::BranchAvoiding);
+    gather_algebra::<crate::algebra::PlusF32>(png, bins, y);
 }
 
-/// Algorithm 2 gather: branch on the MSB flag (ablation baseline).
+/// Algorithm 2 gather over the `(+, ×)` semiring: branch on the MSB flag
+/// (ablation baseline).
 pub fn gather_branchy(png: &Png, bins: &BinSpace, y: &mut [f32]) {
-    run_gather(png, bins, y, GatherImpl::Branchy);
+    gather_algebra_branchy::<crate::algebra::PlusF32>(png, bins, y);
 }
 
-/// Branch-avoiding gather over an arbitrary [`Algebra`].
+/// Branch-avoiding gather (Algorithm 4) over an arbitrary [`Algebra`].
 ///
 /// The reduction into `y` starts from `A::identity()` per node; callers
 /// that need "keep my own value" semantics (label propagation, BFS)
 /// combine `y` with the previous vertex state afterwards.
 pub fn gather_algebra<A: Algebra>(png: &Png, bins: &BinSpace<A::T>, y: &mut [A::T]) {
+    run_gather::<A>(png, bins, y, false);
+}
+
+/// Branchy gather (Algorithm 2) over an arbitrary [`Algebra`] — the
+/// branch-avoidance ablation, byte-identical output to
+/// [`gather_algebra`].
+pub fn gather_algebra_branchy<A: Algebra>(png: &Png, bins: &BinSpace<A::T>, y: &mut [A::T]) {
+    run_gather::<A>(png, bins, y, true);
+}
+
+fn run_gather<A: Algebra>(png: &Png, bins: &BinSpace<A::T>, y: &mut [A::T], branchy: bool) {
     assert_eq!(y.len(), png.dst_parts().num_nodes() as usize, "y length");
     let lens = png.dst_parts().lens();
     let slices = split_by_lens(y, &lens);
@@ -56,8 +72,10 @@ pub fn gather_algebra<A: Algebra>(png: &Png, bins: &BinSpace<A::T>, y: &mut [A::
             let dhi = dbase + part.did_off[p + 1] as usize;
             let us = &bins.updates[ulo..uhi];
             let ds = &bins.dest_ids[dlo..dhi];
-            match &bins.weights {
-                None => {
+            match (branchy, &bins.weights) {
+                (false, None) => {
+                    // `up` starts one before the segment; the first entry
+                    // always carries the MSB flag and advances it to 0.
                     let mut up = usize::MAX;
                     for &id in ds {
                         up = up.wrapping_add((id >> 31) as usize);
@@ -65,7 +83,7 @@ pub fn gather_algebra<A: Algebra>(png: &Png, bins: &BinSpace<A::T>, y: &mut [A::
                         *slot = A::combine(*slot, A::extend(us[up]));
                     }
                 }
-                Some(w) => {
+                (false, Some(w)) => {
                     let ws = &w[dlo..dhi];
                     let mut up = usize::MAX;
                     for (&id, &wt) in ds.iter().zip(ws) {
@@ -74,70 +92,25 @@ pub fn gather_algebra<A: Algebra>(png: &Png, bins: &BinSpace<A::T>, y: &mut [A::
                         *slot = A::combine(*slot, A::extend_weighted(wt, us[up]));
                     }
                 }
-            }
-        }
-    });
-}
-
-#[derive(Clone, Copy)]
-enum GatherImpl {
-    BranchAvoiding,
-    Branchy,
-}
-
-fn run_gather(png: &Png, bins: &BinSpace, y: &mut [f32], imp: GatherImpl) {
-    assert_eq!(y.len(), png.dst_parts().num_nodes() as usize, "y length");
-    let lens = png.dst_parts().lens();
-    let slices = split_by_lens(y, &lens);
-    let k_src = png.src_parts().num_partitions();
-    slices.into_par_iter().enumerate().for_each(|(p, ys)| {
-        ys.fill(0.0);
-        let base = png.dst_parts().range(p as u32).start as usize;
-        for s in 0..k_src {
-            let part = png.part(s);
-            let ubase = png.upd_region()[s as usize] as usize;
-            let dbase = png.did_region()[s as usize] as usize;
-            let ulo = ubase + part.upd_off[p] as usize;
-            let uhi = ubase + part.upd_off[p + 1] as usize;
-            let dlo = dbase + part.did_off[p] as usize;
-            let dhi = dbase + part.did_off[p + 1] as usize;
-            let us = &bins.updates[ulo..uhi];
-            let ds = &bins.dest_ids[dlo..dhi];
-            match (imp, &bins.weights) {
-                (GatherImpl::BranchAvoiding, None) => {
-                    // `up` starts one before the segment; the first entry
-                    // always carries the MSB flag and advances it to 0.
-                    let mut up = usize::MAX;
-                    for &id in ds {
-                        up = up.wrapping_add((id >> 31) as usize);
-                        ys[(id & ID_MASK) as usize - base] += us[up];
-                    }
-                }
-                (GatherImpl::BranchAvoiding, Some(w)) => {
-                    let ws = &w[dlo..dhi];
-                    let mut up = usize::MAX;
-                    for (&id, &wt) in ds.iter().zip(ws) {
-                        up = up.wrapping_add((id >> 31) as usize);
-                        ys[(id & ID_MASK) as usize - base] += wt * us[up];
-                    }
-                }
-                (GatherImpl::Branchy, None) => {
+                (true, None) => {
                     let mut up = usize::MAX;
                     for &id in ds {
                         if id >> 31 != 0 {
                             up = up.wrapping_add(1);
                         }
-                        ys[(id & ID_MASK) as usize - base] += us[up];
+                        let slot = &mut ys[(id & ID_MASK) as usize - base];
+                        *slot = A::combine(*slot, A::extend(us[up]));
                     }
                 }
-                (GatherImpl::Branchy, Some(w)) => {
+                (true, Some(w)) => {
                     let ws = &w[dlo..dhi];
                     let mut up = usize::MAX;
                     for (&id, &wt) in ds.iter().zip(ws) {
                         if id >> 31 != 0 {
                             up = up.wrapping_add(1);
                         }
-                        ys[(id & ID_MASK) as usize - base] += wt * us[up];
+                        let slot = &mut ys[(id & ID_MASK) as usize - base];
+                        *slot = A::combine(*slot, A::extend_weighted(wt, us[up]));
                     }
                 }
             }

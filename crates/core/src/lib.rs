@@ -14,12 +14,36 @@
 //! 4. replaces the data-dependent MSB branch in the gather phase with
 //!    **branch-avoiding** pointer arithmetic (§3.4).
 //!
-//! The main entry points are [`pagerank::pagerank`] for the PageRank
-//! driver, [`engine::PcpmEngine`] for repeated SpMV application over a
-//! fixed structure, and [`spmv::SpmvMatrix`] for the weighted / non-square
-//! generalisation of §3.5.
+//! The main entry point is the unified [`backend::Engine`], built via
+//! [`Engine::builder`](backend::Engine::builder): one algebra-generic
+//! execution API in front of pluggable [`backend::Backend`] dataplanes
+//! (the PCPM pipeline plus the pull / push / edge-centric baselines).
+//! [`pagerank::pagerank`] is the PageRank driver on top of it, and
+//! [`spmv::SpmvMatrix`] is the weighted / non-square generalisation of
+//! §3.5.
 //!
 //! # Examples
+//!
+//! Run one scatter→gather round through the builder API:
+//!
+//! ```
+//! use pcpm_graph::Csr;
+//! use pcpm_core::{Engine, BackendKind};
+//! use pcpm_core::algebra::PlusF32;
+//!
+//! let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 0), (3, 0)]).unwrap();
+//! let mut engine = Engine::<PlusF32>::builder(&g)
+//!     .partition_bytes(8)
+//!     .backend(BackendKind::Pcpm)
+//!     .build()
+//!     .unwrap();
+//! let mut y = vec![0.0f32; 4];
+//! engine.step(&[1.0, 1.0, 1.0, 1.0], &mut y).unwrap();
+//! assert_eq!(y, vec![2.0, 1.0, 1.0, 0.0]);
+//! ```
+//!
+//! The PageRank driver threads the same engine, reporting the PNG
+//! compression ratio alongside the scores:
 //!
 //! ```
 //! use pcpm_graph::Csr;
@@ -36,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod algebra;
+pub mod backend;
 pub mod bins;
 pub mod compact;
 pub mod config;
@@ -49,8 +74,11 @@ pub mod pr;
 pub mod scatter;
 pub mod spmv;
 
+pub use backend::{Backend, BackendKind, Engine, EngineBuilder, ExecutionReport};
 pub use config::PcpmConfig;
+#[allow(deprecated)]
 pub use engine::PcpmEngine;
+pub use engine::{GatherKind, PcpmPipeline, ScatterKind};
 pub use error::PcpmError;
 pub use partition::Partitioner;
 pub use png::Png;

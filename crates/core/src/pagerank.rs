@@ -1,4 +1,5 @@
-//! PCPM PageRank driver (Algorithms 2–4 end to end).
+//! PCPM PageRank driver (Algorithms 2–4 end to end) on the unified
+//! [`Engine`] API.
 //!
 //! Implements the iteration of Eq. 1 with the *scaled-value* convention of
 //! Algorithm 2: the propagated array `x` holds `PR(v) / |No(v)|`, so the
@@ -7,9 +8,14 @@
 //! parallel pass. Dangling nodes propagate nothing; their mass is dropped
 //! (the paper's convention) unless
 //! [`PcpmConfig::redistribute_dangling`] is set.
+//!
+//! [`pagerank_on`] runs the same driver over any [`BackendKind`] — the
+//! apples-to-apples kernel comparison the paper's Fig. 7 makes.
 
+use crate::algebra::PlusF32;
+use crate::backend::{BackendKind, Engine};
 use crate::config::PcpmConfig;
-use crate::engine::{GatherKind, PcpmEngine, ScatterKind};
+use crate::engine::{GatherKind, PcpmPipeline, ScatterKind};
 use crate::error::PcpmError;
 use crate::pr::{PhaseTimings, PrResult};
 use pcpm_graph::Csr;
@@ -39,18 +45,50 @@ pub struct PcpmVariant {
 /// assert_eq!(r.iterations, 5);
 /// ```
 pub fn pagerank(graph: &Csr, cfg: &PcpmConfig) -> Result<PrResult, PcpmError> {
-    pagerank_with_variant(graph, cfg, PcpmVariant::default())
+    pagerank_on(graph, cfg, BackendKind::Pcpm)
 }
 
-/// Runs PageRank with explicit scatter/gather variants.
+/// Runs PageRank through any backend dataplane of the unified engine.
+///
+/// # Examples
+///
+/// ```
+/// use pcpm_graph::gen::erdos_renyi;
+/// use pcpm_core::{pagerank::pagerank_on, BackendKind, PcpmConfig};
+///
+/// let g = erdos_renyi(100, 600, 1).unwrap();
+/// let cfg = PcpmConfig::default().with_iterations(5);
+/// let pcpm = pagerank_on(&g, &cfg, BackendKind::Pcpm).unwrap();
+/// let pull = pagerank_on(&g, &cfg, BackendKind::Pull).unwrap();
+/// for (a, b) in pcpm.scores.iter().zip(&pull.scores) {
+///     assert!((a - b).abs() < 1e-6);
+/// }
+/// ```
+pub fn pagerank_on(
+    graph: &Csr,
+    cfg: &PcpmConfig,
+    backend: BackendKind,
+) -> Result<PrResult, PcpmError> {
+    let mut engine = Engine::<PlusF32>::builder(graph)
+        .config(*cfg)
+        .backend(backend)
+        .build()?;
+    pagerank_with_unified_engine(graph, cfg, &mut engine, None)
+}
+
+/// Runs PageRank with explicit scatter/gather variants (the PCPM phase
+/// ablations).
 pub fn pagerank_with_variant(
     graph: &Csr,
     cfg: &PcpmConfig,
     variant: PcpmVariant,
 ) -> Result<PrResult, PcpmError> {
-    cfg.validate()?;
-    let mut engine = PcpmEngine::new(graph, cfg)?;
-    pagerank_with_engine(graph, cfg, variant, &mut engine)
+    let mut engine = Engine::<PlusF32>::builder(graph)
+        .config(*cfg)
+        .scatter(variant.scatter)
+        .gather(variant.gather)
+        .build()?;
+    pagerank_with_unified_engine(graph, cfg, &mut engine, None)
 }
 
 /// Runs PageRank warm-started from a previous score vector.
@@ -76,39 +114,22 @@ pub fn pagerank_warm_start(
     cfg: &PcpmConfig,
     initial: &[f32],
 ) -> Result<PrResult, PcpmError> {
-    cfg.validate()?;
     if initial.len() != graph.num_nodes() as usize {
         return Err(PcpmError::DimensionMismatch {
             expected: graph.num_nodes() as usize,
             got: initial.len(),
         });
     }
-    let mut engine = PcpmEngine::new(graph, cfg)?;
-    run_driver(
-        graph,
-        cfg,
-        PcpmVariant::default(),
-        &mut engine,
-        Some(initial),
-    )
+    let mut engine = Engine::<PlusF32>::builder(graph).config(*cfg).build()?;
+    pagerank_with_unified_engine(graph, cfg, &mut engine, Some(initial))
 }
 
-/// Runs PageRank on a pre-built engine (lets callers amortize
-/// pre-processing across runs, and the benches time phases in isolation).
-pub fn pagerank_with_engine(
+/// Runs PageRank on a pre-built unified engine (lets callers amortize
+/// pre-processing across runs, or inject an external [`crate::Backend`]).
+pub fn pagerank_with_unified_engine(
     graph: &Csr,
     cfg: &PcpmConfig,
-    variant: PcpmVariant,
-    engine: &mut PcpmEngine,
-) -> Result<PrResult, PcpmError> {
-    run_driver(graph, cfg, variant, engine, None)
-}
-
-fn run_driver(
-    graph: &Csr,
-    cfg: &PcpmConfig,
-    variant: PcpmVariant,
-    engine: &mut PcpmEngine,
+    engine: &mut Engine<PlusF32>,
     initial: Option<&[f32]>,
 ) -> Result<PrResult, PcpmError> {
     let n = graph.num_nodes() as usize;
@@ -118,15 +139,83 @@ fn run_driver(
             got: engine.num_src() as usize,
         });
     }
+    cfg.validate()?;
+    let report = engine.report();
+    let core = iterate(graph, cfg, initial, |x, y| engine.step(x, y))?;
+    Ok(assemble(core, report.preprocess, report.compression_ratio))
+}
+
+/// Runs PageRank on a pre-built PCPM pipeline with per-call phase
+/// variants (the benches time phases in isolation through this).
+pub fn pagerank_with_engine(
+    graph: &Csr,
+    cfg: &PcpmConfig,
+    variant: PcpmVariant,
+    engine: &mut PcpmPipeline<PlusF32>,
+) -> Result<PrResult, PcpmError> {
+    let n = graph.num_nodes() as usize;
+    if engine.num_src() as usize != n || engine.num_dst() as usize != n {
+        return Err(PcpmError::DimensionMismatch {
+            expected: n,
+            got: engine.num_src() as usize,
+        });
+    }
+    cfg.validate()?;
+    let preprocess = engine.preprocess_time();
+    let ratio = engine.compression_ratio();
+    let threads = cfg.threads;
+    let core = crate::config::run_with_threads(threads, || {
+        iterate(graph, cfg, None, |x, y| {
+            engine.spmv_with(x, y, variant.scatter, variant.gather, Some(graph))
+        })
+    })?;
+    Ok(assemble(core, preprocess, Some(ratio)))
+}
+
+/// Everything the iteration loop produces before the engine report is
+/// folded in.
+struct DriverCore {
+    scores: Vec<f32>,
+    iterations: usize,
+    converged: bool,
+    last_delta: f64,
+    timings: PhaseTimings,
+}
+
+fn assemble(
+    core: DriverCore,
+    preprocess: std::time::Duration,
+    compression_ratio: Option<f64>,
+) -> PrResult {
+    PrResult {
+        scores: core.scores,
+        iterations: core.iterations,
+        converged: core.converged,
+        last_delta: core.last_delta,
+        timings: core.timings,
+        preprocess,
+        compression_ratio,
+    }
+}
+
+/// The damping / dangling / convergence loop, generic over the step.
+fn iterate<F>(
+    graph: &Csr,
+    cfg: &PcpmConfig,
+    initial: Option<&[f32]>,
+    mut step: F,
+) -> Result<DriverCore, PcpmError>
+where
+    F: FnMut(&[f32], &mut [f32]) -> Result<PhaseTimings, PcpmError>,
+{
+    let n = graph.num_nodes() as usize;
     if n == 0 {
-        return Ok(PrResult {
+        return Ok(DriverCore {
             scores: vec![],
             iterations: 0,
             converged: true,
             last_delta: 0.0,
             timings: PhaseTimings::default(),
-            preprocess: engine.preprocess_time(),
-            compression_ratio: Some(engine.compression_ratio()),
         });
     }
     let damping = cfg.damping as f32;
@@ -150,60 +239,53 @@ fn run_driver(
     let mut converged = false;
     let mut last_delta = f64::INFINITY;
 
-    crate::config::run_with_threads(cfg.threads, || -> Result<(), PcpmError> {
-        for _ in 0..cfg.iterations {
-            let t =
-                engine.spmv_with(&x, &mut sums, variant.scatter, variant.gather, Some(graph))?;
-            timings += t;
-            iterations += 1;
+    for _ in 0..cfg.iterations {
+        timings += step(&x, &mut sums)?;
+        iterations += 1;
 
-            let t0 = Instant::now();
-            let dangling_bonus = if cfg.redistribute_dangling {
-                let mass: f64 = pr
-                    .par_iter()
-                    .zip(&out_deg)
-                    .filter(|(_, &d)| d == 0)
-                    .map(|(&p, _)| f64::from(p))
-                    .sum();
-                (cfg.damping * mass / n as f64) as f32
-            } else {
-                0.0
-            };
-            let delta: f64 = pr
-                .par_iter_mut()
-                .zip(&sums)
-                .map(|(p, &s)| {
-                    let new = base + damping * s + dangling_bonus;
-                    let d = f64::from((new - *p).abs());
-                    *p = new;
-                    d
-                })
+        let t0 = Instant::now();
+        let dangling_bonus = if cfg.redistribute_dangling {
+            let mass: f64 = pr
+                .par_iter()
+                .zip(&out_deg)
+                .filter(|(_, &d)| d == 0)
+                .map(|(&p, _)| f64::from(p))
                 .sum();
-            x.par_iter_mut()
-                .zip(&pr)
-                .zip(&inv_deg)
-                .for_each(|((xv, &p), &i)| *xv = p * i);
-            timings.apply += t0.elapsed();
+            (cfg.damping * mass / n as f64) as f32
+        } else {
+            0.0
+        };
+        let delta: f64 = pr
+            .par_iter_mut()
+            .zip(&sums)
+            .map(|(p, &s)| {
+                let new = base + damping * s + dangling_bonus;
+                let d = f64::from((new - *p).abs());
+                *p = new;
+                d
+            })
+            .sum();
+        x.par_iter_mut()
+            .zip(&pr)
+            .zip(&inv_deg)
+            .for_each(|((xv, &p), &i)| *xv = p * i);
+        timings.apply += t0.elapsed();
 
-            last_delta = delta;
-            if let Some(tol) = cfg.tolerance {
-                if delta < tol {
-                    converged = true;
-                    break;
-                }
+        last_delta = delta;
+        if let Some(tol) = cfg.tolerance {
+            if delta < tol {
+                converged = true;
+                break;
             }
         }
-        Ok(())
-    })?;
+    }
 
-    Ok(PrResult {
+    Ok(DriverCore {
         scores: pr,
         iterations,
         converged,
         last_delta,
         timings,
-        preprocess: engine.preprocess_time(),
-        compression_ratio: Some(engine.compression_ratio()),
     })
 }
 
@@ -269,6 +351,19 @@ mod tests {
             .with_partition_bytes(64 * 4);
         let r = pagerank(&g, &cfg).unwrap();
         assert_close(&r.scores, &oracle(&g, &cfg), 1e-3);
+    }
+
+    #[test]
+    fn every_backend_matches_the_oracle() {
+        let g = rmat(&RmatConfig::graph500(9, 8, 27)).unwrap();
+        let cfg = PcpmConfig::default()
+            .with_iterations(8)
+            .with_partition_bytes(128 * 4);
+        let want = oracle(&g, &cfg);
+        for kind in BackendKind::ALL {
+            let r = pagerank_on(&g, &cfg, kind).unwrap();
+            assert_close(&r.scores, &want, 1e-3);
+        }
     }
 
     #[test]
@@ -383,5 +478,15 @@ mod tests {
         // Same deterministic per-partition accumulation order regardless
         // of thread count.
         assert_eq!(r1.scores, r2.scores);
+    }
+
+    #[test]
+    fn prebuilt_pipeline_entry_still_works() {
+        let g = erdos_renyi(200, 1200, 2).unwrap();
+        let cfg = PcpmConfig::default().with_iterations(5);
+        let mut pipeline = PcpmPipeline::new(&g, &cfg).unwrap();
+        let a = pagerank_with_engine(&g, &cfg, PcpmVariant::default(), &mut pipeline).unwrap();
+        let b = pagerank(&g, &cfg).unwrap();
+        assert_eq!(a.scores, b.scores);
     }
 }

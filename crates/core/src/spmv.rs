@@ -10,8 +10,10 @@
 //! sources are columns, destinations are rows, and `y = A·x` is one
 //! scatter/gather round.
 
+use crate::algebra::PlusF32;
+use crate::backend::{Engine, PcpmBackend};
 use crate::config::PcpmConfig;
-use crate::engine::PcpmEngine;
+use crate::engine::PcpmPipeline;
 use crate::error::PcpmError;
 use crate::png::EdgeView;
 use crate::pr::PhaseTimings;
@@ -109,6 +111,32 @@ impl SpmvMatrix {
         EdgeView::new(self.num_cols, self.num_rows, &self.offsets, &self.row_ids)
     }
 
+    /// Builds a unified [`Engine`] computing `y = A·x` with the PCPM
+    /// dataplane — the rectangular entry point of the builder API.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pcpm_core::spmv::SpmvMatrix;
+    /// use pcpm_core::PcpmConfig;
+    ///
+    /// // 2x3 matrix [[1, 0, 2], [0, 3, 0]]
+    /// let m = SpmvMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+    /// let mut engine = m.engine(&PcpmConfig::default().with_partition_bytes(8)).unwrap();
+    /// let mut y = vec![0.0f32; 2];
+    /// engine.step(&[1.0, 1.0, 1.0], &mut y).unwrap();
+    /// assert_eq!(y, vec![3.0, 3.0]);
+    /// ```
+    pub fn engine(&self, cfg: &PcpmConfig) -> Result<Engine<PlusF32>, PcpmError> {
+        cfg.validate()?;
+        let pipeline = PcpmPipeline::from_view(self.view(), cfg, Some(&self.values))?;
+        Ok(Engine::from_backend(
+            Box::new(PcpmBackend::from_pipeline(pipeline)),
+            self.num_cols,
+            self.num_rows,
+        ))
+    }
+
     /// Serial reference product `y = A·x` with f64 accumulation.
     pub fn reference_apply(&self, x: &[f32]) -> Vec<f32> {
         let mut y = vec![0.0f64; self.num_rows as usize];
@@ -123,15 +151,20 @@ impl SpmvMatrix {
 }
 
 /// A PCPM pipeline specialized for repeated products with a fixed matrix.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SpmvMatrix::engine(&cfg)` — the unified `Engine` front end"
+)]
 pub struct SpmvEngine {
-    engine: PcpmEngine,
+    engine: PcpmPipeline<PlusF32>,
 }
 
+#[allow(deprecated)]
 impl SpmvEngine {
     /// Builds the PCPM layout for `matrix`.
     pub fn new(matrix: &SpmvMatrix, cfg: &PcpmConfig) -> Result<Self, PcpmError> {
         cfg.validate()?;
-        let engine = PcpmEngine::from_view(matrix.view(), cfg, Some(&matrix.values))?;
+        let engine = PcpmPipeline::from_view(matrix.view(), cfg, Some(&matrix.values))?;
         Ok(Self { engine })
     }
 
@@ -140,13 +173,14 @@ impl SpmvEngine {
         self.engine.spmv(x, y)
     }
 
-    /// The underlying engine (compression ratio, pre-processing time).
-    pub fn engine(&self) -> &PcpmEngine {
+    /// The underlying pipeline (compression ratio, pre-processing time).
+    pub fn engine(&self) -> &PcpmPipeline<PlusF32> {
         &self.engine
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
@@ -208,6 +242,21 @@ mod tests {
                 assert!((a - b).abs() < 1e-3, "{rows}x{cols} row {i}: {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn unified_engine_matches_deprecated_front_end() {
+        let m = random_matrix(150, 90, 1800, 5);
+        let cfg = PcpmConfig::default().with_partition_bytes(32 * 4);
+        let x: Vec<f32> = (0..90).map(|i| ((i % 9) as f32) - 4.0).collect();
+        let mut old = SpmvEngine::new(&m, &cfg).unwrap();
+        let mut new = m.engine(&cfg).unwrap();
+        let mut y_old = vec![0.0f32; 150];
+        let mut y_new = vec![0.0f32; 150];
+        old.apply(&x, &mut y_old).unwrap();
+        new.step(&x, &mut y_new).unwrap();
+        assert_eq!(y_old, y_new);
+        assert_eq!(new.report().backend, "pcpm");
     }
 
     #[test]

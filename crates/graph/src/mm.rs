@@ -92,8 +92,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<(Csr, Option<EdgeWeights
 
     // Entries. The header's nnz is untrusted input: cap the up-front
     // reservation so a hostile size line cannot force a huge allocation.
-    let mut triplets: Vec<(NodeId, NodeId, f32)> =
-        Vec::with_capacity(nnz.min(1 << 20) as usize);
+    let mut triplets: Vec<(NodeId, NodeId, f32)> = Vec::with_capacity(nnz.min(1 << 20) as usize);
     let mut seen = 0u64;
     for (idx, line) in lines {
         let line = line?;

@@ -36,16 +36,17 @@ fn main() {
     );
 
     let cfg = PcpmConfig::default().with_partition_bytes(16 * 1024);
-    let mut engine = SpmvEngine::new(&matrix, &cfg).expect("engine");
+    let mut engine = matrix.engine(&cfg).expect("engine");
+    let report = engine.report();
     println!(
         "PCPM layout: compression ratio {:.2}, preprocessing {:?}",
-        engine.engine().compression_ratio(),
-        engine.engine().preprocess_time()
+        report.compression_ratio.unwrap_or(1.0),
+        report.preprocess
     );
 
     let x: Vec<f32> = (0..cols).map(|i| (i as f32 * 0.01).sin()).collect();
     let mut y = vec![0.0f32; rows as usize];
-    let timings = engine.apply(&x, &mut y).expect("apply");
+    let timings = engine.step(&x, &mut y).expect("apply");
     println!(
         "product: scatter {:?}, gather {:?}",
         timings.scatter, timings.gather
@@ -70,13 +71,13 @@ fn main() {
         }
     }
     let chain = SpmvMatrix::from_triplets(n, n, &chain).expect("chain");
-    let mut engine = SpmvEngine::new(&chain, &cfg).expect("chain engine");
+    let mut engine = chain.engine(&cfg).expect("chain engine");
     let mut pi = vec![1.0f32 / n as f32; n as usize];
     let mut next = vec![0.0f32; n as usize];
     let mut delta = f32::INFINITY;
     let mut iters = 0;
     while delta > 1e-9 && iters < 200 {
-        engine.apply(&pi, &mut next).expect("apply");
+        engine.step(&pi, &mut next).expect("apply");
         // Normalize (duplicate triplets were summed, columns may exceed 1).
         let mass: f32 = next.iter().sum();
         delta = pi

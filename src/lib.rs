@@ -5,10 +5,13 @@
 //! 2018), packaged as one umbrella crate re-exporting the workspace:
 //!
 //! - [`graph`] — CSR graphs, generators, orderings, I/O (`pcpm-graph`);
-//! - [`core`] — partitions, the PNG layout, scatter/gather, the PageRank
-//!   driver and generic SpMV (`pcpm-core`);
-//! - [`baselines`] — PDPR (pull), push, and BVGAS kernels
-//!   (`pcpm-baselines`);
+//! - [`core`] — partitions, the PNG layout, scatter/gather, and the
+//!   unified [`Engine`](core::Engine)/[`Backend`](core::Backend)
+//!   execution API (`pcpm-core`);
+//! - [`algos`] — PageRank variants, BFS, SSSP, components, Katz, HITS —
+//!   all running on any backend (`pcpm-algos`);
+//! - [`baselines`] — PDPR (pull), push, BVGAS, edge-centric and grid
+//!   kernels, each also pluggable as a backend (`pcpm-baselines`);
 //! - [`memsim`] — the cache simulator, traffic replays and analytical
 //!   models (`pcpm-memsim`).
 //!
@@ -28,6 +31,43 @@
 //! assert!(result.compression_ratio.unwrap() >= 1.0);
 //! assert_eq!(result.scores.len() as u32, g.num_nodes());
 //! ```
+//!
+//! # The builder API
+//!
+//! Every execution goes through one algebra-generic engine; the backend,
+//! bin encoding and phase variants are chosen (and validated) at build
+//! time:
+//!
+//! ```
+//! use pcpm::prelude::*;
+//! use pcpm::core::algebra::PlusF32;
+//!
+//! let g = pcpm::graph::gen::erdos_renyi(1000, 8000, 7).unwrap();
+//! let w = EdgeWeights::random(&g, 3);
+//! let mut engine = Engine::<PlusF32>::builder(&g)
+//!     .partition_bytes(16 * 1024)
+//!     .weights(&w)
+//!     .compact_bins(true)
+//!     .scatter(ScatterKind::Png)
+//!     .gather(GatherKind::BranchAvoiding)
+//!     .build()
+//!     .unwrap();
+//! let x = vec![1.0f32; 1000];
+//! let mut y = vec![0.0f32; 1000];
+//! engine.step(&x, &mut y).unwrap();
+//!
+//! // Same computation on a baseline dataplane: swap the backend.
+//! let mut pull = Engine::<PlusF32>::builder(&g)
+//!     .weights(&w)
+//!     .backend(BackendKind::Pull)
+//!     .build()
+//!     .unwrap();
+//! let mut y2 = vec![0.0f32; 1000];
+//! pull.step(&x, &mut y2).unwrap();
+//! for (a, b) in y.iter().zip(&y2) {
+//!     assert!((a - b).abs() <= 1e-4 * a.abs().max(1.0));
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,12 +81,25 @@ pub use pcpm_memsim as memsim;
 /// Commonly used items for `use pcpm::prelude::*`.
 pub mod prelude {
     pub use pcpm_algos::{
-        bfs_levels, connected_components, personalized_pagerank, sssp, weighted_pagerank,
+        bfs_levels, bfs_levels_on, connected_components, connected_components_on,
+        personalized_pagerank, personalized_pagerank_on, propagation_engine, run_to_fixpoint, sssp,
+        sssp_on, weighted_pagerank, weighted_pagerank_on,
     };
     pub use pcpm_baselines::{bvgas, pdpr, push_pagerank, serial_pagerank};
-    pub use pcpm_core::pagerank::{pagerank, pagerank_with_variant};
-    pub use pcpm_core::spmv::{SpmvEngine, SpmvMatrix};
-    pub use pcpm_core::{Partitioner, PcpmConfig, PcpmEngine, Png, PrResult};
+    pub use pcpm_core::pagerank::{pagerank, pagerank_on, pagerank_with_variant};
+    pub use pcpm_core::spmv::SpmvMatrix;
+    pub use pcpm_core::{
+        Backend, BackendKind, Engine, EngineBuilder, ExecutionReport, GatherKind, Partitioner,
+        PcpmConfig, Png, PrResult, ScatterKind,
+    };
     pub use pcpm_graph::gen::{RmatConfig, WebConfig};
     pub use pcpm_graph::{Csr, EdgeWeights, GraphBuilder};
+
+    // Pre-redesign entry points, kept one release for migration.
+    #[allow(deprecated)]
+    pub use pcpm_algos::PropagationEngine;
+    #[allow(deprecated)]
+    pub use pcpm_core::spmv::SpmvEngine;
+    #[allow(deprecated)]
+    pub use pcpm_core::PcpmEngine;
 }

@@ -145,16 +145,18 @@ fn compression_grows_with_partition_size_on_all_standins() {
 fn engine_reuse_across_many_iterations_is_stable() {
     // 100 SpMV rounds through one engine must not corrupt the bins.
     let g = standin_at(Dataset::Pld, 10).unwrap();
-    let cfg = PcpmConfig::default().with_partition_bytes(1024);
-    let mut engine = PcpmEngine::new(&g, &cfg).unwrap();
+    let mut engine = Engine::<pcpm::core::algebra::PlusF32>::builder(&g)
+        .partition_bytes(1024)
+        .build()
+        .unwrap();
     let x: Vec<f32> = (0..g.num_nodes())
         .map(|v| (v as f32 + 1.0).recip())
         .collect();
     let mut first = vec![0.0f32; g.num_nodes() as usize];
-    engine.spmv(&x, &mut first).unwrap();
+    engine.step(&x, &mut first).unwrap();
     let mut y = vec![0.0f32; g.num_nodes() as usize];
     for _ in 0..100 {
-        engine.spmv(&x, &mut y).unwrap();
+        engine.step(&x, &mut y).unwrap();
     }
     assert_eq!(first, y);
 }
@@ -162,7 +164,11 @@ fn engine_reuse_across_many_iterations_is_stable() {
 #[test]
 fn preprocess_time_is_recorded() {
     let g = standin_at(Dataset::Kron, 11).unwrap();
-    let cfg = PcpmConfig::default().with_partition_bytes(1024);
-    let engine = PcpmEngine::new(&g, &cfg).unwrap();
-    assert!(engine.preprocess_time().as_nanos() > 0);
+    let engine = Engine::<pcpm::core::algebra::PlusF32>::builder(&g)
+        .partition_bytes(1024)
+        .build()
+        .unwrap();
+    let report = engine.report();
+    assert!(report.preprocess.as_nanos() > 0);
+    assert_eq!(report.backend, "pcpm");
 }

@@ -2,10 +2,138 @@
 //! compute the same PageRank vector as the serial f64 oracle, on
 //! arbitrary graphs and configurations (property-based).
 
+use pcpm::core::algebra::{MinLabel, MinPlusF32, PlusF32};
 use pcpm::core::engine::{GatherKind, ScatterKind};
 use pcpm::core::pagerank::{pagerank_with_variant, PcpmVariant};
 use pcpm::prelude::*;
 use proptest::prelude::*;
+
+/// The unified-API configurations the backend-agreement matrix covers:
+/// PCPM wide, PCPM compact, PCPM with CSR-traversal scatter, and the
+/// pull / push / edge-centric dataplanes, all through the `Backend`
+/// trait behind `Engine`.
+fn matrix_engines<A: pcpm::core::algebra::Algebra>(
+    g: &Csr,
+    weights: Option<&EdgeWeights>,
+    q_bytes: usize,
+) -> Vec<(&'static str, Engine<A>)> {
+    let build = |label: &'static str,
+                 f: &dyn Fn(EngineBuilder<'_, A>) -> EngineBuilder<'_, A>|
+     -> (&'static str, Engine<A>) {
+        let mut b = Engine::<A>::builder(g).partition_bytes(q_bytes);
+        if let Some(w) = weights {
+            b = b.weights(w);
+        }
+        (label, f(b).build().expect(label))
+    };
+    vec![
+        build("pcpm_wide", &|b| b),
+        build("pcpm_compact", &|b| b.compact_bins(true)),
+        build("pcpm_csr_traversal", &|b| {
+            b.scatter(ScatterKind::CsrTraversal)
+        }),
+        build("pull", &|b| b.backend(BackendKind::Pull)),
+        build("push", &|b| b.backend(BackendKind::Push)),
+        build("edge_centric", &|b| b.backend(BackendKind::EdgeCentric)),
+    ]
+}
+
+/// One SpMV round on every backend must produce identical results.
+/// Integer-valued inputs (and eighth-grain weights) keep every f32 sum
+/// exactly representable, so the assertion is bit-exact equality even
+/// though the backends accumulate in different orders.
+fn assert_backend_matrix_agrees(g: &Csr, q_bytes: usize) {
+    let n = g.num_nodes() as usize;
+    // Unweighted, (+, x): all six against the serial reference.
+    let x: Vec<f32> = (0..g.num_nodes()).map(|v| (v % 13) as f32).collect();
+    let mut want = vec![0.0f32; n];
+    for (s, t) in g.edges() {
+        want[t as usize] += x[s as usize];
+    }
+    for (label, mut engine) in matrix_engines::<PlusF32>(g, None, q_bytes) {
+        let mut y = vec![0.0f32; n];
+        engine.step(&x, &mut y).unwrap();
+        assert_eq!(y, want, "{label} disagrees on unweighted SpMV");
+    }
+
+    // Weighted (min, +): exact grid weights, cross-backend equality.
+    let w = EdgeWeights::new(
+        g,
+        (0..g.num_edges())
+            .map(|i| ((i % 8) + 1) as f32 / 8.0)
+            .collect(),
+    )
+    .unwrap();
+    let xd: Vec<f32> = (0..g.num_nodes()).map(|v| (v % 7) as f32).collect();
+    let mut outputs = Vec::new();
+    for (label, mut engine) in matrix_engines::<MinPlusF32>(g, Some(&w), q_bytes) {
+        let mut y = vec![0.0f32; n];
+        engine.step(&xd, &mut y).unwrap();
+        outputs.push((label, y));
+    }
+    for (label, y) in &outputs[1..] {
+        assert_eq!(&outputs[0].1, y, "{label} disagrees on weighted min-plus");
+    }
+
+    // Integer min-label algebra: exact by construction.
+    let xl: Vec<u32> = (0..g.num_nodes()).collect();
+    let mut labels = Vec::new();
+    for (label, mut engine) in matrix_engines::<MinLabel>(g, None, q_bytes) {
+        let mut y = vec![0u32; n];
+        engine.step(&xl, &mut y).unwrap();
+        labels.push((label, y));
+    }
+    for (label, y) in &labels[1..] {
+        assert_eq!(&labels[0].1, y, "{label} disagrees on min-label");
+    }
+}
+
+#[test]
+fn backend_agreement_matrix_on_er() {
+    for (nodes, edges, seed) in [(300u32, 2400u64, 8u64), (512, 4000, 21)] {
+        let g = pcpm::graph::gen::erdos_renyi(nodes, edges, seed).unwrap();
+        for q_bytes in [32 * 4, 200 * 4] {
+            assert_backend_matrix_agrees(&g, q_bytes);
+        }
+    }
+}
+
+#[test]
+fn backend_agreement_matrix_on_rmat() {
+    for seed in [3u64, 77] {
+        let g = pcpm::graph::gen::rmat(&RmatConfig::graph500(9, 8, seed)).unwrap();
+        for q_bytes in [64 * 4, 1024 * 4] {
+            assert_backend_matrix_agrees(&g, q_bytes);
+        }
+    }
+}
+
+#[test]
+fn baseline_runner_backends_join_the_matrix() {
+    // The pcpm-baselines Backend impls (BVGAS, grid, PDPR runner,
+    // edge-centric runner) plug in through Engine::from_backend and must
+    // agree with the core PCPM backend bit-exactly on integer inputs.
+    use pcpm::baselines::{bvgas_engine, edge_centric_engine, grid_engine, pdpr_engine};
+    let g = pcpm::graph::gen::rmat(&RmatConfig::graph500(9, 8, 55)).unwrap();
+    let cfg = PcpmConfig::default().with_partition_bytes(64 * 4);
+    let n = g.num_nodes() as usize;
+    let x: Vec<f32> = (0..g.num_nodes()).map(|v| (v % 11) as f32).collect();
+    let mut want = vec![0.0f32; n];
+    let mut pcpm_engine = Engine::<PlusF32>::builder(&g).config(cfg).build().unwrap();
+    pcpm_engine.step(&x, &mut want).unwrap();
+    for engine in [
+        bvgas_engine(&g, &cfg).unwrap(),
+        grid_engine(&g, &cfg).unwrap(),
+        pdpr_engine(&g, &cfg).unwrap(),
+        edge_centric_engine(&g, &cfg).unwrap(),
+    ] {
+        let mut engine = engine;
+        let name = engine.report().backend;
+        let mut y = vec![0.0f32; n];
+        engine.step(&x, &mut y).unwrap();
+        assert_eq!(y, want, "baseline backend {name}");
+    }
+}
 
 /// Random graph strategy: up to 120 nodes, up to 600 edges.
 fn arb_graph() -> impl Strategy<Value = Csr> {

@@ -120,17 +120,19 @@ proptest! {
         // A^T(ax + by) == a A^T x + b A^T y — exercises scatter+gather as
         // a linear operator.
         let n = g.num_nodes() as usize;
-        let cfg = PcpmConfig::default().with_partition_bytes(q as usize * 4);
-        let mut engine = PcpmEngine::new(&g, &cfg).unwrap();
+        let mut engine = Engine::<pcpm::core::algebra::PlusF32>::builder(&g)
+            .partition_bytes(q as usize * 4)
+            .build()
+            .unwrap();
         let x: Vec<f32> = (0..n).map(|i| ((i * 7 + 1) % 13) as f32).collect();
         let y: Vec<f32> = (0..n).map(|i| ((i * 3 + 2) % 11) as f32).collect();
         let combo: Vec<f32> = x.iter().zip(&y).map(|(&a, &b)| 2.0 * a + 0.5 * b).collect();
         let mut ax = vec![0.0f32; n];
         let mut ay = vec![0.0f32; n];
         let mut ac = vec![0.0f32; n];
-        engine.spmv(&x, &mut ax).unwrap();
-        engine.spmv(&y, &mut ay).unwrap();
-        engine.spmv(&combo, &mut ac).unwrap();
+        engine.step(&x, &mut ax).unwrap();
+        engine.step(&y, &mut ay).unwrap();
+        engine.step(&combo, &mut ac).unwrap();
         for i in 0..n {
             let want = 2.0 * ax[i] + 0.5 * ay[i];
             prop_assert!((ac[i] - want).abs() <= 1e-2 * want.abs().max(1.0),

@@ -21,10 +21,10 @@ proptest! {
     #[test]
     fn pcpm_spmv_matches_reference(m in arb_matrix(), q in 1u32..40) {
         let cfg = PcpmConfig::default().with_partition_bytes(q as usize * 4);
-        let mut engine = SpmvEngine::new(&m, &cfg).unwrap();
+        let mut engine = m.engine(&cfg).unwrap();
         let x: Vec<f32> = (0..m.num_cols()).map(|i| ((i % 7) as f32) - 3.0).collect();
         let mut y = vec![0.0f32; m.num_rows() as usize];
-        engine.apply(&x, &mut y).unwrap();
+        engine.step(&x, &mut y).unwrap();
         let want = m.reference_apply(&x);
         for (i, (&a, &b)) in y.iter().zip(&want).enumerate() {
             prop_assert!((a - b).abs() < 1e-2 * b.abs().max(1.0), "row {}: {} vs {}", i, a, b);
@@ -34,10 +34,10 @@ proptest! {
     #[test]
     fn zero_vector_maps_to_zero(m in arb_matrix()) {
         let cfg = PcpmConfig::default().with_partition_bytes(64);
-        let mut engine = SpmvEngine::new(&m, &cfg).unwrap();
+        let mut engine = m.engine(&cfg).unwrap();
         let x = vec![0.0f32; m.num_cols() as usize];
         let mut y = vec![7.0f32; m.num_rows() as usize];
-        engine.apply(&x, &mut y).unwrap();
+        engine.step(&x, &mut y).unwrap();
         prop_assert!(y.iter().all(|&v| v == 0.0));
     }
 }
@@ -49,10 +49,14 @@ fn weighted_graph_pagerank_style_product() {
     let g = pcpm::graph::gen::erdos_renyi(300, 2500, 4).unwrap();
     let w = EdgeWeights::random(&g, 11);
     let cfg = PcpmConfig::default().with_partition_bytes(64 * 4);
-    let mut engine = PcpmEngine::new_weighted(&g, &w, &cfg).unwrap();
+    let mut engine = Engine::<pcpm::core::algebra::PlusF32>::builder(&g)
+        .config(cfg)
+        .weights(&w)
+        .build()
+        .unwrap();
     let x: Vec<f32> = (0..300).map(|i| (i as f32 * 0.01).cos()).collect();
     let mut y = vec![0.0f32; 300];
-    engine.spmv(&x, &mut y).unwrap();
+    engine.step(&x, &mut y).unwrap();
 
     let mut want = vec![0.0f64; 300];
     let mut edge_idx = 0usize;
@@ -72,10 +76,12 @@ fn identity_matrix_is_identity() {
     let n = 64u32;
     let trip: Vec<(u32, u32, f32)> = (0..n).map(|i| (i, i, 1.0)).collect();
     let m = SpmvMatrix::from_triplets(n, n, &trip).unwrap();
-    let mut engine = SpmvEngine::new(&m, &PcpmConfig::default().with_partition_bytes(40)).unwrap();
+    let mut engine = m
+        .engine(&PcpmConfig::default().with_partition_bytes(40))
+        .unwrap();
     let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
     let mut y = vec![0.0f32; n as usize];
-    engine.apply(&x, &mut y).unwrap();
+    engine.step(&x, &mut y).unwrap();
     assert_eq!(x, y);
 }
 
@@ -89,10 +95,12 @@ fn column_stochastic_preserves_mass() {
         trip.push(((c + 7) % n, c, 0.5f32));
     }
     let m = SpmvMatrix::from_triplets(n, n, &trip).unwrap();
-    let mut engine = SpmvEngine::new(&m, &PcpmConfig::default().with_partition_bytes(64)).unwrap();
+    let mut engine = m
+        .engine(&PcpmConfig::default().with_partition_bytes(64))
+        .unwrap();
     let x = vec![1.0f32 / n as f32; n as usize];
     let mut y = vec![0.0f32; n as usize];
-    engine.apply(&x, &mut y).unwrap();
+    engine.step(&x, &mut y).unwrap();
     let mass: f32 = y.iter().sum();
     assert!((mass - 1.0).abs() < 1e-5, "mass {mass}");
 }
