@@ -56,10 +56,10 @@ pub fn hits_on(
         .config(*cfg)
         .backend(backend)
         .build()?; // Aᵀ·x
-    let mut bwd = Engine::<PlusF32>::builder(&transpose)
-        .config(*cfg)
-        .backend(backend)
-        .build()?; // A·x
+                   // The transpose engine shares fwd's pool (built and stepped inside
+                   // fwd.run below), so a thread-pinned run owns exactly one pool.
+    let mut bwd_cfg = *cfg;
+    bwd_cfg.threads = None;
     let norm = |v: &mut [f32]| {
         let s: f64 = v.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
         let s = (s.sqrt() as f32).max(f32::MIN_POSITIVE);
@@ -69,24 +69,31 @@ pub fn hits_on(
     let mut auth = vec![0.0f32; n];
     let mut iters = 0;
     let mut prev_auth = auth.clone();
-    while iters < iterations {
-        fwd.step(&hubs, &mut auth)?;
-        norm(&mut auth);
-        bwd.step(&auth, &mut hubs)?;
-        norm(&mut hubs);
-        iters += 1;
-        if let Some(tol) = tolerance {
-            let delta: f64 = auth
-                .iter()
-                .zip(&prev_auth)
-                .map(|(&a, &b)| f64::from((a - b).abs()))
-                .sum();
-            if delta < tol {
-                break;
+    fwd.run(|fwd| -> Result<(), PcpmError> {
+        let mut bwd = Engine::<PlusF32>::builder(&transpose)
+            .config(bwd_cfg)
+            .backend(backend)
+            .build()?; // A·x
+        while iters < iterations {
+            fwd.step(&hubs, &mut auth)?;
+            norm(&mut auth);
+            bwd.step(&auth, &mut hubs)?;
+            norm(&mut hubs);
+            iters += 1;
+            if let Some(tol) = tolerance {
+                let delta: f64 = auth
+                    .iter()
+                    .zip(&prev_auth)
+                    .map(|(&a, &b)| f64::from((a - b).abs()))
+                    .sum();
+                if delta < tol {
+                    break;
+                }
+                prev_auth.copy_from_slice(&auth);
             }
-            prev_auth.copy_from_slice(&auth);
         }
-    }
+        Ok(())
+    })?;
     Ok(HitsResult {
         authorities: auth,
         hubs,

@@ -76,23 +76,26 @@ pub fn katz_centrality_on(
     let mut x = vec![katz.beta; n];
     let mut ax = vec![0.0f32; n];
     let mut iters = 0;
-    while iters < katz.max_iters {
-        engine.step(&x, &mut ax)?;
-        let delta: f64 = x
-            .par_iter_mut()
-            .zip(&ax)
-            .map(|(xv, &s)| {
-                let new = katz.alpha * s + katz.beta;
-                let d = f64::from((new - *xv).abs());
-                *xv = new;
-                d
-            })
-            .sum();
-        iters += 1;
-        if delta < katz.tolerance {
-            break;
+    engine.run(|engine| -> Result<(), PcpmError> {
+        while iters < katz.max_iters {
+            engine.step(&x, &mut ax)?;
+            let delta: f64 = x
+                .par_iter_mut()
+                .zip(&ax)
+                .map(|(xv, &s)| {
+                    let new = katz.alpha * s + katz.beta;
+                    let d = f64::from((new - *xv).abs());
+                    *xv = new;
+                    d
+                })
+                .sum();
+            iters += 1;
+            if delta < katz.tolerance {
+                break;
+            }
         }
-    }
+        Ok(())
+    })?;
     Ok((x, iters))
 }
 

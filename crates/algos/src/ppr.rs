@@ -82,7 +82,7 @@ pub fn personalized_pagerank_on(
     let mut converged = false;
     let mut last_delta = f64::INFINITY;
 
-    {
+    engine.run(|engine| -> Result<(), PcpmError> {
         for _ in 0..cfg.iterations {
             timings += engine.step(&x, &mut sums)?;
             let t0 = Instant::now();
@@ -119,7 +119,8 @@ pub fn personalized_pagerank_on(
                 }
             }
         }
-    }
+        Ok(())
+    })?;
 
     let report = engine.report();
     Ok(PrResult {

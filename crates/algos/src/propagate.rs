@@ -51,24 +51,27 @@ pub fn run_to_fixpoint<A: Algebra>(
     let mut incoming = vec![A::identity(); state.len()];
     let mut rounds = 0;
     let mut converged = false;
-    while rounds < max_rounds {
-        engine.step(&state, &mut incoming)?;
-        rounds += 1;
-        let changed = state
-            .par_iter_mut()
-            .zip(&incoming)
-            .map(|(s, &inc)| {
-                let new = A::combine(*s, inc);
-                let changed = new != *s;
-                *s = new;
-                changed as u64
-            })
-            .sum::<u64>();
-        if changed == 0 {
-            converged = true;
-            break;
+    engine.run(|engine| -> Result<(), PcpmError> {
+        while rounds < max_rounds {
+            engine.step(&state, &mut incoming)?;
+            rounds += 1;
+            let changed = state
+                .par_iter_mut()
+                .zip(&incoming)
+                .map(|(s, &inc)| {
+                    let new = A::combine(*s, inc);
+                    let changed = new != *s;
+                    *s = new;
+                    changed as u64
+                })
+                .sum::<u64>();
+            if changed == 0 {
+                converged = true;
+                break;
+            }
         }
-    }
+        Ok(())
+    })?;
     Ok(FixpointResult {
         state,
         rounds,

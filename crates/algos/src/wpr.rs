@@ -70,7 +70,7 @@ pub fn weighted_pagerank_on(
     let mut converged = false;
     let mut last_delta = f64::INFINITY;
 
-    {
+    engine.run(|engine| -> Result<(), PcpmError> {
         for _ in 0..cfg.iterations {
             timings += engine.step(&x, &mut sums)?;
             let t0 = Instant::now();
@@ -109,7 +109,8 @@ pub fn weighted_pagerank_on(
                 }
             }
         }
-    }
+        Ok(())
+    })?;
 
     let report = engine.report();
     Ok(PrResult {

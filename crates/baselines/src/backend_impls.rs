@@ -69,7 +69,7 @@ impl Backend<PlusF32> for PdprBackend {
         BackendMetrics {
             name: "pdpr",
             preprocess: self.runner.transpose_time(),
-            aux_memory_bytes: 0,
+            aux_memory_bytes: self.runner.aux_memory_bytes(),
             compression_ratio: None,
         }
     }
@@ -108,7 +108,9 @@ impl Backend<PlusF32> for BvgasBackend {
         BackendMetrics {
             name: "bvgas",
             preprocess: self.runner.preprocess_time(),
-            aux_memory_bytes: (self.updates.len() * 4 + self.updates.len() * 4) as u64,
+            aux_memory_bytes: self.runner.aux_memory_bytes()
+                + (self.updates.len() * 4) as u64
+                + self.graph.memory_bytes(),
             compression_ratio: None,
         }
     }
@@ -145,7 +147,7 @@ impl Backend<PlusF32> for EdgeCentricRunnerBackend {
         BackendMetrics {
             name: "edge_centric",
             preprocess: self.runner.preprocess_time(),
-            aux_memory_bytes: 0,
+            aux_memory_bytes: self.runner.aux_memory_bytes(),
             compression_ratio: None,
         }
     }
@@ -178,7 +180,7 @@ impl Backend<PlusF32> for GridBackend {
         BackendMetrics {
             name: "grid",
             preprocess: self.runner.preprocess_time(),
-            aux_memory_bytes: 0,
+            aux_memory_bytes: self.runner.aux_memory_bytes(),
             compression_ratio: None,
         }
     }
@@ -196,12 +198,11 @@ fn baseline_engine<B: Backend<PlusF32> + 'static>(
         scatter: Default::default(),
         gather: Default::default(),
     };
-    let backend = B::prepare(&spec)?;
-    Ok(Engine::from_backend(
-        Box::new(backend),
-        graph.num_nodes(),
-        graph.num_nodes(),
-    ))
+    // Pin preprocessing like EngineBuilder::build does, so preprocess
+    // timings compare apples-to-apples with the core backends.
+    let backend = pcpm_core::config::run_with_threads(cfg.threads, || B::prepare(&spec))?;
+    Engine::from_backend(Box::new(backend), graph.num_nodes(), graph.num_nodes())
+        .with_threads(cfg.threads)
 }
 
 /// Builds a unified [`Engine`] over the PDPR pull dataplane.

@@ -157,6 +157,16 @@ impl BvgasRunner {
         self.preprocess
     }
 
+    /// Heap bytes of pre-processed state (destination-ID stream plus
+    /// segment offsets), for cross-backend memory accounting. The
+    /// per-iteration update stream is the caller's and counted there.
+    pub fn aux_memory_bytes(&self) -> u64 {
+        (self.dest_ids.len() * 4
+            + self.seg_off.len() * 8
+            + self.bounds.len() * 4
+            + self.out_deg.len() * 4) as u64
+    }
+
     #[inline]
     fn bin_of(&self, dest: u32) -> usize {
         match self.shift {

@@ -78,6 +78,13 @@ impl EdgeCentricRunner {
         self.preprocess
     }
 
+    /// Heap bytes of pre-processed state (the bin-sorted COO copy), for
+    /// cross-backend memory accounting.
+    pub fn aux_memory_bytes(&self) -> u64 {
+        (self.src.len() * 4 + self.dst.len() * 4 + self.bin_off.len() * 8 + self.out_deg.len() * 4)
+            as u64
+    }
+
     /// One combined scatter+gather round over pre-scaled source values:
     /// stream each bin's edges, reading `x[src]` (random) and
     /// accumulating into the bin's cached sum range. Parallel over bins —

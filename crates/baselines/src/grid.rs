@@ -103,6 +103,16 @@ impl GridRunner {
         self.blocks.iter().map(|b| b.targets.len() as u64).sum()
     }
 
+    /// Heap bytes of pre-processed state (the block-local CSRs), for
+    /// cross-backend memory accounting.
+    pub fn aux_memory_bytes(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| (b.offsets.len() * 4 + b.targets.len() * 4) as u64)
+            .sum::<u64>()
+            + (self.out_deg.len() * 4) as u64
+    }
+
     /// One 2D-blocked round over pre-scaled source values: each stripe
     /// owner streams its source blocks, re-reading its partial-sum slice
     /// per block (the §2.2 sub-optimality). Shared by [`GridRunner::run`]

@@ -58,6 +58,12 @@ impl PdprRunner {
         self.transpose_time
     }
 
+    /// Heap bytes of pre-processed state (the CSC transpose plus chunk
+    /// bookkeeping), for cross-backend memory accounting.
+    pub fn aux_memory_bytes(&self) -> u64 {
+        self.csc.memory_bytes() + (self.out_deg.len() * 4) as u64 + (self.bounds.len() * 4) as u64
+    }
+
     /// One pull round over pre-scaled source values: `sums[v] = Σ x[u]`
     /// over in-neighbors `u` of `v` — the kernel's dataplane, shared by
     /// [`PdprRunner::run`] and the unified `Backend` implementation.

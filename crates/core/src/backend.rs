@@ -180,9 +180,23 @@ pub struct Engine<A: Algebra> {
     backend: Box<dyn Backend<A>>,
     num_src: u32,
     num_dst: u32,
-    threads: Option<usize>,
+    /// Engine-owned thread pool, built once when `PcpmConfig::threads`
+    /// is set; every step installs into it.
+    pool: Option<rayon::ThreadPool>,
     steps: usize,
     timings: PhaseTimings,
+}
+
+/// Builds the engine-owned pool for an explicit thread count.
+fn build_pool(threads: Option<usize>) -> Result<Option<rayon::ThreadPool>, PcpmError> {
+    threads
+        .map(|t| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .map_err(|_| PcpmError::BadConfig("failed to build the engine thread pool"))
+        })
+        .transpose()
 }
 
 impl<A: Algebra> Engine<A> {
@@ -206,10 +220,19 @@ impl<A: Algebra> Engine<A> {
             backend,
             num_src,
             num_dst,
-            threads: None,
+            pool: None,
             steps: 0,
             timings: PhaseTimings::default(),
         }
+    }
+
+    /// Pins every subsequent step to a pool of `threads` workers
+    /// (`None` restores the ambient global pool). The builder does this
+    /// automatically from `PcpmConfig::threads`; external-backend
+    /// constructors call it explicitly.
+    pub fn with_threads(mut self, threads: Option<usize>) -> Result<Self, PcpmError> {
+        self.pool = build_pool(threads)?;
+        Ok(self)
     }
 
     /// Number of source nodes (length of `x`).
@@ -222,7 +245,31 @@ impl<A: Algebra> Engine<A> {
         self.num_dst
     }
 
+    /// Runs `op` on the engine-owned thread pool (inline when no
+    /// explicit thread count was configured), lending it mutable access
+    /// to the engine. The algorithm drivers wrap their whole iteration
+    /// loop in this, so step, apply and convergence phases all execute
+    /// under one pool with no per-iteration pool traffic.
+    pub fn run<R: Send>(&mut self, op: impl FnOnce(&mut Self) -> R + Send) -> R {
+        match self.pool.take() {
+            Some(pool) => {
+                // The pool is detached while `op` runs, so nested
+                // `step` calls execute inline on the pool's workers
+                // instead of re-installing.
+                let r = pool.install(|| op(self));
+                self.pool = Some(pool);
+                r
+            }
+            None => op(self),
+        }
+    }
+
     /// One propagation round through the backend dataplane.
+    ///
+    /// When `PcpmConfig::threads` was set, the round runs on the
+    /// engine-owned pool (built once at construction — no per-step pool
+    /// setup); otherwise on the caller's ambient pool. Inside
+    /// [`Engine::run`] the round inherits the already-installed pool.
     pub fn step(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError> {
         if x.len() != self.num_src as usize {
             return Err(PcpmError::DimensionMismatch {
@@ -237,7 +284,10 @@ impl<A: Algebra> Engine<A> {
             });
         }
         let backend = &mut self.backend;
-        let t = crate::config::run_with_threads(self.threads, || backend.step(x, y))?;
+        let t = match &self.pool {
+            Some(pool) => pool.install(|| backend.step(x, y))?,
+            None => backend.step(x, y)?,
+        };
         self.steps += 1;
         self.timings += t;
         Ok(t)
@@ -293,7 +343,8 @@ impl<'g, A: Algebra> EngineBuilder<'g, A> {
         self
     }
 
-    /// Sets an explicit thread count for every step.
+    /// Sets an explicit thread count: pre-processing and every step run
+    /// on an engine-owned pool of this size.
     pub fn threads(mut self, threads: usize) -> Self {
         self.cfg.threads = Some(threads);
         self
@@ -356,20 +407,26 @@ impl<'g, A: Algebra> EngineBuilder<'g, A> {
             scatter: self.scatter,
             gather: self.gather,
         };
-        let threads = self.cfg.threads;
-        let backend: Box<dyn Backend<A>> = crate::config::run_with_threads(threads, || {
+        // One pool for the engine's whole lifetime: preprocessing runs
+        // on it here, every step installs into it later.
+        let pool = build_pool(self.cfg.threads)?;
+        let prepare = || {
             Ok::<_, PcpmError>(match self.backend {
                 BackendKind::Pcpm => Box::new(PcpmBackend::prepare(&spec)?) as Box<dyn Backend<A>>,
                 BackendKind::Pull => Box::new(PullBackend::prepare(&spec)?),
                 BackendKind::Push => Box::new(PushBackend::prepare(&spec)?),
                 BackendKind::EdgeCentric => Box::new(EdgeCentricBackend::prepare(&spec)?),
             })
-        })?;
+        };
+        let backend = match &pool {
+            Some(p) => p.install(prepare)?,
+            None => prepare()?,
+        };
         Ok(Engine {
             backend,
             num_src: self.graph.num_nodes(),
             num_dst: self.graph.num_nodes(),
-            threads,
+            pool,
             steps: 0,
             timings: PhaseTimings::default(),
         })
@@ -618,7 +675,6 @@ impl<A: Algebra> Backend<A> for PushBackend<A> {
 /// (X-Stream / Zhou et al. style); each bin's owner streams its edges and
 /// accumulates into its exclusive slice of `y`.
 pub struct EdgeCentricBackend<A: Algebra> {
-    num_nodes: u32,
     bin_width: u32,
     /// Edge sources sorted by destination bin.
     src: Vec<u32>,
@@ -628,6 +684,9 @@ pub struct EdgeCentricBackend<A: Algebra> {
     weights: Option<Vec<f32>>,
     /// `num_bins + 1` offsets into the sorted arrays.
     bin_off: Vec<u64>,
+    /// Node count per bin (the `y` split), precomputed so steps do no
+    /// setup work inside the timed region.
+    bin_lens: Vec<usize>,
     preprocess: Duration,
     _algebra: std::marker::PhantomData<A>,
 }
@@ -661,13 +720,19 @@ impl<A: Algebra> Backend<A> for EdgeCentricBackend<A> {
             }
             *c += 1;
         }
+        let bin_lens: Vec<usize> = (0..num_bins)
+            .map(|b| {
+                let lo = b * bin_width;
+                (n.min(lo.saturating_add(bin_width)) - lo) as usize
+            })
+            .collect();
         Ok(Self {
-            num_nodes: n,
             bin_width,
             src,
             dst,
             weights,
             bin_off,
+            bin_lens,
             preprocess: t0.elapsed(),
             _algebra: std::marker::PhantomData,
         })
@@ -675,14 +740,7 @@ impl<A: Algebra> Backend<A> for EdgeCentricBackend<A> {
 
     fn step(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError> {
         let t0 = Instant::now();
-        let num_bins = self.bin_off.len().saturating_sub(1);
-        let bin_lens: Vec<usize> = (0..num_bins as u32)
-            .map(|b| {
-                let lo = b * self.bin_width;
-                (self.num_nodes.min(lo.saturating_add(self.bin_width)) - lo) as usize
-            })
-            .collect();
-        let slices = split_by_lens(y, &bin_lens);
+        let slices = split_by_lens(y, &self.bin_lens);
         slices.into_par_iter().enumerate().for_each(|(b, ys)| {
             ys.fill(A::identity());
             let lo = self.bin_off[b] as usize;

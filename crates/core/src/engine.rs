@@ -93,6 +93,10 @@ impl<A: Algebra> PcpmPipeline<A> {
     }
 
     /// Builds the pipeline from a raw (possibly rectangular) edge view.
+    ///
+    /// Runs on the caller's current rayon pool — the unified
+    /// [`Engine`](crate::backend::Engine) builder installs its
+    /// engine-owned pool around this, so no nested pool is created.
     pub(crate) fn from_view(
         view: EdgeView<'_>,
         cfg: &PcpmConfig,
@@ -107,7 +111,7 @@ impl<A: Algebra> PcpmPipeline<A> {
         let dst_parts = Partitioner::new(view.num_dst(), q)?;
         let t0 = Instant::now();
         let compact = cfg.compact_bins;
-        let (png, bins) = crate::config::run_with_threads(cfg.threads, || {
+        let (png, bins) = {
             let png = Png::build(view, src_parts, dst_parts);
             let bins = if compact {
                 BinStorage::Compact(CompactBinSpace::build(view, &png, weights))
@@ -115,7 +119,7 @@ impl<A: Algebra> PcpmPipeline<A> {
                 BinStorage::Wide(BinSpace::build(view, &png, weights))
             };
             (png, bins)
-        });
+        };
         Ok(Self {
             num_src: view.num_src(),
             num_dst: view.num_dst(),

@@ -141,7 +141,9 @@ pub fn pagerank_with_unified_engine(
     }
     cfg.validate()?;
     let report = engine.report();
-    let core = iterate(graph, cfg, initial, |x, y| engine.step(x, y))?;
+    // The whole loop runs on the engine-owned pool: step, apply and
+    // dangling phases share it, keeping thread-pinned runs deterministic.
+    let core = engine.run(|engine| iterate(graph, cfg, initial, |x, y| engine.step(x, y)))?;
     Ok(assemble(core, report.preprocess, report.compression_ratio))
 }
 

@@ -129,12 +129,15 @@ impl SpmvMatrix {
     /// ```
     pub fn engine(&self, cfg: &PcpmConfig) -> Result<Engine<PlusF32>, PcpmError> {
         cfg.validate()?;
-        let pipeline = PcpmPipeline::from_view(self.view(), cfg, Some(&self.values))?;
-        Ok(Engine::from_backend(
+        let pipeline = crate::config::run_with_threads(cfg.threads, || {
+            PcpmPipeline::from_view(self.view(), cfg, Some(&self.values))
+        })?;
+        Engine::from_backend(
             Box::new(PcpmBackend::from_pipeline(pipeline)),
             self.num_cols,
             self.num_rows,
-        ))
+        )
+        .with_threads(cfg.threads)
     }
 
     /// Serial reference product `y = A·x` with f64 accumulation.

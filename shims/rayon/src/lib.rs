@@ -116,8 +116,10 @@ pub struct ThreadPool {
 }
 
 impl ThreadPool {
-    /// Runs `op` on the pool — inline, in the serial shim.
-    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+    /// Runs `op` on the pool — inline, in the serial shim. The `Send`
+    /// bounds match the real rayon signature so code written against
+    /// the shim compiles unchanged against the real crate.
+    pub fn install<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
         op()
     }
 }

@@ -11,6 +11,7 @@
 //! common flags: --binary (pcpm binary input) | --mtx (Matrix Market input)
 //!               --iters N --damping D --tolerance T --partition-bytes B
 //!               --top K (print only the K best rows)
+//!               --backend pcpm|pull|push|edge-centric (dataplane to run on)
 //! ```
 //!
 //! Text inputs are SNAP-style whitespace edge lists with `#` comments.
@@ -30,6 +31,7 @@ struct Options {
     top: usize,
     source: u32,
     out: Option<String>,
+    backend: BackendKind,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -47,6 +49,7 @@ fn parse_args() -> Result<Options, String> {
         top: 10,
         source: 0,
         out: None,
+        backend: BackendKind::Pcpm,
     };
     let mut positional = Vec::new();
     let mut rest: Vec<String> = args.collect();
@@ -94,6 +97,19 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("{e}"))?
             }
             "--out" => opts.out = Some(take_value(&mut rest, &mut i)?),
+            "--backend" => {
+                opts.backend = match take_value(&mut rest, &mut i)?.as_str() {
+                    "pcpm" => BackendKind::Pcpm,
+                    "pull" => BackendKind::Pull,
+                    "push" => BackendKind::Push,
+                    "edge-centric" => BackendKind::EdgeCentric,
+                    other => {
+                        return Err(format!(
+                            "unknown backend '{other}' (expected pcpm|pull|push|edge-centric)"
+                        ))
+                    }
+                }
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             pos => positional.push(pos.to_string()),
         }
@@ -143,8 +159,9 @@ fn run() -> Result<(), String> {
         }
         "pagerank" => {
             let r = match &weights {
-                Some(w) => weighted_pagerank(&graph, w, &cfg).map_err(|e| e.to_string())?,
-                None => pagerank(&graph, &cfg).map_err(|e| e.to_string())?,
+                Some(w) => weighted_pagerank_on(&graph, w, &cfg, opts.backend)
+                    .map_err(|e| e.to_string())?,
+                None => pagerank_on(&graph, &cfg, opts.backend).map_err(|e| e.to_string())?,
             };
             eprintln!(
                 "# {} iterations ({}), r = {:.2}, {:?} total",
@@ -166,7 +183,8 @@ fn run() -> Result<(), String> {
             }
         }
         "components" => {
-            let labels = connected_components(&graph, &cfg).map_err(|e| e.to_string())?;
+            let labels =
+                connected_components_on(&graph, &cfg, opts.backend).map_err(|e| e.to_string())?;
             let mut counts = std::collections::HashMap::new();
             for &l in &labels {
                 *counts.entry(l).or_insert(0u64) += 1;
@@ -179,7 +197,8 @@ fn run() -> Result<(), String> {
             }
         }
         "bfs" => {
-            let levels = bfs_levels(&graph, opts.source, &cfg).map_err(|e| e.to_string())?;
+            let levels = bfs_levels_on(&graph, opts.source, &cfg, opts.backend)
+                .map_err(|e| e.to_string())?;
             let reached = levels.iter().filter(|&&l| l != u32::MAX).count();
             eprintln!("# {} reached from {}", reached, opts.source);
             let mut hist = std::collections::BTreeMap::new();
@@ -192,7 +211,8 @@ fn run() -> Result<(), String> {
         }
         "sssp" => {
             let w = weights.ok_or("sssp needs a weighted .mtx input (--mtx)")?;
-            let dist = sssp(&graph, &w, opts.source, &cfg).map_err(|e| e.to_string())?;
+            let dist =
+                sssp_on(&graph, &w, opts.source, &cfg, opts.backend).map_err(|e| e.to_string())?;
             let finite = dist.iter().filter(|d| d.is_finite()).count();
             eprintln!("# {} reachable from {}", finite, opts.source);
             let mut ranked: Vec<(u32, f32)> = dist
