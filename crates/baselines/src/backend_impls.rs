@@ -193,6 +193,7 @@ fn baseline_engine<B: Backend<PlusF32> + 'static>(
     cfg.validate()?;
     let spec = PrepareSpec {
         graph,
+        shared: None,
         weights: None,
         cfg: *cfg,
         scatter: Default::default(),
@@ -287,6 +288,7 @@ mod tests {
         let w = pcpm_graph::EdgeWeights::ones(&g);
         let spec = PrepareSpec {
             graph: &g,
+            shared: None,
             weights: Some(w.as_slice()),
             cfg: PcpmConfig::default(),
             scatter: Default::default(),

@@ -1,0 +1,101 @@
+//! Update-throughput bench for the streaming subsystem: incremental bin
+//! repair ([`Engine::update`]) against the full `prepare` it replaces,
+//! and delta-PageRank against warm-start / cold-start re-solving — the
+//! costs that decide whether continuously-arriving edits can keep
+//! rankings fresh.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcpm_core::algebra::PlusF32;
+use pcpm_core::pagerank::{pagerank_warm_start, pagerank_with_unified_engine};
+use pcpm_core::{Engine, PcpmConfig};
+use pcpm_graph::gen::{rmat, RmatConfig};
+use pcpm_stream::{gen_updates, DeltaGraph, Locality, UpdateGenConfig};
+use std::sync::Arc;
+
+const SCALE: u32 = 13;
+/// 2 KB partitions -> 512 nodes -> 16 partitions at scale 13.
+const PARTITION_BYTES: usize = 2 * 1024;
+
+fn bench_streaming(c: &mut Criterion) {
+    let base = Arc::new(rmat(&RmatConfig::graph500(SCALE, 8, 77)).expect("base"));
+    let cfg = PcpmConfig::default()
+        .with_partition_bytes(PARTITION_BYTES)
+        .with_iterations(500)
+        .with_tolerance(1e-9);
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(10);
+    for touched in [1u32, 4] {
+        let gen = UpdateGenConfig {
+            batches: 1,
+            batch_size: 200,
+            delete_frac: 0.3,
+            locality: Some(Locality {
+                partition_nodes: cfg.partition_nodes(),
+                partitions_per_batch: touched,
+            }),
+            seed: 3,
+        };
+        let mut dg = DeltaGraph::new(Arc::clone(&base), cfg.partition_nodes()).expect("overlay");
+        let batch = gen_updates(&base, &gen).expect("updates").remove(0);
+        let stats = dg.apply(&batch).expect("apply");
+        let snap = dg.snapshot();
+        group.throughput(Throughput::Elements(stats.applied.len() as u64));
+
+        // Repeatedly repairing the same prepared state isolates the
+        // per-batch repair cost (repair re-derives touched partitions
+        // from the snapshot, so the state stays consistent).
+        let mut engine = Engine::<PlusF32>::builder_shared(&base)
+            .config(cfg)
+            .build()
+            .expect("engine");
+        group.bench_with_input(
+            BenchmarkId::new("bin_repair", format!("{touched}p")),
+            &stats.applied,
+            |b, applied| {
+                b.iter(|| engine.update(&snap, None, applied).expect("repair"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_prepare", format!("{touched}p")),
+            &snap,
+            |b, snap| {
+                b.iter(|| {
+                    Engine::<PlusF32>::builder_shared(snap)
+                        .config(cfg)
+                        .build()
+                        .expect("prepare")
+                });
+            },
+        );
+
+        let scores = {
+            let mut e = Engine::<PlusF32>::builder_shared(&base)
+                .config(cfg)
+                .build()
+                .expect("engine");
+            pagerank_with_unified_engine(&base, &cfg, &mut e, None)
+                .expect("cold")
+                .scores
+        };
+        group.bench_with_input(
+            BenchmarkId::new("delta_pagerank", format!("{touched}p")),
+            &stats.applied,
+            |b, applied| {
+                b.iter(|| {
+                    pcpm_algos::incremental_pagerank(&snap, applied, &scores, &cfg).expect("warm")
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("warm_start_pagerank", format!("{touched}p")),
+            &scores,
+            |b, scores| {
+                b.iter(|| pagerank_warm_start(&snap, &cfg, scores).expect("warm-start"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -50,8 +50,10 @@ use crate::engine::{GatherKind, PcpmPipeline, ScatterKind};
 use crate::error::PcpmError;
 use crate::partition::split_by_lens;
 use crate::pr::PhaseTimings;
+use crate::update::{RepairStats, UpdateBatch, UpdateOutcome};
 use pcpm_graph::{Csr, EdgeWeights};
 use rayon::prelude::*;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Everything a backend may use during pre-processing.
@@ -63,6 +65,11 @@ use std::time::{Duration, Instant};
 pub struct PrepareSpec<'a> {
     /// The graph structure (sources → destinations).
     pub graph: &'a Csr,
+    /// The same graph behind a shared handle, when the caller has one.
+    /// Backends that must retain the adjacency past `prepare` (push,
+    /// the CSR-traversal scatter ablation) clone this `Arc` instead of
+    /// deep-copying the graph.
+    pub shared: Option<&'a Arc<Csr>>,
     /// Optional per-edge weights, parallel to the CSR targets array.
     pub weights: Option<&'a [f32]>,
     /// Engine configuration (partitioning, threads, compact bins).
@@ -71,6 +78,17 @@ pub struct PrepareSpec<'a> {
     pub scatter: ScatterKind,
     /// Gather variant (PCPM only).
     pub gather: GatherKind,
+}
+
+impl PrepareSpec<'_> {
+    /// A retainable handle on the graph: the shared `Arc` when present
+    /// (zero-copy), otherwise a one-time deep copy.
+    pub fn graph_arc(&self) -> Arc<Csr> {
+        match self.shared {
+            Some(arc) => Arc::clone(arc),
+            None => Arc::new(self.graph.clone()),
+        }
+    }
 }
 
 /// Static facts a backend reports about its prepared state.
@@ -105,6 +123,23 @@ pub trait Backend<A: Algebra>: Send {
     /// Lengths are validated by [`Engine::step`]; implementations may
     /// assume `x.len() == num_src` and `y.len() == num_dst`.
     fn step(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError>;
+
+    /// Absorbs a batch of edge changes into the prepared state, given the
+    /// *post-update* graph in `spec`.
+    ///
+    /// Returns `Ok(Some(stats))` when the backend repaired itself in
+    /// place (the PCPM dataplanes re-scatter only touched partitions),
+    /// or `Ok(None)` when it cannot — [`Engine::update`] then falls back
+    /// to a full [`Backend::prepare`]. The default declines, so every
+    /// external backend keeps working unchanged.
+    fn update(
+        &mut self,
+        spec: &PrepareSpec<'_>,
+        batch: &UpdateBatch,
+    ) -> Result<Option<RepairStats>, PcpmError> {
+        let _ = (spec, batch);
+        Ok(None)
+    }
 
     /// Static facts about the prepared state.
     fn metrics(&self) -> BackendMetrics;
@@ -185,6 +220,23 @@ pub struct Engine<A: Algebra> {
     pool: Option<rayon::ThreadPool>,
     steps: usize,
     timings: PhaseTimings,
+    /// The build recipe, kept so [`Engine::update`] can re-`prepare` a
+    /// backend that declines incremental repair. `None` for engines
+    /// wrapping an external backend ([`Engine::from_backend`]), which
+    /// the engine does not know how to rebuild.
+    recipe: Option<BuildRecipe>,
+}
+
+/// Everything needed to re-run `prepare` for a built-in backend.
+#[derive(Clone, Copy, Debug)]
+struct BuildRecipe {
+    kind: BackendKind,
+    cfg: PcpmConfig,
+    scatter: ScatterKind,
+    gather: GatherKind,
+    /// Whether the engine was prepared with edge weights — updates must
+    /// keep the same weightedness.
+    weighted: bool,
 }
 
 /// Builds the engine-owned pool for an explicit thread count.
@@ -204,12 +256,24 @@ impl<A: Algebra> Engine<A> {
     pub fn builder(graph: &Csr) -> EngineBuilder<'_, A> {
         EngineBuilder {
             graph,
+            shared: None,
             weights: None,
             cfg: PcpmConfig::default(),
             backend: BackendKind::default(),
             scatter: ScatterKind::default(),
             gather: GatherKind::default(),
             _algebra: std::marker::PhantomData,
+        }
+    }
+
+    /// Starts building an engine over a shared graph handle. Backends
+    /// that retain the adjacency (push, the CSR-traversal ablation)
+    /// clone the `Arc` instead of deep-copying the graph, making
+    /// construction zero-copy.
+    pub fn builder_shared(graph: &Arc<Csr>) -> EngineBuilder<'_, A> {
+        EngineBuilder {
+            shared: Some(graph),
+            ..Engine::builder(graph)
         }
     }
 
@@ -223,6 +287,7 @@ impl<A: Algebra> Engine<A> {
             pool: None,
             steps: 0,
             timings: PhaseTimings::default(),
+            recipe: None,
         }
     }
 
@@ -293,6 +358,100 @@ impl<A: Algebra> Engine<A> {
         Ok(t)
     }
 
+    /// Absorbs a batch of edge changes, handing the backend the
+    /// *post-update* graph (and, for weighted engines, the post-update
+    /// edge weights parallel to its targets array).
+    ///
+    /// The PCPM dataplanes repair in place — only source partitions with
+    /// a changed adjacency are re-scattered, everything else is
+    /// block-copied (see
+    /// [`PcpmPipeline::repair`](crate::engine::PcpmPipeline::repair)).
+    /// Backends without a repair path are re-`prepare`d from the build
+    /// recipe; engines wrapping an external backend
+    /// ([`Engine::from_backend`]) cannot be rebuilt here and return
+    /// [`PcpmError::BadConfig`].
+    ///
+    /// A weighted engine must receive weights and an unweighted engine
+    /// must not — changing weightedness requires a fresh build. The
+    /// batch models *structural* change only: weights of edges that
+    /// survive the batch untouched must keep their old values (the
+    /// repair block-copies their bin segments); to mutate weights on
+    /// unchanged edges, rebuild the engine.
+    ///
+    /// Passing the graph as an `Arc` keeps the repair zero-copy for
+    /// backends that retain the adjacency. An empty batch (with an
+    /// unchanged node count) is a no-op and reports `Repaired` with
+    /// zeroed [`RepairStats`].
+    pub fn update(
+        &mut self,
+        graph: &Arc<Csr>,
+        weights: Option<&[f32]>,
+        batch: &UpdateBatch,
+    ) -> Result<UpdateOutcome, PcpmError> {
+        if let Some(max) = batch.max_node() {
+            if max >= graph.num_nodes() {
+                return Err(PcpmError::DimensionMismatch {
+                    expected: graph.num_nodes() as usize,
+                    got: max as usize + 1,
+                });
+            }
+        }
+        if let Some(w) = weights {
+            if w.len() as u64 != graph.num_edges() {
+                return Err(PcpmError::DimensionMismatch {
+                    expected: graph.num_edges() as usize,
+                    got: w.len(),
+                });
+            }
+        }
+        if let Some(r) = &self.recipe {
+            if weights.is_some() != r.weighted {
+                return Err(PcpmError::BadConfig(
+                    "update must keep the engine's weightedness (rebuild to add or drop weights)",
+                ));
+            }
+        }
+        // An empty applied diff means the prepared state already matches
+        // `graph`: skip the backend round-trip (for backends without a
+        // repair path it would be a full rebuild of an unchanged graph).
+        if batch.is_empty() && graph.num_nodes() == self.num_src {
+            return Ok(UpdateOutcome::Repaired(RepairStats {
+                partitions_rebuilt: 0,
+                partitions_total: 0,
+            }));
+        }
+        let recipe = self.recipe;
+        let spec = PrepareSpec {
+            graph,
+            shared: Some(graph),
+            weights,
+            cfg: recipe.map_or_else(PcpmConfig::default, |r| r.cfg),
+            scatter: recipe.map_or_else(ScatterKind::default, |r| r.scatter),
+            gather: recipe.map_or_else(GatherKind::default, |r| r.gather),
+        };
+        let backend = &mut self.backend;
+        let repaired = match &self.pool {
+            Some(pool) => pool.install(|| backend.update(&spec, batch))?,
+            None => backend.update(&spec, batch)?,
+        };
+        if let Some(stats) = repaired {
+            return Ok(UpdateOutcome::Repaired(stats));
+        }
+        let Some(recipe) = recipe else {
+            return Err(PcpmError::BadConfig(
+                "externally prepared backends cannot be rebuilt through Engine::update",
+            ));
+        };
+        let prepare = || prepare_builtin::<A>(recipe.kind, &spec);
+        self.backend = match &self.pool {
+            Some(pool) => pool.install(prepare)?,
+            None => prepare()?,
+        };
+        self.num_src = graph.num_nodes();
+        self.num_dst = graph.num_nodes();
+        Ok(UpdateOutcome::Rebuilt)
+    }
+
     /// The backend's static metrics.
     pub fn metrics(&self) -> BackendMetrics {
         self.backend.metrics()
@@ -321,12 +480,26 @@ impl<A: Algebra> Engine<A> {
 /// step time.
 pub struct EngineBuilder<'g, A: Algebra> {
     graph: &'g Csr,
+    shared: Option<&'g Arc<Csr>>,
     weights: Option<&'g EdgeWeights>,
     cfg: PcpmConfig,
     backend: BackendKind,
     scatter: ScatterKind,
     gather: GatherKind,
     _algebra: std::marker::PhantomData<A>,
+}
+
+/// Prepares a boxed built-in backend of the given kind.
+fn prepare_builtin<A: Algebra>(
+    kind: BackendKind,
+    spec: &PrepareSpec<'_>,
+) -> Result<Box<dyn Backend<A>>, PcpmError> {
+    Ok(match kind {
+        BackendKind::Pcpm => Box::new(PcpmBackend::prepare(spec)?) as Box<dyn Backend<A>>,
+        BackendKind::Pull => Box::new(PullBackend::prepare(spec)?),
+        BackendKind::Push => Box::new(PushBackend::prepare(spec)?),
+        BackendKind::EdgeCentric => Box::new(EdgeCentricBackend::prepare(spec)?),
+    })
 }
 
 impl<'g, A: Algebra> EngineBuilder<'g, A> {
@@ -402,6 +575,7 @@ impl<'g, A: Algebra> EngineBuilder<'g, A> {
         }
         let spec = PrepareSpec {
             graph: self.graph,
+            shared: self.shared,
             weights: self.weights.map(|w| w.as_slice()),
             cfg: self.cfg,
             scatter: self.scatter,
@@ -410,14 +584,7 @@ impl<'g, A: Algebra> EngineBuilder<'g, A> {
         // One pool for the engine's whole lifetime: preprocessing runs
         // on it here, every step installs into it later.
         let pool = build_pool(self.cfg.threads)?;
-        let prepare = || {
-            Ok::<_, PcpmError>(match self.backend {
-                BackendKind::Pcpm => Box::new(PcpmBackend::prepare(&spec)?) as Box<dyn Backend<A>>,
-                BackendKind::Pull => Box::new(PullBackend::prepare(&spec)?),
-                BackendKind::Push => Box::new(PushBackend::prepare(&spec)?),
-                BackendKind::EdgeCentric => Box::new(EdgeCentricBackend::prepare(&spec)?),
-            })
-        };
+        let prepare = || prepare_builtin::<A>(self.backend, &spec);
         let backend = match &pool {
             Some(p) => p.install(prepare)?,
             None => prepare()?,
@@ -429,6 +596,13 @@ impl<'g, A: Algebra> EngineBuilder<'g, A> {
             pool,
             steps: 0,
             timings: PhaseTimings::default(),
+            recipe: Some(BuildRecipe {
+                kind: self.backend,
+                cfg: self.cfg,
+                scatter: self.scatter,
+                gather: self.gather,
+                weighted: self.weights.is_some(),
+            }),
         })
     }
 }
@@ -442,9 +616,9 @@ pub struct PcpmBackend<A: Algebra> {
     pipeline: PcpmPipeline<A>,
     scatter: ScatterKind,
     gather: GatherKind,
-    /// Owned copy of the adjacency, kept only for the CSR-traversal
-    /// scatter ablation.
-    graph: Option<Csr>,
+    /// Shared handle on the adjacency, kept only for the CSR-traversal
+    /// scatter ablation (zero-copy when prepared from an `Arc`).
+    graph: Option<Arc<Csr>>,
 }
 
 impl<A: Algebra> Backend<A> for PcpmBackend<A> {
@@ -462,7 +636,7 @@ impl<A: Algebra> Backend<A> for PcpmBackend<A> {
             )?,
             None => PcpmPipeline::new(spec.graph, &spec.cfg)?,
         };
-        let graph = (spec.scatter == ScatterKind::CsrTraversal).then(|| spec.graph.clone());
+        let graph = (spec.scatter == ScatterKind::CsrTraversal).then(|| spec.graph_arc());
         Ok(Self {
             pipeline,
             scatter: spec.scatter,
@@ -473,7 +647,38 @@ impl<A: Algebra> Backend<A> for PcpmBackend<A> {
 
     fn step(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError> {
         self.pipeline
-            .spmv_with(x, y, self.scatter, self.gather, self.graph.as_ref())
+            .spmv_with(x, y, self.scatter, self.gather, self.graph.as_deref())
+    }
+
+    fn update(
+        &mut self,
+        spec: &PrepareSpec<'_>,
+        batch: &UpdateBatch,
+    ) -> Result<Option<RepairStats>, PcpmError> {
+        // Dimension or weightedness changes need a full prepare; so does
+        // an empty layout (zero partitions cannot be repaired).
+        if spec.graph.num_nodes() != self.pipeline.num_src()
+            || spec.weights.is_some() != self.pipeline.is_weighted()
+            || self.pipeline.num_src() == 0
+        {
+            return Ok(None);
+        }
+        // The partition size the bins were actually built with — not
+        // spec.cfg, which carries only defaults for externally prepared
+        // backends (Engine::from_backend).
+        let q = self.pipeline.png().src_parts().partition_size();
+        let touched = batch.touched_src_partitions(q);
+        let stats = self.pipeline.repair(
+            crate::png::EdgeView::from_csr(spec.graph),
+            spec.weights,
+            &touched,
+        )?;
+        if self.graph.is_some() {
+            // The CSR-traversal ablation scans the adjacency directly:
+            // swap in the post-update handle.
+            self.graph = Some(spec.graph_arc());
+        }
+        Ok(Some(stats))
     }
 
     fn metrics(&self) -> BackendMetrics {
@@ -609,7 +814,9 @@ impl<A: Algebra> Backend<A> for PullBackend<A> {
 /// atomics (see `pcpm_baselines::push`), which a generic algebra cannot
 /// provide, so the generic backend keeps the deterministic serial loop.
 pub struct PushBackend<A: Algebra> {
-    graph: Csr,
+    /// Shared handle on the adjacency (zero-copy when prepared from an
+    /// `Arc`).
+    graph: Arc<Csr>,
     weights: Option<Vec<f32>>,
     preprocess: Duration,
     _algebra: std::marker::PhantomData<A>,
@@ -619,7 +826,7 @@ impl<A: Algebra> Backend<A> for PushBackend<A> {
     fn prepare(spec: &PrepareSpec<'_>) -> Result<Self, PcpmError> {
         let t0 = Instant::now();
         Ok(Self {
-            graph: spec.graph.clone(),
+            graph: spec.graph_arc(),
             weights: spec.weights.map(|w| w.to_vec()),
             preprocess: t0.elapsed(),
             _algebra: std::marker::PhantomData,
@@ -983,6 +1190,294 @@ mod tests {
         let x = vec![0.0f32; 10];
         let mut y_bad = vec![0.0f32; 2];
         assert!(engine.step(&x, &mut y_bad).is_err());
+    }
+
+    /// Splits a graph edit into (new graph, batch): deletes the first
+    /// edge of every source in `del_sources`, inserts `inserts`.
+    fn edit(
+        g: &Csr,
+        del_sources: &[u32],
+        inserts: &[(u32, u32)],
+    ) -> (Csr, crate::update::UpdateBatch) {
+        let mut deletes = Vec::new();
+        for &s in del_sources {
+            if let Some(&t) = g.neighbors(s).first() {
+                deletes.push((s, t));
+            }
+        }
+        let mut edges: Vec<(u32, u32)> = g.edges().collect();
+        edges.retain(|e| !deletes.contains(e));
+        edges.extend_from_slice(inserts);
+        edges.sort_unstable();
+        edges.dedup();
+        let g2 = Csr::from_edges(g.num_nodes(), &edges).unwrap();
+        (
+            g2,
+            crate::update::UpdateBatch::from_parts(inserts.to_vec(), deletes),
+        )
+    }
+
+    #[test]
+    fn pcpm_update_repairs_in_place_and_matches_fresh_prepare() {
+        let g = rmat(&RmatConfig::graph500(9, 8, 55)).unwrap();
+        let x = int_x(g.num_nodes());
+        let (g2, batch) = edit(&g, &[1, 2, 70], &[(3, 400), (65, 9)]);
+        let g2 = Arc::new(g2);
+        for compact in [false, true] {
+            let mut engine = Engine::<PlusF32>::builder(&g)
+                .partition_bytes(64 * 4)
+                .compact_bins(compact)
+                .build()
+                .unwrap();
+            let outcome = engine.update(&g2, None, &batch).unwrap();
+            match outcome {
+                crate::update::UpdateOutcome::Repaired(stats) => {
+                    // Sources 1, 2, 3 live in partition 0; 65, 70 in 1.
+                    assert_eq!(stats.partitions_rebuilt, 2, "compact={compact}");
+                    assert_eq!(stats.partitions_total, 8);
+                }
+                other => panic!("expected repair, got {other:?}"),
+            }
+            let mut fresh = Engine::<PlusF32>::builder(&g2)
+                .partition_bytes(64 * 4)
+                .compact_bins(compact)
+                .build()
+                .unwrap();
+            let n = g2.num_nodes() as usize;
+            let (mut ya, mut yb) = (vec![0.0f32; n], vec![0.0f32; n]);
+            engine.step(&x, &mut ya).unwrap();
+            fresh.step(&x, &mut yb).unwrap();
+            assert_eq!(ya, yb, "compact={compact}");
+        }
+    }
+
+    #[test]
+    fn csr_traversal_ablation_repairs_against_new_graph() {
+        let g = rmat(&RmatConfig::graph500(8, 6, 91)).unwrap();
+        let x = int_x(g.num_nodes());
+        let (g2, batch) = edit(&g, &[5], &[(2, 200)]);
+        let g2 = Arc::new(g2);
+        let mut engine = Engine::<PlusF32>::builder(&g)
+            .partition_bytes(32 * 4)
+            .scatter(ScatterKind::CsrTraversal)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            engine.update(&g2, None, &batch).unwrap(),
+            crate::update::UpdateOutcome::Repaired(_)
+        ));
+        let mut y = vec![0.0f32; g2.num_nodes() as usize];
+        engine.step(&x, &mut y).unwrap();
+        assert_eq!(y, reference(&g2, &x));
+    }
+
+    #[test]
+    fn non_pcpm_backends_rebuild_on_update() {
+        let g = rmat(&RmatConfig::graph500(8, 6, 31)).unwrap();
+        let x = int_x(g.num_nodes());
+        let (g2, batch) = edit(&g, &[0, 9], &[(1, 100)]);
+        let g2 = Arc::new(g2);
+        let want = reference(&g2, &x);
+        for kind in [
+            BackendKind::Pull,
+            BackendKind::Push,
+            BackendKind::EdgeCentric,
+        ] {
+            let mut engine = Engine::<PlusF32>::builder(&g)
+                .partition_bytes(64 * 4)
+                .backend(kind)
+                .build()
+                .unwrap();
+            assert_eq!(
+                engine.update(&g2, None, &batch).unwrap(),
+                crate::update::UpdateOutcome::Rebuilt,
+                "backend {}",
+                kind.name()
+            );
+            let mut y = vec![0.0f32; g2.num_nodes() as usize];
+            engine.step(&x, &mut y).unwrap();
+            assert_eq!(y, want, "backend {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn update_rejects_out_of_range_batch() {
+        let g = Arc::new(erdos_renyi(50, 200, 8).unwrap());
+        let mut engine = Engine::<PlusF32>::builder(&g).build().unwrap();
+        let batch = crate::update::UpdateBatch::from_parts(vec![(0, 99)], vec![]);
+        assert!(matches!(
+            engine.update(&g, None, &batch),
+            Err(PcpmError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn external_backend_cannot_be_rebuilt_through_update() {
+        let g = Arc::new(erdos_renyi(40, 160, 5).unwrap());
+        let spec = PrepareSpec {
+            graph: &g,
+            shared: Some(&g),
+            weights: None,
+            cfg: PcpmConfig::default(),
+            scatter: ScatterKind::default(),
+            gather: GatherKind::default(),
+        };
+        let backend = PullBackend::<PlusF32>::prepare(&spec).unwrap();
+        let mut engine = Engine::from_backend(Box::new(backend), 40, 40);
+        let batch = crate::update::UpdateBatch::from_parts(vec![(0, 1)], vec![]);
+        assert!(matches!(
+            engine.update(&g, None, &batch),
+            Err(PcpmError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn builder_shared_makes_retaining_backends_zero_copy() {
+        let g = Arc::new(erdos_renyi(100, 500, 3).unwrap());
+        let base = Arc::strong_count(&g);
+        let push = Engine::<PlusF32>::builder_shared(&g)
+            .backend(BackendKind::Push)
+            .build()
+            .unwrap();
+        // The push backend holds the SAME allocation, not a deep copy.
+        assert_eq!(Arc::strong_count(&g), base + 1);
+        let ablation = Engine::<PlusF32>::builder_shared(&g)
+            .partition_bytes(64 * 4)
+            .scatter(ScatterKind::CsrTraversal)
+            .build()
+            .unwrap();
+        assert_eq!(Arc::strong_count(&g), base + 2);
+        drop(push);
+        drop(ablation);
+        assert_eq!(Arc::strong_count(&g), base);
+    }
+
+    #[test]
+    fn weighted_pcpm_update_repairs_weights() {
+        let g = erdos_renyi(200, 1600, 21).unwrap();
+        // Weight is a pure function of the endpoints, so unchanged edges
+        // keep their weight across the update (the repair contract).
+        let wf = |s: u32, t: u32| (((s + t) % 8) + 1) as f32 / 8.0;
+        let w: Vec<f32> = g.edges().map(|(s, t)| wf(s, t)).collect();
+        let weights = EdgeWeights::new(&g, w).unwrap();
+        let (g2, batch) = edit(&g, &[7], &[(4, 150)]);
+        let g2 = Arc::new(g2);
+        // Post-update weights, parallel to the new CSR edge order.
+        let w2: Vec<f32> = g2.edges().map(|(s, t)| wf(s, t)).collect();
+        let mut engine = Engine::<PlusF32>::builder(&g)
+            .partition_bytes(32 * 4)
+            .weights(&weights)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            engine.update(&g2, Some(&w2), &batch).unwrap(),
+            crate::update::UpdateOutcome::Repaired(_)
+        ));
+        let w2e = EdgeWeights::new(&g2, w2.clone()).unwrap();
+        let mut fresh = Engine::<PlusF32>::builder(&g2)
+            .partition_bytes(32 * 4)
+            .weights(&w2e)
+            .build()
+            .unwrap();
+        let x = int_x(g2.num_nodes());
+        let n = g2.num_nodes() as usize;
+        let (mut ya, mut yb) = (vec![0.0f32; n], vec![0.0f32; n]);
+        engine.step(&x, &mut ya).unwrap();
+        fresh.step(&x, &mut yb).unwrap();
+        assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn update_rejects_weightedness_change_and_short_weights() {
+        let g = erdos_renyi(60, 300, 13).unwrap();
+        let w = EdgeWeights::ones(&g);
+        let (g2, batch) = edit(&g, &[2], &[(1, 50)]);
+        let g2 = Arc::new(g2);
+        // Weighted engine, no weights passed: refuse instead of silently
+        // rebuilding unweighted.
+        let mut weighted = Engine::<PlusF32>::builder(&g)
+            .partition_bytes(64 * 4)
+            .weights(&w)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            weighted.update(&g2, None, &batch),
+            Err(PcpmError::BadConfig(_))
+        ));
+        // Unweighted engine, weights passed: same refusal.
+        let w2 = vec![1.0f32; g2.num_edges() as usize];
+        let mut unweighted = Engine::<PlusF32>::builder(&g)
+            .partition_bytes(64 * 4)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            unweighted.update(&g2, Some(&w2), &batch),
+            Err(PcpmError::BadConfig(_))
+        ));
+        // Weighted engine, stale-length weights: dimension error, not a
+        // panic inside the parallel fill.
+        let stale = vec![1.0f32; g.num_edges() as usize - 1];
+        assert!(matches!(
+            weighted.update(&g2, Some(&stale), &batch),
+            Err(PcpmError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn externally_prepared_pcpm_backend_repairs_with_its_own_partitioning() {
+        // A PCPM backend wrapped via from_backend has no build recipe,
+        // so Engine::update fills the spec with default config — the
+        // repair must still use the partitioning the bins were built
+        // with, not the default 64 Ki-node partitions.
+        let g = rmat(&RmatConfig::graph500(9, 8, 37)).unwrap();
+        let spec = PrepareSpec {
+            graph: &g,
+            shared: None,
+            weights: None,
+            cfg: PcpmConfig::default().with_partition_bytes(64 * 4),
+            scatter: ScatterKind::default(),
+            gather: GatherKind::default(),
+        };
+        let backend = PcpmBackend::<PlusF32>::prepare(&spec).unwrap();
+        let n = g.num_nodes();
+        let mut engine = Engine::from_backend(Box::new(backend), n, n);
+        // Touch a high partition (far from partition 0).
+        let (g2, batch) = edit(&g, &[400], &[(450, 3)]);
+        let g2 = Arc::new(g2);
+        assert!(matches!(
+            engine.update(&g2, None, &batch).unwrap(),
+            crate::update::UpdateOutcome::Repaired(_)
+        ));
+        let x = int_x(n);
+        let mut y = vec![0.0f32; n as usize];
+        engine.step(&x, &mut y).unwrap();
+        assert_eq!(y, reference(&g2, &x));
+    }
+
+    #[test]
+    fn empty_batch_update_is_a_cheap_noop() {
+        let g = Arc::new(erdos_renyi(80, 400, 6).unwrap());
+        for kind in BackendKind::ALL {
+            let mut engine = Engine::<PlusF32>::builder(&g)
+                .partition_bytes(64 * 4)
+                .backend(kind)
+                .build()
+                .unwrap();
+            let outcome = engine
+                .update(&g, None, &crate::update::UpdateBatch::default())
+                .unwrap();
+            assert!(
+                matches!(
+                    outcome,
+                    crate::update::UpdateOutcome::Repaired(RepairStats {
+                        partitions_rebuilt: 0,
+                        ..
+                    })
+                ),
+                "backend {}",
+                kind.name()
+            );
+        }
     }
 
     #[test]

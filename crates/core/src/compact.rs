@@ -88,6 +88,58 @@ impl<T: Copy + Default + Send + Sync> CompactBinSpace<T> {
         }
     }
 
+    /// Incremental rebuild after a [`Png::repair`] — the 16-bit analogue
+    /// of [`crate::bins::BinSpace::repair`]: touched source partitions
+    /// are re-filled, untouched segments block-copied from the old
+    /// arrays, and the scratch update array re-allocated.
+    pub(crate) fn repair(
+        &mut self,
+        view: EdgeView<'_>,
+        png: &Png,
+        old_did_region: &[u64],
+        touched: &[bool],
+        edge_weights: Option<&[f32]>,
+    ) {
+        self.updates = vec![T::default(); png.num_compressed_edges() as usize];
+        let mut dest_ids = vec![0u16; png.num_raw_edges() as usize];
+        let mut weights = edge_weights.map(|_| vec![0.0f32; png.num_raw_edges() as usize]);
+        let did_lens = png.did_region_lens();
+        let old = &self.dest_ids;
+        let old_w = self.weights.as_deref();
+        let regions = split_by_lens(&mut dest_ids, &did_lens);
+        match (&mut weights, edge_weights) {
+            (Some(w), Some(ew)) => {
+                let wregions = split_by_lens(w, &did_lens);
+                regions
+                    .into_par_iter()
+                    .zip(wregions)
+                    .enumerate()
+                    .for_each(|(s, (dst, wdst))| {
+                        if touched[s] {
+                            fill_partition(view, png, s as u32, dst, Some((wdst, ew)));
+                        } else {
+                            let lo = old_did_region[s] as usize;
+                            dst.copy_from_slice(&old[lo..lo + dst.len()]);
+                            let ow = old_w.expect("weighted bins keep weights");
+                            wdst.copy_from_slice(&ow[lo..lo + wdst.len()]);
+                        }
+                    });
+            }
+            _ => {
+                regions.into_par_iter().enumerate().for_each(|(s, dst)| {
+                    if touched[s] {
+                        fill_partition(view, png, s as u32, dst, None);
+                    } else {
+                        let lo = old_did_region[s] as usize;
+                        dst.copy_from_slice(&old[lo..lo + dst.len()]);
+                    }
+                });
+            }
+        }
+        self.dest_ids = dest_ids;
+        self.weights = weights;
+    }
+
     /// Heap bytes held by the bins.
     pub fn memory_bytes(&self) -> u64 {
         (self.updates.len() * std::mem::size_of::<T>()

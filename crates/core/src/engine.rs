@@ -24,6 +24,7 @@ use crate::partition::Partitioner;
 use crate::png::{EdgeView, Png};
 use crate::pr::PhaseTimings;
 use crate::scatter::{csr_scatter, png_scatter};
+use crate::update::RepairStats;
 use pcpm_graph::Csr;
 use std::time::{Duration, Instant};
 
@@ -173,6 +174,71 @@ impl<A: Algebra> PcpmPipeline<A> {
     /// Whether the pipeline built the compact 16-bit bins.
     pub fn is_compact(&self) -> bool {
         matches!(self.bins, BinStorage::Compact(_))
+    }
+
+    /// Whether the pipeline carries per-edge weights in its bins.
+    pub fn is_weighted(&self) -> bool {
+        match &self.bins {
+            BinStorage::Wide(b) => b.weights.is_some(),
+            BinStorage::Compact(b) => b.weights.is_some(),
+        }
+    }
+
+    /// Incrementally repairs the prepared state after an edge-set change:
+    /// the PNG parts and bin segments of the `touched_parts` *source*
+    /// partitions are rebuilt against `view` (the post-update structure);
+    /// every other partition's segments are block-copied. With a batch
+    /// touching few partitions this is far cheaper than a fresh build —
+    /// the counting/filling scans run only over the touched adjacency.
+    ///
+    /// `view` must keep the dimensions the pipeline was built with, and
+    /// `weights` (the full post-update edge-weight slice, parallel to
+    /// `view`'s targets) must be present exactly when the pipeline was
+    /// built weighted. Repair models *structural* change only: the
+    /// weight of every edge outside `touched_parts` must equal its
+    /// pre-update value, because untouched bin segments (weights
+    /// included) are block-copied, not re-read from `weights`. Mutating
+    /// weights of unchanged edges requires a fresh build.
+    pub fn repair(
+        &mut self,
+        view: EdgeView<'_>,
+        weights: Option<&[f32]>,
+        touched_parts: &[u32],
+    ) -> Result<RepairStats, PcpmError> {
+        if view.num_src() != self.num_src || view.num_dst() != self.num_dst {
+            return Err(PcpmError::DimensionMismatch {
+                expected: self.num_src as usize,
+                got: view.num_src() as usize,
+            });
+        }
+        if weights.is_some() != self.is_weighted() {
+            return Err(PcpmError::BadConfig(
+                "repair must supply weights exactly when the pipeline was built weighted",
+            ));
+        }
+        let k = self.png.src_parts().num_partitions();
+        let mut touched = vec![false; k as usize];
+        for &s in touched_parts {
+            if s >= k {
+                return Err(PcpmError::BadConfig(
+                    "touched source partition out of range",
+                ));
+            }
+            touched[s as usize] = true;
+        }
+        let t0 = Instant::now();
+        let old_did_region = self.png.did_region().to_vec();
+        self.png.repair(view, touched_parts);
+        match &mut self.bins {
+            BinStorage::Wide(b) => b.repair(view, &self.png, &old_did_region, &touched, weights),
+            BinStorage::Compact(b) => b.repair(view, &self.png, &old_did_region, &touched, weights),
+        }
+        // Repair is (re-)pre-processing: fold it into the reported cost.
+        self.preprocess += t0.elapsed();
+        Ok(RepairStats {
+            partitions_rebuilt: touched_parts.len() as u32,
+            partitions_total: k,
+        })
     }
 
     /// One `y = ⊕ Aᵀ·x` round with the default (paper) scatter and

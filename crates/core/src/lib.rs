@@ -73,6 +73,7 @@ pub mod png;
 pub mod pr;
 pub mod scatter;
 pub mod spmv;
+pub mod update;
 
 pub use backend::{Backend, BackendKind, Engine, EngineBuilder, ExecutionReport};
 pub use config::PcpmConfig;
@@ -83,6 +84,7 @@ pub use error::PcpmError;
 pub use partition::Partitioner;
 pub use png::Png;
 pub use pr::{PhaseTimings, PrResult};
+pub use update::{EdgeOp, EdgeUpdate, RepairStats, UpdateBatch, UpdateOutcome};
 
 /// Bit mask extracting the true node ID from a destination-bin entry
 /// (clears the MSB demarcation flag, paper §3.2).

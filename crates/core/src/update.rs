@@ -1,0 +1,232 @@
+//! Batched edge updates: the contract between the streaming front end
+//! and the incremental bin-repair path.
+//!
+//! The paper's bins are a pre-processing artifact of a frozen CSR; a
+//! [`UpdateBatch`] describes how the edge set changed so a prepared
+//! backend can repair only the partitions whose adjacency actually moved
+//! (see [`Backend::update`](crate::backend::Backend::update)) instead of
+//! rebuilding from scratch. Batches are produced in canonical form by
+//! `pcpm_stream::UpdateLog`; this module only defines the shared types so
+//! `pcpm-core` need not depend on the streaming crate.
+
+use pcpm_graph::NodeId;
+
+/// The two streaming operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeOp {
+    /// Add the directed edge `src -> dst` (no-op if already present).
+    Insert,
+    /// Remove the directed edge `src -> dst` (no-op if absent).
+    Delete,
+}
+
+/// One pending edge change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeUpdate {
+    /// Operation.
+    pub op: EdgeOp,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+}
+
+/// A validated, deduplicated batch of edge changes.
+///
+/// Canonical form: `inserts` and `deletes` are each sorted by
+/// `(src, dst)`, contain no duplicates, and are disjoint (an edge that
+/// was inserted then deleted inside one batch cancels out — last op
+/// wins). `pcpm_stream::UpdateLog::seal` produces this form;
+/// [`UpdateBatch::from_ops`] is the direct constructor.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    inserts: Vec<(NodeId, NodeId)>,
+    deletes: Vec<(NodeId, NodeId)>,
+}
+
+impl UpdateBatch {
+    /// Builds a canonical batch from an ordered op sequence: per edge the
+    /// *last* op wins, duplicates collapse.
+    pub fn from_ops(ops: &[EdgeUpdate]) -> Self {
+        let mut last = std::collections::HashMap::with_capacity(ops.len());
+        for u in ops {
+            last.insert((u.src, u.dst), u.op);
+        }
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        for ((s, t), op) in last {
+            match op {
+                EdgeOp::Insert => inserts.push((s, t)),
+                EdgeOp::Delete => deletes.push((s, t)),
+            }
+        }
+        inserts.sort_unstable();
+        deletes.sort_unstable();
+        Self { inserts, deletes }
+    }
+
+    /// Builds a batch from pre-deduplicated insert / delete lists.
+    ///
+    /// The lists are sorted here; callers must guarantee disjointness
+    /// (checked with `debug_assert` only).
+    pub fn from_parts(
+        mut inserts: Vec<(NodeId, NodeId)>,
+        mut deletes: Vec<(NodeId, NodeId)>,
+    ) -> Self {
+        inserts.sort_unstable();
+        inserts.dedup();
+        deletes.sort_unstable();
+        deletes.dedup();
+        debug_assert!(
+            !inserts.iter().any(|e| deletes.binary_search(e).is_ok()),
+            "inserts and deletes must be disjoint"
+        );
+        Self { inserts, deletes }
+    }
+
+    /// Edges to insert, sorted by `(src, dst)`.
+    pub fn inserts(&self) -> &[(NodeId, NodeId)] {
+        &self.inserts
+    }
+
+    /// Edges to delete, sorted by `(src, dst)`.
+    pub fn deletes(&self) -> &[(NodeId, NodeId)] {
+        &self.deletes
+    }
+
+    /// Total number of pending edge changes.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Largest node ID referenced by the batch, if any.
+    pub fn max_node(&self) -> Option<NodeId> {
+        self.all_edges().map(|(s, t)| s.max(t)).max()
+    }
+
+    /// Iterator over every referenced edge (inserts then deletes).
+    pub fn all_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.inserts.iter().chain(self.deletes.iter()).copied()
+    }
+
+    /// Sorted, deduplicated source nodes whose adjacency list changes.
+    pub fn touched_sources(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.all_edges().map(|(s, _)| s).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Sorted, deduplicated endpoints on either side of a changed edge
+    /// (the seed set for delta-PageRank).
+    pub fn touched_vertices(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.all_edges().flat_map(|(s, t)| [s, t]).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Sorted, deduplicated *source* partitions (size `q` nodes) whose
+    /// bins must be re-scattered: the PNG part and bin region of a
+    /// source partition depend only on the adjacency of its own nodes.
+    pub fn touched_src_partitions(&self, q: u32) -> Vec<u32> {
+        let mut v: Vec<u32> = self.all_edges().map(|(s, _)| s / q).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Sorted, deduplicated *destination* partitions (size `q` nodes)
+    /// that receive different messages after the batch.
+    pub fn touched_dst_partitions(&self, q: u32) -> Vec<u32> {
+        let mut v: Vec<u32> = self.all_edges().map(|(_, t)| t / q).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// What an in-place [`Backend::update`](crate::backend::Backend::update)
+/// repair actually rebuilt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Source partitions whose PNG part and bin region were rebuilt.
+    pub partitions_rebuilt: u32,
+    /// Total source partitions (untouched ones were copied, not
+    /// recomputed).
+    pub partitions_total: u32,
+}
+
+/// How [`Engine::update`](crate::backend::Engine::update) absorbed a
+/// batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// The backend repaired its prepared state in place.
+    Repaired(RepairStats),
+    /// The backend does not support incremental repair (or the change
+    /// was too invasive); the engine re-ran a full `prepare`.
+    Rebuilt,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_op_wins_and_sorts() {
+        let ops = [
+            EdgeUpdate {
+                op: EdgeOp::Insert,
+                src: 5,
+                dst: 1,
+            },
+            EdgeUpdate {
+                op: EdgeOp::Insert,
+                src: 2,
+                dst: 3,
+            },
+            EdgeUpdate {
+                op: EdgeOp::Delete,
+                src: 5,
+                dst: 1,
+            }, // cancels the insert
+            EdgeUpdate {
+                op: EdgeOp::Insert,
+                src: 2,
+                dst: 3,
+            }, // duplicate
+            EdgeUpdate {
+                op: EdgeOp::Delete,
+                src: 0,
+                dst: 9,
+            },
+        ];
+        let b = UpdateBatch::from_ops(&ops);
+        assert_eq!(b.inserts(), &[(2, 3)]);
+        assert_eq!(b.deletes(), &[(0, 9), (5, 1)]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.max_node(), Some(9));
+    }
+
+    #[test]
+    fn touched_sets() {
+        let b = UpdateBatch::from_parts(vec![(10, 3), (11, 3)], vec![(3, 10)]);
+        assert_eq!(b.touched_sources(), vec![3, 10, 11]);
+        assert_eq!(b.touched_vertices(), vec![3, 10, 11]);
+        assert_eq!(b.touched_src_partitions(4), vec![0, 2]);
+        assert_eq!(b.touched_dst_partitions(4), vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = UpdateBatch::default();
+        assert!(b.is_empty());
+        assert_eq!(b.max_node(), None);
+        assert!(b.touched_src_partitions(8).is_empty());
+    }
+}

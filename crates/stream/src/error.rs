@@ -1,0 +1,82 @@
+//! Error type for the streaming layer.
+
+use std::fmt;
+
+/// Errors from the streaming front end.
+#[derive(Debug)]
+pub enum StreamError {
+    /// A referenced node is outside the graph.
+    NodeOutOfRange {
+        /// The offending node ID.
+        node: u32,
+        /// The graph's node count.
+        num_nodes: u32,
+    },
+    /// A configuration field is out of its valid range.
+    BadConfig(&'static str),
+    /// An update file failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An engine-side error surfaced during replay.
+    Engine(pcpm_core::PcpmError),
+    /// An I/O error while reading or writing an update file.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (graph has {num_nodes} nodes)")
+            }
+            StreamError::BadConfig(msg) => write!(f, "bad config: {msg}"),
+            StreamError::Parse { line, message } => {
+                write!(f, "update file line {line}: {message}")
+            }
+            StreamError::Engine(e) => write!(f, "engine: {e}"),
+            StreamError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<pcpm_core::PcpmError> for StreamError {
+    fn from(e: pcpm_core::PcpmError) -> Self {
+        StreamError::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_problem() {
+        assert!(StreamError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 4
+        }
+        .to_string()
+        .contains("node 9"));
+        assert!(StreamError::BadConfig("threshold")
+            .to_string()
+            .contains("threshold"));
+        assert!(StreamError::Parse {
+            line: 3,
+            message: "bad op".into()
+        }
+        .to_string()
+        .contains("line 3"));
+    }
+}

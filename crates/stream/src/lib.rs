@@ -1,0 +1,49 @@
+//! Streaming graph subsystem for the PCPM reproduction.
+//!
+//! The paper's partition-centric bins are built once over a frozen CSR;
+//! this crate makes the reproduction serve *continuously arriving*
+//! traffic by turning every edge change into partition-local work:
+//!
+//! - [`UpdateLog`] — the batching front end: validates ops, dedups with
+//!   last-op-wins semantics, seals canonical
+//!   [`UpdateBatch`](pcpm_core::UpdateBatch)es and
+//!   [`group_by_dst_partition`]s them for shard routing;
+//! - [`DeltaGraph`] — an immutable base [`Csr`](pcpm_graph::Csr) under
+//!   per-partition adjacency deltas and delete tombstones, with cached
+//!   `Arc` snapshots and a compaction threshold that folds deltas back
+//!   into a fresh base;
+//! - [`replay`] — the end-to-end driver: apply a batch, repair the
+//!   engine's bins via
+//!   [`Engine::update`](pcpm_core::Engine::update) (only touched
+//!   partitions are re-scattered), and refresh rankings with
+//!   [`incremental_pagerank`](pcpm_algos::incremental_pagerank) —
+//!   timing each repair against the full rebuild it replaced.
+//!
+//! # Example
+//!
+//! ```
+//! use pcpm_graph::gen::{rmat, RmatConfig};
+//! use pcpm_stream::{gen_updates, replay, ReplayConfig, UpdateGenConfig};
+//! use std::sync::Arc;
+//!
+//! let base = Arc::new(rmat(&RmatConfig::graph500(8, 6, 1)).unwrap());
+//! let batches = gen_updates(&base, &UpdateGenConfig { batches: 2, batch_size: 10, ..Default::default() }).unwrap();
+//! let report = replay(base, &batches, &ReplayConfig::default()).unwrap();
+//! assert_eq!(report.batches.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod error;
+pub mod log;
+pub mod replay;
+
+pub use delta::{ApplyStats, DeltaGraph, DEFAULT_COMPACTION_THRESHOLD};
+pub use error::StreamError;
+pub use log::{group_by_dst_partition, UpdateLog};
+pub use replay::{
+    gen_updates, read_updates, replay, write_updates, BatchReport, Locality, ReplayConfig,
+    ReplayReport, UpdateGenConfig,
+};

@@ -1,0 +1,166 @@
+//! [`UpdateLog`]: the batching front end of the streaming subsystem.
+//!
+//! Edge changes arrive one at a time (a crawler found a link, a user
+//! unfollowed); the log validates each op against the graph's node
+//! range, buffers them in arrival order, and [`UpdateLog::seal`]s them
+//! into a canonical [`UpdateBatch`] — deduplicated with last-op-wins
+//! semantics, ready for [`DeltaGraph::apply`](crate::DeltaGraph::apply).
+//! [`group_by_dst_partition`] splits a sealed batch by destination
+//! partition for shard-per-partition routing.
+
+use crate::error::StreamError;
+use pcpm_core::update::{EdgeOp, EdgeUpdate, UpdateBatch};
+use pcpm_graph::NodeId;
+
+/// Validating, order-preserving buffer of pending edge ops.
+///
+/// # Examples
+///
+/// ```
+/// use pcpm_stream::UpdateLog;
+///
+/// let mut log = UpdateLog::new(16);
+/// log.insert(0, 1).unwrap();
+/// log.delete(0, 1).unwrap(); // cancels the insert
+/// log.insert(2, 3).unwrap();
+/// let batch = log.seal();
+/// assert_eq!(batch.inserts(), &[(2, 3)]);
+/// assert_eq!(batch.deletes(), &[(0, 1)]);
+/// assert!(log.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct UpdateLog {
+    num_nodes: u32,
+    ops: Vec<EdgeUpdate>,
+}
+
+impl UpdateLog {
+    /// A log validating ops against a graph of `num_nodes` nodes.
+    pub fn new(num_nodes: u32) -> Self {
+        Self {
+            num_nodes,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Buffers an insert of `src -> dst`.
+    pub fn insert(&mut self, src: NodeId, dst: NodeId) -> Result<(), StreamError> {
+        self.push(EdgeUpdate {
+            op: EdgeOp::Insert,
+            src,
+            dst,
+        })
+    }
+
+    /// Buffers a delete of `src -> dst`.
+    pub fn delete(&mut self, src: NodeId, dst: NodeId) -> Result<(), StreamError> {
+        self.push(EdgeUpdate {
+            op: EdgeOp::Delete,
+            src,
+            dst,
+        })
+    }
+
+    /// Buffers one op, validating its endpoints.
+    pub fn push(&mut self, u: EdgeUpdate) -> Result<(), StreamError> {
+        let max = u.src.max(u.dst);
+        if max >= self.num_nodes {
+            return Err(StreamError::NodeOutOfRange {
+                node: max,
+                num_nodes: self.num_nodes,
+            });
+        }
+        self.ops.push(u);
+        Ok(())
+    }
+
+    /// Buffered op count (before dedup).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Drains the buffer into a canonical batch: per edge the last op
+    /// wins, duplicates collapse, inserts/deletes come out sorted.
+    pub fn seal(&mut self) -> UpdateBatch {
+        let batch = UpdateBatch::from_ops(&self.ops);
+        self.ops.clear();
+        batch
+    }
+}
+
+/// Splits a canonical batch into per-destination-partition sub-batches
+/// (partitions of `q` nodes), sorted by partition index. Only non-empty
+/// partitions are returned.
+pub fn group_by_dst_partition(batch: &UpdateBatch, q: u32) -> Vec<(u32, UpdateBatch)> {
+    let mut out: Vec<(u32, UpdateBatch)> = Vec::new();
+    for p in batch.touched_dst_partitions(q) {
+        let ins: Vec<(NodeId, NodeId)> = batch
+            .inserts()
+            .iter()
+            .copied()
+            .filter(|&(_, t)| t / q == p)
+            .collect();
+        let del: Vec<(NodeId, NodeId)> = batch
+            .deletes()
+            .iter()
+            .copied()
+            .filter(|&(_, t)| t / q == p)
+            .collect();
+        out.push((p, UpdateBatch::from_parts(ins, del)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_node_range() {
+        let mut log = UpdateLog::new(4);
+        assert!(log.insert(0, 3).is_ok());
+        assert!(matches!(
+            log.insert(0, 4),
+            Err(StreamError::NodeOutOfRange { node: 4, .. })
+        ));
+        assert!(log.delete(9, 0).is_err());
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn last_op_wins_across_the_buffer() {
+        let mut log = UpdateLog::new(10);
+        log.insert(1, 2).unwrap();
+        log.delete(1, 2).unwrap();
+        log.delete(3, 4).unwrap();
+        log.insert(3, 4).unwrap();
+        let b = log.seal();
+        assert_eq!(b.inserts(), &[(3, 4)]);
+        assert_eq!(b.deletes(), &[(1, 2)]);
+        assert!(log.seal().is_empty());
+    }
+
+    #[test]
+    fn groups_by_destination_partition() {
+        let mut log = UpdateLog::new(16);
+        log.insert(0, 1).unwrap();
+        log.insert(2, 9).unwrap();
+        log.delete(3, 8).unwrap();
+        log.insert(1, 15).unwrap();
+        let groups = group_by_dst_partition(&log.seal(), 4);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, 0);
+        assert_eq!(groups[0].1.inserts(), &[(0, 1)]);
+        assert_eq!(groups[1].0, 2);
+        assert_eq!(groups[1].1.inserts(), &[(2, 9)]);
+        assert_eq!(groups[1].1.deletes(), &[(3, 8)]);
+        assert_eq!(groups[2].0, 3);
+        let total: usize = groups.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, 4);
+    }
+}

@@ -1,0 +1,566 @@
+//! Update-file I/O, a seeded update generator, and the replay harness
+//! the `pcpm stream` subcommand and the throughput bench share.
+//!
+//! # Update file format
+//!
+//! Plain text, one op per line; batches are separated by a line holding
+//! only `commit` (a trailing unterminated batch is also committed):
+//!
+//! ```text
+//! # comment
+//! + 3 17      insert edge 3 -> 17
+//! - 5 2       delete edge 5 -> 2
+//! commit
+//! + 8 1
+//! commit
+//! ```
+
+use crate::delta::DeltaGraph;
+use crate::error::StreamError;
+use crate::log::UpdateLog;
+use pcpm_algos::incremental_pagerank;
+use pcpm_core::algebra::PlusF32;
+use pcpm_core::pagerank::pagerank_with_unified_engine;
+use pcpm_core::update::{UpdateBatch, UpdateOutcome};
+use pcpm_core::{BackendKind, Engine, PcpmConfig};
+use pcpm_graph::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Parses an update file into canonical batches (see the module docs
+/// for the format). Ops are validated against `num_nodes`.
+pub fn read_updates<R: Read>(reader: R, num_nodes: u32) -> Result<Vec<UpdateBatch>, StreamError> {
+    let reader = BufReader::new(reader);
+    let mut log = UpdateLog::new(num_nodes);
+    let mut batches = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed == "commit" {
+            batches.push(log.seal());
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let op = it.next().expect("non-empty line");
+        let parse = |tok: Option<&str>| -> Result<u32, StreamError> {
+            tok.ok_or_else(|| StreamError::Parse {
+                line: idx + 1,
+                message: "expected '<+|-> src dst'".into(),
+            })?
+            .parse::<u32>()
+            .map_err(|e| StreamError::Parse {
+                line: idx + 1,
+                message: e.to_string(),
+            })
+        };
+        let src = parse(it.next())?;
+        let dst = parse(it.next())?;
+        let push = match op {
+            "+" => log.insert(src, dst),
+            "-" => log.delete(src, dst),
+            other => {
+                return Err(StreamError::Parse {
+                    line: idx + 1,
+                    message: format!("unknown op '{other}' (expected '+' or '-')"),
+                })
+            }
+        };
+        push.map_err(|e| StreamError::Parse {
+            line: idx + 1,
+            message: e.to_string(),
+        })?;
+    }
+    if !log.is_empty() {
+        batches.push(log.seal());
+    }
+    Ok(batches)
+}
+
+/// Writes batches in the update-file format.
+pub fn write_updates<W: Write>(mut w: W, batches: &[UpdateBatch]) -> Result<(), StreamError> {
+    for b in batches {
+        for &(s, t) in b.inserts() {
+            writeln!(w, "+ {s} {t}")?;
+        }
+        for &(s, t) in b.deletes() {
+            writeln!(w, "- {s} {t}")?;
+        }
+        writeln!(w, "commit")?;
+    }
+    Ok(())
+}
+
+/// Parameters of the seeded random update generator.
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateGenConfig {
+    /// Number of batches.
+    pub batches: usize,
+    /// Ops per batch.
+    pub batch_size: usize,
+    /// Fraction of each batch that deletes existing edges (the rest
+    /// inserts new ones).
+    pub delete_frac: f64,
+    /// When set, every batch draws its *sources* from this many
+    /// randomly chosen partitions of `partition_nodes` nodes — the
+    /// locality knob that makes incremental bin repair shine.
+    pub locality: Option<Locality>,
+    /// RNG seed: the same seed over the same base graph reproduces the
+    /// same update stream.
+    pub seed: u64,
+}
+
+/// Restricts each generated batch to a few source partitions.
+#[derive(Clone, Copy, Debug)]
+pub struct Locality {
+    /// Source-partition size in nodes (match the engine's).
+    pub partition_nodes: u32,
+    /// Distinct source partitions each batch may touch.
+    pub partitions_per_batch: u32,
+}
+
+impl Default for UpdateGenConfig {
+    fn default() -> Self {
+        Self {
+            batches: 10,
+            batch_size: 100,
+            delete_frac: 0.3,
+            locality: None,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a coherent, seeded update stream against `base`: batches
+/// chain (an edge inserted in batch `i` may be deleted in batch `j>i`),
+/// deletes always hit a currently-present edge and inserts a
+/// currently-absent one, so every op is effective on replay.
+pub fn gen_updates(base: &Csr, cfg: &UpdateGenConfig) -> Result<Vec<UpdateBatch>, StreamError> {
+    let n = base.num_nodes();
+    if n < 2 {
+        return Err(StreamError::BadConfig(
+            "update generation needs at least two nodes",
+        ));
+    }
+    if !(0.0..=1.0).contains(&cfg.delete_frac) {
+        return Err(StreamError::BadConfig("delete_frac must be in [0, 1]"));
+    }
+    if let Some(loc) = cfg.locality {
+        if loc.partition_nodes == 0 || loc.partitions_per_batch == 0 {
+            return Err(StreamError::BadConfig(
+                "locality partitions must be at least 1",
+            ));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Live edge set, kept in sync across batches.
+    let mut edges: Vec<(u32, u32)> = base.edges().collect();
+    let mut present: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
+    let mut batches = Vec::with_capacity(cfg.batches);
+    for _ in 0..cfg.batches {
+        // The per-batch source pool under the locality knob.
+        let pick_src = |rng: &mut StdRng, pool: &[u32]| -> u32 {
+            if pool.is_empty() {
+                rng.gen_range(0..n)
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            }
+        };
+        let src_pool: Vec<u32> = match cfg.locality {
+            None => Vec::new(),
+            Some(loc) => {
+                let q = loc.partition_nodes;
+                let k = if n == 0 { 1 } else { (n - 1) / q + 1 };
+                let mut parts: Vec<u32> = (0..loc.partitions_per_batch)
+                    .map(|_| rng.gen_range(0..k))
+                    .collect();
+                parts.sort_unstable();
+                parts.dedup();
+                parts
+                    .iter()
+                    .flat_map(|&p| p * q..((p + 1) * q).min(n))
+                    .collect()
+            }
+        };
+        let mut log = UpdateLog::new(n);
+        let deletes = (cfg.batch_size as f64 * cfg.delete_frac).round() as usize;
+        // Edges touched earlier in THIS batch: a delete+reinsert (or
+        // insert+delete) of the same edge collapses under last-op-wins
+        // into a single op that is a no-op on replay, breaking the
+        // every-op-is-effective guarantee.
+        let mut deleted_now: std::collections::HashSet<(u32, u32)> =
+            std::collections::HashSet::new();
+        let mut inserted_now: std::collections::HashSet<(u32, u32)> =
+            std::collections::HashSet::new();
+        for i in 0..cfg.batch_size {
+            if i < deletes && !edges.is_empty() {
+                // Delete a present edge, preferring the locality pool.
+                let mut victim = None;
+                for _ in 0..64 {
+                    let e = edges[rng.gen_range(0..edges.len())];
+                    if (src_pool.is_empty() || src_pool.binary_search(&e.0).is_ok())
+                        && present.contains(&e)
+                        && !inserted_now.contains(&e)
+                    {
+                        victim = Some(e);
+                        break;
+                    }
+                }
+                if let Some(e) = victim {
+                    present.remove(&e);
+                    deleted_now.insert(e);
+                    log.delete(e.0, e.1).expect("validated");
+                    continue;
+                }
+            }
+            // Insert an edge absent from the pre-batch set and untouched
+            // by this batch.
+            for _ in 0..64 {
+                let s = pick_src(&mut rng, &src_pool);
+                let t = rng.gen_range(0..n);
+                if s != t && !present.contains(&(s, t)) && !deleted_now.contains(&(s, t)) {
+                    present.insert((s, t));
+                    inserted_now.insert((s, t));
+                    edges.push((s, t));
+                    log.insert(s, t).expect("validated");
+                    break;
+                }
+            }
+        }
+        batches.push(log.seal());
+    }
+    Ok(batches)
+}
+
+/// Replay configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayConfig {
+    /// Engine configuration (partition bytes, damping, tolerance,
+    /// compact bins, threads). Set a tolerance — the PageRank phases
+    /// run to convergence.
+    pub cfg: PcpmConfig,
+    /// Dataplane to prepare and repair.
+    pub backend: BackendKind,
+    /// [`DeltaGraph`] compaction threshold.
+    pub compaction_threshold: f64,
+    /// Also run a cold `pagerank` per batch and record the maximum
+    /// absolute divergence of the incremental scores.
+    pub verify: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            cfg: PcpmConfig::default()
+                .with_iterations(500)
+                .with_tolerance(1e-9),
+            backend: BackendKind::Pcpm,
+            compaction_threshold: crate::delta::DEFAULT_COMPACTION_THRESHOLD,
+            verify: false,
+        }
+    }
+}
+
+/// Per-batch replay measurements.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Effective ops applied (after set-semantics filtering).
+    pub ops: usize,
+    /// Requested ops that were no-ops.
+    pub ignored: usize,
+    /// Source partitions whose bins were dirtied.
+    pub touched_partitions: u32,
+    /// Total source partitions.
+    pub total_partitions: u32,
+    /// How the engine absorbed the batch.
+    pub outcome: UpdateOutcome,
+    /// Wall-clock of `Engine::update` (incremental bin repair).
+    pub repair: Duration,
+    /// Wall-clock of a from-scratch engine build over the same
+    /// snapshot (the cost the repair path avoids).
+    pub full_prepare: Duration,
+    /// Wall-clock of `incremental_pagerank`.
+    pub incremental_pr: Duration,
+    /// Residual pushes the incremental solver spent.
+    pub pushes: usize,
+    /// Max |incremental − cold| when verification ran.
+    pub divergence: Option<f64>,
+    /// Whether the overlay compacted after this batch.
+    pub compacted: bool,
+}
+
+/// The whole replay: initial preparation plus one report per batch.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// Initial full preparation time of the base engine.
+    pub base_prepare: Duration,
+    /// Initial cold PageRank time (the starting fixed point).
+    pub base_pagerank: Duration,
+    /// Per-batch measurements, in replay order.
+    pub batches: Vec<BatchReport>,
+    /// Final PageRank scores after the last batch.
+    pub scores: Vec<f32>,
+}
+
+impl ReplayReport {
+    /// Total repair time across batches.
+    pub fn total_repair(&self) -> Duration {
+        self.batches.iter().map(|b| b.repair).sum()
+    }
+
+    /// Total from-scratch preparation time the repairs avoided.
+    pub fn total_full_prepare(&self) -> Duration {
+        self.batches.iter().map(|b| b.full_prepare).sum()
+    }
+}
+
+/// Replays `batches` against `base`: each batch flows through
+/// [`DeltaGraph::apply`] → [`Engine::update`] (timed against a full
+/// rebuild of the same snapshot) → [`incremental_pagerank`], keeping
+/// rankings continuously fresh.
+pub fn replay(
+    base: Arc<Csr>,
+    batches: &[UpdateBatch],
+    rc: &ReplayConfig,
+) -> Result<ReplayReport, StreamError> {
+    rc.cfg.validate().map_err(StreamError::Engine)?;
+    let mut delta = DeltaGraph::new(Arc::clone(&base), rc.cfg.partition_nodes())?
+        .with_compaction_threshold(rc.compaction_threshold)?;
+    let t0 = Instant::now();
+    let mut engine = Engine::<PlusF32>::builder_shared(&base)
+        .config(rc.cfg)
+        .backend(rc.backend)
+        .build()?;
+    let base_prepare = t0.elapsed();
+    let t0 = Instant::now();
+    let mut scores = pagerank_with_unified_engine(&base, &rc.cfg, &mut engine, None)?.scores;
+    let base_pagerank = t0.elapsed();
+
+    let mut reports = Vec::with_capacity(batches.len());
+    for batch in batches {
+        let stats = delta.apply(batch)?;
+        let snap = delta.snapshot();
+
+        let t0 = Instant::now();
+        let outcome = engine.update(&snap, None, &stats.applied)?;
+        let repair = t0.elapsed();
+
+        let t0 = Instant::now();
+        let mut fresh = Engine::<PlusF32>::builder_shared(&snap)
+            .config(rc.cfg)
+            .backend(rc.backend)
+            .build()?;
+        let full_prepare = t0.elapsed();
+
+        let t0 = Instant::now();
+        let warm = incremental_pagerank(&snap, &stats.applied, &scores, &rc.cfg)?;
+        let incremental_pr = t0.elapsed();
+        scores = warm.scores;
+
+        // The engine built for the full-prepare timing doubles as the
+        // cold-start reference when verification is on.
+        let divergence = if rc.verify {
+            let cold = pagerank_with_unified_engine(&snap, &rc.cfg, &mut fresh, None)?;
+            Some(
+                scores
+                    .iter()
+                    .zip(&cold.scores)
+                    .map(|(&a, &b)| (f64::from(a) - f64::from(b)).abs())
+                    .fold(0.0f64, f64::max),
+            )
+        } else {
+            None
+        };
+        drop(fresh);
+
+        reports.push(BatchReport {
+            ops: stats.applied.len(),
+            ignored: stats.ignored,
+            touched_partitions: stats.touched_partitions.len() as u32,
+            total_partitions: delta.num_partitions(),
+            outcome,
+            repair,
+            full_prepare,
+            incremental_pr,
+            pushes: warm.iterations,
+            divergence,
+            compacted: stats.compacted,
+        });
+    }
+    Ok(ReplayReport {
+        base_prepare,
+        base_pagerank,
+        batches: reports,
+        scores,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcpm_graph::gen::{rmat, RmatConfig};
+
+    #[test]
+    fn update_file_round_trips() {
+        let batches = vec![
+            UpdateBatch::from_parts(vec![(0, 1), (2, 3)], vec![(4, 5)]),
+            UpdateBatch::from_parts(vec![], vec![(1, 0)]),
+        ];
+        let mut buf = Vec::new();
+        write_updates(&mut buf, &batches).unwrap();
+        let back = read_updates(&buf[..], 6).unwrap();
+        assert_eq!(back, batches);
+    }
+
+    #[test]
+    fn read_rejects_malformed_lines() {
+        assert!(matches!(
+            read_updates("~ 1 2\n".as_bytes(), 10),
+            Err(StreamError::Parse { line: 1, .. })
+        ));
+        assert!(read_updates("+ 1\n".as_bytes(), 10).is_err());
+        assert!(read_updates("+ 1 99\n".as_bytes(), 10).is_err());
+        // Comments, blanks and a trailing unterminated batch are fine.
+        let b = read_updates("# hi\n\n+ 1 2\n".as_bytes(), 10).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].inserts(), &[(1, 2)]);
+    }
+
+    #[test]
+    fn generated_updates_are_seeded_and_effective() {
+        let g = rmat(&RmatConfig::graph500(7, 6, 9)).unwrap();
+        let cfg = UpdateGenConfig {
+            batches: 4,
+            batch_size: 30,
+            delete_frac: 0.4,
+            locality: None,
+            seed: 7,
+        };
+        let a = gen_updates(&g, &cfg).unwrap();
+        let b = gen_updates(&g, &cfg).unwrap();
+        assert_eq!(a, b, "same seed, same stream");
+        assert_ne!(
+            a,
+            gen_updates(&g, &UpdateGenConfig { seed: 8, ..cfg }).unwrap()
+        );
+        // Every op must be effective when replayed in order.
+        let mut dg = DeltaGraph::new(Arc::new(g), 16).unwrap();
+        for batch in &a {
+            let stats = dg.apply(batch).unwrap();
+            assert_eq!(stats.ignored, 0, "generator promised effective ops");
+            assert_eq!(stats.applied.len(), batch.len());
+        }
+    }
+
+    #[test]
+    fn locality_restricts_touched_partitions() {
+        let g = rmat(&RmatConfig::graph500(9, 8, 3)).unwrap();
+        let q = 32;
+        let cfg = UpdateGenConfig {
+            batches: 5,
+            batch_size: 40,
+            delete_frac: 0.25,
+            locality: Some(Locality {
+                partition_nodes: q,
+                partitions_per_batch: 2,
+            }),
+            seed: 11,
+        };
+        for batch in gen_updates(&g, &cfg).unwrap() {
+            assert!(batch.touched_src_partitions(q).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn repair_beats_full_prepare_on_sparse_batches() {
+        // The acceptance bar: a batch touching <5% of partitions must
+        // repair bins measurably faster than a full `prepare`.
+        use pcpm_core::algebra::PlusF32;
+        let base = Arc::new(rmat(&RmatConfig::graph500(13, 8, 9)).unwrap());
+        let cfg = PcpmConfig::default().with_partition_bytes(128 * 4); // 64 partitions
+        let gen = UpdateGenConfig {
+            batches: 1,
+            batch_size: 100,
+            delete_frac: 0.3,
+            locality: Some(Locality {
+                partition_nodes: cfg.partition_nodes(),
+                partitions_per_batch: 2,
+            }),
+            seed: 4,
+        };
+        let batch = gen_updates(&base, &gen).unwrap().remove(0);
+        let mut dg = DeltaGraph::new(Arc::clone(&base), cfg.partition_nodes()).unwrap();
+        let stats = dg.apply(&batch).unwrap();
+        assert!(
+            (stats.touched_partitions.len() as f64) < 0.05 * 64.0,
+            "batch must touch <5% of the 64 partitions, got {}",
+            stats.touched_partitions.len()
+        );
+        let snap = dg.snapshot();
+        let mut engine = Engine::<PlusF32>::builder_shared(&base)
+            .config(cfg)
+            .build()
+            .unwrap();
+        // Min-of-3 on both sides de-noises scheduler jitter; the repair
+        // does strictly less work (2 of 64 partitions + block copies).
+        let mut repair = Duration::MAX;
+        let mut prepare = Duration::MAX;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let outcome = engine.update(&snap, None, &stats.applied).unwrap();
+            repair = repair.min(t0.elapsed());
+            assert!(matches!(outcome, UpdateOutcome::Repaired(_)));
+            let t0 = Instant::now();
+            let fresh = Engine::<PlusF32>::builder_shared(&snap)
+                .config(cfg)
+                .build()
+                .unwrap();
+            prepare = prepare.min(t0.elapsed());
+            drop(fresh);
+        }
+        assert!(
+            repair < prepare,
+            "incremental repair ({repair:?}) must beat full prepare ({prepare:?})"
+        );
+    }
+
+    #[test]
+    fn replay_keeps_ranks_fresh_and_repair_beats_rebuild() {
+        let base = Arc::new(rmat(&RmatConfig::graph500(9, 8, 23)).unwrap());
+        let gen = UpdateGenConfig {
+            batches: 3,
+            batch_size: 25,
+            delete_frac: 0.3,
+            locality: Some(Locality {
+                partition_nodes: 64,
+                partitions_per_batch: 1,
+            }),
+            seed: 5,
+        };
+        let batches = gen_updates(&base, &gen).unwrap();
+        let rc = ReplayConfig {
+            cfg: PcpmConfig::default()
+                .with_partition_bytes(64 * 4)
+                .with_iterations(500)
+                .with_tolerance(1e-9),
+            verify: true,
+            ..ReplayConfig::default()
+        };
+        let report = replay(Arc::clone(&base), &batches, &rc).unwrap();
+        assert_eq!(report.batches.len(), 3);
+        for b in &report.batches {
+            assert!(matches!(b.outcome, UpdateOutcome::Repaired(_)));
+            assert!(b.touched_partitions <= 2, "locality held");
+            assert!(
+                b.divergence.unwrap() < 1e-6,
+                "incremental diverged: {:?}",
+                b.divergence
+            );
+        }
+    }
+}

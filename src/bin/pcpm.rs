@@ -1,30 +1,45 @@
 //! `pcpm` — command-line graph analytics on the partition-centric engine.
 //!
 //! ```text
-//! pcpm stats      <graph>                 structural summary
-//! pcpm pagerank   <graph> [--top K]       PageRank (weighted when .mtx has values)
-//! pcpm components <graph>                 connected components
-//! pcpm bfs        <graph> --source V      BFS levels
-//! pcpm sssp       <graph> --source V      shortest paths (needs weighted .mtx)
-//! pcpm convert    <graph> --out FILE      any input -> binary format
+//! pcpm stats       <graph>                 structural summary
+//! pcpm pagerank    <graph> [--top K]       PageRank (weighted when .mtx has values)
+//! pcpm components  <graph>                 connected components
+//! pcpm bfs         <graph> --source V      BFS levels
+//! pcpm sssp        <graph> --source V      shortest paths (needs weighted .mtx)
+//! pcpm convert     <graph> --out FILE      any input -> binary format
+//! pcpm gen         <out>   --kind rmat|er  seeded synthetic graph -> binary file
+//! pcpm gen-updates <graph> --out FILE      seeded edge-update stream for `stream`
+//! pcpm stream      <graph> --updates FILE  replay updates: incremental bin repair
+//!                                          + delta-PageRank vs full rebuild
 //!
 //! common flags: --binary (pcpm binary input) | --mtx (Matrix Market input)
 //!               --iters N --damping D --tolerance T --partition-bytes B
 //!               --top K (print only the K best rows)
 //!               --backend pcpm|pull|push|edge-centric (dataplane to run on)
+//!               --seed S (every generator path is reproducible run-to-run)
+//!
+//! gen flags:         --kind rmat|er --scale S --edge-factor F (rmat)
+//!                    --nodes N --edges M (er)
+//! gen-updates flags: --batches B --batch-size K --delete-frac F
+//!                    --update-locality P (restrict each batch to P source
+//!                    partitions of --partition-bytes/4 nodes)
+//! stream flags:      --updates FILE --compaction-threshold F --verify
+//!                    (check incremental ranks against a cold run per batch)
 //! ```
 //!
 //! Text inputs are SNAP-style whitespace edge lists with `#` comments.
 
 use pcpm::prelude::*;
+use pcpm::stream::{read_updates, write_updates, Locality};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Options {
     command: String,
     path: String,
     binary: bool,
     mtx: bool,
-    iters: usize,
+    iters: Option<usize>,
     damping: f64,
     tolerance: Option<f64>,
     partition_bytes: usize,
@@ -32,6 +47,19 @@ struct Options {
     source: u32,
     out: Option<String>,
     backend: BackendKind,
+    seed: u64,
+    kind: String,
+    scale: u32,
+    edge_factor: u32,
+    nodes: u32,
+    edges: u64,
+    updates: Option<String>,
+    batches: usize,
+    batch_size: usize,
+    delete_frac: f64,
+    update_locality: Option<u32>,
+    compaction_threshold: f64,
+    verify: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -42,7 +70,7 @@ fn parse_args() -> Result<Options, String> {
         path: String::new(),
         binary: false,
         mtx: false,
-        iters: 20,
+        iters: None,
         damping: 0.85,
         tolerance: None,
         partition_bytes: 256 * 1024,
@@ -50,6 +78,19 @@ fn parse_args() -> Result<Options, String> {
         source: 0,
         out: None,
         backend: BackendKind::Pcpm,
+        seed: 42,
+        kind: "rmat".to_string(),
+        scale: 10,
+        edge_factor: 8,
+        nodes: 1024,
+        edges: 8192,
+        updates: None,
+        batches: 10,
+        batch_size: 100,
+        delete_frac: 0.3,
+        update_locality: None,
+        compaction_threshold: pcpm::stream::DEFAULT_COMPACTION_THRESHOLD,
+        verify: false,
     };
     let mut positional = Vec::new();
     let mut rest: Vec<String> = args.collect();
@@ -65,9 +106,11 @@ fn parse_args() -> Result<Options, String> {
             "--binary" => opts.binary = true,
             "--mtx" => opts.mtx = true,
             "--iters" => {
-                opts.iters = take_value(&mut rest, &mut i)?
-                    .parse()
-                    .map_err(|e| format!("{e}"))?
+                opts.iters = Some(
+                    take_value(&mut rest, &mut i)?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
             }
             "--damping" => {
                 opts.damping = take_value(&mut rest, &mut i)?
@@ -97,6 +140,61 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("{e}"))?
             }
             "--out" => opts.out = Some(take_value(&mut rest, &mut i)?),
+            "--seed" => {
+                opts.seed = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--kind" => opts.kind = take_value(&mut rest, &mut i)?,
+            "--scale" => {
+                opts.scale = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--edge-factor" => {
+                opts.edge_factor = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--nodes" => {
+                opts.nodes = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--edges" => {
+                opts.edges = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--updates" => opts.updates = Some(take_value(&mut rest, &mut i)?),
+            "--batches" => {
+                opts.batches = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--batch-size" => {
+                opts.batch_size = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--delete-frac" => {
+                opts.delete_frac = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--update-locality" => {
+                opts.update_locality = Some(
+                    take_value(&mut rest, &mut i)?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--compaction-threshold" => {
+                opts.compaction_threshold = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--verify" => opts.verify = true,
             "--backend" => {
                 opts.backend = match take_value(&mut rest, &mut i)?.as_str() {
                     "pcpm" => BackendKind::Pcpm,
@@ -136,16 +234,168 @@ fn load(opts: &Options) -> Result<(Csr, Option<EdgeWeights>), String> {
 fn config(opts: &Options) -> PcpmConfig {
     let mut cfg = PcpmConfig::default()
         .with_partition_bytes(opts.partition_bytes)
-        .with_iterations(opts.iters);
+        .with_iterations(opts.iters.unwrap_or(20));
     cfg.damping = opts.damping;
     cfg.tolerance = opts.tolerance;
     cfg
 }
 
+/// `pcpm gen`: seeded synthetic graph written in the binary format.
+fn run_gen(opts: &Options) -> Result<(), String> {
+    let graph = match opts.kind.as_str() {
+        "rmat" => pcpm::graph::gen::rmat(&RmatConfig::graph500(
+            opts.scale,
+            opts.edge_factor,
+            opts.seed,
+        ))
+        .map_err(|e| e.to_string())?,
+        "er" => pcpm::graph::gen::erdos_renyi(opts.nodes, opts.edges, opts.seed)
+            .map_err(|e| e.to_string())?,
+        other => {
+            return Err(format!(
+                "unknown generator kind '{other}' (expected rmat|er)"
+            ))
+        }
+    };
+    pcpm::graph::io::save_binary(&graph, &opts.path).map_err(|e| e.to_string())?;
+    eprintln!(
+        "# wrote {} ({} nodes, {} edges, seed {})",
+        opts.path,
+        graph.num_nodes(),
+        graph.num_edges(),
+        opts.seed
+    );
+    Ok(())
+}
+
+/// `pcpm gen-updates`: seeded update stream against a base graph.
+fn run_gen_updates(opts: &Options, graph: &Csr, cfg: &PcpmConfig) -> Result<(), String> {
+    let out = opts.out.as_deref().ok_or("gen-updates needs --out FILE")?;
+    let gen_cfg = UpdateGenConfig {
+        batches: opts.batches,
+        batch_size: opts.batch_size,
+        delete_frac: opts.delete_frac,
+        locality: opts.update_locality.map(|p| Locality {
+            partition_nodes: cfg.partition_nodes(),
+            partitions_per_batch: p,
+        }),
+        seed: opts.seed,
+    };
+    let batches = gen_updates(graph, &gen_cfg).map_err(|e| e.to_string())?;
+    let file = std::fs::File::create(out).map_err(|e| e.to_string())?;
+    write_updates(std::io::BufWriter::new(file), &batches).map_err(|e| e.to_string())?;
+    let ops: usize = batches.iter().map(|b| b.len()).sum();
+    eprintln!(
+        "# wrote {out}: {} batches, {ops} ops, seed {}",
+        batches.len(),
+        opts.seed
+    );
+    Ok(())
+}
+
+/// `pcpm stream`: replay an update file, reporting per-batch repair
+/// time against the full rebuild it replaced.
+fn run_stream(opts: &Options, graph: Csr, cfg: &PcpmConfig) -> Result<(), String> {
+    let path = opts
+        .updates
+        .as_deref()
+        .ok_or("stream needs --updates FILE")?;
+    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    let batches = read_updates(file, graph.num_nodes()).map_err(|e| e.to_string())?;
+    // The PageRank phases run to convergence: default to a tolerance
+    // and a generous iteration cap, but honour an explicit --iters.
+    let mut cfg = *cfg;
+    cfg.iterations = opts.iters.unwrap_or(500);
+    cfg.tolerance = Some(cfg.tolerance.unwrap_or(1e-9));
+    let rc = ReplayConfig {
+        cfg,
+        backend: opts.backend,
+        compaction_threshold: opts.compaction_threshold,
+        verify: opts.verify,
+    };
+    let base = Arc::new(graph);
+    let report = replay(Arc::clone(&base), &batches, &rc).map_err(|e| e.to_string())?;
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    eprintln!(
+        "# base: {} nodes, {} edges, {} partitions of {} nodes ({})",
+        base.num_nodes(),
+        base.num_edges(),
+        report.batches.first().map_or(0, |b| b.total_partitions),
+        cfg.partition_nodes(),
+        opts.backend.name(),
+    );
+    eprintln!(
+        "# base prepare {:.0}us, base pagerank {:.0}us",
+        us(report.base_prepare),
+        us(report.base_pagerank)
+    );
+    println!("batch\tops\ttouched\trepair_us\trebuild_us\tspeedup\tmode\tpr_us\tpushes\tmax_div");
+    for (i, b) in report.batches.iter().enumerate() {
+        let mode = match b.outcome {
+            UpdateOutcome::Repaired(_) => "repair",
+            UpdateOutcome::Rebuilt => "rebuild",
+        };
+        let speedup = us(b.full_prepare) / us(b.repair).max(1e-9);
+        println!(
+            "{i}\t{}\t{}/{}\t{:.0}\t{:.0}\t{:.1}x\t{}{}\t{:.0}\t{}\t{}",
+            b.ops,
+            b.touched_partitions,
+            b.total_partitions,
+            us(b.repair),
+            us(b.full_prepare),
+            speedup,
+            mode,
+            if b.compacted { "+compact" } else { "" },
+            us(b.incremental_pr),
+            b.pushes,
+            b.divergence.map_or("-".to_string(), |d| format!("{d:.2e}")),
+        );
+    }
+    let total_repair = us(report.total_repair());
+    let total_rebuild = us(report.total_full_prepare());
+    eprintln!(
+        "# totals: repair {:.0}us vs rebuild {:.0}us ({:.1}x)",
+        total_repair,
+        total_rebuild,
+        total_rebuild / total_repair.max(1e-9)
+    );
+    if opts.verify {
+        let max = report
+            .batches
+            .iter()
+            .filter_map(|b| b.divergence)
+            .fold(0.0f64, f64::max);
+        eprintln!("# verify: max |incremental - cold| = {max:.2e}");
+        if max > 1e-6 {
+            return Err(format!(
+                "incremental PageRank diverged from cold start: {max:.2e} > 1e-6"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let opts = parse_args()?;
+    if opts.command == "gen" {
+        // The positional path is the *output*; nothing to load.
+        return run_gen(&opts);
+    }
     let (graph, weights) = load(&opts)?;
     let cfg = config(&opts);
+    if opts.command == "gen-updates" {
+        return run_gen_updates(&opts, &graph, &cfg);
+    }
+    if opts.command == "stream" {
+        if weights.is_some() {
+            // The streaming layer models structural change only; silently
+            // dropping the weights would misreport the workload.
+            return Err("stream replays unweighted graphs; use an unweighted input \
+                 (weights in the .mtx would be ignored)"
+                .into());
+        }
+        return run_stream(&opts, graph, &cfg);
+    }
     match opts.command.as_str() {
         "stats" => {
             let s = pcpm::graph::stats::stats(&graph);
@@ -242,7 +492,9 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("pcpm: {e}");
-            eprintln!("usage: pcpm <stats|pagerank|components|bfs|sssp|convert> <graph> [flags]");
+            eprintln!(
+                "usage: pcpm <stats|pagerank|components|bfs|sssp|convert|gen|gen-updates|stream> <graph> [flags]"
+            );
             ExitCode::from(2)
         }
     }

@@ -10,6 +10,10 @@
 //!   execution API (`pcpm-core`);
 //! - [`algos`] — PageRank variants, BFS, SSSP, components, Katz, HITS —
 //!   all running on any backend (`pcpm-algos`);
+//! - [`stream`] — the streaming layer: batched edge updates, the
+//!   [`DeltaGraph`](stream::DeltaGraph) overlay, incremental bin repair
+//!   via [`Engine::update`](core::Engine::update) and delta-PageRank
+//!   replay (`pcpm-stream`);
 //! - [`baselines`] — PDPR (pull), push, BVGAS, edge-centric and grid
 //!   kernels, each also pluggable as a backend (`pcpm-baselines`);
 //! - [`memsim`] — the cache simulator, traffic replays and analytical
@@ -77,13 +81,14 @@ pub use pcpm_baselines as baselines;
 pub use pcpm_core as core;
 pub use pcpm_graph as graph;
 pub use pcpm_memsim as memsim;
+pub use pcpm_stream as stream;
 
 /// Commonly used items for `use pcpm::prelude::*`.
 pub mod prelude {
     pub use pcpm_algos::{
         bfs_levels, bfs_levels_on, connected_components, connected_components_on,
-        personalized_pagerank, personalized_pagerank_on, propagation_engine, run_to_fixpoint, sssp,
-        sssp_on, weighted_pagerank, weighted_pagerank_on,
+        incremental_pagerank, personalized_pagerank, personalized_pagerank_on, propagation_engine,
+        run_to_fixpoint, sssp, sssp_on, weighted_pagerank, weighted_pagerank_on,
     };
     pub use pcpm_baselines::{bvgas, pdpr, push_pagerank, serial_pagerank};
     pub use pcpm_core::pagerank::{pagerank, pagerank_on, pagerank_with_variant};
@@ -92,8 +97,12 @@ pub mod prelude {
         Backend, BackendKind, Engine, EngineBuilder, ExecutionReport, GatherKind, Partitioner,
         PcpmConfig, Png, PrResult, ScatterKind,
     };
+    pub use pcpm_core::{EdgeOp, EdgeUpdate, RepairStats, UpdateBatch, UpdateOutcome};
     pub use pcpm_graph::gen::{RmatConfig, WebConfig};
     pub use pcpm_graph::{Csr, EdgeWeights, GraphBuilder};
+    pub use pcpm_stream::{
+        gen_updates, replay, DeltaGraph, ReplayConfig, UpdateGenConfig, UpdateLog,
+    };
 
     // Pre-redesign entry points, kept one release for migration.
     #[allow(deprecated)]
