@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn atomic_add_is_race_free_under_contention() {
         let cell = AtomicU32::new(0.0f32.to_bits());
-        (0..10_000)
+        (0..10_000u32)
             .into_par_iter()
             .for_each(|_| atomic_add_f32(&cell, 1.0));
         assert_eq!(f32::from_bits(cell.load(Ordering::Relaxed)), 10_000.0);

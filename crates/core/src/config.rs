@@ -39,7 +39,12 @@ pub struct PcpmConfig {
     /// Use 16-bit partition-local destination IDs (paper §6 / G-Store
     /// future work). Requires `partition_nodes() <= 2^15`.
     pub compact_bins: bool,
-    /// Thread count; `None` uses the global rayon default.
+    /// Thread count for the engine-owned worker pool (prepare, every
+    /// step and incremental repair run on it); `None` uses the ambient
+    /// global pool. Engine backends produce bit-identical results for
+    /// any value (see the rayon shim's determinism contract); the one
+    /// exception is the atomic-accumulation `push_pagerank` baseline
+    /// driver in `pcpm-baselines`.
     pub threads: Option<usize>,
 }
 

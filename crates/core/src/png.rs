@@ -153,9 +153,7 @@ impl Png {
     /// Runs the merged compression + transposition of §3.3 in parallel
     /// over source partitions.
     pub fn build(view: EdgeView<'_>, src_parts: Partitioner, dst_parts: Partitioner) -> Self {
-        let parts: Vec<BipartitePart> = src_parts
-            .iter()
-            .collect::<Vec<_>>()
+        let parts: Vec<BipartitePart> = (0..src_parts.num_partitions())
             .into_par_iter()
             .map(|s| build_part(view, &src_parts, &dst_parts, s))
             .collect();

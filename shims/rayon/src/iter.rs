@@ -1,0 +1,584 @@
+//! Parallel iterators: indexed producers over slices, `Vec`s and ranges,
+//! the combinators the workspace uses (`map` / `zip` / `enumerate` /
+//! `filter`), and chunk-deterministic terminal operations.
+//!
+//! # Determinism contract
+//!
+//! Every terminal op decomposes `0..len` into chunks whose boundaries
+//! depend only on `len` ([`crate::pool::chunk_size_for`]), drives each
+//! chunk sequentially in ascending index order, and combines per-chunk
+//! results (`sum` partials, `collect` segments) in chunk order. Which
+//! thread runs a chunk is scheduler-dependent; the observable result is
+//! not. In particular `sum::<f64>()` rounds identically on 1 and N
+//! threads — the property the workspace's determinism suite asserts.
+
+use crate::pool;
+use std::cell::UnsafeCell;
+use std::iter::Sum;
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::ops::Range;
+
+/// A splittable data-parallel source with a known length.
+///
+/// `pi_len` / `pi_drive` are the shim's internal driving surface (the
+/// `pi_` prefix keeps them clear of inherent methods on user types);
+/// user code only touches the provided combinators, which mirror rayon.
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// Element type.
+    type Item: Send;
+
+    /// Total number of underlying index slots.
+    fn pi_len(&self) -> usize;
+
+    /// Feeds the items of `range` to `sink`, in ascending index order.
+    ///
+    /// # Safety
+    ///
+    /// Ranges passed across all concurrent calls must be disjoint:
+    /// by-value and by-`&mut` producers hand out exclusive access per
+    /// index slot.
+    unsafe fn pi_drive<F: FnMut(Self::Item)>(&self, range: Range<usize>, sink: &mut F);
+
+    /// Maps each item through `f` (rayon: `ParallelIterator::map`).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keeps items for which `pred` holds. The result is unindexed: it
+    /// supports `map` / `for_each` / `sum` / `collect`, not `zip` or
+    /// `enumerate` (same restriction as rayon).
+    fn filter<P>(self, pred: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, pred }
+    }
+
+    /// Consumes every item in parallel.
+    fn for_each<OP>(self, op: OP)
+    where
+        OP: Fn(Self::Item) + Sync + Send,
+    {
+        let len = self.pi_len();
+        pool::run_job(len, &|range: Range<usize>| {
+            // SAFETY: the pool hands out disjoint ranges.
+            unsafe { self.pi_drive(range, &mut |item| op(item)) };
+        });
+    }
+
+    /// Sums the items. Per-chunk partials accumulate left to right and
+    /// combine in chunk order, so the result is bit-stable for floats.
+    fn sum<S>(self) -> S
+    where
+        S: Send + Sum<Self::Item> + Sum<S>,
+    {
+        let parts = pool::run_job_collect(self.pi_len(), |range: Range<usize>| {
+            let mut acc: Option<S> = None;
+            // SAFETY: disjoint ranges from the pool.
+            unsafe {
+                self.pi_drive(range, &mut |item| {
+                    let v: S = std::iter::once(item).sum();
+                    acc = Some(match acc.take() {
+                        None => v,
+                        Some(a) => [a, v].into_iter().sum(),
+                    });
+                });
+            }
+            acc
+        });
+        parts.into_iter().flatten().sum()
+    }
+
+    /// Collects into `C`, preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// A [`ParallelIterator`] with O(1) random access — the producers `zip`
+/// and `enumerate` are defined on.
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// Produces the item at `i`.
+    ///
+    /// # Safety
+    ///
+    /// Each index may be consumed at most once across all calls
+    /// (by-value and by-`&mut` producers hand out owned / exclusive
+    /// access).
+    unsafe fn pi_get(&self, i: usize) -> Self::Item;
+
+    /// Pairs each item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Iterates two equal-shape sources in lockstep. Like rayon, the
+    /// result is truncated to the shorter side (for by-value producers
+    /// the longer side's tail is simply never consumed).
+    fn zip<Z>(self, other: Z) -> Zip<Self, Z::Iter>
+    where
+        Z: IntoParallelIterator,
+        Z::Iter: IndexedParallelIterator,
+    {
+        Zip {
+            a: self,
+            b: other.into_par_iter(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator (rayon's entry-point trait).
+pub trait IntoParallelIterator {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` — borrowing conversion.
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type (a shared reference).
+    type Item: Send + 'a;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// `par_iter_mut()` — mutably borrowing conversion.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type (an exclusive reference).
+    type Item: Send + 'a;
+    /// Mutably borrows `self` as a parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+/// Types collectable from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds `Self`, preserving index order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par_iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par_iter: P) -> Self {
+        let len = par_iter.pi_len();
+        let mut chunks = pool::run_job_collect(len, |range: Range<usize>| {
+            let mut seg = Vec::with_capacity(range.len());
+            // SAFETY: disjoint ranges from the pool.
+            unsafe { par_iter.pi_drive(range, &mut |item| seg.push(item)) };
+            seg
+        });
+        let mut out = Vec::with_capacity(len);
+        for seg in &mut chunks {
+            out.append(seg);
+        }
+        out
+    }
+}
+
+// --- producers -------------------------------------------------------------
+
+/// Shared-slice producer (`par_iter`).
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync + Send> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    unsafe fn pi_drive<F: FnMut(Self::Item)>(&self, range: Range<usize>, sink: &mut F) {
+        for item in &self.slice[range] {
+            sink(item);
+        }
+    }
+}
+
+impl<'a, T: Sync + Send> IndexedParallelIterator for SliceParIter<'a, T> {
+    unsafe fn pi_get(&self, i: usize) -> Self::Item {
+        &self.slice[i]
+    }
+}
+
+/// Exclusive-slice producer (`par_iter_mut`). Holds a raw pointer so
+/// disjoint subranges can be driven from different workers.
+pub struct SliceParIterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut T>,
+}
+
+// SAFETY: every index slot is handed out at most once (the pool's
+// disjoint-range contract), so no two threads alias the same element.
+unsafe impl<T: Send> Send for SliceParIterMut<'_, T> {}
+unsafe impl<T: Send> Sync for SliceParIterMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for SliceParIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn pi_drive<F: FnMut(Self::Item)>(&self, range: Range<usize>, sink: &mut F) {
+        for i in range {
+            sink(self.pi_get(i));
+        }
+    }
+}
+
+impl<'a, T: Send> IndexedParallelIterator for SliceParIterMut<'a, T> {
+    unsafe fn pi_get(&self, i: usize) -> Self::Item {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// By-value `Vec` producer (`into_par_iter`). Elements are moved out at
+/// most once; the backing allocation is freed on drop without dropping
+/// moved-out elements. Elements that are never consumed — a job
+/// poisoned by a panic, a `zip` with a shorter side truncating the
+/// tail, or an iterator dropped without running a terminal op — leak
+/// rather than risk a double drop. Every call site in this workspace
+/// consumes fully and holds no-`Drop` element types, so nothing leaks
+/// in practice.
+pub struct VecParIter<T> {
+    data: Vec<UnsafeCell<ManuallyDrop<T>>>,
+}
+
+// SAFETY: each element is moved out at most once under the pool's
+// disjoint-range contract; the Vec itself is never reallocated.
+unsafe impl<T: Send> Send for VecParIter<T> {}
+unsafe impl<T: Send> Sync for VecParIter<T> {}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn pi_len(&self) -> usize {
+        self.data.len()
+    }
+
+    unsafe fn pi_drive<F: FnMut(Self::Item)>(&self, range: Range<usize>, sink: &mut F) {
+        for i in range {
+            sink(self.pi_get(i));
+        }
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for VecParIter<T> {
+    unsafe fn pi_get(&self, i: usize) -> T {
+        ManuallyDrop::take(&mut *self.data[i].get())
+    }
+}
+
+/// Numeric-range producer (`(a..b).into_par_iter()`).
+pub struct RangeParIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_par_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeParIter<$t> {
+            type Item = $t;
+
+            fn pi_len(&self) -> usize {
+                self.len
+            }
+
+            unsafe fn pi_drive<F: FnMut(Self::Item)>(&self, range: Range<usize>, sink: &mut F) {
+                for i in range {
+                    sink(self.pi_get(i));
+                }
+            }
+        }
+
+        impl IndexedParallelIterator for RangeParIter<$t> {
+            unsafe fn pi_get(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = RangeParIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> RangeParIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeParIter {
+                    start: self.start,
+                    len,
+                }
+            }
+        }
+    )*};
+}
+
+range_par_iter!(u32, u64, usize, i32, i64);
+
+// --- conversions -----------------------------------------------------------
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecParIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        let mut v = ManuallyDrop::new(self);
+        let (ptr, len, cap) = (v.as_mut_ptr(), v.len(), v.capacity());
+        // SAFETY: UnsafeCell<ManuallyDrop<T>> is layout-identical to T.
+        let data =
+            unsafe { Vec::from_raw_parts(ptr as *mut UnsafeCell<ManuallyDrop<T>>, len, cap) };
+        VecParIter { data }
+    }
+}
+
+impl<'a, T: Sync + Send> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceParIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + Send> IntoParallelIterator for &'a [T] {
+    type Iter = SliceParIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = SliceParIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> SliceParIterMut<'a, T> {
+        self.as_mut_slice().into_par_iter()
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Iter = SliceParIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> SliceParIterMut<'a, T> {
+        SliceParIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceParIter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceParIter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = SliceParIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> SliceParIterMut<'a, T> {
+        SliceParIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = SliceParIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> SliceParIterMut<'a, T> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+// --- combinators -----------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    unsafe fn pi_drive<G: FnMut(R)>(&self, range: Range<usize>, sink: &mut G) {
+        self.base.pi_drive(range, &mut |item| sink((self.f)(item)));
+    }
+}
+
+impl<P, F, R> IndexedParallelIterator for Map<P, F>
+where
+    P: IndexedParallelIterator,
+    F: Fn(P::Item) -> R + Sync + Send,
+    R: Send,
+{
+    unsafe fn pi_get(&self, i: usize) -> R {
+        (self.f)(self.base.pi_get(i))
+    }
+}
+
+/// See [`IndexedParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P: IndexedParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    unsafe fn pi_drive<F: FnMut(Self::Item)>(&self, range: Range<usize>, sink: &mut F) {
+        for i in range {
+            sink((i, self.base.pi_get(i)));
+        }
+    }
+}
+
+impl<P: IndexedParallelIterator> IndexedParallelIterator for Enumerate<P> {
+    unsafe fn pi_get(&self, i: usize) -> Self::Item {
+        (i, self.base.pi_get(i))
+    }
+}
+
+/// See [`IndexedParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    unsafe fn pi_drive<F: FnMut(Self::Item)>(&self, range: Range<usize>, sink: &mut F) {
+        for i in range {
+            sink((self.a.pi_get(i), self.b.pi_get(i)));
+        }
+    }
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    unsafe fn pi_get(&self, i: usize) -> Self::Item {
+        (self.a.pi_get(i), self.b.pi_get(i))
+    }
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<P, Pr> {
+    base: P,
+    pred: Pr,
+}
+
+impl<P, Pr> ParallelIterator for Filter<P, Pr>
+where
+    P: ParallelIterator,
+    Pr: Fn(&P::Item) -> bool + Sync + Send,
+{
+    type Item = P::Item;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    unsafe fn pi_drive<F: FnMut(Self::Item)>(&self, range: Range<usize>, sink: &mut F) {
+        self.base.pi_drive(range, &mut |item| {
+            if (self.pred)(&item) {
+                sink(item);
+            }
+        });
+    }
+}
+
+// --- parallel sorting ------------------------------------------------------
+
+/// Parallel sorting on mutable slices (`par_sort*`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel unstable sort (chunk sorts + deterministic merges).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+
+    /// Parallel stable sort.
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        crate::sort::par_merge_sort(self, false);
+    }
+
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        crate::sort::par_merge_sort(self, true);
+    }
+}

@@ -1,126 +1,118 @@
-//! Serial stand-in for the subset of [rayon](https://docs.rs/rayon) this
-//! workspace uses.
+//! Offline stand-in for the subset of [rayon](https://docs.rs/rayon)
+//! this workspace uses — backed by a real `std::thread` work-sharing
+//! pool since PR 3 (the build environment has no crates.io access, so
+//! upstream rayon cannot be a dependency; swapping it back in remains a
+//! one-line change in the root `Cargo.toml` and requires no source
+//! edits).
 //!
-//! The build environment has no access to crates.io, so this shim keeps
-//! the workspace compiling with the exact `rayon::prelude::*` call sites
-//! intact: `par_iter` / `par_iter_mut` / `into_par_iter` return ordinary
-//! sequential iterators, and [`ThreadPoolBuilder`] runs closures inline.
-//! Every kernel in the workspace was written so that its parallel
-//! decomposition is deterministic (exclusive output slices per worker),
-//! which means the serial execution produces bit-identical results —
-//! swapping the real rayon back in is a one-line change in the root
-//! `Cargo.toml` and requires no source edits.
+//! # What is real
+//!
+//! - [`ThreadPool`] spawns persistent named workers
+//!   (`ThreadPoolBuilder::num_threads(n)`, `0` = available
+//!   parallelism / `RAYON_NUM_THREADS`); dropping the pool shuts the
+//!   workers down and joins them.
+//! - `par_iter` / `par_iter_mut` / `into_par_iter` over slices, `Vec`s
+//!   and integer ranges — the only call-site shapes in the workspace —
+//!   run chunked across the pool, as do [`join`] and
+//!   `par_sort`/`par_sort_unstable`.
+//!
+//! # Determinism
+//!
+//! Every parallel op splits `0..len` into chunks whose boundaries are a
+//! pure function of `len` (never of the thread count), drives chunks
+//! sequentially in ascending index order, and combines per-chunk
+//! results in chunk order. Floating-point reductions therefore round
+//! identically on 1 and N threads, and kernels that write disjoint
+//! output slices are bit-identical by construction — the property the
+//! workspace's `parallel_determinism` suite asserts for every backend.
+//!
+//! # Divergences from upstream rayon
+//!
+//! - [`ThreadPool::install`] runs the closure on the *calling* thread
+//!   (upstream moves it to a worker); parallel ops inside still
+//!   dispatch to the installed pool, so engine semantics are identical.
+//! - No work stealing: one job is in flight per pool at a time, and
+//!   nested parallel ops (including nested [`join`]) run inline on the
+//!   thread that issued them — deadlock-free by construction.
+//! - A 1-thread pool executes inline on the caller instead of paying a
+//!   cross-thread handoff; the chunk decomposition is unchanged.
 
-/// Sequential drop-in for `rayon::prelude`.
+mod iter;
+mod pool;
+mod sort;
+
+/// The parallel-iterator traits, mirroring `rayon::prelude`.
 pub mod prelude {
-    /// `into_par_iter()` on any owned collection: sequential `into_iter`.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Returns the (sequential) iterator.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
-
-    /// `par_iter()` on any collection whose reference iterates.
-    pub trait IntoParallelRefIterator<'a> {
-        /// The iterator type.
-        type Iter: Iterator;
-        /// Returns the (sequential) shared-reference iterator.
-        fn par_iter(&'a self) -> Self::Iter;
-    }
-
-    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
-    where
-        &'a C: IntoIterator,
-    {
-        type Iter = <&'a C as IntoIterator>::IntoIter;
-
-        fn par_iter(&'a self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `par_iter_mut()` on any collection whose mutable reference iterates.
-    pub trait IntoParallelRefMutIterator<'a> {
-        /// The iterator type.
-        type Iter: Iterator;
-        /// Returns the (sequential) mutable-reference iterator.
-        fn par_iter_mut(&'a mut self) -> Self::Iter;
-    }
-
-    impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
-    where
-        &'a mut C: IntoIterator,
-    {
-        type Iter = <&'a mut C as IntoIterator>::IntoIter;
-
-        fn par_iter_mut(&'a mut self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `par_sort_unstable()` and friends on slices.
-    pub trait ParallelSliceMut<T> {
-        /// Sequential `sort_unstable`.
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord;
-        /// Sequential `sort`.
-        fn par_sort(&mut self)
-        where
-            T: Ord;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord,
-        {
-            self.sort_unstable();
-        }
-
-        fn par_sort(&mut self)
-        where
-            T: Ord,
-        {
-            self.sort();
-        }
-    }
+    pub use crate::iter::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator,
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator, ParallelSliceMut,
+    };
 }
 
-/// Number of worker threads the "pool" runs: always 1 in the serial shim.
+pub use iter::{FromParallelIterator, IndexedParallelIterator, ParallelIterator};
+
+/// Number of threads governing parallel ops started on the current
+/// thread: the worker's own pool on pool threads, the installed pool
+/// inside [`ThreadPool::install`], otherwise the global default.
 pub fn current_num_threads() -> usize {
-    1
+    pool::current_threads()
 }
 
-/// Error type returned by [`ThreadPoolBuilder::build`] (never constructed).
+/// Runs `a` and `b`, potentially in parallel (`b` is offloaded to the
+/// ambient pool while the calling thread runs `a`). On worker threads
+/// and inside an already-running job both run inline — nested joins
+/// never deadlock.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    pool::join(a, b)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (never
+/// constructed by the shim; kept for API compatibility).
 #[derive(Debug)]
 pub struct ThreadPoolBuildError;
 
 impl std::fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "thread pool build error (unreachable in the serial shim)"
-        )
+        write!(f, "thread pool build error (unreachable in the shim)")
     }
 }
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// A "thread pool" that runs closures inline on the calling thread.
+/// A pool of persistent worker threads. Parallel ops started inside
+/// [`ThreadPool::install`] run on it; dropping the pool joins the
+/// workers.
 pub struct ThreadPool {
-    _threads: usize,
+    handle: pool::PoolHandle,
 }
 
 impl ThreadPool {
-    /// Runs `op` on the pool — inline, in the serial shim. The `Send`
-    /// bounds match the real rayon signature so code written against
-    /// the shim compiles unchanged against the real crate.
+    /// Runs `op` with this pool installed as the ambient pool for the
+    /// duration (on the calling thread — see the module docs for the
+    /// divergence from upstream). The `Send` bounds match the real
+    /// rayon signature so code written against the shim compiles
+    /// unchanged against the real crate.
     pub fn install<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
+        let _guard = pool::InstallGuard::push(self.handle.shared());
         op()
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.handle.num_workers()
+    }
+
+    /// Shim extension: worker threads this pool spawned (equals the
+    /// configured thread count). Used by the workspace's pool
+    /// instrumentation regression tests.
+    pub fn num_workers(&self) -> usize {
+        self.handle.num_workers()
     }
 }
 
@@ -136,23 +128,59 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Records the requested thread count (informational only).
+    /// Sets the worker count; `0` (the default) means available
+    /// parallelism, honoring `RAYON_NUM_THREADS`.
     pub fn num_threads(mut self, n: usize) -> Self {
         self.threads = n;
         self
     }
 
-    /// Builds the inline pool; never fails.
+    /// Spawns the workers.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.threads == 0 {
+            pool::default_threads()
+        } else {
+            self.threads
+        };
         Ok(ThreadPool {
-            _threads: self.threads,
+            handle: pool::PoolHandle::new(threads),
         })
+    }
+}
+
+/// Monotonic process-wide instrumentation counters. These only ever
+/// increase, so tests can assert deltas without coordinating with
+/// concurrently running tests.
+pub mod diagnostics {
+    use std::sync::atomic::Ordering;
+
+    /// Worker threads spawned since process start.
+    pub fn workers_spawned() -> usize {
+        crate::pool::WORKERS_SPAWNED.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads that have exited (pools joined on drop).
+    pub fn workers_exited() -> usize {
+        crate::pool::WORKERS_EXITED.load(Ordering::Relaxed)
+    }
+
+    /// Jobs dispatched to worker pools (inline runs are not counted).
+    pub fn jobs_dispatched() -> usize {
+        crate::pool::JOBS_DISPATCHED.load(Ordering::Relaxed)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn pool(n: usize) -> super::ThreadPool {
+        super::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap()
+    }
 
     #[test]
     fn par_iter_matches_iter() {
@@ -184,12 +212,20 @@ mod tests {
     }
 
     #[test]
-    fn pool_installs_inline() {
-        let pool = super::ThreadPoolBuilder::new()
-            .num_threads(4)
-            .build()
-            .unwrap();
+    fn pool_installs_and_runs_work() {
+        let pool = pool(4);
         assert_eq!(pool.install(|| 21 * 2), 42);
+        // A large enough op inside install actually crosses the pool.
+        let before = super::diagnostics::jobs_dispatched();
+        let n = 1 << 16;
+        let mut out = vec![0u64; n];
+        pool.install(|| {
+            out.par_iter_mut()
+                .enumerate()
+                .for_each(|(i, slot)| *slot = i as u64 * 3);
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+        assert!(super::diagnostics::jobs_dispatched() > before);
     }
 
     #[test]
@@ -197,5 +233,142 @@ mod tests {
         let mut v = vec![3u8, 1, 2];
         v.par_sort_unstable();
         assert_eq!(v, vec![1, 2, 3]);
+        // Large enough to exercise the parallel merge path.
+        let mut big: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(0x9e3779b9) % 7919)
+            .collect();
+        let mut want = big.clone();
+        want.sort_unstable();
+        big.par_sort_unstable();
+        assert_eq!(big, want);
+        let mut stable: Vec<(u32, u32)> = (0..50_000u32).map(|i| (i % 13, i)).collect();
+        let mut want2 = stable.clone();
+        want2.sort();
+        stable.par_sort();
+        assert_eq!(stable, want2);
+    }
+
+    #[test]
+    fn zip_filter_map_sum_matches_serial() {
+        let a: Vec<f32> = (0..10_000).map(|i| (i % 97) as f32).collect();
+        let d: Vec<u64> = (0..10_000).map(|i| (i % 3) as u64).collect();
+        let par: f64 = a
+            .par_iter()
+            .zip(&d)
+            .filter(|(_, &deg)| deg == 0)
+            .map(|(&x, _)| f64::from(x))
+            .sum();
+        let serial: f64 = a
+            .iter()
+            .zip(&d)
+            .filter(|(_, &deg)| deg == 0)
+            .map(|(&x, _)| f64::from(x))
+            .sum();
+        // Identical chunking on every path keeps this bit-exact.
+        assert_eq!(par.to_bits(), serial.to_bits());
+    }
+
+    #[test]
+    fn reductions_bit_identical_across_thread_counts() {
+        // Adversarial float magnitudes: any change in association order
+        // would change the rounding, so bit equality proves the chunk
+        // decomposition is thread-count independent.
+        let v: Vec<f64> = (0..100_000)
+            .map(|i| ((i * 2654435761u64 % 1000) as f64).powi((i % 7) as i32 - 3))
+            .collect();
+        let sums: Vec<u64> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&t| pool(t).install(|| v.par_iter().sum::<f64>().to_bits()))
+            .collect();
+        assert!(sums.windows(2).all(|w| w[0] == w[1]), "sums {sums:?}");
+    }
+
+    #[test]
+    fn panic_in_one_task_propagates_and_pool_survives() {
+        let pool = pool(4);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0u32..10_000).into_par_iter().for_each(|i| {
+                    assert!(i != 4321, "boom at {i}");
+                });
+            });
+        }));
+        let msg = r.expect_err("panic must propagate");
+        let text = msg.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(text.contains("boom at 4321"), "payload: {text}");
+        // The pool keeps serving jobs after the poisoned one.
+        let total: u64 = pool.install(|| (0u64..1000).into_par_iter().sum());
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn zero_threads_falls_back_to_available_parallelism() {
+        let pool = pool(0);
+        assert!(pool.num_workers() >= 1);
+        assert_eq!(pool.num_workers(), super::pool::default_threads());
+    }
+
+    #[test]
+    fn nested_join_does_not_deadlock() {
+        let pool = pool(2);
+        let r = pool.install(|| {
+            super::join(
+                || {
+                    let (a, b) = super::join(|| 1, || 2);
+                    a + b
+                },
+                || {
+                    let (c, d) = super::join(|| 10, || 20);
+                    c + d
+                },
+            )
+        });
+        assert_eq!(r, (3, 30));
+        // join nested inside a parallel op (worker context) is inline.
+        let s: u32 = pool.install(|| {
+            (0u32..64)
+                .into_par_iter()
+                .map(|i| super::join(|| i, || i).0)
+                .sum()
+        });
+        assert_eq!(s, 2016);
+    }
+
+    #[test]
+    fn join_panic_propagates() {
+        let pool = pool(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| super::join(|| 1, || panic!("join-b dies")))
+        }));
+        assert!(r.is_err());
+        // And the caller side too.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| super::join(|| panic!("join-a dies"), || 2))
+        }));
+        assert!(r.is_err());
+        assert_eq!(pool.install(|| super::join(|| 5, || 6)), (5, 6));
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let spawned_before = super::diagnostics::workers_spawned();
+        let exited_before = super::diagnostics::workers_exited();
+        let p = pool(3);
+        assert!(super::diagnostics::workers_spawned() >= spawned_before + 3);
+        // The pool is usable before being dropped.
+        assert_eq!(
+            p.install(|| (0u64..10_000).into_par_iter().sum::<u64>()),
+            49_995_000
+        );
+        drop(p);
+        assert!(super::diagnostics::workers_exited() >= exited_before + 3);
+    }
+
+    #[test]
+    fn collect_preserves_order_with_many_chunks() {
+        let n = 123_457usize;
+        let v: Vec<usize> = (0..n).into_par_iter().map(|i| i * 7).collect();
+        assert_eq!(v.len(), n);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 7));
     }
 }

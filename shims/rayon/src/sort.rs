@@ -1,0 +1,154 @@
+//! Parallel merge sort behind `par_sort` / `par_sort_unstable`.
+//!
+//! Shape: split the slice into a fixed number of equal runs (a pure
+//! function of `len`, so the result is deterministic for any thread
+//! count), sort the runs in parallel, then merge adjacent runs in
+//! parallel rounds, ping-ponging between the slice and one scratch
+//! buffer. Merges take from the left run on ties, which keeps `par_sort`
+//! stable.
+//!
+//! Elements move between the slice and the scratch buffer via raw
+//! copies. A comparator panic mid-merge would leave values duplicated
+//! across the two buffers, so the merge phase runs under an abort guard;
+//! `Ord` on the workspace's POD keys never panics, making this a purely
+//! theoretical backstop.
+
+use crate::pool;
+use std::cmp::Ordering;
+use std::mem::MaybeUninit;
+use std::ops::Range;
+
+/// Below this length a sequential sort wins outright.
+const SEQ_CUTOFF: usize = 1 << 13;
+
+/// Number of initial runs (power of two so merge rounds pair cleanly).
+const RUNS: usize = 16;
+
+/// Raw pointer that may cross threads; disjoint-range use only.
+struct SyncPtr<T>(*mut T);
+
+unsafe impl<T: Send> Send for SyncPtr<T> {}
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    /// Accessor rather than field access so edition-2021 closures
+    /// capture the (Sync) wrapper, not the raw pointer field.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SyncPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for SyncPtr<T> {}
+
+/// Aborts the process if dropped while armed (comparator panicked while
+/// elements were duplicated across buffers).
+struct AbortOnUnwind;
+
+impl Drop for AbortOnUnwind {
+    fn drop(&mut self) {
+        eprintln!("rayon shim: comparator panicked during parallel merge; aborting");
+        std::process::abort();
+    }
+}
+
+pub(crate) fn par_merge_sort<T: Ord + Send>(v: &mut [T], stable: bool) {
+    let len = v.len();
+    if len <= SEQ_CUTOFF {
+        if stable {
+            v.sort();
+        } else {
+            v.sort_unstable();
+        }
+        return;
+    }
+    let run_w = len.div_ceil(RUNS);
+    let n_runs = len.div_ceil(run_w);
+    let base = SyncPtr(v.as_mut_ptr());
+
+    // Phase 1: sort the runs in parallel (disjoint subslices).
+    pool::run_job(n_runs, &|range: Range<usize>| {
+        for r in range {
+            let lo = r * run_w;
+            let hi = len.min(lo + run_w);
+            // SAFETY: run subranges are disjoint.
+            let run = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+            if stable {
+                run.sort();
+            } else {
+                run.sort_unstable();
+            }
+        }
+    });
+
+    // Phase 2: merge adjacent runs in rounds, slice <-> scratch.
+    let mut scratch: Vec<MaybeUninit<T>> = Vec::with_capacity(len);
+    // SAFETY: MaybeUninit needs no initialization.
+    unsafe { scratch.set_len(len) };
+    let scratch_ptr = SyncPtr(scratch.as_mut_ptr() as *mut T);
+    let guard = AbortOnUnwind;
+    let mut width = run_w;
+    let mut in_slice = true;
+    while width < len {
+        let (src, dst) = if in_slice {
+            (base, scratch_ptr)
+        } else {
+            (scratch_ptr, base)
+        };
+        let pairs = len.div_ceil(2 * width);
+        pool::run_job(pairs, &|range: Range<usize>| {
+            for p in range {
+                // SAFETY: pair output ranges are disjoint; every element
+                // is read once from src and written once to dst.
+                unsafe { merge_pair(src.get(), dst.get(), len, p, width) };
+            }
+        });
+        width *= 2;
+        in_slice = !in_slice;
+    }
+    if !in_slice {
+        // SAFETY: scratch holds all `len` sorted elements; move back.
+        unsafe { std::ptr::copy_nonoverlapping(scratch_ptr.get(), base.get(), len) };
+    }
+    std::mem::forget(guard);
+    // `scratch` drops as MaybeUninit: frees storage, drops no elements.
+}
+
+/// Merges sorted `src[lo..mid]` and `src[mid..hi]` into `dst[lo..hi]`,
+/// taking from the left run on ties (stability).
+///
+/// # Safety
+///
+/// `src` and `dst` must each be valid for `len` elements, the pair
+/// ranges across calls must be disjoint, and each element must be
+/// treated as moved from `src` afterwards.
+unsafe fn merge_pair<T: Ord>(src: *const T, dst: *mut T, len: usize, pair: usize, width: usize) {
+    let lo = pair * 2 * width;
+    let mid = len.min(lo + width);
+    let hi = len.min(lo + 2 * width);
+    let (mut a, mut b, mut out) = (lo, mid, lo);
+    while a < mid && b < hi {
+        let take_left = match (*src.add(a)).cmp(&*src.add(b)) {
+            Ordering::Less | Ordering::Equal => true,
+            Ordering::Greater => false,
+        };
+        let from = if take_left { &mut a } else { &mut b };
+        std::ptr::copy_nonoverlapping(src.add(*from), dst.add(out), 1);
+        *from += 1;
+        out += 1;
+    }
+    if a < mid {
+        std::ptr::copy_nonoverlapping(src.add(a), dst.add(out), mid - a);
+        out += mid - a;
+    }
+    if b < hi {
+        std::ptr::copy_nonoverlapping(src.add(b), dst.add(out), hi - b);
+        out += hi - b;
+    }
+    debug_assert_eq!(out, hi);
+}

@@ -14,6 +14,7 @@
 //!
 //! common flags: --binary (pcpm binary input) | --mtx (Matrix Market input)
 //!               --iters N --damping D --tolerance T --partition-bytes B
+//!               --threads N (engine-owned worker pool; default: ambient pool)
 //!               --top K (print only the K best rows)
 //!               --backend pcpm|pull|push|edge-centric (dataplane to run on)
 //!               --seed S (every generator path is reproducible run-to-run)
@@ -43,6 +44,7 @@ struct Options {
     damping: f64,
     tolerance: Option<f64>,
     partition_bytes: usize,
+    threads: Option<usize>,
     top: usize,
     source: u32,
     out: Option<String>,
@@ -74,6 +76,7 @@ fn parse_args() -> Result<Options, String> {
         damping: 0.85,
         tolerance: None,
         partition_bytes: 256 * 1024,
+        threads: None,
         top: 10,
         source: 0,
         out: None,
@@ -128,6 +131,13 @@ fn parse_args() -> Result<Options, String> {
                 opts.partition_bytes = take_value(&mut rest, &mut i)?
                     .parse()
                     .map_err(|e| format!("{e}"))?
+            }
+            "--threads" => {
+                opts.threads = Some(
+                    take_value(&mut rest, &mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --threads: {e}"))?,
+                );
             }
             "--top" => {
                 opts.top = take_value(&mut rest, &mut i)?
@@ -237,6 +247,7 @@ fn config(opts: &Options) -> PcpmConfig {
         .with_iterations(opts.iters.unwrap_or(20));
     cfg.damping = opts.damping;
     cfg.tolerance = opts.tolerance;
+    cfg.threads = opts.threads;
     cfg
 }
 

@@ -1,0 +1,237 @@
+//! Thread-count determinism: every backend's `step` (and the streaming
+//! repair path) must produce bit-identical output on 1, 2, 4 and 8
+//! threads. This extends the `kernel_agreement` matrix along the thread
+//! axis using the same seeded generators and the same integer-grid
+//! inputs (exact in f32, so the assertion is bit-exact equality even
+//! though thread count changes which worker computes what).
+//!
+//! The thread list is overridable for CI sweeps:
+//! `PCPM_TEST_THREADS=1,4 cargo test --test parallel_determinism`.
+
+use pcpm::core::algebra::{MinLabel, PlusF32};
+use pcpm::core::engine::ScatterKind;
+use pcpm::prelude::*;
+use std::sync::Arc;
+
+/// Thread counts under test (`PCPM_TEST_THREADS` env, default 1,2,4,8).
+fn thread_matrix() -> Vec<usize> {
+    match std::env::var("PCPM_TEST_THREADS") {
+        Ok(v) => v
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .filter(|&t| t >= 1)
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// Exact integer-valued input (as in kernel_agreement): every f32 sum of
+/// these is exactly representable, so reduction order cannot matter.
+fn int_x(n: u32) -> Vec<f32> {
+    (0..n).map(|v| (v % 13) as f32).collect()
+}
+
+/// Engine configurations spanning every built-in dataplane plus the
+/// PCPM ablation variants, built at an explicit thread count.
+fn engines_at(g: &Csr, threads: usize, q_bytes: usize) -> Vec<(String, Engine<PlusF32>)> {
+    let mut engines: Vec<(String, Engine<PlusF32>)> = Vec::new();
+    for kind in BackendKind::ALL {
+        let e = Engine::<PlusF32>::builder(g)
+            .partition_bytes(q_bytes)
+            .backend(kind)
+            .threads(threads)
+            .build()
+            .unwrap();
+        engines.push((format!("{}@{threads}", kind.name()), e));
+    }
+    engines.push((
+        format!("pcpm_compact@{threads}"),
+        Engine::<PlusF32>::builder(g)
+            .partition_bytes(q_bytes)
+            .compact_bins(true)
+            .threads(threads)
+            .build()
+            .unwrap(),
+    ));
+    engines.push((
+        format!("pcpm_csr_traversal@{threads}"),
+        Engine::<PlusF32>::builder(g)
+            .partition_bytes(q_bytes)
+            .scatter(ScatterKind::CsrTraversal)
+            .threads(threads)
+            .build()
+            .unwrap(),
+    ));
+    engines
+}
+
+/// One step per engine config at `threads`, outputs in config order.
+fn step_outputs(g: &Csr, threads: usize, q_bytes: usize) -> Vec<(String, Vec<f32>)> {
+    let x = int_x(g.num_nodes());
+    let n = g.num_nodes() as usize;
+    engines_at(g, threads, q_bytes)
+        .into_iter()
+        .map(|(label, mut e)| {
+            let mut y = vec![0.0f32; n];
+            e.step(&x, &mut y).unwrap();
+            (label, y)
+        })
+        .collect()
+}
+
+#[test]
+fn step_bit_identical_across_thread_counts() {
+    let graphs = [
+        pcpm::graph::gen::rmat(&RmatConfig::graph500(9, 8, 3)).unwrap(),
+        pcpm::graph::gen::erdos_renyi(700, 5600, 11).unwrap(),
+    ];
+    for g in &graphs {
+        for q_bytes in [64 * 4, 200 * 4] {
+            let baseline = step_outputs(g, 1, q_bytes);
+            for &t in &thread_matrix()[1..] {
+                let got = step_outputs(g, t, q_bytes);
+                for ((l1, y1), (lt, yt)) in baseline.iter().zip(&got) {
+                    assert_eq!(y1, yt, "{lt} differs from 1-thread {l1}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn baseline_runner_backends_bit_identical_across_thread_counts() {
+    use pcpm::baselines::{bvgas_engine, edge_centric_engine, grid_engine, pdpr_engine};
+    let g = pcpm::graph::gen::rmat(&RmatConfig::graph500(9, 8, 55)).unwrap();
+    let x = int_x(g.num_nodes());
+    let n = g.num_nodes() as usize;
+    let run_all = |threads: usize| -> Vec<(&'static str, Vec<f32>)> {
+        let cfg = PcpmConfig::default()
+            .with_partition_bytes(64 * 4)
+            .with_threads(threads);
+        [
+            bvgas_engine(&g, &cfg).unwrap(),
+            grid_engine(&g, &cfg).unwrap(),
+            pdpr_engine(&g, &cfg).unwrap(),
+            edge_centric_engine(&g, &cfg).unwrap(),
+        ]
+        .map(|mut e| {
+            let name = e.report().backend;
+            let mut y = vec![0.0f32; n];
+            e.step(&x, &mut y).unwrap();
+            (name, y)
+        })
+        .into_iter()
+        .collect()
+    };
+    let baseline = run_all(1);
+    for &t in &thread_matrix()[1..] {
+        for ((name, y1), (_, yt)) in baseline.iter().zip(run_all(t)) {
+            assert_eq!(y1, &yt, "baseline backend {name} at {t} threads");
+        }
+    }
+}
+
+#[test]
+fn integer_algebra_bit_identical_across_thread_counts() {
+    let g = pcpm::graph::gen::rmat(&RmatConfig::graph500(8, 6, 11)).unwrap();
+    let xl: Vec<u32> = (0..g.num_nodes()).collect();
+    let n = g.num_nodes() as usize;
+    let run = |threads: usize| -> Vec<Vec<u32>> {
+        BackendKind::ALL
+            .map(|kind| {
+                let mut e = Engine::<MinLabel>::builder(&g)
+                    .partition_bytes(64 * 4)
+                    .backend(kind)
+                    .threads(threads)
+                    .build()
+                    .unwrap();
+                let mut y = vec![0u32; n];
+                e.step(&xl, &mut y).unwrap();
+                y
+            })
+            .into_iter()
+            .collect()
+    };
+    let baseline = run(1);
+    for &t in &thread_matrix()[1..] {
+        assert_eq!(baseline, run(t), "min-label at {t} threads");
+    }
+}
+
+/// The streaming repair path (PR 2) must also be thread-count
+/// deterministic: update + step equals the 1-thread run bit for bit,
+/// for both the wide and compact dataplanes.
+#[test]
+fn streaming_repair_bit_identical_across_thread_counts() {
+    let g = pcpm::graph::gen::rmat(&RmatConfig::graph500(9, 8, 77)).unwrap();
+    let x = int_x(g.num_nodes());
+    // Edit: drop the first edge of a few sources, insert a couple.
+    let mut deletes = Vec::new();
+    for s in [1u32, 2, 70, 400] {
+        if let Some(&t) = g.neighbors(s).first() {
+            deletes.push((s, t));
+        }
+    }
+    let inserts = vec![(3u32, 400u32), (65, 9)];
+    let mut edges: Vec<(u32, u32)> = g.edges().collect();
+    edges.retain(|e| !deletes.contains(e));
+    edges.extend_from_slice(&inserts);
+    edges.sort_unstable();
+    edges.dedup();
+    let g2 = Arc::new(Csr::from_edges(g.num_nodes(), &edges).unwrap());
+    let batch = pcpm::core::update::UpdateBatch::from_parts(inserts, deletes);
+
+    let run = |threads: usize, compact: bool| -> Vec<f32> {
+        let mut e = Engine::<PlusF32>::builder(&g)
+            .partition_bytes(64 * 4)
+            .compact_bins(compact)
+            .threads(threads)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            e.update(&g2, None, &batch).unwrap(),
+            pcpm::core::update::UpdateOutcome::Repaired(_)
+        ));
+        let mut y = vec![0.0f32; g2.num_nodes() as usize];
+        e.step(&x, &mut y).unwrap();
+        y
+    };
+    for compact in [false, true] {
+        let baseline = run(1, compact);
+        for &t in &thread_matrix()[1..] {
+            assert_eq!(
+                baseline,
+                run(t, compact),
+                "repair at {t} threads, compact={compact}"
+            );
+        }
+    }
+}
+
+/// Regression (the knob must never silently rot again): a 4-thread
+/// engine actually spawns 4 pool workers, and a step on a graph with
+/// multiple chunks actually dispatches jobs to them. Counters are
+/// monotonic and process-global, so concurrent tests only push them
+/// higher — the `>=` deltas stay sound.
+#[test]
+fn threads_knob_spawns_workers_and_dispatches_jobs() {
+    let g = pcpm::graph::gen::rmat(&RmatConfig::graph500(9, 8, 5)).unwrap();
+    let spawned_before = rayon::diagnostics::workers_spawned();
+    let mut engine = Engine::<PlusF32>::builder(&g)
+        .partition_bytes(64 * 4)
+        .threads(4)
+        .build()
+        .unwrap();
+    assert!(
+        rayon::diagnostics::workers_spawned() >= spawned_before + 4,
+        "a 4-thread engine must spawn 4 pool workers"
+    );
+    let jobs_before = rayon::diagnostics::jobs_dispatched();
+    let x = int_x(g.num_nodes());
+    let mut y = vec![0.0f32; g.num_nodes() as usize];
+    engine.step(&x, &mut y).unwrap();
+    assert!(
+        rayon::diagnostics::jobs_dispatched() > jobs_before,
+        "a step on a 4-thread engine must dispatch work to the pool"
+    );
+}

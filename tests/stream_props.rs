@@ -207,3 +207,99 @@ fn oracle_pagerank(g: &Csr, damping: f64) -> Vec<f64> {
     }
     pr
 }
+
+// ---------------------------------------------------------------------------
+// PR-3: the PR-2 streaming invariants re-proven under concurrency. The
+// repair paths run on a real multi-threaded pool and must (a) equal a
+// from-scratch prepare and (b) be bit-identical to the 1-thread repair.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `Engine::update` (Png::repair + BinSpace/CompactBinSpace::repair
+    /// underneath) on a 4-thread engine: step output equals a fresh
+    /// prepare over the same snapshot AND the 1-thread repaired engine,
+    /// bit for bit.
+    #[test]
+    fn repair_under_multithreaded_pool_matches_scratch(sc in arb_scenario(), compact in 0u32..2) {
+        let cfg = stream_cfg(sc.partition_nodes);
+        let build = |threads: usize, g: &Csr| {
+            let mut b = Engine::<PlusF32>::builder(g).config(cfg).threads(threads);
+            if compact == 1 {
+                b = b.compact_bins(true);
+            }
+            b.build().expect("engine")
+        };
+        let mut par_engine = build(4, &sc.base);
+        let mut serial_engine = build(1, &sc.base);
+        let mut dg = DeltaGraph::new(Arc::new(sc.base.clone()), sc.partition_nodes)
+            .expect("overlay");
+        let n = sc.base.num_nodes();
+        let x: Vec<f32> = (0..n).map(|v| (v % 13) as f32).collect();
+        for ops in &sc.batches {
+            let stats = dg.apply(&UpdateBatch::from_ops(ops)).expect("apply");
+            let snap = dg.snapshot();
+            prop_assert!(matches!(
+                par_engine.update(&snap, None, &stats.applied).expect("par update"),
+                UpdateOutcome::Repaired(_)
+            ));
+            prop_assert!(matches!(
+                serial_engine.update(&snap, None, &stats.applied).expect("serial update"),
+                UpdateOutcome::Repaired(_)
+            ));
+            let mut fresh = {
+                let mut b = Engine::<PlusF32>::builder_shared(&snap).config(cfg).threads(4);
+                if compact == 1 {
+                    b = b.compact_bins(true);
+                }
+                b.build().expect("fresh")
+            };
+            let mut y_par = vec![0.0f32; n as usize];
+            let mut y_serial = vec![0.0f32; n as usize];
+            let mut y_fresh = vec![0.0f32; n as usize];
+            par_engine.step(&x, &mut y_par).expect("par step");
+            serial_engine.step(&x, &mut y_serial).expect("serial step");
+            fresh.step(&x, &mut y_fresh).expect("fresh step");
+            prop_assert_eq!(&y_par, &y_serial, "4-thread repair != 1-thread repair");
+            prop_assert_eq!(&y_par, &y_fresh, "repair != from-scratch prepare");
+        }
+    }
+
+    /// `Png::repair` driven directly inside a 4-thread pool: the repaired
+    /// layout must equal a from-scratch `Png::build` partition by
+    /// partition, and the bins rebuilt over it must carry identical
+    /// destination-ID streams.
+    #[test]
+    fn png_repair_on_pool_matches_scratch_build(sc in arb_scenario()) {
+        use pcpm::core::bins::BinSpace;
+        use pcpm::core::partition::Partitioner;
+        use pcpm::core::png::{EdgeView, Png};
+
+        let n = sc.base.num_nodes();
+        let parts = Partitioner::new(n, sc.partition_nodes).expect("partitioner");
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut png = pool.install(|| {
+            Png::build(EdgeView::from_csr(&sc.base), parts, parts)
+        });
+        let mut oracle: HashSet<(u32, u32)> = sc.base.edges().collect();
+        for ops in &sc.batches {
+            let batch = UpdateBatch::from_ops(ops);
+            oracle_apply(&mut oracle, ops);
+            let g2 = to_csr(n, &oracle);
+            let touched = batch.touched_src_partitions(sc.partition_nodes);
+            pool.install(|| png.repair(EdgeView::from_csr(&g2), &touched));
+            let fresh = Png::build(EdgeView::from_csr(&g2), parts, parts);
+            prop_assert_eq!(png.upd_region(), fresh.upd_region());
+            prop_assert_eq!(png.did_region(), fresh.did_region());
+            for s in parts.iter() {
+                prop_assert_eq!(png.part(s), fresh.part(s), "partition {} differs", s);
+            }
+            let bins = pool.install(|| {
+                BinSpace::<f32>::build(EdgeView::from_csr(&g2), &png, None)
+            });
+            let fresh_bins = BinSpace::<f32>::build(EdgeView::from_csr(&g2), &fresh, None);
+            prop_assert_eq!(&bins.dest_ids, &fresh_bins.dest_ids);
+        }
+    }
+}
