@@ -54,4 +54,4 @@ pub use ppr::{personalized_pagerank, personalized_pagerank_on};
 pub use propagate::PropagationEngine;
 pub use propagate::{propagation_engine, run_to_fixpoint, FixpointResult};
 pub use sssp::{sssp, sssp_on};
-pub use wpr::{weighted_pagerank, weighted_pagerank_on};
+pub use wpr::{weighted_pagerank, weighted_pagerank_on, weighted_pagerank_with_unified_engine};

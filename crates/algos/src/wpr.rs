@@ -33,18 +33,51 @@ pub fn weighted_pagerank_on(
     cfg: &PcpmConfig,
     backend: BackendKind,
 ) -> Result<PrResult, PcpmError> {
-    cfg.validate()?;
-    if weights.as_slice().iter().any(|&w| w < 0.0) {
-        return Err(PcpmError::BadConfig(
-            "weighted pagerank requires non-negative weights",
-        ));
-    }
-    let n = graph.num_nodes() as usize;
+    // Reject bad weights before paying for the engine prepare.
+    validate_weights(weights)?;
     let mut engine = Engine::<PlusF32>::builder(graph)
         .config(*cfg)
         .weights(weights)
         .backend(backend)
         .build()?;
+    weighted_pagerank_with_unified_engine(graph, weights, cfg, &mut engine)
+}
+
+fn validate_weights(weights: &EdgeWeights) -> Result<(), PcpmError> {
+    if weights.as_slice().iter().any(|&w| w < 0.0) {
+        return Err(PcpmError::BadConfig(
+            "weighted pagerank requires non-negative weights",
+        ));
+    }
+    Ok(())
+}
+
+/// As [`weighted_pagerank_on`], on a pre-built unified engine (prepared
+/// with the same `weights`) — lets callers keep the engine around to
+/// read its [`ExecutionReport`](pcpm_core::ExecutionReport) afterwards
+/// or amortize pre-processing.
+pub fn weighted_pagerank_with_unified_engine(
+    graph: &Csr,
+    weights: &EdgeWeights,
+    cfg: &PcpmConfig,
+    engine: &mut Engine<PlusF32>,
+) -> Result<PrResult, PcpmError> {
+    cfg.validate()?;
+    validate_weights(weights)?;
+    let n = graph.num_nodes() as usize;
+    if engine.num_src() as usize != n || engine.num_dst() as usize != n {
+        return Err(PcpmError::DimensionMismatch {
+            expected: n,
+            got: engine.num_src() as usize,
+        });
+    }
+    // An engine that was demonstrably prepared *without* weights would
+    // silently compute unweighted ranks — refuse instead.
+    if engine.prepared_weighted() == Some(false) {
+        return Err(PcpmError::BadConfig(
+            "weighted pagerank needs an engine built with .weights(..)",
+        ));
+    }
     let damping = cfg.damping as f32;
     let base = if n == 0 {
         0.0
@@ -200,6 +233,26 @@ mod tests {
         let g = Csr::from_edges(2, &[(0, 1)]).unwrap();
         let w = EdgeWeights::new(&g, vec![-0.5]).unwrap();
         assert!(weighted_pagerank(&g, &w, &PcpmConfig::default()).is_err());
+    }
+
+    #[test]
+    fn unweighted_engine_rejected() {
+        // Passing an engine built WITHOUT .weights(..) must error, not
+        // silently return unweighted ranks.
+        let g = erdos_renyi(50, 200, 4).unwrap();
+        let w = EdgeWeights::random(&g, 1);
+        let cfg = PcpmConfig::default().with_iterations(3);
+        let mut unweighted = Engine::<PlusF32>::builder(&g).config(cfg).build().unwrap();
+        assert!(matches!(
+            weighted_pagerank_with_unified_engine(&g, &w, &cfg, &mut unweighted),
+            Err(PcpmError::BadConfig(_))
+        ));
+        let mut weighted = Engine::<PlusF32>::builder(&g)
+            .config(cfg)
+            .weights(&w)
+            .build()
+            .unwrap();
+        assert!(weighted_pagerank_with_unified_engine(&g, &w, &cfg, &mut weighted).is_ok());
     }
 
     #[test]

@@ -71,6 +71,8 @@ impl Backend<PlusF32> for PdprBackend {
             preprocess: self.runner.transpose_time(),
             aux_memory_bytes: self.runner.aux_memory_bytes(),
             compression_ratio: None,
+            bin_format: None,
+            bin_compression: None,
         }
     }
 }
@@ -112,6 +114,8 @@ impl Backend<PlusF32> for BvgasBackend {
                 + (self.updates.len() * 4) as u64
                 + self.graph.memory_bytes(),
             compression_ratio: None,
+            bin_format: None,
+            bin_compression: None,
         }
     }
 }
@@ -149,6 +153,8 @@ impl Backend<PlusF32> for EdgeCentricRunnerBackend {
             preprocess: self.runner.preprocess_time(),
             aux_memory_bytes: self.runner.aux_memory_bytes(),
             compression_ratio: None,
+            bin_format: None,
+            bin_compression: None,
         }
     }
 }
@@ -182,6 +188,8 @@ impl Backend<PlusF32> for GridBackend {
             preprocess: self.runner.preprocess_time(),
             aux_memory_bytes: self.runner.aux_memory_bytes(),
             compression_ratio: None,
+            bin_format: None,
+            bin_compression: None,
         }
     }
 }

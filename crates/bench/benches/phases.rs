@@ -7,7 +7,7 @@
 //!   §3.4 branch-avoidance ablation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pcpm_core::bins::BinSpace;
+use pcpm_core::format::{BinFormat, WideFormat};
 use pcpm_core::gather::{gather_branch_avoiding, gather_branchy};
 use pcpm_core::partition::Partitioner;
 use pcpm_core::png::{EdgeView, Png};
@@ -24,7 +24,7 @@ fn bench_phases(c: &mut Criterion) {
         let g = standin_at(d, SCALE).expect("standin");
         let parts = Partitioner::new(g.num_nodes(), PARTITION_NODES).expect("parts");
         let png = Png::build(EdgeView::from_csr(&g), parts, parts);
-        let mut bins = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let mut bins = WideFormat::build(EdgeView::from_csr(&g), &png, None);
         let x: Vec<f32> = (0..g.num_nodes()).map(|v| (v as f32).recip()).collect();
         let mut y = vec![0.0f32; g.num_nodes() as usize];
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <exhibit> [--scale N] [--iters N] [--threads N] [--quick]
+//!                 [--format wide|compact|delta]
 //!
 //! exhibits: table4 fig1 fig6 fig7 table5 fig8 fig9 fig10
 //!           table6 table7 fig11 fig12 fig13 fig14 table8 all
@@ -51,6 +52,15 @@ fn main() {
                     .unwrap_or(suite.iterations)
             }
             "--threads" => suite.threads = it.next().and_then(|v| v.parse().ok()),
+            "--format" => {
+                suite.bin_format = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(f) => f,
+                    None => {
+                        eprintln!("--format expects wide|compact|delta");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--quick" => {
                 suite.scale = 13;
                 suite.iterations = 5;
@@ -67,14 +77,15 @@ fn main() {
         std::process::exit(2);
     }
     println!(
-        "PCPM reproduction harness — scale {} (n ≈ {}K), {} iterations, {} threads",
+        "PCPM reproduction harness — scale {} (n ≈ {}K), {} iterations, {} threads, {} bins",
         suite.scale,
         (1u64 << suite.scale) / 1000,
         suite.iterations,
         suite
             .threads
             .map(|t| t.to_string())
-            .unwrap_or_else(|| format!("{} (rayon)", rayon::current_num_threads()))
+            .unwrap_or_else(|| format!("{} (rayon)", rayon::current_num_threads())),
+        suite.bin_format,
     );
     let run = |name: &str| cmd == name || cmd == "all";
     if run("table4") {
@@ -527,6 +538,7 @@ fn ablation(suite: &SuiteConfig) {
         "csr-scatter",
         "branchy-gather",
         "compact-bins",
+        "delta-bins",
         "edge-centric",
         "traffic B/e",
         "compact B/e",
@@ -548,9 +560,12 @@ fn ablation(suite: &SuiteConfig) {
             },
         )
         .expect("csr scatter");
+        // The branchy gather is a wide-only ablation: pin its row to the
+        // wide format so `--format compact|delta` sweeps the rest of the
+        // table instead of erroring here.
         let branchy = pagerank_with_variant(
             &g,
-            &cfg,
+            &cfg.with_bin_format(pcpm_core::BinFormatKind::Wide),
             PcpmVariant {
                 scatter: ScatterKind::default(),
                 gather: GatherKind::Branchy,
@@ -560,6 +575,8 @@ fn ablation(suite: &SuiteConfig) {
         let compact_cfg = cfg.with_compact_bins();
         let compact =
             pagerank_with_variant(&g, &compact_cfg, PcpmVariant::default()).expect("compact");
+        let delta_cfg = cfg.with_bin_format(pcpm_core::BinFormatKind::Delta);
+        let delta = pagerank_with_variant(&g, &delta_cfg, PcpmVariant::default()).expect("delta");
         let ec = pcpm_baselines::edge_centric::edge_centric(&g, &cfg).expect("edge centric");
         // Traffic side: wide vs compact destination IDs on the simulated
         // machine.
@@ -573,6 +590,7 @@ fn ablation(suite: &SuiteConfig) {
             f3(per_iter(&csr_scatter)),
             f3(per_iter(&branchy)),
             f3(per_iter(&compact)),
+            f3(per_iter(&delta)),
             f3(per_iter(&ec)),
             f2(wide.bytes_per_edge(g.num_edges())),
             f2(thin.bytes_per_edge(g.num_edges())),

@@ -19,7 +19,7 @@
 use pcpm_baselines::{BvgasRunner, PdprRunner};
 use pcpm_core::pagerank::{pagerank_with_engine, PcpmVariant};
 use pcpm_core::pr::PrResult;
-use pcpm_core::{PcpmConfig, PcpmPipeline};
+use pcpm_core::{BinFormatKind, PcpmConfig, PcpmPipeline};
 use pcpm_graph::gen::datasets::{standin_at, Dataset};
 use pcpm_graph::order::{reorder, OrderingKind};
 use pcpm_graph::Csr;
@@ -69,6 +69,8 @@ pub struct SuiteConfig {
     pub out_dir: PathBuf,
     /// Thread override for the kernels.
     pub threads: Option<usize>,
+    /// PCPM bin format for the timing experiments (`--format`).
+    pub bin_format: BinFormatKind,
 }
 
 impl Default for SuiteConfig {
@@ -78,6 +80,7 @@ impl Default for SuiteConfig {
             iterations: 20,
             out_dir: PathBuf::from("results"),
             threads: None,
+            bin_format: BinFormatKind::Wide,
         }
     }
 }
@@ -96,7 +99,8 @@ impl SuiteConfig {
     pub fn timing_config(&self) -> PcpmConfig {
         let mut cfg = PcpmConfig::default()
             .with_partition_bytes(TIMING_PARTITION_BYTES)
-            .with_iterations(self.iterations);
+            .with_iterations(self.iterations)
+            .with_bin_format(self.bin_format);
         cfg.threads = self.threads;
         cfg
     }

@@ -46,8 +46,9 @@
 
 use crate::algebra::Algebra;
 use crate::config::PcpmConfig;
-use crate::engine::{GatherKind, PcpmPipeline, ScatterKind};
+use crate::engine::{FormatPipeline, GatherKind, ScatterKind};
 use crate::error::PcpmError;
+use crate::format::{BinFormat, BinFormatKind, CompactFormat, DeltaFormat, WideFormat};
 use crate::partition::split_by_lens;
 use crate::pr::PhaseTimings;
 use crate::update::{RepairStats, UpdateBatch, UpdateOutcome};
@@ -103,6 +104,13 @@ pub struct BackendMetrics {
     pub aux_memory_bytes: u64,
     /// PNG compression ratio `r = |E| / |E'|`, when the backend has one.
     pub compression_ratio: Option<f64>,
+    /// Physical bin format name, for backends with a format axis
+    /// (`"wide"` / `"compact"` / `"delta"` on PCPM, `None` elsewhere).
+    pub bin_format: Option<&'static str>,
+    /// Destination-ID compression relative to the wide baseline
+    /// (`4·|E| / dest-stream bytes`): 1.0 wide, 2.0 compact, measured
+    /// for delta; `None` for backends without message bins.
+    pub bin_compression: Option<f64>,
 }
 
 /// A pluggable dataplane: pre-processed state that can run one
@@ -194,6 +202,10 @@ pub struct ExecutionReport {
     pub aux_memory_bytes: u64,
     /// PNG compression ratio, for backends that build one.
     pub compression_ratio: Option<f64>,
+    /// Physical bin format name, for backends with a format axis.
+    pub bin_format: Option<&'static str>,
+    /// Destination-ID compression relative to the wide baseline.
+    pub bin_compression: Option<f64>,
 }
 
 impl ExecutionReport {
@@ -452,6 +464,14 @@ impl<A: Algebra> Engine<A> {
         Ok(UpdateOutcome::Rebuilt)
     }
 
+    /// Whether the engine was prepared with edge weights, when known.
+    /// `None` for externally prepared backends
+    /// ([`Engine::from_backend`]), whose weightedness the engine cannot
+    /// introspect.
+    pub fn prepared_weighted(&self) -> Option<bool> {
+        self.recipe.map(|r| r.weighted)
+    }
+
     /// The backend's static metrics.
     pub fn metrics(&self) -> BackendMetrics {
         self.backend.metrics()
@@ -467,6 +487,8 @@ impl<A: Algebra> Engine<A> {
             preprocess: m.preprocess,
             aux_memory_bytes: m.aux_memory_bytes,
             compression_ratio: m.compression_ratio,
+            bin_format: m.bin_format,
+            bin_compression: m.bin_compression,
         }
     }
 }
@@ -489,13 +511,20 @@ pub struct EngineBuilder<'g, A: Algebra> {
     _algebra: std::marker::PhantomData<A>,
 }
 
-/// Prepares a boxed built-in backend of the given kind.
+/// Prepares a boxed built-in backend of the given kind, dispatching the
+/// PCPM dataplane on the configured bin format.
 fn prepare_builtin<A: Algebra>(
     kind: BackendKind,
     spec: &PrepareSpec<'_>,
 ) -> Result<Box<dyn Backend<A>>, PcpmError> {
     Ok(match kind {
-        BackendKind::Pcpm => Box::new(PcpmBackend::prepare(spec)?) as Box<dyn Backend<A>>,
+        BackendKind::Pcpm => match spec.cfg.bin_format {
+            BinFormatKind::Wide => {
+                Box::new(PcpmBackend::<A, WideFormat>::prepare(spec)?) as Box<dyn Backend<A>>
+            }
+            BinFormatKind::Compact => Box::new(PcpmBackend::<A, CompactFormat>::prepare(spec)?),
+            BinFormatKind::Delta => Box::new(PcpmBackend::<A, DeltaFormat>::prepare(spec)?),
+        },
         BackendKind::Pull => Box::new(PullBackend::prepare(spec)?),
         BackendKind::Push => Box::new(PushBackend::prepare(spec)?),
         BackendKind::EdgeCentric => Box::new(EdgeCentricBackend::prepare(spec)?),
@@ -529,10 +558,21 @@ impl<'g, A: Algebra> EngineBuilder<'g, A> {
         self
     }
 
-    /// Selects 16-bit partition-local destination bins (§6 future work).
-    pub fn compact_bins(mut self, compact: bool) -> Self {
-        self.cfg.compact_bins = compact;
+    /// Selects the physical bin format of the PCPM dataplane.
+    pub fn bin_format(mut self, format: BinFormatKind) -> Self {
+        self.cfg.bin_format = format;
         self
+    }
+
+    /// Selects 16-bit partition-local destination bins (§6 future work).
+    /// Shorthand for `.bin_format(BinFormatKind::Compact)` (`false`
+    /// restores the wide default).
+    pub fn compact_bins(self, compact: bool) -> Self {
+        self.bin_format(if compact {
+            BinFormatKind::Compact
+        } else {
+            BinFormatKind::Wide
+        })
     }
 
     /// Selects the scatter variant (PCPM backend only).
@@ -556,15 +596,15 @@ impl<'g, A: Algebra> EngineBuilder<'g, A> {
     /// Validates the combination and prepares the backend.
     pub fn build(self) -> Result<Engine<A>, PcpmError> {
         self.cfg.validate()?;
-        if self.cfg.compact_bins && self.gather == GatherKind::Branchy {
+        if self.cfg.bin_format != BinFormatKind::Wide && self.gather == GatherKind::Branchy {
             return Err(PcpmError::BadConfig(
-                "compact bins only implement the branch-avoiding gather",
+                "the branchy gather ablation requires the wide bin format",
             ));
         }
         if self.backend != BackendKind::Pcpm {
-            if self.cfg.compact_bins {
+            if self.cfg.bin_format != BinFormatKind::Wide {
                 return Err(PcpmError::BadConfig(
-                    "compact bins apply only to the PCPM backend",
+                    "bin formats apply only to the PCPM backend",
                 ));
             }
             if self.scatter != ScatterKind::default() || self.gather != GatherKind::default() {
@@ -611,9 +651,12 @@ impl<'g, A: Algebra> EngineBuilder<'g, A> {
 // PCPM backend
 // ---------------------------------------------------------------------------
 
-/// The paper's partition-centric dataplane behind the [`Backend`] trait.
-pub struct PcpmBackend<A: Algebra> {
-    pipeline: PcpmPipeline<A>,
+/// The paper's partition-centric dataplane behind the [`Backend`] trait,
+/// statically typed over the physical bin format `F` (the
+/// [`EngineBuilder`] dispatches [`PcpmConfig::bin_format`] onto the
+/// right instantiation).
+pub struct PcpmBackend<A: Algebra, F: BinFormat = WideFormat> {
+    pipeline: FormatPipeline<A, F>,
     scatter: ScatterKind,
     gather: GatherKind,
     /// Shared handle on the adjacency, kept only for the CSR-traversal
@@ -621,21 +664,19 @@ pub struct PcpmBackend<A: Algebra> {
     graph: Option<Arc<Csr>>,
 }
 
-impl<A: Algebra> Backend<A> for PcpmBackend<A> {
+impl<A: Algebra, F: BinFormat> Backend<A> for PcpmBackend<A, F> {
     fn prepare(spec: &PrepareSpec<'_>) -> Result<Self, PcpmError> {
-        if spec.cfg.compact_bins && spec.gather == GatherKind::Branchy {
+        spec.cfg.validate()?;
+        if F::KIND != BinFormatKind::Wide && spec.gather == GatherKind::Branchy {
             return Err(PcpmError::BadConfig(
-                "compact bins only implement the branch-avoiding gather",
+                "the branchy gather ablation requires the wide bin format",
             ));
         }
-        let pipeline = match spec.weights {
-            Some(w) => PcpmPipeline::from_view(
-                crate::png::EdgeView::from_csr(spec.graph),
-                &spec.cfg,
-                Some(w),
-            )?,
-            None => PcpmPipeline::new(spec.graph, &spec.cfg)?,
-        };
+        let pipeline = FormatPipeline::from_view(
+            crate::png::EdgeView::from_csr(spec.graph),
+            &spec.cfg,
+            spec.weights,
+        )?;
         let graph = (spec.scatter == ScatterKind::CsrTraversal).then(|| spec.graph_arc());
         Ok(Self {
             pipeline,
@@ -687,14 +728,16 @@ impl<A: Algebra> Backend<A> for PcpmBackend<A> {
             preprocess: self.pipeline.preprocess_time(),
             aux_memory_bytes: self.pipeline.bin_memory_bytes(),
             compression_ratio: Some(self.pipeline.compression_ratio()),
+            bin_format: Some(F::KIND.name()),
+            bin_compression: Some(self.pipeline.bin_compression()),
         }
     }
 }
 
-impl<A: Algebra> PcpmBackend<A> {
+impl<A: Algebra, F: BinFormat> PcpmBackend<A, F> {
     /// Wraps an already-built pipeline (used by the rectangular SpMV
     /// front end, whose edge view has no `Csr`).
-    pub(crate) fn from_pipeline(pipeline: PcpmPipeline<A>) -> Self {
+    pub(crate) fn from_pipeline(pipeline: FormatPipeline<A, F>) -> Self {
         Self {
             pipeline,
             scatter: ScatterKind::Png,
@@ -704,7 +747,7 @@ impl<A: Algebra> PcpmBackend<A> {
     }
 
     /// The underlying pipeline (PNG inspection, memory replays).
-    pub fn pipeline(&self) -> &PcpmPipeline<A> {
+    pub fn pipeline(&self) -> &FormatPipeline<A, F> {
         &self.pipeline
     }
 }
@@ -800,6 +843,8 @@ impl<A: Algebra> Backend<A> for PullBackend<A> {
                 + self.weights.as_ref().map_or(0, |w| w.len() * 4))
                 as u64,
             compression_ratio: None,
+            bin_format: None,
+            bin_compression: None,
         }
     }
 }
@@ -870,6 +915,8 @@ impl<A: Algebra> Backend<A> for PushBackend<A> {
             aux_memory_bytes: self.graph.memory_bytes()
                 + self.weights.as_ref().map_or(0, |w| w.len() as u64 * 4),
             compression_ratio: None,
+            bin_format: None,
+            bin_compression: None,
         }
     }
 }
@@ -986,6 +1033,8 @@ impl<A: Algebra> Backend<A> for EdgeCentricBackend<A> {
                 + self.weights.as_ref().map_or(0, |w| w.len() * 4))
                 as u64,
             compression_ratio: None,
+            bin_format: None,
+            bin_compression: None,
         }
     }
 }
@@ -1117,11 +1166,24 @@ mod tests {
                 .build(),
             Err(PcpmError::BadConfig(_))
         ));
-        // Compact bins on a non-PCPM backend.
+        // Non-wide bin formats on a non-PCPM backend.
         assert!(Engine::<PlusF32>::builder(&g)
             .partition_bytes(256)
             .compact_bins(true)
             .backend(BackendKind::Pull)
+            .build()
+            .is_err());
+        assert!(Engine::<PlusF32>::builder(&g)
+            .partition_bytes(256)
+            .bin_format(BinFormatKind::Delta)
+            .backend(BackendKind::EdgeCentric)
+            .build()
+            .is_err());
+        // Branchy gather on a non-wide format.
+        assert!(Engine::<PlusF32>::builder(&g)
+            .partition_bytes(256)
+            .bin_format(BinFormatKind::Delta)
+            .gather(GatherKind::Branchy)
             .build()
             .is_err());
         // Ablation variants on a non-PCPM backend.
@@ -1173,12 +1235,34 @@ mod tests {
         assert_eq!(report.steps, 5);
         assert!(report.compression_ratio.unwrap() >= 1.0);
         assert!(report.aux_memory_bytes > 0);
+        assert_eq!(report.bin_format, Some("wide"));
+        assert!((report.bin_compression.unwrap() - 1.0).abs() < 1e-12);
         let pull = Engine::<PlusF32>::builder(&g)
             .backend(BackendKind::Pull)
             .build()
             .unwrap();
         assert_eq!(pull.report().backend, "pull");
         assert!(pull.report().compression_ratio.is_none());
+        assert!(pull.report().bin_format.is_none());
+    }
+
+    #[test]
+    fn report_carries_per_format_compression() {
+        let g = rmat(&RmatConfig::graph500(9, 8, 3)).unwrap();
+        let mut ratios = Vec::new();
+        for format in BinFormatKind::ALL {
+            let engine = Engine::<PlusF32>::builder(&g)
+                .partition_bytes(64 * 4)
+                .bin_format(format)
+                .build()
+                .unwrap();
+            let report = engine.report();
+            assert_eq!(report.bin_format, Some(format.name()));
+            ratios.push(report.bin_compression.unwrap());
+        }
+        assert!((ratios[0] - 1.0).abs() < 1e-12, "wide is the baseline");
+        assert!((ratios[1] - 2.0).abs() < 1e-12, "compact halves dest IDs");
+        assert!(ratios[2] > 2.0, "delta beats compact, got {}", ratios[2]);
     }
 
     #[test]
@@ -1223,32 +1307,68 @@ mod tests {
         let x = int_x(g.num_nodes());
         let (g2, batch) = edit(&g, &[1, 2, 70], &[(3, 400), (65, 9)]);
         let g2 = Arc::new(g2);
-        for compact in [false, true] {
+        for format in BinFormatKind::ALL {
             let mut engine = Engine::<PlusF32>::builder(&g)
                 .partition_bytes(64 * 4)
-                .compact_bins(compact)
+                .bin_format(format)
                 .build()
                 .unwrap();
             let outcome = engine.update(&g2, None, &batch).unwrap();
             match outcome {
                 crate::update::UpdateOutcome::Repaired(stats) => {
                     // Sources 1, 2, 3 live in partition 0; 65, 70 in 1.
-                    assert_eq!(stats.partitions_rebuilt, 2, "compact={compact}");
+                    assert_eq!(stats.partitions_rebuilt, 2, "format={format}");
                     assert_eq!(stats.partitions_total, 8);
                 }
                 other => panic!("expected repair, got {other:?}"),
             }
             let mut fresh = Engine::<PlusF32>::builder(&g2)
                 .partition_bytes(64 * 4)
-                .compact_bins(compact)
+                .bin_format(format)
                 .build()
                 .unwrap();
             let n = g2.num_nodes() as usize;
             let (mut ya, mut yb) = (vec![0.0f32; n], vec![0.0f32; n]);
             engine.step(&x, &mut ya).unwrap();
             fresh.step(&x, &mut yb).unwrap();
-            assert_eq!(ya, yb, "compact={compact}");
+            assert_eq!(ya, yb, "format={format}");
         }
+    }
+
+    #[test]
+    fn weighted_delta_update_repairs_weights() {
+        // The delta format stores weights in the raw-edge layout; repair
+        // must keep them aligned with the re-encoded byte stream.
+        let g = erdos_renyi(200, 1600, 21).unwrap();
+        let wf = |s: u32, t: u32| (((s + t) % 8) + 1) as f32 / 8.0;
+        let w: Vec<f32> = g.edges().map(|(s, t)| wf(s, t)).collect();
+        let weights = EdgeWeights::new(&g, w).unwrap();
+        let (g2, batch) = edit(&g, &[7], &[(4, 150)]);
+        let g2 = Arc::new(g2);
+        let w2: Vec<f32> = g2.edges().map(|(s, t)| wf(s, t)).collect();
+        let mut engine = Engine::<PlusF32>::builder(&g)
+            .partition_bytes(32 * 4)
+            .bin_format(BinFormatKind::Delta)
+            .weights(&weights)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            engine.update(&g2, Some(&w2), &batch).unwrap(),
+            crate::update::UpdateOutcome::Repaired(_)
+        ));
+        let w2e = EdgeWeights::new(&g2, w2).unwrap();
+        let mut fresh = Engine::<PlusF32>::builder(&g2)
+            .partition_bytes(32 * 4)
+            .bin_format(BinFormatKind::Delta)
+            .weights(&w2e)
+            .build()
+            .unwrap();
+        let x = int_x(g2.num_nodes());
+        let n = g2.num_nodes() as usize;
+        let (mut ya, mut yb) = (vec![0.0f32; n], vec![0.0f32; n]);
+        engine.step(&x, &mut ya).unwrap();
+        fresh.step(&x, &mut yb).unwrap();
+        assert_eq!(ya, yb);
     }
 
     #[test]

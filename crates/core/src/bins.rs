@@ -13,10 +13,15 @@
 //! PageRank iterations) with the MSB of the first ID of every message set,
 //! marking where the next update value begins (§3.2). For weighted SpMV
 //! the edge weights ride alongside the destination IDs (§3.5).
+//!
+//! [`BinSpace`] is the **wide** (32-bit global ID) encoding — the
+//! [`WideFormat`](crate::format::WideFormat) storage of the
+//! [`BinFormat`](crate::format::BinFormat) axis. The build/repair logic
+//! lives in the shared skeleton of [`crate::format`]; this module only
+//! keeps the storage type and its memory accounting.
 
+use crate::format::{BinFormat, BinScalar, WideFormat};
 use crate::png::{EdgeView, Png};
-use crate::MSB_FLAG;
-use rayon::prelude::*;
 
 /// The statically pre-allocated message bins for one PNG layout.
 ///
@@ -34,95 +39,16 @@ pub struct BinSpace<T = f32> {
     pub weights: Option<Vec<f32>>,
 }
 
-impl<T: Copy + Default + Send + Sync> BinSpace<T> {
+impl<T: BinScalar> BinSpace<T> {
     /// Allocates the bins and writes the destination-ID (and weight)
     /// streams for `png`, in parallel over source partitions.
+    #[deprecated(
+        since = "0.3.0",
+        note = "construct through the format axis: `WideFormat::build` \
+                (or the engine builder's `.bin_format(BinFormatKind::Wide)`)"
+    )]
     pub fn build(view: EdgeView<'_>, png: &Png, edge_weights: Option<&[f32]>) -> Self {
-        let updates = vec![T::default(); png.num_compressed_edges() as usize];
-        let mut dest_ids = vec![0u32; png.num_raw_edges() as usize];
-        let mut weights = edge_weights.map(|_| vec![0.0f32; png.num_raw_edges() as usize]);
-
-        let did_lens = png.did_region_lens();
-        let regions = crate::partition::split_by_lens(&mut dest_ids, &did_lens);
-        match (&mut weights, edge_weights) {
-            (Some(w), Some(ew)) => {
-                let wregions = crate::partition::split_by_lens(w, &did_lens);
-                regions
-                    .into_par_iter()
-                    .zip(wregions)
-                    .enumerate()
-                    .for_each(|(s, (dst, wdst))| {
-                        fill_partition(view, png, s as u32, dst, Some((wdst, ew)));
-                    });
-            }
-            _ => {
-                regions.into_par_iter().enumerate().for_each(|(s, dst)| {
-                    fill_partition(view, png, s as u32, dst, None);
-                });
-            }
-        }
-        Self {
-            updates,
-            dest_ids,
-            weights,
-        }
-    }
-
-    /// Rebuilds the bins after an incremental [`Png::repair`]: touched
-    /// source partitions are re-filled from `view`, untouched partitions
-    /// are block-copied from the old arrays (their segments are
-    /// byte-identical — only their global offsets may have shifted).
-    ///
-    /// `png` must already be repaired; `old_did_region` is the region
-    /// prefix *before* the repair; `touched` is a per-source-partition
-    /// mask. The update array is scratch (rewritten by every scatter), so
-    /// it is simply re-allocated at the new compressed-edge count.
-    pub(crate) fn repair(
-        &mut self,
-        view: EdgeView<'_>,
-        png: &Png,
-        old_did_region: &[u64],
-        touched: &[bool],
-        edge_weights: Option<&[f32]>,
-    ) {
-        self.updates = vec![T::default(); png.num_compressed_edges() as usize];
-        let mut dest_ids = vec![0u32; png.num_raw_edges() as usize];
-        let mut weights = edge_weights.map(|_| vec![0.0f32; png.num_raw_edges() as usize]);
-        let did_lens = png.did_region_lens();
-        let old = &self.dest_ids;
-        let old_w = self.weights.as_deref();
-        let regions = crate::partition::split_by_lens(&mut dest_ids, &did_lens);
-        match (&mut weights, edge_weights) {
-            (Some(w), Some(ew)) => {
-                let wregions = crate::partition::split_by_lens(w, &did_lens);
-                regions
-                    .into_par_iter()
-                    .zip(wregions)
-                    .enumerate()
-                    .for_each(|(s, (dst, wdst))| {
-                        if touched[s] {
-                            fill_partition(view, png, s as u32, dst, Some((wdst, ew)));
-                        } else {
-                            let lo = old_did_region[s] as usize;
-                            dst.copy_from_slice(&old[lo..lo + dst.len()]);
-                            let ow = old_w.expect("weighted bins keep weights");
-                            wdst.copy_from_slice(&ow[lo..lo + wdst.len()]);
-                        }
-                    });
-            }
-            _ => {
-                regions.into_par_iter().enumerate().for_each(|(s, dst)| {
-                    if touched[s] {
-                        fill_partition(view, png, s as u32, dst, None);
-                    } else {
-                        let lo = old_did_region[s] as usize;
-                        dst.copy_from_slice(&old[lo..lo + dst.len()]);
-                    }
-                });
-            }
-        }
-        self.dest_ids = dest_ids;
-        self.weights = weights;
+        WideFormat::build(view, png, edge_weights)
     }
 
     /// Heap bytes held by the bins (for the communication accounting).
@@ -133,48 +59,11 @@ impl<T: Copy + Default + Send + Sync> BinSpace<T> {
     }
 }
 
-/// Writes the destination-ID segments of source partition `s` into its
-/// region, optionally copying edge weights alongside.
-fn fill_partition(
-    view: EdgeView<'_>,
-    png: &Png,
-    s: u32,
-    region: &mut [u32],
-    weights: Option<(&mut [f32], &[f32])>,
-) {
-    let q = png.dst_parts().partition_size();
-    let part = png.part(s);
-    // Per-destination-partition write cursors, local to this region.
-    let mut cursor: Vec<u64> = part.did_off[..part.did_off.len() - 1].to_vec();
-    let mut wsplit = weights;
-    for v in png.src_parts().range(s) {
-        let nbrs = view.neighbors(v);
-        let base = view.edge_range(v).start;
-        let mut i = 0;
-        while i < nbrs.len() {
-            let p = (nbrs[i] / q) as usize;
-            let mut j = i + 1;
-            while j < nbrs.len() && (nbrs[j] / q) as usize == p {
-                j += 1;
-            }
-            let c = cursor[p] as usize;
-            region[c] = nbrs[i] | MSB_FLAG;
-            region[c + 1..c + (j - i)].copy_from_slice(&nbrs[i + 1..j]);
-            if let Some((wregion, ew)) = wsplit.as_mut() {
-                wregion[c..c + (j - i)]
-                    .copy_from_slice(&ew[(base as usize + i)..(base as usize + j)]);
-            }
-            cursor[p] += (j - i) as u64;
-            i = j;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::partition::Partitioner;
-    use crate::ID_MASK;
+    use crate::{ID_MASK, MSB_FLAG};
     use pcpm_graph::Csr;
 
     fn setup(q: u32) -> (Csr, Png) {
@@ -199,6 +88,10 @@ mod tests {
         (g, png)
     }
 
+    fn build(g: &Csr, png: &Png, w: Option<&[f32]>) -> BinSpace {
+        WideFormat::build(EdgeView::from_csr(g), png, w)
+    }
+
     /// Decodes segment `(s, p)` into (source-order) messages of masked IDs.
     fn decode(png: &Png, bins: &BinSpace, s: u32, p: u32) -> Vec<Vec<u32>> {
         let part = png.part(s);
@@ -218,9 +111,8 @@ mod tests {
 
     #[test]
     fn msb_demarcation_round_trips_fig3() {
-        let (_, png) = setup(3);
-        let view_holder = setup(3);
-        let bins = BinSpace::build(EdgeView::from_csr(&view_holder.0), &png, None);
+        let (g, png) = setup(3);
+        let bins = build(&g, &png, None);
         // Fig. 4b: bin 0 receives from partition 2 the messages
         // 6 -> {0, 1} and 7 -> {2}.
         assert_eq!(decode(&png, &bins, 2, 0), vec![vec![0, 1], vec![2]]);
@@ -230,9 +122,19 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_direct_construction_still_works() {
+        // The 0.2 entry point remains callable for one release.
+        let (g, png) = setup(3);
+        #[allow(deprecated)]
+        let old = BinSpace::<f32>::build(EdgeView::from_csr(&g), &png, None);
+        let new = build(&g, &png, None);
+        assert_eq!(old.dest_ids, new.dest_ids);
+    }
+
+    #[test]
     fn message_counts_match_png() {
         let (g, png) = setup(3);
-        let bins: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let bins = build(&g, &png, None);
         let k = png.dst_parts().num_partitions();
         let mut total_msgs = 0u64;
         let mut total_ids = 0u64;
@@ -254,7 +156,7 @@ mod tests {
         let g = pcpm_graph::gen::erdos_renyi(64, 400, 17).unwrap();
         let parts = Partitioner::new(64, 10).unwrap();
         let png = Png::build(EdgeView::from_csr(&g), parts, parts);
-        let bins: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let bins = build(&g, &png, None);
         // Reconstruct every (src, dst) pair from the bins.
         let mut rebuilt: Vec<(u32, u32)> = Vec::new();
         for s in parts.iter() {
@@ -283,7 +185,7 @@ mod tests {
         let w = vec![1.0f32, 3.0, 21.0];
         let parts = Partitioner::new(4, 2).unwrap();
         let png = Png::build(EdgeView::from_csr(&g), parts, parts);
-        let bins: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, Some(&w));
+        let bins = build(&g, &png, Some(&w));
         let bw = bins.weights.as_ref().unwrap();
         // For every bin entry, the weight must match the (masked src->dst) edge.
         for s in parts.iter() {
@@ -312,7 +214,7 @@ mod tests {
     #[test]
     fn unweighted_bins_have_no_weights() {
         let (g, png) = setup(3);
-        let bins: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let bins = build(&g, &png, None);
         assert!(bins.weights.is_none());
         assert_eq!(bins.updates.len() as u64, png.num_compressed_edges());
         assert_eq!(bins.dest_ids.len() as u64, g.num_edges());
@@ -321,7 +223,7 @@ mod tests {
     #[test]
     fn memory_accounting() {
         let (g, png) = setup(3);
-        let bins: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let bins = build(&g, &png, None);
         assert_eq!(bins.memory_bytes(), (8 * 4 + 10 * 4) as u64);
     }
 }

@@ -9,12 +9,16 @@
 //! destID-bin traffic, the largest single term of PCPM's communication
 //! model (`m·di` in Eq. 5).
 //!
-//! [`CompactBinSpace`] stores exactly that encoding;
+//! [`CompactBinSpace`] stores exactly that encoding — the
+//! [`CompactFormat`](crate::format::CompactFormat) storage of the
+//! [`BinFormat`](crate::format::BinFormat) axis; the build/repair logic
+//! is the shared fixed-width skeleton in [`crate::format`].
 //! [`gather_compact_branch_avoiding`] mirrors Algorithm 4 on it. The
-//! engine switches automatically when
-//! [`crate::PcpmConfig::compact_bins`] is set and the partition size
-//! permits.
+//! engine switches when [`crate::PcpmConfig::bin_format`] selects
+//! [`BinFormatKind::Compact`](crate::format::BinFormatKind) and the
+//! partition size permits.
 
+use crate::format::{BinFormat, BinScalar, CompactFormat};
 use crate::partition::split_by_lens;
 use crate::png::{EdgeView, Png};
 use rayon::prelude::*;
@@ -44,7 +48,7 @@ pub struct CompactBinSpace<T = f32> {
     pub weights: Option<Vec<f32>>,
 }
 
-impl<T: Copy + Default + Send + Sync> CompactBinSpace<T> {
+impl<T: BinScalar> CompactBinSpace<T> {
     /// Builds the compact bins; the destination partitioner must satisfy
     /// `partition_size() <= MAX_COMPACT_PARTITION`.
     ///
@@ -52,92 +56,13 @@ impl<T: Copy + Default + Send + Sync> CompactBinSpace<T> {
     ///
     /// Panics if the partition size exceeds the 15-bit local ID range
     /// (engine code checks this before choosing the compact path).
+    #[deprecated(
+        since = "0.3.0",
+        note = "construct through the format axis: `CompactFormat::build` \
+                (or the engine builder's `.bin_format(BinFormatKind::Compact)`)"
+    )]
     pub fn build(view: EdgeView<'_>, png: &Png, edge_weights: Option<&[f32]>) -> Self {
-        let q = png.dst_parts().partition_size();
-        assert!(
-            q <= MAX_COMPACT_PARTITION,
-            "partition size {q} exceeds the 15-bit compact range"
-        );
-        let updates = vec![T::default(); png.num_compressed_edges() as usize];
-        let mut dest_ids = vec![0u16; png.num_raw_edges() as usize];
-        let mut weights = edge_weights.map(|_| vec![0.0f32; png.num_raw_edges() as usize]);
-
-        let did_lens = png.did_region_lens();
-        let regions = split_by_lens(&mut dest_ids, &did_lens);
-        match (&mut weights, edge_weights) {
-            (Some(w), Some(ew)) => {
-                let wregions = split_by_lens(w, &did_lens);
-                regions
-                    .into_par_iter()
-                    .zip(wregions)
-                    .enumerate()
-                    .for_each(|(s, (dst, wdst))| {
-                        fill_partition(view, png, s as u32, dst, Some((wdst, ew)));
-                    });
-            }
-            _ => {
-                regions.into_par_iter().enumerate().for_each(|(s, dst)| {
-                    fill_partition(view, png, s as u32, dst, None);
-                });
-            }
-        }
-        Self {
-            updates,
-            dest_ids,
-            weights,
-        }
-    }
-
-    /// Incremental rebuild after a [`Png::repair`] — the 16-bit analogue
-    /// of [`crate::bins::BinSpace::repair`]: touched source partitions
-    /// are re-filled, untouched segments block-copied from the old
-    /// arrays, and the scratch update array re-allocated.
-    pub(crate) fn repair(
-        &mut self,
-        view: EdgeView<'_>,
-        png: &Png,
-        old_did_region: &[u64],
-        touched: &[bool],
-        edge_weights: Option<&[f32]>,
-    ) {
-        self.updates = vec![T::default(); png.num_compressed_edges() as usize];
-        let mut dest_ids = vec![0u16; png.num_raw_edges() as usize];
-        let mut weights = edge_weights.map(|_| vec![0.0f32; png.num_raw_edges() as usize]);
-        let did_lens = png.did_region_lens();
-        let old = &self.dest_ids;
-        let old_w = self.weights.as_deref();
-        let regions = split_by_lens(&mut dest_ids, &did_lens);
-        match (&mut weights, edge_weights) {
-            (Some(w), Some(ew)) => {
-                let wregions = split_by_lens(w, &did_lens);
-                regions
-                    .into_par_iter()
-                    .zip(wregions)
-                    .enumerate()
-                    .for_each(|(s, (dst, wdst))| {
-                        if touched[s] {
-                            fill_partition(view, png, s as u32, dst, Some((wdst, ew)));
-                        } else {
-                            let lo = old_did_region[s] as usize;
-                            dst.copy_from_slice(&old[lo..lo + dst.len()]);
-                            let ow = old_w.expect("weighted bins keep weights");
-                            wdst.copy_from_slice(&ow[lo..lo + wdst.len()]);
-                        }
-                    });
-            }
-            _ => {
-                regions.into_par_iter().enumerate().for_each(|(s, dst)| {
-                    if touched[s] {
-                        fill_partition(view, png, s as u32, dst, None);
-                    } else {
-                        let lo = old_did_region[s] as usize;
-                        dst.copy_from_slice(&old[lo..lo + dst.len()]);
-                    }
-                });
-            }
-        }
-        self.dest_ids = dest_ids;
-        self.weights = weights;
+        CompactFormat::build(view, png, edge_weights)
     }
 
     /// Heap bytes held by the bins.
@@ -145,43 +70,6 @@ impl<T: Copy + Default + Send + Sync> CompactBinSpace<T> {
         (self.updates.len() * std::mem::size_of::<T>()
             + self.dest_ids.len() * 2
             + self.weights.as_ref().map_or(0, |w| w.len() * 4)) as u64
-    }
-}
-
-fn fill_partition(
-    view: EdgeView<'_>,
-    png: &Png,
-    s: u32,
-    region: &mut [u16],
-    weights: Option<(&mut [f32], &[f32])>,
-) {
-    let q = png.dst_parts().partition_size();
-    let part = png.part(s);
-    let mut cursor: Vec<u64> = part.did_off[..part.did_off.len() - 1].to_vec();
-    let mut wsplit = weights;
-    for v in png.src_parts().range(s) {
-        let nbrs = view.neighbors(v);
-        let base = view.edge_range(v).start;
-        let mut i = 0;
-        while i < nbrs.len() {
-            let p = nbrs[i] / q;
-            let p_lo = p * q;
-            let mut j = i + 1;
-            while j < nbrs.len() && nbrs[j] / q == p {
-                j += 1;
-            }
-            let c = cursor[p as usize] as usize;
-            region[c] = (nbrs[i] - p_lo) as u16 | MSB_FLAG16;
-            for (slot, &t) in region[c + 1..c + (j - i)].iter_mut().zip(&nbrs[i + 1..j]) {
-                *slot = (t - p_lo) as u16;
-            }
-            if let Some((wregion, ew)) = wsplit.as_mut() {
-                wregion[c..c + (j - i)]
-                    .copy_from_slice(&ew[(base as usize + i)..(base as usize + j)]);
-            }
-            cursor[p as usize] += (j - i) as u64;
-            i = j;
-        }
     }
 }
 
@@ -241,6 +129,7 @@ pub fn gather_compact_algebra<A: crate::algebra::Algebra>(
 mod tests {
     use super::*;
     use crate::bins::BinSpace;
+    use crate::format::WideFormat;
     use crate::gather::gather_branch_avoiding;
     use crate::partition::Partitioner;
     use crate::scatter::png_scatter;
@@ -252,14 +141,22 @@ mod tests {
         Png::build(EdgeView::from_csr(g), parts, parts)
     }
 
+    fn build_wide(g: &Csr, png: &Png, w: Option<&[f32]>) -> BinSpace {
+        WideFormat::build(EdgeView::from_csr(g), png, w)
+    }
+
+    fn build_compact(g: &Csr, png: &Png, w: Option<&[f32]>) -> CompactBinSpace {
+        CompactFormat::build(EdgeView::from_csr(g), png, w)
+    }
+
     #[test]
     fn compact_gather_equals_wide_gather() {
         let g = rmat(&RmatConfig::graph500(9, 8, 61)).unwrap();
         for q in [16u32, 100, 512] {
             let png = setup(&g, q);
             let x: Vec<f32> = (0..g.num_nodes()).map(|v| (v as f32).sin()).collect();
-            let mut wide: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, None);
-            let mut compact = CompactBinSpace::build(EdgeView::from_csr(&g), &png, None);
+            let mut wide = build_wide(&g, &png, None);
+            let mut compact = build_compact(&g, &png, None);
             png_scatter(&png, &x, &mut wide.updates);
             png_scatter(&png, &x, &mut compact.updates);
             let mut yw = vec![0.0f32; g.num_nodes() as usize];
@@ -276,8 +173,8 @@ mod tests {
         let w = EdgeWeights::random(&g, 8);
         let png = setup(&g, 64);
         let x: Vec<f32> = (0..200).map(|v| v as f32 * 0.25).collect();
-        let mut wide: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, Some(w.as_slice()));
-        let mut compact = CompactBinSpace::build(EdgeView::from_csr(&g), &png, Some(w.as_slice()));
+        let mut wide = build_wide(&g, &png, Some(w.as_slice()));
+        let mut compact = build_compact(&g, &png, Some(w.as_slice()));
         png_scatter(&png, &x, &mut wide.updates);
         png_scatter(&png, &x, &mut compact.updates);
         let mut yw = vec![0.0f32; 200];
@@ -291,8 +188,8 @@ mod tests {
     fn memory_footprint_is_halved_on_dest_ids() {
         let g = erdos_renyi(500, 5000, 5).unwrap();
         let png = setup(&g, 128);
-        let wide: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, None);
-        let compact: CompactBinSpace = CompactBinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let wide = build_wide(&g, &png, None);
+        let compact = build_compact(&g, &png, None);
         let dest_wide = wide.dest_ids.len() * 4;
         let dest_compact = compact.dest_ids.len() * 2;
         assert_eq!(dest_compact * 2, dest_wide);
@@ -305,7 +202,7 @@ mod tests {
         let n = 70_000u32;
         let g = Csr::from_edges(n, &[(0, 1), (0, 65_000)]).unwrap();
         let png = setup(&g, n); // one partition of 70 K nodes > 2^15
-        let _: CompactBinSpace = CompactBinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let _ = build_compact(&g, &png, None);
     }
 
     #[test]
@@ -315,7 +212,7 @@ mod tests {
         let edges = [(0u32, MAX_COMPACT_PARTITION - 1), (0, n - 1), (1, 0)];
         let g = Csr::from_edges(n, &edges).unwrap();
         let png = setup(&g, MAX_COMPACT_PARTITION);
-        let mut bins = CompactBinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let mut bins = build_compact(&g, &png, None);
         let mut x = vec![0.0f32; n as usize];
         x[0] = 5.0;
         x[1] = 7.0;

@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use crate::error::PcpmError;
+use crate::format::BinFormatKind;
 
 /// Size of one PageRank / update value in bytes (the paper uses 4-byte
 /// values and indices throughout, §5.1).
@@ -36,9 +37,11 @@ pub struct PcpmConfig {
     /// Redistribute the rank mass of dangling nodes uniformly. The paper's
     /// kernels drop it (mass decays); keep `false` to match.
     pub redistribute_dangling: bool,
-    /// Use 16-bit partition-local destination IDs (paper §6 / G-Store
-    /// future work). Requires `partition_nodes() <= 2^15`.
-    pub compact_bins: bool,
+    /// Physical destination-ID encoding of the PCPM bins: wide 32-bit
+    /// global IDs (the paper's §3.2 layout), compact 16-bit
+    /// partition-local IDs (§6; requires `partition_nodes() <= 2^15`),
+    /// or delta-encoded varints (`--format delta`).
+    pub bin_format: BinFormatKind,
     /// Thread count for the engine-owned worker pool (prepare, every
     /// step and incremental repair run on it); `None` uses the ambient
     /// global pool. Engine backends produce bit-identical results for
@@ -56,7 +59,7 @@ impl Default for PcpmConfig {
             iterations: 20,
             tolerance: None,
             redistribute_dangling: false,
-            compact_bins: false,
+            bin_format: BinFormatKind::Wide,
             threads: None,
         }
     }
@@ -92,9 +95,16 @@ impl PcpmConfig {
         self
     }
 
-    /// Returns a copy with compact 16-bit destination bins enabled.
+    /// Returns a copy with a different bin format.
+    pub fn with_bin_format(mut self, format: BinFormatKind) -> Self {
+        self.bin_format = format;
+        self
+    }
+
+    /// Returns a copy with compact 16-bit destination bins enabled
+    /// (shorthand for `with_bin_format(BinFormatKind::Compact)`).
     pub fn with_compact_bins(mut self) -> Self {
-        self.compact_bins = true;
+        self.bin_format = BinFormatKind::Compact;
         self
     }
 
@@ -115,7 +125,9 @@ impl PcpmConfig {
         if self.threads == Some(0) {
             return Err(PcpmError::BadConfig("threads must be at least 1"));
         }
-        if self.compact_bins && self.partition_nodes() > crate::compact::MAX_COMPACT_PARTITION {
+        if self.bin_format == BinFormatKind::Compact
+            && self.partition_nodes() > crate::compact::MAX_COMPACT_PARTITION
+        {
             return Err(PcpmError::BadConfig(
                 "compact bins require partitions of at most 2^15 nodes (128 KB of values)",
             ));

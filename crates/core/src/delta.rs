@@ -1,0 +1,524 @@
+//! Delta-packed destination bins: per-partition delta-encoded varints.
+//!
+//! The paper's PNG layout already compresses the *update* stream (one
+//! update per compressed edge); the destination-ID stream stays at four
+//! bytes per raw edge in the wide format and two in the compact one. This
+//! module pushes further along the same axis: within a `(source
+//! partition, destination bin)` segment, destinations are stored as a
+//! byte-packed varint stream —
+//!
+//! - the **first** destination of a message is its partition-local offset
+//!   (`dst − p·q`, always `< q`), tagged with the demarcation flag in the
+//!   varint's least-significant bit (the MSB flag of §3.2, relocated so
+//!   the payload stays dense);
+//! - every **subsequent** destination is the gap to its predecessor
+//!   (`dst − prev`; CSR neighbor lists are sorted, so gaps are ≥ 0 —
+//!   `Csr::from_edges` keeps duplicate edges, which encode as a zero
+//!   gap — and the common small gaps encode as one byte).
+//!
+//! On power-law graphs this lands at ~1–2 bytes per edge — below even the
+//! compact format, with no partition-size restriction — shrinking the
+//! `m·di` destID-scan term that dominates PCPM's communication model
+//! (Eq. 5). The cost is a data-dependent decode in the gather (no longer
+//! a pure pointer walk); the `formats` bench suite measures the trade.
+//!
+//! [`DeltaPackedBins`] keeps its own byte-offset geometry (`byte_region`
+//! per source partition, `seg_off` per destination bin) because segment
+//! lengths are data-dependent; the update stream and the optional weight
+//! stream reuse the shared layouts, so scatter and weighted gather are
+//! unchanged.
+
+use crate::algebra::Algebra;
+use crate::format::{build_weight_stream, repair_weight_stream, BinScalar, DestCursor};
+use crate::partition::split_by_lens;
+use crate::png::{for_each_run, EdgeView, Png};
+use rayon::prelude::*;
+
+/// Message bins with a delta-encoded varint destination stream.
+///
+/// Construct through [`DeltaFormat`](crate::format::DeltaFormat) (or the
+/// engine builder's `.bin_format(BinFormatKind::Delta)`); the fields are
+/// internal because the byte geometry must stay consistent with the PNG.
+#[derive(Clone, Debug)]
+pub struct DeltaPackedBins<T = f32> {
+    /// Update values, source-partition-major (`|E'|` entries) — the
+    /// same layout as every other format.
+    pub updates: Vec<T>,
+    /// The varint-encoded destination stream, source-partition-major.
+    dest_bytes: Vec<u8>,
+    /// `k_src + 1` byte offsets of each source partition's region.
+    byte_region: Vec<u64>,
+    /// Per source partition: `k_dst + 1` byte offsets local to its
+    /// region (the delta analogue of `BipartitePart::did_off`).
+    seg_off: Vec<Vec<u64>>,
+    /// Optional edge weights in raw-edge bin order (the wide layout).
+    pub weights: Option<Vec<f32>>,
+}
+
+/// Appends `v` as a LEB128 varint (round-trip tests only; the encoder
+/// proper writes in place through [`put_varint`]).
+#[cfg(test)]
+fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            break;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint at `*pos`, advancing it.
+#[inline]
+fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = bytes[*pos];
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Encoded size of `v` as a LEB128 varint.
+#[inline]
+fn varint_len(v: u64) -> u64 {
+    ((64 - v.leading_zeros() as u64).max(1)).div_ceil(7)
+}
+
+/// Writes `v` at `buf[*pos..]`, advancing `*pos`.
+#[inline]
+fn put_varint(buf: &mut [u8], pos: &mut usize, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf[*pos] = byte;
+            *pos += 1;
+            break;
+        }
+        buf[*pos] = byte | 0x80;
+        *pos += 1;
+    }
+}
+
+/// Encodes the destination stream of source partition `s`: returns the
+/// byte buffer plus its `k_dst + 1` local segment offsets. Two passes —
+/// byte-count per destination bin, then fill through per-bin cursors
+/// into one flat buffer — mirroring the fixed-width skeleton's cursor
+/// scheme (no per-bin allocations, no re-copy).
+fn encode_partition(view: EdgeView<'_>, png: &Png, s: u32) -> (Vec<u8>, Vec<u64>) {
+    let k = png.dst_parts().num_partitions() as usize;
+    let q = png.dst_parts().partition_size();
+    let mut seg_len = vec![0u64; k];
+    for_each_run(
+        view,
+        png.src_parts(),
+        png.dst_parts(),
+        s,
+        |_v, p, run, _| {
+            let mut len = varint_len(u64::from(run[0] - p * q) << 1 | 1);
+            for pair in run.windows(2) {
+                len += varint_len(u64::from(pair[1] - pair[0]) << 1);
+            }
+            seg_len[p as usize] += len;
+        },
+    );
+    let mut seg_off = Vec::with_capacity(k + 1);
+    seg_off.push(0u64);
+    for &len in &seg_len {
+        seg_off.push(seg_off.last().unwrap() + len);
+    }
+    let mut bytes = vec![0u8; *seg_off.last().unwrap() as usize];
+    let mut cursor: Vec<usize> = seg_off[..k].iter().map(|&o| o as usize).collect();
+    for_each_run(
+        view,
+        png.src_parts(),
+        png.dst_parts(),
+        s,
+        |_v, p, run, _| {
+            let pos = &mut cursor[p as usize];
+            let p_base = p * q;
+            put_varint(&mut bytes, pos, (u64::from(run[0] - p_base) << 1) | 1);
+            for pair in run.windows(2) {
+                put_varint(&mut bytes, pos, u64::from(pair[1] - pair[0]) << 1);
+            }
+        },
+    );
+    (bytes, seg_off)
+}
+
+impl<T: BinScalar> DeltaPackedBins<T> {
+    /// Builds the delta bins for `png`, in parallel over source
+    /// partitions (the [`BinFormat::build`](crate::format::BinFormat)
+    /// entry point).
+    pub(crate) fn build(view: EdgeView<'_>, png: &Png, edge_weights: Option<&[f32]>) -> Self {
+        let updates = vec![T::default(); png.num_compressed_edges() as usize];
+        let k_src = png.src_parts().num_partitions();
+        let parts: Vec<(Vec<u8>, Vec<u64>)> = (0..k_src)
+            .into_par_iter()
+            .map(|s| encode_partition(view, png, s))
+            .collect();
+        let mut byte_region = Vec::with_capacity(parts.len() + 1);
+        byte_region.push(0u64);
+        for (bytes, _) in &parts {
+            byte_region.push(byte_region.last().unwrap() + bytes.len() as u64);
+        }
+        let mut dest_bytes = Vec::with_capacity(*byte_region.last().unwrap() as usize);
+        let mut seg_off = Vec::with_capacity(parts.len());
+        for (bytes, offs) in parts {
+            dest_bytes.extend_from_slice(&bytes);
+            seg_off.push(offs);
+        }
+        let weights = edge_weights.map(|ew| build_weight_stream(view, png, ew));
+        Self {
+            updates,
+            dest_bytes,
+            byte_region,
+            seg_off,
+            weights,
+        }
+    }
+
+    /// Incremental rebuild after a [`Png::repair`]: touched source
+    /// partitions are re-encoded, untouched byte regions block-copied
+    /// (their segment offsets are unchanged — only the region base
+    /// moves). `old_did_region` positions the weight-stream copy.
+    pub(crate) fn repair(
+        &mut self,
+        view: EdgeView<'_>,
+        png: &Png,
+        old_did_region: &[u64],
+        touched: &[bool],
+        edge_weights: Option<&[f32]>,
+    ) {
+        self.updates = vec![T::default(); png.num_compressed_edges() as usize];
+        let k_src = png.src_parts().num_partitions() as usize;
+        let rebuilt: Vec<Option<(Vec<u8>, Vec<u64>)>> = (0..k_src)
+            .into_par_iter()
+            .map(|s| touched[s].then(|| encode_partition(view, png, s as u32)))
+            .collect();
+        let mut byte_region = Vec::with_capacity(k_src + 1);
+        byte_region.push(0u64);
+        for (s, part) in rebuilt.iter().enumerate() {
+            let len = match part {
+                Some((bytes, _)) => bytes.len() as u64,
+                None => self.byte_region[s + 1] - self.byte_region[s],
+            };
+            byte_region.push(byte_region.last().unwrap() + len);
+        }
+        let mut dest_bytes = Vec::with_capacity(*byte_region.last().unwrap() as usize);
+        for (s, part) in rebuilt.iter().enumerate() {
+            match part {
+                Some((bytes, _)) => dest_bytes.extend_from_slice(bytes),
+                None => dest_bytes.extend_from_slice(
+                    &self.dest_bytes
+                        [self.byte_region[s] as usize..self.byte_region[s + 1] as usize],
+                ),
+            }
+        }
+        for (s, part) in rebuilt.into_iter().enumerate() {
+            if let Some((_, offs)) = part {
+                self.seg_off[s] = offs;
+            }
+        }
+        self.byte_region = byte_region;
+        self.dest_bytes = dest_bytes;
+        let old_w = self.weights.take();
+        self.weights = edge_weights.map(|ew| {
+            let old = old_w.as_deref().expect("weighted bins keep weights");
+            repair_weight_stream(old, view, png, old_did_region, touched, ew)
+        });
+    }
+
+    /// Heap bytes held by the bins (updates + byte stream + offsets +
+    /// weights).
+    pub fn memory_bytes(&self) -> u64 {
+        let offsets =
+            (self.byte_region.len() + self.seg_off.iter().map(Vec::len).sum::<usize>()) * 8;
+        (self.updates.len() * std::mem::size_of::<T>()
+            + self.dest_bytes.len()
+            + offsets
+            + self.weights.as_ref().map_or(0, |w| w.len() * 4)) as u64
+    }
+
+    /// Bytes of the varint destination stream alone.
+    pub fn dest_stream_bytes(&self) -> u64 {
+        self.dest_bytes.len() as u64
+    }
+
+    /// The raw byte segment of `(s, p)`.
+    #[inline]
+    fn segment(&self, s: usize, p: usize) -> &[u8] {
+        let base = self.byte_region[s] as usize;
+        let lo = base + self.seg_off[s][p] as usize;
+        let hi = base + self.seg_off[s][p + 1] as usize;
+        &self.dest_bytes[lo..hi]
+    }
+
+    /// A [`DestCursor`] over segment `(s, p)`.
+    pub(crate) fn cursor(&self, png: &Png, s: u32, p: u32) -> DeltaCursor<'_> {
+        DeltaCursor {
+            bytes: self.segment(s as usize, p as usize),
+            pos: 0,
+            p_base: p * png.dst_parts().partition_size(),
+            prev: 0,
+        }
+    }
+}
+
+/// Streaming varint decoder over one `(s, p)` segment.
+pub struct DeltaCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    p_base: u32,
+    prev: u32,
+}
+
+impl DestCursor for DeltaCursor<'_> {
+    #[inline]
+    fn next_entry(&mut self) -> Option<(u32, bool)> {
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let v = read_varint(self.bytes, &mut self.pos);
+        let first = v & 1 == 1;
+        if first {
+            self.prev = self.p_base + (v >> 1) as u32;
+        } else {
+            self.prev += (v >> 1) as u32;
+        }
+        Some((self.prev, first))
+    }
+}
+
+/// Branch-avoiding gather over delta bins for an arbitrary
+/// [`Algebra`]: the same segment walk as the wide/compact gathers, with
+/// the pointer-arithmetic MSB trick carried in the varint's LSB. Decodes
+/// entries in identical order, so output is bit-identical to the wide
+/// format for any algebra.
+pub fn gather_delta_algebra<A: Algebra>(png: &Png, bins: &DeltaPackedBins<A::T>, y: &mut [A::T]) {
+    assert_eq!(y.len(), png.dst_parts().num_nodes() as usize, "y length");
+    let lens = png.dst_parts().lens();
+    let slices = split_by_lens(y, &lens);
+    let k_src = png.src_parts().num_partitions();
+    slices.into_par_iter().enumerate().for_each(|(p, ys)| {
+        ys.fill(A::identity());
+        for s in 0..k_src {
+            let su = s as usize;
+            let part = png.part(s);
+            let ubase = png.upd_region()[su] as usize;
+            let ulo = ubase + part.upd_off[p] as usize;
+            let uhi = ubase + part.upd_off[p + 1] as usize;
+            let us = &bins.updates[ulo..uhi];
+            let bytes = bins.segment(su, p);
+            match &bins.weights {
+                None => {
+                    let mut up = usize::MAX;
+                    let mut local = 0usize;
+                    let mut pos = 0usize;
+                    while pos < bytes.len() {
+                        let v = read_varint(bytes, &mut pos);
+                        // LSB = message start: advances the update
+                        // pointer and resets the local offset; otherwise
+                        // the payload is the gap to the previous dest.
+                        up = up.wrapping_add((v & 1) as usize);
+                        let d = (v >> 1) as usize;
+                        local = if v & 1 == 1 { d } else { local + d };
+                        let slot = &mut ys[local];
+                        *slot = A::combine(*slot, A::extend(us[up]));
+                    }
+                }
+                Some(w) => {
+                    let dbase = png.did_region()[su] as usize;
+                    let dlo = dbase + part.did_off[p] as usize;
+                    let dhi = dbase + part.did_off[p + 1] as usize;
+                    let ws = &w[dlo..dhi];
+                    let mut up = usize::MAX;
+                    let mut local = 0usize;
+                    let mut pos = 0usize;
+                    let mut edge = 0usize;
+                    while pos < bytes.len() {
+                        let v = read_varint(bytes, &mut pos);
+                        up = up.wrapping_add((v & 1) as usize);
+                        let d = (v >> 1) as usize;
+                        local = if v & 1 == 1 { d } else { local + d };
+                        let slot = &mut ys[local];
+                        *slot = A::combine(*slot, A::extend_weighted(ws[edge], us[up]));
+                        edge += 1;
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{BinFormat, DeltaFormat, WideFormat};
+    use crate::partition::Partitioner;
+    use crate::scatter::png_scatter;
+    use pcpm_graph::gen::{erdos_renyi, rmat, RmatConfig};
+    use pcpm_graph::{Csr, EdgeWeights};
+
+    fn setup(g: &Csr, q: u32) -> Png {
+        let parts = Partitioner::new(g.num_nodes(), q).unwrap();
+        Png::build(EdgeView::from_csr(g), parts, parts)
+    }
+
+    #[test]
+    fn varints_round_trip() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u64::from(u32::MAX) << 1,
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn delta_gather_equals_wide_gather() {
+        let g = rmat(&RmatConfig::graph500(9, 8, 61)).unwrap();
+        for q in [1u32, 16, 100, 512, 100_000] {
+            let png = setup(&g, q);
+            let x: Vec<f32> = (0..g.num_nodes()).map(|v| (v as f32).sin()).collect();
+            let mut wide = WideFormat::build::<f32>(EdgeView::from_csr(&g), &png, None);
+            let mut delta = DeltaFormat::build::<f32>(EdgeView::from_csr(&g), &png, None);
+            png_scatter(&png, &x, &mut wide.updates);
+            png_scatter(&png, &x, &mut delta.updates);
+            let n = g.num_nodes() as usize;
+            let (mut yw, mut yd) = (vec![0.0f32; n], vec![0.0f32; n]);
+            crate::gather::gather_branch_avoiding(&png, &wide, &mut yw);
+            gather_delta_algebra::<crate::algebra::PlusF32>(&png, &delta, &mut yd);
+            assert_eq!(yw, yd, "q={q}");
+        }
+    }
+
+    #[test]
+    fn delta_weighted_gather_equals_wide() {
+        let g = erdos_renyi(200, 1500, 3).unwrap();
+        let w = EdgeWeights::random(&g, 8);
+        let png = setup(&g, 64);
+        let x: Vec<f32> = (0..200).map(|v| v as f32 * 0.25).collect();
+        let mut wide = WideFormat::build::<f32>(EdgeView::from_csr(&g), &png, Some(w.as_slice()));
+        let mut delta = DeltaFormat::build::<f32>(EdgeView::from_csr(&g), &png, Some(w.as_slice()));
+        png_scatter(&png, &x, &mut wide.updates);
+        png_scatter(&png, &x, &mut delta.updates);
+        let (mut yw, mut yd) = (vec![0.0f32; 200], vec![0.0f32; 200]);
+        crate::gather::gather_branch_avoiding(&png, &wide, &mut yw);
+        gather_delta_algebra::<crate::algebra::PlusF32>(&png, &delta, &mut yd);
+        assert_eq!(yw, yd);
+    }
+
+    #[test]
+    fn delta_integer_algebra_matches_wide() {
+        use crate::algebra::MinLabel;
+        let g = rmat(&RmatConfig::graph500(9, 6, 23)).unwrap();
+        let png = setup(&g, 128);
+        let mut wide = WideFormat::build::<u32>(EdgeView::from_csr(&g), &png, None);
+        let mut delta = DeltaFormat::build::<u32>(EdgeView::from_csr(&g), &png, None);
+        let x: Vec<u32> = (0..g.num_nodes()).map(|v| v % 11).collect();
+        png_scatter(&png, &x, &mut wide.updates);
+        png_scatter(&png, &x, &mut delta.updates);
+        let n = g.num_nodes() as usize;
+        let (mut yw, mut yd) = (vec![0u32; n], vec![0u32; n]);
+        crate::gather::gather_algebra::<MinLabel>(&png, &wide, &mut yw);
+        gather_delta_algebra::<MinLabel>(&png, &delta, &mut yd);
+        assert_eq!(yw, yd);
+    }
+
+    #[test]
+    fn dest_stream_beats_wide_and_memory_accounts() {
+        let g = rmat(&RmatConfig::graph500(10, 8, 5)).unwrap();
+        let png = setup(&g, 512);
+        let wide = WideFormat::build::<f32>(EdgeView::from_csr(&g), &png, None);
+        let delta = DeltaFormat::build::<f32>(EdgeView::from_csr(&g), &png, None);
+        assert!(delta.dest_stream_bytes() < wide.dest_ids.len() as u64 * 4 / 2);
+        assert!(delta.memory_bytes() < wide.memory_bytes());
+        assert!(delta.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn repair_equals_fresh_build() {
+        let g = rmat(&RmatConfig::graph500(9, 8, 13)).unwrap();
+        let q = 64u32;
+        let mut edges: Vec<(u32, u32)> = g.edges().collect();
+        edges.retain(|&(s, _)| s != 1);
+        edges.push((2, 500));
+        edges.push((3 * q + 2, 17));
+        edges.sort_unstable();
+        edges.dedup();
+        let g2 = Csr::from_edges(g.num_nodes(), &edges).unwrap();
+        let mut png = setup(&g, q);
+        let old_did_region = png.did_region().to_vec();
+        let mut bins = DeltaFormat::build::<f32>(EdgeView::from_csr(&g), &png, None);
+        let touched_list = [0u32, 3];
+        png.repair(EdgeView::from_csr(&g2), &touched_list);
+        let mut touched = vec![false; png.src_parts().num_partitions() as usize];
+        for &s in &touched_list {
+            touched[s as usize] = true;
+        }
+        bins.repair(
+            EdgeView::from_csr(&g2),
+            &png,
+            &old_did_region,
+            &touched,
+            None,
+        );
+        let fresh = DeltaFormat::build::<f32>(EdgeView::from_csr(&g2), &png, None);
+        assert_eq!(bins.dest_bytes, fresh.dest_bytes);
+        assert_eq!(bins.byte_region, fresh.byte_region);
+        assert_eq!(bins.seg_off, fresh.seg_off);
+        assert_eq!(bins.updates.len(), fresh.updates.len());
+    }
+
+    #[test]
+    fn duplicate_edges_round_trip() {
+        // `Csr::from_edges` keeps duplicates; they must encode as a
+        // zero gap, not underflow (regression: the encoder once stored
+        // gap-1 and panicked on multigraphs).
+        let g = Csr::from_edges(4, &[(0, 1), (0, 1), (0, 2), (2, 3), (2, 3)]).unwrap();
+        let png = setup(&g, 2);
+        let mut wide = WideFormat::build::<f32>(EdgeView::from_csr(&g), &png, None);
+        let mut delta = DeltaFormat::build::<f32>(EdgeView::from_csr(&g), &png, None);
+        let x = vec![1.0f32, 2.0, 4.0, 8.0];
+        png_scatter(&png, &x, &mut wide.updates);
+        png_scatter(&png, &x, &mut delta.updates);
+        let (mut yw, mut yd) = (vec![0.0f32; 4], vec![0.0f32; 4]);
+        crate::gather::gather_branch_avoiding(&png, &wide, &mut yw);
+        gather_delta_algebra::<crate::algebra::PlusF32>(&png, &delta, &mut yd);
+        assert_eq!(yw, yd);
+        assert_eq!(yd[1], 2.0, "duplicate edge (0,1) counted twice");
+        assert_eq!(yd[3], 8.0, "duplicate edge (2,3) counted twice");
+    }
+
+    #[test]
+    fn empty_graph_delta_bins() {
+        let g = Csr::from_edges(0, &[]).unwrap();
+        let png = setup(&g, 4);
+        let bins = DeltaFormat::build::<f32>(EdgeView::from_csr(&g), &png, None);
+        assert_eq!(bins.dest_stream_bytes(), 0);
+        let mut y: Vec<f32> = vec![];
+        gather_delta_algebra::<crate::algebra::PlusF32>(&png, &bins, &mut y);
+    }
+}

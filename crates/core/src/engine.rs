@@ -1,40 +1,34 @@
 //! The PCPM pipeline: a reusable scatter/gather dataplane over a fixed
-//! structure, generic over the gather [`Algebra`].
+//! structure, generic over the gather [`Algebra`] and the physical
+//! [`BinFormat`].
 //!
-//! Building a [`PcpmPipeline`] performs all pre-processing (partitioning,
-//! PNG construction, bin allocation, destination-ID writing); each
-//! [`PcpmPipeline::spmv`] call then executes one scatter + gather round,
-//! computing `y[t] = ⊕_{(s,t) ∈ E} extend(w(s,t), x[s])` — for the
-//! `(+, ×)` semiring, the `Aᵀ·x` product at the heart of a PageRank
-//! iteration (Eq. 2).
+//! [`FormatPipeline<A, F>`] is the statically-typed dataplane: PNG layout
+//! plus `F`'s bin storage, with one shared implementation of build,
+//! incremental repair and the scatter→gather round — the skeleton that
+//! used to be copy-pasted per encoding. [`PcpmPipeline<A>`] wraps it in a
+//! runtime-selected enum (one variant per [`BinFormatKind`]) for callers
+//! that pick the format from a [`PcpmConfig`], and is the type the
+//! ablation benches switch scatter/gather variants on per call.
 //!
-//! Most callers should not touch this type directly: the unified
-//! [`Engine`](crate::backend::Engine) builder wraps it as the
+//! Most callers should not touch either type directly: the unified
+//! [`Engine`](crate::backend::Engine) builder wraps them as the
 //! [`BackendKind::Pcpm`](crate::backend::BackendKind) dataplane and fixes
-//! the phase variants at build time. The pipeline remains public for the
-//! ablation benches, which switch scatter/gather variants per call.
+//! the phase variants at build time.
 
 use crate::algebra::{Algebra, PlusF32};
 use crate::bins::BinSpace;
-use crate::compact::{gather_compact_algebra, CompactBinSpace};
 use crate::config::PcpmConfig;
 use crate::error::PcpmError;
-use crate::gather::{gather_algebra, gather_algebra_branchy};
+use crate::format::{
+    dest_compression, BinFormat, BinFormatKind, CompactFormat, DeltaFormat, WideFormat,
+};
 use crate::partition::Partitioner;
 use crate::png::{EdgeView, Png};
 use crate::pr::PhaseTimings;
-use crate::scatter::{csr_scatter, png_scatter};
+use crate::scatter::csr_scatter;
 use crate::update::RepairStats;
 use pcpm_graph::Csr;
 use std::time::{Duration, Instant};
-
-/// Which physical bin encoding the pipeline built.
-enum BinStorage<T> {
-    /// 32-bit global destination IDs (the paper's layout).
-    Wide(BinSpace<T>),
-    /// 16-bit partition-local destination IDs (§6 future work).
-    Compact(CompactBinSpace<T>),
-}
 
 /// Which scatter implementation to run (Algorithm 3 vs Algorithm 2).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -53,46 +47,23 @@ pub enum GatherKind {
     /// Branch-avoiding pointer arithmetic (§3.4).
     #[default]
     BranchAvoiding,
-    /// Conditional MSB check, kept as the branch-avoidance ablation.
+    /// Conditional MSB check, kept as the branch-avoidance ablation
+    /// (wide bin format only).
     Branchy,
 }
 
 /// A built PCPM dataplane (PNG layout + message bins) over a fixed edge
-/// structure, generic over the gather algebra.
-pub struct PcpmPipeline<A: Algebra = PlusF32> {
+/// structure, statically typed over the gather algebra and the bin
+/// format.
+pub struct FormatPipeline<A: Algebra, F: BinFormat> {
     num_src: u32,
     num_dst: u32,
     png: Png,
-    bins: BinStorage<A::T>,
+    bins: F::Bins<A::T>,
     preprocess: Duration,
 }
 
-/// The original f32 PCPM engine, now an alias of the algebra-generic
-/// pipeline specialized to the `(+, ×)` semiring.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `pcpm_core::Engine::builder(..)` (or `PcpmPipeline<PlusF32>` for per-call variant switching)"
-)]
-pub type PcpmEngine = PcpmPipeline<PlusF32>;
-
-impl<A: Algebra> PcpmPipeline<A> {
-    /// Builds the pipeline for a square graph.
-    pub fn new(graph: &Csr, cfg: &PcpmConfig) -> Result<Self, PcpmError> {
-        cfg.validate()?;
-        Self::from_view(EdgeView::from_csr(graph), cfg, None)
-    }
-
-    /// Builds the pipeline for a square graph with per-edge weights
-    /// (parallel to the CSR targets array).
-    pub fn new_weighted(
-        graph: &Csr,
-        weights: &pcpm_graph::EdgeWeights,
-        cfg: &PcpmConfig,
-    ) -> Result<Self, PcpmError> {
-        cfg.validate()?;
-        Self::from_view(EdgeView::from_csr(graph), cfg, Some(weights.as_slice()))
-    }
-
+impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
     /// Builds the pipeline from a raw (possibly rectangular) edge view.
     ///
     /// Runs on the caller's current rayon pool — the unified
@@ -111,16 +82,9 @@ impl<A: Algebra> PcpmPipeline<A> {
         let src_parts = Partitioner::new(view.num_src(), q)?;
         let dst_parts = Partitioner::new(view.num_dst(), q)?;
         let t0 = Instant::now();
-        let compact = cfg.compact_bins;
-        let (png, bins) = {
-            let png = Png::build(view, src_parts, dst_parts);
-            let bins = if compact {
-                BinStorage::Compact(CompactBinSpace::build(view, &png, weights))
-            } else {
-                BinStorage::Wide(BinSpace::build(view, &png, weights))
-            };
-            (png, bins)
-        };
+        let png = Png::build(view, src_parts, dst_parts);
+        F::validate_layout(&png)?;
+        let bins = F::build(view, &png, weights);
         Ok(Self {
             num_src: view.num_src(),
             num_dst: view.num_dst(),
@@ -145,20 +109,21 @@ impl<A: Algebra> PcpmPipeline<A> {
         &self.png
     }
 
-    /// The wide bins, when the pipeline uses the 32-bit encoding.
-    pub fn bins(&self) -> Option<&BinSpace<A::T>> {
-        match &self.bins {
-            BinStorage::Wide(b) => Some(b),
-            BinStorage::Compact(_) => None,
-        }
+    /// The bin storage.
+    pub fn bins(&self) -> &F::Bins<A::T> {
+        &self.bins
     }
 
-    /// Heap bytes held by the message bins (wide or compact).
+    /// Heap bytes held by the message bins.
     pub fn bin_memory_bytes(&self) -> u64 {
-        match &self.bins {
-            BinStorage::Wide(b) => b.memory_bytes(),
-            BinStorage::Compact(b) => b.memory_bytes(),
-        }
+        F::aux_memory_bytes(&self.bins)
+    }
+
+    /// Destination-ID compression relative to the wide baseline
+    /// (`4·|E| / dest-stream bytes`): 1.0 wide, 2.0 compact, measured
+    /// for delta.
+    pub fn bin_compression(&self) -> f64 {
+        dest_compression(self.png.num_raw_edges(), F::dest_stream_bytes(&self.bins))
     }
 
     /// PNG compression ratio `r = |E| / |E'|`.
@@ -171,17 +136,9 @@ impl<A: Algebra> PcpmPipeline<A> {
         self.preprocess
     }
 
-    /// Whether the pipeline built the compact 16-bit bins.
-    pub fn is_compact(&self) -> bool {
-        matches!(self.bins, BinStorage::Compact(_))
-    }
-
     /// Whether the pipeline carries per-edge weights in its bins.
     pub fn is_weighted(&self) -> bool {
-        match &self.bins {
-            BinStorage::Wide(b) => b.weights.is_some(),
-            BinStorage::Compact(b) => b.weights.is_some(),
-        }
+        F::has_weights(&self.bins)
     }
 
     /// Incrementally repairs the prepared state after an edge-set change:
@@ -229,10 +186,14 @@ impl<A: Algebra> PcpmPipeline<A> {
         let t0 = Instant::now();
         let old_did_region = self.png.did_region().to_vec();
         self.png.repair(view, touched_parts);
-        match &mut self.bins {
-            BinStorage::Wide(b) => b.repair(view, &self.png, &old_did_region, &touched, weights),
-            BinStorage::Compact(b) => b.repair(view, &self.png, &old_did_region, &touched, weights),
-        }
+        F::repair(
+            &mut self.bins,
+            view,
+            &self.png,
+            &old_did_region,
+            &touched,
+            weights,
+        );
         // Repair is (re-)pre-processing: fold it into the reported cost.
         self.preprocess += t0.elapsed();
         Ok(RepairStats {
@@ -241,16 +202,11 @@ impl<A: Algebra> PcpmPipeline<A> {
         })
     }
 
-    /// One `y = ⊕ Aᵀ·x` round with the default (paper) scatter and
-    /// gather.
-    pub fn spmv(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError> {
-        self.spmv_with(x, y, ScatterKind::Png, GatherKind::BranchAvoiding, None)
-    }
-
-    /// One round with explicit phase variants.
+    /// One `y = ⊕ Aᵀ·x` round with explicit phase variants.
     ///
     /// `graph` is required when `scatter` is [`ScatterKind::CsrTraversal`]
-    /// (the ablation needs the original adjacency).
+    /// (the ablation needs the original adjacency); the branchy gather is
+    /// implemented only by the wide format.
     pub fn spmv_with(
         &mut self,
         x: &[A::T],
@@ -272,36 +228,25 @@ impl<A: Algebra> PcpmPipeline<A> {
             });
         }
         let t0 = Instant::now();
-        let updates = match &mut self.bins {
-            BinStorage::Wide(b) => &mut b.updates,
-            BinStorage::Compact(b) => &mut b.updates,
-        };
         match scatter {
-            ScatterKind::Png => png_scatter(&self.png, x, updates),
+            ScatterKind::Png => F::scatter_into(&self.png, x, &mut self.bins),
             ScatterKind::CsrTraversal => {
                 let g = graph.ok_or(PcpmError::BadConfig(
                     "CsrTraversal scatter requires the original graph",
                 ))?;
-                csr_scatter(EdgeView::from_csr(g), &self.png, x, updates);
+                csr_scatter(
+                    EdgeView::from_csr(g),
+                    &self.png,
+                    x,
+                    F::updates_mut(&mut self.bins),
+                );
             }
         }
         let scatter_t = t0.elapsed();
         let t1 = Instant::now();
-        match (&self.bins, gather) {
-            (BinStorage::Wide(b), GatherKind::BranchAvoiding) => {
-                gather_algebra::<A>(&self.png, b, y)
-            }
-            (BinStorage::Wide(b), GatherKind::Branchy) => {
-                gather_algebra_branchy::<A>(&self.png, b, y)
-            }
-            (BinStorage::Compact(b), GatherKind::BranchAvoiding) => {
-                gather_compact_algebra::<A>(&self.png, b, y)
-            }
-            (BinStorage::Compact(_), GatherKind::Branchy) => {
-                return Err(PcpmError::BadConfig(
-                    "compact bins only implement the branch-avoiding gather",
-                ))
-            }
+        match gather {
+            GatherKind::BranchAvoiding => F::gather_from::<A>(&self.png, &self.bins, y),
+            GatherKind::Branchy => F::gather_branchy_from::<A>(&self.png, &self.bins, y)?,
         }
         let gather_t = t1.elapsed();
         Ok(PhaseTimings {
@@ -309,6 +254,197 @@ impl<A: Algebra> PcpmPipeline<A> {
             gather: gather_t,
             apply: Duration::ZERO,
         })
+    }
+}
+
+/// The runtime-selected pipeline: one [`FormatPipeline`] variant per
+/// [`BinFormatKind`], chosen from [`PcpmConfig::bin_format`].
+enum AnyPipeline<A: Algebra> {
+    Wide(FormatPipeline<A, WideFormat>),
+    Compact(FormatPipeline<A, CompactFormat>),
+    Delta(FormatPipeline<A, DeltaFormat>),
+}
+
+/// Dispatches a method call to whichever format variant is live.
+macro_rules! with_pipeline {
+    ($self:expr, $p:ident => $body:expr) => {
+        match &$self.inner {
+            AnyPipeline::Wide($p) => $body,
+            AnyPipeline::Compact($p) => $body,
+            AnyPipeline::Delta($p) => $body,
+        }
+    };
+}
+
+macro_rules! with_pipeline_mut {
+    ($self:expr, $p:ident => $body:expr) => {
+        match &mut $self.inner {
+            AnyPipeline::Wide($p) => $body,
+            AnyPipeline::Compact($p) => $body,
+            AnyPipeline::Delta($p) => $body,
+        }
+    };
+}
+
+/// A built PCPM dataplane with the bin format selected at runtime,
+/// generic over the gather algebra.
+pub struct PcpmPipeline<A: Algebra = PlusF32> {
+    inner: AnyPipeline<A>,
+}
+
+/// The original f32 PCPM engine, now an alias of the algebra-generic
+/// pipeline specialized to the `(+, ×)` semiring.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `pcpm_core::Engine::builder(..)` (or `PcpmPipeline<PlusF32>` for per-call variant switching)"
+)]
+pub type PcpmEngine = PcpmPipeline<PlusF32>;
+
+impl<A: Algebra> PcpmPipeline<A> {
+    /// Builds the pipeline for a square graph.
+    pub fn new(graph: &Csr, cfg: &PcpmConfig) -> Result<Self, PcpmError> {
+        cfg.validate()?;
+        Self::from_view(EdgeView::from_csr(graph), cfg, None)
+    }
+
+    /// Builds the pipeline for a square graph with per-edge weights
+    /// (parallel to the CSR targets array).
+    pub fn new_weighted(
+        graph: &Csr,
+        weights: &pcpm_graph::EdgeWeights,
+        cfg: &PcpmConfig,
+    ) -> Result<Self, PcpmError> {
+        cfg.validate()?;
+        Self::from_view(EdgeView::from_csr(graph), cfg, Some(weights.as_slice()))
+    }
+
+    /// Builds the pipeline from a raw (possibly rectangular) edge view,
+    /// selecting the format from `cfg.bin_format`.
+    pub(crate) fn from_view(
+        view: EdgeView<'_>,
+        cfg: &PcpmConfig,
+        weights: Option<&[f32]>,
+    ) -> Result<Self, PcpmError> {
+        let inner = match cfg.bin_format {
+            BinFormatKind::Wide => {
+                AnyPipeline::Wide(FormatPipeline::from_view(view, cfg, weights)?)
+            }
+            BinFormatKind::Compact => {
+                AnyPipeline::Compact(FormatPipeline::from_view(view, cfg, weights)?)
+            }
+            BinFormatKind::Delta => {
+                AnyPipeline::Delta(FormatPipeline::from_view(view, cfg, weights)?)
+            }
+        };
+        Ok(Self { inner })
+    }
+
+    /// Dissolves into the statically-typed wide pipeline, when the wide
+    /// format is live (the memory replays inspect wide bins directly).
+    pub fn as_wide(&self) -> Option<&FormatPipeline<A, WideFormat>> {
+        match &self.inner {
+            AnyPipeline::Wide(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Number of source nodes (length of `x`).
+    pub fn num_src(&self) -> u32 {
+        with_pipeline!(self, p => p.num_src())
+    }
+
+    /// Number of destination nodes (length of `y`).
+    pub fn num_dst(&self) -> u32 {
+        with_pipeline!(self, p => p.num_dst())
+    }
+
+    /// The PNG layout (for inspection and the memory replays).
+    pub fn png(&self) -> &Png {
+        with_pipeline!(self, p => p.png())
+    }
+
+    /// The wide bins, when the pipeline uses the 32-bit encoding.
+    pub fn bins(&self) -> Option<&BinSpace<A::T>> {
+        self.as_wide().map(|p| p.bins())
+    }
+
+    /// Heap bytes held by the message bins (any format).
+    pub fn bin_memory_bytes(&self) -> u64 {
+        with_pipeline!(self, p => p.bin_memory_bytes())
+    }
+
+    /// Destination-ID compression relative to the wide baseline.
+    pub fn bin_compression(&self) -> f64 {
+        with_pipeline!(self, p => p.bin_compression())
+    }
+
+    /// PNG compression ratio `r = |E| / |E'|`.
+    pub fn compression_ratio(&self) -> f64 {
+        with_pipeline!(self, p => p.compression_ratio())
+    }
+
+    /// Pre-processing wall-clock time (PNG build + bin writing), Table 8.
+    pub fn preprocess_time(&self) -> Duration {
+        with_pipeline!(self, p => p.preprocess_time())
+    }
+
+    /// The physical bin format this pipeline built.
+    pub fn bin_format(&self) -> BinFormatKind {
+        match &self.inner {
+            AnyPipeline::Wide(_) => BinFormatKind::Wide,
+            AnyPipeline::Compact(_) => BinFormatKind::Compact,
+            AnyPipeline::Delta(_) => BinFormatKind::Delta,
+        }
+    }
+
+    /// Whether the pipeline built the compact 16-bit bins.
+    pub fn is_compact(&self) -> bool {
+        self.bin_format() == BinFormatKind::Compact
+    }
+
+    /// Whether the pipeline carries per-edge weights in its bins.
+    pub fn is_weighted(&self) -> bool {
+        with_pipeline!(self, p => p.is_weighted())
+    }
+
+    /// Incrementally repairs the prepared state after an edge-set
+    /// change — see [`FormatPipeline::repair`].
+    pub fn repair(
+        &mut self,
+        view: EdgeView<'_>,
+        weights: Option<&[f32]>,
+        touched_parts: &[u32],
+    ) -> Result<RepairStats, PcpmError> {
+        with_pipeline_mut!(self, p => p.repair(view, weights, touched_parts))
+    }
+
+    /// One `y = ⊕ Aᵀ·x` round with the default (paper) scatter and
+    /// gather.
+    pub fn spmv(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError> {
+        self.spmv_with(x, y, ScatterKind::Png, GatherKind::BranchAvoiding, None)
+    }
+
+    /// One round with explicit phase variants — see
+    /// [`FormatPipeline::spmv_with`].
+    pub fn spmv_with(
+        &mut self,
+        x: &[A::T],
+        y: &mut [A::T],
+        scatter: ScatterKind,
+        gather: GatherKind,
+        graph: Option<&Csr>,
+    ) -> Result<PhaseTimings, PcpmError> {
+        with_pipeline_mut!(self, p => p.spmv_with(x, y, scatter, gather, graph))
+    }
+
+    /// Boxes the live variant as a [`Backend`](crate::backend::Backend)
+    /// (the rectangular SpMV front end plugs in through this).
+    pub(crate) fn into_boxed_backend(self) -> Box<dyn crate::backend::Backend<A>> {
+        match self.inner {
+            AnyPipeline::Wide(p) => Box::new(crate::backend::PcpmBackend::from_pipeline(p)),
+            AnyPipeline::Compact(p) => Box::new(crate::backend::PcpmBackend::from_pipeline(p)),
+            AnyPipeline::Delta(p) => Box::new(crate::backend::PcpmBackend::from_pipeline(p)),
+        }
     }
 }
 
@@ -426,39 +562,46 @@ mod tests {
     }
 
     #[test]
-    fn compact_integer_algebra_matches_wide() {
+    fn every_format_integer_algebra_matches_wide() {
         use crate::algebra::MinLevel;
         let g = rmat(&RmatConfig::graph500(9, 6, 23)).unwrap();
         let wide_cfg = PcpmConfig::default().with_partition_bytes(128 * 4);
-        let compact_cfg = wide_cfg.with_compact_bins();
         let mut wide = PcpmPipeline::<MinLevel>::new(&g, &wide_cfg).unwrap();
-        let mut compact = PcpmPipeline::<MinLevel>::new(&g, &compact_cfg).unwrap();
         let x: Vec<u32> = (0..g.num_nodes()).map(|v| v % 11).collect();
         let n = g.num_nodes() as usize;
         let mut yw = vec![0u32; n];
-        let mut yc = vec![0u32; n];
         wide.spmv(&x, &mut yw).unwrap();
-        compact.spmv(&x, &mut yc).unwrap();
-        assert_eq!(yw, yc);
+        for format in [BinFormatKind::Compact, BinFormatKind::Delta] {
+            let cfg = wide_cfg.with_bin_format(format);
+            let mut pipe = PcpmPipeline::<MinLevel>::new(&g, &cfg).unwrap();
+            let mut y = vec![0u32; n];
+            pipe.spmv(&x, &mut y).unwrap();
+            assert_eq!(yw, y, "format {format}");
+        }
     }
 
     #[test]
-    fn compact_engine_matches_wide_engine() {
+    fn every_format_engine_matches_wide_engine() {
         let g = rmat(&RmatConfig::graph500(9, 8, 41)).unwrap();
         let wide_cfg = PcpmConfig::default().with_partition_bytes(512 * 4);
-        let compact_cfg = wide_cfg.with_compact_bins();
         let mut wide = PcpmEngine::new(&g, &wide_cfg).unwrap();
-        let mut compact = PcpmEngine::new(&g, &compact_cfg).unwrap();
         let x: Vec<f32> = (0..g.num_nodes()).map(|v| (v as f32).cos()).collect();
         let mut yw = vec![0.0f32; g.num_nodes() as usize];
-        let mut yc = vec![0.0f32; g.num_nodes() as usize];
         wide.spmv(&x, &mut yw).unwrap();
-        compact.spmv(&x, &mut yc).unwrap();
-        assert_eq!(yw, yc);
-        // The destination stream is half as large.
-        assert!(compact.bin_memory_bytes() < wide.bin_memory_bytes());
-        assert!(compact.bins().is_none());
         assert!(wide.bins().is_some());
+        assert!((wide.bin_compression() - 1.0).abs() < 1e-12);
+        for format in [BinFormatKind::Compact, BinFormatKind::Delta] {
+            let cfg = wide_cfg.with_bin_format(format);
+            let mut pipe = PcpmEngine::new(&g, &cfg).unwrap();
+            let mut y = vec![0.0f32; g.num_nodes() as usize];
+            pipe.spmv(&x, &mut y).unwrap();
+            assert_eq!(yw, y, "format {format}");
+            // Every non-wide destination stream is smaller.
+            assert!(pipe.bin_memory_bytes() < wide.bin_memory_bytes());
+            assert!(pipe.bin_compression() > 1.9, "format {format}");
+            assert!(pipe.bins().is_none());
+            assert_eq!(pipe.bin_format(), format);
+        }
     }
 
     #[test]
@@ -467,19 +610,26 @@ mod tests {
         // Default 256 KB partitions are 64 Ki nodes > 2^15.
         let cfg = PcpmConfig::default().with_compact_bins();
         assert!(PcpmEngine::new(&g, &cfg).is_err());
+        // Delta has no partition-size restriction.
+        let delta = PcpmConfig::default().with_bin_format(BinFormatKind::Delta);
+        assert!(PcpmEngine::new(&g, &delta).is_ok());
     }
 
     #[test]
-    fn compact_rejects_branchy_gather() {
+    fn non_wide_formats_reject_branchy_gather() {
         let g = erdos_renyi(100, 400, 2).unwrap();
-        let cfg = PcpmConfig::default()
-            .with_partition_bytes(256)
-            .with_compact_bins();
-        let mut eng = PcpmEngine::new(&g, &cfg).unwrap();
-        let x = vec![0.0f32; 100];
-        let mut y = vec![0.0f32; 100];
-        assert!(eng
-            .spmv_with(&x, &mut y, ScatterKind::Png, GatherKind::Branchy, None)
-            .is_err());
+        for format in [BinFormatKind::Compact, BinFormatKind::Delta] {
+            let cfg = PcpmConfig::default()
+                .with_partition_bytes(256)
+                .with_bin_format(format);
+            let mut eng = PcpmEngine::new(&g, &cfg).unwrap();
+            let x = vec![0.0f32; 100];
+            let mut y = vec![0.0f32; 100];
+            assert!(
+                eng.spmv_with(&x, &mut y, ScatterKind::Png, GatherKind::Branchy, None)
+                    .is_err(),
+                "format {format}"
+            );
+        }
     }
 }

@@ -121,6 +121,7 @@ fn run_gather<A: Algebra>(png: &Png, bins: &BinSpace<A::T>, y: &mut [A::T], bran
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::format::{BinFormat, WideFormat};
     use crate::partition::Partitioner;
     use crate::png::EdgeView;
     use crate::scatter::png_scatter;
@@ -129,7 +130,7 @@ mod tests {
     fn full_spmv(g: &Csr, q: u32, x: &[f32], branchy: bool) -> Vec<f32> {
         let parts = Partitioner::new(g.num_nodes(), q).unwrap();
         let png = Png::build(EdgeView::from_csr(g), parts, parts);
-        let mut bins = BinSpace::build(EdgeView::from_csr(g), &png, None);
+        let mut bins = WideFormat::build(EdgeView::from_csr(g), &png, None);
         png_scatter(&png, x, &mut bins.updates);
         let mut y = vec![0.0f32; g.num_nodes() as usize];
         if branchy {
@@ -177,7 +178,7 @@ mod tests {
         let w = EdgeWeights::new(&g, vec![2.0, 4.0, 8.0, 16.0]).unwrap();
         let parts = Partitioner::new(4, 2).unwrap();
         let png = Png::build(EdgeView::from_csr(&g), parts, parts);
-        let mut bins = BinSpace::build(EdgeView::from_csr(&g), &png, Some(w.as_slice()));
+        let mut bins = WideFormat::build(EdgeView::from_csr(&g), &png, Some(w.as_slice()));
         let x = vec![1.0f32, 0.0, 10.0, 0.0];
         png_scatter(&png, &x, &mut bins.updates);
         let mut y = vec![0.0f32; 4];
@@ -194,7 +195,7 @@ mod tests {
         let g = Csr::from_edges(2, &[(0, 1)]).unwrap();
         let parts = Partitioner::new(2, 1).unwrap();
         let png = Png::build(EdgeView::from_csr(&g), parts, parts);
-        let mut bins = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let mut bins = WideFormat::build(EdgeView::from_csr(&g), &png, None);
         png_scatter(&png, &[3.0, 0.0], &mut bins.updates);
         let mut y = vec![99.0f32; 2];
         gather_branch_avoiding(&png, &bins, &mut y);
@@ -207,7 +208,7 @@ mod tests {
         let g = Csr::from_edges(2, &[(0, 1)]).unwrap();
         let parts = Partitioner::new(2, 1).unwrap();
         let png = Png::build(EdgeView::from_csr(&g), parts, parts);
-        let bins = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let bins = WideFormat::build(EdgeView::from_csr(&g), &png, None);
         let mut y = vec![0.0f32; 5];
         gather_branch_avoiding(&png, &bins, &mut y);
     }

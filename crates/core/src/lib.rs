@@ -64,8 +64,10 @@ pub mod backend;
 pub mod bins;
 pub mod compact;
 pub mod config;
+pub mod delta;
 pub mod engine;
 pub mod error;
+pub mod format;
 pub mod gather;
 pub mod pagerank;
 pub mod partition;
@@ -77,10 +79,12 @@ pub mod update;
 
 pub use backend::{Backend, BackendKind, Engine, EngineBuilder, ExecutionReport};
 pub use config::PcpmConfig;
+pub use delta::DeltaPackedBins;
 #[allow(deprecated)]
 pub use engine::PcpmEngine;
-pub use engine::{GatherKind, PcpmPipeline, ScatterKind};
+pub use engine::{FormatPipeline, GatherKind, PcpmPipeline, ScatterKind};
 pub use error::PcpmError;
+pub use format::{BinFormat, BinFormatKind, CompactFormat, DeltaFormat, DestCursor, WideFormat};
 pub use partition::Partitioner;
 pub use png::Png;
 pub use pr::{PhaseTimings, PrResult};

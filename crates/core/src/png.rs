@@ -288,6 +288,38 @@ impl Png {
     }
 }
 
+/// Walks the destination-partition runs of source partition `s`: calls
+/// `f(v, p, run, edge_base)` once per maximal run of consecutive
+/// neighbors of `v` landing in destination partition `p`, where `run` is
+/// the slice of those (sorted) targets and `edge_base` the raw-edge index
+/// of `run[0]`. One run is exactly one PNG compressed edge / one bin
+/// message — this walk is the single partition scan shared by the PNG
+/// build, every [`crate::format::BinFormat`] encoder and the weight
+/// stream fill.
+pub(crate) fn for_each_run(
+    view: EdgeView<'_>,
+    src_parts: &Partitioner,
+    dst_parts: &Partitioner,
+    s: u32,
+    mut f: impl FnMut(u32, u32, &[u32], u64),
+) {
+    let q = dst_parts.partition_size();
+    for v in src_parts.range(s) {
+        let nbrs = view.neighbors(v);
+        let base = view.edge_range(v).start;
+        let mut i = 0;
+        while i < nbrs.len() {
+            let p = nbrs[i] / q;
+            let mut j = i + 1;
+            while j < nbrs.len() && nbrs[j] / q == p {
+                j += 1;
+            }
+            f(v, p, &nbrs[i..j], base + i as u64);
+            i = j;
+        }
+    }
+}
+
 /// Builds the transposed bipartite graph of one source partition: one
 /// counting scan, one prefix sum, one filling scan.
 fn build_part(
@@ -297,23 +329,12 @@ fn build_part(
     s: u32,
 ) -> BipartitePart {
     let k = dst_parts.num_partitions() as usize;
-    let q = dst_parts.partition_size();
     let mut upd_deg = vec![0u64; k];
     let mut did_deg = vec![0u64; k];
-    for v in src_parts.range(s) {
-        let nbrs = view.neighbors(v);
-        let mut i = 0;
-        while i < nbrs.len() {
-            let p = (nbrs[i] / q) as usize;
-            let mut j = i + 1;
-            while j < nbrs.len() && (nbrs[j] / q) as usize == p {
-                j += 1;
-            }
-            upd_deg[p] += 1;
-            did_deg[p] += (j - i) as u64;
-            i = j;
-        }
-    }
+    for_each_run(view, src_parts, dst_parts, s, |_v, p, run, _| {
+        upd_deg[p as usize] += 1;
+        did_deg[p as usize] += run.len() as u64;
+    });
     let mut upd_off = vec![0u64; k + 1];
     let mut did_off = vec![0u64; k + 1];
     for p in 0..k {
@@ -322,20 +343,10 @@ fn build_part(
     }
     let mut sources = vec![0u32; *upd_off.last().unwrap() as usize];
     let mut cursor = upd_off.clone();
-    for v in src_parts.range(s) {
-        let nbrs = view.neighbors(v);
-        let mut i = 0;
-        while i < nbrs.len() {
-            let p = (nbrs[i] / q) as usize;
-            let mut j = i + 1;
-            while j < nbrs.len() && (nbrs[j] / q) as usize == p {
-                j += 1;
-            }
-            sources[cursor[p] as usize] = v;
-            cursor[p] += 1;
-            i = j;
-        }
-    }
+    for_each_run(view, src_parts, dst_parts, s, |v, p, _run, _| {
+        sources[cursor[p as usize] as usize] = v;
+        cursor[p as usize] += 1;
+    });
     BipartitePart {
         upd_off,
         did_off,

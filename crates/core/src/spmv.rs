@@ -11,7 +11,7 @@
 //! scatter/gather round.
 
 use crate::algebra::PlusF32;
-use crate::backend::{Engine, PcpmBackend};
+use crate::backend::Engine;
 use crate::config::PcpmConfig;
 use crate::engine::PcpmPipeline;
 use crate::error::PcpmError;
@@ -132,12 +132,8 @@ impl SpmvMatrix {
         let pipeline = crate::config::run_with_threads(cfg.threads, || {
             PcpmPipeline::from_view(self.view(), cfg, Some(&self.values))
         })?;
-        Engine::from_backend(
-            Box::new(PcpmBackend::from_pipeline(pipeline)),
-            self.num_cols,
-            self.num_rows,
-        )
-        .with_threads(cfg.threads)
+        Engine::from_backend(pipeline.into_boxed_backend(), self.num_cols, self.num_rows)
+            .with_threads(cfg.threads)
     }
 
     /// Serial reference product `y = A·x` with f64 accumulation.

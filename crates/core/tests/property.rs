@@ -2,7 +2,8 @@
 
 use pcpm_core::algebra::{MinLabel, PlusF32};
 use pcpm_core::bins::BinSpace;
-use pcpm_core::compact::{gather_compact_branch_avoiding, CompactBinSpace};
+use pcpm_core::compact::gather_compact_branch_avoiding;
+use pcpm_core::format::{BinFormat, CompactFormat, WideFormat};
 use pcpm_core::gather::{gather_algebra, gather_branch_avoiding, gather_branchy};
 use pcpm_core::partition::{split_by_lens, Partitioner};
 use pcpm_core::png::{EdgeView, Png};
@@ -73,8 +74,8 @@ proptest! {
         let parts = Partitioner::new(g.num_nodes(), q).unwrap();
         let png = Png::build(EdgeView::from_csr(&g), parts, parts);
         let x: Vec<f32> = (0..g.num_nodes()).map(|v| (v % 13) as f32 + 0.5).collect();
-        let mut wide: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, None);
-        let mut compact = CompactBinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let mut wide: BinSpace = WideFormat::build(EdgeView::from_csr(&g), &png, None);
+        let mut compact = CompactFormat::build(EdgeView::from_csr(&g), &png, None);
         png_scatter(&png, &x, &mut wide.updates);
         png_scatter(&png, &x, &mut compact.updates);
         let n = g.num_nodes() as usize;
@@ -94,7 +95,7 @@ proptest! {
         let parts = Partitioner::new(g.num_nodes(), q).unwrap();
         let png = Png::build(EdgeView::from_csr(&g), parts, parts);
         let labels: Vec<u32> = (0..g.num_nodes()).map(|v| (v * 7 + 3) % 101).collect();
-        let mut bins: BinSpace<u32> = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let mut bins: BinSpace<u32> = WideFormat::build(EdgeView::from_csr(&g), &png, None);
         png_scatter(&png, &labels, &mut bins.updates);
         let mut y = vec![0u32; g.num_nodes() as usize];
         gather_algebra::<MinLabel>(&png, &bins, &mut y);
@@ -115,7 +116,7 @@ proptest! {
         let png = Png::build(EdgeView::from_csr(&g), src, dst);
         prop_assert_eq!(png.num_raw_edges(), g.num_edges());
         let x: Vec<f32> = (0..g.num_nodes()).map(|v| v as f32).collect();
-        let mut bins: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let mut bins: BinSpace = WideFormat::build(EdgeView::from_csr(&g), &png, None);
         png_scatter(&png, &x, &mut bins.updates);
         let mut y = vec![0.0f32; g.num_nodes() as usize];
         gather_branch_avoiding(&png, &bins, &mut y);

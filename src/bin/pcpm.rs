@@ -17,6 +17,8 @@
 //!               --threads N (engine-owned worker pool; default: ambient pool)
 //!               --top K (print only the K best rows)
 //!               --backend pcpm|pull|push|edge-centric (dataplane to run on)
+//!               --format wide|compact|delta (PCPM bin encoding; compact
+//!               needs --partition-bytes <= 131072, delta is unrestricted)
 //!               --seed S (every generator path is reproducible run-to-run)
 //!
 //! gen flags:         --kind rmat|er --scale S --edge-factor F (rmat)
@@ -30,6 +32,8 @@
 //!
 //! Text inputs are SNAP-style whitespace edge lists with `#` comments.
 
+use pcpm::core::algebra::PlusF32;
+use pcpm::core::pagerank::pagerank_with_unified_engine;
 use pcpm::prelude::*;
 use pcpm::stream::{read_updates, write_updates, Locality};
 use std::process::ExitCode;
@@ -49,6 +53,7 @@ struct Options {
     source: u32,
     out: Option<String>,
     backend: BackendKind,
+    format: BinFormatKind,
     seed: u64,
     kind: String,
     scale: u32,
@@ -81,6 +86,7 @@ fn parse_args() -> Result<Options, String> {
         source: 0,
         out: None,
         backend: BackendKind::Pcpm,
+        format: BinFormatKind::Wide,
         seed: 42,
         kind: "rmat".to_string(),
         scale: 10,
@@ -218,6 +224,12 @@ fn parse_args() -> Result<Options, String> {
                     }
                 }
             }
+            "--format" => {
+                let v = take_value(&mut rest, &mut i)?;
+                opts.format = v
+                    .parse()
+                    .map_err(|_| format!("unknown format '{v}' (expected wide|compact|delta)"))?;
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             pos => positional.push(pos.to_string()),
         }
@@ -248,6 +260,7 @@ fn config(opts: &Options) -> PcpmConfig {
     cfg.damping = opts.damping;
     cfg.tolerance = opts.tolerance;
     cfg.threads = opts.threads;
+    cfg.bin_format = opts.format;
     cfg
 }
 
@@ -328,12 +341,13 @@ fn run_stream(opts: &Options, graph: Csr, cfg: &PcpmConfig) -> Result<(), String
     let report = replay(Arc::clone(&base), &batches, &rc).map_err(|e| e.to_string())?;
     let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
     eprintln!(
-        "# base: {} nodes, {} edges, {} partitions of {} nodes ({})",
+        "# base: {} nodes, {} edges, {} partitions of {} nodes ({}, {} bins)",
         base.num_nodes(),
         base.num_edges(),
         report.batches.first().map_or(0, |b| b.total_partitions),
         cfg.partition_nodes(),
         opts.backend.name(),
+        cfg.bin_format,
     );
     eprintln!(
         "# base prepare {:.0}us, base pagerank {:.0}us",
@@ -419,11 +433,23 @@ fn run() -> Result<(), String> {
             println!("avg edge span  {:.1}", s.avg_edge_span);
         }
         "pagerank" => {
+            // Build the engine here (rather than through `pagerank_on`)
+            // so its report — bin format, per-format dest-ID compression,
+            // aux memory — can be surfaced after the run.
+            let mut builder = Engine::<PlusF32>::builder(&graph)
+                .config(cfg)
+                .backend(opts.backend);
+            if let Some(w) = &weights {
+                builder = builder.weights(w);
+            }
+            let mut engine = builder.build().map_err(|e| e.to_string())?;
             let r = match &weights {
-                Some(w) => weighted_pagerank_on(&graph, w, &cfg, opts.backend)
+                Some(w) => weighted_pagerank_with_unified_engine(&graph, w, &cfg, &mut engine)
                     .map_err(|e| e.to_string())?,
-                None => pagerank_on(&graph, &cfg, opts.backend).map_err(|e| e.to_string())?,
+                None => pagerank_with_unified_engine(&graph, &cfg, &mut engine, None)
+                    .map_err(|e| e.to_string())?,
             };
+            let report = engine.report();
             eprintln!(
                 "# {} iterations ({}), r = {:.2}, {:?} total",
                 r.iterations,
@@ -431,6 +457,12 @@ fn run() -> Result<(), String> {
                 r.compression_ratio.unwrap_or(1.0),
                 r.timings.total()
             );
+            if let (Some(format), Some(ratio)) = (report.bin_format, report.bin_compression) {
+                eprintln!(
+                    "# bins: {format} format, {ratio:.2}x dest-id compression vs wide, {} KB aux",
+                    report.aux_memory_bytes / 1024
+                );
+            }
             let mut ranked: Vec<(u32, f32)> = r
                 .scores
                 .iter()

@@ -89,13 +89,14 @@ pub mod prelude {
         bfs_levels, bfs_levels_on, connected_components, connected_components_on,
         incremental_pagerank, personalized_pagerank, personalized_pagerank_on, propagation_engine,
         run_to_fixpoint, sssp, sssp_on, weighted_pagerank, weighted_pagerank_on,
+        weighted_pagerank_with_unified_engine,
     };
     pub use pcpm_baselines::{bvgas, pdpr, push_pagerank, serial_pagerank};
     pub use pcpm_core::pagerank::{pagerank, pagerank_on, pagerank_with_variant};
     pub use pcpm_core::spmv::SpmvMatrix;
     pub use pcpm_core::{
-        Backend, BackendKind, Engine, EngineBuilder, ExecutionReport, GatherKind, Partitioner,
-        PcpmConfig, Png, PrResult, ScatterKind,
+        Backend, BackendKind, BinFormatKind, Engine, EngineBuilder, ExecutionReport, GatherKind,
+        Partitioner, PcpmConfig, Png, PrResult, ScatterKind,
     };
     pub use pcpm_core::{EdgeOp, EdgeUpdate, RepairStats, UpdateBatch, UpdateOutcome};
     pub use pcpm_graph::gen::{RmatConfig, WebConfig};

@@ -8,10 +8,21 @@ use pcpm::core::pagerank::{pagerank_with_variant, PcpmVariant};
 use pcpm::prelude::*;
 use proptest::prelude::*;
 
+mod common;
+use common::format_matrix;
+
+fn pcpm_label(format: BinFormatKind) -> &'static str {
+    match format {
+        BinFormatKind::Wide => "pcpm_wide",
+        BinFormatKind::Compact => "pcpm_compact",
+        BinFormatKind::Delta => "pcpm_delta",
+    }
+}
+
 /// The unified-API configurations the backend-agreement matrix covers:
-/// PCPM wide, PCPM compact, PCPM with CSR-traversal scatter, and the
-/// pull / push / edge-centric dataplanes, all through the `Backend`
-/// trait behind `Engine`.
+/// one PCPM engine per bin format (wide / compact / delta), PCPM with
+/// CSR-traversal scatter, and the pull / push / edge-centric dataplanes,
+/// all through the `Backend` trait behind `Engine`.
 fn matrix_engines<A: pcpm::core::algebra::Algebra>(
     g: &Csr,
     weights: Option<&EdgeWeights>,
@@ -26,16 +37,19 @@ fn matrix_engines<A: pcpm::core::algebra::Algebra>(
         }
         (label, f(b).build().expect(label))
     };
-    vec![
-        build("pcpm_wide", &|b| b),
-        build("pcpm_compact", &|b| b.compact_bins(true)),
+    let mut engines: Vec<(&'static str, Engine<A>)> = format_matrix()
+        .into_iter()
+        .map(|format| build(pcpm_label(format), &move |b| b.bin_format(format)))
+        .collect();
+    engines.extend([
         build("pcpm_csr_traversal", &|b| {
             b.scatter(ScatterKind::CsrTraversal)
         }),
         build("pull", &|b| b.backend(BackendKind::Pull)),
         build("push", &|b| b.backend(BackendKind::Push)),
         build("edge_centric", &|b| b.backend(BackendKind::EdgeCentric)),
-    ]
+    ]);
+    engines
 }
 
 /// One SpMV round on every backend must produce identical results.

@@ -6,24 +6,16 @@
 //! though thread count changes which worker computes what).
 //!
 //! The thread list is overridable for CI sweeps:
-//! `PCPM_TEST_THREADS=1,4 cargo test --test parallel_determinism`.
+//! `PCPM_TEST_THREADS=1,4 cargo test --test parallel_determinism`, and
+//! the PCPM bin-format list via `PCPM_TEST_FORMATS=wide,delta`.
 
 use pcpm::core::algebra::{MinLabel, PlusF32};
 use pcpm::core::engine::ScatterKind;
 use pcpm::prelude::*;
 use std::sync::Arc;
 
-/// Thread counts under test (`PCPM_TEST_THREADS` env, default 1,2,4,8).
-fn thread_matrix() -> Vec<usize> {
-    match std::env::var("PCPM_TEST_THREADS") {
-        Ok(v) => v
-            .split(',')
-            .filter_map(|t| t.trim().parse().ok())
-            .filter(|&t| t >= 1)
-            .collect(),
-        Err(_) => vec![1, 2, 4, 8],
-    }
-}
+mod common;
+use common::{format_matrix, thread_matrix};
 
 /// Exact integer-valued input (as in kernel_agreement): every f32 sum of
 /// these is exactly representable, so reduction order cannot matter.
@@ -44,15 +36,20 @@ fn engines_at(g: &Csr, threads: usize, q_bytes: usize) -> Vec<(String, Engine<Pl
             .unwrap();
         engines.push((format!("{}@{threads}", kind.name()), e));
     }
-    engines.push((
-        format!("pcpm_compact@{threads}"),
-        Engine::<PlusF32>::builder(g)
-            .partition_bytes(q_bytes)
-            .compact_bins(true)
-            .threads(threads)
-            .build()
-            .unwrap(),
-    ));
+    for format in format_matrix() {
+        if format == BinFormatKind::Wide {
+            continue; // BackendKind::Pcpm above already covers wide.
+        }
+        engines.push((
+            format!("pcpm_{format}@{threads}"),
+            Engine::<PlusF32>::builder(g)
+                .partition_bytes(q_bytes)
+                .bin_format(format)
+                .threads(threads)
+                .build()
+                .unwrap(),
+        ));
+    }
     engines.push((
         format!("pcpm_csr_traversal@{threads}"),
         Engine::<PlusF32>::builder(g)
@@ -160,7 +157,7 @@ fn integer_algebra_bit_identical_across_thread_counts() {
 
 /// The streaming repair path (PR 2) must also be thread-count
 /// deterministic: update + step equals the 1-thread run bit for bit,
-/// for both the wide and compact dataplanes.
+/// on every bin format.
 #[test]
 fn streaming_repair_bit_identical_across_thread_counts() {
     let g = pcpm::graph::gen::rmat(&RmatConfig::graph500(9, 8, 77)).unwrap();
@@ -181,10 +178,10 @@ fn streaming_repair_bit_identical_across_thread_counts() {
     let g2 = Arc::new(Csr::from_edges(g.num_nodes(), &edges).unwrap());
     let batch = pcpm::core::update::UpdateBatch::from_parts(inserts, deletes);
 
-    let run = |threads: usize, compact: bool| -> Vec<f32> {
+    let run = |threads: usize, format: BinFormatKind| -> Vec<f32> {
         let mut e = Engine::<PlusF32>::builder(&g)
             .partition_bytes(64 * 4)
-            .compact_bins(compact)
+            .bin_format(format)
             .threads(threads)
             .build()
             .unwrap();
@@ -196,13 +193,13 @@ fn streaming_repair_bit_identical_across_thread_counts() {
         e.step(&x, &mut y).unwrap();
         y
     };
-    for compact in [false, true] {
-        let baseline = run(1, compact);
+    for format in format_matrix() {
+        let baseline = run(1, format);
         for &t in &thread_matrix()[1..] {
             assert_eq!(
                 baseline,
-                run(t, compact),
-                "repair at {t} threads, compact={compact}"
+                run(t, format),
+                "repair at {t} threads, format={format}"
             );
         }
     }

@@ -1,6 +1,7 @@
 //! Property-based invariants of the PNG layout and the message bins.
 
 use pcpm::core::bins::BinSpace;
+use pcpm::core::format::{BinFormat, WideFormat};
 use pcpm::core::partition::Partitioner;
 use pcpm::core::png::{EdgeView, Png};
 use pcpm::prelude::*;
@@ -80,7 +81,7 @@ proptest! {
     #[test]
     fn bins_decode_back_to_adjacency(g in arb_graph(), q in 1u32..80) {
         let (parts, png) = build_png(&g, q);
-        let bins: BinSpace = BinSpace::build(EdgeView::from_csr(&g), &png, None);
+        let bins: BinSpace = WideFormat::build(EdgeView::from_csr(&g), &png, None);
         let mut rebuilt: Vec<(u32, u32)> = Vec::new();
         for s in parts.iter() {
             let part = png.part(s);

@@ -117,15 +117,13 @@ proptest! {
     }
 
     /// `Engine::update` bin repair == fresh `prepare` over the same
-    /// snapshot, on both the wide and compact PCPM dataplanes.
+    /// snapshot, on every PCPM bin format (wide, compact, delta).
     #[test]
-    fn repaired_engine_matches_fresh_prepare(sc in arb_scenario(), compact in 0u32..2) {
-        let cfg = stream_cfg(sc.partition_nodes);
-        let mut builder = Engine::<PlusF32>::builder(&sc.base).config(cfg);
-        if compact == 1 {
-            builder = builder.compact_bins(true);
-        }
-        let mut engine = builder.build().expect("engine");
+    fn repaired_engine_matches_fresh_prepare(sc in arb_scenario(), format_sel in 0u32..3) {
+        let format = BinFormatKind::ALL[format_sel as usize];
+        let cfg = stream_cfg(sc.partition_nodes).with_bin_format(format);
+        let mut engine = Engine::<PlusF32>::builder(&sc.base).config(cfg)
+            .build().expect("engine");
         let mut dg = DeltaGraph::new(Arc::new(sc.base.clone()), sc.partition_nodes)
             .expect("overlay");
         let n = sc.base.num_nodes();
@@ -135,11 +133,8 @@ proptest! {
             let snap = dg.snapshot();
             let outcome = engine.update(&snap, None, &stats.applied).expect("update");
             prop_assert!(matches!(outcome, UpdateOutcome::Repaired(_)));
-            let mut fresh_builder = Engine::<PlusF32>::builder_shared(&snap).config(cfg);
-            if compact == 1 {
-                fresh_builder = fresh_builder.compact_bins(true);
-            }
-            let mut fresh = fresh_builder.build().expect("fresh");
+            let mut fresh = Engine::<PlusF32>::builder_shared(&snap).config(cfg)
+                .build().expect("fresh");
             let mut ya = vec![0.0f32; n as usize];
             let mut yb = vec![0.0f32; n as usize];
             engine.step(&x, &mut ya).expect("repaired step");
@@ -217,19 +212,18 @@ fn oracle_pagerank(g: &Csr, damping: f64) -> Vec<f64> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// `Engine::update` (Png::repair + BinSpace/CompactBinSpace::repair
+    /// `Engine::update` (Png::repair + the format's `BinFormat::repair`
     /// underneath) on a 4-thread engine: step output equals a fresh
     /// prepare over the same snapshot AND the 1-thread repaired engine,
-    /// bit for bit.
+    /// bit for bit — for every bin format, `DeltaPackedBins` included
+    /// (repair ≡ fresh build under a multi-threaded pool).
     #[test]
-    fn repair_under_multithreaded_pool_matches_scratch(sc in arb_scenario(), compact in 0u32..2) {
-        let cfg = stream_cfg(sc.partition_nodes);
+    fn repair_under_multithreaded_pool_matches_scratch(sc in arb_scenario(), format_sel in 0u32..3) {
+        let format = BinFormatKind::ALL[format_sel as usize];
+        let cfg = stream_cfg(sc.partition_nodes).with_bin_format(format);
         let build = |threads: usize, g: &Csr| {
-            let mut b = Engine::<PlusF32>::builder(g).config(cfg).threads(threads);
-            if compact == 1 {
-                b = b.compact_bins(true);
-            }
-            b.build().expect("engine")
+            Engine::<PlusF32>::builder(g).config(cfg).threads(threads)
+                .build().expect("engine")
         };
         let mut par_engine = build(4, &sc.base);
         let mut serial_engine = build(1, &sc.base);
@@ -248,13 +242,11 @@ proptest! {
                 serial_engine.update(&snap, None, &stats.applied).expect("serial update"),
                 UpdateOutcome::Repaired(_)
             ));
-            let mut fresh = {
-                let mut b = Engine::<PlusF32>::builder_shared(&snap).config(cfg).threads(4);
-                if compact == 1 {
-                    b = b.compact_bins(true);
-                }
-                b.build().expect("fresh")
-            };
+            let mut fresh = Engine::<PlusF32>::builder_shared(&snap)
+                .config(cfg)
+                .threads(4)
+                .build()
+                .expect("fresh");
             let mut y_par = vec![0.0f32; n as usize];
             let mut y_serial = vec![0.0f32; n as usize];
             let mut y_fresh = vec![0.0f32; n as usize];
@@ -272,7 +264,7 @@ proptest! {
     /// destination-ID streams.
     #[test]
     fn png_repair_on_pool_matches_scratch_build(sc in arb_scenario()) {
-        use pcpm::core::bins::BinSpace;
+        use pcpm::core::format::{BinFormat, WideFormat};
         use pcpm::core::partition::Partitioner;
         use pcpm::core::png::{EdgeView, Png};
 
@@ -296,9 +288,9 @@ proptest! {
                 prop_assert_eq!(png.part(s), fresh.part(s), "partition {} differs", s);
             }
             let bins = pool.install(|| {
-                BinSpace::<f32>::build(EdgeView::from_csr(&g2), &png, None)
+                WideFormat::build::<f32>(EdgeView::from_csr(&g2), &png, None)
             });
-            let fresh_bins = BinSpace::<f32>::build(EdgeView::from_csr(&g2), &fresh, None);
+            let fresh_bins = WideFormat::build::<f32>(EdgeView::from_csr(&g2), &fresh, None);
             prop_assert_eq!(&bins.dest_ids, &fresh_bins.dest_ids);
         }
     }
