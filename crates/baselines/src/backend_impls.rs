@@ -207,11 +207,13 @@ fn baseline_engine<B: Backend<PlusF32> + 'static>(
         scatter: Default::default(),
         gather: Default::default(),
     };
-    // Pin preprocessing like EngineBuilder::build does, so preprocess
-    // timings compare apples-to-apples with the core backends.
-    let backend = pcpm_core::config::run_with_threads(cfg.threads, || B::prepare(&spec))?;
-    Engine::from_backend(Box::new(backend), graph.num_nodes(), graph.num_nodes())
-        .with_threads(cfg.threads)
+    // One engine-owned pool, built first and reused for the prepare and
+    // every step — like EngineBuilder::build, so preprocess timings
+    // compare apples-to-apples with the core backends and no throwaway
+    // pool is spawned per construction.
+    Engine::from_backend_with(cfg.threads, graph.num_nodes(), graph.num_nodes(), || {
+        Ok(Box::new(B::prepare(&spec)?) as Box<dyn Backend<PlusF32>>)
+    })
 }
 
 /// Builds a unified [`Engine`] over the PDPR pull dataplane.

@@ -353,8 +353,11 @@ fn balanced_out_bounds(graph: &Csr, chunks: usize) -> Vec<u32> {
 }
 
 /// One-shot convenience wrapper: builds a [`BvgasRunner`] and runs it.
+/// Prepare runs on the same shared pool the iterations use (one pool
+/// per thread count, process-wide), so the worker-private bin layout
+/// matches the pool that executes the scatter.
 pub fn bvgas(graph: &Csr, cfg: &PcpmConfig) -> Result<PrResult, PcpmError> {
-    BvgasRunner::new(graph, cfg)?.run(graph, cfg)
+    run_with_threads(cfg.threads, || BvgasRunner::new(graph, cfg))?.run(graph, cfg)
 }
 
 #[cfg(test)]

@@ -179,9 +179,10 @@ impl EdgeCentricRunner {
     }
 }
 
-/// One-shot convenience wrapper.
+/// One-shot convenience wrapper. Prepare runs on the same shared pool
+/// the iterations use (one pool per thread count, process-wide).
 pub fn edge_centric(graph: &Csr, cfg: &PcpmConfig) -> Result<PrResult, PcpmError> {
-    EdgeCentricRunner::new(graph, cfg)?.run(cfg)
+    run_with_threads(cfg.threads, || EdgeCentricRunner::new(graph, cfg))?.run(cfg)
 }
 
 #[cfg(test)]

@@ -208,9 +208,10 @@ impl GridRunner {
     }
 }
 
-/// One-shot convenience wrapper.
+/// One-shot convenience wrapper. Prepare runs on the same shared pool
+/// the iterations use (one pool per thread count, process-wide).
 pub fn grid_pagerank(graph: &Csr, cfg: &PcpmConfig) -> Result<PrResult, PcpmError> {
-    GridRunner::new(graph, cfg)?.run(cfg)
+    run_with_threads(cfg.threads, || GridRunner::new(graph, cfg))?.run(cfg)
 }
 
 #[cfg(test)]

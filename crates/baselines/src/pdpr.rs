@@ -206,7 +206,9 @@ fn balanced_bounds(csc: &Csr, chunks: usize) -> Vec<u32> {
 
 /// One-shot convenience wrapper: builds a [`PdprRunner`] and runs it.
 pub fn pdpr(graph: &Csr, cfg: &PcpmConfig) -> Result<PrResult, PcpmError> {
-    PdprRunner::new(graph).run(cfg)
+    // Prepare on the same shared pool the iterations run on: one pool
+    // per thread count for the whole process, not one per call.
+    run_with_threads(cfg.threads, || PdprRunner::new(graph)).run(cfg)
 }
 
 #[cfg(test)]

@@ -1,0 +1,144 @@
+//! Snapshot-cache sweep: cold engine build vs snapshot save/load for
+//! every bin format on a seeded scale-12 RMAT graph.
+//!
+//! This quantifies the build-once, serve-many win: a serving process
+//! that loads the prepared dataplane from disk pays `load_us` instead
+//! of `build_us` of preprocessing — the cross-run amortization
+//! of the paper's per-run preprocessing argument. Besides the console
+//! table the suite emits `BENCH_snapshot.json` so CI and notebooks can
+//! track the ratio without scraping stdout.
+
+use pcpm_core::algebra::PlusF32;
+use pcpm_core::{BinFormatKind, Engine, PcpmConfig};
+use pcpm_graph::gen::{rmat, RmatConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SCALE: u32 = 12;
+const EDGE_FACTOR: u32 = 8;
+const SEED: u64 = 42;
+/// 2 KB partitions -> 512 nodes -> 8 partitions at scale 12 (the same
+/// layout the formats bench uses, so numbers line up across suites).
+const PARTITION_BYTES: usize = 2 * 1024;
+const REPS: usize = 5;
+
+struct Row {
+    name: &'static str,
+    build_us: f64,
+    save_us: f64,
+    load_us: f64,
+    bytes: u64,
+    speedup: f64,
+}
+
+fn main() {
+    let g = Arc::new(rmat(&RmatConfig::graph500(SCALE, EDGE_FACTOR, SEED)).expect("seeded rmat"));
+    let n = g.num_nodes() as usize;
+    let x: Vec<f32> = (0..g.num_nodes()).map(|v| (v % 13) as f32).collect();
+    let dir = std::env::temp_dir().join("pcpm_bench_snapshot");
+    std::fs::create_dir_all(&dir).expect("bench cache dir");
+
+    let mut rows = Vec::new();
+    for format in BinFormatKind::ALL {
+        let cfg = PcpmConfig::default()
+            .with_partition_bytes(PARTITION_BYTES)
+            .with_bin_format(format);
+        let path = dir.join(format!("bench-{format}.pcpmc"));
+
+        // Cold build (best of REPS).
+        let mut build_us = f64::MAX;
+        let mut engine = None;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let e = Engine::<PlusF32>::builder_shared(&g)
+                .config(cfg)
+                .build()
+                .expect("cold build");
+            build_us = build_us.min(t0.elapsed().as_secs_f64() * 1e6);
+            engine = Some(e);
+        }
+        let mut cold = engine.expect("built");
+
+        // Save (best of REPS) and file size.
+        let mut save_us = f64::MAX;
+        let mut bytes = 0;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            bytes = cold.save_snapshot(&path).expect("save snapshot");
+            save_us = save_us.min(t0.elapsed().as_secs_f64() * 1e6);
+        }
+
+        // Load (best of REPS); the last loaded engine must serve
+        // bit-identical output or the timing is meaningless.
+        let mut load_us = f64::MAX;
+        let mut served = None;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let e = Engine::<PlusF32>::from_snapshot(&path).expect("load snapshot");
+            load_us = load_us.min(t0.elapsed().as_secs_f64() * 1e6);
+            served = Some(e);
+        }
+        let mut served = served.expect("loaded");
+        let (mut ya, mut yb) = (vec![0.0f32; n], vec![0.0f32; n]);
+        cold.step(&x, &mut ya).expect("cold step");
+        served.step(&x, &mut yb).expect("served step");
+        assert_eq!(
+            ya, yb,
+            "format {format}: snapshot must serve bit-identically"
+        );
+        assert!(served.report().loaded_from_snapshot);
+
+        rows.push(Row {
+            name: format.name(),
+            build_us,
+            save_us,
+            load_us,
+            bytes,
+            speedup: build_us / load_us.max(1e-9),
+        });
+    }
+
+    println!(
+        "snapshot sweep — rmat scale {SCALE} ef {EDGE_FACTOR} seed {SEED} \
+         ({} nodes, {} edges), {PARTITION_BYTES} B partitions, best of {REPS}",
+        g.num_nodes(),
+        g.num_edges()
+    );
+    println!(
+        "{:<8} {:>12} {:>10} {:>10} {:>12} {:>10}",
+        "format", "build(us)", "save(us)", "load(us)", "file(bytes)", "build/load"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>12.1} {:>10.1} {:>10.1} {:>12} {:>9.1}x",
+            r.name, r.build_us, r.save_us, r.load_us, r.bytes, r.speedup
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"graph\": {{\"kind\": \"rmat\", \"scale\": {SCALE}, \"edge_factor\": {EDGE_FACTOR}, \
+         \"seed\": {SEED}, \"nodes\": {}, \"edges\": {}}},\n",
+        g.num_nodes(),
+        g.num_edges()
+    ));
+    json.push_str(&format!("  \"partition_bytes\": {PARTITION_BYTES},\n"));
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str("  \"formats\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"build_us\": {:.3}, \"save_us\": {:.3}, \
+             \"load_us\": {:.3}, \"file_bytes\": {}, \"build_over_load\": {:.3}}}{}\n",
+            r.name,
+            r.build_us,
+            r.save_us,
+            r.load_us,
+            r.bytes,
+            r.speedup,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_snapshot.json", &json).expect("write BENCH_snapshot.json");
+    println!("wrote BENCH_snapshot.json");
+}

@@ -2,7 +2,11 @@
 //!
 //! ```text
 //! repro <exhibit> [--scale N] [--iters N] [--threads N] [--quick]
-//!                 [--format wide|compact|delta]
+//!                 [--format wide|compact|delta] [--cache-dir DIR]
+//!
+//! `--cache-dir DIR` reuses prepared-engine snapshots across harness
+//! runs: PCPM timing engines load from `DIR` instead of re-running
+//! PNG/bin preprocessing every invocation (built and saved on miss).
 //!
 //! exhibits: table4 fig1 fig6 fig7 table5 fig8 fig9 fig10
 //!           table6 table7 fig11 fig12 fig13 fig14 table8 all
@@ -52,6 +56,13 @@ fn main() {
                     .unwrap_or(suite.iterations)
             }
             "--threads" => suite.threads = it.next().and_then(|v| v.parse().ok()),
+            "--cache-dir" => {
+                suite.cache_dir = it.next().map(std::path::PathBuf::from);
+                if suite.cache_dir.is_none() {
+                    eprintln!("--cache-dir expects a directory");
+                    std::process::exit(2);
+                }
+            }
             "--format" => {
                 suite.bin_format = match it.next().and_then(|v| v.parse().ok()) {
                     Some(f) => f,

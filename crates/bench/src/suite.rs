@@ -17,9 +17,10 @@
 //! parallelism rayon finds.
 
 use pcpm_baselines::{BvgasRunner, PdprRunner};
-use pcpm_core::pagerank::{pagerank_with_engine, PcpmVariant};
+use pcpm_core::algebra::PlusF32;
+use pcpm_core::pagerank::pagerank_with_unified_engine;
 use pcpm_core::pr::PrResult;
-use pcpm_core::{BinFormatKind, PcpmConfig, PcpmPipeline};
+use pcpm_core::{BinFormatKind, Engine, PcpmConfig};
 use pcpm_graph::gen::datasets::{standin_at, Dataset};
 use pcpm_graph::order::{reorder, OrderingKind};
 use pcpm_graph::Csr;
@@ -71,6 +72,12 @@ pub struct SuiteConfig {
     pub threads: Option<usize>,
     /// PCPM bin format for the timing experiments (`--format`).
     pub bin_format: BinFormatKind,
+    /// Engine-snapshot cache directory (`--cache-dir`): PCPM timing
+    /// engines are loaded from snapshots keyed by graph × format ×
+    /// partitioning when present, and saved after a cold build — so
+    /// repeated harness runs (exhibit sweeps, `all`) stop re-paying the
+    /// PNG/bin preprocessing per run.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for SuiteConfig {
@@ -81,6 +88,7 @@ impl Default for SuiteConfig {
             out_dir: PathBuf::from("results"),
             threads: None,
             bin_format: BinFormatKind::Wide,
+            cache_dir: None,
         }
     }
 }
@@ -147,11 +155,53 @@ impl SuiteConfig {
     }
 }
 
-/// Runs PCPM PageRank with the timing configuration.
+/// Runs PCPM PageRank with the timing configuration, reusing a prepared
+/// engine snapshot from [`SuiteConfig::cache_dir`] when one exists
+/// (build-once across harness runs; the snapshot is keyed by graph
+/// content × format × partitioning, so a changed stand-in misses).
 pub fn time_pcpm(g: &Csr, suite: &SuiteConfig) -> PrResult {
     let cfg = suite.timing_config();
-    let mut engine: PcpmPipeline = PcpmPipeline::new(g, &cfg).expect("engine build");
-    pagerank_with_engine(g, &cfg, PcpmVariant::default(), &mut engine).expect("pcpm run")
+    let mut engine = pcpm_timing_engine(g, suite, &cfg);
+    pagerank_with_unified_engine(g, &cfg, &mut engine, None).expect("pcpm run")
+}
+
+/// Builds (or snapshot-loads) the PCPM timing engine.
+fn pcpm_timing_engine(g: &Csr, suite: &SuiteConfig, cfg: &PcpmConfig) -> Engine<PlusF32> {
+    let Some(dir) = &suite.cache_dir else {
+        return Engine::<PlusF32>::builder(g)
+            .config(*cfg)
+            .build()
+            .expect("engine build");
+    };
+    std::fs::create_dir_all(dir).expect("snapshot cache dir");
+    let key = pcpm_graph::io::checksum64(&pcpm_graph::io::to_bytes(g));
+    let path = dir.join(format!(
+        "pcpm-{key:016x}-{}-q{}.pcpmc",
+        cfg.bin_format,
+        cfg.partition_nodes()
+    ));
+    if path.exists() {
+        let mut b = pcpm_core::SnapshotEngineBuilder::<PlusF32>::open(&path)
+            .expect("snapshot open")
+            .expect_config(cfg, false)
+            .expect("snapshot config")
+            .expect_graph(g)
+            .expect("snapshot graph");
+        if let Some(t) = cfg.threads {
+            b = b.threads(t);
+        }
+        return b.build().expect("snapshot build");
+    }
+    // Snapshotting requires a retained graph, which only a shared
+    // handle provides; the one-time clone here is the price of
+    // populating the cache, paid on miss only.
+    let shared = std::sync::Arc::new(g.clone());
+    let engine = Engine::<PlusF32>::builder_shared(&shared)
+        .config(*cfg)
+        .build()
+        .expect("engine build");
+    engine.save_snapshot(&path).expect("snapshot save");
+    engine
 }
 
 /// Runs BVGAS PageRank with the timing configuration.

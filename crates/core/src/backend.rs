@@ -47,13 +47,15 @@
 use crate::algebra::Algebra;
 use crate::config::PcpmConfig;
 use crate::engine::{FormatPipeline, GatherKind, ScatterKind};
-use crate::error::PcpmError;
+use crate::error::{PcpmError, SnapshotError};
 use crate::format::{BinFormat, BinFormatKind, CompactFormat, DeltaFormat, WideFormat};
 use crate::partition::split_by_lens;
 use crate::pr::PhaseTimings;
+use crate::snapshot::{BinState, BinStateInner, DataplaneState, Snapshot};
 use crate::update::{RepairStats, UpdateBatch, UpdateOutcome};
 use pcpm_graph::{Csr, EdgeWeights};
 use rayon::prelude::*;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -151,6 +153,13 @@ pub trait Backend<A: Algebra>: Send {
 
     /// Static facts about the prepared state.
     fn metrics(&self) -> BackendMetrics;
+
+    /// Exports the serializable dataplane state for the engine-snapshot
+    /// cache ([`Engine::save_snapshot`]). The default declines — only
+    /// the PCPM dataplane is snapshotable today.
+    fn snapshot_state(&self) -> Option<DataplaneState> {
+        None
+    }
 }
 
 /// The built-in backends the [`EngineBuilder`] can construct.
@@ -206,6 +215,13 @@ pub struct ExecutionReport {
     pub bin_format: Option<&'static str>,
     /// Destination-ID compression relative to the wide baseline.
     pub bin_compression: Option<f64>,
+    /// Whether the prepared state was loaded from a snapshot cache
+    /// instead of built by `prepare` (in which case `preprocess` is the
+    /// load wall-clock, not a build).
+    pub loaded_from_snapshot: bool,
+    /// Snapshot load wall-clock, present exactly when
+    /// [`Self::loaded_from_snapshot`] is set.
+    pub snapshot_load: Option<Duration>,
 }
 
 impl ExecutionReport {
@@ -228,8 +244,8 @@ pub struct Engine<A: Algebra> {
     num_src: u32,
     num_dst: u32,
     /// Engine-owned thread pool, built once when `PcpmConfig::threads`
-    /// is set; every step installs into it.
-    pool: Option<rayon::ThreadPool>,
+    /// is set; preprocessing and every step install into it.
+    pool: Option<Arc<rayon::ThreadPool>>,
     steps: usize,
     timings: PhaseTimings,
     /// The build recipe, kept so [`Engine::update`] can re-`prepare` a
@@ -237,6 +253,24 @@ pub struct Engine<A: Algebra> {
     /// wrapping an external backend ([`Engine::from_backend`]), which
     /// the engine does not know how to rebuild.
     recipe: Option<BuildRecipe>,
+    /// The graph (and weights) the engine was prepared over, retained
+    /// for [`Engine::save_snapshot`]. Always zero-copy: populated only
+    /// when a shared handle exists — [`Engine::builder_shared`], a
+    /// snapshot load, or any [`Engine::update`] (which receives an
+    /// `Arc`). Engines built from a borrowed graph retain nothing
+    /// rather than silently deep-copying it. `None` for externally
+    /// prepared backends.
+    source: Option<EngineSource>,
+    /// Snapshot load wall-clock when the engine was rehydrated through
+    /// [`Engine::from_snapshot`] instead of `prepare`.
+    snapshot_load: Option<Duration>,
+}
+
+/// The retained build inputs behind [`Engine::save_snapshot`].
+struct EngineSource {
+    graph: Arc<Csr>,
+    /// CSR-order edge weights (repairs re-read these).
+    weights: Option<Vec<f32>>,
 }
 
 /// Everything needed to re-run `prepare` for a built-in backend.
@@ -252,12 +286,13 @@ struct BuildRecipe {
 }
 
 /// Builds the engine-owned pool for an explicit thread count.
-fn build_pool(threads: Option<usize>) -> Result<Option<rayon::ThreadPool>, PcpmError> {
+fn build_pool(threads: Option<usize>) -> Result<Option<Arc<rayon::ThreadPool>>, PcpmError> {
     threads
         .map(|t| {
             rayon::ThreadPoolBuilder::new()
                 .num_threads(t)
                 .build()
+                .map(Arc::new)
                 .map_err(|_| PcpmError::BadConfig("failed to build the engine thread pool"))
         })
         .transpose()
@@ -291,6 +326,12 @@ impl<A: Algebra> Engine<A> {
 
     /// Wraps an externally prepared backend (e.g. the BVGAS or grid
     /// implementations in `pcpm-baselines`).
+    ///
+    /// When the backend still needs to be prepared, prefer
+    /// [`Engine::from_backend_with`]: it builds the engine-owned pool
+    /// *first* and runs `prepare` on it, so preprocessing and every
+    /// later step share one pool instead of spawning a throwaway pool
+    /// for the prepare.
     pub fn from_backend(backend: Box<dyn Backend<A>>, num_src: u32, num_dst: u32) -> Self {
         Self {
             backend,
@@ -300,13 +341,40 @@ impl<A: Algebra> Engine<A> {
             steps: 0,
             timings: PhaseTimings::default(),
             recipe: None,
+            source: None,
+            snapshot_load: None,
         }
+    }
+
+    /// Builds an engine around an externally prepared backend with one
+    /// engine-owned pool for its whole lifetime: the pool is constructed
+    /// first, `prepare` runs installed on it, and every subsequent step
+    /// reuses it. This is the churn-free counterpart of
+    /// `from_backend(..).with_threads(..)`, which spawned one pool for
+    /// the prepare and a second for the steps.
+    pub fn from_backend_with(
+        threads: Option<usize>,
+        num_src: u32,
+        num_dst: u32,
+        prepare: impl FnOnce() -> Result<Box<dyn Backend<A>>, PcpmError> + Send,
+    ) -> Result<Self, PcpmError> {
+        let pool = build_pool(threads)?;
+        let backend = match &pool {
+            Some(p) => p.install(prepare)?,
+            None => prepare()?,
+        };
+        Ok(Self {
+            pool,
+            ..Self::from_backend(backend, num_src, num_dst)
+        })
     }
 
     /// Pins every subsequent step to a pool of `threads` workers
     /// (`None` restores the ambient global pool). The builder does this
     /// automatically from `PcpmConfig::threads`; external-backend
-    /// constructors call it explicitly.
+    /// constructors that already prepared their backend call it
+    /// explicitly (prefer [`Engine::from_backend_with`] when the
+    /// prepare still lies ahead).
     pub fn with_threads(mut self, threads: Option<usize>) -> Result<Self, PcpmError> {
         self.pool = build_pool(threads)?;
         Ok(self)
@@ -447,6 +515,7 @@ impl<A: Algebra> Engine<A> {
             None => backend.update(&spec, batch)?,
         };
         if let Some(stats) = repaired {
+            self.refresh_source(graph, weights);
             return Ok(UpdateOutcome::Repaired(stats));
         }
         let Some(recipe) = recipe else {
@@ -461,7 +530,23 @@ impl<A: Algebra> Engine<A> {
         };
         self.num_src = graph.num_nodes();
         self.num_dst = graph.num_nodes();
+        self.refresh_source(graph, weights);
         Ok(UpdateOutcome::Rebuilt)
+    }
+
+    /// Re-points the retained snapshot source at the post-update graph
+    /// (and weights), so a snapshot saved after an update captures the
+    /// state the engine actually serves. Updates hand the engine an
+    /// `Arc`, so this also *establishes* retention (zero-copy) for
+    /// engines built from a borrowed graph. Externally prepared engines
+    /// (no build recipe) retain nothing and stay that way.
+    fn refresh_source(&mut self, graph: &Arc<Csr>, weights: Option<&[f32]>) {
+        if self.recipe.is_some() {
+            self.source = Some(EngineSource {
+                graph: Arc::clone(graph),
+                weights: weights.map(<[f32]>::to_vec),
+            });
+        }
     }
 
     /// Whether the engine was prepared with edge weights, when known.
@@ -489,7 +574,50 @@ impl<A: Algebra> Engine<A> {
             compression_ratio: m.compression_ratio,
             bin_format: m.bin_format,
             bin_compression: m.bin_compression,
+            loaded_from_snapshot: self.snapshot_load.is_some(),
+            snapshot_load: self.snapshot_load,
         }
+    }
+
+    /// Exports the engine's prepared state as a [`Snapshot`] (graph,
+    /// weights, PNG layout, bins). Requires a PCPM dataplane and a
+    /// retained graph — engines wrapping external backends return
+    /// [`SnapshotError::Unsupported`].
+    pub fn snapshot(&self) -> Result<Snapshot, PcpmError> {
+        let state = self.backend.snapshot_state().ok_or(PcpmError::Snapshot(
+            SnapshotError::Unsupported("only the PCPM dataplane can be snapshotted"),
+        ))?;
+        let source =
+            self.source
+                .as_ref()
+                .ok_or(PcpmError::Snapshot(SnapshotError::Unsupported(
+                    "the engine does not retain its graph; build through \
+                 Engine::builder_shared (or update/load it) to enable snapshotting",
+                )))?;
+        let partition_bytes =
+            u64::from(state.png.src_parts().partition_size()) * crate::config::VALUE_BYTES as u64;
+        Ok(Snapshot::from_state(
+            Arc::clone(&source.graph),
+            source.weights.clone(),
+            partition_bytes,
+            state,
+        ))
+    }
+
+    /// Serializes the engine's prepared state to `path` (the
+    /// build-once, serve-many cache). Returns the file size in bytes.
+    ///
+    /// A later [`Engine::from_snapshot`] skips `prepare` entirely and
+    /// produces bit-identical step output.
+    pub fn save_snapshot<P: AsRef<Path>>(&self, path: P) -> Result<u64, PcpmError> {
+        Ok(self.snapshot()?.save(path)?)
+    }
+
+    /// Rehydrates an engine from a snapshot file with the recorded
+    /// configuration and no thread pinning — sugar for
+    /// [`EngineBuilder::from_snapshot`] + `build`.
+    pub fn from_snapshot<P: AsRef<Path>>(path: P) -> Result<Self, PcpmError> {
+        SnapshotEngineBuilder::open(path)?.build()
     }
 }
 
@@ -629,6 +757,15 @@ impl<'g, A: Algebra> EngineBuilder<'g, A> {
             Some(p) => p.install(prepare)?,
             None => prepare()?,
         };
+        // Retain the snapshot source only when it is free: a shared
+        // handle clones an Arc, a borrowed graph would need a deep copy
+        // (potentially GBs) the caller may never use. Borrowed-graph
+        // engines become snapshotable via builder_shared or after their
+        // first update (which hands the engine an Arc).
+        let source = self.shared.map(|arc| EngineSource {
+            graph: Arc::clone(arc),
+            weights: self.weights.map(|w| w.as_slice().to_vec()),
+        });
         Ok(Engine {
             backend,
             num_src: self.graph.num_nodes(),
@@ -643,8 +780,169 @@ impl<'g, A: Algebra> EngineBuilder<'g, A> {
                 gather: self.gather,
                 weighted: self.weights.is_some(),
             }),
+            source,
+            snapshot_load: None,
         })
     }
+
+    /// Opens a snapshot file as the starting point of an engine —
+    /// `prepare` is skipped entirely; the graph, PNG layout and bins
+    /// come from disk. Configure threads (and assert expectations) on
+    /// the returned [`SnapshotEngineBuilder`], then `build`.
+    pub fn from_snapshot<P: AsRef<Path>>(path: P) -> Result<SnapshotEngineBuilder<A>, PcpmError> {
+        SnapshotEngineBuilder::open(path)
+    }
+}
+
+/// Builder over a loaded [`Snapshot`]: the counterpart of
+/// [`EngineBuilder`] for the build-once, serve-many path.
+pub struct SnapshotEngineBuilder<A: Algebra> {
+    snapshot: Snapshot,
+    load: Duration,
+    threads: Option<usize>,
+    _algebra: std::marker::PhantomData<A>,
+}
+
+impl<A: Algebra> SnapshotEngineBuilder<A> {
+    /// Reads and validates `path` (magic, version, checksum, structure).
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, PcpmError> {
+        let t0 = Instant::now();
+        let snapshot = Snapshot::load(path)?;
+        Ok(Self {
+            snapshot,
+            load: t0.elapsed(),
+            threads: None,
+            _algebra: std::marker::PhantomData,
+        })
+    }
+
+    /// Wraps an already-decoded snapshot (no I/O); `load` should be the
+    /// wall-clock the caller spent obtaining it.
+    pub fn from_snapshot(snapshot: Snapshot, load: Duration) -> Self {
+        Self {
+            snapshot,
+            load,
+            threads: None,
+            _algebra: std::marker::PhantomData,
+        }
+    }
+
+    /// The loaded snapshot (graph, format, weightedness inspection).
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Pins the engine to a pool of `threads` workers, exactly like
+    /// [`EngineBuilder::threads`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Rejects the snapshot unless it matches the caller's expected
+    /// configuration (partition bytes, bin format, weighted-ness) —
+    /// serving layers call this so a stale or foreign cache file fails
+    /// loudly instead of silently serving under the wrong config.
+    pub fn expect_config(self, cfg: &PcpmConfig, weighted: bool) -> Result<Self, PcpmError> {
+        self.snapshot.verify_config(cfg, Some(weighted))?;
+        Ok(self)
+    }
+
+    /// Rejects the snapshot unless it captures exactly `graph`.
+    pub fn expect_graph(self, graph: &Csr) -> Result<Self, PcpmError> {
+        self.snapshot.verify_graph(graph)?;
+        Ok(self)
+    }
+
+    /// Rehydrates the engine: one engine-owned pool (when threads are
+    /// pinned), a PCPM backend adopting the snapshot's PNG and bins,
+    /// and a build recipe matching the snapshot's configuration — so
+    /// [`Engine::update`] and a later [`Engine::save_snapshot`] work
+    /// exactly as on a cold-built engine.
+    pub fn build(self) -> Result<Engine<A>, PcpmError> {
+        let load = self.load;
+        let (graph, weights, partition_bytes, png, bins) = self.snapshot.into_parts();
+        let mut cfg = PcpmConfig::default().with_partition_bytes(partition_bytes as usize);
+        cfg.bin_format = bins.kind();
+        cfg.threads = self.threads;
+        cfg.validate()?;
+        if bins.is_weighted() != weights.is_some() {
+            return Err(PcpmError::Snapshot(SnapshotError::Corrupt(
+                "bin weight stream disagrees with weighted flag",
+            )));
+        }
+        let n = graph.num_nodes();
+        let weighted = weights.is_some();
+        let pool = build_pool(cfg.threads)?;
+        let backend = boxed_backend_from_state::<A>(n, png, bins, load)?;
+        Ok(Engine {
+            backend,
+            num_src: n,
+            num_dst: n,
+            pool,
+            steps: 0,
+            timings: PhaseTimings::default(),
+            recipe: Some(BuildRecipe {
+                kind: BackendKind::Pcpm,
+                cfg,
+                scatter: ScatterKind::default(),
+                gather: GatherKind::default(),
+                weighted,
+            }),
+            source: Some(EngineSource { graph, weights }),
+            snapshot_load: Some(load),
+        })
+    }
+}
+
+/// Adopts deserialized PNG + bins into the right statically-typed PCPM
+/// backend; the update stream is scratch, allocated fresh at `|E'|`.
+fn boxed_backend_from_state<A: Algebra>(
+    num_nodes: u32,
+    png: crate::png::Png,
+    bins: BinState,
+    load: Duration,
+) -> Result<Box<dyn Backend<A>>, PcpmError> {
+    let updates_len = png.num_compressed_edges() as usize;
+    Ok(match bins.0 {
+        BinStateInner::Wide { dest_ids, weights } => {
+            let bins = crate::bins::BinSpace {
+                updates: vec![A::T::default(); updates_len],
+                dest_ids,
+                weights,
+            };
+            Box::new(PcpmBackend::<A, WideFormat>::from_pipeline(
+                FormatPipeline::from_loaded(num_nodes, num_nodes, png, bins, load),
+            )) as Box<dyn Backend<A>>
+        }
+        BinStateInner::Compact { dest_ids, weights } => {
+            let bins = crate::compact::CompactBinSpace {
+                updates: vec![A::T::default(); updates_len],
+                dest_ids,
+                weights,
+            };
+            Box::new(PcpmBackend::<A, CompactFormat>::from_pipeline(
+                FormatPipeline::from_loaded(num_nodes, num_nodes, png, bins, load),
+            ))
+        }
+        BinStateInner::Delta {
+            dest_bytes,
+            byte_region,
+            seg_off,
+            weights,
+        } => {
+            let bins = crate::delta::DeltaPackedBins::from_loaded(
+                updates_len,
+                dest_bytes,
+                byte_region,
+                seg_off,
+                weights,
+            );
+            Box::new(PcpmBackend::<A, DeltaFormat>::from_pipeline(
+                FormatPipeline::from_loaded(num_nodes, num_nodes, png, bins, load),
+            ))
+        }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -731,6 +1029,10 @@ impl<A: Algebra, F: BinFormat> Backend<A> for PcpmBackend<A, F> {
             bin_format: Some(F::KIND.name()),
             bin_compression: Some(self.pipeline.bin_compression()),
         }
+    }
+
+    fn snapshot_state(&self) -> Option<DataplaneState> {
+        Some(self.pipeline.export_state())
     }
 }
 
@@ -1459,14 +1761,15 @@ mod tests {
             .backend(BackendKind::Push)
             .build()
             .unwrap();
-        // The push backend holds the SAME allocation, not a deep copy.
-        assert_eq!(Arc::strong_count(&g), base + 1);
+        // The push backend AND the engine's retained snapshot source
+        // hold the SAME allocation, not deep copies.
+        assert_eq!(Arc::strong_count(&g), base + 2);
         let ablation = Engine::<PlusF32>::builder_shared(&g)
             .partition_bytes(64 * 4)
             .scatter(ScatterKind::CsrTraversal)
             .build()
             .unwrap();
-        assert_eq!(Arc::strong_count(&g), base + 2);
+        assert_eq!(Arc::strong_count(&g), base + 4);
         drop(push);
         drop(ablation);
         assert_eq!(Arc::strong_count(&g), base);

@@ -136,16 +136,46 @@ impl PcpmConfig {
     }
 }
 
-/// Runs `f` on a rayon pool with the configured thread count, or inline on
-/// the global pool when unset. Shared by every kernel in the workspace so
-/// thread-count sweeps treat all methods identically.
+/// Returns the process-wide shared worker pool for `threads`, building
+/// it on first request and reusing it for every later one.
+///
+/// This is the fix for per-call pool churn: [`run_with_threads`] used to
+/// build and tear down a brand-new pool (spawning and joining `threads`
+/// OS threads) on **every** invocation — once per baseline-driver run,
+/// once per prepare — which is exactly wrong for a serving deployment.
+/// Pools returned here live for the process; workers for a given thread
+/// count are spawned once, ever.
+///
+/// The unified [`Engine`](crate::Engine) is unaffected: it builds its
+/// own engine-owned pool at construction and reuses it for prepare and
+/// every step (one pool per engine, dropped with the engine).
+pub fn shared_pool(threads: usize) -> std::sync::Arc<rayon::ThreadPool> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<rayon::ThreadPool>>>> = OnceLock::new();
+    let mut pools = POOLS
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("pool cache lock");
+    Arc::clone(pools.entry(threads).or_insert_with(|| {
+        Arc::new(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("failed to build rayon pool"),
+        )
+    }))
+}
+
+/// Runs `f` on the shared pool for the configured thread count, or
+/// inline on the ambient pool when unset. Shared by every kernel in the
+/// workspace so thread-count sweeps treat all methods identically; the
+/// pool is memoized per thread count (see [`shared_pool`]), so repeated
+/// calls — the five baseline drivers, repeated prepares — never respawn
+/// workers.
 pub fn run_with_threads<R: Send>(threads: Option<usize>, f: impl FnOnce() -> R + Send) -> R {
     match threads {
-        Some(t) => rayon::ThreadPoolBuilder::new()
-            .num_threads(t)
-            .build()
-            .expect("failed to build rayon pool")
-            .install(f),
+        Some(t) => shared_pool(t).install(f),
         None => f(),
     }
 }
@@ -209,5 +239,20 @@ mod tests {
     fn run_with_threads_executes() {
         assert_eq!(run_with_threads(Some(2), || 41 + 1), 42);
         assert_eq!(run_with_threads(None, || 7), 7);
+    }
+
+    #[test]
+    fn shared_pool_is_built_once_per_thread_count() {
+        // Pool identity proves build-once/serve-many without racing on
+        // the process-global spawn counters (other tests spawn their
+        // own engine pools concurrently).
+        let a = shared_pool(3);
+        let b = shared_pool(3);
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "same pool on every call");
+        let c = shared_pool(2);
+        assert!(!std::sync::Arc::ptr_eq(&a, &c), "per-thread-count pools");
+        assert_eq!(a.current_num_threads(), 3);
+        // And the memoized pool actually runs work.
+        assert_eq!(run_with_threads(Some(3), || 6 * 7), 42);
     }
 }

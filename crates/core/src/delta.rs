@@ -237,6 +237,35 @@ impl<T: BinScalar> DeltaPackedBins<T> {
         });
     }
 
+    /// Clones the serializable state (everything except the scratch
+    /// update stream) for the engine-snapshot writer.
+    pub(crate) fn export_state(&self) -> crate::snapshot::BinState {
+        crate::snapshot::BinState::delta(
+            self.dest_bytes.clone(),
+            self.byte_region.clone(),
+            self.seg_off.clone(),
+            self.weights.clone(),
+        )
+    }
+
+    /// Reassembles bins from deserialized state; the update stream is
+    /// scratch, so it is freshly allocated at the identity-sized length.
+    pub(crate) fn from_loaded(
+        updates_len: usize,
+        dest_bytes: Vec<u8>,
+        byte_region: Vec<u64>,
+        seg_off: Vec<Vec<u64>>,
+        weights: Option<Vec<f32>>,
+    ) -> Self {
+        Self {
+            updates: vec![T::default(); updates_len],
+            dest_bytes,
+            byte_region,
+            seg_off,
+            weights,
+        }
+    }
+
     /// Heap bytes held by the bins (updates + byte stream + offsets +
     /// weights).
     pub fn memory_bytes(&self) -> u64 {

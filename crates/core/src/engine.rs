@@ -94,6 +94,31 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
         })
     }
 
+    /// Rehydrates a pipeline from snapshot state: no partitioning, PNG
+    /// build or bin encoding runs — the structures are adopted as-is.
+    /// `preprocess` records the load wall-clock (the only preprocessing
+    /// this process paid).
+    pub(crate) fn from_loaded(
+        num_src: u32,
+        num_dst: u32,
+        png: Png,
+        bins: F::Bins<A::T>,
+        preprocess: Duration,
+    ) -> Self {
+        Self {
+            num_src,
+            num_dst,
+            png,
+            bins,
+            preprocess,
+        }
+    }
+
+    /// The serializable dataplane state for the engine-snapshot writer.
+    pub(crate) fn export_state(&self) -> crate::snapshot::DataplaneState {
+        crate::snapshot::DataplaneState::new(self.png.clone(), F::export_state(&self.bins))
+    }
+
     /// Number of source nodes (length of `x`).
     pub fn num_src(&self) -> u32 {
         self.num_src

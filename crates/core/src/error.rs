@@ -18,6 +18,80 @@ pub enum PcpmError {
     TooManyNodes(u64),
     /// A configuration field is out of its valid range.
     BadConfig(&'static str),
+    /// An engine-snapshot file could not be written, read or trusted.
+    Snapshot(SnapshotError),
+}
+
+/// Typed failures of the engine-snapshot cache (`pcpm_core::snapshot`).
+///
+/// Every way a snapshot file can be wrong maps to a distinct variant, so
+/// callers (the CLI, the replay harness, serving layers) can decide
+/// between "rebuild the cache" (corruption, version skew) and "the
+/// caller asked for something else" (config mismatch) without string
+/// matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Underlying filesystem failure (kind + message, stringified so the
+    /// error stays `Clone + Eq`).
+    Io(String),
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The file uses a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Highest version this build understands.
+        supported: u32,
+    },
+    /// The payload checksum does not match the header — the file was
+    /// corrupted or truncated after the header.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum computed over the payload that was actually read.
+        computed: u64,
+    },
+    /// The payload is structurally invalid (truncated section, internal
+    /// inconsistency) even though the checksum matched.
+    Corrupt(&'static str),
+    /// The snapshot is valid but was built under a different
+    /// configuration than the caller requires (`partition bytes`,
+    /// `bin format`, `weighted`, or `graph`).
+    ConfigMismatch {
+        /// Which configuration axis disagreed.
+        field: &'static str,
+    },
+    /// The engine cannot be snapshotted (non-PCPM dataplane, or an
+    /// externally prepared backend with no retained graph).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(msg) => write!(f, "snapshot I/O: {msg}"),
+            SnapshotError::BadMagic => write!(f, "not a pcpm snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot version {found} unsupported (this build reads up to {supported})"
+            ),
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch (header {stored:#018x}, payload {computed:#018x})"
+            ),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::ConfigMismatch { field } => {
+                write!(f, "snapshot config mismatch on {field}")
+            }
+            SnapshotError::Unsupported(msg) => write!(f, "snapshot unsupported: {msg}"),
+        }
+    }
+}
+
+impl From<SnapshotError> for PcpmError {
+    fn from(e: SnapshotError) -> Self {
+        PcpmError::Snapshot(e)
+    }
 }
 
 impl fmt::Display for PcpmError {
@@ -33,6 +107,7 @@ impl fmt::Display for PcpmError {
                 write!(f, "{n} nodes exceeds the 2^31 PCPM limit (MSB is reserved)")
             }
             PcpmError::BadConfig(msg) => write!(f, "bad config: {msg}"),
+            PcpmError::Snapshot(e) => write!(f, "{e}"),
         }
     }
 }

@@ -195,6 +195,11 @@ pub trait BinFormat: Send + Sync + 'static {
         s: u32,
         p: u32,
     ) -> Self::Cursor<'a>;
+
+    /// Clones the serializable part of the bins (destination stream +
+    /// optional weight stream) for the engine-snapshot writer; the
+    /// update stream is scratch and excluded.
+    fn export_state<T: BinScalar>(bins: &Self::Bins<T>) -> crate::snapshot::BinState;
 }
 
 /// Destination-ID compression relative to the wide baseline
@@ -519,6 +524,10 @@ impl BinFormat for WideFormat {
             ids: bins.dest_ids[lo..hi].iter(),
         }
     }
+
+    fn export_state<T: BinScalar>(bins: &BinSpace<T>) -> crate::snapshot::BinState {
+        crate::snapshot::BinState::wide(bins.dest_ids.clone(), bins.weights.clone())
+    }
 }
 
 /// 16-bit partition-local destination IDs (§6 future work).
@@ -632,6 +641,10 @@ impl BinFormat for CompactFormat {
             p_base: p * png.dst_parts().partition_size(),
         }
     }
+
+    fn export_state<T: BinScalar>(bins: &CompactBinSpace<T>) -> crate::snapshot::BinState {
+        crate::snapshot::BinState::compact(bins.dest_ids.clone(), bins.weights.clone())
+    }
 }
 
 /// Delta-encoded varint destination IDs (see [`crate::delta`]).
@@ -689,6 +702,10 @@ impl BinFormat for DeltaFormat {
         p: u32,
     ) -> crate::delta::DeltaCursor<'a> {
         bins.cursor(png, s, p)
+    }
+
+    fn export_state<T: BinScalar>(bins: &DeltaPackedBins<T>) -> crate::snapshot::BinState {
+        bins.export_state()
     }
 }
 

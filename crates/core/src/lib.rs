@@ -74,20 +74,25 @@ pub mod partition;
 pub mod png;
 pub mod pr;
 pub mod scatter;
+pub mod snapshot;
 pub mod spmv;
 pub mod update;
 
-pub use backend::{Backend, BackendKind, Engine, EngineBuilder, ExecutionReport};
+pub use backend::{
+    Backend, BackendKind, Engine, EngineBuilder, ExecutionReport, SnapshotEngineBuilder,
+};
 pub use config::PcpmConfig;
 pub use delta::DeltaPackedBins;
 #[allow(deprecated)]
 pub use engine::PcpmEngine;
 pub use engine::{FormatPipeline, GatherKind, PcpmPipeline, ScatterKind};
 pub use error::PcpmError;
+pub use error::SnapshotError;
 pub use format::{BinFormat, BinFormatKind, CompactFormat, DeltaFormat, DestCursor, WideFormat};
 pub use partition::Partitioner;
 pub use png::Png;
 pub use pr::{PhaseTimings, PrResult};
+pub use snapshot::Snapshot;
 pub use update::{EdgeOp, EdgeUpdate, RepairStats, UpdateBatch, UpdateOutcome};
 
 /// Bit mask extracting the true node ID from a destination-bin entry

@@ -174,6 +174,31 @@ impl Png {
         }
     }
 
+    /// Reassembles a layout from deserialized parts (the engine-snapshot
+    /// load path): the region prefix sums are recomputed, so they are
+    /// consistent with `parts` by construction.
+    pub(crate) fn from_parts(
+        src_parts: Partitioner,
+        dst_parts: Partitioner,
+        parts: Vec<BipartitePart>,
+    ) -> Self {
+        let mut upd_region = Vec::with_capacity(parts.len() + 1);
+        let mut did_region = Vec::with_capacity(parts.len() + 1);
+        upd_region.push(0);
+        did_region.push(0);
+        for part in &parts {
+            upd_region.push(upd_region.last().unwrap() + part.num_compressed());
+            did_region.push(did_region.last().unwrap() + part.num_raw());
+        }
+        Self {
+            src_parts,
+            dst_parts,
+            parts,
+            upd_region,
+            did_region,
+        }
+    }
+
     /// The source-side partitioner.
     #[inline]
     pub fn src_parts(&self) -> &Partitioner {

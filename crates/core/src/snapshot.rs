@@ -1,0 +1,821 @@
+//! Persistent engine snapshots: build the PCPM dataplane once, serve it
+//! from disk forever after.
+//!
+//! The paper's economics (§3, Table 8) amortize PNG/bin preprocessing
+//! over many PageRank iterations *within one run*. A serving deployment
+//! ("millions of users") restarts processes, shards work across machines
+//! and re-ranks on demand — so the preprocessing must amortize **across
+//! runs** too. This module serializes everything `prepare` produces —
+//! the graph, optional edge weights, the [`Png`] layout and the
+//! per-format bin storage — into one versioned, checksummed file that
+//! [`Engine::from_snapshot`](crate::Engine::from_snapshot) can map back
+//! into a ready engine without touching the build path.
+//!
+//! # File format (version 1)
+//!
+//! All integers little-endian. The file is `header ‖ payload`; the
+//! checksum covers the payload only, so header corruption is caught by
+//! the magic/version checks and payload corruption by the checksum
+//! before any structural decoding happens.
+//!
+//! ```text
+//! header (20 bytes):
+//!   0   magic        b"PCPMSNAP"
+//!   8   version      u32   (= 1)
+//!   12  checksum     u64   FNV-1a 64 over payload
+//! payload:
+//!   partition_bytes  u64   the config the dataplane was built with
+//!   bin_format       u8    0 = wide, 1 = compact, 2 = delta
+//!   weighted         u8    1 when an edge-weight stream follows
+//!   reserved         [u8; 6]
+//!   graph            u64 length ‖ pcpm_graph::io binary CSR
+//!   weights          (weighted only) u64 length ‖ pcpm_graph::io weights
+//!                    blob, CSR edge order (repairs re-read these)
+//!   png              src_q u32 ‖ dst_q u32 ‖ k_src u32 ‖ k_dst u32,
+//!                    then per source partition:
+//!                    upd_off  (k_dst + 1) × u64
+//!                    did_off  (k_dst + 1) × u64
+//!                    sources  u64 count ‖ count × u32
+//!   bins             tag u8 (= bin_format), then per format:
+//!                    wide:    u64 count ‖ count × u32 dest IDs
+//!                    compact: u64 count ‖ count × u16 dest IDs
+//!                    delta:   u64 count ‖ count × u8 varint stream,
+//!                             (k_src + 1) × u64 byte regions,
+//!                             k_src × (k_dst + 1) × u64 segment offsets
+//!                    then (weighted only) u64 count ‖ count × f32
+//!                    bin-order weight stream
+//! ```
+//!
+//! The *update* stream is deliberately **not** serialized: it is scratch
+//! memory overwritten by every scatter, so the loader allocates it fresh
+//! (zero-filled) at `|E'|` entries.
+//!
+//! # Guarantees
+//!
+//! - **Bit-identical serving** — an engine loaded from a snapshot
+//!   produces the same step output as the engine that saved it, on any
+//!   thread count (the bins are byte-identical and the kernels are
+//!   deterministic).
+//! - **Typed rejection** — wrong magic, unknown version, checksum
+//!   mismatch, truncation, internal inconsistency and config mismatch
+//!   each map to a distinct [`SnapshotError`] variant; no snapshot input
+//!   can panic the loader.
+
+use crate::error::SnapshotError;
+use crate::format::BinFormatKind;
+use crate::png::{BipartitePart, Png};
+use crate::Partitioner;
+use pcpm_graph::{io as gio, Csr};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"PCPMSNAP";
+
+/// Highest snapshot format version this build reads and the version it
+/// writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Conventional file extension for snapshot files (`graph.pcpmc`).
+pub const SNAPSHOT_EXTENSION: &str = "pcpmc";
+
+/// The serializable state of one bin format: destination stream plus the
+/// optional bin-order weight stream. Opaque — produced by the dataplane
+/// export hooks and consumed by the loader.
+#[derive(Clone, Debug)]
+pub struct BinState(pub(crate) BinStateInner);
+
+#[derive(Clone, Debug)]
+pub(crate) enum BinStateInner {
+    Wide {
+        dest_ids: Vec<u32>,
+        weights: Option<Vec<f32>>,
+    },
+    Compact {
+        dest_ids: Vec<u16>,
+        weights: Option<Vec<f32>>,
+    },
+    Delta {
+        dest_bytes: Vec<u8>,
+        byte_region: Vec<u64>,
+        seg_off: Vec<Vec<u64>>,
+        weights: Option<Vec<f32>>,
+    },
+}
+
+impl BinState {
+    pub(crate) fn wide(dest_ids: Vec<u32>, weights: Option<Vec<f32>>) -> Self {
+        Self(BinStateInner::Wide { dest_ids, weights })
+    }
+
+    pub(crate) fn compact(dest_ids: Vec<u16>, weights: Option<Vec<f32>>) -> Self {
+        Self(BinStateInner::Compact { dest_ids, weights })
+    }
+
+    pub(crate) fn delta(
+        dest_bytes: Vec<u8>,
+        byte_region: Vec<u64>,
+        seg_off: Vec<Vec<u64>>,
+        weights: Option<Vec<f32>>,
+    ) -> Self {
+        Self(BinStateInner::Delta {
+            dest_bytes,
+            byte_region,
+            seg_off,
+            weights,
+        })
+    }
+
+    /// The format this state belongs to.
+    pub fn kind(&self) -> BinFormatKind {
+        match &self.0 {
+            BinStateInner::Wide { .. } => BinFormatKind::Wide,
+            BinStateInner::Compact { .. } => BinFormatKind::Compact,
+            BinStateInner::Delta { .. } => BinFormatKind::Delta,
+        }
+    }
+
+    /// Whether a bin-order weight stream is present.
+    pub fn is_weighted(&self) -> bool {
+        match &self.0 {
+            BinStateInner::Wide { weights, .. }
+            | BinStateInner::Compact { weights, .. }
+            | BinStateInner::Delta { weights, .. } => weights.is_some(),
+        }
+    }
+}
+
+/// Everything a snapshotable backend exports: the PNG layout plus the
+/// format's [`BinState`]. Opaque to external [`Backend`](crate::Backend)
+/// implementations (their default `snapshot_state` returns `None`).
+#[derive(Clone, Debug)]
+pub struct DataplaneState {
+    pub(crate) png: Png,
+    pub(crate) bins: BinState,
+}
+
+impl DataplaneState {
+    pub(crate) fn new(png: Png, bins: BinState) -> Self {
+        Self { png, bins }
+    }
+}
+
+/// A decoded engine snapshot: graph, weights, PNG and bins, ready to be
+/// rehydrated into an [`Engine`](crate::Engine) without running
+/// `prepare`.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    graph: Arc<Csr>,
+    /// CSR-order edge weights (what repairs and rebuilds consume).
+    weights: Option<Vec<f32>>,
+    partition_bytes: u64,
+    png: Png,
+    bins: BinState,
+}
+
+impl Snapshot {
+    /// Assembles a snapshot from live engine state (the save path).
+    pub(crate) fn from_state(
+        graph: Arc<Csr>,
+        weights: Option<Vec<f32>>,
+        partition_bytes: u64,
+        state: DataplaneState,
+    ) -> Self {
+        Self {
+            graph,
+            weights,
+            partition_bytes,
+            png: state.png,
+            bins: state.bins,
+        }
+    }
+
+    /// The snapshotted graph.
+    pub fn graph(&self) -> &Arc<Csr> {
+        &self.graph
+    }
+
+    /// CSR-order edge weights, when the engine was weighted.
+    pub fn weights(&self) -> Option<&[f32]> {
+        self.weights.as_deref()
+    }
+
+    /// Whether the dataplane carries edge weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// The physical bin format of the stored dataplane.
+    pub fn bin_format(&self) -> BinFormatKind {
+        self.bins.kind()
+    }
+
+    /// The partition byte budget the dataplane was built with.
+    pub fn partition_bytes(&self) -> usize {
+        self.partition_bytes as usize
+    }
+
+    pub(crate) fn into_parts(self) -> (Arc<Csr>, Option<Vec<f32>>, u64, Png, BinState) {
+        (
+            self.graph,
+            self.weights,
+            self.partition_bytes,
+            self.png,
+            self.bins,
+        )
+    }
+
+    /// Rejects the snapshot unless it was built under the caller's
+    /// configuration: partition bytes, bin format and (when `weighted`
+    /// is given) weighted-ness must all match.
+    pub fn verify_config(
+        &self,
+        cfg: &crate::PcpmConfig,
+        weighted: Option<bool>,
+    ) -> Result<(), SnapshotError> {
+        // Compare the effective partition size in nodes, not raw bytes:
+        // the snapshot records the rounded value the PNG was actually
+        // built with (q·4), so a caller config whose bytes round to the
+        // same q (e.g. 10 vs 8) is the same layout, not a mismatch.
+        if u64::from(cfg.partition_nodes()) != self.partition_bytes / 4 {
+            return Err(SnapshotError::ConfigMismatch {
+                field: "partition bytes",
+            });
+        }
+        if cfg.bin_format != self.bin_format() {
+            return Err(SnapshotError::ConfigMismatch {
+                field: "bin format",
+            });
+        }
+        if let Some(w) = weighted {
+            if w != self.is_weighted() {
+                return Err(SnapshotError::ConfigMismatch {
+                    field: "weighted-ness",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Rejects the snapshot unless it captures exactly `graph`.
+    pub fn verify_graph(&self, graph: &Csr) -> Result<(), SnapshotError> {
+        if *self.graph != *graph {
+            return Err(SnapshotError::ConfigMismatch { field: "graph" });
+        }
+        Ok(())
+    }
+
+    /// Serializes into the version-1 binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&self.partition_bytes.to_le_bytes());
+        payload.push(format_tag(self.bin_format()));
+        payload.push(u8::from(self.is_weighted()));
+        payload.extend_from_slice(&[0u8; 6]);
+
+        let graph_bytes = gio::to_bytes(&self.graph);
+        put_blob(&mut payload, &graph_bytes);
+        if let Some(w) = &self.weights {
+            put_blob(&mut payload, &gio::weights_to_bytes(w));
+        }
+
+        // PNG section.
+        let src = self.png.src_parts();
+        let dst = self.png.dst_parts();
+        let k_src = src.num_partitions();
+        let k_dst = dst.num_partitions();
+        payload.extend_from_slice(&src.partition_size().to_le_bytes());
+        payload.extend_from_slice(&dst.partition_size().to_le_bytes());
+        payload.extend_from_slice(&k_src.to_le_bytes());
+        payload.extend_from_slice(&k_dst.to_le_bytes());
+        for s in 0..k_src {
+            let part = self.png.part(s);
+            put_u64s(&mut payload, &part.upd_off);
+            put_u64s(&mut payload, &part.did_off);
+            payload.extend_from_slice(&(part.sources.len() as u64).to_le_bytes());
+            put_u32s(&mut payload, &part.sources);
+        }
+
+        // Bins section.
+        payload.push(format_tag(self.bin_format()));
+        let weights = match &self.bins.0 {
+            BinStateInner::Wide { dest_ids, weights } => {
+                payload.extend_from_slice(&(dest_ids.len() as u64).to_le_bytes());
+                put_u32s(&mut payload, dest_ids);
+                weights
+            }
+            BinStateInner::Compact { dest_ids, weights } => {
+                payload.extend_from_slice(&(dest_ids.len() as u64).to_le_bytes());
+                for &d in dest_ids {
+                    payload.extend_from_slice(&d.to_le_bytes());
+                }
+                weights
+            }
+            BinStateInner::Delta {
+                dest_bytes,
+                byte_region,
+                seg_off,
+                weights,
+            } => {
+                put_blob(&mut payload, dest_bytes);
+                put_u64s(&mut payload, byte_region);
+                for offs in seg_off {
+                    put_u64s(&mut payload, offs);
+                }
+                weights
+            }
+        };
+        if let Some(w) = weights {
+            payload.extend_from_slice(&(w.len() as u64).to_le_bytes());
+            for &x in w {
+                payload.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+
+        let mut out = Vec::with_capacity(20 + payload.len());
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&gio::checksum64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes and fully validates a snapshot blob.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, SnapshotError> {
+        if data.len() < 20 {
+            return Err(if data.starts_with(&SNAPSHOT_MAGIC[..data.len().min(8)]) {
+                SnapshotError::Corrupt("truncated header")
+            } else {
+                SnapshotError::BadMagic
+            });
+        }
+        if &data[..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(data[8..12].try_into().expect("sliced"));
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let stored = u64::from_le_bytes(data[12..20].try_into().expect("sliced"));
+        let payload = &data[20..];
+        let computed = gio::checksum64(payload);
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+        decode_payload(payload)
+    }
+
+    /// Writes the snapshot to `path`, returning the file size in bytes.
+    ///
+    /// The write is atomic (temp file + rename in the same directory):
+    /// a crash mid-save can leave a stale `<path>.tmp` behind, but never
+    /// a truncated snapshot at the serving path — so an existing cache
+    /// file is either the old complete snapshot or the new one.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<u64, SnapshotError> {
+        let path = path.as_ref();
+        let bytes = self.to_bytes();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, &bytes).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Reads and validates a snapshot from `path`.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
+        let data = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Self::from_bytes(&data)
+    }
+}
+
+fn format_tag(kind: BinFormatKind) -> u8 {
+    match kind {
+        BinFormatKind::Wide => 0,
+        BinFormatKind::Compact => 1,
+        BinFormatKind::Delta => 2,
+    }
+}
+
+fn format_from_tag(tag: u8) -> Result<BinFormatKind, SnapshotError> {
+    match tag {
+        0 => Ok(BinFormatKind::Wide),
+        1 => Ok(BinFormatKind::Compact),
+        2 => Ok(BinFormatKind::Delta),
+        _ => Err(SnapshotError::Corrupt("unknown bin-format tag")),
+    }
+}
+
+fn put_blob(buf: &mut Vec<u8>, blob: &[u8]) {
+    buf.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+    buf.extend_from_slice(blob);
+}
+
+fn put_u64s(buf: &mut Vec<u8>, xs: &[u64]) {
+    for &x in xs {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_u32s(buf: &mut Vec<u8>, xs: &[u32]) {
+    for &x in xs {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader over the payload: every decode
+/// failure is a typed [`SnapshotError::Corrupt`], never a panic.
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapshotError> {
+        if self.data.len() < n {
+            return Err(SnapshotError::Corrupt(what));
+        }
+        let (head, rest) = self.data.split_at(n);
+        self.data = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("sized"),
+        ))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("sized"),
+        ))
+    }
+
+    /// Reads a `u64` count followed by that many `elem_bytes`-sized
+    /// items, guarding the multiplication against overflow.
+    fn counted(
+        &mut self,
+        elem_bytes: usize,
+        what: &'static str,
+    ) -> Result<(usize, &'a [u8]), SnapshotError> {
+        let n = self.u64(what)?;
+        let bytes = (n as usize)
+            .checked_mul(elem_bytes)
+            .ok_or(SnapshotError::Corrupt("section size overflow"))?;
+        Ok((n as usize, self.take(bytes, what)?))
+    }
+
+    fn u64s(&mut self, n: usize, what: &'static str) -> Result<Vec<u64>, SnapshotError> {
+        let bytes = n
+            .checked_mul(8)
+            .ok_or(SnapshotError::Corrupt("section size overflow"))?;
+        let raw = self.take(bytes, what)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("sized")))
+            .collect())
+    }
+
+    fn done(&self, what: &'static str) -> Result<(), SnapshotError> {
+        if self.data.is_empty() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt(what))
+        }
+    }
+}
+
+/// Checks that an offset array is a `(len)`-entry monotonic prefix that
+/// ends exactly at `total`.
+fn check_offsets(offs: &[u64], total: u64, what: &'static str) -> Result<(), SnapshotError> {
+    if offs.first() != Some(&0) || offs.last() != Some(&total) {
+        return Err(SnapshotError::Corrupt(what));
+    }
+    if offs.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SnapshotError::Corrupt(what));
+    }
+    Ok(())
+}
+
+fn decode_payload(payload: &[u8]) -> Result<Snapshot, SnapshotError> {
+    let mut r = Reader { data: payload };
+    let partition_bytes = r.u64("truncated config")?;
+    let format = format_from_tag(r.u8("truncated config")?)?;
+    let weighted = match r.u8("truncated config")? {
+        0 => false,
+        1 => true,
+        _ => return Err(SnapshotError::Corrupt("bad weighted flag")),
+    };
+    r.take(6, "truncated config")?;
+
+    let (graph_len, graph_bytes) = {
+        let len = r.u64("truncated graph section")?;
+        (
+            len as usize,
+            r.take(len as usize, "truncated graph section")?,
+        )
+    };
+    let _ = graph_len;
+    let graph = gio::from_bytes(graph_bytes)
+        .map_err(|_| SnapshotError::Corrupt("invalid graph section"))?;
+    let weights = if weighted {
+        let len = r.u64("truncated weights section")?;
+        let blob = r.take(len as usize, "truncated weights section")?;
+        Some(
+            gio::weights_from_bytes(blob, Some(graph.num_edges()))
+                .map_err(|_| SnapshotError::Corrupt("invalid weights section"))?,
+        )
+    } else {
+        None
+    };
+
+    // PNG section.
+    let src_q = r.u32("truncated png header")?;
+    let dst_q = r.u32("truncated png header")?;
+    let k_src = r.u32("truncated png header")?;
+    let k_dst = r.u32("truncated png header")?;
+    if src_q == 0 || dst_q == 0 {
+        return Err(SnapshotError::Corrupt("zero partition size"));
+    }
+    let src_parts = Partitioner::new(graph.num_nodes(), src_q)
+        .map_err(|_| SnapshotError::Corrupt("invalid source partitioner"))?;
+    let dst_parts = Partitioner::new(graph.num_nodes(), dst_q)
+        .map_err(|_| SnapshotError::Corrupt("invalid destination partitioner"))?;
+    if src_parts.num_partitions() != k_src || dst_parts.num_partitions() != k_dst {
+        return Err(SnapshotError::Corrupt("partition count mismatch"));
+    }
+    // partition_nodes() = max(partition_bytes / 4, 1) — the PNG must
+    // have been built under the recorded config.
+    if u64::from(src_q) != (partition_bytes / 4).max(1) {
+        return Err(SnapshotError::Corrupt(
+            "partition size disagrees with config",
+        ));
+    }
+    let mut parts = Vec::with_capacity(k_src as usize);
+    for _ in 0..k_src {
+        let upd_off = r.u64s(k_dst as usize + 1, "truncated png offsets")?;
+        let did_off = r.u64s(k_dst as usize + 1, "truncated png offsets")?;
+        let n_sources = r.u64("truncated png sources")? as usize;
+        let raw = r.take(
+            n_sources
+                .checked_mul(4)
+                .ok_or(SnapshotError::Corrupt("section size overflow"))?,
+            "truncated png sources",
+        )?;
+        let sources: Vec<u32> = raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("sized")))
+            .collect();
+        check_offsets(
+            &upd_off,
+            sources.len() as u64,
+            "inconsistent png upd offsets",
+        )?;
+        if did_off.first() != Some(&0) || did_off.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SnapshotError::Corrupt("inconsistent png did offsets"));
+        }
+        if sources.iter().any(|&v| v >= graph.num_nodes()) {
+            return Err(SnapshotError::Corrupt("png source id out of range"));
+        }
+        parts.push(BipartitePart {
+            upd_off,
+            did_off,
+            sources,
+        });
+    }
+    let png = Png::from_parts(src_parts, dst_parts, parts);
+    if png.num_raw_edges() != graph.num_edges() {
+        return Err(SnapshotError::Corrupt(
+            "png raw-edge count disagrees with graph",
+        ));
+    }
+
+    // Bins section.
+    let tag = format_from_tag(r.u8("truncated bins section")?)?;
+    if tag != format {
+        return Err(SnapshotError::Corrupt("bins tag disagrees with header"));
+    }
+    let raw_edges = png.num_raw_edges() as usize;
+    let bins = match format {
+        BinFormatKind::Wide => {
+            let (n, raw) = r.counted(4, "truncated wide bins")?;
+            if n != raw_edges {
+                return Err(SnapshotError::Corrupt("wide dest stream length mismatch"));
+            }
+            let dest_ids = raw
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("sized")))
+                .collect();
+            let weights = read_bin_weights(&mut r, weighted, raw_edges)?;
+            BinState::wide(dest_ids, weights)
+        }
+        BinFormatKind::Compact => {
+            let (n, raw) = r.counted(2, "truncated compact bins")?;
+            if n != raw_edges {
+                return Err(SnapshotError::Corrupt(
+                    "compact dest stream length mismatch",
+                ));
+            }
+            let dest_ids = raw
+                .chunks_exact(2)
+                .map(|c| u16::from_le_bytes(c.try_into().expect("sized")))
+                .collect();
+            let weights = read_bin_weights(&mut r, weighted, raw_edges)?;
+            BinState::compact(dest_ids, weights)
+        }
+        BinFormatKind::Delta => {
+            let (n_bytes, raw) = r.counted(1, "truncated delta bins")?;
+            let dest_bytes = raw.to_vec();
+            let byte_region = r.u64s(k_src as usize + 1, "truncated delta regions")?;
+            check_offsets(&byte_region, n_bytes as u64, "inconsistent delta regions")?;
+            let mut seg_off = Vec::with_capacity(k_src as usize);
+            for s in 0..k_src as usize {
+                let offs = r.u64s(k_dst as usize + 1, "truncated delta segments")?;
+                let region_len = byte_region[s + 1] - byte_region[s];
+                check_offsets(&offs, region_len, "inconsistent delta segments")?;
+                seg_off.push(offs);
+            }
+            let weights = read_bin_weights(&mut r, weighted, raw_edges)?;
+            BinState::delta(dest_bytes, byte_region, seg_off, weights)
+        }
+    };
+    r.done("trailing bytes after bins section")?;
+
+    Ok(Snapshot {
+        graph: Arc::new(graph),
+        weights,
+        partition_bytes,
+        png,
+        bins,
+    })
+}
+
+fn read_bin_weights(
+    r: &mut Reader<'_>,
+    weighted: bool,
+    raw_edges: usize,
+) -> Result<Option<Vec<f32>>, SnapshotError> {
+    if !weighted {
+        return Ok(None);
+    }
+    let (n, raw) = r.counted(4, "truncated bin weight stream")?;
+    if n != raw_edges {
+        return Err(SnapshotError::Corrupt("bin weight stream length mismatch"));
+    }
+    Ok(Some(
+        raw.chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("sized")))
+            .collect(),
+    ))
+}
+
+// Re-exported so callers matching on `PcpmError::Snapshot` have the
+// variant type in scope alongside the snapshot API.
+pub use crate::error::SnapshotError as Error;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::PlusF32;
+    use crate::{BinFormatKind, Engine, PcpmConfig};
+    use pcpm_graph::gen::{rmat, RmatConfig};
+
+    fn snapshot_bytes(format: BinFormatKind) -> Vec<u8> {
+        let g = Arc::new(rmat(&RmatConfig::graph500(8, 6, 19)).unwrap());
+        let engine = Engine::<PlusF32>::builder_shared(&g)
+            .partition_bytes(64 * 4)
+            .bin_format(format)
+            .build()
+            .unwrap();
+        engine.snapshot().unwrap().to_bytes()
+    }
+
+    #[test]
+    fn codec_round_trips_every_format() {
+        for format in BinFormatKind::ALL {
+            let bytes = snapshot_bytes(format);
+            let snap = Snapshot::from_bytes(&bytes).unwrap();
+            assert_eq!(snap.bin_format(), format);
+            assert!(!snap.is_weighted());
+            assert_eq!(snap.partition_bytes(), 64 * 4);
+            assert_eq!(snap.graph().num_nodes(), 256);
+            // Round trip through the codec is byte-stable.
+            assert_eq!(snap.to_bytes(), bytes, "format {format}");
+            snap.verify_config(
+                &PcpmConfig::default()
+                    .with_partition_bytes(64 * 4)
+                    .with_bin_format(format),
+                Some(false),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn header_tampering_is_typed() {
+        let bytes = snapshot_bytes(BinFormatKind::Wide);
+        // Magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::BadMagic)
+        ));
+        // Version.
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::UnsupportedVersion {
+                found: 99,
+                supported: SNAPSHOT_VERSION
+            })
+        ));
+        // Checksum header flip.
+        let mut bad = bytes.clone();
+        bad[12] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        // Empty / tiny inputs.
+        assert!(Snapshot::from_bytes(&[]).is_err());
+        assert!(Snapshot::from_bytes(&bytes[..12]).is_err());
+    }
+
+    #[test]
+    fn every_payload_byte_flip_is_rejected() {
+        // The checksum covers the whole payload: flipping ANY payload
+        // byte must surface as a typed ChecksumMismatch, never as a
+        // wrong-but-accepted snapshot and never as a panic.
+        let bytes = snapshot_bytes(BinFormatKind::Delta);
+        let step = (bytes.len() / 97).max(1);
+        for i in (20..bytes.len()).step_by(step) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            assert!(
+                matches!(
+                    Snapshot::from_bytes(&bad),
+                    Err(SnapshotError::ChecksumMismatch { .. })
+                ),
+                "flip at byte {i} must be caught by the checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_is_rejected() {
+        for format in BinFormatKind::ALL {
+            let bytes = snapshot_bytes(format);
+            let step = (bytes.len() / 61).max(1);
+            for len in (0..bytes.len()).step_by(step) {
+                assert!(
+                    Snapshot::from_bytes(&bytes[..len]).is_err(),
+                    "format {format}: truncation to {len} bytes must error"
+                );
+            }
+            // Trailing garbage is also rejected (checksum covers it).
+            let mut long = bytes.clone();
+            long.push(0);
+            assert!(Snapshot::from_bytes(&long).is_err());
+        }
+    }
+
+    #[test]
+    fn config_mismatch_is_field_typed() {
+        let snap = Snapshot::from_bytes(&snapshot_bytes(BinFormatKind::Compact)).unwrap();
+        let cfg = PcpmConfig::default()
+            .with_partition_bytes(64 * 4)
+            .with_bin_format(BinFormatKind::Compact);
+        assert_eq!(
+            snap.verify_config(&cfg.with_partition_bytes(128 * 4), None),
+            Err(SnapshotError::ConfigMismatch {
+                field: "partition bytes"
+            })
+        );
+        assert_eq!(
+            snap.verify_config(&cfg.with_bin_format(BinFormatKind::Wide), None),
+            Err(SnapshotError::ConfigMismatch {
+                field: "bin format"
+            })
+        );
+        assert_eq!(
+            snap.verify_config(&cfg, Some(true)),
+            Err(SnapshotError::ConfigMismatch {
+                field: "weighted-ness"
+            })
+        );
+        let other = rmat(&RmatConfig::graph500(7, 6, 3)).unwrap();
+        assert_eq!(
+            snap.verify_graph(&other),
+            Err(SnapshotError::ConfigMismatch { field: "graph" })
+        );
+    }
+}

@@ -129,11 +129,12 @@ impl SpmvMatrix {
     /// ```
     pub fn engine(&self, cfg: &PcpmConfig) -> Result<Engine<PlusF32>, PcpmError> {
         cfg.validate()?;
-        let pipeline = crate::config::run_with_threads(cfg.threads, || {
+        // One engine-owned pool for prepare and every step (the old
+        // run_with_threads + with_threads pairing built two pools).
+        Engine::from_backend_with(cfg.threads, self.num_cols, self.num_rows, || {
             PcpmPipeline::from_view(self.view(), cfg, Some(&self.values))
-        })?;
-        Engine::from_backend(pipeline.into_boxed_backend(), self.num_cols, self.num_rows)
-            .with_threads(cfg.threads)
+                .map(PcpmPipeline::into_boxed_backend)
+        })
     }
 
     /// Serial reference product `y = A·x` with f64 accumulation.

@@ -18,10 +18,11 @@ use rayon::prelude::*;
 /// use pcpm_graph::GraphBuilder;
 ///
 /// let mut b = GraphBuilder::new(4).unwrap();
-/// b.add_edge(0, 1);
-/// b.add_edge(0, 1); // duplicate — removed by default
-/// b.add_edge(2, 2); // self-loop — removed by default
-/// b.add_edge(3, 0);
+/// b.add_edge(0, 1).unwrap();
+/// b.add_edge(0, 1).unwrap(); // duplicate — removed by default
+/// b.add_edge(2, 2).unwrap(); // self-loop — removed by default
+/// b.add_edge(3, 0).unwrap();
+/// assert!(b.add_edge(0, 9).is_err()); // out of range — rejected eagerly
 /// let g = b.build().unwrap();
 /// assert_eq!(g.num_edges(), 2);
 /// ```
@@ -78,16 +79,22 @@ impl GraphBuilder {
         self.edges.len() as u64
     }
 
-    /// Adds one edge; out-of-range endpoints are a caller bug.
+    /// Adds one edge, rejecting out-of-range endpoints eagerly.
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if an endpoint is out of range; release builds
-    /// defer the error to [`build`](Self::build).
+    /// This check runs in every profile: release builds used to defer it
+    /// behind a `debug_assert!` and silently accept out-of-range edges
+    /// (corrupting the CSR downstream); now the error surfaces at the
+    /// call site, matching the [`build`](Self::build)-time validation.
     #[inline]
-    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) {
-        debug_assert!(src < self.num_nodes && dst < self.num_nodes);
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) -> Result<(), GraphError> {
+        if src >= self.num_nodes || dst >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: u64::from(src.max(dst)),
+                num_nodes: u64::from(self.num_nodes),
+            });
+        }
         self.edges.push((src, dst));
+        Ok(())
     }
 
     /// Adds many edges at once.
@@ -165,7 +172,7 @@ mod tests {
     #[test]
     fn keep_self_loops_preserves_loops() {
         let mut b = GraphBuilder::new(2).unwrap().keep_self_loops();
-        b.add_edge(1, 1);
+        b.add_edge(1, 1).unwrap();
         let g = b.build().unwrap();
         assert_eq!(g.neighbors(1), &[1]);
     }
@@ -173,8 +180,35 @@ mod tests {
     #[test]
     fn out_of_range_reported_at_build() {
         let mut b = GraphBuilder::new(2).unwrap();
-        b.edges.push((0, 9)); // bypass the debug_assert deliberately
+        b.edges.push((0, 9)); // bypass add_edge's check deliberately
         assert!(b.build().is_err());
+    }
+
+    /// Regression for the release-mode bounds gap: `add_edge` used to
+    /// guard its endpoints with a `debug_assert!` only, so release
+    /// builds accepted out-of-range edges and corrupted the CSR
+    /// downstream. The check is now a real error in every profile —
+    /// this test passes identically under `cargo test` and
+    /// `cargo test --release`.
+    #[test]
+    fn out_of_range_add_edge_errors_in_every_profile() {
+        let mut b = GraphBuilder::new(4).unwrap();
+        assert!(matches!(
+            b.add_edge(0, 4),
+            Err(GraphError::NodeOutOfRange {
+                node: 4,
+                num_nodes: 4
+            })
+        ));
+        assert!(matches!(
+            b.add_edge(9, 0),
+            Err(GraphError::NodeOutOfRange { node: 9, .. })
+        ));
+        // The rejected edges were not recorded.
+        assert_eq!(b.num_raw_edges(), 0);
+        b.add_edge(0, 3).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub fn preferential_attachment(
         }
         for _ in 0..out_per_node {
             let t = endpoints[rng.gen_range(0..endpoints.len() - 1)];
-            b.add_edge(v, t);
+            b.add_edge(v, t)?;
             endpoints.push(t);
         }
     }

@@ -28,7 +28,7 @@ pub fn erdos_renyi(num_nodes: u32, num_edges: u64, seed: u64) -> Result<Csr, Gra
         for _ in 0..num_edges {
             let s: NodeId = rng.gen_range(0..num_nodes);
             let t: NodeId = rng.gen_range(0..num_nodes);
-            b.add_edge(s, t);
+            b.add_edge(s, t)?;
         }
     }
     b.build()

@@ -126,6 +126,72 @@ pub fn from_bytes(mut data: &[u8]) -> Result<Csr, GraphError> {
     Csr::from_parts(n, offsets, targets)
 }
 
+/// FNV-1a 64-bit checksum over a byte payload.
+///
+/// Deterministic, dependency-free and fast enough to cover multi-hundred-
+/// megabyte snapshot payloads; used by the engine-snapshot cache
+/// (`pcpm_core::snapshot`) to reject corrupted or truncated files before
+/// any structural decoding happens.
+pub fn checksum64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Magic bytes identifying the binary edge-weight format ("PCPMWT", v1).
+const WEIGHTS_MAGIC: &[u8; 8] = b"PCPMWT01";
+
+/// Serializes an edge-weight vector (CSR order) into a little-endian
+/// binary blob with a magic header and an explicit count.
+pub fn weights_to_bytes(weights: &[f32]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(WEIGHTS_MAGIC.len() + 8 + weights.len() * 4);
+    buf.extend_from_slice(WEIGHTS_MAGIC);
+    buf.extend_from_slice(&(weights.len() as u64).to_le_bytes());
+    for &w in weights {
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+    buf
+}
+
+/// Deserializes an edge-weight blob written by [`weights_to_bytes`],
+/// validating the magic, the count and (when given) the edge count of
+/// the graph the weights must be parallel to.
+pub fn weights_from_bytes(
+    mut data: &[u8],
+    expect_edges: Option<u64>,
+) -> Result<Vec<f32>, GraphError> {
+    if data.len() < WEIGHTS_MAGIC.len() + 8 {
+        return Err(GraphError::CorruptBinary("truncated weights header"));
+    }
+    if &data[..WEIGHTS_MAGIC.len()] != WEIGHTS_MAGIC {
+        return Err(GraphError::CorruptBinary("bad weights magic"));
+    }
+    data = &data[WEIGHTS_MAGIC.len()..];
+    let m = take_le!(data, u64);
+    if let Some(want) = expect_edges {
+        if m != want {
+            return Err(GraphError::CorruptBinary("weight count mismatch"));
+        }
+    }
+    if data.len()
+        != (m as usize)
+            .checked_mul(4)
+            .ok_or(GraphError::CorruptBinary("size overflow"))?
+    {
+        return Err(GraphError::CorruptBinary("weights payload size mismatch"));
+    }
+    let mut weights = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        weights.push(take_le!(data, f32));
+    }
+    Ok(weights)
+}
+
 /// Writes the binary format to a file path.
 pub fn save_binary<P: AsRef<Path>>(graph: &Csr, path: P) -> Result<(), GraphError> {
     std::fs::write(path, to_bytes(graph))?;
@@ -217,5 +283,33 @@ mod tests {
     fn empty_graph_round_trips() {
         let g = Csr::from_edges(0, &[]).unwrap();
         assert_eq!(from_bytes(&to_bytes(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        assert_eq!(checksum64(b""), 0xcbf2_9ce4_8422_2325);
+        let a = checksum64(b"pcpm snapshot payload");
+        assert_eq!(a, checksum64(b"pcpm snapshot payload"));
+        assert_ne!(a, checksum64(b"pcpm snapshot payloae"));
+        assert_ne!(checksum64(b"ab"), checksum64(b"ba"));
+    }
+
+    #[test]
+    fn weights_round_trip_and_reject_corruption() {
+        let w = vec![0.5f32, -1.25, 3.0, f32::MIN_POSITIVE];
+        let bytes = weights_to_bytes(&w);
+        assert_eq!(weights_from_bytes(&bytes, Some(4)).unwrap(), w);
+        assert_eq!(weights_from_bytes(&bytes, None).unwrap(), w);
+        assert!(weights_from_bytes(&bytes, Some(3)).is_err());
+        assert!(weights_from_bytes(&bytes[..7], None).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(weights_from_bytes(&bad, None).is_err());
+        let mut truncated = bytes;
+        truncated.pop();
+        assert!(weights_from_bytes(&truncated, None).is_err());
+        assert!(weights_from_bytes(&weights_to_bytes(&[]), Some(0))
+            .unwrap()
+            .is_empty());
     }
 }

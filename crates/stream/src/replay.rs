@@ -22,11 +22,12 @@ use pcpm_algos::incremental_pagerank;
 use pcpm_core::algebra::PlusF32;
 use pcpm_core::pagerank::pagerank_with_unified_engine;
 use pcpm_core::update::{UpdateBatch, UpdateOutcome};
-use pcpm_core::{BackendKind, Engine, PcpmConfig};
+use pcpm_core::{BackendKind, Engine, PcpmConfig, PcpmError, SnapshotEngineBuilder, SnapshotError};
 use pcpm_graph::Csr;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::{BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -238,7 +239,7 @@ pub fn gen_updates(base: &Csr, cfg: &UpdateGenConfig) -> Result<Vec<UpdateBatch>
 }
 
 /// Replay configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ReplayConfig {
     /// Engine configuration (partition bytes, damping, tolerance,
     /// compact bins, threads). Set a tolerance — the PageRank phases
@@ -251,6 +252,15 @@ pub struct ReplayConfig {
     /// Also run a cold `pagerank` per batch and record the maximum
     /// absolute divergence of the incremental scores.
     pub verify: bool,
+    /// Engine-snapshot cache (PCPM backend only). When the file exists,
+    /// the base engine is loaded from it — skipping the base prepare —
+    /// after verifying it matches the base graph and config; when it
+    /// does not, the cold-built base engine is saved there. After the
+    /// replay, the engine's **final** state (the [`DeltaGraph`] overlay
+    /// folded through every batch and compaction) is written next to it
+    /// (see [`final_cache_path`]) so a later run can resume serving
+    /// post-stream rankings without replaying anything.
+    pub cache: Option<PathBuf>,
 }
 
 impl Default for ReplayConfig {
@@ -262,8 +272,15 @@ impl Default for ReplayConfig {
             backend: BackendKind::Pcpm,
             compaction_threshold: crate::delta::DEFAULT_COMPACTION_THRESHOLD,
             verify: false,
+            cache: None,
         }
     }
+}
+
+/// Where [`replay`] writes the post-stream engine state for a given
+/// cache path: `base.pcpmc` → `base.final.pcpmc`.
+pub fn final_cache_path(cache: &Path) -> PathBuf {
+    cache.with_extension("final.pcpmc")
 }
 
 /// Per-batch replay measurements.
@@ -297,7 +314,8 @@ pub struct BatchReport {
 /// The whole replay: initial preparation plus one report per batch.
 #[derive(Clone, Debug)]
 pub struct ReplayReport {
-    /// Initial full preparation time of the base engine.
+    /// Initial full preparation time of the base engine — the snapshot
+    /// load time when [`Self::loaded_from_snapshot`] is set.
     pub base_prepare: Duration,
     /// Initial cold PageRank time (the starting fixed point).
     pub base_pagerank: Duration,
@@ -305,6 +323,12 @@ pub struct ReplayReport {
     pub batches: Vec<BatchReport>,
     /// Final PageRank scores after the last batch.
     pub scores: Vec<f32>,
+    /// Whether the base engine came from the snapshot cache instead of
+    /// a cold prepare.
+    pub loaded_from_snapshot: bool,
+    /// Where the post-stream engine state was saved, when a cache was
+    /// configured.
+    pub final_cache: Option<PathBuf>,
 }
 
 impl ReplayReport {
@@ -329,13 +353,39 @@ pub fn replay(
     rc: &ReplayConfig,
 ) -> Result<ReplayReport, StreamError> {
     rc.cfg.validate().map_err(StreamError::Engine)?;
+    if rc.cache.is_some() && rc.backend != BackendKind::Pcpm {
+        return Err(StreamError::Engine(PcpmError::Snapshot(
+            SnapshotError::Unsupported("the snapshot cache requires the PCPM backend"),
+        )));
+    }
     let mut delta = DeltaGraph::new(Arc::clone(&base), rc.cfg.partition_nodes())?
         .with_compaction_threshold(rc.compaction_threshold)?;
     let t0 = Instant::now();
-    let mut engine = Engine::<PlusF32>::builder_shared(&base)
-        .config(rc.cfg)
-        .backend(rc.backend)
-        .build()?;
+    let mut loaded_from_snapshot = false;
+    let mut engine = match rc.cache.as_deref() {
+        // Build-once, serve-many: a present cache must capture exactly
+        // this base graph under exactly this config, or fail loudly.
+        Some(path) if path.exists() => {
+            let mut b = SnapshotEngineBuilder::<PlusF32>::open(path)?
+                .expect_config(&rc.cfg, false)?
+                .expect_graph(&base)?;
+            if let Some(t) = rc.cfg.threads {
+                b = b.threads(t);
+            }
+            loaded_from_snapshot = true;
+            b.build()?
+        }
+        _ => {
+            let engine = Engine::<PlusF32>::builder_shared(&base)
+                .config(rc.cfg)
+                .backend(rc.backend)
+                .build()?;
+            if let Some(path) = &rc.cache {
+                engine.save_snapshot(path)?;
+            }
+            engine
+        }
+    };
     let base_prepare = t0.elapsed();
     let t0 = Instant::now();
     let mut scores = pagerank_with_unified_engine(&base, &rc.cfg, &mut engine, None)?.scores;
@@ -392,11 +442,25 @@ pub fn replay(
             compacted: stats.compacted,
         });
     }
+    // Persist the post-stream state: the engine has absorbed every
+    // batch (through the DeltaGraph's materialized snapshots, including
+    // any compactions), so this snapshot resumes serving exactly where
+    // the stream left off.
+    let final_cache = match &rc.cache {
+        Some(path) => {
+            let fp = final_cache_path(path);
+            engine.save_snapshot(&fp)?;
+            Some(fp)
+        }
+        None => None,
+    };
     Ok(ReplayReport {
         base_prepare,
         base_pagerank,
         batches: reports,
         scores,
+        loaded_from_snapshot,
+        final_cache,
     })
 }
 
@@ -527,6 +591,79 @@ mod tests {
             repair < prepare,
             "incremental repair ({repair:?}) must beat full prepare ({prepare:?})"
         );
+    }
+
+    #[test]
+    fn replay_cache_loads_saves_and_resumes_after_stream() {
+        use pcpm_core::Snapshot;
+        let dir = std::env::temp_dir().join("pcpm_stream_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = dir.join("base.pcpmc");
+        let _ = std::fs::remove_file(&cache);
+        let base = Arc::new(rmat(&RmatConfig::graph500(8, 8, 41)).unwrap());
+        let gen = UpdateGenConfig {
+            batches: 3,
+            batch_size: 30,
+            delete_frac: 0.3,
+            locality: None,
+            seed: 13,
+        };
+        let batches = gen_updates(&base, &gen).unwrap();
+        let rc = ReplayConfig {
+            cfg: PcpmConfig::default()
+                .with_partition_bytes(64 * 4)
+                .with_iterations(300)
+                .with_tolerance(1e-9),
+            cache: Some(cache.clone()),
+            ..ReplayConfig::default()
+        };
+        // First run: cold build, base snapshot written.
+        let r1 = replay(Arc::clone(&base), &batches, &rc).unwrap();
+        assert!(!r1.loaded_from_snapshot);
+        assert!(cache.exists());
+        let final_cache = r1.final_cache.clone().unwrap();
+        assert_eq!(final_cache, final_cache_path(&cache));
+        // Second identical run: base engine served from the cache,
+        // identical rankings.
+        let r2 = replay(Arc::clone(&base), &batches, &rc).unwrap();
+        assert!(r2.loaded_from_snapshot);
+        assert_eq!(r1.scores, r2.scores);
+        // The final snapshot captures the post-stream overlay state: its
+        // graph equals the DeltaGraph after every batch (compactions
+        // folded in), and a replay over NEW batches resumes from it.
+        let final_snap = Snapshot::load(&final_cache).unwrap();
+        let mut dg = DeltaGraph::new(Arc::clone(&base), rc.cfg.partition_nodes()).unwrap();
+        for b in &batches {
+            dg.apply(b).unwrap();
+        }
+        assert_eq!(*dg.snapshot(), **final_snap.graph());
+        let resumed_base = Arc::clone(final_snap.graph());
+        let more = gen_updates(&resumed_base, &UpdateGenConfig { seed: 14, ..gen }).unwrap();
+        let rc_resume = ReplayConfig {
+            cache: Some(final_cache),
+            ..rc.clone()
+        };
+        let r3 = replay(Arc::clone(&resumed_base), &more, &rc_resume).unwrap();
+        assert!(r3.loaded_from_snapshot, "resume must skip the base prepare");
+        // A stale cache for a different base graph is rejected, typed.
+        let other = Arc::new(rmat(&RmatConfig::graph500(7, 6, 5)).unwrap());
+        match replay(Arc::clone(&other), &[], &rc) {
+            Err(StreamError::Engine(pcpm_core::PcpmError::Snapshot(
+                pcpm_core::SnapshotError::ConfigMismatch { field: "graph" },
+            ))) => {}
+            other => panic!("expected typed graph mismatch, got {other:?}"),
+        }
+        // A cache with a non-PCPM backend is rejected up front.
+        let rc_pull = ReplayConfig {
+            backend: BackendKind::Pull,
+            ..rc.clone()
+        };
+        assert!(matches!(
+            replay(Arc::clone(&base), &batches, &rc_pull),
+            Err(StreamError::Engine(pcpm_core::PcpmError::Snapshot(
+                pcpm_core::SnapshotError::Unsupported(_)
+            )))
+        ));
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! pcpm gen-updates <graph> --out FILE      seeded edge-update stream for `stream`
 //! pcpm stream      <graph> --updates FILE  replay updates: incremental bin repair
 //!                                          + delta-PageRank vs full rebuild
+//! pcpm build-cache <graph> --out FILE      build the engine once, snapshot it
+//!                                          (PNG + bins) for --cache serving
 //!
 //! common flags: --binary (pcpm binary input) | --mtx (Matrix Market input)
 //!               --iters N --damping D --tolerance T --partition-bytes B
@@ -28,6 +30,13 @@
 //!                    partitions of --partition-bytes/4 nodes)
 //! stream flags:      --updates FILE --compaction-threshold F --verify
 //!                    (check incremental ranks against a cold run per batch)
+//! cache flags:       --cache FILE on pagerank/stream: load the prepared
+//!                    engine from a snapshot built by `build-cache`
+//!                    (skipping PNG/bin construction entirely), or build
+//!                    cold and save it there when the file is absent.
+//!                    `stream --cache` additionally writes the
+//!                    post-stream state to FILE.final.pcpmc so the next
+//!                    run resumes after compaction.
 //! ```
 //!
 //! Text inputs are SNAP-style whitespace edge lists with `#` comments.
@@ -67,6 +76,7 @@ struct Options {
     update_locality: Option<u32>,
     compaction_threshold: f64,
     verify: bool,
+    cache: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -100,6 +110,7 @@ fn parse_args() -> Result<Options, String> {
         update_locality: None,
         compaction_threshold: pcpm::stream::DEFAULT_COMPACTION_THRESHOLD,
         verify: false,
+        cache: None,
     };
     let mut positional = Vec::new();
     let mut rest: Vec<String> = args.collect();
@@ -211,6 +222,7 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("{e}"))?
             }
             "--verify" => opts.verify = true,
+            "--cache" => opts.cache = Some(take_value(&mut rest, &mut i)?),
             "--backend" => {
                 opts.backend = match take_value(&mut rest, &mut i)?.as_str() {
                     "pcpm" => BackendKind::Pcpm,
@@ -336,6 +348,7 @@ fn run_stream(opts: &Options, graph: Csr, cfg: &PcpmConfig) -> Result<(), String
         backend: opts.backend,
         compaction_threshold: opts.compaction_threshold,
         verify: opts.verify,
+        cache: opts.cache.as_ref().map(std::path::PathBuf::from),
     };
     let base = Arc::new(graph);
     let report = replay(Arc::clone(&base), &batches, &rc).map_err(|e| e.to_string())?;
@@ -350,10 +363,18 @@ fn run_stream(opts: &Options, graph: Csr, cfg: &PcpmConfig) -> Result<(), String
         cfg.bin_format,
     );
     eprintln!(
-        "# base prepare {:.0}us, base pagerank {:.0}us",
+        "# base prepare {:.0}us ({}), base pagerank {:.0}us",
         us(report.base_prepare),
+        if report.loaded_from_snapshot {
+            "snapshot cache"
+        } else {
+            "cold build"
+        },
         us(report.base_pagerank)
     );
+    if let Some(fp) = &report.final_cache {
+        eprintln!("# cache: post-stream state saved to {}", fp.display());
+    }
     println!("batch\tops\ttouched\trepair_us\trebuild_us\tspeedup\tmode\tpr_us\tpushes\tmax_div");
     for (i, b) in report.batches.iter().enumerate() {
         let mode = match b.outcome {
@@ -400,6 +421,109 @@ fn run_stream(opts: &Options, graph: Csr, cfg: &PcpmConfig) -> Result<(), String
     Ok(())
 }
 
+/// `pcpm build-cache`: build the PCPM engine once and persist its
+/// prepared state (graph + PNG + bins) as a snapshot file — the
+/// build-once half of the build-once, serve-many workflow.
+fn run_build_cache(
+    opts: &Options,
+    graph: &Csr,
+    weights: &Option<EdgeWeights>,
+    cfg: &PcpmConfig,
+) -> Result<(), String> {
+    let out = opts.out.as_deref().ok_or("build-cache needs --out FILE")?;
+    if opts.backend != BackendKind::Pcpm {
+        return Err(
+            "build-cache requires --backend pcpm (only the PCPM dataplane snapshots)".into(),
+        );
+    }
+    let t0 = std::time::Instant::now();
+    // builder_shared: snapshotting requires the engine to retain its
+    // graph, which is only free through a shared handle.
+    let shared = Arc::new(graph.clone());
+    let mut builder = Engine::<PlusF32>::builder_shared(&shared)
+        .config(*cfg)
+        .backend(opts.backend);
+    if let Some(w) = weights {
+        builder = builder.weights(w);
+    }
+    let engine = builder.build().map_err(|e| e.to_string())?;
+    let build = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let bytes = engine.save_snapshot(out).map_err(|e| e.to_string())?;
+    eprintln!(
+        "# wrote {out}: {} KB ({} bins{}), built in {build:?}, saved in {:?}",
+        bytes / 1024,
+        cfg.bin_format,
+        if weights.is_some() { ", weighted" } else { "" },
+        t0.elapsed(),
+    );
+    eprintln!("# serve it: pcpm pagerank <graph> --cache {out} [same config flags]");
+    Ok(())
+}
+
+/// Engine for `pagerank`, honouring `--cache`: load the snapshot when
+/// the file exists (verifying graph + config), otherwise build cold and
+/// — when a cache path was given — save the build there for next time.
+fn pagerank_engine(
+    opts: &Options,
+    graph: &Csr,
+    weights: &Option<EdgeWeights>,
+    cfg: &PcpmConfig,
+) -> Result<Engine<PlusF32>, String> {
+    if let Some(cache) = &opts.cache {
+        if opts.backend != BackendKind::Pcpm {
+            return Err("--cache requires --backend pcpm".into());
+        }
+        if std::path::Path::new(cache).exists() {
+            // An unreadable file (corruption, truncation, version skew)
+            // falls through to a cold rebuild that overwrites it; a
+            // VALID snapshot for the wrong config/graph stays a hard
+            // error — silently serving something else would be worse.
+            match EngineBuilder::<PlusF32>::from_snapshot(cache) {
+                Ok(b) => {
+                    let mut b = b
+                        .expect_config(cfg, weights.is_some())
+                        .map_err(|e| format!("{cache}: {e} (rebuild with `pcpm build-cache`)"))?
+                        .expect_graph(graph)
+                        .map_err(|e| format!("{cache}: {e} (rebuild with `pcpm build-cache`)"))?;
+                    if let Some(t) = opts.threads {
+                        b = b.threads(t);
+                    }
+                    let engine = b.build().map_err(|e| e.to_string())?;
+                    let load = engine.report().snapshot_load.expect("loaded engine");
+                    eprintln!("# cache: loaded {cache} in {load:?} (prepare skipped)");
+                    return Ok(engine);
+                }
+                Err(e) => eprintln!("# cache: {cache} unreadable ({e}); rebuilding"),
+            }
+        }
+    }
+    let engine = if opts.cache.is_some() {
+        // Snapshotting requires a retained graph: share it.
+        let shared = Arc::new(graph.clone());
+        let mut builder = Engine::<PlusF32>::builder_shared(&shared)
+            .config(*cfg)
+            .backend(opts.backend);
+        if let Some(w) = weights {
+            builder = builder.weights(w);
+        }
+        builder.build().map_err(|e| e.to_string())?
+    } else {
+        let mut builder = Engine::<PlusF32>::builder(graph)
+            .config(*cfg)
+            .backend(opts.backend);
+        if let Some(w) = weights {
+            builder = builder.weights(w);
+        }
+        builder.build().map_err(|e| e.to_string())?
+    };
+    if let Some(cache) = &opts.cache {
+        let bytes = engine.save_snapshot(cache).map_err(|e| e.to_string())?;
+        eprintln!("# cache: cold build saved to {cache} ({} KB)", bytes / 1024);
+    }
+    Ok(engine)
+}
+
 fn run() -> Result<(), String> {
     let opts = parse_args()?;
     if opts.command == "gen" {
@@ -410,6 +534,9 @@ fn run() -> Result<(), String> {
     let cfg = config(&opts);
     if opts.command == "gen-updates" {
         return run_gen_updates(&opts, &graph, &cfg);
+    }
+    if opts.command == "build-cache" {
+        return run_build_cache(&opts, &graph, &weights, &cfg);
     }
     if opts.command == "stream" {
         if weights.is_some() {
@@ -435,14 +562,9 @@ fn run() -> Result<(), String> {
         "pagerank" => {
             // Build the engine here (rather than through `pagerank_on`)
             // so its report — bin format, per-format dest-ID compression,
-            // aux memory — can be surfaced after the run.
-            let mut builder = Engine::<PlusF32>::builder(&graph)
-                .config(cfg)
-                .backend(opts.backend);
-            if let Some(w) = &weights {
-                builder = builder.weights(w);
-            }
-            let mut engine = builder.build().map_err(|e| e.to_string())?;
+            // aux memory — can be surfaced after the run, and so
+            // `--cache` can swap the build for a snapshot load.
+            let mut engine = pagerank_engine(&opts, &graph, &weights, &cfg)?;
             let r = match &weights {
                 Some(w) => weighted_pagerank_with_unified_engine(&graph, w, &cfg, &mut engine)
                     .map_err(|e| e.to_string())?,
@@ -536,7 +658,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("pcpm: {e}");
             eprintln!(
-                "usage: pcpm <stats|pagerank|components|bfs|sssp|convert|gen|gen-updates|stream> <graph> [flags]"
+                "usage: pcpm <stats|pagerank|components|bfs|sssp|convert|gen|gen-updates|stream|build-cache> <graph> [flags]"
             );
             ExitCode::from(2)
         }

@@ -124,7 +124,7 @@ fn hits_authorities_correlate_with_indegree_on_bipartite_graphs() {
     let mut b = GraphBuilder::new(n).unwrap();
     for s in 0..100u32 {
         for _ in 0..5 {
-            b.add_edge(s, 100 + rng.gen_range(0u32..100));
+            b.add_edge(s, 100 + rng.gen_range(0u32..100)).unwrap();
         }
     }
     let g = b.build().unwrap();

@@ -231,4 +231,60 @@ fn threads_knob_spawns_workers_and_dispatches_jobs() {
         rayon::diagnostics::jobs_dispatched() > jobs_before,
         "a step on a 4-thread engine must dispatch work to the pool"
     );
+    // Workers are spawned once per ENGINE, not once per call: 100
+    // further steps on this engine spawn zero workers of their own. Any
+    // spawns visible in this window come from concurrent tests building
+    // their engines (a small constant each), so a bound far below the
+    // old per-call churn (4 workers × 100 calls = 400) is sound.
+    let spawned_before_steps = rayon::diagnostics::workers_spawned();
+    for _ in 0..100 {
+        engine.step(&x, &mut y).unwrap();
+    }
+    let churn = rayon::diagnostics::workers_spawned() - spawned_before_steps;
+    assert!(
+        churn < 200,
+        "per-call pool churn: {churn} workers spawned across 100 steps of one engine"
+    );
+}
+
+/// Regression for the per-call pool churn the baseline drivers used to
+/// pay: `run_with_threads` now memoizes one shared pool per thread
+/// count, so repeated driver runs (bvgas / grid / edge-centric / push /
+/// pdpr) reuse workers instead of spawning `threads` new ones per call.
+/// Pool identity is the churn-proof assertion (process-global spawn
+/// counters also move when concurrent tests build their own engines);
+/// a generous spawn bound over 50 driver runs backs it end to end.
+#[test]
+fn baseline_drivers_reuse_one_shared_pool() {
+    let p1 = pcpm::core::config::shared_pool(3);
+    let p2 = pcpm::core::config::shared_pool(3);
+    assert!(
+        Arc::ptr_eq(&p1, &p2),
+        "shared_pool must hand out the same pool for the same thread count"
+    );
+    assert_eq!(p1.current_num_threads(), 3);
+
+    let g = pcpm::graph::gen::erdos_renyi(200, 1200, 31).unwrap();
+    let mut cfg = PcpmConfig::default()
+        .with_partition_bytes(64 * 4)
+        .with_iterations(2);
+    cfg.threads = Some(3);
+    // Warm the cache (the one legitimate spawn of 3 workers).
+    bvgas(&g, &cfg).unwrap();
+    let before = rayon::diagnostics::workers_spawned();
+    for _ in 0..10 {
+        bvgas(&g, &cfg).unwrap();
+        push_pagerank(&g, &cfg).unwrap();
+        pdpr(&g, &cfg).unwrap();
+        pcpm::baselines::grid_pagerank(&g, &cfg).unwrap();
+        pcpm::baselines::edge_centric(&g, &cfg).unwrap();
+    }
+    // 50 driver runs used to spawn 3 workers each (150+); the cached
+    // pool spawns none. Concurrent tests' engine builds stay far below
+    // the bound.
+    let churn = rayon::diagnostics::workers_spawned() - before;
+    assert!(
+        churn < 100,
+        "driver pool churn: {churn} workers spawned across 50 driver runs"
+    );
 }
