@@ -49,9 +49,32 @@ pub fn bfs_levels_on(
         });
     }
     let mut engine = propagation_engine::<MinLevel>(graph, cfg, None, backend)?;
+    bfs_levels_with_engine(graph, source, &mut engine)
+}
+
+/// As [`bfs_levels`], but on a caller-supplied min-level engine already
+/// prepared over `graph` (e.g. rehydrated from a snapshot), so a serving
+/// layer can answer many BFS queries without re-preparing.
+pub fn bfs_levels_with_engine(
+    graph: &Csr,
+    source: u32,
+    engine: &mut pcpm_core::Engine<MinLevel>,
+) -> Result<Vec<u32>, PcpmError> {
+    if source >= graph.num_nodes() {
+        return Err(PcpmError::DimensionMismatch {
+            expected: graph.num_nodes() as usize,
+            got: source as usize,
+        });
+    }
+    if engine.num_src() != graph.num_nodes() {
+        return Err(PcpmError::DimensionMismatch {
+            expected: graph.num_nodes() as usize,
+            got: engine.num_src() as usize,
+        });
+    }
     let mut init = vec![UNREACHED; graph.num_nodes() as usize];
     init[source as usize] = 0;
-    let r = run_to_fixpoint(&mut engine, init, graph.num_nodes().max(1) as usize)?;
+    let r = run_to_fixpoint(engine, init, graph.num_nodes().max(1) as usize)?;
     debug_assert!(r.converged);
     Ok(r.state)
 }

@@ -44,14 +44,16 @@ pub mod propagate;
 pub mod sssp;
 pub mod wpr;
 
-pub use bfs::{bfs_levels, bfs_levels_on};
+pub use bfs::{bfs_levels, bfs_levels_on, bfs_levels_with_engine};
 pub use components::{connected_components, connected_components_on};
 pub use hits::{hits, hits_on, HitsResult};
 pub use incremental::incremental_pagerank;
 pub use katz::{katz_centrality, katz_centrality_on, KatzConfig};
-pub use ppr::{personalized_pagerank, personalized_pagerank_on};
+pub use ppr::{
+    personalized_pagerank, personalized_pagerank_on, personalized_pagerank_with_unified_engine,
+};
 #[allow(deprecated)]
 pub use propagate::PropagationEngine;
 pub use propagate::{propagation_engine, run_to_fixpoint, FixpointResult};
-pub use sssp::{sssp, sssp_on};
+pub use sssp::{sssp, sssp_on, sssp_with_engine};
 pub use wpr::{weighted_pagerank, weighted_pagerank_on, weighted_pagerank_with_unified_engine};

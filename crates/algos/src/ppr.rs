@@ -46,6 +46,24 @@ pub fn personalized_pagerank_on(
     backend: BackendKind,
 ) -> Result<PrResult, PcpmError> {
     cfg.validate()?;
+    let mut engine = Engine::<PlusF32>::builder(graph)
+        .config(*cfg)
+        .backend(backend)
+        .build()?;
+    personalized_pagerank_with_unified_engine(graph, seeds, cfg, &mut engine)
+}
+
+/// As [`personalized_pagerank`], but on a caller-supplied engine already
+/// prepared over `graph` (e.g. rehydrated from a snapshot). The engine
+/// outlives the call unchanged except for its step statistics, so a
+/// serving layer can run many PPR queries against one prepared engine.
+pub fn personalized_pagerank_with_unified_engine(
+    graph: &Csr,
+    seeds: &[u32],
+    cfg: &PcpmConfig,
+    engine: &mut Engine<PlusF32>,
+) -> Result<PrResult, PcpmError> {
+    cfg.validate()?;
     if seeds.is_empty() {
         return Err(PcpmError::BadConfig("seed set must be non-empty"));
     }
@@ -58,10 +76,12 @@ pub fn personalized_pagerank_on(
             });
         }
     }
-    let mut engine = Engine::<PlusF32>::builder(graph)
-        .config(*cfg)
-        .backend(backend)
-        .build()?;
+    if engine.num_src() != graph.num_nodes() {
+        return Err(PcpmError::DimensionMismatch {
+            expected: n,
+            got: engine.num_src() as usize,
+        });
+    }
     let damping = cfg.damping as f32;
     let seed_share = 1.0 / seeds.len() as f32;
     let mut teleport = vec![0.0f32; n];

@@ -58,9 +58,33 @@ pub fn sssp_on(
         ));
     }
     let mut engine = propagation_engine::<MinPlusF32>(graph, cfg, Some(weights), backend)?;
+    sssp_with_engine(graph, source, &mut engine)
+}
+
+/// As [`sssp`], but on a caller-supplied `(min, +)` engine already
+/// prepared over `graph` *with its edge weights baked into the bins*
+/// (e.g. rehydrated from a weighted snapshot). Weight non-negativity
+/// must have been checked when the engine was built.
+pub fn sssp_with_engine(
+    graph: &Csr,
+    source: u32,
+    engine: &mut pcpm_core::Engine<MinPlusF32>,
+) -> Result<Vec<f32>, PcpmError> {
+    if source >= graph.num_nodes() {
+        return Err(PcpmError::DimensionMismatch {
+            expected: graph.num_nodes() as usize,
+            got: source as usize,
+        });
+    }
+    if engine.num_src() != graph.num_nodes() {
+        return Err(PcpmError::DimensionMismatch {
+            expected: graph.num_nodes() as usize,
+            got: engine.num_src() as usize,
+        });
+    }
     let mut init = vec![f32::INFINITY; graph.num_nodes() as usize];
     init[source as usize] = 0.0;
-    let r = run_to_fixpoint(&mut engine, init, graph.num_nodes().max(1) as usize)?;
+    let r = run_to_fixpoint(engine, init, graph.num_nodes().max(1) as usize)?;
     debug_assert!(r.converged);
     Ok(r.state)
 }

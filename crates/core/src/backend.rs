@@ -390,6 +390,21 @@ impl<A: Algebra> Engine<A> {
         self.num_dst
     }
 
+    /// The shared graph handle the engine was prepared over, when one
+    /// was retained ([`Engine::builder_shared`], a snapshot load, or any
+    /// [`Engine::update`]). Serving layers use this to run graph-aware
+    /// drivers (dangling handling, degree normalization) against exactly
+    /// the adjacency the prepared bins encode.
+    pub fn graph(&self) -> Option<&Arc<Csr>> {
+        self.source.as_ref().map(|s| &s.graph)
+    }
+
+    /// The CSR-order edge weights the engine was prepared with, when
+    /// retained alongside the graph.
+    pub fn weights(&self) -> Option<&[f32]> {
+        self.source.as_ref().and_then(|s| s.weights.as_deref())
+    }
+
     /// Runs `op` on the engine-owned thread pool (inline when no
     /// explicit thread count was configured), lending it mutable access
     /// to the engine. The algorithm drivers wrap their whole iteration

@@ -9,7 +9,21 @@
 //! `pcpm_stream::UpdateLog`; this module only defines the shared types so
 //! `pcpm-core` need not depend on the streaming crate.
 
+use crate::error::{PcpmError, SnapshotError};
+use pcpm_graph::io::checksum64;
 use pcpm_graph::NodeId;
+
+/// Magic bytes identifying the binary update-batch format ("PCPMUB", v1).
+const BATCH_MAGIC: &[u8; 8] = b"PCPMUB01";
+
+/// Reads a little-endian scalar off the front of `data`.
+macro_rules! take_le {
+    ($data:ident, $t:ty) => {{
+        let (head, rest) = $data.split_at(std::mem::size_of::<$t>());
+        $data = rest;
+        <$t>::from_le_bytes(head.try_into().expect("length checked above"))
+    }};
+}
 
 /// The two streaming operations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -151,6 +165,89 @@ impl UpdateBatch {
     }
 }
 
+impl UpdateBatch {
+    /// Serializes the batch into the compact binary format.
+    ///
+    /// Layout (all integers little-endian):
+    ///
+    /// ```text
+    /// magic    8 B   "PCPMUB01"
+    /// checksum 8 B   FNV-1a 64 over everything after this field
+    /// inserts  8 B   count of insert pairs
+    /// deletes  8 B   count of delete pairs
+    /// pairs    8 B each  (src u32, dst u32), inserts then deletes,
+    ///                    each section sorted by (src, dst)
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(16 + self.len() * 8);
+        payload.extend_from_slice(&(self.inserts.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&(self.deletes.len() as u64).to_le_bytes());
+        for &(s, t) in self.inserts.iter().chain(self.deletes.iter()) {
+            payload.extend_from_slice(&s.to_le_bytes());
+            payload.extend_from_slice(&t.to_le_bytes());
+        }
+        let mut buf = Vec::with_capacity(16 + payload.len());
+        buf.extend_from_slice(BATCH_MAGIC);
+        buf.extend_from_slice(&checksum64(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        buf
+    }
+
+    /// Deserializes a batch written by [`UpdateBatch::to_bytes`],
+    /// verifying the magic, the checksum and the canonical-form
+    /// invariants (each section sorted, deduplicated, disjoint).
+    pub fn from_bytes(data: &[u8]) -> Result<Self, PcpmError> {
+        let corrupt = |msg| PcpmError::Snapshot(SnapshotError::Corrupt(msg));
+        if data.len() < BATCH_MAGIC.len() + 8 {
+            return Err(corrupt("truncated update-batch header"));
+        }
+        if &data[..BATCH_MAGIC.len()] != BATCH_MAGIC {
+            return Err(PcpmError::Snapshot(SnapshotError::BadMagic));
+        }
+        let mut data = &data[BATCH_MAGIC.len()..];
+        let stored = take_le!(data, u64);
+        let computed = checksum64(data);
+        if stored != computed {
+            return Err(PcpmError::Snapshot(SnapshotError::ChecksumMismatch {
+                stored,
+                computed,
+            }));
+        }
+        if data.len() < 16 {
+            return Err(corrupt("truncated update-batch counts"));
+        }
+        let n_ins = take_le!(data, u64) as usize;
+        let n_del = take_le!(data, u64) as usize;
+        let need = n_ins
+            .checked_add(n_del)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or(corrupt("update-batch size overflow"))?;
+        if data.len() != need {
+            return Err(corrupt("update-batch payload size mismatch"));
+        }
+        let mut read_pairs = |n: usize| -> Vec<(NodeId, NodeId)> {
+            (0..n)
+                .map(|_| {
+                    let s = take_le!(data, u32);
+                    let t = take_le!(data, u32);
+                    (s, t)
+                })
+                .collect()
+        };
+        let inserts = read_pairs(n_ins);
+        let deletes = read_pairs(n_del);
+        for section in [&inserts, &deletes] {
+            if section.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(corrupt("update-batch section not sorted/deduplicated"));
+            }
+        }
+        if inserts.iter().any(|e| deletes.binary_search(e).is_ok()) {
+            return Err(corrupt("update-batch inserts and deletes overlap"));
+        }
+        Ok(Self { inserts, deletes })
+    }
+}
+
 /// What an in-place [`Backend::update`](crate::backend::Backend::update)
 /// repair actually rebuilt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -160,6 +257,33 @@ pub struct RepairStats {
     /// Total source partitions (untouched ones were copied, not
     /// recomputed).
     pub partitions_total: u32,
+}
+
+impl RepairStats {
+    /// Serializes the stats as two little-endian `u32`s.
+    pub fn to_bytes(&self) -> [u8; 8] {
+        let mut buf = [0u8; 8];
+        buf[..4].copy_from_slice(&self.partitions_rebuilt.to_le_bytes());
+        buf[4..].copy_from_slice(&self.partitions_total.to_le_bytes());
+        buf
+    }
+
+    /// Deserializes stats written by [`RepairStats::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<Self, PcpmError> {
+        if data.len() != 8 {
+            return Err(PcpmError::Snapshot(SnapshotError::Corrupt(
+                "repair stats must be exactly 8 bytes",
+            )));
+        }
+        let mut data = data;
+        let partitions_rebuilt = take_le!(data, u32);
+        let partitions_total = take_le!(data, u32);
+        let _ = data;
+        Ok(Self {
+            partitions_rebuilt,
+            partitions_total,
+        })
+    }
 }
 
 /// How [`Engine::update`](crate::backend::Engine::update) absorbed a
@@ -228,5 +352,75 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.max_node(), None);
         assert!(b.touched_src_partitions(8).is_empty());
+    }
+
+    #[test]
+    fn batch_bytes_round_trip() {
+        let b = UpdateBatch::from_parts(vec![(10, 3), (11, 3)], vec![(3, 10)]);
+        let bytes = b.to_bytes();
+        assert_eq!(UpdateBatch::from_bytes(&bytes).unwrap(), b);
+
+        let empty = UpdateBatch::default();
+        assert_eq!(UpdateBatch::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn batch_bytes_reject_tampering() {
+        let b = UpdateBatch::from_parts(vec![(1, 2), (3, 4)], vec![(5, 6)]);
+        let good = b.to_bytes();
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            UpdateBatch::from_bytes(&bad),
+            Err(PcpmError::Snapshot(SnapshotError::BadMagic))
+        ));
+
+        // Flipped payload byte -> checksum mismatch.
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() ^= 0xff;
+        assert!(matches!(
+            UpdateBatch::from_bytes(&bad),
+            Err(PcpmError::Snapshot(SnapshotError::ChecksumMismatch { .. }))
+        ));
+
+        // Truncated payload (checksum recomputed so the structural check
+        // is what fires).
+        let mut bad = good.clone();
+        bad.truncate(good.len() - 8);
+        let fixed = checksum64(&bad[16..]);
+        bad[8..16].copy_from_slice(&fixed.to_le_bytes());
+        assert!(matches!(
+            UpdateBatch::from_bytes(&bad),
+            Err(PcpmError::Snapshot(SnapshotError::Corrupt(_)))
+        ));
+
+        // Unsorted section with a valid checksum.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&2u64.to_le_bytes());
+        raw.extend_from_slice(&0u64.to_le_bytes());
+        for &(s, t) in &[(9u32, 9u32), (1u32, 1u32)] {
+            raw.extend_from_slice(&s.to_le_bytes());
+            raw.extend_from_slice(&t.to_le_bytes());
+        }
+        let mut bad = Vec::new();
+        bad.extend_from_slice(BATCH_MAGIC);
+        bad.extend_from_slice(&checksum64(&raw).to_le_bytes());
+        bad.extend_from_slice(&raw);
+        assert!(matches!(
+            UpdateBatch::from_bytes(&bad),
+            Err(PcpmError::Snapshot(SnapshotError::Corrupt(_)))
+        ));
+    }
+
+    #[test]
+    fn repair_stats_round_trip() {
+        let s = RepairStats {
+            partitions_rebuilt: 7,
+            partitions_total: 1024,
+        };
+        assert_eq!(RepairStats::from_bytes(&s.to_bytes()).unwrap(), s);
+        assert!(RepairStats::from_bytes(&[0u8; 7]).is_err());
     }
 }

@@ -1,0 +1,197 @@
+//! Blocking client for the pcpm-serve protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues one request at a
+//! time (the protocol is strictly request/reply per connection). Typed
+//! error replies from the server surface as [`ServeError::Server`];
+//! transport and framing failures as [`ServeError::Io`] /
+//! [`ServeError::Protocol`].
+
+use crate::proto::{
+    read_frame, send_request, ErrorCode, ProtoError, QueryParams, Request, Response, ServerStats,
+    UpdateReply, PROTOCOL_VERSION,
+};
+use pcpm_core::UpdateBatch;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The transport failed (connect, read, write).
+    Io(io::Error),
+    /// The peer sent something that is not a valid reply.
+    Protocol(String),
+    /// The server answered with a typed error reply.
+    Server {
+        /// The machine-readable error class.
+        code: ErrorCode,
+        /// The server's human-readable detail.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "transport error: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServeError::Server { code, message } => write!(f, "server error ({code:?}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ServeError {
+    fn from(e: ProtoError) -> Self {
+        ServeError::Protocol(e.to_string())
+    }
+}
+
+/// An epoch-tagged rank vector (PageRank or personalized PageRank).
+#[derive(Debug, Clone)]
+pub struct Ranks {
+    /// The serving epoch the answer was computed at.
+    pub epoch: u64,
+    /// Power iterations actually run.
+    pub iterations: u32,
+    /// Whether the tolerance (if any) was met before the iteration cap.
+    pub converged: bool,
+    /// Per-node scores, indexed by node ID.
+    pub scores: Vec<f32>,
+}
+
+/// A blocking connection to a `pcpm serve` instance.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving instance.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self { stream })
+    }
+
+    /// One request/reply round trip; typed error replies become `Err`.
+    fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        send_request(&mut self.stream, req)?;
+        let frame = read_frame(&mut self.stream)?
+            .ok_or_else(|| ServeError::Protocol("server closed the connection".into()))?;
+        if frame.version != PROTOCOL_VERSION {
+            return Err(ServeError::Protocol(format!(
+                "server replied with protocol version {} (client speaks {PROTOCOL_VERSION})",
+                frame.version
+            )));
+        }
+        match Response::decode(frame.kind, &frame.payload)? {
+            Response::Error { code, message } => Err(ServeError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    fn unexpected(resp: &Response) -> ServeError {
+        ServeError::Protocol(format!("unexpected reply kind {}", resp.kind()))
+    }
+
+    /// Liveness probe: returns `(epoch, engine_count)`.
+    pub fn health(&mut self) -> Result<(u64, u16), ServeError> {
+        match self.call(&Request::Health)? {
+            Response::Health { epoch, engines } => Ok((epoch, engines)),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Server metrics: per-kind counters, latency histograms, engine
+    /// provenance.
+    pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Full PageRank over engine `engine`.
+    pub fn pagerank(&mut self, engine: u16, params: &QueryParams) -> Result<Ranks, ServeError> {
+        self.ranks(&Request::Pagerank {
+            engine,
+            params: *params,
+        })
+    }
+
+    /// Personalized PageRank restricted to `seeds`.
+    pub fn personalized_pagerank(
+        &mut self,
+        engine: u16,
+        params: &QueryParams,
+        seeds: &[u32],
+    ) -> Result<Ranks, ServeError> {
+        self.ranks(&Request::Ppr {
+            engine,
+            params: *params,
+            seeds: seeds.to_vec(),
+        })
+    }
+
+    fn ranks(&mut self, req: &Request) -> Result<Ranks, ServeError> {
+        match self.call(req)? {
+            Response::Ranks {
+                epoch,
+                iterations,
+                converged,
+                scores,
+            } => Ok(Ranks {
+                epoch,
+                iterations,
+                converged,
+                scores,
+            }),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// BFS levels from `source`; returns `(epoch, levels)`.
+    pub fn bfs(&mut self, engine: u16, source: u32) -> Result<(u64, Vec<u32>), ServeError> {
+        match self.call(&Request::Bfs { engine, source })? {
+            Response::Levels { epoch, levels } => Ok((epoch, levels)),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Shortest-path distances from `source` (weighted engines only);
+    /// returns `(epoch, distances)`.
+    pub fn sssp(&mut self, engine: u16, source: u32) -> Result<(u64, Vec<f32>), ServeError> {
+        match self.call(&Request::Sssp { engine, source })? {
+            Response::Distances { epoch, distances } => Ok((epoch, distances)),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Applies an update batch through the writer; blocks until the new
+    /// epoch is published and returns the [`UpdateReply`].
+    pub fn update(&mut self, engine: u16, batch: &UpdateBatch) -> Result<UpdateReply, ServeError> {
+        match self.call(&Request::Update {
+            engine,
+            batch: batch.clone(),
+        })? {
+            Response::Updated(reply) => Ok(reply),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to drain and stop; returns the final epoch.
+    pub fn shutdown(&mut self) -> Result<u64, ServeError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck { epoch } => Ok(epoch),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! pcpm-serve: a long-lived query dataplane over snapshot-loaded PCPM
+//! engines.
+//!
+//! The offline toolchain builds a `.pcpmc` snapshot once (`pcpm
+//! build-cache`); this crate keeps rehydrated engines resident and
+//! answers queries over a small length-prefixed TCP protocol, so the
+//! O(E) bin-construction cost is paid at load time instead of per
+//! request — the serve-side counterpart of the paper's "partition once,
+//! iterate many" argument.
+//!
+//! - [`proto`] — the wire protocol: versioned frames, request/response
+//!   codecs, typed error replies, stats structures. The module docs are
+//!   the protocol spec.
+//! - [`server`] — the dataplane: accept loop, worker pool with
+//!   per-epoch engine caches, single writer thread applying
+//!   [`pcpm_core::Engine::update`] and publishing new epochs RCU-style.
+//! - [`client`] — a blocking client used by `pcpm query`, the tests,
+//!   and the benches.
+//! - [`metrics`] — lock-free per-request-kind counters and latency
+//!   histograms surfaced by the `stats` request.
+
+#![deny(unsafe_code)] // one documented allow: the signal(2) shim in `server`
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, Ranks, ServeError};
+pub use proto::{
+    ErrorCode, QueryParams, Request, Response, ServerStats, UpdateReply, PROTOCOL_VERSION,
+};
+pub use server::{install_termination_handler, EngineSpec, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,109 @@
+//! Lock-free per-request metrics: counters plus a fixed-bucket latency
+//! histogram per request kind, snapshotted by the `stats` request.
+
+use crate::proto::{QueryStat, NUM_LATENCY_BUCKETS, NUM_REQUEST_KINDS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// One request kind's counters.
+struct KindMetrics {
+    count: AtomicU64,
+    errors: AtomicU64,
+    buckets: [AtomicU64; NUM_LATENCY_BUCKETS],
+}
+
+impl KindMetrics {
+    fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Shared server metrics; every handler records into this through an
+/// `Arc`, with relaxed atomics (the stats snapshot tolerates torn
+/// cross-counter reads — each counter itself is exact).
+pub struct Metrics {
+    start: Instant,
+    kinds: [KindMetrics; NUM_REQUEST_KINDS],
+}
+
+impl Metrics {
+    /// Fresh metrics starting the uptime clock now.
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            kinds: std::array::from_fn(|_| KindMetrics::new()),
+        }
+    }
+
+    /// Records one handled request of `kind` that took `latency`;
+    /// `error` marks requests answered with a typed error reply.
+    pub fn record(&self, kind: u8, latency: Duration, error: bool) {
+        let Some(k) = self.kinds.get(kind as usize) else {
+            return;
+        };
+        k.count.fetch_add(1, Ordering::Relaxed);
+        if error {
+            k.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        // Bucket i counts latencies < 2^i us; 64 - leading_zeros gives
+        // the index of the first power of two strictly above `us`.
+        let idx = (64 - us.leading_zeros() as usize).min(NUM_LATENCY_BUCKETS - 1);
+        k.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Time since the server started.
+    pub fn uptime(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Snapshot every kind's counters into wire rows.
+    pub fn snapshot(&self) -> Vec<QueryStat> {
+        self.kinds
+            .iter()
+            .enumerate()
+            .map(|(kind, k)| QueryStat {
+                kind: kind as u8,
+                count: k.count.load(Ordering::Relaxed),
+                errors: k.errors.load(Ordering::Relaxed),
+                buckets: std::array::from_fn(|i| k.buckets[i].load(Ordering::Relaxed)),
+            })
+            .collect()
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_the_right_bucket() {
+        let m = Metrics::new();
+        m.record(2, Duration::from_micros(0), false); // < 1 us -> bucket 0
+        m.record(2, Duration::from_micros(1), false); // < 2 us -> bucket 1
+        m.record(2, Duration::from_micros(7), false); // < 8 us -> bucket 3
+        m.record(2, Duration::from_micros(8), true); // < 16 us -> bucket 4
+        m.record(2, Duration::from_secs(3600), false); // clamps to last
+        let snap = m.snapshot();
+        let row = &snap[2];
+        assert_eq!(row.count, 5);
+        assert_eq!(row.errors, 1);
+        assert_eq!(row.buckets[0], 1);
+        assert_eq!(row.buckets[1], 1);
+        assert_eq!(row.buckets[3], 1);
+        assert_eq!(row.buckets[4], 1);
+        assert_eq!(row.buckets[NUM_LATENCY_BUCKETS - 1], 1);
+        // Unknown kinds are dropped, not panicked on.
+        m.record(250, Duration::from_micros(1), false);
+    }
+}

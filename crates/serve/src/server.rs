@@ -1,0 +1,892 @@
+//! The serving dataplane: a TCP accept loop feeding a worker-thread
+//! pool, a single writer thread applying incremental repairs, and
+//! RCU-style epoch publication.
+//!
+//! # Concurrency model
+//!
+//! The shape follows the IX dataplane split: the read path is
+//! run-to-completion and lock-avoiding, the control path (updates,
+//! shutdown) is serialized on one writer.
+//!
+//! - The **serving state** (`epoch` + one [`Snapshot`] per engine) lives
+//!   behind a `Mutex<Arc<ServingState>>` — the hand-rolled `ArcSwap`.
+//!   Readers hold the lock only long enough to clone the `Arc`
+//!   (nanoseconds); all query work happens against the clone, so an
+//!   in-flight reader is never blocked by a publication and never sees
+//!   a half-applied batch.
+//! - Each **worker** owns a per-epoch cache of rehydrated engines (one
+//!   per algebra it has been asked for). When it observes a new epoch it
+//!   drops the cache and rebuilds lazily from the published snapshot —
+//!   an O(E) copy per worker per epoch, amortized across every query the
+//!   worker serves at that epoch.
+//! - The single **writer thread** owns a private [`DeltaGraph`] overlay
+//!   and a private engine per served graph. An update request flows
+//!   `DeltaGraph::apply` → [`Engine::update`] (incremental bin repair) →
+//!   `Engine::snapshot()` → publish `Arc::new(ServingState { epoch:
+//!   e+1, .. })`. Readers at epoch `e` finish unperturbed; the next
+//!   query on each worker picks up `e+1`.
+//!
+//! Because snapshot rehydration is bit-exact (PR 5 invariant) and the
+//! query drivers are the offline ones, a served answer at epoch `e` is
+//! bit-identical to the offline CLI run against the same snapshot after
+//! the same `e` batches.
+
+use crate::metrics::Metrics;
+use crate::proto::{
+    read_frame, send_response, EngineInfo, ErrorCode, QueryParams, RawFrame, Request, Response,
+    ServerStats, UpdateReply, PROTOCOL_VERSION,
+};
+use pcpm_algos::{
+    bfs_levels_with_engine, personalized_pagerank_with_unified_engine, sssp_with_engine,
+    weighted_pagerank_with_unified_engine,
+};
+use pcpm_core::algebra::{Algebra, MinLevel, MinPlusF32, PlusF32};
+use pcpm_core::pagerank::pagerank_with_unified_engine;
+use pcpm_core::{Engine, PcpmConfig, PcpmError, Snapshot, SnapshotEngineBuilder, UpdateBatch};
+use pcpm_graph::EdgeWeights;
+use pcpm_stream::{DeltaGraph, StreamError};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How long blocked reads and accept polls sleep between checks of the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// One engine to serve: a decoded snapshot plus provenance.
+pub struct EngineSpec {
+    /// Display label (usually the snapshot path).
+    pub label: String,
+    /// The decoded snapshot.
+    pub snapshot: Snapshot,
+    /// Wall-clock spent loading/decoding it.
+    pub load: Duration,
+}
+
+impl EngineSpec {
+    /// Loads a `.pcpmc` snapshot file, timing the load.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, PcpmError> {
+        let t0 = Instant::now();
+        let snapshot = Snapshot::load(&path)?;
+        Ok(Self {
+            label: path.as_ref().display().to_string(),
+            snapshot,
+            load: t0.elapsed(),
+        })
+    }
+
+    /// Wraps an already-decoded snapshot under `label`.
+    pub fn from_snapshot(label: impl Into<String>, snapshot: Snapshot) -> Self {
+        Self {
+            label: label.into(),
+            snapshot,
+            load: Duration::ZERO,
+        }
+    }
+}
+
+/// One served engine's published state.
+#[derive(Clone)]
+struct Shard {
+    snapshot: Snapshot,
+    label: String,
+    load: Duration,
+}
+
+/// The RCU-published value: everything a reader needs, immutable.
+struct ServingState {
+    epoch: u64,
+    shards: Vec<Shard>,
+}
+
+/// Server tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads answering queries (each handles one connection at
+    /// a time, run-to-completion).
+    pub workers: usize,
+    /// Engine-owned thread-pool size for query execution (`None` =
+    /// ambient pool).
+    pub threads: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            threads: None,
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    state: Arc<Mutex<Arc<ServingState>>>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+}
+
+/// A running server spawned in background threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (use this to connect when binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown (drain in-flight, refuse new).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the server to finish draining.
+    pub fn join(self) -> io::Result<()> {
+        self.join.join().expect("server thread panicked")
+    }
+}
+
+impl Server {
+    /// Binds `addr` and installs `engines` at epoch 0. The server does
+    /// not accept connections until [`Server::run`] (or
+    /// [`Server::spawn`]) is called.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        engines: Vec<EngineSpec>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        if engines.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "serve needs at least one engine snapshot",
+            ));
+        }
+        if config.workers == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "serve needs at least one worker",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shards = engines
+            .into_iter()
+            .map(|e| Shard {
+                snapshot: e.snapshot,
+                label: e.label,
+                load: e.load,
+            })
+            .collect();
+        Ok(Server {
+            listener,
+            addr,
+            state: Arc::new(Mutex::new(Arc::new(ServingState { epoch: 0, shards }))),
+            metrics: Arc::new(Metrics::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            config,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shutdown flag; storing `true` drains and stops the server.
+    /// Share it with [`install_termination_handler`] for SIGTERM.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Runs the server on the calling thread until the shutdown flag is
+    /// set (by a `shutdown` request, [`ServerHandle::shutdown`], or a
+    /// signal handler), then drains: in-flight requests finish, new
+    /// ones are refused with [`ErrorCode::ShuttingDown`].
+    pub fn run(self) -> io::Result<()> {
+        let Server {
+            listener,
+            addr: _,
+            state,
+            metrics,
+            shutdown,
+            config,
+        } = self;
+        listener.set_nonblocking(true)?;
+
+        // Writer: the sole mutator of serving state.
+        let (update_tx, update_rx) = mpsc::channel::<WriteJob>();
+        let writer_state = Arc::clone(&state);
+        let writer = thread::Builder::new()
+            .name("pcpm-serve-writer".into())
+            .spawn(move || writer_loop(writer_state, update_rx))
+            .expect("spawn writer");
+
+        // Workers: each pulls whole connections off a shared queue.
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut workers = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let ctx = WorkerCtx {
+                conn_rx: Arc::clone(&conn_rx),
+                state: Arc::clone(&state),
+                metrics: Arc::clone(&metrics),
+                shutdown: Arc::clone(&shutdown),
+                update_tx: update_tx.clone(),
+                threads: config.threads,
+            };
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("pcpm-serve-worker-{w}"))
+                    .spawn(move || worker_loop(ctx))
+                    .expect("spawn worker"),
+            );
+        }
+        drop(update_tx);
+
+        // Accept loop: refuse new connections once draining.
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if conn_tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        shutdown.store(true, Ordering::SeqCst);
+        drop(conn_tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        let _ = writer.join();
+        Ok(())
+    }
+
+    /// Runs the server on a background thread, returning a handle for
+    /// the bound address and graceful shutdown.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let shutdown = self.shutdown_flag();
+        let join = thread::Builder::new()
+            .name("pcpm-serve-accept".into())
+            .spawn(move || self.run())
+            .expect("spawn server");
+        ServerHandle {
+            addr,
+            shutdown,
+            join,
+        }
+    }
+}
+
+/// The flag signal handlers flip (process-wide; `signal(2)` handlers
+/// cannot carry state).
+static TERM_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+/// Routes SIGTERM/SIGINT to `flag` so `pcpm serve` drains instead of
+/// dying mid-request. Returns `false` when a handler was already
+/// installed (or on non-Unix targets, where the portable protocol-level
+/// `shutdown` request is the only trigger). The `std` runtime already
+/// links `libc`, so the two calls below are declared directly instead
+/// of pulling in the `libc` crate.
+#[cfg(unix)]
+#[allow(unsafe_code)]
+pub fn install_termination_handler(flag: Arc<AtomicBool>) -> bool {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_term(_sig: i32) {
+        // Only the atomic store: it is async-signal-safe.
+        if let Some(f) = TERM_FLAG.get() {
+            f.store(true, Ordering::SeqCst);
+        }
+    }
+    if TERM_FLAG.set(flag).is_err() {
+        return false;
+    }
+    unsafe {
+        signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+        signal(SIGINT, on_term as extern "C" fn(i32) as usize);
+    }
+    true
+}
+
+/// Non-Unix stub: no signal routing; use the `shutdown` request.
+#[cfg(not(unix))]
+pub fn install_termination_handler(_flag: Arc<AtomicBool>) -> bool {
+    false
+}
+
+// ---------------------------------------------------------------------
+// Writer thread
+// ---------------------------------------------------------------------
+
+struct WriteJob {
+    engine: usize,
+    batch: UpdateBatch,
+    reply: mpsc::Sender<Response>,
+}
+
+/// The writer's private, repairable copy of one shard.
+struct WriterShard {
+    delta: DeltaGraph,
+    engine: Engine<PlusF32>,
+}
+
+fn writer_loop(state: Arc<Mutex<Arc<ServingState>>>, rx: mpsc::Receiver<WriteJob>) {
+    let n = state.lock().expect("state lock").shards.len();
+    let mut shards: Vec<Option<WriterShard>> = (0..n).map(|_| None).collect();
+    while let Ok(job) = rx.recv() {
+        let resp = apply_update(&state, &mut shards, job.engine, job.batch);
+        let _ = job.reply.send(resp);
+    }
+}
+
+fn apply_update(
+    state: &Mutex<Arc<ServingState>>,
+    shards: &mut [Option<WriterShard>],
+    idx: usize,
+    batch: UpdateBatch,
+) -> Response {
+    let cur = Arc::clone(&state.lock().expect("state lock"));
+    let Some(shard) = cur.shards.get(idx) else {
+        return err_resp(
+            ErrorCode::UnknownEngine,
+            format!("engine {idx} (server holds {})", cur.shards.len()),
+        );
+    };
+    if shard.snapshot.is_weighted() {
+        return err_resp(
+            ErrorCode::Unsupported,
+            "updates target unweighted engines (the streaming layer models structural change only)",
+        );
+    }
+    // Lazily build the writer's private overlay + engine the first time
+    // this shard is written. The writer is the sole mutator, so its
+    // private state stays in lockstep with what it has published.
+    if shards[idx].is_none() {
+        let q = PcpmConfig::default()
+            .with_partition_bytes(shard.snapshot.partition_bytes())
+            .partition_nodes();
+        let delta = match DeltaGraph::new(Arc::clone(shard.snapshot.graph()), q) {
+            Ok(d) => d,
+            Err(e) => return stream_err(e),
+        };
+        let engine = match SnapshotEngineBuilder::<PlusF32>::from_snapshot(
+            shard.snapshot.clone(),
+            shard.load,
+        )
+        .build()
+        {
+            Ok(e) => e,
+            Err(e) => return engine_err(e),
+        };
+        shards[idx] = Some(WriterShard { delta, engine });
+    }
+    let ws = shards[idx].as_mut().expect("built above");
+    let stats = match ws.delta.apply(&batch) {
+        Ok(s) => s,
+        Err(e) => return stream_err(e),
+    };
+    let snap_csr = ws.delta.snapshot();
+    let outcome = match ws.engine.update(&snap_csr, None, &stats.applied) {
+        Ok(o) => o,
+        Err(e) => return engine_err(e),
+    };
+    let new_snapshot = match ws.engine.snapshot() {
+        Ok(s) => s,
+        Err(e) => return engine_err(e),
+    };
+    // Publish: clone-on-write of the shard vector, epoch + 1. Readers
+    // holding the previous Arc keep serving the old epoch untouched.
+    let mut guard = state.lock().expect("state lock");
+    let prev = Arc::clone(&guard);
+    let mut next_shards = prev.shards.clone();
+    next_shards[idx].snapshot = new_snapshot;
+    let epoch = prev.epoch + 1;
+    *guard = Arc::new(ServingState {
+        epoch,
+        shards: next_shards,
+    });
+    drop(guard);
+    Response::Updated(UpdateReply {
+        epoch,
+        outcome,
+        applied: stats.applied.len() as u32,
+        ignored: stats.ignored as u32,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Worker threads
+// ---------------------------------------------------------------------
+
+struct WorkerCtx {
+    conn_rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    state: Arc<Mutex<Arc<ServingState>>>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    update_tx: mpsc::Sender<WriteJob>,
+    threads: Option<usize>,
+}
+
+/// One worker's per-epoch engine cache for one shard: engines are
+/// rehydrated lazily per algebra and dropped wholesale when the epoch
+/// moves.
+#[derive(Default)]
+struct AlgCache {
+    pr: Option<Engine<PlusF32>>,
+    lvl: Option<Engine<MinLevel>>,
+    dist: Option<Engine<MinPlusF32>>,
+}
+
+struct Worker {
+    ctx: WorkerCtx,
+    cache_epoch: u64,
+    caches: Vec<AlgCache>,
+}
+
+fn worker_loop(ctx: WorkerCtx) {
+    let mut worker = Worker {
+        cache_epoch: 0,
+        caches: Vec::new(),
+        ctx,
+    };
+    loop {
+        // Holding the queue lock only around the timed recv keeps
+        // sibling workers runnable.
+        let next = {
+            let rx = worker.ctx.conn_rx.lock().expect("conn queue lock");
+            rx.recv_timeout(POLL_INTERVAL)
+        };
+        match next {
+            Ok(stream) => worker.handle_connection(stream),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if worker.ctx.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+impl Worker {
+    fn handle_connection(&mut self, mut stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        loop {
+            let frame = match read_frame_idle(&mut stream, &self.ctx.shutdown) {
+                Ok(Some(f)) => f,
+                Ok(None) | Err(_) => return,
+            };
+            let t0 = Instant::now();
+            let resp = self.respond(&frame);
+            let is_err = matches!(resp, Response::Error { .. });
+            self.ctx.metrics.record(frame.kind, t0.elapsed(), is_err);
+            if send_response(&mut stream, &resp).is_err() {
+                return;
+            }
+            if matches!(resp, Response::ShutdownAck { .. }) {
+                return;
+            }
+        }
+    }
+
+    fn respond(&mut self, frame: &RawFrame) -> Response {
+        if frame.version != PROTOCOL_VERSION {
+            return err_resp(
+                ErrorCode::UnsupportedVersion,
+                format!(
+                    "version {} (this server speaks {PROTOCOL_VERSION})",
+                    frame.version
+                ),
+            );
+        }
+        let req = match Request::decode(frame.kind, &frame.payload) {
+            Ok(r) => r,
+            Err(e) => return err_resp(ErrorCode::BadFrame, e.to_string()),
+        };
+        if self.ctx.shutdown.load(Ordering::SeqCst) && !matches!(req, Request::Shutdown) {
+            return err_resp(ErrorCode::ShuttingDown, "server is draining");
+        }
+        self.dispatch(req)
+    }
+
+    /// The published state, cloned out from under the lock; worker
+    /// caches are invalidated when the epoch moved.
+    fn current(&mut self) -> Arc<ServingState> {
+        let cur = Arc::clone(&self.ctx.state.lock().expect("state lock"));
+        if self.caches.len() != cur.shards.len() {
+            self.caches = (0..cur.shards.len()).map(|_| AlgCache::default()).collect();
+            self.cache_epoch = cur.epoch;
+        } else if cur.epoch != self.cache_epoch {
+            for c in &mut self.caches {
+                *c = AlgCache::default();
+            }
+            self.cache_epoch = cur.epoch;
+        }
+        cur
+    }
+
+    fn dispatch(&mut self, req: Request) -> Response {
+        match req {
+            Request::Health => {
+                let cur = self.current();
+                Response::Health {
+                    epoch: cur.epoch,
+                    engines: cur.shards.len() as u16,
+                }
+            }
+            Request::Stats => {
+                let cur = self.current();
+                Response::Stats(ServerStats {
+                    epoch: cur.epoch,
+                    uptime: self.ctx.metrics.uptime(),
+                    queries: self.ctx.metrics.snapshot(),
+                    engines: cur
+                        .shards
+                        .iter()
+                        .map(|s| EngineInfo {
+                            path: s.label.clone(),
+                            load: s.load,
+                            nodes: s.snapshot.graph().num_nodes(),
+                            edges: s.snapshot.graph().num_edges(),
+                            weighted: s.snapshot.is_weighted(),
+                            bin_format: s.snapshot.bin_format().to_string(),
+                            partition_bytes: s.snapshot.partition_bytes() as u64,
+                        })
+                        .collect(),
+                })
+            }
+            Request::Shutdown => {
+                let cur = self.current();
+                self.ctx.shutdown.store(true, Ordering::SeqCst);
+                Response::ShutdownAck { epoch: cur.epoch }
+            }
+            Request::Pagerank { engine, params } => self.pagerank(engine, params),
+            Request::Ppr {
+                engine,
+                params,
+                seeds,
+            } => self.ppr(engine, params, seeds),
+            Request::Bfs { engine, source } => self.bfs(engine, source),
+            Request::Sssp { engine, source } => self.sssp(engine, source),
+            Request::Update { engine, batch } => self.update(engine, batch),
+        }
+    }
+
+    fn shard(cur: &ServingState, engine: u16) -> Result<&Shard, Response> {
+        cur.shards.get(engine as usize).ok_or_else(|| {
+            err_resp(
+                ErrorCode::UnknownEngine,
+                format!("engine {engine} (server holds {})", cur.shards.len()),
+            )
+        })
+    }
+
+    fn pagerank(&mut self, engine: u16, params: QueryParams) -> Response {
+        let cur = self.current();
+        let shard = match Self::shard(&cur, engine) {
+            Ok(s) => s,
+            Err(r) => return r,
+        };
+        let cfg = query_cfg(&shard.snapshot, &params);
+        let graph = Arc::clone(shard.snapshot.graph());
+        let weights = shard
+            .snapshot
+            .weights()
+            .map(|w| EdgeWeights::new(&graph, w.to_vec()).expect("snapshot weights parallel"));
+        let threads = self.ctx.threads;
+        let eng = match cached_engine(
+            &mut self.caches[engine as usize].pr,
+            &shard.snapshot,
+            threads,
+        ) {
+            Ok(e) => e,
+            Err(r) => return r,
+        };
+        let result = match &weights {
+            Some(w) => weighted_pagerank_with_unified_engine(&graph, w, &cfg, eng),
+            None => pagerank_with_unified_engine(&graph, &cfg, eng, None),
+        };
+        match result {
+            Ok(r) => Response::Ranks {
+                epoch: cur.epoch,
+                iterations: r.iterations as u32,
+                converged: r.converged,
+                scores: r.scores,
+            },
+            Err(e) => engine_err(e),
+        }
+    }
+
+    fn ppr(&mut self, engine: u16, params: QueryParams, seeds: Vec<u32>) -> Response {
+        let cur = self.current();
+        let shard = match Self::shard(&cur, engine) {
+            Ok(s) => s,
+            Err(r) => return r,
+        };
+        if shard.snapshot.is_weighted() {
+            return err_resp(
+                ErrorCode::Unsupported,
+                "personalized pagerank serves unweighted engines only",
+            );
+        }
+        let cfg = query_cfg(&shard.snapshot, &params);
+        let graph = Arc::clone(shard.snapshot.graph());
+        let threads = self.ctx.threads;
+        let eng = match cached_engine(
+            &mut self.caches[engine as usize].pr,
+            &shard.snapshot,
+            threads,
+        ) {
+            Ok(e) => e,
+            Err(r) => return r,
+        };
+        match personalized_pagerank_with_unified_engine(&graph, &seeds, &cfg, eng) {
+            Ok(r) => Response::Ranks {
+                epoch: cur.epoch,
+                iterations: r.iterations as u32,
+                converged: r.converged,
+                scores: r.scores,
+            },
+            Err(e) => engine_err(e),
+        }
+    }
+
+    fn bfs(&mut self, engine: u16, source: u32) -> Response {
+        let cur = self.current();
+        let shard = match Self::shard(&cur, engine) {
+            Ok(s) => s,
+            Err(r) => return r,
+        };
+        if shard.snapshot.is_weighted() {
+            return err_resp(
+                ErrorCode::Unsupported,
+                "bfs serves unweighted engines only (weighted bins would bias the levels)",
+            );
+        }
+        let graph = Arc::clone(shard.snapshot.graph());
+        let threads = self.ctx.threads;
+        let eng = match cached_engine(
+            &mut self.caches[engine as usize].lvl,
+            &shard.snapshot,
+            threads,
+        ) {
+            Ok(e) => e,
+            Err(r) => return r,
+        };
+        match bfs_levels_with_engine(&graph, source, eng) {
+            Ok(levels) => Response::Levels {
+                epoch: cur.epoch,
+                levels,
+            },
+            Err(e) => engine_err(e),
+        }
+    }
+
+    fn sssp(&mut self, engine: u16, source: u32) -> Response {
+        let cur = self.current();
+        let shard = match Self::shard(&cur, engine) {
+            Ok(s) => s,
+            Err(r) => return r,
+        };
+        if !shard.snapshot.is_weighted() {
+            return err_resp(
+                ErrorCode::Unsupported,
+                "sssp needs a weighted snapshot (build-cache over a weighted .mtx)",
+            );
+        }
+        let graph = Arc::clone(shard.snapshot.graph());
+        let threads = self.ctx.threads;
+        let eng = match cached_engine(
+            &mut self.caches[engine as usize].dist,
+            &shard.snapshot,
+            threads,
+        ) {
+            Ok(e) => e,
+            Err(r) => return r,
+        };
+        match sssp_with_engine(&graph, source, eng) {
+            Ok(distances) => Response::Distances {
+                epoch: cur.epoch,
+                distances,
+            },
+            Err(e) => engine_err(e),
+        }
+    }
+
+    fn update(&mut self, engine: u16, batch: UpdateBatch) -> Response {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = WriteJob {
+            engine: engine as usize,
+            batch,
+            reply: reply_tx,
+        };
+        if self.ctx.update_tx.send(job).is_err() {
+            return err_resp(ErrorCode::ShuttingDown, "writer is gone");
+        }
+        match reply_rx.recv() {
+            Ok(resp) => resp,
+            Err(_) => err_resp(ErrorCode::ShuttingDown, "writer dropped the request"),
+        }
+    }
+}
+
+/// Builds (or reuses) the worker's cached engine for one algebra,
+/// rehydrated from the published snapshot.
+fn cached_engine<'a, A: Algebra>(
+    slot: &'a mut Option<Engine<A>>,
+    snapshot: &Snapshot,
+    threads: Option<usize>,
+) -> Result<&'a mut Engine<A>, Response> {
+    if slot.is_none() {
+        let mut b = SnapshotEngineBuilder::<A>::from_snapshot(snapshot.clone(), Duration::ZERO);
+        if let Some(t) = threads {
+            b = b.threads(t);
+        }
+        match b.build() {
+            Ok(e) => *slot = Some(e),
+            Err(e) => return Err(engine_err(e)),
+        }
+    }
+    Ok(slot.as_mut().expect("filled above"))
+}
+
+/// Query config: the snapshot pins the structural knobs (partition
+/// size, bin format); the request supplies the solver knobs.
+fn query_cfg(snapshot: &Snapshot, p: &QueryParams) -> PcpmConfig {
+    let mut cfg = PcpmConfig::default()
+        .with_partition_bytes(snapshot.partition_bytes())
+        .with_iterations(p.iterations as usize);
+    cfg.bin_format = snapshot.bin_format();
+    cfg.damping = p.damping;
+    cfg.tolerance = p.tolerance;
+    cfg.redistribute_dangling = p.redistribute_dangling;
+    cfg
+}
+
+fn err_resp(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+/// Maps engine failures to wire errors: caller mistakes become
+/// `BadQuery`, everything else is `Internal`.
+fn engine_err(e: PcpmError) -> Response {
+    let code = match &e {
+        PcpmError::DimensionMismatch { .. } | PcpmError::BadConfig(_) => ErrorCode::BadQuery,
+        _ => ErrorCode::Internal,
+    };
+    err_resp(code, e.to_string())
+}
+
+/// Maps streaming-layer failures (update path) to wire errors.
+fn stream_err(e: StreamError) -> Response {
+    let code = match &e {
+        StreamError::NodeOutOfRange { .. } | StreamError::BadConfig(_) => ErrorCode::BadQuery,
+        StreamError::Engine(inner) => {
+            return engine_err(inner.clone());
+        }
+        _ => ErrorCode::Internal,
+    };
+    err_resp(code, e.to_string())
+}
+
+/// Reads one frame, idling politely: a `WouldBlock` before the first
+/// byte of a frame re-checks the shutdown flag; a stall *inside* a
+/// frame keeps retrying briefly, then gives up on the connection.
+fn read_frame_idle(stream: &mut TcpStream, shutdown: &AtomicBool) -> io::Result<Option<RawFrame>> {
+    let mut first = [0u8; 1];
+    loop {
+        match stream.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    // Idle connection during drain: close it.
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    // The frame has started; finish it even while draining (this is the
+    // in-flight work we promised to drain), bounded by a grace period.
+    let grace = 100; // * POLL_INTERVAL = 5 s
+    let mut reader = RetryReader {
+        inner: stream,
+        budget: grace,
+    };
+    let mut framed: Vec<u8> = first.to_vec();
+    let mut rest = [0u8; 3];
+    Read::read_exact(&mut reader, &mut rest)?;
+    framed.extend_from_slice(&rest);
+    let body_len = u32::from_le_bytes(framed[..4].try_into().expect("4 bytes")) as usize;
+    if !(3..=crate::proto::MAX_FRAME_BYTES).contains(&body_len) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {body_len}"),
+        ));
+    }
+    let mut body = vec![0u8; body_len];
+    Read::read_exact(&mut reader, &mut body)?;
+    let mut full = framed;
+    full.extend_from_slice(&body);
+    // Delegate the header split to the shared decoder.
+    read_frame(&mut &full[..])
+}
+
+/// A reader that absorbs a bounded number of read timeouts (each one
+/// `POLL_INTERVAL` long) before giving up.
+struct RetryReader<'a> {
+    inner: &'a mut TcpStream,
+    budget: u32,
+}
+
+impl Read for RetryReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match self.inner.read(buf) {
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if self.budget == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "peer stalled mid-frame",
+                        ));
+                    }
+                    self.budget -= 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                other => return other,
+            }
+        }
+    }
+}

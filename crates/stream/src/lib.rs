@@ -44,6 +44,7 @@ pub use delta::{ApplyStats, DeltaGraph, DEFAULT_COMPACTION_THRESHOLD};
 pub use error::StreamError;
 pub use log::{group_by_dst_partition, UpdateLog};
 pub use replay::{
-    final_cache_path, gen_updates, read_updates, replay, write_updates, BatchReport, Locality,
-    ReplayConfig, ReplayReport, UpdateGenConfig,
+    final_cache_path, gen_updates, read_updates, read_updates_auto, read_updates_binary, replay,
+    write_updates, write_updates_binary, BatchReport, Locality, ReplayConfig, ReplayReport,
+    UpdateGenConfig,
 };

@@ -13,6 +13,10 @@
 //!                                          + delta-PageRank vs full rebuild
 //! pcpm build-cache <graph> --out FILE      build the engine once, snapshot it
 //!                                          (PNG + bins) for --cache serving
+//! pcpm ppr         <graph> --seeds 1,2,3   personalized PageRank from a seed set
+//! pcpm serve       <snap> [<snap>...]      long-lived query server over
+//!                                          build-cache snapshots (TCP)
+//! pcpm query       <addr> --op OP          query a running `pcpm serve`
 //!
 //! common flags: --binary (pcpm binary input) | --mtx (Matrix Market input)
 //!               --iters N --damping D --tolerance T --partition-bytes B
@@ -28,6 +32,15 @@
 //! gen-updates flags: --batches B --batch-size K --delete-frac F
 //!                    --update-locality P (restrict each batch to P source
 //!                    partitions of --partition-bytes/4 nodes)
+//!                    --update-format text|binary (binary = checksummed
+//!                    compact frames, read back transparently everywhere)
+//! serve flags:       --listen ADDR (default 127.0.0.1:7450)
+//!                    --workers N (query threads, default 4) --threads N
+//! query flags:       --op health|stats|pagerank|ppr|bfs|sssp|update|shutdown
+//!                    --engine I (server engine index, default 0)
+//!                    --seeds 1,2,3 (ppr) --source V (bfs/sssp)
+//!                    --updates FILE (update: replayed batch by batch)
+//!                    plus --iters/--damping/--tolerance/--top as offline
 //! stream flags:      --updates FILE --compaction-threshold F --verify
 //!                    (check incremental ranks against a cold run per batch)
 //! cache flags:       --cache FILE on pagerank/stream: load the prepared
@@ -44,7 +57,8 @@
 use pcpm::core::algebra::PlusF32;
 use pcpm::core::pagerank::pagerank_with_unified_engine;
 use pcpm::prelude::*;
-use pcpm::stream::{read_updates, write_updates, Locality};
+use pcpm::serve::{install_termination_handler, ServeError};
+use pcpm::stream::{write_updates, Locality};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -77,6 +91,13 @@ struct Options {
     compaction_threshold: f64,
     verify: bool,
     cache: Option<String>,
+    update_format: String,
+    listen: String,
+    workers: usize,
+    op: String,
+    engine: u16,
+    seeds: Vec<u32>,
+    extra: Vec<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -111,6 +132,13 @@ fn parse_args() -> Result<Options, String> {
         compaction_threshold: pcpm::stream::DEFAULT_COMPACTION_THRESHOLD,
         verify: false,
         cache: None,
+        update_format: "text".to_string(),
+        listen: "127.0.0.1:7450".to_string(),
+        workers: 4,
+        op: "health".to_string(),
+        engine: 0,
+        seeds: Vec::new(),
+        extra: Vec::new(),
     };
     let mut positional = Vec::new();
     let mut rest: Vec<String> = args.collect();
@@ -223,6 +251,34 @@ fn parse_args() -> Result<Options, String> {
             }
             "--verify" => opts.verify = true,
             "--cache" => opts.cache = Some(take_value(&mut rest, &mut i)?),
+            "--update-format" => {
+                let v = take_value(&mut rest, &mut i)?;
+                if v != "text" && v != "binary" {
+                    return Err(format!(
+                        "unknown update format '{v}' (expected text|binary)"
+                    ));
+                }
+                opts.update_format = v;
+            }
+            "--listen" => opts.listen = take_value(&mut rest, &mut i)?,
+            "--workers" => {
+                opts.workers = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?
+            }
+            "--op" => opts.op = take_value(&mut rest, &mut i)?,
+            "--engine" => {
+                opts.engine = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --engine: {e}"))?
+            }
+            "--seeds" => {
+                opts.seeds = take_value(&mut rest, &mut i)?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse().map_err(|e| format!("bad seed '{s}': {e}")))
+                    .collect::<Result<Vec<u32>, String>>()?;
+            }
             "--backend" => {
                 opts.backend = match take_value(&mut rest, &mut i)?.as_str() {
                     "pcpm" => BackendKind::Pcpm,
@@ -248,6 +304,7 @@ fn parse_args() -> Result<Options, String> {
         i += 1;
     }
     opts.path = positional.first().cloned().ok_or("missing graph path")?;
+    opts.extra = positional[1..].to_vec();
     Ok(opts)
 }
 
@@ -319,10 +376,16 @@ fn run_gen_updates(opts: &Options, graph: &Csr, cfg: &PcpmConfig) -> Result<(), 
     };
     let batches = gen_updates(graph, &gen_cfg).map_err(|e| e.to_string())?;
     let file = std::fs::File::create(out).map_err(|e| e.to_string())?;
-    write_updates(std::io::BufWriter::new(file), &batches).map_err(|e| e.to_string())?;
+    let w = std::io::BufWriter::new(file);
+    if opts.update_format == "binary" {
+        write_updates_binary(w, &batches).map_err(|e| e.to_string())?;
+    } else {
+        write_updates(w, &batches).map_err(|e| e.to_string())?;
+    }
     let ops: usize = batches.iter().map(|b| b.len()).sum();
     eprintln!(
-        "# wrote {out}: {} batches, {ops} ops, seed {}",
+        "# wrote {out} ({}): {} batches, {ops} ops, seed {}",
+        opts.update_format,
         batches.len(),
         opts.seed
     );
@@ -336,20 +399,23 @@ fn run_stream(opts: &Options, graph: Csr, cfg: &PcpmConfig) -> Result<(), String
         .updates
         .as_deref()
         .ok_or("stream needs --updates FILE")?;
-    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
-    let batches = read_updates(file, graph.num_nodes()).map_err(|e| e.to_string())?;
+    let data = std::fs::read(path).map_err(|e| e.to_string())?;
+    let batches = read_updates_auto(&data, graph.num_nodes()).map_err(|e| e.to_string())?;
     // The PageRank phases run to convergence: default to a tolerance
     // and a generous iteration cap, but honour an explicit --iters.
     let mut cfg = *cfg;
     cfg.iterations = opts.iters.unwrap_or(500);
     cfg.tolerance = Some(cfg.tolerance.unwrap_or(1e-9));
-    let rc = ReplayConfig {
+    let mut rc = ReplayConfig {
         cfg,
         backend: opts.backend,
         compaction_threshold: opts.compaction_threshold,
         verify: opts.verify,
-        cache: opts.cache.as_ref().map(std::path::PathBuf::from),
+        cache: None,
     };
+    if let Some(c) = &opts.cache {
+        rc = rc.with_cache(c);
+    }
     let base = Arc::new(graph);
     let report = replay(Arc::clone(&base), &batches, &rc).map_err(|e| e.to_string())?;
     let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
@@ -524,11 +590,209 @@ fn pagerank_engine(
     Ok(engine)
 }
 
+/// Ranks printed exactly like the offline `pagerank` command so served
+/// and offline answers diff clean in CI.
+fn print_top_ranks(scores: &[f32], top: usize) {
+    let mut ranked: Vec<(u32, f32)> = scores
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(v, s)| (v as u32, s))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (v, s) in ranked.iter().take(top) {
+        println!("{v}\t{s:.6e}");
+    }
+}
+
+/// `pcpm serve`: load one snapshot per positional path and serve them
+/// until SIGTERM/SIGINT or a protocol `shutdown` request.
+fn run_serve(opts: &Options) -> Result<(), String> {
+    let mut engines = Vec::new();
+    for path in std::iter::once(&opts.path).chain(&opts.extra) {
+        let spec = EngineSpec::open(path).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "# engine {}: {} ({} nodes, {} edges{}, {} bins, loaded in {:?})",
+            engines.len(),
+            path,
+            spec.snapshot.graph().num_nodes(),
+            spec.snapshot.graph().num_edges(),
+            if spec.snapshot.is_weighted() {
+                ", weighted"
+            } else {
+                ""
+            },
+            spec.snapshot.bin_format(),
+            spec.load,
+        );
+        engines.push(spec);
+    }
+    let sc = ServerConfig {
+        workers: opts.workers,
+        threads: opts.threads,
+    };
+    let server = pcpm::serve::Server::bind(opts.listen.as_str(), engines, sc)
+        .map_err(|e| format!("bind {}: {e}", opts.listen))?;
+    install_termination_handler(server.shutdown_flag());
+    eprintln!(
+        "# serving on {} with {} workers (stop: SIGTERM or `pcpm query {} --op shutdown`)",
+        server.local_addr(),
+        opts.workers,
+        server.local_addr(),
+    );
+    server.run().map_err(|e| e.to_string())
+}
+
+fn query_params(opts: &Options) -> QueryParams {
+    QueryParams {
+        iterations: opts.iters.unwrap_or(20) as u32,
+        damping: opts.damping,
+        tolerance: opts.tolerance,
+        redistribute_dangling: false,
+    }
+}
+
+fn serve_err(e: ServeError) -> String {
+    e.to_string()
+}
+
+/// `pcpm query`: one operation against a running `pcpm serve`.
+fn run_query(opts: &Options) -> Result<(), String> {
+    let mut client =
+        Client::connect(opts.path.as_str()).map_err(|e| format!("connect {}: {e}", opts.path))?;
+    match opts.op.as_str() {
+        "health" => {
+            let (epoch, engines) = client.health().map_err(serve_err)?;
+            println!("epoch {epoch}, {engines} engine(s)");
+        }
+        "stats" => {
+            let s = client.stats().map_err(serve_err)?;
+            eprintln!("# epoch {}, uptime {:?}", s.epoch, s.uptime);
+            for e in &s.engines {
+                eprintln!(
+                    "# engine: {} ({} nodes, {} edges{}, {} bins, {} B partitions, loaded in {:?})",
+                    e.path,
+                    e.nodes,
+                    e.edges,
+                    if e.weighted { ", weighted" } else { "" },
+                    e.bin_format,
+                    e.partition_bytes,
+                    e.load,
+                );
+            }
+            println!("kind\tcount\terrors\tp50_us\tp99_us");
+            for q in s.queries.iter().filter(|q| q.count > 0) {
+                println!(
+                    "{}\t{}\t{}\t{}\t{}",
+                    q.name(),
+                    q.count,
+                    q.errors,
+                    q.quantile_upper_us(0.50).unwrap_or(0),
+                    q.quantile_upper_us(0.99).unwrap_or(0),
+                );
+            }
+        }
+        "pagerank" => {
+            let r = client
+                .pagerank(opts.engine, &query_params(opts))
+                .map_err(serve_err)?;
+            eprintln!(
+                "# epoch {}, {} iterations ({})",
+                r.epoch,
+                r.iterations,
+                if r.converged { "converged" } else { "cap" }
+            );
+            print_top_ranks(&r.scores, opts.top);
+        }
+        "ppr" => {
+            if opts.seeds.is_empty() {
+                return Err("query --op ppr needs --seeds 1,2,3".into());
+            }
+            let r = client
+                .personalized_pagerank(opts.engine, &query_params(opts), &opts.seeds)
+                .map_err(serve_err)?;
+            eprintln!(
+                "# epoch {}, {} iterations ({})",
+                r.epoch,
+                r.iterations,
+                if r.converged { "converged" } else { "cap" }
+            );
+            print_top_ranks(&r.scores, opts.top);
+        }
+        "bfs" => {
+            let (epoch, levels) = client.bfs(opts.engine, opts.source).map_err(serve_err)?;
+            let reached = levels.iter().filter(|&&l| l != u32::MAX).count();
+            eprintln!("# epoch {epoch}, {reached} reached from {}", opts.source);
+            let mut hist = std::collections::BTreeMap::new();
+            for &l in levels.iter().filter(|&&l| l != u32::MAX) {
+                *hist.entry(l).or_insert(0u64) += 1;
+            }
+            for (level, count) in hist {
+                println!("{level}\t{count}");
+            }
+        }
+        "sssp" => {
+            let (epoch, dist) = client.sssp(opts.engine, opts.source).map_err(serve_err)?;
+            let finite = dist.iter().filter(|d| d.is_finite()).count();
+            eprintln!("# epoch {epoch}, {finite} reachable from {}", opts.source);
+            let mut ranked: Vec<(u32, f32)> = dist
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(_, d)| d.is_finite())
+                .map(|(v, d)| (v as u32, d))
+                .collect();
+            ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+            for (v, d) in ranked.iter().take(opts.top) {
+                println!("{v}\t{d:.4}");
+            }
+        }
+        "update" => {
+            let path = opts
+                .updates
+                .as_deref()
+                .ok_or("query --op update needs --updates FILE")?;
+            let data = std::fs::read(path).map_err(|e| e.to_string())?;
+            // The server re-validates node ranges against its own graph.
+            let batches = read_updates_auto(&data, u32::MAX).map_err(|e| e.to_string())?;
+            for (i, batch) in batches.iter().enumerate() {
+                let r = client.update(opts.engine, batch).map_err(serve_err)?;
+                let mode = match r.outcome {
+                    UpdateOutcome::Repaired(_) => "repair",
+                    UpdateOutcome::Rebuilt => "rebuild",
+                };
+                println!(
+                    "batch {i}: epoch {}, {mode}, {} applied, {} ignored",
+                    r.epoch, r.applied, r.ignored
+                );
+            }
+        }
+        "shutdown" => {
+            let epoch = client.shutdown().map_err(serve_err)?;
+            println!("server draining at epoch {epoch}");
+        }
+        other => {
+            return Err(format!(
+                "unknown op '{other}' (expected health|stats|pagerank|ppr|bfs|sssp|update|shutdown)"
+            ))
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let opts = parse_args()?;
     if opts.command == "gen" {
         // The positional path is the *output*; nothing to load.
         return run_gen(&opts);
+    }
+    if opts.command == "serve" {
+        // Positional paths are snapshots, not a graph.
+        return run_serve(&opts);
+    }
+    if opts.command == "query" {
+        // The positional path is the server address.
+        return run_query(&opts);
     }
     let (graph, weights) = load(&opts)?;
     let cfg = config(&opts);
@@ -585,17 +849,30 @@ fn run() -> Result<(), String> {
                     report.aux_memory_bytes / 1024
                 );
             }
-            let mut ranked: Vec<(u32, f32)> = r
-                .scores
-                .iter()
-                .copied()
-                .enumerate()
-                .map(|(v, s)| (v as u32, s))
-                .collect();
-            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
-            for (v, s) in ranked.iter().take(opts.top) {
-                println!("{v}\t{s:.6e}");
+            print_top_ranks(&r.scores, opts.top);
+        }
+        "ppr" => {
+            if weights.is_some() {
+                return Err(
+                    "ppr serves unweighted graphs (weights in the .mtx would be ignored)".into(),
+                );
             }
+            if opts.seeds.is_empty() {
+                return Err("ppr needs --seeds 1,2,3".into());
+            }
+            // Shares the pagerank cache path: PPR runs on the same
+            // (+, x) engine, so one snapshot serves both.
+            let mut engine = pagerank_engine(&opts, &graph, &weights, &cfg)?;
+            let r =
+                personalized_pagerank_with_unified_engine(&graph, &opts.seeds, &cfg, &mut engine)
+                    .map_err(|e| e.to_string())?;
+            eprintln!(
+                "# {} iterations ({}), {} seeds",
+                r.iterations,
+                if r.converged { "converged" } else { "cap" },
+                opts.seeds.len(),
+            );
+            print_top_ranks(&r.scores, opts.top);
         }
         "components" => {
             let labels =
@@ -658,7 +935,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("pcpm: {e}");
             eprintln!(
-                "usage: pcpm <stats|pagerank|components|bfs|sssp|convert|gen|gen-updates|stream|build-cache> <graph> [flags]"
+                "usage: pcpm <stats|pagerank|ppr|components|bfs|sssp|convert|gen|gen-updates|stream|build-cache|serve|query> <graph|snapshot|addr> [flags]"
             );
             ExitCode::from(2)
         }

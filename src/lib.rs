@@ -17,7 +17,10 @@
 //! - [`baselines`] — PDPR (pull), push, BVGAS, edge-centric and grid
 //!   kernels, each also pluggable as a backend (`pcpm-baselines`);
 //! - [`memsim`] — the cache simulator, traffic replays and analytical
-//!   models (`pcpm-memsim`).
+//!   models (`pcpm-memsim`);
+//! - [`serve`] — the long-lived query dataplane: `.pcpmc` snapshots
+//!   served over TCP with a worker pool, epoch-tagged answers and
+//!   RCU-style engine swaps on update (`pcpm-serve`).
 //!
 //! # Quick start
 //!
@@ -81,14 +84,16 @@ pub use pcpm_baselines as baselines;
 pub use pcpm_core as core;
 pub use pcpm_graph as graph;
 pub use pcpm_memsim as memsim;
+pub use pcpm_serve as serve;
 pub use pcpm_stream as stream;
 
 /// Commonly used items for `use pcpm::prelude::*`.
 pub mod prelude {
     pub use pcpm_algos::{
-        bfs_levels, bfs_levels_on, connected_components, connected_components_on,
-        incremental_pagerank, personalized_pagerank, personalized_pagerank_on, propagation_engine,
-        run_to_fixpoint, sssp, sssp_on, weighted_pagerank, weighted_pagerank_on,
+        bfs_levels, bfs_levels_on, bfs_levels_with_engine, connected_components,
+        connected_components_on, incremental_pagerank, personalized_pagerank,
+        personalized_pagerank_on, personalized_pagerank_with_unified_engine, propagation_engine,
+        run_to_fixpoint, sssp, sssp_on, sssp_with_engine, weighted_pagerank, weighted_pagerank_on,
         weighted_pagerank_with_unified_engine,
     };
     pub use pcpm_baselines::{bvgas, pdpr, push_pagerank, serial_pagerank};
@@ -102,8 +107,10 @@ pub mod prelude {
     pub use pcpm_core::{EdgeOp, EdgeUpdate, RepairStats, UpdateBatch, UpdateOutcome};
     pub use pcpm_graph::gen::{RmatConfig, WebConfig};
     pub use pcpm_graph::{Csr, EdgeWeights, GraphBuilder};
+    pub use pcpm_serve::{Client, EngineSpec, QueryParams, Server, ServerConfig};
     pub use pcpm_stream::{
-        gen_updates, replay, DeltaGraph, ReplayConfig, UpdateGenConfig, UpdateLog,
+        gen_updates, read_updates_auto, replay, write_updates_binary, DeltaGraph, ReplayConfig,
+        UpdateGenConfig, UpdateLog,
     };
 
     // Pre-redesign entry points, kept one release for migration.
