@@ -73,6 +73,7 @@ impl Backend<PlusF32> for PdprBackend {
             compression_ratio: None,
             bin_format: None,
             bin_compression: None,
+            dest_stream_bytes: None,
         }
     }
 }
@@ -116,6 +117,7 @@ impl Backend<PlusF32> for BvgasBackend {
             compression_ratio: None,
             bin_format: None,
             bin_compression: None,
+            dest_stream_bytes: None,
         }
     }
 }
@@ -155,6 +157,7 @@ impl Backend<PlusF32> for EdgeCentricRunnerBackend {
             compression_ratio: None,
             bin_format: None,
             bin_compression: None,
+            dest_stream_bytes: None,
         }
     }
 }
@@ -190,6 +193,7 @@ impl Backend<PlusF32> for GridBackend {
             compression_ratio: None,
             bin_format: None,
             bin_compression: None,
+            dest_stream_bytes: None,
         }
     }
 }

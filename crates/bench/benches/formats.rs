@@ -26,6 +26,8 @@ struct FormatRow {
     preprocess_us: f64,
     aux_memory_bytes: u64,
     dest_compression: f64,
+    dest_stream_bytes: u64,
+    dest_gbps: f64,
 }
 
 fn main() {
@@ -65,6 +67,10 @@ fn main() {
             preprocess_us: report.preprocess.as_secs_f64() * 1e6,
             aux_memory_bytes: report.aux_memory_bytes,
             dest_compression: report.bin_compression.expect("pcpm reports compression"),
+            dest_stream_bytes: report
+                .dest_stream_bytes
+                .expect("pcpm reports dest-stream bytes"),
+            dest_gbps: report.dest_stream_gbps().unwrap_or(0.0),
         });
     }
 
@@ -75,13 +81,19 @@ fn main() {
         g.num_edges()
     );
     println!(
-        "{:<8} {:>12} {:>14} {:>12} {:>10}",
-        "format", "step(us)", "preprocess(us)", "aux(bytes)", "dest-comp"
+        "{:<8} {:>12} {:>14} {:>12} {:>10} {:>14} {:>10}",
+        "format", "step(us)", "preprocess(us)", "aux(bytes)", "dest-comp", "stream(B/step)", "GB/s"
     );
     for r in &rows {
         println!(
-            "{:<8} {:>12.1} {:>14.1} {:>12} {:>10.2}",
-            r.name, r.step_us, r.preprocess_us, r.aux_memory_bytes, r.dest_compression
+            "{:<8} {:>12.1} {:>14.1} {:>12} {:>10.2} {:>14} {:>10.2}",
+            r.name,
+            r.step_us,
+            r.preprocess_us,
+            r.aux_memory_bytes,
+            r.dest_compression,
+            r.dest_stream_bytes,
+            r.dest_gbps
         );
     }
 
@@ -104,12 +116,15 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"step_us\": {:.3}, \"preprocess_us\": {:.3}, \
-             \"aux_memory_bytes\": {}, \"dest_compression\": {:.4}}}{}\n",
+             \"aux_memory_bytes\": {}, \"dest_compression\": {:.4}, \
+             \"dest_stream_bytes\": {}, \"dest_gbps\": {:.3}}}{}\n",
             r.name,
             r.step_us,
             r.preprocess_us,
             r.aux_memory_bytes,
             r.dest_compression,
+            r.dest_stream_bytes,
+            r.dest_gbps,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

@@ -94,6 +94,7 @@ fn main() {
         ServerConfig {
             workers: CLIENTS,
             threads: None,
+            metrics_addr: None,
         },
     )
     .expect("bind");
@@ -175,6 +176,16 @@ fn main() {
     assert_eq!(r.epoch, UPDATE_BATCHES as u64);
     rows.push(update_row);
 
+    // Server-side view of the same run, through the shared human
+    // formatter (`ServerStats::render_human`, also used by
+    // `pcpm query stats`): per-kind p50/p90/p99, error rates, and the
+    // queue-wait vs execution split.
+    let server_stats = check.stats().expect("stats");
+    assert_eq!(server_stats.epoch, UPDATE_BATCHES as u64);
+    assert_eq!(server_stats.writer_publishes, UPDATE_BATCHES as u64);
+    println!("--- server-side stats ---");
+    print!("{}", server_stats.render_human());
+
     handle.shutdown();
     handle.join().expect("server drain");
 
@@ -207,6 +218,14 @@ fn main() {
     json.push_str(&format!("  \"iterations\": {ITERATIONS},\n"));
     json.push_str(&format!("  \"workers\": {CLIENTS},\n"));
     json.push_str(&format!("  \"update_batch_size\": {UPDATE_BATCH_SIZE},\n"));
+    json.push_str(&format!(
+        "  \"server\": {{\"writer_publishes\": {}, \"writer_publish_us_total\": {}, \
+         \"connections_dispatched\": {}, \"mean_queue_wait_us\": {:.1}}},\n",
+        server_stats.writer_publishes,
+        server_stats.writer_publish_us_total,
+        server_stats.connections_dispatched,
+        server_stats.mean_queue_wait_us()
+    ));
     json.push_str("  \"loops\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(

@@ -113,6 +113,10 @@ pub struct BackendMetrics {
     /// (`4·|E| / dest-stream bytes`): 1.0 wide, 2.0 compact, measured
     /// for delta; `None` for backends without message bins.
     pub bin_compression: Option<f64>,
+    /// Physical bytes of the destination-ID bin stream scanned by one
+    /// gather pass — the paper's bandwidth-bound term; `None` for
+    /// backends without message bins.
+    pub dest_stream_bytes: Option<u64>,
 }
 
 /// A pluggable dataplane: pre-processed state that can run one
@@ -222,6 +226,16 @@ pub struct ExecutionReport {
     /// Snapshot load wall-clock, present exactly when
     /// [`Self::loaded_from_snapshot`] is set.
     pub snapshot_load: Option<Duration>,
+    /// Bytes of the destID bin stream one gather pass scans, for
+    /// backends with message bins ([`BackendMetrics::dest_stream_bytes`]).
+    pub dest_stream_bytes: Option<u64>,
+    /// Rayon workers spawned process-wide since this engine was
+    /// constructed (`rayon::diagnostics`). Includes other engines'
+    /// pools when several coexist.
+    pub pool_workers_spawned: u64,
+    /// Rayon jobs dispatched process-wide since this engine was
+    /// constructed (`rayon::diagnostics`).
+    pub pool_jobs_dispatched: u64,
 }
 
 impl ExecutionReport {
@@ -234,6 +248,26 @@ impl ExecutionReport {
         } else {
             num_edges as f64 / per_round / 1e9
         }
+    }
+
+    /// Total destID-stream bytes scanned across every gather pass so
+    /// far (one full scan per step).
+    pub fn dest_stream_total_bytes(&self) -> Option<u64> {
+        self.dest_stream_bytes.map(|b| b * self.steps as u64)
+    }
+
+    /// Effective sequential bandwidth of the destID bin stream — total
+    /// stream bytes scanned divided by cumulative gather wall-clock, in
+    /// GB/s. This is the paper's headline number: PCPM wins exactly when
+    /// this approaches DRAM bandwidth. `None` for backends without
+    /// message bins or before the first step.
+    pub fn dest_stream_gbps(&self) -> Option<f64> {
+        let total = self.dest_stream_total_bytes()?;
+        let secs = self.timings.gather.as_secs_f64();
+        if total == 0 || secs == 0.0 {
+            return None;
+        }
+        Some(total as f64 / secs / 1e9)
     }
 }
 
@@ -264,6 +298,19 @@ pub struct Engine<A: Algebra> {
     /// Snapshot load wall-clock when the engine was rehydrated through
     /// [`Engine::from_snapshot`] instead of `prepare`.
     snapshot_load: Option<Duration>,
+    /// `rayon::diagnostics` (workers_spawned, jobs_dispatched) at
+    /// construction; [`Engine::report`] subtracts it so pool behaviour
+    /// shows up in the same report as kernel timings.
+    diag_base: (u64, u64),
+}
+
+/// The process-wide rayon diagnostics counters an engine baselines at
+/// construction.
+fn pool_diagnostics() -> (u64, u64) {
+    (
+        rayon::diagnostics::workers_spawned() as u64,
+        rayon::diagnostics::jobs_dispatched() as u64,
+    )
 }
 
 /// The retained build inputs behind [`Engine::save_snapshot`].
@@ -343,6 +390,7 @@ impl<A: Algebra> Engine<A> {
             recipe: None,
             source: None,
             snapshot_load: None,
+            diag_base: pool_diagnostics(),
         }
     }
 
@@ -443,11 +491,17 @@ impl<A: Algebra> Engine<A> {
                 got: y.len(),
             });
         }
+        let _span = crate::telemetry::span_n("step", self.steps as u64);
+        let tm = crate::telemetry::counters();
+        let jobs0 = tm.is_enabled().then(rayon::diagnostics::jobs_dispatched);
         let backend = &mut self.backend;
         let t = match &self.pool {
             Some(pool) => pool.install(|| backend.step(x, y))?,
             None => backend.step(x, y)?,
         };
+        if let Some(jobs0) = jobs0 {
+            tm.add_pool_jobs_dispatched((rayon::diagnostics::jobs_dispatched() - jobs0) as u64);
+        }
         self.steps += 1;
         self.timings += t;
         Ok(t)
@@ -515,6 +569,7 @@ impl<A: Algebra> Engine<A> {
                 partitions_total: 0,
             }));
         }
+        let _span = crate::telemetry::span_n("update", batch.len() as u64);
         let recipe = self.recipe;
         let spec = PrepareSpec {
             graph,
@@ -580,6 +635,7 @@ impl<A: Algebra> Engine<A> {
     /// The uniform execution report (preprocess + accumulated timings).
     pub fn report(&self) -> ExecutionReport {
         let m = self.backend.metrics();
+        let (workers, jobs) = pool_diagnostics();
         ExecutionReport {
             backend: m.name,
             steps: self.steps,
@@ -591,6 +647,9 @@ impl<A: Algebra> Engine<A> {
             bin_compression: m.bin_compression,
             loaded_from_snapshot: self.snapshot_load.is_some(),
             snapshot_load: self.snapshot_load,
+            dest_stream_bytes: m.dest_stream_bytes,
+            pool_workers_spawned: workers.saturating_sub(self.diag_base.0),
+            pool_jobs_dispatched: jobs.saturating_sub(self.diag_base.1),
         }
     }
 
@@ -797,6 +856,7 @@ impl<'g, A: Algebra> EngineBuilder<'g, A> {
             }),
             source,
             snapshot_load: None,
+            diag_base: pool_diagnostics(),
         })
     }
 
@@ -906,6 +966,7 @@ impl<A: Algebra> SnapshotEngineBuilder<A> {
             }),
             source: Some(EngineSource { graph, weights }),
             snapshot_load: Some(load),
+            diag_base: pool_diagnostics(),
         })
     }
 }
@@ -1043,6 +1104,7 @@ impl<A: Algebra, F: BinFormat> Backend<A> for PcpmBackend<A, F> {
             compression_ratio: Some(self.pipeline.compression_ratio()),
             bin_format: Some(F::KIND.name()),
             bin_compression: Some(self.pipeline.bin_compression()),
+            dest_stream_bytes: Some(self.pipeline.dest_stream_bytes()),
         }
     }
 
@@ -1162,6 +1224,7 @@ impl<A: Algebra> Backend<A> for PullBackend<A> {
             compression_ratio: None,
             bin_format: None,
             bin_compression: None,
+            dest_stream_bytes: None,
         }
     }
 }
@@ -1234,6 +1297,7 @@ impl<A: Algebra> Backend<A> for PushBackend<A> {
             compression_ratio: None,
             bin_format: None,
             bin_compression: None,
+            dest_stream_bytes: None,
         }
     }
 }
@@ -1352,6 +1416,7 @@ impl<A: Algebra> Backend<A> for EdgeCentricBackend<A> {
             compression_ratio: None,
             bin_format: None,
             bin_compression: None,
+            dest_stream_bytes: None,
         }
     }
 }

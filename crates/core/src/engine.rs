@@ -82,6 +82,7 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
         let src_parts = Partitioner::new(view.num_src(), q)?;
         let dst_parts = Partitioner::new(view.num_dst(), q)?;
         let t0 = Instant::now();
+        let _span = crate::telemetry::span("prepare");
         let png = Png::build(view, src_parts, dst_parts);
         F::validate_layout(&png)?;
         let bins = F::build(view, &png, weights);
@@ -156,6 +157,12 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
         self.png.compression_ratio()
     }
 
+    /// Physical bytes of the destination-ID bin stream — the sequential
+    /// scan every gather pass pays, the paper's bandwidth-bound term.
+    pub fn dest_stream_bytes(&self) -> u64 {
+        F::dest_stream_bytes(&self.bins)
+    }
+
     /// Pre-processing wall-clock time (PNG build + bin writing), Table 8.
     pub fn preprocess_time(&self) -> Duration {
         self.preprocess
@@ -209,6 +216,7 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
             touched[s as usize] = true;
         }
         let t0 = Instant::now();
+        let _span = crate::telemetry::span_n("repair", touched_parts.len() as u64);
         let old_did_region = self.png.did_region().to_vec();
         self.png.repair(view, touched_parts);
         F::repair(
@@ -221,10 +229,18 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
         );
         // Repair is (re-)pre-processing: fold it into the reported cost.
         self.preprocess += t0.elapsed();
-        Ok(RepairStats {
+        let stats = RepairStats {
             partitions_rebuilt: touched_parts.len() as u32,
             partitions_total: k,
-        })
+        };
+        let tm = crate::telemetry::counters();
+        tm.add_partitions_repaired(u64::from(stats.partitions_rebuilt));
+        tm.add_partitions_copied(u64::from(
+            stats
+                .partitions_total
+                .saturating_sub(stats.partitions_rebuilt),
+        ));
+        Ok(stats)
     }
 
     /// One `y = ⊕ Aᵀ·x` round with explicit phase variants.
@@ -253,27 +269,47 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
             });
         }
         let t0 = Instant::now();
-        match scatter {
-            ScatterKind::Png => F::scatter_into(&self.png, x, &mut self.bins),
-            ScatterKind::CsrTraversal => {
-                let g = graph.ok_or(PcpmError::BadConfig(
-                    "CsrTraversal scatter requires the original graph",
-                ))?;
-                csr_scatter(
-                    EdgeView::from_csr(g),
-                    &self.png,
-                    x,
-                    F::updates_mut(&mut self.bins),
-                );
+        {
+            let _span = crate::telemetry::span("scatter");
+            match scatter {
+                ScatterKind::Png => F::scatter_into(&self.png, x, &mut self.bins),
+                ScatterKind::CsrTraversal => {
+                    let g = graph.ok_or(PcpmError::BadConfig(
+                        "CsrTraversal scatter requires the original graph",
+                    ))?;
+                    csr_scatter(
+                        EdgeView::from_csr(g),
+                        &self.png,
+                        x,
+                        F::updates_mut(&mut self.bins),
+                    );
+                }
             }
         }
         let scatter_t = t0.elapsed();
         let t1 = Instant::now();
-        match gather {
-            GatherKind::BranchAvoiding => F::gather_from::<A>(&self.png, &self.bins, y),
-            GatherKind::Branchy => F::gather_branchy_from::<A>(&self.png, &self.bins, y)?,
+        {
+            let _span = crate::telemetry::span("gather");
+            match gather {
+                GatherKind::BranchAvoiding => F::gather_from::<A>(&self.png, &self.bins, y),
+                GatherKind::Branchy => F::gather_branchy_from::<A>(&self.png, &self.bins, y)?,
+            }
         }
         let gather_t = t1.elapsed();
+        // Phase-call-granularity counters from analytically known
+        // quantities: one relaxed add each, nothing per edge. The gather
+        // scans the whole destID stream once; the delta format decodes
+        // one varint per destID entry (= raw edge).
+        let tm = crate::telemetry::counters();
+        if tm.is_enabled() {
+            tm.add_scatter_ns(scatter_t.as_nanos() as u64);
+            tm.add_gather_ns(gather_t.as_nanos() as u64);
+            tm.add_dest_stream_bytes_read(F::dest_stream_bytes(&self.bins));
+            tm.add_bins_decoded(u64::from(self.png.dst_parts().num_partitions()));
+            if F::KIND == BinFormatKind::Delta {
+                tm.add_varint_decodes(self.png.num_raw_edges());
+            }
+        }
         Ok(PhaseTimings {
             scatter: scatter_t,
             gather: gather_t,
@@ -401,6 +437,11 @@ impl<A: Algebra> PcpmPipeline<A> {
     /// Destination-ID compression relative to the wide baseline.
     pub fn bin_compression(&self) -> f64 {
         with_pipeline!(self, p => p.bin_compression())
+    }
+
+    /// Physical bytes of the destination-ID bin stream.
+    pub fn dest_stream_bytes(&self) -> u64 {
+        with_pipeline!(self, p => p.dest_stream_bytes())
     }
 
     /// PNG compression ratio `r = |E| / |E'|`.

@@ -76,6 +76,7 @@ pub mod pr;
 pub mod scatter;
 pub mod snapshot;
 pub mod spmv;
+pub mod telemetry;
 pub mod update;
 
 pub use backend::{

@@ -114,7 +114,7 @@ impl Client {
     /// provenance.
     pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
         match self.call(&Request::Stats)? {
-            Response::Stats(s) => Ok(s),
+            Response::Stats(s) => Ok(*s),
             other => Err(Self::unexpected(&other)),
         }
     }

@@ -28,7 +28,9 @@ pub mod proto;
 pub mod server;
 
 pub use client::{Client, Ranks, ServeError};
+pub use metrics::{Metrics, METRIC_FAMILIES};
 pub use proto::{
-    ErrorCode, QueryParams, Request, Response, ServerStats, UpdateReply, PROTOCOL_VERSION,
+    ErrorCode, QueryParams, QueryStat, Request, Response, ServerStats, SlowQuery, UpdateReply,
+    PROTOCOL_VERSION,
 };
 pub use server::{install_termination_handler, EngineSpec, Server, ServerConfig, ServerHandle};

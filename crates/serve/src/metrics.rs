@@ -1,14 +1,26 @@
 //! Lock-free per-request metrics: counters plus a fixed-bucket latency
-//! histogram per request kind, snapshotted by the `stats` request.
+//! histogram per request kind, snapshotted by the `stats` request and
+//! rendered as Prometheus text exposition for `--metrics-addr`.
 
-use crate::proto::{QueryStat, NUM_LATENCY_BUCKETS, NUM_REQUEST_KINDS};
+use crate::proto::{QueryStat, ServerStats, SlowQuery, NUM_LATENCY_BUCKETS, NUM_REQUEST_KINDS};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Capacity of the slow-query ring buffer; the oldest entry is evicted
+/// once it is full.
+pub const SLOW_QUERY_RING_CAPACITY: usize = 32;
+
+/// Execution-time threshold above which a request is captured in the
+/// slow-query ring.
+pub const SLOW_QUERY_THRESHOLD: Duration = Duration::from_micros(1000);
 
 /// One request kind's counters.
 struct KindMetrics {
     count: AtomicU64,
     errors: AtomicU64,
+    exec_us_total: AtomicU64,
     buckets: [AtomicU64; NUM_LATENCY_BUCKETS],
 }
 
@@ -17,6 +29,7 @@ impl KindMetrics {
         Self {
             count: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            exec_us_total: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -28,6 +41,19 @@ impl KindMetrics {
 pub struct Metrics {
     start: Instant,
     kinds: [KindMetrics; NUM_REQUEST_KINDS],
+    /// Total time connections spent queued between accept and dispatch.
+    queue_wait_us_total: AtomicU64,
+    /// Connections handed from the acceptor to a worker.
+    connections_dispatched: AtomicU64,
+    /// Connections accepted but not yet picked up by a worker.
+    queue_depth: AtomicU64,
+    /// Update batches published by the writer thread.
+    writer_publishes: AtomicU64,
+    /// Total wall-clock the writer spent swapping in new epochs.
+    writer_publish_us_total: AtomicU64,
+    /// Bounded ring of the slowest recent requests (exec time over
+    /// [`SLOW_QUERY_THRESHOLD`]).
+    slow: Mutex<VecDeque<SlowQuery>>,
 }
 
 impl Metrics {
@@ -36,12 +62,20 @@ impl Metrics {
         Self {
             start: Instant::now(),
             kinds: std::array::from_fn(|_| KindMetrics::new()),
+            queue_wait_us_total: AtomicU64::new(0),
+            connections_dispatched: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            writer_publishes: AtomicU64::new(0),
+            writer_publish_us_total: AtomicU64::new(0),
+            slow: Mutex::new(VecDeque::with_capacity(SLOW_QUERY_RING_CAPACITY)),
         }
     }
 
-    /// Records one handled request of `kind` that took `latency`;
-    /// `error` marks requests answered with a typed error reply.
-    pub fn record(&self, kind: u8, latency: Duration, error: bool) {
+    /// Records one handled request of `kind` whose handler ran for
+    /// `exec`; `error` marks requests answered with a typed error reply.
+    /// Requests over [`SLOW_QUERY_THRESHOLD`] also land in the
+    /// slow-query ring tagged with the serving `epoch`.
+    pub fn record(&self, kind: u8, exec: Duration, error: bool, epoch: u64) {
         let Some(k) = self.kinds.get(kind as usize) else {
             return;
         };
@@ -49,11 +83,48 @@ impl Metrics {
         if error {
             k.errors.fetch_add(1, Ordering::Relaxed);
         }
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let us = exec.as_micros().min(u128::from(u64::MAX)) as u64;
+        k.exec_us_total.fetch_add(us, Ordering::Relaxed);
         // Bucket i counts latencies < 2^i us; 64 - leading_zeros gives
         // the index of the first power of two strictly above `us`.
         let idx = (64 - us.leading_zeros() as usize).min(NUM_LATENCY_BUCKETS - 1);
         k.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        if exec >= SLOW_QUERY_THRESHOLD {
+            if let Ok(mut ring) = self.slow.lock() {
+                if ring.len() == SLOW_QUERY_RING_CAPACITY {
+                    ring.pop_front();
+                }
+                ring.push_back(SlowQuery {
+                    kind,
+                    exec_us: us,
+                    epoch,
+                });
+            }
+        }
+    }
+
+    /// Called by the acceptor when a connection enters the dispatch
+    /// queue.
+    pub fn connection_queued(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Called by a worker when it picks a connection up, with the time
+    /// the connection spent waiting in the queue.
+    pub fn connection_dispatched(&self, wait: Duration) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.connections_dispatched.fetch_add(1, Ordering::Relaxed);
+        let us = wait.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.queue_wait_us_total.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Called by the writer thread after publishing a new epoch, with
+    /// the wall-clock the swap took.
+    pub fn writer_published(&self, took: Duration) {
+        self.writer_publishes.fetch_add(1, Ordering::Relaxed);
+        let us = took.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.writer_publish_us_total
+            .fetch_add(us, Ordering::Relaxed);
     }
 
     /// Time since the server started.
@@ -70,11 +141,175 @@ impl Metrics {
                 kind: kind as u8,
                 count: k.count.load(Ordering::Relaxed),
                 errors: k.errors.load(Ordering::Relaxed),
+                exec_us_total: k.exec_us_total.load(Ordering::Relaxed),
                 buckets: std::array::from_fn(|i| k.buckets[i].load(Ordering::Relaxed)),
             })
             .collect()
     }
+
+    /// Snapshot the queue/writer/slow-query side of the metrics into
+    /// the extended [`ServerStats`] fields (everything except `epoch`,
+    /// `queries` and `engines`, which the caller owns).
+    pub fn fill_stats(&self, stats: &mut ServerStats) {
+        stats.uptime = self.uptime();
+        stats.queue_wait_us_total = self.queue_wait_us_total.load(Ordering::Relaxed);
+        stats.connections_dispatched = self.connections_dispatched.load(Ordering::Relaxed);
+        stats.queue_depth = self.queue_depth.load(Ordering::Relaxed);
+        stats.writer_publishes = self.writer_publishes.load(Ordering::Relaxed);
+        stats.writer_publish_us_total = self.writer_publish_us_total.load(Ordering::Relaxed);
+        stats.slow_queries = self
+            .slow
+            .lock()
+            .map(|ring| ring.iter().cloned().collect())
+            .unwrap_or_default();
+    }
+
+    /// Render the full metric set as Prometheus text exposition
+    /// (version 0.0.4). `epoch` is the current serving epoch.
+    pub fn render_prometheus(&self, epoch: u64) -> String {
+        let snap = self.snapshot();
+        let mut out = String::with_capacity(8192);
+
+        out.push_str("# HELP pcpm_requests_total Requests handled, by request kind.\n");
+        out.push_str("# TYPE pcpm_requests_total counter\n");
+        for q in &snap {
+            push_labeled(&mut out, "pcpm_requests_total", q.name(), None, q.count);
+        }
+
+        out.push_str("# HELP pcpm_request_errors_total Requests answered with a typed error.\n");
+        out.push_str("# TYPE pcpm_request_errors_total counter\n");
+        for q in &snap {
+            push_labeled(
+                &mut out,
+                "pcpm_request_errors_total",
+                q.name(),
+                None,
+                q.errors,
+            );
+        }
+
+        out.push_str(
+            "# HELP pcpm_request_latency_seconds Request handler latency, by request kind.\n",
+        );
+        out.push_str("# TYPE pcpm_request_latency_seconds histogram\n");
+        for q in &snap {
+            let name = q.name();
+            let mut cumulative = 0u64;
+            for (i, &b) in q.buckets.iter().enumerate() {
+                cumulative += b;
+                // Bucket i counts latencies < 2^i us; re-express the
+                // upper bound in seconds for the `le` label.
+                let le = format!("{:.6}", (1u64 << i) as f64 / 1e6);
+                push_labeled(
+                    &mut out,
+                    "pcpm_request_latency_seconds_bucket",
+                    name,
+                    Some(&le),
+                    cumulative,
+                );
+            }
+            push_labeled(
+                &mut out,
+                "pcpm_request_latency_seconds_bucket",
+                name,
+                Some("+Inf"),
+                cumulative,
+            );
+            out.push_str(&format!(
+                "pcpm_request_latency_seconds_sum{{kind=\"{}\"}} {:.6}\n",
+                name,
+                q.exec_us_total as f64 / 1e6
+            ));
+            push_labeled(
+                &mut out,
+                "pcpm_request_latency_seconds_count",
+                name,
+                None,
+                q.count,
+            );
+        }
+
+        out.push_str(
+            "# HELP pcpm_queue_wait_seconds_total Total time connections waited between accept and dispatch.\n",
+        );
+        out.push_str("# TYPE pcpm_queue_wait_seconds_total counter\n");
+        out.push_str(&format!(
+            "pcpm_queue_wait_seconds_total {:.6}\n",
+            self.queue_wait_us_total.load(Ordering::Relaxed) as f64 / 1e6
+        ));
+
+        out.push_str(
+            "# HELP pcpm_connections_dispatched_total Connections handed from the acceptor to a worker.\n",
+        );
+        out.push_str("# TYPE pcpm_connections_dispatched_total counter\n");
+        out.push_str(&format!(
+            "pcpm_connections_dispatched_total {}\n",
+            self.connections_dispatched.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP pcpm_queue_depth Connections accepted but not yet dispatched.\n");
+        out.push_str("# TYPE pcpm_queue_depth gauge\n");
+        out.push_str(&format!(
+            "pcpm_queue_depth {}\n",
+            self.queue_depth.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP pcpm_epoch Current serving epoch.\n");
+        out.push_str("# TYPE pcpm_epoch gauge\n");
+        out.push_str(&format!("pcpm_epoch {epoch}\n"));
+
+        out.push_str(
+            "# HELP pcpm_writer_publishes_total Update batches published by the writer thread.\n",
+        );
+        out.push_str("# TYPE pcpm_writer_publishes_total counter\n");
+        out.push_str(&format!(
+            "pcpm_writer_publishes_total {}\n",
+            self.writer_publishes.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP pcpm_writer_publish_seconds_total Total wall-clock the writer spent swapping in new epochs.\n",
+        );
+        out.push_str("# TYPE pcpm_writer_publish_seconds_total counter\n");
+        out.push_str(&format!(
+            "pcpm_writer_publish_seconds_total {:.6}\n",
+            self.writer_publish_us_total.load(Ordering::Relaxed) as f64 / 1e6
+        ));
+
+        out.push_str("# HELP pcpm_uptime_seconds Time since the server started.\n");
+        out.push_str("# TYPE pcpm_uptime_seconds gauge\n");
+        out.push_str(&format!(
+            "pcpm_uptime_seconds {:.3}\n",
+            self.uptime().as_secs_f64()
+        ));
+
+        out
+    }
 }
+
+fn push_labeled(out: &mut String, family: &str, kind: &str, le: Option<&str>, value: u64) {
+    match le {
+        Some(le) => out.push_str(&format!(
+            "{family}{{kind=\"{kind}\",le=\"{le}\"}} {value}\n"
+        )),
+        None => out.push_str(&format!("{family}{{kind=\"{kind}\"}} {value}\n")),
+    }
+}
+
+/// The fixed set of metric family names served by the exposition
+/// endpoint, for tests and smoke scripts to assert against.
+pub const METRIC_FAMILIES: [&str; 10] = [
+    "pcpm_requests_total",
+    "pcpm_request_errors_total",
+    "pcpm_request_latency_seconds",
+    "pcpm_queue_wait_seconds_total",
+    "pcpm_connections_dispatched_total",
+    "pcpm_queue_depth",
+    "pcpm_epoch",
+    "pcpm_writer_publishes_total",
+    "pcpm_writer_publish_seconds_total",
+    "pcpm_uptime_seconds",
+];
 
 impl Default for Metrics {
     fn default() -> Self {
@@ -89,11 +324,11 @@ mod tests {
     #[test]
     fn records_into_the_right_bucket() {
         let m = Metrics::new();
-        m.record(2, Duration::from_micros(0), false); // < 1 us -> bucket 0
-        m.record(2, Duration::from_micros(1), false); // < 2 us -> bucket 1
-        m.record(2, Duration::from_micros(7), false); // < 8 us -> bucket 3
-        m.record(2, Duration::from_micros(8), true); // < 16 us -> bucket 4
-        m.record(2, Duration::from_secs(3600), false); // clamps to last
+        m.record(2, Duration::from_micros(0), false, 0); // < 1 us -> bucket 0
+        m.record(2, Duration::from_micros(1), false, 0); // < 2 us -> bucket 1
+        m.record(2, Duration::from_micros(7), false, 0); // < 8 us -> bucket 3
+        m.record(2, Duration::from_micros(8), true, 0); // < 16 us -> bucket 4
+        m.record(2, Duration::from_secs(3600), false, 0); // clamps to last
         let snap = m.snapshot();
         let row = &snap[2];
         assert_eq!(row.count, 5);
@@ -103,7 +338,97 @@ mod tests {
         assert_eq!(row.buckets[3], 1);
         assert_eq!(row.buckets[4], 1);
         assert_eq!(row.buckets[NUM_LATENCY_BUCKETS - 1], 1);
+        assert_eq!(row.exec_us_total, 16 + 3_600_000_000);
         // Unknown kinds are dropped, not panicked on.
-        m.record(250, Duration::from_micros(1), false);
+        m.record(250, Duration::from_micros(1), false, 0);
+    }
+
+    #[test]
+    fn slow_query_ring_is_bounded_and_ordered() {
+        let m = Metrics::new();
+        // Below threshold: not captured.
+        m.record(2, Duration::from_micros(999), false, 1);
+        // Overfill the ring; the oldest entries must be evicted.
+        for i in 0..(SLOW_QUERY_RING_CAPACITY as u64 + 5) {
+            m.record(4, Duration::from_micros(1000 + i), false, i);
+        }
+        let mut stats = ServerStats::empty();
+        m.fill_stats(&mut stats);
+        assert_eq!(stats.slow_queries.len(), SLOW_QUERY_RING_CAPACITY);
+        // Oldest surviving entry is the 6th recorded one (5 evicted).
+        assert_eq!(stats.slow_queries[0].epoch, 5);
+        assert_eq!(stats.slow_queries[0].exec_us, 1005);
+        let last = stats.slow_queries.last().unwrap();
+        assert_eq!(last.kind, 4);
+        assert_eq!(last.epoch, SLOW_QUERY_RING_CAPACITY as u64 + 4);
+    }
+
+    #[test]
+    fn queue_accounting_tracks_depth_and_wait() {
+        let m = Metrics::new();
+        m.connection_queued();
+        m.connection_queued();
+        let mut stats = ServerStats::empty();
+        m.fill_stats(&mut stats);
+        assert_eq!(stats.queue_depth, 2);
+        m.connection_dispatched(Duration::from_micros(150));
+        m.connection_dispatched(Duration::from_micros(50));
+        m.fill_stats(&mut stats);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.connections_dispatched, 2);
+        assert_eq!(stats.queue_wait_us_total, 200);
+    }
+
+    #[test]
+    fn prometheus_exposition_golden() {
+        let m = Metrics::new();
+        m.record(2, Duration::from_micros(7), false, 0); // pagerank, bucket 3
+        m.record(2, Duration::from_micros(3), true, 0); // pagerank error, bucket 2
+        m.record(0, Duration::from_micros(0), false, 0); // health, bucket 0
+        m.connection_queued();
+        m.connection_dispatched(Duration::from_micros(500));
+        m.writer_published(Duration::from_micros(2500));
+        let text = m.render_prometheus(7);
+
+        // Every family is present with HELP/TYPE headers.
+        for family in METRIC_FAMILIES {
+            assert!(
+                text.contains(&format!("# TYPE {family}")),
+                "missing TYPE for {family} in:\n{text}"
+            );
+        }
+        // Exact counter lines.
+        assert!(text.contains("pcpm_requests_total{kind=\"pagerank\"} 2\n"));
+        assert!(text.contains("pcpm_requests_total{kind=\"health\"} 1\n"));
+        assert!(text.contains("pcpm_request_errors_total{kind=\"pagerank\"} 1\n"));
+        // Histogram buckets are cumulative: bucket le=4us (2^2) sees the
+        // 3us request, le=8us (2^3) sees both.
+        assert!(text.contains(
+            "pcpm_request_latency_seconds_bucket{kind=\"pagerank\",le=\"0.000004\"} 1\n"
+        ));
+        assert!(text.contains(
+            "pcpm_request_latency_seconds_bucket{kind=\"pagerank\",le=\"0.000008\"} 2\n"
+        ));
+        assert!(
+            text.contains("pcpm_request_latency_seconds_bucket{kind=\"pagerank\",le=\"+Inf\"} 2\n")
+        );
+        assert!(text.contains("pcpm_request_latency_seconds_sum{kind=\"pagerank\"} 0.000010\n"));
+        assert!(text.contains("pcpm_request_latency_seconds_count{kind=\"pagerank\"} 2\n"));
+        // Gauges and writer counters.
+        assert!(text.contains("pcpm_epoch 7\n"));
+        assert!(text.contains("pcpm_queue_depth 0\n"));
+        assert!(text.contains("pcpm_connections_dispatched_total 1\n"));
+        assert!(text.contains("pcpm_queue_wait_seconds_total 0.000500\n"));
+        assert!(text.contains("pcpm_writer_publishes_total 1\n"));
+        assert!(text.contains("pcpm_writer_publish_seconds_total 0.002500\n"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparsable value in {line:?}");
+        }
     }
 }

@@ -346,7 +346,7 @@ pub enum Response {
         engines: u16,
     },
     /// Metrics + provenance snapshot.
-    Stats(ServerStats),
+    Stats(Box<ServerStats>),
     /// PageRank / PPR scores.
     Ranks {
         /// Epoch the scores were computed against.
@@ -477,7 +477,7 @@ impl Response {
                 epoch: cur.u64()?,
                 engines: cur.u16()?,
             },
-            1 => Response::Stats(ServerStats::decode(&mut cur)?),
+            1 => Response::Stats(Box::new(ServerStats::decode(&mut cur)?)),
             2 => {
                 let epoch = cur.u64()?;
                 let iterations = cur.u32()?;
@@ -542,6 +542,8 @@ pub struct QueryStat {
     pub count: u64,
     /// Requests answered with a typed error.
     pub errors: u64,
+    /// Total handler execution time across all requests, microseconds.
+    pub exec_us_total: u64,
     /// `buckets[i]` counts requests that took `< 2^i` microseconds
     /// (and at least `2^(i-1)`); the last bucket absorbs the rest.
     pub buckets: [u64; NUM_LATENCY_BUCKETS],
@@ -571,6 +573,46 @@ impl QueryStat {
             }
         }
         Some(1u64 << (NUM_LATENCY_BUCKETS - 1))
+    }
+
+    /// Fraction of requests answered with a typed error, in `[0, 1]`.
+    pub fn error_rate(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.count as f64
+        }
+    }
+
+    /// Mean handler execution time in microseconds.
+    pub fn mean_exec_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.exec_us_total as f64 / self.count as f64
+        }
+    }
+}
+
+/// One entry of the bounded slow-query ring: a request whose handler
+/// exceeded the server's slow threshold.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// Wire request kind.
+    pub kind: u8,
+    /// Handler execution time, microseconds.
+    pub exec_us: u64,
+    /// Serving epoch the request ran against.
+    pub epoch: u64,
+}
+
+impl SlowQuery {
+    /// The request-kind name for this entry.
+    pub fn name(&self) -> &'static str {
+        REQUEST_KIND_NAMES
+            .get(self.kind as usize)
+            .copied()
+            .unwrap_or("unknown")
     }
 }
 
@@ -605,9 +647,111 @@ pub struct ServerStats {
     pub queries: Vec<QueryStat>,
     /// One row per loaded engine.
     pub engines: Vec<EngineInfo>,
+    /// Total time connections spent queued between accept and worker
+    /// dispatch, microseconds.
+    pub queue_wait_us_total: u64,
+    /// Connections handed from the acceptor to a worker.
+    pub connections_dispatched: u64,
+    /// Connections accepted but not yet dispatched, at snapshot time.
+    pub queue_depth: u64,
+    /// Update batches published by the writer thread.
+    pub writer_publishes: u64,
+    /// Total wall-clock the writer spent swapping in new epochs,
+    /// microseconds.
+    pub writer_publish_us_total: u64,
+    /// Bounded ring of recent slow requests, oldest first.
+    pub slow_queries: Vec<SlowQuery>,
 }
 
 impl ServerStats {
+    /// All-zero stats skeleton; callers fill the fields they own.
+    pub fn empty() -> Self {
+        Self {
+            epoch: 0,
+            uptime: Duration::ZERO,
+            queries: Vec::new(),
+            engines: Vec::new(),
+            queue_wait_us_total: 0,
+            connections_dispatched: 0,
+            queue_depth: 0,
+            writer_publishes: 0,
+            writer_publish_us_total: 0,
+            slow_queries: Vec::new(),
+        }
+    }
+
+    /// Mean queue wait per dispatched connection, microseconds.
+    pub fn mean_queue_wait_us(&self) -> f64 {
+        if self.connections_dispatched == 0 {
+            0.0
+        } else {
+            self.queue_wait_us_total as f64 / self.connections_dispatched as f64
+        }
+    }
+
+    /// Render the stats as the human-readable table shared by
+    /// `pcpm query stats` and the bench suite: per-kind counts, error
+    /// rates and p50/p90/p99 bucket upper bounds, followed by
+    /// queue/writer totals and the slow-query ring.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "epoch {}  uptime {:.1}s\n",
+            self.epoch,
+            self.uptime.as_secs_f64()
+        ));
+        out.push_str(
+            "kind                   count  errors  err%    p50_us    p90_us    p99_us   mean_us\n",
+        );
+        for q in &self.queries {
+            if q.count == 0 {
+                continue;
+            }
+            let p = |quantile: f64| -> String {
+                q.quantile_upper_us(quantile)
+                    .map(|v| format!("<{v}"))
+                    .unwrap_or_else(|| "-".into())
+            };
+            out.push_str(&format!(
+                "{:<22} {:>5} {:>7} {:>5.1} {:>9} {:>9} {:>9} {:>9.1}\n",
+                q.name(),
+                q.count,
+                q.errors,
+                q.error_rate() * 100.0,
+                p(0.50),
+                p(0.90),
+                p(0.99),
+                q.mean_exec_us(),
+            ));
+        }
+        out.push_str(&format!(
+            "queue: {} dispatched, depth {}, mean wait {:.1}us\n",
+            self.connections_dispatched,
+            self.queue_depth,
+            self.mean_queue_wait_us()
+        ));
+        out.push_str(&format!(
+            "writer: {} publishes, {:.3}ms total publish time\n",
+            self.writer_publishes,
+            self.writer_publish_us_total as f64 / 1e3
+        ));
+        if !self.slow_queries.is_empty() {
+            out.push_str(&format!(
+                "slow queries (last {}):\n",
+                self.slow_queries.len()
+            ));
+            for s in &self.slow_queries {
+                out.push_str(&format!(
+                    "  {:<22} {:>8}us  epoch {}\n",
+                    s.name(),
+                    s.exec_us,
+                    s.epoch
+                ));
+            }
+        }
+        out
+    }
+
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&self.epoch.to_le_bytes());
         buf.extend_from_slice(&(self.uptime.as_micros() as u64).to_le_bytes());
@@ -616,6 +760,7 @@ impl ServerStats {
             buf.push(q.kind);
             buf.extend_from_slice(&q.count.to_le_bytes());
             buf.extend_from_slice(&q.errors.to_le_bytes());
+            buf.extend_from_slice(&q.exec_us_total.to_le_bytes());
             for &b in &q.buckets {
                 buf.extend_from_slice(&b.to_le_bytes());
             }
@@ -632,6 +777,17 @@ impl ServerStats {
             buf.extend_from_slice(e.bin_format.as_bytes());
             buf.extend_from_slice(&e.partition_bytes.to_le_bytes());
         }
+        buf.extend_from_slice(&self.queue_wait_us_total.to_le_bytes());
+        buf.extend_from_slice(&self.connections_dispatched.to_le_bytes());
+        buf.extend_from_slice(&self.queue_depth.to_le_bytes());
+        buf.extend_from_slice(&self.writer_publishes.to_le_bytes());
+        buf.extend_from_slice(&self.writer_publish_us_total.to_le_bytes());
+        buf.extend_from_slice(&(self.slow_queries.len() as u16).to_le_bytes());
+        for s in &self.slow_queries {
+            buf.push(s.kind);
+            buf.extend_from_slice(&s.exec_us.to_le_bytes());
+            buf.extend_from_slice(&s.epoch.to_le_bytes());
+        }
     }
 
     fn decode(cur: &mut Cursor<'_>) -> Result<Self, ProtoError> {
@@ -643,6 +799,7 @@ impl ServerStats {
             let kind = cur.u8()?;
             let count = cur.u64()?;
             let errors = cur.u64()?;
+            let exec_us_total = cur.u64()?;
             let mut buckets = [0u64; NUM_LATENCY_BUCKETS];
             for b in &mut buckets {
                 *b = cur.u64()?;
@@ -651,6 +808,7 @@ impl ServerStats {
                 kind,
                 count,
                 errors,
+                exec_us_total,
                 buckets,
             });
         }
@@ -674,11 +832,34 @@ impl ServerStats {
                 partition_bytes,
             });
         }
+        let queue_wait_us_total = cur.u64()?;
+        let connections_dispatched = cur.u64()?;
+        let queue_depth = cur.u64()?;
+        let writer_publishes = cur.u64()?;
+        let writer_publish_us_total = cur.u64()?;
+        let ns = cur.u16()? as usize;
+        let mut slow_queries = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            let kind = cur.u8()?;
+            let exec_us = cur.u64()?;
+            let epoch = cur.u64()?;
+            slow_queries.push(SlowQuery {
+                kind,
+                exec_us,
+                epoch,
+            });
+        }
         Ok(Self {
             epoch,
             uptime,
             queries,
             engines,
+            queue_wait_us_total,
+            connections_dispatched,
+            queue_depth,
+            writer_publishes,
+            writer_publish_us_total,
+            slow_queries,
         })
     }
 }
@@ -924,13 +1105,14 @@ mod tests {
         });
         let mut buckets = [0u64; NUM_LATENCY_BUCKETS];
         buckets[4] = 17;
-        round_trip_response(Response::Stats(ServerStats {
+        round_trip_response(Response::Stats(Box::new(ServerStats {
             epoch: 3,
             uptime: Duration::from_micros(12345),
             queries: vec![QueryStat {
                 kind: 2,
                 count: 17,
                 errors: 1,
+                exec_us_total: 4242,
                 buckets,
             }],
             engines: vec![EngineInfo {
@@ -942,7 +1124,17 @@ mod tests {
                 bin_format: "wide".into(),
                 partition_bytes: 2048,
             }],
-        }));
+            queue_wait_us_total: 777,
+            connections_dispatched: 19,
+            queue_depth: 2,
+            writer_publishes: 3,
+            writer_publish_us_total: 9000,
+            slow_queries: vec![SlowQuery {
+                kind: 2,
+                exec_us: 1500,
+                epoch: 2,
+            }],
+        })));
     }
 
     #[test]
@@ -981,18 +1173,23 @@ mod tests {
         let q = QueryStat {
             kind: 2,
             count: 100,
-            errors: 0,
+            errors: 5,
+            exec_us_total: 1000,
             buckets,
         };
         assert_eq!(q.quantile_upper_us(0.5), Some(8));
         assert_eq!(q.quantile_upper_us(0.99), Some(1024));
+        assert!((q.error_rate() - 0.05).abs() < 1e-12);
+        assert!((q.mean_exec_us() - 10.0).abs() < 1e-12);
         let empty = QueryStat {
             kind: 0,
             count: 0,
             errors: 0,
+            exec_us_total: 0,
             buckets: [0; NUM_LATENCY_BUCKETS],
         };
         assert_eq!(empty.quantile_upper_us(0.5), None);
+        assert_eq!(empty.error_rate(), 0.0);
     }
 
     #[test]

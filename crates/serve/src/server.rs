@@ -45,7 +45,7 @@ use pcpm_core::pagerank::pagerank_with_unified_engine;
 use pcpm_core::{Engine, PcpmConfig, PcpmError, Snapshot, SnapshotEngineBuilder, UpdateBatch};
 use pcpm_graph::EdgeWeights;
 use pcpm_stream::{DeltaGraph, StreamError};
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -112,6 +112,9 @@ pub struct ServerConfig {
     /// Engine-owned thread-pool size for query execution (`None` =
     /// ambient pool).
     pub threads: Option<usize>,
+    /// When set, a second plain-TCP listener is bound here answering
+    /// any HTTP GET with Prometheus text exposition.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +122,7 @@ impl Default for ServerConfig {
         Self {
             workers: 4,
             threads: None,
+            metrics_addr: None,
         }
     }
 }
@@ -127,6 +131,8 @@ impl Default for ServerConfig {
 pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
+    metrics_listener: Option<TcpListener>,
+    metrics_addr: Option<SocketAddr>,
     state: Arc<Mutex<Arc<ServingState>>>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
@@ -136,6 +142,7 @@ pub struct Server {
 /// A running server spawned in background threads.
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shutdown: Arc<AtomicBool>,
     join: thread::JoinHandle<io::Result<()>>,
 }
@@ -144,6 +151,12 @@ impl ServerHandle {
     /// The bound address (use this to connect when binding port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound metrics-exposition address, when `--metrics-addr` was
+    /// configured (use this to scrape when binding port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Requests a graceful shutdown (drain in-flight, refuse new).
@@ -180,6 +193,14 @@ impl Server {
         }
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let (metrics_listener, metrics_addr) = match config.metrics_addr {
+            Some(maddr) => {
+                let l = TcpListener::bind(maddr)?;
+                let bound = l.local_addr()?;
+                (Some(l), Some(bound))
+            }
+            None => (None, None),
+        };
         let shards = engines
             .into_iter()
             .map(|e| Shard {
@@ -191,6 +212,8 @@ impl Server {
         Ok(Server {
             listener,
             addr,
+            metrics_listener,
+            metrics_addr,
             state: Arc::new(Mutex::new(Arc::new(ServingState { epoch: 0, shards }))),
             metrics: Arc::new(Metrics::new()),
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -201,6 +224,11 @@ impl Server {
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound metrics-exposition address, when configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// The shutdown flag; storing `true` drains and stops the server.
@@ -217,6 +245,8 @@ impl Server {
         let Server {
             listener,
             addr: _,
+            metrics_listener,
+            metrics_addr: _,
             state,
             metrics,
             shutdown,
@@ -227,13 +257,28 @@ impl Server {
         // Writer: the sole mutator of serving state.
         let (update_tx, update_rx) = mpsc::channel::<WriteJob>();
         let writer_state = Arc::clone(&state);
+        let writer_metrics = Arc::clone(&metrics);
         let writer = thread::Builder::new()
             .name("pcpm-serve-writer".into())
-            .spawn(move || writer_loop(writer_state, update_rx))
+            .spawn(move || writer_loop(writer_state, update_rx, writer_metrics))
             .expect("spawn writer");
 
-        // Workers: each pulls whole connections off a shared queue.
-        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        // Metrics exposition: a second listener answering any HTTP GET
+        // with Prometheus text; lives on its own thread, polls the
+        // shutdown flag.
+        let metrics_thread = metrics_listener.map(|ml| {
+            let m = Arc::clone(&metrics);
+            let s = Arc::clone(&state);
+            let sd = Arc::clone(&shutdown);
+            thread::Builder::new()
+                .name("pcpm-serve-metrics".into())
+                .spawn(move || metrics_http_loop(ml, s, m, sd))
+                .expect("spawn metrics listener")
+        });
+
+        // Workers: each pulls whole connections off a shared queue,
+        // stamped with their accept time for queue-wait accounting.
+        let (conn_tx, conn_rx) = mpsc::channel::<(TcpStream, Instant)>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
         let mut workers = Vec::with_capacity(config.workers);
         for w in 0..config.workers {
@@ -258,7 +303,8 @@ impl Server {
         while !shutdown.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _)) => {
-                    if conn_tx.send(stream).is_err() {
+                    metrics.connection_queued();
+                    if conn_tx.send((stream, Instant::now())).is_err() {
                         break;
                     }
                 }
@@ -275,6 +321,9 @@ impl Server {
             let _ = w.join();
         }
         let _ = writer.join();
+        if let Some(mt) = metrics_thread {
+            let _ = mt.join();
+        }
         Ok(())
     }
 
@@ -282,6 +331,7 @@ impl Server {
     /// the bound address and graceful shutdown.
     pub fn spawn(self) -> ServerHandle {
         let addr = self.addr;
+        let metrics_addr = self.metrics_addr;
         let shutdown = self.shutdown_flag();
         let join = thread::Builder::new()
             .name("pcpm-serve-accept".into())
@@ -289,6 +339,7 @@ impl Server {
             .expect("spawn server");
         ServerHandle {
             addr,
+            metrics_addr,
             shutdown,
             join,
         }
@@ -351,11 +402,15 @@ struct WriterShard {
     engine: Engine<PlusF32>,
 }
 
-fn writer_loop(state: Arc<Mutex<Arc<ServingState>>>, rx: mpsc::Receiver<WriteJob>) {
+fn writer_loop(
+    state: Arc<Mutex<Arc<ServingState>>>,
+    rx: mpsc::Receiver<WriteJob>,
+    metrics: Arc<Metrics>,
+) {
     let n = state.lock().expect("state lock").shards.len();
     let mut shards: Vec<Option<WriterShard>> = (0..n).map(|_| None).collect();
     while let Ok(job) = rx.recv() {
-        let resp = apply_update(&state, &mut shards, job.engine, job.batch);
+        let resp = apply_update(&state, &mut shards, job.engine, job.batch, &metrics);
         let _ = job.reply.send(resp);
     }
 }
@@ -365,6 +420,7 @@ fn apply_update(
     shards: &mut [Option<WriterShard>],
     idx: usize,
     batch: UpdateBatch,
+    metrics: &Metrics,
 ) -> Response {
     let cur = Arc::clone(&state.lock().expect("state lock"));
     let Some(shard) = cur.shards.get(idx) else {
@@ -417,6 +473,7 @@ fn apply_update(
     };
     // Publish: clone-on-write of the shard vector, epoch + 1. Readers
     // holding the previous Arc keep serving the old epoch untouched.
+    let publish_t0 = Instant::now();
     let mut guard = state.lock().expect("state lock");
     let prev = Arc::clone(&guard);
     let mut next_shards = prev.shards.clone();
@@ -427,6 +484,7 @@ fn apply_update(
         shards: next_shards,
     });
     drop(guard);
+    metrics.writer_published(publish_t0.elapsed());
     Response::Updated(UpdateReply {
         epoch,
         outcome,
@@ -436,11 +494,70 @@ fn apply_update(
 }
 
 // ---------------------------------------------------------------------
+// Metrics exposition (Prometheus text over plain HTTP)
+// ---------------------------------------------------------------------
+
+/// Serves Prometheus text exposition on `listener` until `shutdown` is
+/// set. Any request line is answered with the full metric dump —
+/// deliberately the simplest thing that `curl` and a Prometheus scraper
+/// both accept: read until the blank line ending the request headers,
+/// write one `HTTP/1.1 200` response, close.
+fn metrics_http_loop(
+    listener: TcpListener,
+    state: Arc<Mutex<Arc<ServingState>>>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let epoch = state.lock().expect("state lock").epoch;
+                let _ = serve_metrics_request(stream, &metrics, epoch);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(POLL_INTERVAL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn serve_metrics_request(mut stream: TcpStream, metrics: &Metrics, epoch: u64) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    // Drain the request headers (bounded; we answer anything).
+    let mut buf = [0u8; 1024];
+    let mut seen = Vec::with_capacity(1024);
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        seen.extend_from_slice(&buf[..n]);
+        if seen.windows(4).any(|w| w == b"\r\n\r\n") || seen.len() > 8192 {
+            break;
+        }
+    }
+    let body = metrics.render_prometheus(epoch);
+    let resp = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(resp.as_bytes())?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------
 // Worker threads
 // ---------------------------------------------------------------------
 
 struct WorkerCtx {
-    conn_rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    conn_rx: Arc<Mutex<mpsc::Receiver<(TcpStream, Instant)>>>,
     state: Arc<Mutex<Arc<ServingState>>>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
@@ -478,7 +595,13 @@ fn worker_loop(ctx: WorkerCtx) {
             rx.recv_timeout(POLL_INTERVAL)
         };
         match next {
-            Ok(stream) => worker.handle_connection(stream),
+            Ok((stream, queued_at)) => {
+                worker
+                    .ctx
+                    .metrics
+                    .connection_dispatched(queued_at.elapsed());
+                worker.handle_connection(stream);
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if worker.ctx.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -501,7 +624,9 @@ impl Worker {
             let t0 = Instant::now();
             let resp = self.respond(&frame);
             let is_err = matches!(resp, Response::Error { .. });
-            self.ctx.metrics.record(frame.kind, t0.elapsed(), is_err);
+            self.ctx
+                .metrics
+                .record(frame.kind, t0.elapsed(), is_err, self.cache_epoch);
             if send_response(&mut stream, &resp).is_err() {
                 return;
             }
@@ -558,24 +683,24 @@ impl Worker {
             }
             Request::Stats => {
                 let cur = self.current();
-                Response::Stats(ServerStats {
-                    epoch: cur.epoch,
-                    uptime: self.ctx.metrics.uptime(),
-                    queries: self.ctx.metrics.snapshot(),
-                    engines: cur
-                        .shards
-                        .iter()
-                        .map(|s| EngineInfo {
-                            path: s.label.clone(),
-                            load: s.load,
-                            nodes: s.snapshot.graph().num_nodes(),
-                            edges: s.snapshot.graph().num_edges(),
-                            weighted: s.snapshot.is_weighted(),
-                            bin_format: s.snapshot.bin_format().to_string(),
-                            partition_bytes: s.snapshot.partition_bytes() as u64,
-                        })
-                        .collect(),
-                })
+                let mut stats = ServerStats::empty();
+                stats.epoch = cur.epoch;
+                stats.queries = self.ctx.metrics.snapshot();
+                stats.engines = cur
+                    .shards
+                    .iter()
+                    .map(|s| EngineInfo {
+                        path: s.label.clone(),
+                        load: s.load,
+                        nodes: s.snapshot.graph().num_nodes(),
+                        edges: s.snapshot.graph().num_edges(),
+                        weighted: s.snapshot.is_weighted(),
+                        bin_format: s.snapshot.bin_format().to_string(),
+                        partition_bytes: s.snapshot.partition_bytes() as u64,
+                    })
+                    .collect();
+                self.ctx.metrics.fill_stats(&mut stats);
+                Response::Stats(Box::new(stats))
             }
             Request::Shutdown => {
                 let cur = self.current();

@@ -521,7 +521,8 @@ pub fn replay(
     let base_pagerank = t0.elapsed();
 
     let mut reports = Vec::with_capacity(batches.len());
-    for batch in batches {
+    for (batch_idx, batch) in batches.iter().enumerate() {
+        let _span = pcpm_core::telemetry::span_n("replay_batch", batch_idx as u64);
         let stats = delta.apply(batch)?;
         let snap = delta.snapshot();
 

@@ -26,6 +26,8 @@
 //!               --format wide|compact|delta (PCPM bin encoding; compact
 //!               needs --partition-bytes <= 131072, delta is unrestricted)
 //!               --seed S (every generator path is reproducible run-to-run)
+//!               --trace-out FILE (record telemetry spans, write
+//!               Chrome-trace JSON openable in chrome://tracing/Perfetto)
 //!
 //! gen flags:         --kind rmat|er --scale S --edge-factor F (rmat)
 //!                    --nodes N --edges M (er)
@@ -36,6 +38,8 @@
 //!                    compact frames, read back transparently everywhere)
 //! serve flags:       --listen ADDR (default 127.0.0.1:7450)
 //!                    --workers N (query threads, default 4) --threads N
+//!                    --metrics-addr ADDR (second listener answering any
+//!                    HTTP GET with Prometheus text exposition)
 //! query flags:       --op health|stats|pagerank|ppr|bfs|sssp|update|shutdown
 //!                    --engine I (server engine index, default 0)
 //!                    --seeds 1,2,3 (ppr) --source V (bfs/sssp)
@@ -94,6 +98,8 @@ struct Options {
     update_format: String,
     listen: String,
     workers: usize,
+    metrics_addr: Option<String>,
+    trace_out: Option<String>,
     op: String,
     engine: u16,
     seeds: Vec<u32>,
@@ -135,6 +141,8 @@ fn parse_args() -> Result<Options, String> {
         update_format: "text".to_string(),
         listen: "127.0.0.1:7450".to_string(),
         workers: 4,
+        metrics_addr: None,
+        trace_out: None,
         op: "health".to_string(),
         engine: 0,
         seeds: Vec::new(),
@@ -261,6 +269,8 @@ fn parse_args() -> Result<Options, String> {
                 opts.update_format = v;
             }
             "--listen" => opts.listen = take_value(&mut rest, &mut i)?,
+            "--metrics-addr" => opts.metrics_addr = Some(take_value(&mut rest, &mut i)?),
+            "--trace-out" => opts.trace_out = Some(take_value(&mut rest, &mut i)?),
             "--workers" => {
                 opts.workers = take_value(&mut rest, &mut i)?
                     .parse()
@@ -627,9 +637,18 @@ fn run_serve(opts: &Options) -> Result<(), String> {
         );
         engines.push(spec);
     }
+    let metrics_addr = opts
+        .metrics_addr
+        .as_deref()
+        .map(|a| {
+            a.parse()
+                .map_err(|e| format!("bad --metrics-addr {a}: {e}"))
+        })
+        .transpose()?;
     let sc = ServerConfig {
         workers: opts.workers,
         threads: opts.threads,
+        metrics_addr,
     };
     let server = pcpm::serve::Server::bind(opts.listen.as_str(), engines, sc)
         .map_err(|e| format!("bind {}: {e}", opts.listen))?;
@@ -640,6 +659,9 @@ fn run_serve(opts: &Options) -> Result<(), String> {
         opts.workers,
         server.local_addr(),
     );
+    if let Some(maddr) = server.metrics_addr() {
+        eprintln!("# metrics on http://{maddr}/metrics (Prometheus text)");
+    }
     server.run().map_err(|e| e.to_string())
 }
 
@@ -667,7 +689,6 @@ fn run_query(opts: &Options) -> Result<(), String> {
         }
         "stats" => {
             let s = client.stats().map_err(serve_err)?;
-            eprintln!("# epoch {}, uptime {:?}", s.epoch, s.uptime);
             for e in &s.engines {
                 eprintln!(
                     "# engine: {} ({} nodes, {} edges{}, {} bins, {} B partitions, loaded in {:?})",
@@ -680,17 +701,9 @@ fn run_query(opts: &Options) -> Result<(), String> {
                     e.load,
                 );
             }
-            println!("kind\tcount\terrors\tp50_us\tp99_us");
-            for q in s.queries.iter().filter(|q| q.count > 0) {
-                println!(
-                    "{}\t{}\t{}\t{}\t{}",
-                    q.name(),
-                    q.count,
-                    q.errors,
-                    q.quantile_upper_us(0.50).unwrap_or(0),
-                    q.quantile_upper_us(0.99).unwrap_or(0),
-                );
-            }
+            // The human table (p50/p90/p99, error rates, queue/writer
+            // split, slow-query ring) is shared with the bench suite.
+            print!("{}", s.render_human());
         }
         "pagerank" => {
             let r = client
@@ -782,6 +795,29 @@ fn run_query(opts: &Options) -> Result<(), String> {
 
 fn run() -> Result<(), String> {
     let opts = parse_args()?;
+    let trace_out = opts.trace_out.clone();
+    if trace_out.is_some() {
+        // Counters and spans are both armed for the whole command; the
+        // counters feed the report lines, the spans feed the trace file.
+        pcpm::core::telemetry::counters().set_enabled(true);
+        pcpm::core::telemetry::start_tracing();
+    }
+    let result = run_command(opts);
+    if let Some(path) = trace_out {
+        let events = pcpm::core::telemetry::stop_tracing();
+        let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+        let w = std::io::BufWriter::new(file);
+        pcpm::core::telemetry::write_chrome_trace(w, &events)
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "# trace: wrote {path} ({} spans; open in chrome://tracing or Perfetto)",
+            events.len()
+        );
+    }
+    result
+}
+
+fn run_command(opts: Options) -> Result<(), String> {
     if opts.command == "gen" {
         // The positional path is the *output*; nothing to load.
         return run_gen(&opts);
@@ -849,6 +885,24 @@ fn run() -> Result<(), String> {
                     report.aux_memory_bytes / 1024
                 );
             }
+            if let Some(total) = report.dest_stream_total_bytes() {
+                match report.dest_stream_gbps() {
+                    Some(gbps) => eprintln!(
+                        "# dest stream: {:.1} MB scanned over {} steps, {gbps:.2} GB/s effective",
+                        total as f64 / 1e6,
+                        report.steps
+                    ),
+                    None => eprintln!(
+                        "# dest stream: {:.1} MB scanned over {} steps",
+                        total as f64 / 1e6,
+                        report.steps
+                    ),
+                }
+            }
+            eprintln!(
+                "# pool: {} workers spawned, {} jobs dispatched",
+                report.pool_workers_spawned, report.pool_jobs_dispatched
+            );
             print_top_ranks(&r.scores, opts.top);
         }
         "ppr" => {

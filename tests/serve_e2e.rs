@@ -31,6 +31,14 @@ fn build_snapshot(graph: &Arc<Csr>, cfg: &PcpmConfig, weights: Option<&EdgeWeigh
 }
 
 fn spawn_server(snapshot: Snapshot, workers: usize) -> pcpm::serve::ServerHandle {
+    spawn_server_with(snapshot, workers, ServerConfig::default())
+}
+
+fn spawn_server_with(
+    snapshot: Snapshot,
+    workers: usize,
+    base: ServerConfig,
+) -> pcpm::serve::ServerHandle {
     let spec = EngineSpec::from_snapshot("test-engine", snapshot);
     let server = Server::bind(
         "127.0.0.1:0",
@@ -38,6 +46,7 @@ fn spawn_server(snapshot: Snapshot, workers: usize) -> pcpm::serve::ServerHandle
         ServerConfig {
             workers,
             threads: None,
+            ..base
         },
     )
     .unwrap();
@@ -366,6 +375,95 @@ fn concurrent_readers_never_observe_epoch_mixing() {
         .unwrap();
     assert_eq!(final_ranks.epoch, batches.len() as u64);
     assert_eq!(final_ranks.scores, expected[batches.len()]);
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+/// Scrape the metrics listener once, returning the raw HTTP response.
+fn scrape(addr: std::net::SocketAddr) -> String {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n")
+        .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+fn metric_value(text: &str, line_prefix: &str) -> f64 {
+    text.lines()
+        .find(|l| l.starts_with(line_prefix))
+        .unwrap_or_else(|| panic!("no line starting with {line_prefix:?} in:\n{text}"))
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_text() {
+    let graph = test_graph();
+    let cfg = test_cfg();
+    let handle = spawn_server_with(
+        build_snapshot(&graph, &cfg, None),
+        2,
+        ServerConfig {
+            metrics_addr: Some("127.0.0.1:0".parse().unwrap()),
+            ..ServerConfig::default()
+        },
+    );
+    let maddr = handle.metrics_addr().expect("metrics listener bound");
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let before = scrape(maddr);
+    assert!(before.starts_with("HTTP/1.1 200 OK"));
+    assert!(before.contains("Content-Type: text/plain; version=0.0.4"));
+    for family in pcpm::serve::METRIC_FAMILIES {
+        assert!(
+            before.contains(&format!("# TYPE {family}")),
+            "family {family} missing from exposition"
+        );
+    }
+    let pr_before = metric_value(&before, "pcpm_requests_total{kind=\"pagerank\"}");
+
+    // Traffic: two pageranks and one typed error.
+    client.pagerank(0, &params(&cfg)).unwrap();
+    client.pagerank(0, &params(&cfg)).unwrap();
+    client.pagerank(9, &params(&cfg)).unwrap_err();
+
+    let after = scrape(maddr);
+    let pr_after = metric_value(&after, "pcpm_requests_total{kind=\"pagerank\"}");
+    assert_eq!(pr_after - pr_before, 3.0);
+    assert!(metric_value(&after, "pcpm_request_errors_total{kind=\"pagerank\"}") >= 1.0);
+    assert!(metric_value(&after, "pcpm_connections_dispatched_total") >= 1.0);
+    assert!(metric_value(&after, "pcpm_epoch") == 0.0);
+    // Histogram buckets are cumulative: +Inf equals the count.
+    let inf = metric_value(
+        &after,
+        "pcpm_request_latency_seconds_bucket{kind=\"pagerank\",le=\"+Inf\"}",
+    );
+    let count = metric_value(
+        &after,
+        "pcpm_request_latency_seconds_count{kind=\"pagerank\"}",
+    );
+    assert_eq!(inf, count);
+
+    // The extended stats reply carries the queue/writer/slow fields and
+    // renders through the shared human formatter.
+    let stats = client.stats().unwrap();
+    assert!(stats.connections_dispatched >= 1);
+    let pr_row = &stats.queries[2];
+    assert_eq!(pr_row.count, 3);
+    assert!(pr_row.exec_us_total > 0);
+    // A 20-iteration pagerank on 1500 nodes takes well over the 1 ms
+    // slow threshold, so the ring must have captured it.
+    assert!(stats.slow_queries.iter().any(|s| s.kind == 2));
+    let human = stats.render_human();
+    assert!(human.contains("pagerank"));
+    assert!(human.contains("p50_us"));
+    assert!(human.contains("slow queries"));
 
     handle.shutdown();
     handle.join().unwrap();

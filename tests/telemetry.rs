@@ -1,0 +1,196 @@
+//! Integration tests for the workspace telemetry layer: engine-level
+//! counters and span tracing driven through real runs, across all three
+//! bin formats.
+//!
+//! The telemetry registry is process-global, so every test here takes
+//! the same lock before touching it — parallel test threads must not
+//! interleave enable/reset/snapshot cycles.
+
+use pcpm::core::algebra::PlusF32;
+use pcpm::core::telemetry;
+use pcpm::core::BinFormatKind;
+use pcpm::prelude::*;
+
+static REGISTRY: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn lock_registry() -> std::sync::MutexGuard<'static, ()> {
+    REGISTRY.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn test_graph() -> Csr {
+    pcpm::graph::gen::erdos_renyi(2000, 16000, 5).unwrap()
+}
+
+fn cfg(format: BinFormatKind) -> PcpmConfig {
+    PcpmConfig::default()
+        .with_partition_bytes(4096)
+        .with_bin_format(format)
+}
+
+const STEPS: usize = 4;
+
+fn run_steps(graph: &Csr, format: BinFormatKind) -> ExecutionReport {
+    let mut engine = Engine::<PlusF32>::builder(graph)
+        .config(cfg(format))
+        .build()
+        .unwrap();
+    let x: Vec<f32> = (0..graph.num_nodes()).map(|v| (v % 7) as f32).collect();
+    let mut y = vec![0.0f32; graph.num_nodes() as usize];
+    for _ in 0..STEPS {
+        engine.step(&x, &mut y).unwrap();
+    }
+    engine.report()
+}
+
+#[test]
+fn counters_record_all_formats_and_disabled_path_stays_silent() {
+    let _guard = lock_registry();
+    let graph = test_graph();
+    let tm = telemetry::counters();
+
+    for format in BinFormatKind::ALL {
+        // Disabled: a full run must record exactly nothing.
+        tm.set_enabled(false);
+        tm.reset();
+        let report = run_steps(&graph, format);
+        assert_eq!(
+            tm.snapshot().total(),
+            0,
+            "disabled telemetry recorded traffic for {format}"
+        );
+
+        // The report carries the dest-stream accounting regardless of
+        // the telemetry switch — it comes from the pipeline itself.
+        let per_step = report.dest_stream_bytes.expect("pcpm reports stream bytes");
+        assert!(per_step > 0);
+        assert_eq!(
+            report.dest_stream_total_bytes(),
+            Some(per_step * STEPS as u64)
+        );
+        let gbps = report.dest_stream_gbps().expect("steps ran, gather timed");
+        assert!(gbps > 0.0, "effective bandwidth must be positive");
+
+        // Enabled: the same run must record the analytically known
+        // quantities.
+        tm.set_enabled(true);
+        tm.reset();
+        let report = run_steps(&graph, format);
+        tm.set_enabled(false);
+        let snap = tm.snapshot();
+        assert_eq!(
+            snap.dest_stream_bytes_read,
+            report.dest_stream_bytes.unwrap() * STEPS as u64,
+            "{format}: counter must match the report's per-step bytes x steps"
+        );
+        assert!(snap.bins_decoded > 0, "{format}: bins_decoded");
+        assert!(snap.scatter_ns > 0, "{format}: scatter_ns");
+        assert!(snap.gather_ns > 0, "{format}: gather_ns");
+        if format == BinFormatKind::Delta {
+            assert!(snap.varint_decodes > 0, "delta pays a varint per edge");
+        } else {
+            assert_eq!(snap.varint_decodes, 0, "{format} decodes no varints");
+        }
+    }
+}
+
+#[test]
+fn wide_stream_is_strictly_larger_than_compact_and_delta() {
+    let _guard = lock_registry();
+    let graph = test_graph();
+    let bytes: Vec<u64> = BinFormatKind::ALL
+        .iter()
+        .map(|&f| run_steps(&graph, f).dest_stream_bytes.unwrap())
+        .collect();
+    // ALL is [wide, compact, delta]: wide pays 4 B/edge, compact 2,
+    // delta ~1-2 — the paper's compression argument in one assert.
+    assert!(
+        bytes[1] < bytes[0] && bytes[2] < bytes[0],
+        "wide must carry the largest dest stream: {bytes:?}"
+    );
+}
+
+#[test]
+fn pool_diagnostics_fold_into_the_report() {
+    let _guard = lock_registry();
+    let graph = test_graph();
+    let mut engine = Engine::<PlusF32>::builder(&graph)
+        .config(cfg(BinFormatKind::Wide).with_threads(2))
+        .build()
+        .unwrap();
+    let x = vec![1.0f32; graph.num_nodes() as usize];
+    let mut y = vec![0.0f32; graph.num_nodes() as usize];
+    for _ in 0..3 {
+        engine.step(&x, &mut y).unwrap();
+    }
+    let report = engine.report();
+    assert!(
+        report.pool_jobs_dispatched > 0,
+        "an engine-owned pool must dispatch jobs"
+    );
+}
+
+#[test]
+fn trace_spans_from_a_real_run_nest_and_serialize() {
+    let _guard = lock_registry();
+    let graph = test_graph();
+    telemetry::start_tracing();
+    let _ = run_steps(&graph, BinFormatKind::Delta);
+    let events = telemetry::stop_tracing();
+
+    let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+    for expected in ["prepare", "step", "scatter", "gather"] {
+        assert!(
+            names.contains(&expected),
+            "missing span {expected:?} in {names:?}"
+        );
+    }
+    let steps = events.iter().filter(|e| e.name == "step").count();
+    assert_eq!(steps, STEPS);
+    // scatter/gather spans nest inside their step span.
+    let step = events.iter().find(|e| e.name == "step").unwrap();
+    let scatter = events
+        .iter()
+        .find(|e| e.name == "scatter" && e.ts_us >= step.ts_us)
+        .unwrap();
+    assert!(scatter.ts_us + scatter.dur_us <= step.ts_us + step.dur_us + 1);
+
+    // The Chrome-trace JSON round-trips through a strict parser shape:
+    // starts as an array, one object per span, required keys present.
+    let json = telemetry::chrome_trace_json(&events);
+    assert!(json.trim_start().starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    assert_eq!(json.matches("\"ph\":\"X\"").count(), events.len());
+    assert_eq!(json.matches("\"pid\":1").count(), events.len());
+}
+
+#[test]
+fn replay_batches_emit_spans() {
+    let _guard = lock_registry();
+    let graph = std::sync::Arc::new(test_graph());
+    let batches = gen_updates(
+        &graph,
+        &UpdateGenConfig {
+            batches: 3,
+            batch_size: 40,
+            delete_frac: 0.3,
+            locality: None,
+            seed: 9,
+        },
+    )
+    .unwrap();
+    telemetry::start_tracing();
+    let rc = ReplayConfig {
+        cfg: cfg(BinFormatKind::Wide).with_iterations(10),
+        backend: BackendKind::Pcpm,
+        compaction_threshold: 1.0,
+        verify: false,
+        cache: None,
+    };
+    replay(std::sync::Arc::clone(&graph), &batches, &rc).unwrap();
+    let events = telemetry::stop_tracing();
+    let replay_spans: Vec<_> = events.iter().filter(|e| e.name == "replay_batch").collect();
+    assert_eq!(replay_spans.len(), 3, "one span per replayed batch");
+    // Batch indices ride along as the span arg, in order.
+    let args: Vec<Option<u64>> = replay_spans.iter().map(|e| e.arg).collect();
+    assert_eq!(args, vec![Some(0), Some(1), Some(2)]);
+}
