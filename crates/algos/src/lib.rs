@@ -50,7 +50,9 @@ pub use hits::{hits, hits_on, HitsResult};
 pub use incremental::incremental_pagerank;
 pub use katz::{katz_centrality, katz_centrality_on, KatzConfig};
 pub use ppr::{
-    personalized_pagerank, personalized_pagerank_on, personalized_pagerank_with_unified_engine,
+    personalized_pagerank, personalized_pagerank_many,
+    personalized_pagerank_many_with_unified_engine, personalized_pagerank_on,
+    personalized_pagerank_with_unified_engine,
 };
 #[allow(deprecated)]
 pub use propagate::PropagationEngine;

@@ -154,6 +154,174 @@ pub fn personalized_pagerank_with_unified_engine(
     })
 }
 
+/// Computes personalized PageRank for a *batch* of seed sets in one
+/// pass over the engine's bin streams per iteration.
+///
+/// Builds a PCPM engine and delegates to
+/// [`personalized_pagerank_many_with_unified_engine`].
+pub fn personalized_pagerank_many(
+    graph: &Csr,
+    seed_sets: &[Vec<u32>],
+    cfg: &PcpmConfig,
+) -> Result<Vec<PrResult>, PcpmError> {
+    cfg.validate()?;
+    let mut engine = Engine::<PlusF32>::builder(graph).config(*cfg).build()?;
+    personalized_pagerank_many_with_unified_engine(graph, seed_sets, cfg, &mut engine)
+}
+
+/// The batched (SpMM) personalized-PageRank driver: each iteration runs
+/// one [`Engine::step_many`] over every still-active query, so on the
+/// PCPM dataplane the destID bin stream is scanned once per iteration
+/// for the whole batch instead of once per query.
+///
+/// Per-query results (`scores`, `iterations`, `converged`, `last_delta`)
+/// are **bit-identical** to running
+/// [`personalized_pagerank_with_unified_engine`] sequentially on the
+/// same engine: the batched gather applies updates in the same order per
+/// query, the apply arithmetic is unchanged, and a query that meets the
+/// tolerance is frozen (dropped from later batches) exactly where the
+/// sequential loop would have stopped. Only the wall-clock `timings`
+/// differ — they report the shared batch cost, identically on every
+/// result.
+pub fn personalized_pagerank_many_with_unified_engine(
+    graph: &Csr,
+    seed_sets: &[Vec<u32>],
+    cfg: &PcpmConfig,
+    engine: &mut Engine<PlusF32>,
+) -> Result<Vec<PrResult>, PcpmError> {
+    cfg.validate()?;
+    let n = graph.num_nodes() as usize;
+    for seeds in seed_sets {
+        if seeds.is_empty() {
+            return Err(PcpmError::BadConfig("seed set must be non-empty"));
+        }
+        for &s in seeds {
+            if s >= graph.num_nodes() {
+                return Err(PcpmError::DimensionMismatch {
+                    expected: n,
+                    got: s as usize,
+                });
+            }
+        }
+    }
+    if engine.num_src() != graph.num_nodes() {
+        return Err(PcpmError::DimensionMismatch {
+            expected: n,
+            got: engine.num_src() as usize,
+        });
+    }
+    if seed_sets.is_empty() {
+        return Ok(Vec::new());
+    }
+    let q_count = seed_sets.len();
+    let damping = cfg.damping as f32;
+    let out_deg = graph.out_degrees();
+    let inv_deg: Vec<f32> = out_deg
+        .iter()
+        .map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 })
+        .collect();
+
+    let teleports: Vec<Vec<f32>> = seed_sets
+        .iter()
+        .map(|seeds| {
+            let share = 1.0 / seeds.len() as f32;
+            let mut t = vec![0.0f32; n];
+            for &s in seeds {
+                t[s as usize] += share;
+            }
+            t
+        })
+        .collect();
+    let mut prs: Vec<Vec<f32>> = teleports.clone();
+    let mut xs: Vec<Vec<f32>> = prs
+        .iter()
+        .map(|pr| pr.iter().zip(&inv_deg).map(|(&p, &i)| p * i).collect())
+        .collect();
+    let mut sums: Vec<Vec<f32>> = (0..q_count).map(|_| vec![0.0f32; n]).collect();
+    let mut timings = PhaseTimings::default();
+    let mut iterations = vec![0usize; q_count];
+    let mut converged = vec![false; q_count];
+    let mut last_delta = vec![f64::INFINITY; q_count];
+    let mut done = vec![false; q_count];
+
+    engine.run(|engine| -> Result<(), PcpmError> {
+        for _ in 0..cfg.iterations {
+            if done.iter().all(|&d| d) {
+                break;
+            }
+            let x_refs: Vec<&[f32]> = xs
+                .iter()
+                .zip(&done)
+                .filter(|(_, &d)| !d)
+                .map(|(x, _)| x.as_slice())
+                .collect();
+            let mut y_refs: Vec<&mut [f32]> = sums
+                .iter_mut()
+                .zip(&done)
+                .filter(|(_, &d)| !d)
+                .map(|(s, _)| s.as_mut_slice())
+                .collect();
+            timings += engine.step_many(&x_refs, &mut y_refs)?;
+            let t0 = Instant::now();
+            for qi in 0..q_count {
+                if done[qi] {
+                    continue;
+                }
+                // Identical apply arithmetic to the sequential driver —
+                // this is what keeps batched ranks bit-identical.
+                let dangling: f64 = prs[qi]
+                    .par_iter()
+                    .zip(&out_deg)
+                    .filter(|(_, &d)| d == 0)
+                    .map(|(&p, _)| f64::from(p))
+                    .sum();
+                let restart = (1.0 - f64::from(damping)) + f64::from(damping) * dangling;
+                let delta: f64 = prs[qi]
+                    .par_iter_mut()
+                    .zip(&sums[qi])
+                    .zip(&teleports[qi])
+                    .map(|((p, &s), &t)| {
+                        let new = (restart as f32) * t + damping * s;
+                        let d = f64::from((new - *p).abs());
+                        *p = new;
+                        d
+                    })
+                    .sum();
+                xs[qi]
+                    .par_iter_mut()
+                    .zip(&prs[qi])
+                    .zip(&inv_deg)
+                    .for_each(|((xv, &p), &i)| *xv = p * i);
+                iterations[qi] += 1;
+                last_delta[qi] = delta;
+                if let Some(tol) = cfg.tolerance {
+                    if delta < tol {
+                        converged[qi] = true;
+                        done[qi] = true;
+                    }
+                }
+            }
+            timings.apply += t0.elapsed();
+        }
+        Ok(())
+    })?;
+
+    let report = engine.report();
+    Ok(prs
+        .into_iter()
+        .enumerate()
+        .map(|(qi, scores)| PrResult {
+            scores,
+            iterations: iterations[qi],
+            converged: converged[qi],
+            last_delta: last_delta[qi],
+            timings,
+            preprocess: report.preprocess,
+            compression_ratio: report.compression_ratio,
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +406,64 @@ mod tests {
         let g = Csr::from_edges(3, &[(0, 1)]).unwrap();
         assert!(personalized_pagerank(&g, &[], &PcpmConfig::default()).is_err());
         assert!(personalized_pagerank(&g, &[9], &PcpmConfig::default()).is_err());
+        let cfg = PcpmConfig::default();
+        assert!(personalized_pagerank_many(&g, &[vec![0], vec![]], &cfg).is_err());
+        assert!(personalized_pagerank_many(&g, &[vec![0], vec![9]], &cfg).is_err());
+        assert!(personalized_pagerank_many(&g, &[], &cfg)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn batched_ppr_bit_identical_to_sequential() {
+        use pcpm_core::format::BinFormatKind;
+        let g = rmat(&RmatConfig::graph500(9, 8, 31)).unwrap();
+        let seed_sets: Vec<Vec<u32>> = vec![
+            vec![3],
+            vec![100, 101],
+            vec![7, 3],
+            vec![250],
+            vec![0, 1, 2],
+        ];
+        for format in BinFormatKind::ALL {
+            let cfg = PcpmConfig::default()
+                .with_iterations(20)
+                .with_partition_bytes(256)
+                .with_bin_format(format);
+            let batched = personalized_pagerank_many(&g, &seed_sets, &cfg).unwrap();
+            for (seeds, got) in seed_sets.iter().zip(&batched) {
+                let want = personalized_pagerank(&g, seeds, &cfg).unwrap();
+                assert_eq!(got.scores, want.scores, "format {format} seeds {seeds:?}");
+                assert_eq!(got.iterations, want.iterations);
+                assert_eq!(got.converged, want.converged);
+                assert_eq!(got.last_delta, want.last_delta);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_ppr_freezes_converged_queries_where_sequential_stops() {
+        // With a tolerance, different seed sets converge at different
+        // iterations; each batched query must stop exactly where its
+        // sequential run does and keep bit-identical scores.
+        let g = rmat(&RmatConfig::graph500(8, 8, 77)).unwrap();
+        let cfg = PcpmConfig::default()
+            .with_iterations(100)
+            .with_tolerance(1e-6);
+        let seed_sets: Vec<Vec<u32>> = vec![vec![0], (0..g.num_nodes()).collect(), vec![5, 6, 7]];
+        let batched = personalized_pagerank_many(&g, &seed_sets, &cfg).unwrap();
+        let mut iter_counts = std::collections::HashSet::new();
+        for (seeds, got) in seed_sets.iter().zip(&batched) {
+            let want = personalized_pagerank(&g, seeds, &cfg).unwrap();
+            assert!(got.converged, "seeds {seeds:?} should converge");
+            assert_eq!(got.iterations, want.iterations, "seeds {seeds:?}");
+            assert_eq!(got.scores, want.scores, "seeds {seeds:?}");
+            iter_counts.insert(got.iterations);
+        }
+        assert!(
+            iter_counts.len() > 1,
+            "test should exercise divergent convergence points, got {iter_counts:?}"
+        );
     }
 
     #[test]

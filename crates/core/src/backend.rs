@@ -138,6 +138,28 @@ pub trait Backend<A: Algebra>: Send {
     /// assume `x.len() == num_src` and `y.len() == num_dst`.
     fn step(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError>;
 
+    /// One multi-query round: `ys[q] = ⊕ Aᵀ·xs[q]` for every query in
+    /// the batch. The default loops over [`Backend::step`], so every
+    /// backend supports batching; dataplanes with a real column-blocked
+    /// SpMM (the PCPM pipeline) override it to scan their bin streams
+    /// once per batch. Per-query output must be bit-identical to the
+    /// sequential loop.
+    ///
+    /// Lengths are validated by [`Engine::step_many`]; implementations
+    /// may assume `xs.len() == ys.len()` and per-vector lengths match
+    /// `num_src` / `num_dst`.
+    fn step_many(
+        &mut self,
+        xs: &[&[A::T]],
+        ys: &mut [&mut [A::T]],
+    ) -> Result<PhaseTimings, PcpmError> {
+        let mut total = PhaseTimings::default();
+        for (x, y) in xs.iter().zip(ys.iter_mut()) {
+            total += self.step(x, y)?;
+        }
+        Ok(total)
+    }
+
     /// Absorbs a batch of edge changes into the prepared state, given the
     /// *post-update* graph in `spec`.
     ///
@@ -236,6 +258,11 @@ pub struct ExecutionReport {
     /// Rayon jobs dispatched process-wide since this engine was
     /// constructed (`rayon::diagnostics`).
     pub pool_jobs_dispatched: u64,
+    /// Multi-query passes executed through [`Engine::step_many`]. Each
+    /// counts once in [`Self::steps`] however many queries it carried.
+    pub batch_passes: usize,
+    /// Query vectors served by those batched passes.
+    pub batch_queries: usize,
 }
 
 impl ExecutionReport {
@@ -269,6 +296,31 @@ impl ExecutionReport {
         }
         Some(total as f64 / secs / 1e9)
     }
+
+    /// Query vectors answered so far: one per plain step plus however
+    /// many each batched pass carried.
+    pub fn queries_served(&self) -> usize {
+        self.steps - self.batch_passes + self.batch_queries
+    }
+
+    /// Average queries amortized per bin-stream scan
+    /// (`queries_served / steps`): 1.0 with no batching, approaching
+    /// `Q` when every pass carries a full batch.
+    pub fn batch_amortization(&self) -> f64 {
+        self.queries_served() as f64 / self.steps.max(1) as f64
+    }
+
+    /// DestID-stream bytes scanned per query answered — the per-batch
+    /// amortization stat: batching `Q` queries divides this by `Q`
+    /// while `dest_stream_total_bytes` stays flat.
+    pub fn dest_stream_bytes_per_query(&self) -> Option<f64> {
+        let total = self.dest_stream_total_bytes()?;
+        let queries = self.queries_served();
+        if queries == 0 {
+            return None;
+        }
+        Some(total as f64 / queries as f64)
+    }
 }
 
 /// The unified execution engine: dimension checks, timing accounting and
@@ -282,6 +334,10 @@ pub struct Engine<A: Algebra> {
     pool: Option<Arc<rayon::ThreadPool>>,
     steps: usize,
     timings: PhaseTimings,
+    /// Multi-query passes and the query vectors they carried
+    /// ([`Engine::step_many`] bookkeeping for the report).
+    batch_passes: usize,
+    batch_queries: usize,
     /// The build recipe, kept so [`Engine::update`] can re-`prepare` a
     /// backend that declines incremental repair. `None` for engines
     /// wrapping an external backend ([`Engine::from_backend`]), which
@@ -387,6 +443,8 @@ impl<A: Algebra> Engine<A> {
             pool: None,
             steps: 0,
             timings: PhaseTimings::default(),
+            batch_passes: 0,
+            batch_queries: 0,
             recipe: None,
             source: None,
             snapshot_load: None,
@@ -503,6 +561,66 @@ impl<A: Algebra> Engine<A> {
             tm.add_pool_jobs_dispatched((rayon::diagnostics::jobs_dispatched() - jobs0) as u64);
         }
         self.steps += 1;
+        self.timings += t;
+        Ok(t)
+    }
+
+    /// One multi-query propagation round: `ys[q] = ⊕ Aᵀ·xs[q]` for the
+    /// whole batch in a single backend pass.
+    ///
+    /// On the PCPM dataplane this is a column-blocked SpMM — the destID
+    /// bin stream is scanned (and, for the delta format, varint-decoded)
+    /// **once** for the batch; other backends fall back to looping over
+    /// [`Engine::step`]-equivalent rounds. Per-query results are
+    /// bit-identical to sequential [`Engine::step`] calls either way.
+    /// The pass counts as one step in the report (one bin-stream scan);
+    /// [`ExecutionReport::batch_passes`] / `batch_queries` record the
+    /// amortization. An empty batch is a no-op.
+    pub fn step_many(
+        &mut self,
+        xs: &[&[A::T]],
+        ys: &mut [&mut [A::T]],
+    ) -> Result<PhaseTimings, PcpmError> {
+        if xs.len() != ys.len() {
+            return Err(PcpmError::BadConfig(
+                "step_many requires one output vector per input vector",
+            ));
+        }
+        for x in xs {
+            if x.len() != self.num_src as usize {
+                return Err(PcpmError::DimensionMismatch {
+                    expected: self.num_src as usize,
+                    got: x.len(),
+                });
+            }
+        }
+        for y in ys.iter() {
+            if y.len() != self.num_dst as usize {
+                return Err(PcpmError::DimensionMismatch {
+                    expected: self.num_dst as usize,
+                    got: y.len(),
+                });
+            }
+        }
+        if xs.is_empty() {
+            return Ok(PhaseTimings::default());
+        }
+        let _span = crate::telemetry::span_n("step_many", xs.len() as u64);
+        let tm = crate::telemetry::counters();
+        let jobs0 = tm.is_enabled().then(rayon::diagnostics::jobs_dispatched);
+        let backend = &mut self.backend;
+        let t = match &self.pool {
+            Some(pool) => pool.install(|| backend.step_many(xs, ys))?,
+            None => backend.step_many(xs, ys)?,
+        };
+        if let Some(jobs0) = jobs0 {
+            tm.add_pool_jobs_dispatched((rayon::diagnostics::jobs_dispatched() - jobs0) as u64);
+        }
+        tm.add_batched_passes(1);
+        tm.add_batched_queries(xs.len() as u64);
+        self.steps += 1;
+        self.batch_passes += 1;
+        self.batch_queries += xs.len();
         self.timings += t;
         Ok(t)
     }
@@ -650,6 +768,8 @@ impl<A: Algebra> Engine<A> {
             dest_stream_bytes: m.dest_stream_bytes,
             pool_workers_spawned: workers.saturating_sub(self.diag_base.0),
             pool_jobs_dispatched: jobs.saturating_sub(self.diag_base.1),
+            batch_passes: self.batch_passes,
+            batch_queries: self.batch_queries,
         }
     }
 
@@ -847,6 +967,8 @@ impl<'g, A: Algebra> EngineBuilder<'g, A> {
             pool,
             steps: 0,
             timings: PhaseTimings::default(),
+            batch_passes: 0,
+            batch_queries: 0,
             recipe: Some(BuildRecipe {
                 kind: self.backend,
                 cfg: self.cfg,
@@ -957,6 +1079,8 @@ impl<A: Algebra> SnapshotEngineBuilder<A> {
             pool,
             steps: 0,
             timings: PhaseTimings::default(),
+            batch_passes: 0,
+            batch_queries: 0,
             recipe: Some(BuildRecipe {
                 kind: BackendKind::Pcpm,
                 cfg,
@@ -1063,6 +1187,25 @@ impl<A: Algebra, F: BinFormat> Backend<A> for PcpmBackend<A, F> {
     fn step(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError> {
         self.pipeline
             .spmv_with(x, y, self.scatter, self.gather, self.graph.as_deref())
+    }
+
+    fn step_many(
+        &mut self,
+        xs: &[&[A::T]],
+        ys: &mut [&mut [A::T]],
+    ) -> Result<PhaseTimings, PcpmError> {
+        // The branchy-gather ablation has no batched kernel; keep its
+        // sequential semantics rather than silently changing the
+        // measured code path.
+        if self.gather == GatherKind::Branchy {
+            let mut total = PhaseTimings::default();
+            for (x, y) in xs.iter().zip(ys.iter_mut()) {
+                total += self.step(x, y)?;
+            }
+            return Ok(total);
+        }
+        self.pipeline
+            .spmv_many_with(xs, ys, self.scatter, self.graph.as_deref())
     }
 
     fn update(

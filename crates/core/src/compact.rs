@@ -125,6 +125,69 @@ pub fn gather_compact_algebra<A: crate::algebra::Algebra>(
     });
 }
 
+/// Multi-query gather over compact bins: the 16-bit destID stream is
+/// decoded once per batch and each entry applied to every query's
+/// accumulator (see [`crate::gather::gather_algebra_many`] for the
+/// contract; per-query output is bit-identical to
+/// [`gather_compact_algebra`]).
+pub fn gather_compact_algebra_many<A: crate::algebra::Algebra>(
+    png: &Png,
+    bins: &CompactBinSpace<A::T>,
+    updates: &[&[A::T]],
+    ys: &mut [&mut [A::T]],
+) {
+    assert_eq!(updates.len(), ys.len(), "one update stream per output");
+    for y in ys.iter() {
+        assert_eq!(y.len(), png.dst_parts().num_nodes() as usize, "y length");
+    }
+    let lens = png.dst_parts().lens();
+    let per_part = crate::gather::split_queries_by_parts(ys, &lens);
+    let k_src = png.src_parts().num_partitions();
+    per_part
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(p, mut ys_q)| {
+            for ys in ys_q.iter_mut() {
+                ys.fill(A::identity());
+            }
+            for s in 0..k_src {
+                let part = png.part(s);
+                let ubase = png.upd_region()[s as usize] as usize;
+                let dbase = png.did_region()[s as usize] as usize;
+                let ulo = ubase + part.upd_off[p] as usize;
+                let dlo = dbase + part.did_off[p] as usize;
+                let dhi = dbase + part.did_off[p + 1] as usize;
+                let ds = &bins.dest_ids[dlo..dhi];
+                match &bins.weights {
+                    None => {
+                        let mut up = usize::MAX;
+                        for &id in ds {
+                            up = up.wrapping_add((id >> 15) as usize);
+                            let local = (id & ID_MASK16) as usize;
+                            for (q, ys) in ys_q.iter_mut().enumerate() {
+                                let slot = &mut ys[local];
+                                *slot = A::combine(*slot, A::extend(updates[q][ulo + up]));
+                            }
+                        }
+                    }
+                    Some(w) => {
+                        let ws = &w[dlo..dhi];
+                        let mut up = usize::MAX;
+                        for (&id, &wt) in ds.iter().zip(ws) {
+                            up = up.wrapping_add((id >> 15) as usize);
+                            let local = (id & ID_MASK16) as usize;
+                            for (q, ys) in ys_q.iter_mut().enumerate() {
+                                let slot = &mut ys[local];
+                                *slot =
+                                    A::combine(*slot, A::extend_weighted(wt, updates[q][ulo + up]));
+                            }
+                        }
+                    }
+                }
+            }
+        });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

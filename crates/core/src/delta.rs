@@ -388,6 +388,83 @@ pub fn gather_delta_algebra<A: Algebra>(png: &Png, bins: &DeltaPackedBins<A::T>,
     });
 }
 
+/// Multi-query gather over delta bins: each varint is decoded **once**
+/// per batch and the resulting `(update pointer, local offset)` pair is
+/// applied to every query's accumulator — the whole point of the SpMM
+/// path for this format, since the per-edge LEB128 decode is its gather
+/// cost. `updates[q]` must share the `png_scatter` layout; per-query
+/// output is bit-identical to [`gather_delta_algebra`].
+pub fn gather_delta_algebra_many<A: Algebra>(
+    png: &Png,
+    bins: &DeltaPackedBins<A::T>,
+    updates: &[&[A::T]],
+    ys: &mut [&mut [A::T]],
+) {
+    assert_eq!(updates.len(), ys.len(), "one update stream per output");
+    for y in ys.iter() {
+        assert_eq!(y.len(), png.dst_parts().num_nodes() as usize, "y length");
+    }
+    let lens = png.dst_parts().lens();
+    let per_part = crate::gather::split_queries_by_parts(ys, &lens);
+    let k_src = png.src_parts().num_partitions();
+    per_part
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(p, mut ys_q)| {
+            for ys in ys_q.iter_mut() {
+                ys.fill(A::identity());
+            }
+            for s in 0..k_src {
+                let su = s as usize;
+                let part = png.part(s);
+                let ubase = png.upd_region()[su] as usize;
+                let ulo = ubase + part.upd_off[p] as usize;
+                let bytes = bins.segment(su, p);
+                match &bins.weights {
+                    None => {
+                        let mut up = usize::MAX;
+                        let mut local = 0usize;
+                        let mut pos = 0usize;
+                        while pos < bytes.len() {
+                            let v = read_varint(bytes, &mut pos);
+                            up = up.wrapping_add((v & 1) as usize);
+                            let d = (v >> 1) as usize;
+                            local = if v & 1 == 1 { d } else { local + d };
+                            for (q, ys) in ys_q.iter_mut().enumerate() {
+                                let slot = &mut ys[local];
+                                *slot = A::combine(*slot, A::extend(updates[q][ulo + up]));
+                            }
+                        }
+                    }
+                    Some(w) => {
+                        let dbase = png.did_region()[su] as usize;
+                        let dlo = dbase + part.did_off[p] as usize;
+                        let dhi = dbase + part.did_off[p + 1] as usize;
+                        let ws = &w[dlo..dhi];
+                        let mut up = usize::MAX;
+                        let mut local = 0usize;
+                        let mut pos = 0usize;
+                        let mut edge = 0usize;
+                        while pos < bytes.len() {
+                            let v = read_varint(bytes, &mut pos);
+                            up = up.wrapping_add((v & 1) as usize);
+                            let d = (v >> 1) as usize;
+                            local = if v & 1 == 1 { d } else { local + d };
+                            for (q, ys) in ys_q.iter_mut().enumerate() {
+                                let slot = &mut ys[local];
+                                *slot = A::combine(
+                                    *slot,
+                                    A::extend_weighted(ws[edge], updates[q][ulo + up]),
+                                );
+                            }
+                            edge += 1;
+                        }
+                    }
+                }
+            }
+        });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -316,6 +316,95 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
             apply: Duration::ZERO,
         })
     }
+
+    /// One column-blocked SpMM round: `ys[q] = ⊕ Aᵀ·xs[q]` for every
+    /// query in the batch, scanning the destination-ID stream **once**.
+    ///
+    /// The scatter writes one update stream per query (the layout is
+    /// format-independent); the gather decodes each bin segment once and
+    /// applies every entry to all `Q` accumulators, so the destID bytes
+    /// — and, for the delta format, the per-edge varint decode — are
+    /// amortized across the batch. Per-query output is bit-identical to
+    /// `Q` sequential [`FormatPipeline::spmv_with`] calls. The branchy
+    /// gather ablation has no batched kernel; callers route it through
+    /// the sequential path.
+    pub fn spmv_many_with(
+        &mut self,
+        xs: &[&[A::T]],
+        ys: &mut [&mut [A::T]],
+        scatter: ScatterKind,
+        graph: Option<&Csr>,
+    ) -> Result<PhaseTimings, PcpmError> {
+        if xs.len() != ys.len() {
+            return Err(PcpmError::BadConfig(
+                "spmv_many_with requires one output vector per input vector",
+            ));
+        }
+        for x in xs {
+            if x.len() != self.num_src as usize {
+                return Err(PcpmError::DimensionMismatch {
+                    expected: self.num_src as usize,
+                    got: x.len(),
+                });
+            }
+        }
+        for y in ys.iter() {
+            if y.len() != self.num_dst as usize {
+                return Err(PcpmError::DimensionMismatch {
+                    expected: self.num_dst as usize,
+                    got: y.len(),
+                });
+            }
+        }
+        if xs.is_empty() {
+            return Ok(PhaseTimings::default());
+        }
+        let ne = self.png.num_compressed_edges() as usize;
+        let t0 = Instant::now();
+        // One scratch update stream per query, all in png_scatter's
+        // layout (the bins' own update stream stays untouched).
+        let mut multi: Vec<Vec<A::T>> = xs.iter().map(|_| vec![A::T::default(); ne]).collect();
+        {
+            let _span = crate::telemetry::span("scatter_many");
+            for (x, upd) in xs.iter().zip(multi.iter_mut()) {
+                match scatter {
+                    ScatterKind::Png => crate::scatter::png_scatter(&self.png, x, upd),
+                    ScatterKind::CsrTraversal => {
+                        let g = graph.ok_or(PcpmError::BadConfig(
+                            "CsrTraversal scatter requires the original graph",
+                        ))?;
+                        csr_scatter(EdgeView::from_csr(g), &self.png, x, upd);
+                    }
+                }
+            }
+        }
+        let scatter_t = t0.elapsed();
+        let t1 = Instant::now();
+        {
+            let _span = crate::telemetry::span("gather_many");
+            let upd_refs: Vec<&[A::T]> = multi.iter().map(|v| v.as_slice()).collect();
+            F::gather_many_from::<A>(&self.png, &self.bins, &upd_refs, ys);
+        }
+        let gather_t = t1.elapsed();
+        // The batched pass scans the destID stream (and decodes delta
+        // varints) exactly once however many queries it carries — that
+        // is the amortization these counters make observable.
+        let tm = crate::telemetry::counters();
+        if tm.is_enabled() {
+            tm.add_scatter_ns(scatter_t.as_nanos() as u64);
+            tm.add_gather_ns(gather_t.as_nanos() as u64);
+            tm.add_dest_stream_bytes_read(F::dest_stream_bytes(&self.bins));
+            tm.add_bins_decoded(u64::from(self.png.dst_parts().num_partitions()));
+            if F::KIND == BinFormatKind::Delta {
+                tm.add_varint_decodes(self.png.num_raw_edges());
+            }
+        }
+        Ok(PhaseTimings {
+            scatter: scatter_t,
+            gather: gather_t,
+            apply: Duration::ZERO,
+        })
+    }
 }
 
 /// The runtime-selected pipeline: one [`FormatPipeline`] variant per
@@ -501,6 +590,18 @@ impl<A: Algebra> PcpmPipeline<A> {
         graph: Option<&Csr>,
     ) -> Result<PhaseTimings, PcpmError> {
         with_pipeline_mut!(self, p => p.spmv_with(x, y, scatter, gather, graph))
+    }
+
+    /// One column-blocked SpMM round — see
+    /// [`FormatPipeline::spmv_many_with`].
+    pub fn spmv_many_with(
+        &mut self,
+        xs: &[&[A::T]],
+        ys: &mut [&mut [A::T]],
+        scatter: ScatterKind,
+        graph: Option<&Csr>,
+    ) -> Result<PhaseTimings, PcpmError> {
+        with_pipeline_mut!(self, p => p.spmv_many_with(xs, ys, scatter, graph))
     }
 
     /// Boxes the live variant as a [`Backend`](crate::backend::Backend)

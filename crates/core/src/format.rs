@@ -160,6 +160,20 @@ pub trait BinFormat: Send + Sync + 'static {
     /// (branch-avoiding, Algorithm 4 adapted to the encoding).
     fn gather_from<A: Algebra>(png: &Png, bins: &Self::Bins<A::T>, y: &mut [A::T]);
 
+    /// One multi-query gather round (the SpMM inner loop): decodes each
+    /// destination-ID segment **once** and applies every entry to all
+    /// `Q` accumulators, so the dest-stream bytes (and, for delta, the
+    /// per-edge varint decodes) are paid once per batch. `updates[q]`
+    /// must share the layout [`BinFormat::scatter_into`] writes; each
+    /// query's output is bit-identical to a solo
+    /// [`BinFormat::gather_from`] over the same update stream.
+    fn gather_many_from<A: Algebra>(
+        png: &Png,
+        bins: &Self::Bins<A::T>,
+        updates: &[&[A::T]],
+        ys: &mut [&mut [A::T]],
+    );
+
     /// The branchy-gather ablation (Algorithm 2). Only the wide format
     /// implements it; everything else reports a config error.
     fn gather_branchy_from<A: Algebra>(
@@ -485,6 +499,15 @@ impl BinFormat for WideFormat {
         crate::gather::gather_algebra::<A>(png, bins, y);
     }
 
+    fn gather_many_from<A: Algebra>(
+        png: &Png,
+        bins: &BinSpace<A::T>,
+        updates: &[&[A::T]],
+        ys: &mut [&mut [A::T]],
+    ) {
+        crate::gather::gather_algebra_many::<A>(png, bins, updates, ys);
+    }
+
     fn gather_branchy_from<A: Algebra>(
         png: &Png,
         bins: &BinSpace<A::T>,
@@ -610,6 +633,15 @@ impl BinFormat for CompactFormat {
         crate::compact::gather_compact_algebra::<A>(png, bins, y);
     }
 
+    fn gather_many_from<A: Algebra>(
+        png: &Png,
+        bins: &CompactBinSpace<A::T>,
+        updates: &[&[A::T]],
+        ys: &mut [&mut [A::T]],
+    ) {
+        crate::compact::gather_compact_algebra_many::<A>(png, bins, updates, ys);
+    }
+
     fn updates_mut<T: BinScalar>(bins: &mut CompactBinSpace<T>) -> &mut [T] {
         &mut bins.updates
     }
@@ -677,6 +709,15 @@ impl BinFormat for DeltaFormat {
 
     fn gather_from<A: Algebra>(png: &Png, bins: &DeltaPackedBins<A::T>, y: &mut [A::T]) {
         crate::delta::gather_delta_algebra::<A>(png, bins, y);
+    }
+
+    fn gather_many_from<A: Algebra>(
+        png: &Png,
+        bins: &DeltaPackedBins<A::T>,
+        updates: &[&[A::T]],
+        ys: &mut [&mut [A::T]],
+    ) {
+        crate::delta::gather_delta_algebra_many::<A>(png, bins, updates, ys);
     }
 
     fn updates_mut<T: BinScalar>(bins: &mut DeltaPackedBins<T>) -> &mut [T] {

@@ -54,6 +54,89 @@ pub fn gather_algebra_branchy<A: Algebra>(png: &Png, bins: &BinSpace<A::T>, y: &
     run_gather::<A>(png, bins, y, true);
 }
 
+/// Splits each of the `Q` output vectors by destination-partition `lens`
+/// and transposes the result: `out[p][q]` is query `q`'s slice of
+/// partition `p`. Shared by every format's multi-query gather so worker
+/// `p` owns its region of *all* `Q` outputs in fully safe code.
+pub(crate) fn split_queries_by_parts<'a, T>(
+    ys: &'a mut [&mut [T]],
+    lens: &[usize],
+) -> Vec<Vec<&'a mut [T]>> {
+    let mut per_part: Vec<Vec<&'a mut [T]>> =
+        lens.iter().map(|_| Vec::with_capacity(ys.len())).collect();
+    for y in ys.iter_mut() {
+        for (p, s) in split_by_lens(y, lens).into_iter().enumerate() {
+            per_part[p].push(s);
+        }
+    }
+    per_part
+}
+
+/// Multi-query branch-avoiding gather (the SpMM inner loop): one pass
+/// over the MSB-demarcated destID stream applies each decoded entry to
+/// every query's accumulator, so the bin-stream bytes are read once per
+/// batch instead of once per query. `updates[q]` must share the layout
+/// `png_scatter` produces; each query's output is bit-identical to a
+/// solo [`gather_algebra`] over the same update stream.
+pub fn gather_algebra_many<A: Algebra>(
+    png: &Png,
+    bins: &BinSpace<A::T>,
+    updates: &[&[A::T]],
+    ys: &mut [&mut [A::T]],
+) {
+    assert_eq!(updates.len(), ys.len(), "one update stream per output");
+    for y in ys.iter() {
+        assert_eq!(y.len(), png.dst_parts().num_nodes() as usize, "y length");
+    }
+    let lens = png.dst_parts().lens();
+    let per_part = split_queries_by_parts(ys, &lens);
+    let k_src = png.src_parts().num_partitions();
+    per_part
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(p, mut ys_q)| {
+            for ys in ys_q.iter_mut() {
+                ys.fill(A::identity());
+            }
+            let base = png.dst_parts().range(p as u32).start as usize;
+            for s in 0..k_src {
+                let part = png.part(s);
+                let ubase = png.upd_region()[s as usize] as usize;
+                let dbase = png.did_region()[s as usize] as usize;
+                let ulo = ubase + part.upd_off[p] as usize;
+                let dlo = dbase + part.did_off[p] as usize;
+                let dhi = dbase + part.did_off[p + 1] as usize;
+                let ds = &bins.dest_ids[dlo..dhi];
+                match &bins.weights {
+                    None => {
+                        let mut up = usize::MAX;
+                        for &id in ds {
+                            up = up.wrapping_add((id >> 31) as usize);
+                            let local = (id & ID_MASK) as usize - base;
+                            for (q, ys) in ys_q.iter_mut().enumerate() {
+                                let slot = &mut ys[local];
+                                *slot = A::combine(*slot, A::extend(updates[q][ulo + up]));
+                            }
+                        }
+                    }
+                    Some(w) => {
+                        let ws = &w[dlo..dhi];
+                        let mut up = usize::MAX;
+                        for (&id, &wt) in ds.iter().zip(ws) {
+                            up = up.wrapping_add((id >> 31) as usize);
+                            let local = (id & ID_MASK) as usize - base;
+                            for (q, ys) in ys_q.iter_mut().enumerate() {
+                                let slot = &mut ys[local];
+                                *slot =
+                                    A::combine(*slot, A::extend_weighted(wt, updates[q][ulo + up]));
+                            }
+                        }
+                    }
+                }
+            }
+        });
+}
+
 fn run_gather<A: Algebra>(png: &Png, bins: &BinSpace<A::T>, y: &mut [A::T], branchy: bool) {
     assert_eq!(y.len(), png.dst_parts().num_nodes() as usize, "y length");
     let lens = png.dst_parts().lens();

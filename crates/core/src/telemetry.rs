@@ -34,6 +34,14 @@
 //! | `scatter_ns` / `gather_ns` | wall-clock of the two PCPM phases | one add per step |
 //! | `partitions_repaired` / `partitions_copied` | incremental-repair split: bins rebuilt vs block-copied | one add per `Engine::update` |
 //! | `pool_jobs_dispatched` | rayon-shim jobs dispatched while inside `Engine::step` | one add per step |
+//! | `batched_passes` | multi-query (SpMM) passes executed | one add per `Engine::step_many` |
+//! | `batched_queries` | query vectors served by those passes | one add per `Engine::step_many` (`Q`) |
+//!
+//! The batched pair is the amortization measurement: a batched pass
+//! records `dest_stream_bytes_read` **once** however many query vectors
+//! it carries, so `dest_stream_bytes_read / batched_passes` staying flat
+//! as `batched_queries / batched_passes` grows is the multi-query win
+//! made observable.
 //!
 //! # Example
 //!
@@ -70,6 +78,8 @@ pub struct Counters {
     partitions_repaired: AtomicU64,
     partitions_copied: AtomicU64,
     pool_jobs_dispatched: AtomicU64,
+    batched_passes: AtomicU64,
+    batched_queries: AtomicU64,
 }
 
 /// A point-in-time copy of every counter (see the module-level taxonomy
@@ -92,6 +102,10 @@ pub struct CounterSnapshot {
     pub partitions_copied: u64,
     /// Rayon-shim jobs dispatched while inside `Engine::step`.
     pub pool_jobs_dispatched: u64,
+    /// Multi-query (SpMM) passes executed through `Engine::step_many`.
+    pub batched_passes: u64,
+    /// Query vectors served by those batched passes.
+    pub batched_queries: u64,
 }
 
 impl CounterSnapshot {
@@ -107,6 +121,8 @@ impl CounterSnapshot {
             + self.partitions_repaired
             + self.partitions_copied
             + self.pool_jobs_dispatched
+            + self.batched_passes
+            + self.batched_queries
     }
 }
 
@@ -136,6 +152,8 @@ impl Counters {
             partitions_repaired: AtomicU64::new(0),
             partitions_copied: AtomicU64::new(0),
             pool_jobs_dispatched: AtomicU64::new(0),
+            batched_passes: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
         }
     }
 
@@ -161,6 +179,8 @@ impl Counters {
         self.partitions_repaired.store(0, Ordering::Relaxed);
         self.partitions_copied.store(0, Ordering::Relaxed);
         self.pool_jobs_dispatched.store(0, Ordering::Relaxed);
+        self.batched_passes.store(0, Ordering::Relaxed);
+        self.batched_queries.store(0, Ordering::Relaxed);
     }
 
     /// Copies every counter out.
@@ -174,6 +194,8 @@ impl Counters {
             partitions_repaired: self.partitions_repaired.load(Ordering::Relaxed),
             partitions_copied: self.partitions_copied.load(Ordering::Relaxed),
             pool_jobs_dispatched: self.pool_jobs_dispatched.load(Ordering::Relaxed),
+            batched_passes: self.batched_passes.load(Ordering::Relaxed),
+            batched_queries: self.batched_queries.load(Ordering::Relaxed),
         }
     }
 
@@ -194,6 +216,10 @@ impl Counters {
         add_partitions_copied => partitions_copied,
         /// Adds pool jobs dispatched during a step.
         add_pool_jobs_dispatched => pool_jobs_dispatched,
+        /// Adds multi-query (SpMM) passes.
+        add_batched_passes => batched_passes,
+        /// Adds query vectors served by batched passes.
+        add_batched_queries => batched_queries,
     }
 }
 
@@ -382,6 +408,8 @@ mod tests {
         counters().add_partitions_repaired(10);
         counters().add_partitions_copied(10);
         counters().add_pool_jobs_dispatched(10);
+        counters().add_batched_passes(10);
+        counters().add_batched_queries(10);
         assert_eq!(
             counters().snapshot().total(),
             0,

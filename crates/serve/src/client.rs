@@ -14,6 +14,7 @@ use pcpm_core::UpdateBatch;
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -79,6 +80,36 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         Ok(Self { stream })
+    }
+
+    /// Connects with a deadline, and bounds every subsequent read and
+    /// write by the same `timeout`.
+    ///
+    /// `TcpStream::connect` alone can hang for the OS default (minutes)
+    /// against a black-holed address, and a plain connection blocks
+    /// forever on a server that accepts but never replies. With a
+    /// timeout, both fail with [`ServeError::Io`]
+    /// (`TimedOut`/`WouldBlock`) within the configured deadline.
+    pub fn connect_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Duration,
+    ) -> Result<Self, ServeError> {
+        let mut last_err: Option<io::Error> = None;
+        let addrs = addr.to_socket_addrs()?;
+        for a in addrs {
+            match TcpStream::connect_timeout(&a, timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    stream.set_read_timeout(Some(timeout))?;
+                    stream.set_write_timeout(Some(timeout))?;
+                    return Ok(Self { stream });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(ServeError::Io(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })))
     }
 
     /// One request/reply round trip; typed error replies become `Err`.

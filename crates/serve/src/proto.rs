@@ -58,6 +58,23 @@
 //! and never observe a half-applied batch). A client that needs
 //! read-your-writes simply waits until `health` reports the epoch its
 //! `update` response returned.
+//!
+//! # Server-side PPR batching
+//!
+//! `personalized_pagerank` requests that are in flight on several
+//! workers at once and share the same `(engine, QueryParams)` key may
+//! be **coalesced** server-side into one batched engine pass (one scan
+//! of the destID bin stream per power iteration for the whole batch).
+//! This is invisible on the wire: it needs no protocol support, every
+//! request still receives its own `ranks` response, and the batched
+//! solver is bit-identical to the sequential one, so the scores,
+//! iteration count and convergence flag are exactly what a solo pass
+//! at the same epoch would have produced. The epoch tag on the
+//! response names the serving state the (possibly shared) pass ran
+//! against, as always. Coalescing is opportunistic — a lone request is
+//! simply a batch of one — and requests whose seed sets fail
+//! validation are answered individually with `BadQuery` without
+//! poisoning their batchmates.
 
 use pcpm_core::{RepairStats, UpdateBatch, UpdateOutcome};
 use std::io::{self, Read, Write};

@@ -37,7 +37,7 @@ use crate::proto::{
     ServerStats, UpdateReply, PROTOCOL_VERSION,
 };
 use pcpm_algos::{
-    bfs_levels_with_engine, personalized_pagerank_with_unified_engine, sssp_with_engine,
+    bfs_levels_with_engine, personalized_pagerank_many_with_unified_engine, sssp_with_engine,
     weighted_pagerank_with_unified_engine,
 };
 use pcpm_core::algebra::{Algebra, MinLevel, MinPlusF32, PlusF32};
@@ -280,6 +280,7 @@ impl Server {
         // stamped with their accept time for queue-wait accounting.
         let (conn_tx, conn_rx) = mpsc::channel::<(TcpStream, Instant)>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let ppr_batcher = Arc::new(PprBatcher::default());
         let mut workers = Vec::with_capacity(config.workers);
         for w in 0..config.workers {
             let ctx = WorkerCtx {
@@ -288,6 +289,7 @@ impl Server {
                 metrics: Arc::clone(&metrics),
                 shutdown: Arc::clone(&shutdown),
                 update_tx: update_tx.clone(),
+                ppr_batcher: Arc::clone(&ppr_batcher),
                 threads: config.threads,
             };
             workers.push(
@@ -562,7 +564,60 @@ struct WorkerCtx {
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
     update_tx: mpsc::Sender<WriteJob>,
+    ppr_batcher: Arc<PprBatcher>,
     threads: Option<usize>,
+}
+
+/// One queued PPR request awaiting a batched pass.
+struct PendingPpr {
+    engine: u16,
+    params: QueryParams,
+    seeds: Vec<u32>,
+    reply: mpsc::Sender<Response>,
+}
+
+/// The shared PPR coalescing queue.
+///
+/// Every worker that picks a PPR request off its connection *publishes*
+/// it here, then *claims* every queued request with the same
+/// `(engine, params)` key — its own included. Whoever claims a
+/// non-empty batch leads: it runs one batched
+/// [`personalized_pagerank_many_with_unified_engine`] pass over all
+/// claimed seed sets against its cached engine at its current epoch
+/// and answers each request individually; workers whose request was
+/// claimed by another leader just block on their reply channel.
+///
+/// Coalescing is opportunistic — it only pays off when several workers
+/// hold same-parameter PPR requests at once — and invisible to
+/// clients: the batched driver is bit-identical to the sequential one,
+/// so each response is exactly what a solo pass would have produced at
+/// the serving epoch the leader computed at.
+#[derive(Default)]
+struct PprBatcher {
+    queue: Mutex<Vec<PendingPpr>>,
+}
+
+impl PprBatcher {
+    /// Publishes `pending` for any same-key leader to claim.
+    fn publish(&self, pending: PendingPpr) {
+        self.queue.lock().expect("ppr queue lock").push(pending);
+    }
+
+    /// Claims every queued request matching `(engine, params)`.
+    fn claim(&self, engine: u16, params: &QueryParams) -> Vec<PendingPpr> {
+        let mut q = self.queue.lock().expect("ppr queue lock");
+        let mut claimed = Vec::new();
+        let mut kept = Vec::with_capacity(q.len());
+        for p in q.drain(..) {
+            if p.engine == engine && p.params == *params {
+                claimed.push(p);
+            } else {
+                kept.push(p);
+            }
+        }
+        *q = kept;
+        claimed
+    }
 }
 
 /// One worker's per-epoch engine cache for one shard: engines are
@@ -619,7 +674,20 @@ impl Worker {
         loop {
             let frame = match read_frame_idle(&mut stream, &self.ctx.shutdown) {
                 Ok(Some(f)) => f,
-                Ok(None) | Err(_) => return,
+                Ok(None) => return,
+                Err(e) => {
+                    // A decodable header with an out-of-range length is a
+                    // peer bug, not a transport failure: tell the peer
+                    // (`BadFrame`) before closing instead of silently
+                    // dropping the connection. The stream position is
+                    // unrecoverable after a framing error, so we still
+                    // close.
+                    if e.kind() == io::ErrorKind::InvalidData {
+                        let resp = err_resp(ErrorCode::BadFrame, e.to_string());
+                        let _ = send_response(&mut stream, &resp);
+                    }
+                    return;
+                }
             };
             let t0 = Instant::now();
             let resp = self.respond(&frame);
@@ -764,19 +832,56 @@ impl Worker {
         }
     }
 
+    /// PPR with opportunistic coalescing (see [`PprBatcher`]): publish,
+    /// claim same-key requests, lead the batch if the claim was
+    /// non-empty, then wait for this request's own reply — which the
+    /// leader (possibly this worker, possibly a sibling) sends.
     fn ppr(&mut self, engine: u16, params: QueryParams, seeds: Vec<u32>) -> Response {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.ctx.ppr_batcher.publish(PendingPpr {
+            engine,
+            params,
+            seeds,
+            reply: reply_tx,
+        });
+        let claimed = self.ctx.ppr_batcher.claim(engine, &params);
+        if !claimed.is_empty() {
+            self.ppr_batch_lead(engine, &params, claimed);
+        }
+        match reply_rx.recv() {
+            Ok(resp) => resp,
+            Err(_) => err_resp(ErrorCode::Internal, "batch leader dropped the request"),
+        }
+    }
+
+    /// Runs one batched PPR pass for every claimed request and answers
+    /// each one. Requests with invalid seed sets get their individual
+    /// `BadQuery` (exactly what a solo pass would have said); the valid
+    /// remainder shares one [`personalized_pagerank_many_with_unified_engine`]
+    /// call, so the destID bin stream is scanned once per iteration for
+    /// the whole batch.
+    fn ppr_batch_lead(&mut self, engine: u16, params: &QueryParams, batch: Vec<PendingPpr>) {
         let cur = self.current();
         let shard = match Self::shard(&cur, engine) {
             Ok(s) => s,
-            Err(r) => return r,
+            Err(r) => {
+                for p in batch {
+                    let _ = p.reply.send(r.clone());
+                }
+                return;
+            }
         };
         if shard.snapshot.is_weighted() {
-            return err_resp(
+            let r = err_resp(
                 ErrorCode::Unsupported,
                 "personalized pagerank serves unweighted engines only",
             );
+            for p in batch {
+                let _ = p.reply.send(r.clone());
+            }
+            return;
         }
-        let cfg = query_cfg(&shard.snapshot, &params);
+        let cfg = query_cfg(&shard.snapshot, params);
         let graph = Arc::clone(shard.snapshot.graph());
         let threads = self.ctx.threads;
         let eng = match cached_engine(
@@ -785,16 +890,53 @@ impl Worker {
             threads,
         ) {
             Ok(e) => e,
-            Err(r) => return r,
+            Err(r) => {
+                for p in batch {
+                    let _ = p.reply.send(r.clone());
+                }
+                return;
+            }
         };
-        match personalized_pagerank_with_unified_engine(&graph, &seeds, &cfg, eng) {
-            Ok(r) => Response::Ranks {
-                epoch: cur.epoch,
-                iterations: r.iterations as u32,
-                converged: r.converged,
-                scores: r.scores,
-            },
-            Err(e) => engine_err(e),
+        // Validate per request so one bad seed set cannot poison its
+        // batchmates: the batched driver rejects the whole batch on any
+        // invalid input, which would change single-request semantics.
+        let n = graph.num_nodes();
+        let mut valid = Vec::with_capacity(batch.len());
+        for p in batch {
+            if p.seeds.is_empty() {
+                let _ = p.reply.send(engine_err(PcpmError::BadConfig(
+                    "seed set must be non-empty",
+                )));
+            } else if let Some(&bad) = p.seeds.iter().find(|&&s| s >= n) {
+                let _ = p.reply.send(engine_err(PcpmError::DimensionMismatch {
+                    expected: n as usize,
+                    got: bad as usize,
+                }));
+            } else {
+                valid.push(p);
+            }
+        }
+        if valid.is_empty() {
+            return;
+        }
+        let seed_sets: Vec<Vec<u32>> = valid.iter().map(|p| p.seeds.clone()).collect();
+        match personalized_pagerank_many_with_unified_engine(&graph, &seed_sets, &cfg, eng) {
+            Ok(results) => {
+                for (p, r) in valid.into_iter().zip(results) {
+                    let _ = p.reply.send(Response::Ranks {
+                        epoch: cur.epoch,
+                        iterations: r.iterations as u32,
+                        converged: r.converged,
+                        scores: r.scores,
+                    });
+                }
+            }
+            Err(e) => {
+                let r = engine_err(e);
+                for p in valid {
+                    let _ = p.reply.send(r.clone());
+                }
+            }
         }
     }
 

@@ -14,6 +14,10 @@
 //! pcpm build-cache <graph> --out FILE      build the engine once, snapshot it
 //!                                          (PNG + bins) for --cache serving
 //! pcpm ppr         <graph> --seeds 1,2,3   personalized PageRank from a seed set
+//!                          --sources 1,2,3 one single-seed PPR query per source,
+//!                                          batched through one engine pass per
+//!                                          iteration (bit-identical output, the
+//!                                          destID bins scanned once per pass)
 //! pcpm serve       <snap> [<snap>...]      long-lived query server over
 //!                                          build-cache snapshots (TCP)
 //! pcpm query       <addr> --op OP          query a running `pcpm serve`
@@ -43,6 +47,8 @@
 //! query flags:       --op health|stats|pagerank|ppr|bfs|sssp|update|shutdown
 //!                    --engine I (server engine index, default 0)
 //!                    --seeds 1,2,3 (ppr) --source V (bfs/sssp)
+//!                    --timeout SECS (bound connect and every read/write;
+//!                    without it a dead server can hang the client forever)
 //!                    --updates FILE (update: replayed batch by batch)
 //!                    plus --iters/--damping/--tolerance/--top as offline
 //! stream flags:      --updates FILE --compaction-threshold F --verify
@@ -103,6 +109,8 @@ struct Options {
     op: String,
     engine: u16,
     seeds: Vec<u32>,
+    sources: Vec<u32>,
+    timeout: Option<f64>,
     extra: Vec<String>,
 }
 
@@ -146,6 +154,8 @@ fn parse_args() -> Result<Options, String> {
         op: "health".to_string(),
         engine: 0,
         seeds: Vec::new(),
+        sources: Vec::new(),
+        timeout: None,
         extra: Vec::new(),
     };
     let mut positional = Vec::new();
@@ -288,6 +298,26 @@ fn parse_args() -> Result<Options, String> {
                     .filter(|s| !s.is_empty())
                     .map(|s| s.trim().parse().map_err(|e| format!("bad seed '{s}': {e}")))
                     .collect::<Result<Vec<u32>, String>>()?;
+            }
+            "--sources" => {
+                opts.sources = take_value(&mut rest, &mut i)?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .map_err(|e| format!("bad source '{s}': {e}"))
+                    })
+                    .collect::<Result<Vec<u32>, String>>()?;
+            }
+            "--timeout" => {
+                let secs: f64 = take_value(&mut rest, &mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --timeout: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--timeout needs a positive number of seconds".into());
+                }
+                opts.timeout = Some(secs);
             }
             "--backend" => {
                 opts.backend = match take_value(&mut rest, &mut i)?.as_str() {
@@ -680,8 +710,13 @@ fn serve_err(e: ServeError) -> String {
 
 /// `pcpm query`: one operation against a running `pcpm serve`.
 fn run_query(opts: &Options) -> Result<(), String> {
-    let mut client =
-        Client::connect(opts.path.as_str()).map_err(|e| format!("connect {}: {e}", opts.path))?;
+    let mut client = match opts.timeout {
+        Some(secs) => {
+            Client::connect_timeout(opts.path.as_str(), std::time::Duration::from_secs_f64(secs))
+        }
+        None => Client::connect(opts.path.as_str()),
+    }
+    .map_err(|e| format!("connect {}: {e}", opts.path))?;
     match opts.op.as_str() {
         "health" => {
             let (epoch, engines) = client.health().map_err(serve_err)?;
@@ -911,22 +946,62 @@ fn run_command(opts: Options) -> Result<(), String> {
                     "ppr serves unweighted graphs (weights in the .mtx would be ignored)".into(),
                 );
             }
-            if opts.seeds.is_empty() {
-                return Err("ppr needs --seeds 1,2,3".into());
+            if opts.seeds.is_empty() && opts.sources.is_empty() {
+                return Err("ppr needs --seeds 1,2,3 or --sources 1,2,3".into());
+            }
+            if !opts.seeds.is_empty() && !opts.sources.is_empty() {
+                return Err(
+                    "ppr takes --seeds (one query) or --sources (a batch), not both".into(),
+                );
             }
             // Shares the pagerank cache path: PPR runs on the same
             // (+, x) engine, so one snapshot serves both.
             let mut engine = pagerank_engine(&opts, &graph, &weights, &cfg)?;
-            let r =
-                personalized_pagerank_with_unified_engine(&graph, &opts.seeds, &cfg, &mut engine)
-                    .map_err(|e| e.to_string())?;
-            eprintln!(
-                "# {} iterations ({}), {} seeds",
-                r.iterations,
-                if r.converged { "converged" } else { "cap" },
-                opts.seeds.len(),
-            );
-            print_top_ranks(&r.scores, opts.top);
+            if !opts.sources.is_empty() {
+                // One batched pass per iteration: each source is its own
+                // single-seed query, and all of them share every scan of
+                // the destID bins through `Engine::step_many`. Ranks are
+                // bit-identical to running the sources one at a time.
+                let seed_sets: Vec<Vec<u32>> = opts.sources.iter().map(|&s| vec![s]).collect();
+                let rs = personalized_pagerank_many_with_unified_engine(
+                    &graph,
+                    &seed_sets,
+                    &cfg,
+                    &mut engine,
+                )
+                .map_err(|e| e.to_string())?;
+                let report = engine.report();
+                eprintln!(
+                    "# {} sources batched, {} passes, {:.2} queries/pass amortized",
+                    opts.sources.len(),
+                    report.steps,
+                    report.batch_amortization(),
+                );
+                for (src, r) in opts.sources.iter().zip(&rs) {
+                    println!("# source {src}");
+                    eprintln!(
+                        "# source {src}: {} iterations ({})",
+                        r.iterations,
+                        if r.converged { "converged" } else { "cap" },
+                    );
+                    print_top_ranks(&r.scores, opts.top);
+                }
+            } else {
+                let r = personalized_pagerank_with_unified_engine(
+                    &graph,
+                    &opts.seeds,
+                    &cfg,
+                    &mut engine,
+                )
+                .map_err(|e| e.to_string())?;
+                eprintln!(
+                    "# {} iterations ({}), {} seeds",
+                    r.iterations,
+                    if r.converged { "converged" } else { "cap" },
+                    opts.seeds.len(),
+                );
+                print_top_ranks(&r.scores, opts.top);
+            }
         }
         "components" => {
             let labels =

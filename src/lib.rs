@@ -92,6 +92,7 @@ pub mod prelude {
     pub use pcpm_algos::{
         bfs_levels, bfs_levels_on, bfs_levels_with_engine, connected_components,
         connected_components_on, incremental_pagerank, personalized_pagerank,
+        personalized_pagerank_many, personalized_pagerank_many_with_unified_engine,
         personalized_pagerank_on, personalized_pagerank_with_unified_engine, propagation_engine,
         run_to_fixpoint, sssp, sssp_on, sssp_with_engine, weighted_pagerank, weighted_pagerank_on,
         weighted_pagerank_with_unified_engine,

@@ -1,0 +1,150 @@
+//! Degenerate-graph audit: zero-node and zero-edge graphs must build,
+//! step, batch-step, snapshot round-trip and serve without panicking,
+//! on every bin format. These are the empty-segment edge cases of the
+//! bin encoders (e.g. the delta encoder's per-partition `seg_off`
+//! bookkeeping) and the empty-scratch edge case of the batched SpMM
+//! path, where a zero-edge update buffer must not be chunked by zero.
+
+use pcpm::core::algebra::PlusF32;
+use pcpm::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+mod common;
+use common::format_matrix;
+
+/// Builds a PCPM engine over `g` in `format` with tiny partitions.
+fn build(g: &Arc<Csr>, format: BinFormatKind) -> Engine<PlusF32> {
+    Engine::<PlusF32>::builder_shared(g)
+        .partition_bytes(64)
+        .bin_format(format)
+        .build()
+        .unwrap_or_else(|e| panic!("build {format} over {} nodes: {e}", g.num_nodes()))
+}
+
+/// Steps, batch-steps and snapshot-round-trips one engine, asserting
+/// every output is the all-zero vector (no edges means no messages).
+fn exercise(g: &Arc<Csr>, format: BinFormatKind) {
+    let n = g.num_nodes() as usize;
+    let mut e = build(g, format);
+    let x: Vec<f32> = (0..n).map(|v| (v % 13) as f32).collect();
+    let mut y = vec![9.0f32; n];
+    e.step(&x, &mut y).unwrap();
+    assert_eq!(y, vec![0.0; n], "{format}: solo step over no edges");
+
+    // The batched path exercises per-format `gather_many_from` with
+    // empty bins and an empty per-query scratch buffer.
+    let xs = [x.clone(), x.clone(), x];
+    let mut ys = [vec![9.0f32; n], vec![9.0; n], vec![9.0; n]];
+    let x_refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+    let mut y_refs: Vec<&mut [f32]> = ys.iter_mut().map(|v| v.as_mut_slice()).collect();
+    e.step_many(&x_refs, &mut y_refs).unwrap();
+    for (q, y) in ys.iter().enumerate() {
+        assert_eq!(y, &vec![0.0; n], "{format}: batched step query {q}");
+    }
+
+    // Snapshot round-trip: encode, rehydrate, step again.
+    let snap = e.snapshot().unwrap();
+    let mut e2 = SnapshotEngineBuilder::<PlusF32>::from_snapshot(snap, Duration::ZERO)
+        .build()
+        .unwrap_or_else(|err| panic!("{format}: rehydrate: {err}"));
+    let x2: Vec<f32> = (0..n).map(|v| (v % 7) as f32).collect();
+    let mut y2 = vec![9.0f32; n];
+    e2.step(&x2, &mut y2).unwrap();
+    assert_eq!(y2, vec![0.0; n], "{format}: step after round-trip");
+}
+
+#[test]
+fn zero_edge_graph_builds_steps_and_snapshots() {
+    let g = Arc::new(Csr::from_edges(5, &[]).unwrap());
+    for format in format_matrix() {
+        exercise(&g, format);
+    }
+}
+
+#[test]
+fn zero_node_graph_builds_steps_and_snapshots() {
+    let g = Arc::new(Csr::from_edges(0, &[]).unwrap());
+    for format in format_matrix() {
+        exercise(&g, format);
+    }
+}
+
+#[test]
+fn degenerate_graphs_run_the_algorithm_drivers() {
+    for n in [0u32, 5] {
+        let g = Csr::from_edges(n, &[]).unwrap();
+        for format in format_matrix() {
+            let cfg = PcpmConfig::default()
+                .with_partition_bytes(64)
+                .with_bin_format(format)
+                .with_iterations(3);
+            let r = pagerank(&g, &cfg).unwrap();
+            assert_eq!(
+                r.scores.len(),
+                n as usize,
+                "{format}: pagerank over {n} nodes"
+            );
+            // Batched PPR over a zero-edge (but non-empty) graph: every
+            // node is dangling, mass stays on the seeds.
+            if n > 0 {
+                let rs = pcpm::algos::personalized_pagerank_many(&g, &[vec![0], vec![1, 2]], &cfg)
+                    .unwrap();
+                assert_eq!(rs.len(), 2);
+                for r in &rs {
+                    assert_eq!(r.scores.len(), n as usize);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_graphs_serve_without_panicking() {
+    for n in [0u32, 5] {
+        let g = Arc::new(Csr::from_edges(n, &[]).unwrap());
+        let cfg = PcpmConfig::default()
+            .with_partition_bytes(64)
+            .with_iterations(3);
+        let snapshot = Engine::<PlusF32>::builder_shared(&g)
+            .config(cfg)
+            .build()
+            .unwrap()
+            .snapshot()
+            .unwrap();
+        let server = Server::bind(
+            "127.0.0.1:0",
+            vec![EngineSpec::from_snapshot(
+                format!("degenerate-{n}"),
+                snapshot,
+            )],
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = server.spawn();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let (epoch, engines) = client.health().unwrap();
+        assert_eq!((epoch, engines), (0, 1));
+        let qp = QueryParams {
+            iterations: 3,
+            damping: cfg.damping,
+            tolerance: None,
+            redistribute_dangling: false,
+        };
+        let ranks = client.pagerank(0, &qp).unwrap();
+        assert_eq!(
+            ranks.scores.len(),
+            n as usize,
+            "served pagerank over {n} nodes"
+        );
+        if n > 0 {
+            let ppr = client.personalized_pagerank(0, &qp, &[1]).unwrap();
+            assert_eq!(ppr.scores.len(), n as usize);
+        }
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+}

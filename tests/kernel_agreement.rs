@@ -102,6 +102,86 @@ fn assert_backend_matrix_agrees(g: &Csr, q_bytes: usize) {
     }
 }
 
+/// `step_many` must be bit-identical to the same number of independent
+/// `step` calls, on every engine in the matrix: the PCPM formats take
+/// the batched SpMM gather (each destID segment decoded once, applied
+/// to every query), the other dataplanes take the default sequential
+/// fallback — either way the contract is exact equality on these
+/// integer-grid inputs.
+fn assert_step_many_matches_steps(g: &Csr, q_bytes: usize) {
+    let n = g.num_nodes() as usize;
+    let xs: Vec<Vec<f32>> = (0..6u32)
+        .map(|q| (0..g.num_nodes()).map(|v| ((v + q) % 13) as f32).collect())
+        .collect();
+
+    // Unweighted (+, x).
+    for (label, mut engine) in matrix_engines::<PlusF32>(g, None, q_bytes) {
+        let mut solo = Vec::new();
+        for x in &xs {
+            let mut y = vec![0.0f32; n];
+            engine.step(x, &mut y).unwrap();
+            solo.push(y);
+        }
+        let mut batched: Vec<Vec<f32>> = vec![vec![0.0f32; n]; xs.len()];
+        let x_refs: Vec<&[f32]> = xs.iter().map(|x| x.as_slice()).collect();
+        let mut y_refs: Vec<&mut [f32]> = batched.iter_mut().map(|y| y.as_mut_slice()).collect();
+        engine.step_many(&x_refs, &mut y_refs).unwrap();
+        assert_eq!(batched, solo, "{label}: step_many vs solo steps");
+    }
+
+    // Weighted (min, +): the batched gather must thread the weight
+    // stream identically for every query.
+    let w = EdgeWeights::new(
+        g,
+        (0..g.num_edges())
+            .map(|i| ((i % 8) + 1) as f32 / 8.0)
+            .collect(),
+    )
+    .unwrap();
+    for (label, mut engine) in matrix_engines::<MinPlusF32>(g, Some(&w), q_bytes) {
+        let mut solo = Vec::new();
+        for x in &xs {
+            let mut y = vec![0.0f32; n];
+            engine.step(x, &mut y).unwrap();
+            solo.push(y);
+        }
+        let mut batched: Vec<Vec<f32>> = vec![vec![0.0f32; n]; xs.len()];
+        let x_refs: Vec<&[f32]> = xs.iter().map(|x| x.as_slice()).collect();
+        let mut y_refs: Vec<&mut [f32]> = batched.iter_mut().map(|y| y.as_mut_slice()).collect();
+        engine.step_many(&x_refs, &mut y_refs).unwrap();
+        assert_eq!(batched, solo, "{label}: weighted step_many vs solo steps");
+    }
+}
+
+#[test]
+fn step_many_matches_independent_steps_across_backends() {
+    let g = pcpm::graph::gen::rmat(&RmatConfig::graph500(9, 8, 13)).unwrap();
+    for q_bytes in [64 * 4, 1024 * 4] {
+        assert_step_many_matches_steps(&g, q_bytes);
+    }
+    let g = pcpm::graph::gen::erdos_renyi(400, 3200, 17).unwrap();
+    assert_step_many_matches_steps(&g, 32 * 4);
+}
+
+#[test]
+fn step_many_rejects_mismatched_batches() {
+    let g = pcpm::graph::gen::erdos_renyi(50, 200, 5).unwrap();
+    let mut e = Engine::<PlusF32>::builder(&g)
+        .partition_bytes(64 * 4)
+        .build()
+        .unwrap();
+    let x = vec![0.0f32; 50];
+    let mut y0 = [0.0f32; 50];
+    let mut y1 = [0.0f32; 50];
+    // One x, two ys: rejected, not silently truncated.
+    assert!(e.step_many(&[&x], &mut [&mut y0[..], &mut y1[..]]).is_err());
+    // Wrong-length output vector: rejected per query.
+    let mut short = [0.0f32; 49];
+    assert!(e.step_many(&[&x], &mut [&mut short[..]]).is_err());
+    // The empty batch is a no-op, not an error.
+    assert!(e.step_many(&[], &mut []).is_ok());
+}
+
 #[test]
 fn backend_agreement_matrix_on_er() {
     for (nodes, edges, seed) in [(300u32, 2400u64, 8u64), (512, 4000, 21)] {

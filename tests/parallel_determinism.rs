@@ -95,6 +95,63 @@ fn step_bit_identical_across_thread_counts() {
     }
 }
 
+/// One batched `step_many` per engine config at `threads`, outputs in
+/// config order. Q = 4 distinct integer-grid inputs per batch.
+fn step_many_outputs(g: &Csr, threads: usize, q_bytes: usize) -> Vec<(String, Vec<Vec<f32>>)> {
+    let n = g.num_nodes() as usize;
+    let xs: Vec<Vec<f32>> = (0..4u32)
+        .map(|q| (0..g.num_nodes()).map(|v| ((v + q) % 13) as f32).collect())
+        .collect();
+    engines_at(g, threads, q_bytes)
+        .into_iter()
+        .map(|(label, mut e)| {
+            let mut ys: Vec<Vec<f32>> = vec![vec![0.0f32; n]; xs.len()];
+            let x_refs: Vec<&[f32]> = xs.iter().map(|x| x.as_slice()).collect();
+            let mut y_refs: Vec<&mut [f32]> = ys.iter_mut().map(|y| y.as_mut_slice()).collect();
+            e.step_many(&x_refs, &mut y_refs).unwrap();
+            (label, ys)
+        })
+        .collect()
+}
+
+/// The batched SpMM path must be as thread-count deterministic as the
+/// solo path: `step_many` at 2/4/8 threads equals the 1-thread run bit
+/// for bit, on every backend and bin format — and equals Q independent
+/// 1-thread `step` calls (the solo/batched agreement along the thread
+/// axis).
+#[test]
+fn step_many_bit_identical_across_thread_counts() {
+    let graphs = [
+        pcpm::graph::gen::rmat(&RmatConfig::graph500(9, 8, 3)).unwrap(),
+        pcpm::graph::gen::erdos_renyi(700, 5600, 11).unwrap(),
+    ];
+    for g in &graphs {
+        for q_bytes in [64 * 4, 200 * 4] {
+            let baseline = step_many_outputs(g, 1, q_bytes);
+            // Solo/batched agreement at 1 thread.
+            let n = g.num_nodes() as usize;
+            for (label, mut e) in engines_at(g, 1, q_bytes) {
+                for q in 0..4u32 {
+                    let x: Vec<f32> = (0..g.num_nodes()).map(|v| ((v + q) % 13) as f32).collect();
+                    let mut y = vec![0.0f32; n];
+                    e.step(&x, &mut y).unwrap();
+                    let batched = &baseline.iter().find(|(l, _)| *l == label).unwrap().1;
+                    assert_eq!(
+                        &batched[q as usize], &y,
+                        "{label} solo vs batched query {q}"
+                    );
+                }
+            }
+            for &t in &thread_matrix()[1..] {
+                let got = step_many_outputs(g, t, q_bytes);
+                for ((l1, y1), (lt, yt)) in baseline.iter().zip(&got) {
+                    assert_eq!(y1, yt, "step_many {lt} differs from 1-thread {l1}");
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn baseline_runner_backends_bit_identical_across_thread_counts() {
     use pcpm::baselines::{bvgas_engine, edge_centric_engine, grid_engine, pdpr_engine};

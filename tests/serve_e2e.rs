@@ -469,6 +469,144 @@ fn metrics_endpoint_serves_prometheus_text() {
     handle.join().unwrap();
 }
 
+/// A storm of concurrent PPR requests with identical `QueryParams`:
+/// workers may coalesce any subset of them into shared batched passes,
+/// and that must be invisible — every reply equals the offline
+/// single-query answer for its own seed set, bit for bit. A thread
+/// with an out-of-range seed set rides along to prove one bad request
+/// cannot poison the batch it lands in.
+#[test]
+fn coalesced_ppr_storm_matches_single_query_answers() {
+    let graph = test_graph();
+    let cfg = test_cfg();
+    let handle = spawn_server(build_snapshot(&graph, &cfg, None), 4);
+    let addr = handle.addr();
+
+    let seed_sets: Vec<Vec<u32>> = vec![
+        vec![3],
+        vec![99, 512],
+        vec![7],
+        vec![1400, 2, 33],
+        vec![512],
+        vec![0, 1],
+    ];
+    let expected: Vec<Vec<f32>> = seed_sets
+        .iter()
+        .map(|s| personalized_pagerank(&graph, s, &cfg).unwrap().scores)
+        .collect();
+
+    let mut threads: Vec<_> = seed_sets
+        .into_iter()
+        .zip(expected)
+        .map(|(seeds, want)| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..4 {
+                    let r = client
+                        .personalized_pagerank(0, &params(&test_cfg()), &seeds)
+                        .unwrap();
+                    assert_eq!(r.epoch, 0);
+                    assert_eq!(
+                        r.scores, want,
+                        "seeds {seeds:?} round {round}: coalesced reply differs from solo answer"
+                    );
+                }
+            })
+        })
+        .collect();
+    threads.push(std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        for _ in 0..4 {
+            match client
+                .personalized_pagerank(0, &params(&test_cfg()), &[1_000_000])
+                .unwrap_err()
+            {
+                ServeError::Server { code, .. } => assert_eq!(code, ErrorCode::BadQuery),
+                other => panic!("expected typed BadQuery, got {other}"),
+            }
+        }
+    }));
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+/// A listener that accepts and then never replies must not hang the
+/// client forever: with `connect_timeout`, the read fails within the
+/// configured deadline.
+#[test]
+fn client_timeout_fires_against_unresponsive_server() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    // Keep the listener alive but never accept/reply; the OS completes
+    // the TCP handshake from its backlog, so connect succeeds and the
+    // hang would happen on the reply read.
+    let timeout = Duration::from_millis(300);
+    let mut client = Client::connect_timeout(addr, timeout).unwrap();
+    let t0 = std::time::Instant::now();
+    match client.health() {
+        Err(ServeError::Io(e)) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "expected a timeout error, got {e:?}"
+        ),
+        other => panic!("expected Io timeout, got {other:?}"),
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "timeout took {elapsed:?}, configured {timeout:?}"
+    );
+    drop(listener);
+}
+
+/// A decodable frame header with an out-of-range length earns a typed
+/// `BadFrame` error reply before the server closes the connection —
+/// not a silent drop.
+#[test]
+fn malformed_frame_length_gets_typed_bad_frame_reply() {
+    use pcpm::serve::proto::{read_frame, MAX_FRAME_BYTES};
+    use pcpm::serve::Response;
+    use std::io::Write;
+
+    let graph = test_graph();
+    let cfg = test_cfg();
+    let handle = spawn_server(build_snapshot(&graph, &cfg, None), 1);
+
+    for bad_len in [0u32, 1, 2, (MAX_FRAME_BYTES as u32) + 1] {
+        let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(&bad_len.to_le_bytes()).unwrap();
+        stream.flush().unwrap();
+        let frame = read_frame(&mut stream)
+            .unwrap()
+            .unwrap_or_else(|| panic!("len {bad_len}: server closed without a BadFrame reply"));
+        match Response::decode(frame.kind, &frame.payload).unwrap() {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::BadFrame, "len {bad_len}");
+                assert!(
+                    message.contains("bad frame length"),
+                    "len {bad_len}: message {message:?}"
+                );
+            }
+            other => panic!(
+                "len {bad_len}: expected error reply, got kind {}",
+                other.kind()
+            ),
+        }
+    }
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
 #[test]
 fn shutdown_drains_and_refuses_new_work() {
     let graph = test_graph();
