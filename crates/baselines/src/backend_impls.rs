@@ -74,6 +74,7 @@ impl Backend<PlusF32> for PdprBackend {
             bin_format: None,
             bin_compression: None,
             dest_stream_bytes: None,
+            kernel: None,
         }
     }
 }
@@ -118,6 +119,7 @@ impl Backend<PlusF32> for BvgasBackend {
             bin_format: None,
             bin_compression: None,
             dest_stream_bytes: None,
+            kernel: None,
         }
     }
 }
@@ -158,6 +160,7 @@ impl Backend<PlusF32> for EdgeCentricRunnerBackend {
             bin_format: None,
             bin_compression: None,
             dest_stream_bytes: None,
+            kernel: None,
         }
     }
 }
@@ -194,6 +197,7 @@ impl Backend<PlusF32> for GridBackend {
             bin_format: None,
             bin_compression: None,
             dest_stream_bytes: None,
+            kernel: None,
         }
     }
 }

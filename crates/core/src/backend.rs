@@ -49,6 +49,7 @@ use crate::config::PcpmConfig;
 use crate::engine::{FormatPipeline, GatherKind, ScatterKind};
 use crate::error::{PcpmError, SnapshotError};
 use crate::format::{BinFormat, BinFormatKind, CompactFormat, DeltaFormat, WideFormat};
+use crate::kernel::KernelKind;
 use crate::partition::split_by_lens;
 use crate::pr::PhaseTimings;
 use crate::snapshot::{BinState, BinStateInner, DataplaneState, Snapshot};
@@ -117,6 +118,10 @@ pub struct BackendMetrics {
     /// gather pass — the paper's bandwidth-bound term; `None` for
     /// backends without message bins.
     pub dest_stream_bytes: Option<u64>,
+    /// Concrete gather kernel name (`"scalar"` / `"unrolled"`, `Auto`
+    /// already resolved at build time) for backends with a kernel axis;
+    /// `None` elsewhere.
+    pub kernel: Option<&'static str>,
 }
 
 /// A pluggable dataplane: pre-processed state that can run one
@@ -263,6 +268,9 @@ pub struct ExecutionReport {
     pub batch_passes: usize,
     /// Query vectors served by those batched passes.
     pub batch_queries: usize,
+    /// Concrete gather kernel name, for backends with a kernel axis
+    /// ([`BackendMetrics::kernel`]).
+    pub kernel: Option<&'static str>,
 }
 
 impl ExecutionReport {
@@ -770,6 +778,7 @@ impl<A: Algebra> Engine<A> {
             pool_jobs_dispatched: jobs.saturating_sub(self.diag_base.1),
             batch_passes: self.batch_passes,
             batch_queries: self.batch_queries,
+            kernel: m.kernel,
         }
     }
 
@@ -909,6 +918,14 @@ impl<'g, A: Algebra> EngineBuilder<'g, A> {
         self
     }
 
+    /// Selects the gather/decode kernel variant (PCPM backend only).
+    /// [`KernelKind::Auto`] (the default) resolves to the
+    /// predicted-fastest concrete kernel at build time.
+    pub fn kernel(mut self, kernel: KernelKind) -> Self {
+        self.cfg.kernel = kernel;
+        self
+    }
+
     /// Selects the dataplane.
     pub fn backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
@@ -932,6 +949,11 @@ impl<'g, A: Algebra> EngineBuilder<'g, A> {
             if self.scatter != ScatterKind::default() || self.gather != GatherKind::default() {
                 return Err(PcpmError::BadConfig(
                     "scatter/gather variants apply only to the PCPM backend",
+                ));
+            }
+            if self.cfg.kernel != KernelKind::Auto {
+                return Err(PcpmError::BadConfig(
+                    "gather kernel variants apply only to the PCPM backend",
                 ));
             }
         }
@@ -997,6 +1019,7 @@ pub struct SnapshotEngineBuilder<A: Algebra> {
     snapshot: Snapshot,
     load: Duration,
     threads: Option<usize>,
+    kernel: KernelKind,
     _algebra: std::marker::PhantomData<A>,
 }
 
@@ -1009,6 +1032,7 @@ impl<A: Algebra> SnapshotEngineBuilder<A> {
             snapshot,
             load: t0.elapsed(),
             threads: None,
+            kernel: KernelKind::Auto,
             _algebra: std::marker::PhantomData,
         })
     }
@@ -1020,8 +1044,17 @@ impl<A: Algebra> SnapshotEngineBuilder<A> {
             snapshot,
             load,
             threads: None,
+            kernel: KernelKind::Auto,
             _algebra: std::marker::PhantomData,
         }
+    }
+
+    /// Selects the gather/decode kernel variant, exactly like
+    /// [`EngineBuilder::kernel`]. The kernel is a runtime knob, not a
+    /// layout property, so any snapshot accepts any kernel.
+    pub fn kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// The loaded snapshot (graph, format, weightedness inspection).
@@ -1062,6 +1095,7 @@ impl<A: Algebra> SnapshotEngineBuilder<A> {
         let mut cfg = PcpmConfig::default().with_partition_bytes(partition_bytes as usize);
         cfg.bin_format = bins.kind();
         cfg.threads = self.threads;
+        cfg.kernel = self.kernel;
         cfg.validate()?;
         if bins.is_weighted() != weights.is_some() {
             return Err(PcpmError::Snapshot(SnapshotError::Corrupt(
@@ -1071,7 +1105,7 @@ impl<A: Algebra> SnapshotEngineBuilder<A> {
         let n = graph.num_nodes();
         let weighted = weights.is_some();
         let pool = build_pool(cfg.threads)?;
-        let backend = boxed_backend_from_state::<A>(n, png, bins, load)?;
+        let backend = boxed_backend_from_state::<A>(n, png, bins, load, self.kernel)?;
         Ok(Engine {
             backend,
             num_src: n,
@@ -1102,6 +1136,7 @@ fn boxed_backend_from_state<A: Algebra>(
     png: crate::png::Png,
     bins: BinState,
     load: Duration,
+    kernel: KernelKind,
 ) -> Result<Box<dyn Backend<A>>, PcpmError> {
     let updates_len = png.num_compressed_edges() as usize;
     Ok(match bins.0 {
@@ -1112,7 +1147,7 @@ fn boxed_backend_from_state<A: Algebra>(
                 weights,
             };
             Box::new(PcpmBackend::<A, WideFormat>::from_pipeline(
-                FormatPipeline::from_loaded(num_nodes, num_nodes, png, bins, load),
+                FormatPipeline::from_loaded(num_nodes, num_nodes, png, bins, load, kernel),
             )) as Box<dyn Backend<A>>
         }
         BinStateInner::Compact { dest_ids, weights } => {
@@ -1122,7 +1157,7 @@ fn boxed_backend_from_state<A: Algebra>(
                 weights,
             };
             Box::new(PcpmBackend::<A, CompactFormat>::from_pipeline(
-                FormatPipeline::from_loaded(num_nodes, num_nodes, png, bins, load),
+                FormatPipeline::from_loaded(num_nodes, num_nodes, png, bins, load, kernel),
             ))
         }
         BinStateInner::Delta {
@@ -1139,7 +1174,7 @@ fn boxed_backend_from_state<A: Algebra>(
                 weights,
             );
             Box::new(PcpmBackend::<A, DeltaFormat>::from_pipeline(
-                FormatPipeline::from_loaded(num_nodes, num_nodes, png, bins, load),
+                FormatPipeline::from_loaded(num_nodes, num_nodes, png, bins, load, kernel),
             ))
         }
     })
@@ -1248,6 +1283,7 @@ impl<A: Algebra, F: BinFormat> Backend<A> for PcpmBackend<A, F> {
             bin_format: Some(F::KIND.name()),
             bin_compression: Some(self.pipeline.bin_compression()),
             dest_stream_bytes: Some(self.pipeline.dest_stream_bytes()),
+            kernel: Some(self.pipeline.kernel().name()),
         }
     }
 
@@ -1368,6 +1404,7 @@ impl<A: Algebra> Backend<A> for PullBackend<A> {
             bin_format: None,
             bin_compression: None,
             dest_stream_bytes: None,
+            kernel: None,
         }
     }
 }
@@ -1441,6 +1478,7 @@ impl<A: Algebra> Backend<A> for PushBackend<A> {
             bin_format: None,
             bin_compression: None,
             dest_stream_bytes: None,
+            kernel: None,
         }
     }
 }
@@ -1560,6 +1598,7 @@ impl<A: Algebra> Backend<A> for EdgeCentricBackend<A> {
             bin_format: None,
             bin_compression: None,
             dest_stream_bytes: None,
+            kernel: None,
         }
     }
 }

@@ -19,6 +19,7 @@
 //! partition size permits.
 
 use crate::format::{BinFormat, BinScalar, CompactFormat};
+use crate::kernel::{prefetch, KernelKind};
 use crate::partition::split_by_lens;
 use crate::png::{EdgeView, Png};
 use rayon::prelude::*;
@@ -75,21 +76,25 @@ impl<T: BinScalar> CompactBinSpace<T> {
 
 /// Algorithm 4 over compact bins and the `(+, ×)` semiring.
 pub fn gather_compact_branch_avoiding(png: &Png, bins: &CompactBinSpace, y: &mut [f32]) {
-    gather_compact_algebra::<crate::algebra::PlusF32>(png, bins, y);
+    gather_compact_algebra::<crate::algebra::PlusF32>(png, bins, y, KernelKind::Scalar);
 }
 
 /// Algorithm 4 over compact bins for an arbitrary
 /// [`Algebra`](crate::algebra::Algebra): identical pointer arithmetic,
 /// local 15-bit destination offsets (no base subtraction needed).
+/// [`KernelKind::Unrolled`] applies entries 4-at-a-time in the scalar
+/// order (bit-identical output) and prefetches the next segment.
 pub fn gather_compact_algebra<A: crate::algebra::Algebra>(
     png: &Png,
     bins: &CompactBinSpace<A::T>,
     y: &mut [A::T],
+    kernel: KernelKind,
 ) {
     assert_eq!(y.len(), png.dst_parts().num_nodes() as usize, "y length");
     let lens = png.dst_parts().lens();
     let slices = split_by_lens(y, &lens);
     let k_src = png.src_parts().num_partitions();
+    let unrolled = kernel == KernelKind::Unrolled;
     slices.into_par_iter().enumerate().for_each(|(p, ys)| {
         ys.fill(A::identity());
         for s in 0..k_src {
@@ -102,13 +107,62 @@ pub fn gather_compact_algebra<A: crate::algebra::Algebra>(
             let dhi = dbase + part.did_off[p + 1] as usize;
             let us = &bins.updates[ulo..uhi];
             let ds = &bins.dest_ids[dlo..dhi];
+            if unrolled && s + 1 < k_src {
+                let np = png.part(s + 1);
+                let nb = png.did_region()[s as usize + 1] as usize;
+                prefetch(&bins.dest_ids[nb + np.did_off[p] as usize..]);
+            }
             match &bins.weights {
+                None if unrolled => {
+                    let mut up = usize::MAX;
+                    macro_rules! step {
+                        ($id:expr) => {{
+                            let id = $id;
+                            up = up.wrapping_add((id >> 15) as usize);
+                            let slot = &mut ys[(id & ID_MASK16) as usize];
+                            *slot = A::combine(*slot, A::extend(us[up]));
+                        }};
+                    }
+                    let mut chunks = ds.chunks_exact(4);
+                    for c in &mut chunks {
+                        step!(c[0]);
+                        step!(c[1]);
+                        step!(c[2]);
+                        step!(c[3]);
+                    }
+                    for &id in chunks.remainder() {
+                        step!(id);
+                    }
+                }
                 None => {
                     let mut up = usize::MAX;
                     for &id in ds {
                         up = up.wrapping_add((id >> 15) as usize);
                         let slot = &mut ys[(id & ID_MASK16) as usize];
                         *slot = A::combine(*slot, A::extend(us[up]));
+                    }
+                }
+                Some(w) if unrolled => {
+                    let ws = &w[dlo..dhi];
+                    let mut up = usize::MAX;
+                    macro_rules! step {
+                        ($id:expr, $wt:expr) => {{
+                            let id = $id;
+                            up = up.wrapping_add((id >> 15) as usize);
+                            let slot = &mut ys[(id & ID_MASK16) as usize];
+                            *slot = A::combine(*slot, A::extend_weighted($wt, us[up]));
+                        }};
+                    }
+                    let mut dc = ds.chunks_exact(4);
+                    let mut wc = ws.chunks_exact(4);
+                    for (c, cw) in (&mut dc).zip(&mut wc) {
+                        step!(c[0], cw[0]);
+                        step!(c[1], cw[1]);
+                        step!(c[2], cw[2]);
+                        step!(c[3], cw[3]);
+                    }
+                    for (&id, &wt) in dc.remainder().iter().zip(wc.remainder()) {
+                        step!(id, wt);
                     }
                 }
                 Some(w) => {
@@ -135,6 +189,7 @@ pub fn gather_compact_algebra_many<A: crate::algebra::Algebra>(
     bins: &CompactBinSpace<A::T>,
     updates: &[&[A::T]],
     ys: &mut [&mut [A::T]],
+    kernel: KernelKind,
 ) {
     assert_eq!(updates.len(), ys.len(), "one update stream per output");
     for y in ys.iter() {
@@ -143,6 +198,7 @@ pub fn gather_compact_algebra_many<A: crate::algebra::Algebra>(
     let lens = png.dst_parts().lens();
     let per_part = crate::gather::split_queries_by_parts(ys, &lens);
     let k_src = png.src_parts().num_partitions();
+    let unrolled = kernel == KernelKind::Unrolled;
     per_part
         .into_par_iter()
         .enumerate()
@@ -158,6 +214,11 @@ pub fn gather_compact_algebra_many<A: crate::algebra::Algebra>(
                 let dlo = dbase + part.did_off[p] as usize;
                 let dhi = dbase + part.did_off[p + 1] as usize;
                 let ds = &bins.dest_ids[dlo..dhi];
+                if unrolled && s + 1 < k_src {
+                    let np = png.part(s + 1);
+                    let nb = png.did_region()[s as usize + 1] as usize;
+                    prefetch(&bins.dest_ids[nb + np.did_off[p] as usize..]);
+                }
                 match &bins.weights {
                     None => {
                         let mut up = usize::MAX;
@@ -245,6 +306,33 @@ mod tests {
         gather_branch_avoiding(&png, &wide, &mut yw);
         gather_compact_branch_avoiding(&png, &compact, &mut yc);
         assert_eq!(yw, yc);
+    }
+
+    #[test]
+    fn unrolled_kernel_bit_identical_to_scalar() {
+        let g = rmat(&RmatConfig::graph500(9, 8, 61)).unwrap();
+        let w = EdgeWeights::random(&g, 8);
+        for weights in [None, Some(w.as_slice())] {
+            let png = setup(&g, 100);
+            let x: Vec<f32> = (0..g.num_nodes()).map(|v| (v as f32).sin()).collect();
+            let mut bins = build_compact(&g, &png, weights);
+            png_scatter(&png, &x, &mut bins.updates);
+            let n = g.num_nodes() as usize;
+            let (mut ys, mut yu) = (vec![0.0f32; n], vec![0.0f32; n]);
+            gather_compact_algebra::<crate::algebra::PlusF32>(
+                &png,
+                &bins,
+                &mut ys,
+                KernelKind::Scalar,
+            );
+            gather_compact_algebra::<crate::algebra::PlusF32>(
+                &png,
+                &bins,
+                &mut yu,
+                KernelKind::Unrolled,
+            );
+            assert_eq!(ys, yu, "weighted={}", weights.is_some());
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::error::PcpmError;
 use crate::format::BinFormatKind;
+use crate::kernel::KernelKind;
 
 /// Size of one PageRank / update value in bytes (the paper uses 4-byte
 /// values and indices throughout, §5.1).
@@ -49,6 +50,12 @@ pub struct PcpmConfig {
     /// exception is the atomic-accumulation `push_pagerank` baseline
     /// driver in `pcpm-baselines`.
     pub threads: Option<usize>,
+    /// Gather/decode kernel variant (`--kernel`). A runtime knob, not a
+    /// layout property: it never affects bins on disk or in snapshots,
+    /// and every variant produces bit-identical results.
+    /// [`KernelKind::Auto`] (the default) resolves at pipeline build
+    /// via the memsim-grounded model in [`crate::kernel::resolve_auto`].
+    pub kernel: KernelKind,
 }
 
 impl Default for PcpmConfig {
@@ -61,6 +68,7 @@ impl Default for PcpmConfig {
             redistribute_dangling: false,
             bin_format: BinFormatKind::Wide,
             threads: None,
+            kernel: KernelKind::Auto,
         }
     }
 }
@@ -98,6 +106,12 @@ impl PcpmConfig {
     /// Returns a copy with a different bin format.
     pub fn with_bin_format(mut self, format: BinFormatKind) -> Self {
         self.bin_format = format;
+        self
+    }
+
+    /// Returns a copy with a different gather/decode kernel variant.
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -228,11 +242,13 @@ mod tests {
             .with_partition_bytes(1024)
             .with_iterations(5)
             .with_tolerance(1e-9)
-            .with_threads(2);
+            .with_threads(2)
+            .with_kernel(KernelKind::Unrolled);
         assert_eq!(c.partition_nodes(), 256);
         assert_eq!(c.iterations, 5);
         assert_eq!(c.tolerance, Some(1e-9));
         assert_eq!(c.threads, Some(2));
+        assert_eq!(c.kernel, KernelKind::Unrolled);
     }
 
     #[test]

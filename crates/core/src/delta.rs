@@ -30,6 +30,7 @@
 
 use crate::algebra::Algebra;
 use crate::format::{build_weight_stream, repair_weight_stream, BinScalar, DestCursor};
+use crate::kernel::{prefetch, KernelKind};
 use crate::partition::split_by_lens;
 use crate::png::{for_each_run, EdgeView, Png};
 use rayon::prelude::*;
@@ -84,6 +85,136 @@ fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
         }
         shift += 7;
     }
+}
+
+/// Per-window decode plan for the batched decoder, keyed by the 8
+/// continuation (MSB) bits of an 8-byte window. The plan tells the hot
+/// loop, without inspecting any payload byte, where each 1–2-byte
+/// varint starts, how long it is, how many bytes the window consumes,
+/// and whether a rare >= 3-byte varint interrupts the run.
+#[derive(Clone, Copy)]
+struct WordPlan {
+    /// Varints fully contained in the window as 1–2-byte encodings.
+    count: u8,
+    /// Bytes those varints consume.
+    consumed: u8,
+    /// Byte offset of the `k`-th varint, packed as nibble `k` (0 for
+    /// unused slots, whose extracted garbage is overwritten or
+    /// truncated away). One register read per slot instead of a table
+    /// byte load keeps the extraction loop free of memory traffic.
+    offs: u64,
+    /// The byte at `consumed` starts a >= 3-byte varint (two set
+    /// continuation bits in a row) — fall back to [`read_varint`].
+    long: bool,
+}
+
+const fn build_word_plans() -> [WordPlan; 256] {
+    let mut lut = [WordPlan {
+        count: 0,
+        consumed: 0,
+        offs: 0,
+        long: false,
+    }; 256];
+    let mut m = 0usize;
+    while m < 256 {
+        let mut pos = 0usize;
+        let mut k = 0usize;
+        while pos < 8 {
+            if (m >> pos) & 1 == 0 {
+                lut[m].offs |= (pos as u64) << (4 * k);
+                pos += 1;
+                k += 1;
+            } else if pos + 1 >= 8 {
+                // A 2-byte varint would cross the window edge: leave it
+                // for the next (re-based) window or the tail loop.
+                break;
+            } else if (m >> (pos + 1)) & 1 == 1 {
+                lut[m].long = true;
+                break;
+            } else {
+                lut[m].offs |= (pos as u64) << (4 * k);
+                pos += 2;
+                k += 1;
+            }
+        }
+        lut[m].count = k as u8;
+        lut[m].consumed = pos as u8;
+        m += 1;
+    }
+    lut
+}
+
+static WORD_PLANS: [WordPlan; 256] = build_word_plans();
+
+/// Compacts the 8 byte-MSBs of `w` into one plan-table index
+/// (bit `i` = continuation bit of byte `i`): mask the MSBs, then one
+/// carry-free multiply sums the shifted copies so every MSB lands in
+/// the top byte — three ops instead of an eight-way shift/or tree.
+#[inline]
+fn continuation_mask(w: u64) -> usize {
+    ((w & 0x8080_8080_8080_8080).wrapping_mul(0x0002_0408_1020_4081) >> 56) as usize
+}
+
+/// Batched segment decoder: decodes **every** varint in `bytes` into
+/// `out` (exactly the decoded sequence on return), separating decode
+/// from apply so the apply loop runs branch-free over plain `u64`s.
+///
+/// The hot loop pulls one unaligned little-endian `u64` per iteration,
+/// looks the window's continuation bits up in [`WORD_PLANS`], and
+/// extracts up to eight 1–2-byte varints — the overwhelmingly common
+/// case for partition-local deltas — as independent mask arithmetic:
+/// no data-dependent branch per byte, no serial position chain from one
+/// varint to the next, and one bounds check per window instead of per
+/// byte. All 8 slots are extracted and stored unconditionally (garbage
+/// slots land past `count` and are overwritten by the next window or
+/// truncated), so the store loop is branch-free too. Longer varints
+/// fall through to [`read_varint`], which stays the asserted-identical
+/// fallback (`batched_decode_matches_read_varint` below fuzzes the
+/// equivalence across every varint length; `tests/kernel_agreement.rs`
+/// and `tests/parallel_determinism.rs` assert whole-kernel bit-identity
+/// under `PCPM_TEST_KERNELS`).
+#[inline]
+pub(crate) fn decode_segment_into(bytes: &[u8], out: &mut Vec<u64>) {
+    let len = bytes.len();
+    // 8 slots of slack for the unconditional window stores; stale
+    // contents past the final truncate are never observable.
+    if out.len() < len + 8 {
+        out.resize(len + 8, 0);
+    }
+    let mut pos = 0usize;
+    let mut n = 0usize;
+    while pos + 8 <= len {
+        let w = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        let plan = &WORD_PLANS[continuation_mask(w)];
+        let offs = plan.offs;
+        let dst = &mut out[n..n + 8];
+        for (k, slot) in dst.iter_mut().enumerate() {
+            // Each slot re-derives "am I a 2-byte varint?" from its own
+            // continuation bit (bit 7 of the shifted window) instead of
+            // the plan's `twos` bits: every operand then lives in the
+            // same lane, so the whole extraction vectorizes cleanly.
+            // The second byte of a genuine 2-byte varint is terminal
+            // (MSB clear), so `(x >> 1) & 0x3f80` is exactly its 7
+            // payload bits shifted into place.
+            let x = w >> (8 * ((offs >> (4 * k)) & 0xf) as u32);
+            let m = (((x << 56) as i64) >> 63) as u64;
+            *slot = (x & 0x7f) | ((x >> 1) & 0x3f80 & m);
+        }
+        n += plan.count as usize;
+        pos += plan.consumed as usize;
+        if plan.long {
+            // >= 3 encoded bytes: rare (gaps < 2^14 fit in two), and
+            // this branch predicts well precisely because it is rare.
+            out[n] = read_varint(bytes, &mut pos);
+            n += 1;
+        }
+    }
+    // Tail: fewer than 8 bytes left, decode them one varint at a time.
+    while pos < len {
+        out[n] = read_varint(bytes, &mut pos);
+        n += 1;
+    }
+    out.truncate(n);
 }
 
 /// Encoded size of `v` as a LEB128 varint.
@@ -332,13 +463,30 @@ impl DestCursor for DeltaCursor<'_> {
 /// the pointer-arithmetic MSB trick carried in the varint's LSB. Decodes
 /// entries in identical order, so output is bit-identical to the wide
 /// format for any algebra.
-pub fn gather_delta_algebra<A: Algebra>(png: &Png, bins: &DeltaPackedBins<A::T>, y: &mut [A::T]) {
+///
+/// `kernel` picks the decode strategy. [`KernelKind::Unrolled`] decodes
+/// each segment into a per-partition scratch buffer in one pass
+/// ([`decode_segment_into`]), prefetches the next segment, and applies
+/// the decoded entries 4-at-a-time; any other value runs the original
+/// scalar decode-in-loop. Both apply entries in exactly the same order,
+/// so f32 output is bit-identical across kernels.
+pub fn gather_delta_algebra<A: Algebra>(
+    png: &Png,
+    bins: &DeltaPackedBins<A::T>,
+    y: &mut [A::T],
+    kernel: KernelKind,
+) {
     assert_eq!(y.len(), png.dst_parts().num_nodes() as usize, "y length");
     let lens = png.dst_parts().lens();
     let slices = split_by_lens(y, &lens);
     let k_src = png.src_parts().num_partitions();
+    let unrolled = kernel == KernelKind::Unrolled;
     slices.into_par_iter().enumerate().for_each(|(p, ys)| {
         ys.fill(A::identity());
+        // One scratch buffer per destination partition, reused across
+        // every source partition's segment (capacity converges to the
+        // largest segment; cleared, never reallocated per segment).
+        let mut scratch: Vec<u64> = Vec::new();
         for s in 0..k_src {
             let su = s as usize;
             let part = png.part(s);
@@ -347,7 +495,35 @@ pub fn gather_delta_algebra<A: Algebra>(png: &Png, bins: &DeltaPackedBins<A::T>,
             let uhi = ubase + part.upd_off[p + 1] as usize;
             let us = &bins.updates[ulo..uhi];
             let bytes = bins.segment(su, p);
+            if unrolled && s + 1 < k_src {
+                prefetch(bins.segment(su + 1, p));
+            }
             match &bins.weights {
+                None if unrolled => {
+                    decode_segment_into(bytes, &mut scratch);
+                    let mut up = usize::MAX;
+                    let mut local = 0usize;
+                    macro_rules! step {
+                        ($v:expr) => {{
+                            let v = $v;
+                            up = up.wrapping_add((v & 1) as usize);
+                            let d = (v >> 1) as usize;
+                            local = if v & 1 == 1 { d } else { local + d };
+                            let slot = &mut ys[local];
+                            *slot = A::combine(*slot, A::extend(us[up]));
+                        }};
+                    }
+                    let mut chunks = scratch.chunks_exact(4);
+                    for c in &mut chunks {
+                        step!(c[0]);
+                        step!(c[1]);
+                        step!(c[2]);
+                        step!(c[3]);
+                    }
+                    for &v in chunks.remainder() {
+                        step!(v);
+                    }
+                }
                 None => {
                     let mut up = usize::MAX;
                     let mut local = 0usize;
@@ -362,6 +538,37 @@ pub fn gather_delta_algebra<A: Algebra>(png: &Png, bins: &DeltaPackedBins<A::T>,
                         local = if v & 1 == 1 { d } else { local + d };
                         let slot = &mut ys[local];
                         *slot = A::combine(*slot, A::extend(us[up]));
+                    }
+                }
+                Some(w) if unrolled => {
+                    let dbase = png.did_region()[su] as usize;
+                    let dlo = dbase + part.did_off[p] as usize;
+                    let dhi = dbase + part.did_off[p + 1] as usize;
+                    let ws = &w[dlo..dhi];
+                    decode_segment_into(bytes, &mut scratch);
+                    let mut up = usize::MAX;
+                    let mut local = 0usize;
+                    let mut edge = 0usize;
+                    macro_rules! step {
+                        ($v:expr) => {{
+                            let v = $v;
+                            up = up.wrapping_add((v & 1) as usize);
+                            let d = (v >> 1) as usize;
+                            local = if v & 1 == 1 { d } else { local + d };
+                            let slot = &mut ys[local];
+                            *slot = A::combine(*slot, A::extend_weighted(ws[edge], us[up]));
+                            edge += 1;
+                        }};
+                    }
+                    let mut chunks = scratch.chunks_exact(4);
+                    for c in &mut chunks {
+                        step!(c[0]);
+                        step!(c[1]);
+                        step!(c[2]);
+                        step!(c[3]);
+                    }
+                    for &v in chunks.remainder() {
+                        step!(v);
                     }
                 }
                 Some(w) => {
@@ -399,6 +606,7 @@ pub fn gather_delta_algebra_many<A: Algebra>(
     bins: &DeltaPackedBins<A::T>,
     updates: &[&[A::T]],
     ys: &mut [&mut [A::T]],
+    kernel: KernelKind,
 ) {
     assert_eq!(updates.len(), ys.len(), "one update stream per output");
     for y in ys.iter() {
@@ -407,6 +615,7 @@ pub fn gather_delta_algebra_many<A: Algebra>(
     let lens = png.dst_parts().lens();
     let per_part = crate::gather::split_queries_by_parts(ys, &lens);
     let k_src = png.src_parts().num_partitions();
+    let unrolled = kernel == KernelKind::Unrolled;
     per_part
         .into_par_iter()
         .enumerate()
@@ -414,13 +623,31 @@ pub fn gather_delta_algebra_many<A: Algebra>(
             for ys in ys_q.iter_mut() {
                 ys.fill(A::identity());
             }
+            let mut scratch: Vec<u64> = Vec::new();
             for s in 0..k_src {
                 let su = s as usize;
                 let part = png.part(s);
                 let ubase = png.upd_region()[su] as usize;
                 let ulo = ubase + part.upd_off[p] as usize;
                 let bytes = bins.segment(su, p);
+                if unrolled && s + 1 < k_src {
+                    prefetch(bins.segment(su + 1, p));
+                }
                 match &bins.weights {
+                    None if unrolled => {
+                        decode_segment_into(bytes, &mut scratch);
+                        let mut up = usize::MAX;
+                        let mut local = 0usize;
+                        for &v in scratch.iter() {
+                            up = up.wrapping_add((v & 1) as usize);
+                            let d = (v >> 1) as usize;
+                            local = if v & 1 == 1 { d } else { local + d };
+                            for (q, ys) in ys_q.iter_mut().enumerate() {
+                                let slot = &mut ys[local];
+                                *slot = A::combine(*slot, A::extend(updates[q][ulo + up]));
+                            }
+                        }
+                    }
                     None => {
                         let mut up = usize::MAX;
                         let mut local = 0usize;
@@ -433,6 +660,27 @@ pub fn gather_delta_algebra_many<A: Algebra>(
                             for (q, ys) in ys_q.iter_mut().enumerate() {
                                 let slot = &mut ys[local];
                                 *slot = A::combine(*slot, A::extend(updates[q][ulo + up]));
+                            }
+                        }
+                    }
+                    Some(w) if unrolled => {
+                        let dbase = png.did_region()[su] as usize;
+                        let dlo = dbase + part.did_off[p] as usize;
+                        let dhi = dbase + part.did_off[p + 1] as usize;
+                        let ws = &w[dlo..dhi];
+                        decode_segment_into(bytes, &mut scratch);
+                        let mut up = usize::MAX;
+                        let mut local = 0usize;
+                        for (edge, &v) in scratch.iter().enumerate() {
+                            up = up.wrapping_add((v & 1) as usize);
+                            let d = (v >> 1) as usize;
+                            local = if v & 1 == 1 { d } else { local + d };
+                            for (q, ys) in ys_q.iter_mut().enumerate() {
+                                let slot = &mut ys[local];
+                                *slot = A::combine(
+                                    *slot,
+                                    A::extend_weighted(ws[edge], updates[q][ulo + up]),
+                                );
                             }
                         }
                     }
@@ -515,9 +763,78 @@ mod tests {
             let n = g.num_nodes() as usize;
             let (mut yw, mut yd) = (vec![0.0f32; n], vec![0.0f32; n]);
             crate::gather::gather_branch_avoiding(&png, &wide, &mut yw);
-            gather_delta_algebra::<crate::algebra::PlusF32>(&png, &delta, &mut yd);
-            assert_eq!(yw, yd, "q={q}");
+            for kernel in [KernelKind::Scalar, KernelKind::Unrolled] {
+                gather_delta_algebra::<crate::algebra::PlusF32>(&png, &delta, &mut yd, kernel);
+                assert_eq!(yw, yd, "q={q} kernel={kernel}");
+            }
         }
+    }
+
+    #[test]
+    fn batched_decode_matches_read_varint() {
+        // Deterministic LCG over value magnitudes that cross every
+        // varint length boundary, including max-length (10-byte) ones.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for trial in 0..200 {
+            let len = (next() % 64) as usize;
+            let values: Vec<u64> = (0..len)
+                .map(|_| {
+                    let bits = next() % 65; // 0..=64 significant bits
+                    if bits == 0 {
+                        0
+                    } else {
+                        next() & (u64::MAX >> (64 - bits))
+                    }
+                })
+                .collect();
+            let mut buf = Vec::new();
+            for &v in &values {
+                write_varint(&mut buf, v);
+            }
+            let mut batched = Vec::new();
+            decode_segment_into(&buf, &mut batched);
+            let mut scalar = Vec::new();
+            let mut pos = 0usize;
+            while pos < buf.len() {
+                scalar.push(read_varint(&buf, &mut pos));
+            }
+            assert_eq!(batched, values, "trial {trial}");
+            assert_eq!(batched, scalar, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn batched_decode_boundary_values() {
+        // Every length boundary of the LEB128 encoding, in one stream.
+        let values: Vec<u64> = (0..10)
+            .flat_map(|b| {
+                let lo = if b == 0 { 0 } else { 1u64 << (7 * b) };
+                let hi = match 1u64.checked_shl(7 * (b + 1)) {
+                    Some(x) => x - 1,
+                    None => u64::MAX,
+                };
+                [lo, lo + 1, hi]
+            })
+            .chain([u64::MAX])
+            .collect();
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut out = Vec::new();
+        decode_segment_into(&buf, &mut out);
+        assert_eq!(out, values);
+        // Reuse must clear previous contents.
+        decode_segment_into(&[5u8], &mut out);
+        assert_eq!(out, vec![5]);
+        decode_segment_into(&[], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]
@@ -532,8 +849,10 @@ mod tests {
         png_scatter(&png, &x, &mut delta.updates);
         let (mut yw, mut yd) = (vec![0.0f32; 200], vec![0.0f32; 200]);
         crate::gather::gather_branch_avoiding(&png, &wide, &mut yw);
-        gather_delta_algebra::<crate::algebra::PlusF32>(&png, &delta, &mut yd);
-        assert_eq!(yw, yd);
+        for kernel in [KernelKind::Scalar, KernelKind::Unrolled] {
+            gather_delta_algebra::<crate::algebra::PlusF32>(&png, &delta, &mut yd, kernel);
+            assert_eq!(yw, yd, "kernel={kernel}");
+        }
     }
 
     #[test]
@@ -549,8 +868,10 @@ mod tests {
         let n = g.num_nodes() as usize;
         let (mut yw, mut yd) = (vec![0u32; n], vec![0u32; n]);
         crate::gather::gather_algebra::<MinLabel>(&png, &wide, &mut yw);
-        gather_delta_algebra::<MinLabel>(&png, &delta, &mut yd);
-        assert_eq!(yw, yd);
+        for kernel in [KernelKind::Scalar, KernelKind::Unrolled] {
+            gather_delta_algebra::<MinLabel>(&png, &delta, &mut yd, kernel);
+            assert_eq!(yw, yd, "kernel={kernel}");
+        }
     }
 
     #[test]
@@ -612,10 +933,12 @@ mod tests {
         png_scatter(&png, &x, &mut delta.updates);
         let (mut yw, mut yd) = (vec![0.0f32; 4], vec![0.0f32; 4]);
         crate::gather::gather_branch_avoiding(&png, &wide, &mut yw);
-        gather_delta_algebra::<crate::algebra::PlusF32>(&png, &delta, &mut yd);
-        assert_eq!(yw, yd);
-        assert_eq!(yd[1], 2.0, "duplicate edge (0,1) counted twice");
-        assert_eq!(yd[3], 8.0, "duplicate edge (2,3) counted twice");
+        for kernel in [KernelKind::Scalar, KernelKind::Unrolled] {
+            gather_delta_algebra::<crate::algebra::PlusF32>(&png, &delta, &mut yd, kernel);
+            assert_eq!(yw, yd, "kernel={kernel}");
+            assert_eq!(yd[1], 2.0, "duplicate edge (0,1) counted twice");
+            assert_eq!(yd[3], 8.0, "duplicate edge (2,3) counted twice");
+        }
     }
 
     #[test]
@@ -625,6 +948,112 @@ mod tests {
         let bins = DeltaFormat::build::<f32>(EdgeView::from_csr(&g), &png, None);
         assert_eq!(bins.dest_stream_bytes(), 0);
         let mut y: Vec<f32> = vec![];
-        gather_delta_algebra::<crate::algebra::PlusF32>(&png, &bins, &mut y);
+        for kernel in [KernelKind::Scalar, KernelKind::Unrolled] {
+            gather_delta_algebra::<crate::algebra::PlusF32>(&png, &bins, &mut y, kernel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod perf_probe {
+    use super::*;
+    use crate::partition::Partitioner;
+    use pcpm_graph::gen::{rmat, RmatConfig};
+    use std::time::Instant;
+
+    fn best_of<F: FnMut() -> u64>(mut f: F, edges: u64) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            let reps = 60u64;
+            for _ in 0..reps {
+                std::hint::black_box(f());
+            }
+            best = best.min(t0.elapsed().as_nanos() as f64 / (reps * edges) as f64);
+        }
+        best
+    }
+
+    #[test]
+    #[ignore]
+    fn probe_decode_cost() {
+        let g = rmat(&RmatConfig::graph500(12, 8, 42)).unwrap();
+        for q in [256u32, 512, 1024, 2048] {
+            let parts = Partitioner::new(g.num_nodes(), q).unwrap();
+            let png = Png::build(EdgeView::from_csr(&g), parts, parts);
+            let bins = DeltaPackedBins::<f32>::build(EdgeView::from_csr(&g), &png, None);
+            let k = png.src_parts().num_partitions() as usize;
+            let edges: u64 = png.num_raw_edges();
+            let total_bytes: usize = (0..k)
+                .flat_map(|s| (0..k).map(move |p| (s, p)))
+                .map(|(s, p)| bins.segment(s, p).len())
+                .sum();
+            let us = &bins.updates;
+            let mut ys = vec![0.0f32; q as usize + 8];
+            let mut scratch = Vec::new();
+
+            let a = best_of(
+                || {
+                    for p in 0..k {
+                        for s in 0..k {
+                            let bytes = bins.segment(s, p);
+                            let mut up = usize::MAX;
+                            let mut local = 0usize;
+                            let mut pos = 0usize;
+                            while pos < bytes.len() {
+                                let v = read_varint(bytes, &mut pos);
+                                up = up.wrapping_add((v & 1) as usize);
+                                let d = (v >> 1) as usize;
+                                local = if v & 1 == 1 { d } else { local + d };
+                                ys[local] += us[up];
+                            }
+                        }
+                    }
+                    ys[0] as u64
+                },
+                edges,
+            );
+
+            let b = best_of(
+                || {
+                    let mut sink = 0u64;
+                    for p in 0..k {
+                        for s in 0..k {
+                            decode_segment_into(bins.segment(s, p), &mut scratch);
+                            sink = sink.wrapping_add(scratch.len() as u64);
+                        }
+                    }
+                    sink
+                },
+                edges,
+            );
+
+            let c = best_of(
+                || {
+                    for p in 0..k {
+                        for s in 0..k {
+                            decode_segment_into(bins.segment(s, p), &mut scratch);
+                            let mut up = usize::MAX;
+                            let mut local = 0usize;
+                            for &v in scratch.iter() {
+                                up = up.wrapping_add((v & 1) as usize);
+                                let d = (v >> 1) as usize;
+                                local = if v & 1 == 1 { d } else { local + d };
+                                ys[local] += us[up];
+                            }
+                        }
+                    }
+                    ys[0] as u64
+                },
+                edges,
+            );
+
+            println!(
+                "q={q:5} parts={k:3} bytes/edge={:.3} scalar={a:.3} decode={b:.3} \
+                 batched={c:.3} ratio={:.2}x",
+                total_bytes as f64 / edges as f64,
+                a / c
+            );
+        }
     }
 }

@@ -22,6 +22,7 @@ use crate::error::PcpmError;
 use crate::format::{
     dest_compression, BinFormat, BinFormatKind, CompactFormat, DeltaFormat, WideFormat,
 };
+use crate::kernel::KernelKind;
 use crate::partition::Partitioner;
 use crate::png::{EdgeView, Png};
 use crate::pr::PhaseTimings;
@@ -61,6 +62,9 @@ pub struct FormatPipeline<A: Algebra, F: BinFormat> {
     png: Png,
     bins: F::Bins<A::T>,
     preprocess: Duration,
+    /// The concrete gather kernel, resolved from [`PcpmConfig::kernel`]
+    /// at build time (never [`KernelKind::Auto`]).
+    kernel: KernelKind,
 }
 
 impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
@@ -86,12 +90,19 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
         let png = Png::build(view, src_parts, dst_parts);
         F::validate_layout(&png)?;
         let bins = F::build(view, &png, weights);
+        let kernel = cfg.kernel.resolve(
+            F::KIND,
+            png.num_raw_edges(),
+            png.src_parts().num_partitions(),
+            png.dst_parts().num_partitions(),
+        );
         Ok(Self {
             num_src: view.num_src(),
             num_dst: view.num_dst(),
             png,
             bins,
             preprocess: t0.elapsed(),
+            kernel,
         })
     }
 
@@ -105,13 +116,21 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
         png: Png,
         bins: F::Bins<A::T>,
         preprocess: Duration,
+        kernel: KernelKind,
     ) -> Self {
+        let kernel = kernel.resolve(
+            F::KIND,
+            png.num_raw_edges(),
+            png.src_parts().num_partitions(),
+            png.dst_parts().num_partitions(),
+        );
         Self {
             num_src,
             num_dst,
             png,
             bins,
             preprocess,
+            kernel,
         }
     }
 
@@ -138,6 +157,12 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
     /// The bin storage.
     pub fn bins(&self) -> &F::Bins<A::T> {
         &self.bins
+    }
+
+    /// The concrete gather kernel this pipeline runs (`Auto` already
+    /// resolved at build time).
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
     }
 
     /// Heap bytes held by the message bins.
@@ -291,7 +316,9 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
         {
             let _span = crate::telemetry::span("gather");
             match gather {
-                GatherKind::BranchAvoiding => F::gather_from::<A>(&self.png, &self.bins, y),
+                GatherKind::BranchAvoiding => {
+                    F::gather_from::<A>(&self.png, &self.bins, y, self.kernel)
+                }
                 GatherKind::Branchy => F::gather_branchy_from::<A>(&self.png, &self.bins, y)?,
             }
         }
@@ -309,6 +336,7 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
             if F::KIND == BinFormatKind::Delta {
                 tm.add_varint_decodes(self.png.num_raw_edges());
             }
+            self.record_kernel_counters(gather_t);
         }
         Ok(PhaseTimings {
             scatter: scatter_t,
@@ -383,7 +411,7 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
         {
             let _span = crate::telemetry::span("gather_many");
             let upd_refs: Vec<&[A::T]> = multi.iter().map(|v| v.as_slice()).collect();
-            F::gather_many_from::<A>(&self.png, &self.bins, &upd_refs, ys);
+            F::gather_many_from::<A>(&self.png, &self.bins, &upd_refs, ys, self.kernel);
         }
         let gather_t = t1.elapsed();
         // The batched pass scans the destID stream (and decodes delta
@@ -398,12 +426,36 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
             if F::KIND == BinFormatKind::Delta {
                 tm.add_varint_decodes(self.png.num_raw_edges());
             }
+            self.record_kernel_counters(gather_t);
         }
         Ok(PhaseTimings {
             scatter: scatter_t,
             gather: gather_t,
             apply: Duration::ZERO,
         })
+    }
+
+    /// Per-kernel telemetry, recorded once per gather pass from
+    /// analytically known quantities (the caller has already checked
+    /// `is_enabled`). The unrolled delta kernel decodes one segment per
+    /// (src, dst) partition pair into an 8-bytes-per-entry scratch
+    /// buffer; the fixed-width and scalar paths touch no scratch.
+    fn record_kernel_counters(&self, gather_t: Duration) {
+        let tm = crate::telemetry::counters();
+        match self.kernel {
+            KernelKind::Unrolled => {
+                tm.add_gather_unrolled_ns(gather_t.as_nanos() as u64);
+                if F::KIND == BinFormatKind::Delta {
+                    let segs = u64::from(self.png.src_parts().num_partitions())
+                        * u64::from(self.png.dst_parts().num_partitions());
+                    tm.add_kernel_segments_decoded(segs);
+                    tm.add_kernel_scratch_bytes(
+                        crate::kernel::SCRATCH_BYTES_PER_EDGE * self.png.num_raw_edges(),
+                    );
+                }
+            }
+            _ => tm.add_gather_scalar_ns(gather_t.as_nanos() as u64),
+        }
     }
 }
 
@@ -555,6 +607,12 @@ impl<A: Algebra> PcpmPipeline<A> {
     /// Whether the pipeline built the compact 16-bit bins.
     pub fn is_compact(&self) -> bool {
         self.bin_format() == BinFormatKind::Compact
+    }
+
+    /// The concrete gather kernel this pipeline runs (`Auto` already
+    /// resolved at build time).
+    pub fn kernel(&self) -> KernelKind {
+        with_pipeline!(self, p => p.kernel())
     }
 
     /// Whether the pipeline carries per-edge weights in its bins.

@@ -30,6 +30,7 @@ use crate::bins::BinSpace;
 use crate::compact::CompactBinSpace;
 use crate::delta::DeltaPackedBins;
 use crate::error::PcpmError;
+use crate::kernel::KernelKind;
 use crate::partition::split_by_lens;
 use crate::png::{for_each_run, EdgeView, Png};
 use rayon::prelude::*;
@@ -158,7 +159,15 @@ pub trait BinFormat: Send + Sync + 'static {
 
     /// One gather round: reduces every message into `y` under `A`
     /// (branch-avoiding, Algorithm 4 adapted to the encoding).
-    fn gather_from<A: Algebra>(png: &Png, bins: &Self::Bins<A::T>, y: &mut [A::T]);
+    /// `kernel` selects the decode/accumulate variant (see
+    /// [`KernelKind`]); all variants apply entries in identical order,
+    /// so output is bit-identical across kernels.
+    fn gather_from<A: Algebra>(
+        png: &Png,
+        bins: &Self::Bins<A::T>,
+        y: &mut [A::T],
+        kernel: KernelKind,
+    );
 
     /// One multi-query gather round (the SpMM inner loop): decodes each
     /// destination-ID segment **once** and applies every entry to all
@@ -172,6 +181,7 @@ pub trait BinFormat: Send + Sync + 'static {
         bins: &Self::Bins<A::T>,
         updates: &[&[A::T]],
         ys: &mut [&mut [A::T]],
+        kernel: KernelKind,
     );
 
     /// The branchy-gather ablation (Algorithm 2). Only the wide format
@@ -495,8 +505,13 @@ impl BinFormat for WideFormat {
         bins.weights = new_weights;
     }
 
-    fn gather_from<A: Algebra>(png: &Png, bins: &BinSpace<A::T>, y: &mut [A::T]) {
-        crate::gather::gather_algebra::<A>(png, bins, y);
+    fn gather_from<A: Algebra>(
+        png: &Png,
+        bins: &BinSpace<A::T>,
+        y: &mut [A::T],
+        kernel: KernelKind,
+    ) {
+        crate::gather::gather_algebra_kernel::<A>(png, bins, y, kernel);
     }
 
     fn gather_many_from<A: Algebra>(
@@ -504,8 +519,9 @@ impl BinFormat for WideFormat {
         bins: &BinSpace<A::T>,
         updates: &[&[A::T]],
         ys: &mut [&mut [A::T]],
+        kernel: KernelKind,
     ) {
-        crate::gather::gather_algebra_many::<A>(png, bins, updates, ys);
+        crate::gather::gather_algebra_many::<A>(png, bins, updates, ys, kernel);
     }
 
     fn gather_branchy_from<A: Algebra>(
@@ -629,8 +645,13 @@ impl BinFormat for CompactFormat {
         bins.weights = new_weights;
     }
 
-    fn gather_from<A: Algebra>(png: &Png, bins: &CompactBinSpace<A::T>, y: &mut [A::T]) {
-        crate::compact::gather_compact_algebra::<A>(png, bins, y);
+    fn gather_from<A: Algebra>(
+        png: &Png,
+        bins: &CompactBinSpace<A::T>,
+        y: &mut [A::T],
+        kernel: KernelKind,
+    ) {
+        crate::compact::gather_compact_algebra::<A>(png, bins, y, kernel);
     }
 
     fn gather_many_from<A: Algebra>(
@@ -638,8 +659,9 @@ impl BinFormat for CompactFormat {
         bins: &CompactBinSpace<A::T>,
         updates: &[&[A::T]],
         ys: &mut [&mut [A::T]],
+        kernel: KernelKind,
     ) {
-        crate::compact::gather_compact_algebra_many::<A>(png, bins, updates, ys);
+        crate::compact::gather_compact_algebra_many::<A>(png, bins, updates, ys, kernel);
     }
 
     fn updates_mut<T: BinScalar>(bins: &mut CompactBinSpace<T>) -> &mut [T] {
@@ -707,8 +729,13 @@ impl BinFormat for DeltaFormat {
         bins.repair(view, png, old_did_region, touched, weights);
     }
 
-    fn gather_from<A: Algebra>(png: &Png, bins: &DeltaPackedBins<A::T>, y: &mut [A::T]) {
-        crate::delta::gather_delta_algebra::<A>(png, bins, y);
+    fn gather_from<A: Algebra>(
+        png: &Png,
+        bins: &DeltaPackedBins<A::T>,
+        y: &mut [A::T],
+        kernel: KernelKind,
+    ) {
+        crate::delta::gather_delta_algebra::<A>(png, bins, y, kernel);
     }
 
     fn gather_many_from<A: Algebra>(
@@ -716,8 +743,9 @@ impl BinFormat for DeltaFormat {
         bins: &DeltaPackedBins<A::T>,
         updates: &[&[A::T]],
         ys: &mut [&mut [A::T]],
+        kernel: KernelKind,
     ) {
-        crate::delta::gather_delta_algebra_many::<A>(png, bins, updates, ys);
+        crate::delta::gather_delta_algebra_many::<A>(png, bins, updates, ys, kernel);
     }
 
     fn updates_mut<T: BinScalar>(bins: &mut DeltaPackedBins<T>) -> &mut [T] {

@@ -20,6 +20,7 @@
 
 use crate::algebra::Algebra;
 use crate::bins::BinSpace;
+use crate::kernel::{prefetch, KernelKind};
 use crate::partition::split_by_lens;
 use crate::png::Png;
 use crate::ID_MASK;
@@ -44,14 +45,28 @@ pub fn gather_branchy(png: &Png, bins: &BinSpace, y: &mut [f32]) {
 /// that need "keep my own value" semantics (label propagation, BFS)
 /// combine `y` with the previous vertex state afterwards.
 pub fn gather_algebra<A: Algebra>(png: &Png, bins: &BinSpace<A::T>, y: &mut [A::T]) {
-    run_gather::<A>(png, bins, y, false);
+    run_gather::<A>(png, bins, y, false, KernelKind::Scalar);
+}
+
+/// [`gather_algebra`] with an explicit kernel variant.
+/// [`KernelKind::Unrolled`] applies entries 4-at-a-time (in exactly the
+/// scalar order, so f32 output stays bit-identical) and prefetches the
+/// next destID segment; any other value runs the scalar loop.
+pub fn gather_algebra_kernel<A: Algebra>(
+    png: &Png,
+    bins: &BinSpace<A::T>,
+    y: &mut [A::T],
+    kernel: KernelKind,
+) {
+    run_gather::<A>(png, bins, y, false, kernel);
 }
 
 /// Branchy gather (Algorithm 2) over an arbitrary [`Algebra`] — the
 /// branch-avoidance ablation, byte-identical output to
-/// [`gather_algebra`].
+/// [`gather_algebra`]. Always scalar: the ablation exists to measure
+/// the per-entry branch, which unrolling would blur.
 pub fn gather_algebra_branchy<A: Algebra>(png: &Png, bins: &BinSpace<A::T>, y: &mut [A::T]) {
-    run_gather::<A>(png, bins, y, true);
+    run_gather::<A>(png, bins, y, true, KernelKind::Scalar);
 }
 
 /// Splits each of the `Q` output vectors by destination-partition `lens`
@@ -83,6 +98,7 @@ pub fn gather_algebra_many<A: Algebra>(
     bins: &BinSpace<A::T>,
     updates: &[&[A::T]],
     ys: &mut [&mut [A::T]],
+    kernel: KernelKind,
 ) {
     assert_eq!(updates.len(), ys.len(), "one update stream per output");
     for y in ys.iter() {
@@ -91,6 +107,7 @@ pub fn gather_algebra_many<A: Algebra>(
     let lens = png.dst_parts().lens();
     let per_part = split_queries_by_parts(ys, &lens);
     let k_src = png.src_parts().num_partitions();
+    let unrolled = kernel == KernelKind::Unrolled;
     per_part
         .into_par_iter()
         .enumerate()
@@ -107,6 +124,14 @@ pub fn gather_algebra_many<A: Algebra>(
                 let dlo = dbase + part.did_off[p] as usize;
                 let dhi = dbase + part.did_off[p + 1] as usize;
                 let ds = &bins.dest_ids[dlo..dhi];
+                // The entry loop already amortizes over Q accumulators;
+                // the unrolled kernel's win here is keeping the next
+                // segment's head in flight.
+                if unrolled && s + 1 < k_src {
+                    let np = png.part(s + 1);
+                    let nb = png.did_region()[s as usize + 1] as usize;
+                    prefetch(&bins.dest_ids[nb + np.did_off[p] as usize..]);
+                }
                 match &bins.weights {
                     None => {
                         let mut up = usize::MAX;
@@ -137,11 +162,18 @@ pub fn gather_algebra_many<A: Algebra>(
         });
 }
 
-fn run_gather<A: Algebra>(png: &Png, bins: &BinSpace<A::T>, y: &mut [A::T], branchy: bool) {
+fn run_gather<A: Algebra>(
+    png: &Png,
+    bins: &BinSpace<A::T>,
+    y: &mut [A::T],
+    branchy: bool,
+    kernel: KernelKind,
+) {
     assert_eq!(y.len(), png.dst_parts().num_nodes() as usize, "y length");
     let lens = png.dst_parts().lens();
     let slices = split_by_lens(y, &lens);
     let k_src = png.src_parts().num_partitions();
+    let unrolled = kernel == KernelKind::Unrolled;
     slices.into_par_iter().enumerate().for_each(|(p, ys)| {
         ys.fill(A::identity());
         let base = png.dst_parts().range(p as u32).start as usize;
@@ -155,7 +187,33 @@ fn run_gather<A: Algebra>(png: &Png, bins: &BinSpace<A::T>, y: &mut [A::T], bran
             let dhi = dbase + part.did_off[p + 1] as usize;
             let us = &bins.updates[ulo..uhi];
             let ds = &bins.dest_ids[dlo..dhi];
+            if unrolled && s + 1 < k_src {
+                let np = png.part(s + 1);
+                let nb = png.did_region()[s as usize + 1] as usize;
+                prefetch(&bins.dest_ids[nb + np.did_off[p] as usize..]);
+            }
             match (branchy, &bins.weights) {
+                (false, None) if unrolled => {
+                    let mut up = usize::MAX;
+                    macro_rules! step {
+                        ($id:expr) => {{
+                            let id = $id;
+                            up = up.wrapping_add((id >> 31) as usize);
+                            let slot = &mut ys[(id & ID_MASK) as usize - base];
+                            *slot = A::combine(*slot, A::extend(us[up]));
+                        }};
+                    }
+                    let mut chunks = ds.chunks_exact(4);
+                    for c in &mut chunks {
+                        step!(c[0]);
+                        step!(c[1]);
+                        step!(c[2]);
+                        step!(c[3]);
+                    }
+                    for &id in chunks.remainder() {
+                        step!(id);
+                    }
+                }
                 (false, None) => {
                     // `up` starts one before the segment; the first entry
                     // always carries the MSB flag and advances it to 0.
@@ -164,6 +222,29 @@ fn run_gather<A: Algebra>(png: &Png, bins: &BinSpace<A::T>, y: &mut [A::T], bran
                         up = up.wrapping_add((id >> 31) as usize);
                         let slot = &mut ys[(id & ID_MASK) as usize - base];
                         *slot = A::combine(*slot, A::extend(us[up]));
+                    }
+                }
+                (false, Some(w)) if unrolled => {
+                    let ws = &w[dlo..dhi];
+                    let mut up = usize::MAX;
+                    macro_rules! step {
+                        ($id:expr, $wt:expr) => {{
+                            let id = $id;
+                            up = up.wrapping_add((id >> 31) as usize);
+                            let slot = &mut ys[(id & ID_MASK) as usize - base];
+                            *slot = A::combine(*slot, A::extend_weighted($wt, us[up]));
+                        }};
+                    }
+                    let mut dc = ds.chunks_exact(4);
+                    let mut wc = ws.chunks_exact(4);
+                    for (c, cw) in (&mut dc).zip(&mut wc) {
+                        step!(c[0], cw[0]);
+                        step!(c[1], cw[1]);
+                        step!(c[2], cw[2]);
+                        step!(c[3], cw[3]);
+                    }
+                    for (&id, &wt) in dc.remainder().iter().zip(wc.remainder()) {
+                        step!(id, wt);
                     }
                 }
                 (false, Some(w)) => {
@@ -244,6 +325,55 @@ mod tests {
                 assert!((a - b).abs() < 1e-4, "q={q} node {i}: {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn unrolled_kernel_bit_identical_to_scalar() {
+        let g = pcpm_graph::gen::rmat(&pcpm_graph::gen::RmatConfig::graph500(9, 7, 17)).unwrap();
+        let x: Vec<f32> = (0..g.num_nodes())
+            .map(|v| (v as f32 * 0.61).sin())
+            .collect();
+        for q in [1u32, 13, 128, 4096] {
+            let parts = Partitioner::new(g.num_nodes(), q).unwrap();
+            let png = Png::build(EdgeView::from_csr(&g), parts, parts);
+            let mut bins = WideFormat::build(EdgeView::from_csr(&g), &png, None);
+            png_scatter(&png, &x, &mut bins.updates);
+            let n = g.num_nodes() as usize;
+            let (mut ys, mut yu) = (vec![0.0f32; n], vec![0.0f32; n]);
+            gather_algebra_kernel::<crate::algebra::PlusF32>(
+                &png,
+                &bins,
+                &mut ys,
+                KernelKind::Scalar,
+            );
+            gather_algebra_kernel::<crate::algebra::PlusF32>(
+                &png,
+                &bins,
+                &mut yu,
+                KernelKind::Unrolled,
+            );
+            assert_eq!(ys, yu, "q={q}");
+        }
+    }
+
+    #[test]
+    fn unrolled_weighted_kernel_bit_identical_to_scalar() {
+        let g = pcpm_graph::gen::erdos_renyi(300, 2500, 9).unwrap();
+        let w = EdgeWeights::random(&g, 4);
+        let parts = Partitioner::new(300, 64).unwrap();
+        let png = Png::build(EdgeView::from_csr(&g), parts, parts);
+        let mut bins = WideFormat::build(EdgeView::from_csr(&g), &png, Some(w.as_slice()));
+        let x: Vec<f32> = (0..300).map(|v| (v as f32 * 0.11).cos()).collect();
+        png_scatter(&png, &x, &mut bins.updates);
+        let (mut ys, mut yu) = (vec![0.0f32; 300], vec![0.0f32; 300]);
+        gather_algebra_kernel::<crate::algebra::PlusF32>(&png, &bins, &mut ys, KernelKind::Scalar);
+        gather_algebra_kernel::<crate::algebra::PlusF32>(
+            &png,
+            &bins,
+            &mut yu,
+            KernelKind::Unrolled,
+        );
+        assert_eq!(ys, yu);
     }
 
     #[test]

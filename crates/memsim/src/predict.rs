@@ -1,0 +1,217 @@
+//! Closed-form gather-kernel selection: predicts whether the scalar or
+//! the unrolled/batched kernel wins for a given graph shape and bin
+//! format, in the same cost-model spirit as [`crate::model`].
+//!
+//! The engine's [`KernelKind::Auto`] resolution and this predictor share
+//! one decision function — [`pcpm_core::kernel::resolve_auto`] — so the
+//! simulator's prediction and the engine's auto-selection can never
+//! disagree. What this module adds on top of the shared decision is the
+//! *cost estimates* behind it: per-edge gather-nanosecond predictions
+//! for each concrete kernel, validated against `BENCH_kernels.json` by
+//! the `kernels` bench.
+
+use pcpm_core::format::BinFormatKind;
+use pcpm_core::kernel::{resolve_auto, KernelKind, SCRATCH_BYTES_PER_EDGE, SCRATCH_CACHE_BUDGET};
+
+/// Calibration constants for the per-edge kernel cost model, all in
+/// nanoseconds. Calibrated against the committed
+/// `bench-baselines/BENCH_kernels.json` numbers (scale-12 RMAT); they
+/// only need to *rank* the kernels correctly, not hit wall-clock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelCosts {
+    /// Per-entry overhead of the scalar apply loop (bounds check +
+    /// branch + flag arithmetic).
+    pub scalar_loop_ns: f64,
+    /// Per-entry overhead of the 4-wide unrolled apply loop.
+    pub unrolled_loop_ns: f64,
+    /// Per encoded byte cost of the inline varint decode's
+    /// data-dependent continuation branch (scalar delta path).
+    pub varint_branch_ns: f64,
+    /// Per encoded byte cost of the batched branch-reduced decode
+    /// (unrolled delta path).
+    pub batched_decode_ns: f64,
+    /// Per-entry cost of the scratch-buffer round trip (one `u64`
+    /// write + read) while the segment's scratch stays cache-resident.
+    pub scratch_hit_ns: f64,
+    /// Per-entry cost of the same round trip once the decoded segment
+    /// spills the cache and pays DRAM write + read latency.
+    pub scratch_spill_ns: f64,
+}
+
+impl Default for KernelCosts {
+    fn default() -> Self {
+        Self {
+            scalar_loop_ns: 1.6,
+            unrolled_loop_ns: 1.0,
+            varint_branch_ns: 0.9,
+            batched_decode_ns: 0.35,
+            scratch_hit_ns: 0.4,
+            scratch_spill_ns: 3.0,
+        }
+    }
+}
+
+/// The predictor's verdict for one `(graph, format)` point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelPrediction {
+    /// Predicted gather cost of the scalar kernel, ns per raw edge.
+    pub scalar_ns_per_edge: f64,
+    /// Predicted gather cost of the unrolled kernel, ns per raw edge.
+    pub unrolled_ns_per_edge: f64,
+    /// The kernel [`KernelKind::Auto`] resolves to for this point —
+    /// delegated to [`resolve_auto`], so it is always exactly what the
+    /// engine would pick. Never [`KernelKind::Auto`].
+    pub choice: KernelKind,
+    /// Average decoded entries per delta bin segment (0 for the
+    /// fixed-width formats), the quantity the spill test is about.
+    pub avg_segment_edges: u64,
+}
+
+impl KernelPrediction {
+    /// Predicted speedup of the chosen kernel over the other one
+    /// (>= 1.0 when the cost model and the shared decision agree).
+    pub fn predicted_speedup(&self) -> f64 {
+        let (win, lose) = match self.choice {
+            KernelKind::Scalar => (self.scalar_ns_per_edge, self.unrolled_ns_per_edge),
+            _ => (self.unrolled_ns_per_edge, self.scalar_ns_per_edge),
+        };
+        lose / win.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Number of partitions a dimension of `n` nodes splits into at
+/// partition size `q` (matching `pcpm_core::partition::Partitioner`).
+fn num_partitions(n: u64, q: u64) -> u64 {
+    n.div_ceil(q.max(1)).max(1)
+}
+
+/// Predicts the winning gather kernel for an `n`-node, `raw_edges`-edge
+/// square graph under bin format `format` with partition size `q`
+/// (nodes per partition, `PcpmConfig::partition_nodes`).
+///
+/// The `choice` field delegates to [`resolve_auto`] — the decision the
+/// engine makes at build time — while the per-kernel ns/edge estimates
+/// expose *why*: for the fixed-width formats the unrolled apply loop
+/// strictly shaves loop overhead, and for delta the batched decode wins
+/// until the average segment's decoded scratch
+/// ([`SCRATCH_BYTES_PER_EDGE`] per entry) outgrows the cache budget
+/// ([`SCRATCH_CACHE_BUDGET`]) and every entry pays a spill round trip.
+pub fn predict_kernel(n: u64, raw_edges: u64, format: BinFormatKind, q: u64) -> KernelPrediction {
+    predict_kernel_with(n, raw_edges, format, q, &KernelCosts::default())
+}
+
+/// [`predict_kernel`] with explicit calibration constants.
+pub fn predict_kernel_with(
+    n: u64,
+    raw_edges: u64,
+    format: BinFormatKind,
+    q: u64,
+    costs: &KernelCosts,
+) -> KernelPrediction {
+    let k = num_partitions(n, q);
+    // Encoded bytes per delta entry: 1–2 in practice (partition-local
+    // gaps); 1.3 matches the measured delta compression on RMAT graphs.
+    const DELTA_BYTES_PER_EDGE: f64 = 1.3;
+    let (scalar, unrolled, avg_segment_edges) = match format {
+        BinFormatKind::Wide | BinFormatKind::Compact => {
+            (costs.scalar_loop_ns, costs.unrolled_loop_ns, 0)
+        }
+        BinFormatKind::Delta => {
+            let segments = k * k;
+            let avg = raw_edges / segments.max(1);
+            let spills = avg * SCRATCH_BYTES_PER_EDGE > SCRATCH_CACHE_BUDGET;
+            let scratch = if spills {
+                costs.scratch_spill_ns
+            } else {
+                costs.scratch_hit_ns
+            };
+            (
+                costs.scalar_loop_ns + DELTA_BYTES_PER_EDGE * costs.varint_branch_ns,
+                costs.unrolled_loop_ns + DELTA_BYTES_PER_EDGE * costs.batched_decode_ns + scratch,
+                avg,
+            )
+        }
+    };
+    let k32 = u32::try_from(k).unwrap_or(u32::MAX);
+    KernelPrediction {
+        scalar_ns_per_edge: scalar,
+        unrolled_ns_per_edge: unrolled,
+        choice: resolve_auto(format, raw_edges, k32, k32),
+        avg_segment_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_width_always_picks_unrolled() {
+        for format in [BinFormatKind::Wide, BinFormatKind::Compact] {
+            let p = predict_kernel(1 << 20, 1 << 24, format, 1 << 16);
+            assert_eq!(p.choice, KernelKind::Unrolled);
+            assert!(p.unrolled_ns_per_edge < p.scalar_ns_per_edge);
+            assert!(p.predicted_speedup() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn delta_cache_resident_picks_unrolled() {
+        // Scale-12-ish: 4096 nodes, 32 K edges, q = 512 -> 8x8 segments,
+        // ~512 entries (~4 KB scratch) per segment: firmly cache-resident.
+        let p = predict_kernel(4096, 1 << 15, BinFormatKind::Delta, 512);
+        assert_eq!(p.choice, KernelKind::Unrolled);
+        assert!(p.unrolled_ns_per_edge < p.scalar_ns_per_edge);
+    }
+
+    #[test]
+    fn delta_spilling_picks_scalar() {
+        // One giant partition: the whole edge list decodes into one
+        // scratch segment far beyond the cache budget.
+        let n = 1u64 << 24;
+        let p = predict_kernel(n, 1 << 28, BinFormatKind::Delta, n);
+        assert_eq!(p.choice, KernelKind::Scalar);
+        assert!(p.scalar_ns_per_edge < p.unrolled_ns_per_edge);
+        assert!(p.avg_segment_edges * SCRATCH_BYTES_PER_EDGE > SCRATCH_CACHE_BUDGET);
+    }
+
+    #[test]
+    fn choice_always_matches_engine_resolution() {
+        // The predictor may never disagree with the engine's Auto: both
+        // call resolve_auto with the same (format, edges, k, k).
+        for format in BinFormatKind::ALL {
+            for (n, m, q) in [
+                (1u64 << 12, 1u64 << 15, 512u64),
+                (1 << 20, 1 << 24, 1 << 16),
+                (1 << 24, 1 << 28, 1 << 24),
+                (100, 0, 7),
+            ] {
+                let k = u32::try_from(n.div_ceil(q).max(1)).unwrap();
+                let p = predict_kernel(n, m, format, q);
+                assert_eq!(p.choice, resolve_auto(format, m, k, k));
+            }
+        }
+    }
+
+    #[test]
+    fn cost_model_ranks_consistently_with_choice() {
+        // Wherever the shared decision picks a kernel, the descriptive
+        // cost estimates must rank that kernel as (weakly) cheaper —
+        // otherwise the constants drifted from the decision rule.
+        for format in BinFormatKind::ALL {
+            for (n, m, q) in [
+                (1u64 << 12, 1u64 << 15, 512u64),
+                (1 << 16, 1 << 22, 1 << 10),
+                (1 << 24, 1 << 30, 1 << 24),
+            ] {
+                let p = predict_kernel(n, m, format, q);
+                match p.choice {
+                    KernelKind::Scalar => {
+                        assert!(p.scalar_ns_per_edge <= p.unrolled_ns_per_edge)
+                    }
+                    _ => assert!(p.unrolled_ns_per_edge <= p.scalar_ns_per_edge),
+                }
+            }
+        }
+    }
+}

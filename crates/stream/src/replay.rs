@@ -497,7 +497,8 @@ pub fn replay(
         Some(path) if path.exists() => {
             let mut b = SnapshotEngineBuilder::<PlusF32>::open(path)?
                 .expect_config(&rc.cfg, false)?
-                .expect_graph(&base)?;
+                .expect_graph(&base)?
+                .kernel(rc.cfg.kernel);
             if let Some(t) = rc.cfg.threads {
                 b = b.threads(t);
             }

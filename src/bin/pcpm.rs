@@ -29,6 +29,8 @@
 //!               --backend pcpm|pull|push|edge-centric (dataplane to run on)
 //!               --format wide|compact|delta (PCPM bin encoding; compact
 //!               needs --partition-bytes <= 131072, delta is unrestricted)
+//!               --kernel auto|scalar|unrolled (PCPM gather/decode kernel;
+//!               auto picks the predicted-fastest variant at build time)
 //!               --seed S (every generator path is reproducible run-to-run)
 //!               --trace-out FILE (record telemetry spans, write
 //!               Chrome-trace JSON openable in chrome://tracing/Perfetto)
@@ -87,6 +89,7 @@ struct Options {
     out: Option<String>,
     backend: BackendKind,
     format: BinFormatKind,
+    kernel: KernelKind,
     seed: u64,
     kind: String,
     scale: u32,
@@ -132,6 +135,7 @@ fn parse_args() -> Result<Options, String> {
         out: None,
         backend: BackendKind::Pcpm,
         format: BinFormatKind::Wide,
+        kernel: KernelKind::Auto,
         seed: 42,
         kind: "rmat".to_string(),
         scale: 10,
@@ -338,6 +342,10 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("unknown format '{v}' (expected wide|compact|delta)"))?;
             }
+            "--kernel" => {
+                let v = take_value(&mut rest, &mut i)?;
+                opts.kernel = v.parse()?;
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             pos => positional.push(pos.to_string()),
         }
@@ -370,6 +378,7 @@ fn config(opts: &Options) -> PcpmConfig {
     cfg.tolerance = opts.tolerance;
     cfg.threads = opts.threads;
     cfg.bin_format = opts.format;
+    cfg.kernel = opts.kernel;
     cfg
 }
 
@@ -591,7 +600,8 @@ fn pagerank_engine(
                         .expect_config(cfg, weights.is_some())
                         .map_err(|e| format!("{cache}: {e} (rebuild with `pcpm build-cache`)"))?
                         .expect_graph(graph)
-                        .map_err(|e| format!("{cache}: {e} (rebuild with `pcpm build-cache`)"))?;
+                        .map_err(|e| format!("{cache}: {e} (rebuild with `pcpm build-cache`)"))?
+                        .kernel(cfg.kernel);
                     if let Some(t) = opts.threads {
                         b = b.threads(t);
                     }

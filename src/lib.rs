@@ -102,8 +102,8 @@ pub mod prelude {
     pub use pcpm_core::spmv::SpmvMatrix;
     pub use pcpm_core::{
         Backend, BackendKind, BinFormatKind, Engine, EngineBuilder, ExecutionReport, GatherKind,
-        Partitioner, PcpmConfig, Png, PrResult, ScatterKind, Snapshot, SnapshotEngineBuilder,
-        SnapshotError,
+        KernelKind, Partitioner, PcpmConfig, Png, PrResult, ScatterKind, Snapshot,
+        SnapshotEngineBuilder, SnapshotError,
     };
     pub use pcpm_core::{EdgeOp, EdgeUpdate, RepairStats, UpdateBatch, UpdateOutcome};
     pub use pcpm_graph::gen::{RmatConfig, WebConfig};

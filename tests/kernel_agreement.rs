@@ -9,45 +9,45 @@ use pcpm::prelude::*;
 use proptest::prelude::*;
 
 mod common;
-use common::format_matrix;
-
-fn pcpm_label(format: BinFormatKind) -> &'static str {
-    match format {
-        BinFormatKind::Wide => "pcpm_wide",
-        BinFormatKind::Compact => "pcpm_compact",
-        BinFormatKind::Delta => "pcpm_delta",
-    }
-}
+use common::{format_matrix, kernel_matrix};
 
 /// The unified-API configurations the backend-agreement matrix covers:
-/// one PCPM engine per bin format (wide / compact / delta), PCPM with
+/// one PCPM engine per bin format (wide / compact / delta) crossed with
+/// every gather kernel under test (`PCPM_TEST_KERNELS`), PCPM with
 /// CSR-traversal scatter, and the pull / push / edge-centric dataplanes,
 /// all through the `Backend` trait behind `Engine`.
 fn matrix_engines<A: pcpm::core::algebra::Algebra>(
     g: &Csr,
     weights: Option<&EdgeWeights>,
     q_bytes: usize,
-) -> Vec<(&'static str, Engine<A>)> {
-    let build = |label: &'static str,
+) -> Vec<(String, Engine<A>)> {
+    let build = |label: String,
                  f: &dyn Fn(EngineBuilder<'_, A>) -> EngineBuilder<'_, A>|
-     -> (&'static str, Engine<A>) {
+     -> (String, Engine<A>) {
         let mut b = Engine::<A>::builder(g).partition_bytes(q_bytes);
         if let Some(w) = weights {
             b = b.weights(w);
         }
-        (label, f(b).build().expect(label))
+        let e = f(b).build().unwrap_or_else(|e| panic!("{label}: {e}"));
+        (label, e)
     };
-    let mut engines: Vec<(&'static str, Engine<A>)> = format_matrix()
-        .into_iter()
-        .map(|format| build(pcpm_label(format), &move |b| b.bin_format(format)))
-        .collect();
+    let mut engines: Vec<(String, Engine<A>)> = Vec::new();
+    for format in format_matrix() {
+        for kernel in kernel_matrix() {
+            engines.push(build(format!("pcpm_{format}_{kernel}"), &move |b| {
+                b.bin_format(format).kernel(kernel)
+            }));
+        }
+    }
     engines.extend([
-        build("pcpm_csr_traversal", &|b| {
+        build("pcpm_csr_traversal".to_string(), &|b| {
             b.scatter(ScatterKind::CsrTraversal)
         }),
-        build("pull", &|b| b.backend(BackendKind::Pull)),
-        build("push", &|b| b.backend(BackendKind::Push)),
-        build("edge_centric", &|b| b.backend(BackendKind::EdgeCentric)),
+        build("pull".to_string(), &|b| b.backend(BackendKind::Pull)),
+        build("push".to_string(), &|b| b.backend(BackendKind::Push)),
+        build("edge_centric".to_string(), &|b| {
+            b.backend(BackendKind::EdgeCentric)
+        }),
     ]);
     engines
 }

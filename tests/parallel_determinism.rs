@@ -6,8 +6,9 @@
 //! though thread count changes which worker computes what).
 //!
 //! The thread list is overridable for CI sweeps:
-//! `PCPM_TEST_THREADS=1,4 cargo test --test parallel_determinism`, and
-//! the PCPM bin-format list via `PCPM_TEST_FORMATS=wide,delta`.
+//! `PCPM_TEST_THREADS=1,4 cargo test --test parallel_determinism`, the
+//! PCPM bin-format list via `PCPM_TEST_FORMATS=wide,delta`, and the
+//! gather-kernel list via `PCPM_TEST_KERNELS=scalar,unrolled`.
 
 use pcpm::core::algebra::{MinLabel, PlusF32};
 use pcpm::core::engine::ScatterKind;
@@ -15,7 +16,7 @@ use pcpm::prelude::*;
 use std::sync::Arc;
 
 mod common;
-use common::{format_matrix, thread_matrix};
+use common::{format_matrix, kernel_matrix, thread_matrix};
 
 /// Exact integer-valued input (as in kernel_agreement): every f32 sum of
 /// these is exactly representable, so reduction order cannot matter.
@@ -37,18 +38,21 @@ fn engines_at(g: &Csr, threads: usize, q_bytes: usize) -> Vec<(String, Engine<Pl
         engines.push((format!("{}@{threads}", kind.name()), e));
     }
     for format in format_matrix() {
-        if format == BinFormatKind::Wide {
-            continue; // BackendKind::Pcpm above already covers wide.
+        for kernel in kernel_matrix() {
+            if format == BinFormatKind::Wide && kernel == KernelKind::Auto {
+                continue; // BackendKind::Pcpm above already covers wide@auto.
+            }
+            engines.push((
+                format!("pcpm_{format}_{kernel}@{threads}"),
+                Engine::<PlusF32>::builder(g)
+                    .partition_bytes(q_bytes)
+                    .bin_format(format)
+                    .kernel(kernel)
+                    .threads(threads)
+                    .build()
+                    .unwrap(),
+            ));
         }
-        engines.push((
-            format!("pcpm_{format}@{threads}"),
-            Engine::<PlusF32>::builder(g)
-                .partition_bytes(q_bytes)
-                .bin_format(format)
-                .threads(threads)
-                .build()
-                .unwrap(),
-        ));
     }
     engines.push((
         format!("pcpm_csr_traversal@{threads}"),
