@@ -23,7 +23,7 @@ use pcpm_core::update::UpdateBatch;
 use pcpm_core::PcpmConfig;
 use pcpm_graph::Csr;
 use std::collections::VecDeque;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Default per-node residual threshold multiplier when the config sets
 /// no tolerance: the push loop drains residuals below
@@ -92,7 +92,7 @@ pub fn incremental_pagerank(
             });
         }
     }
-    let t0 = Instant::now();
+    let t0 = pcpm_core::telemetry::stopwatch();
     if n == 0 {
         return Ok(finish(vec![], 0, true, 0.0, t0.elapsed()));
     }

@@ -13,7 +13,6 @@ use pcpm_core::error::PcpmError;
 use pcpm_core::pr::{PhaseTimings, PrResult};
 use pcpm_graph::Csr;
 use rayon::prelude::*;
-use std::time::Instant;
 
 /// Computes personalized PageRank for a non-empty seed set.
 ///
@@ -105,7 +104,7 @@ pub fn personalized_pagerank_with_unified_engine(
     engine.run(|engine| -> Result<(), PcpmError> {
         for _ in 0..cfg.iterations {
             timings += engine.step(&x, &mut sums)?;
-            let t0 = Instant::now();
+            let t0 = pcpm_core::telemetry::stopwatch();
             // Dangling mass restarts at the seeds.
             let dangling: f64 = pr
                 .par_iter()
@@ -262,7 +261,7 @@ pub fn personalized_pagerank_many_with_unified_engine(
                 .map(|(s, _)| s.as_mut_slice())
                 .collect();
             timings += engine.step_many(&x_refs, &mut y_refs)?;
-            let t0 = Instant::now();
+            let t0 = pcpm_core::telemetry::stopwatch();
             for qi in 0..q_count {
                 if done[qi] {
                     continue;

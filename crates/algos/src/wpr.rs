@@ -12,7 +12,6 @@ use pcpm_core::error::PcpmError;
 use pcpm_core::pr::{PhaseTimings, PrResult};
 use pcpm_graph::{Csr, EdgeWeights};
 use rayon::prelude::*;
-use std::time::Instant;
 
 /// Runs PageRank where a surfer follows edge `(u, v)` with probability
 /// `w(u,v) / Σ_t w(u,t)`. Weights must be non-negative; nodes whose
@@ -106,7 +105,7 @@ pub fn weighted_pagerank_with_unified_engine(
     engine.run(|engine| -> Result<(), PcpmError> {
         for _ in 0..cfg.iterations {
             timings += engine.step(&x, &mut sums)?;
-            let t0 = Instant::now();
+            let t0 = pcpm_core::telemetry::stopwatch();
             let bonus = if cfg.redistribute_dangling {
                 let mass: f64 = pr
                     .par_iter()

@@ -98,7 +98,7 @@ fn main() {
         },
     )
     .expect("bind");
-    let handle = server.spawn();
+    let handle = server.spawn().expect("spawn server");
     let addr = handle.addr();
 
     let mut rows = Vec::new();

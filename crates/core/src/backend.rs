@@ -58,7 +58,7 @@ use pcpm_graph::{Csr, EdgeWeights};
 use rayon::prelude::*;
 use std::path::Path;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Everything a backend may use during pre-processing.
 ///
@@ -1026,7 +1026,7 @@ pub struct SnapshotEngineBuilder<A: Algebra> {
 impl<A: Algebra> SnapshotEngineBuilder<A> {
     /// Reads and validates `path` (magic, version, checksum, structure).
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, PcpmError> {
-        let t0 = Instant::now();
+        let t0 = crate::telemetry::stopwatch();
         let snapshot = Snapshot::load(path)?;
         Ok(Self {
             snapshot,
@@ -1330,7 +1330,7 @@ pub struct PullBackend<A: Algebra> {
 
 impl<A: Algebra> Backend<A> for PullBackend<A> {
     fn prepare(spec: &PrepareSpec<'_>) -> Result<Self, PcpmError> {
-        let t0 = Instant::now();
+        let t0 = crate::telemetry::stopwatch();
         let g = spec.graph;
         let n = g.num_nodes() as usize;
         let mut counts = vec![0u64; n + 1];
@@ -1366,7 +1366,7 @@ impl<A: Algebra> Backend<A> for PullBackend<A> {
     }
 
     fn step(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError> {
-        let t0 = Instant::now();
+        let t0 = crate::telemetry::stopwatch();
         y.par_iter_mut().enumerate().for_each(|(v, out)| {
             let lo = self.offsets[v] as usize;
             let hi = self.offsets[v + 1] as usize;
@@ -1429,7 +1429,7 @@ pub struct PushBackend<A: Algebra> {
 
 impl<A: Algebra> Backend<A> for PushBackend<A> {
     fn prepare(spec: &PrepareSpec<'_>) -> Result<Self, PcpmError> {
-        let t0 = Instant::now();
+        let t0 = crate::telemetry::stopwatch();
         Ok(Self {
             graph: spec.graph_arc(),
             weights: spec.weights.map(|w| w.to_vec()),
@@ -1439,7 +1439,7 @@ impl<A: Algebra> Backend<A> for PushBackend<A> {
     }
 
     fn step(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError> {
-        let t0 = Instant::now();
+        let t0 = crate::telemetry::stopwatch();
         y.fill(A::identity());
         let mut edge_idx = 0usize;
         for s in 0..self.graph.num_nodes() {
@@ -1509,7 +1509,7 @@ pub struct EdgeCentricBackend<A: Algebra> {
 
 impl<A: Algebra> Backend<A> for EdgeCentricBackend<A> {
     fn prepare(spec: &PrepareSpec<'_>) -> Result<Self, PcpmError> {
-        let t0 = Instant::now();
+        let t0 = crate::telemetry::stopwatch();
         let g = spec.graph;
         let n = g.num_nodes();
         let bin_width = spec.cfg.partition_nodes();
@@ -1555,7 +1555,7 @@ impl<A: Algebra> Backend<A> for EdgeCentricBackend<A> {
     }
 
     fn step(&mut self, x: &[A::T], y: &mut [A::T]) -> Result<PhaseTimings, PcpmError> {
-        let t0 = Instant::now();
+        let t0 = crate::telemetry::stopwatch();
         let slices = split_by_lens(y, &self.bin_lens);
         slices.into_par_iter().enumerate().for_each(|(b, ys)| {
             ys.fill(A::identity());

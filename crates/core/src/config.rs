@@ -164,11 +164,11 @@ impl PcpmConfig {
 /// own engine-owned pool at construction and reuses it for prepare and
 /// every step (one pool per engine, dropped with the engine).
 pub fn shared_pool(threads: usize) -> std::sync::Arc<rayon::ThreadPool> {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     use std::sync::{Arc, Mutex, OnceLock};
-    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<rayon::ThreadPool>>>> = OnceLock::new();
+    static POOLS: OnceLock<Mutex<BTreeMap<usize, Arc<rayon::ThreadPool>>>> = OnceLock::new();
     let mut pools = POOLS
-        .get_or_init(|| Mutex::new(HashMap::new()))
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
         .lock()
         .expect("pool cache lock");
     Arc::clone(pools.entry(threads).or_insert_with(|| {

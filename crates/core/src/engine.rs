@@ -29,7 +29,7 @@ use crate::pr::PhaseTimings;
 use crate::scatter::csr_scatter;
 use crate::update::RepairStats;
 use pcpm_graph::Csr;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Which scatter implementation to run (Algorithm 3 vs Algorithm 2).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -85,7 +85,7 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
         let q = cfg.partition_nodes();
         let src_parts = Partitioner::new(view.num_src(), q)?;
         let dst_parts = Partitioner::new(view.num_dst(), q)?;
-        let t0 = Instant::now();
+        let t0 = crate::telemetry::stopwatch();
         let _span = crate::telemetry::span("prepare");
         let png = Png::build(view, src_parts, dst_parts);
         F::validate_layout(&png)?;
@@ -240,7 +240,7 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
             }
             touched[s as usize] = true;
         }
-        let t0 = Instant::now();
+        let t0 = crate::telemetry::stopwatch();
         let _span = crate::telemetry::span_n("repair", touched_parts.len() as u64);
         let old_did_region = self.png.did_region().to_vec();
         self.png.repair(view, touched_parts);
@@ -293,7 +293,7 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
                 got: y.len(),
             });
         }
-        let t0 = Instant::now();
+        let t0 = crate::telemetry::stopwatch();
         {
             let _span = crate::telemetry::span("scatter");
             match scatter {
@@ -312,7 +312,7 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
             }
         }
         let scatter_t = t0.elapsed();
-        let t1 = Instant::now();
+        let t1 = crate::telemetry::stopwatch();
         {
             let _span = crate::telemetry::span("gather");
             match gather {
@@ -388,7 +388,7 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
             return Ok(PhaseTimings::default());
         }
         let ne = self.png.num_compressed_edges() as usize;
-        let t0 = Instant::now();
+        let t0 = crate::telemetry::stopwatch();
         // One scratch update stream per query, all in png_scatter's
         // layout (the bins' own update stream stays untouched).
         let mut multi: Vec<Vec<A::T>> = xs.iter().map(|_| vec![A::T::default(); ne]).collect();
@@ -407,7 +407,7 @@ impl<A: Algebra, F: BinFormat> FormatPipeline<A, F> {
             }
         }
         let scatter_t = t0.elapsed();
-        let t1 = Instant::now();
+        let t1 = crate::telemetry::stopwatch();
         {
             let _span = crate::telemetry::span("gather_many");
             let upd_refs: Vec<&[A::T]> = multi.iter().map(|v| v.as_slice()).collect();

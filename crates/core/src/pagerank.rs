@@ -20,7 +20,6 @@ use crate::error::PcpmError;
 use crate::pr::{PhaseTimings, PrResult};
 use pcpm_graph::Csr;
 use rayon::prelude::*;
-use std::time::Instant;
 
 /// Phase-implementation choices for ablation studies.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -245,7 +244,7 @@ where
         timings += step(&x, &mut sums)?;
         iterations += 1;
 
-        let t0 = Instant::now();
+        let t0 = crate::telemetry::stopwatch();
         let dangling_bonus = if cfg.redistribute_dangling {
             let mass: f64 = pr
                 .par_iter()

@@ -46,6 +46,35 @@
 //! as `batched_queries / batched_passes` grows is the multi-query win
 //! made observable.
 //!
+//! # Span taxonomy
+//!
+//! Every span name is a `'static` literal, opened at exactly one call
+//! site, and registered in [`SPAN_NAMES`] — `pcpm-lint`'s
+//! `telemetry-registry` rule enforces all three, so a trace viewer and
+//! this table cannot drift apart.
+//!
+//! | span | covers | opened by |
+//! | --- | --- | --- |
+//! | `prepare` | PNG build + bin construction + kernel resolution | `Engine::prepare` |
+//! | `repair` | incremental PNG/bin repair after an update batch (arg: touched partitions) | `Engine::update` |
+//! | `scatter` | the PCPM scatter phase of one step | `Engine::step` |
+//! | `gather` | the PCPM gather phase of one step | `Engine::step` |
+//! | `scatter_many` | scatter across a whole query batch | `Engine::step_many` |
+//! | `gather_many` | gather across a whole query batch | `Engine::step_many` |
+//! | `step` | one backend-dispatched SpMV step (arg: step index) | `DynBackend::step` |
+//! | `step_many` | one backend-dispatched SpMM pass (arg: batch width) | `DynBackend::step_many` |
+//! | `update` | one mutation batch applied through the backend | `DynBackend::update` |
+//! | `replay_batch` | one replayed update batch + its convergence loop (arg: batch index) | `stream::replay` |
+//!
+//! # Wall-clock discipline
+//!
+//! Kernel crates are forbidden (by the `determinism` lint rule) from
+//! calling [`Instant::now`] directly: this module is the one sanctioned
+//! owner of wall-clock access, and kernels time themselves through the
+//! opaque [`stopwatch`] handle instead. That keeps every clock read in
+//! one auditable place and makes "a kernel result depends on the
+//! clock" impossible to write without tripping the lint.
+//!
 //! # Example
 //!
 //! ```
@@ -62,7 +91,7 @@
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The process-global counter registry.
 ///
@@ -365,6 +394,49 @@ impl Drop for SpanGuard {
                 ev.push(event);
             }
         }
+    }
+}
+
+/// Every span name the workspace may open, each at exactly one call
+/// site. See the module docs' span taxonomy table for what each one
+/// covers. `pcpm-lint` checks call sites against this registry, so
+/// adding a span means adding it here *and* to the table.
+pub const SPAN_NAMES: [&str; 10] = [
+    "prepare",
+    "repair",
+    "scatter",
+    "gather",
+    "scatter_many",
+    "gather_many",
+    "step",
+    "step_many",
+    "update",
+    "replay_batch",
+];
+
+/// An opaque wall-clock stopwatch, started by [`stopwatch`].
+///
+/// This is the only clock handle kernel crates may hold: it exposes
+/// elapsed time for phase-timing reports but no absolute timestamp, so
+/// no kernel decision can branch on "what time is it".
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Wall-clock time since [`stopwatch`] created this handle.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+/// Starts a [`Stopwatch`]. The telemetry module owns wall-clock access
+/// for the kernel crates (see module docs); this is the sanctioned
+/// replacement for `Instant::now()` in phase-timing code.
+pub fn stopwatch() -> Stopwatch {
+    Stopwatch {
+        start: Instant::now(),
     }
 }
 

@@ -62,7 +62,9 @@ impl UpdateBatch {
     /// Builds a canonical batch from an ordered op sequence: per edge the
     /// *last* op wins, duplicates collapse.
     pub fn from_ops(ops: &[EdgeUpdate]) -> Self {
-        let mut last = std::collections::HashMap::with_capacity(ops.len());
+        // BTreeMap iterates in `(src, dst)` order, which IS the
+        // canonical order — the split lists come out sorted for free.
+        let mut last = std::collections::BTreeMap::new();
         for u in ops {
             last.insert((u.src, u.dst), u.op);
         }
@@ -74,8 +76,6 @@ impl UpdateBatch {
                 EdgeOp::Delete => deletes.push((s, t)),
             }
         }
-        inserts.sort_unstable();
-        deletes.sort_unstable();
         Self { inserts, deletes }
     }
 

@@ -1,0 +1,509 @@
+//! A lightweight Rust lexer: just enough token structure for rule
+//! passes to match identifier sequences without being fooled by
+//! comments, strings, raw strings, char literals or lifetimes.
+//!
+//! This is deliberately **not** a full Rust grammar (no crates.io, so
+//! no `syn`); it only has to classify every byte of a source file as
+//! exactly one of: comment, string-ish literal, identifier, number,
+//! lifetime, or punctuation. The rule passes then work on the token
+//! stream, so `unsafe` inside a string or a comment can never trip the
+//! unsafe budget, and `// pcpm-lint:` pragmas are read from the
+//! comment stream rather than grepped out of raw text.
+//!
+//! Handled edge cases (each locked in by `tests/lexer_edge_cases.rs`):
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! - cooked strings with escapes, byte strings, and raw strings with
+//!   any `#` depth (`r"…"`, `r#"…"#`, `br##"…"##`);
+//! - raw identifiers (`r#match`) vs raw strings (`r#"…"#`);
+//! - char literals (`'a'`, `'\''`, `b'x'`) vs lifetimes (`'a`,
+//!   `'static`) — the classic one-token-lookahead disambiguation;
+//! - `#[cfg(test)]` region detection (attribute → item → balanced
+//!   braces), including `#![cfg(test)]` marking the whole file.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `unwrap`, …).
+    Ident(String),
+    /// String literal (cooked, raw or byte); payload is the content
+    /// without quotes/hashes, escapes left as written.
+    Str(String),
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// Single punctuation byte (`{`, `!`, `:`, …).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub tok: Tok,
+    /// 1-based source line of the token's first byte.
+    pub line: u32,
+}
+
+/// A comment (line or block) with its text and start line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Whether this was a `//`-style comment (pragmas are line-only).
+    pub is_line: bool,
+}
+
+/// A fully lexed file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Token stream, in source order.
+    pub tokens: Vec<Token>,
+    /// Comment stream, in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// 1-based line numbers (inclusive ranges) covered by
+    /// `#[cfg(test)]` items; `#![cfg(test)]` covers the whole file.
+    pub fn test_line_ranges(&self) -> Vec<(u32, u32)> {
+        test_regions(&self.tokens)
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` region.
+    pub fn is_test_line(&self, regions: &[(u32, u32)], line: u32) -> bool {
+        regions.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens and comments. Unterminated constructs
+/// (string, block comment) consume to end of file rather than erroring:
+/// the linter's job is rule matching, not syntax validation.
+pub fn lex(src: &str) -> Lexed {
+    let mut s = Scanner {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = s.peek(0) {
+        let line = s.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                s.bump();
+            }
+            b'/' if s.peek(1) == Some(b'/') => {
+                s.bump();
+                s.bump();
+                let start = s.pos;
+                while let Some(c) = s.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    s.bump();
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&s.src[start..s.pos]).into_owned(),
+                    line,
+                    is_line: true,
+                });
+            }
+            b'/' if s.peek(1) == Some(b'*') => {
+                s.bump();
+                s.bump();
+                let start = s.pos;
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (s.peek(0), s.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            s.bump();
+                            s.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            s.bump();
+                            s.bump();
+                        }
+                        (Some(_), _) => {
+                            s.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let end = s.pos.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&s.src[start..end]).into_owned(),
+                    line,
+                    is_line: false,
+                });
+            }
+            b'"' => {
+                let content = lex_cooked_string(&mut s);
+                out.tokens.push(Token {
+                    tok: Tok::Str(content),
+                    line,
+                });
+            }
+            b'\'' => lex_quote(&mut s, &mut out, line),
+            b if is_ident_start(b) => {
+                let start = s.pos;
+                while s.peek(0).is_some_and(is_ident_continue) {
+                    s.bump();
+                }
+                let ident = &src[start..s.pos];
+                // String prefixes: r"…", r#"…"#, b"…", br#"…"#, and the
+                // byte-char b'x'. `r#ident` is a raw identifier, not a
+                // raw string — only a `#…#"` run makes it a string.
+                match ident {
+                    "r" | "br" | "rb" if starts_raw_string(&s) => {
+                        let content = lex_raw_string(&mut s);
+                        out.tokens.push(Token {
+                            tok: Tok::Str(content),
+                            line,
+                        });
+                    }
+                    "b" if s.peek(0) == Some(b'"') => {
+                        let content = lex_cooked_string(&mut s);
+                        out.tokens.push(Token {
+                            tok: Tok::Str(content),
+                            line,
+                        });
+                    }
+                    "b" if s.peek(0) == Some(b'\'') => {
+                        s.bump(); // opening '
+                        lex_char_body(&mut s);
+                        out.tokens.push(Token {
+                            tok: Tok::Char,
+                            line,
+                        });
+                    }
+                    "r" if s.peek(0) == Some(b'#') && s.peek(1).is_some_and(is_ident_start) => {
+                        // Raw identifier r#name: emit the bare name.
+                        s.bump(); // '#'
+                        let rstart = s.pos;
+                        while s.peek(0).is_some_and(is_ident_continue) {
+                            s.bump();
+                        }
+                        out.tokens.push(Token {
+                            tok: Tok::Ident(src[rstart..s.pos].to_string()),
+                            line,
+                        });
+                    }
+                    _ => out.tokens.push(Token {
+                        tok: Tok::Ident(ident.to_string()),
+                        line,
+                    }),
+                }
+            }
+            b if b.is_ascii_digit() => {
+                s.bump();
+                loop {
+                    match s.peek(0) {
+                        Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                            // Exponent sign: 1e-5 / 1E+5.
+                            if (c == b'e' || c == b'E')
+                                && matches!(s.peek(1), Some(b'+') | Some(b'-'))
+                                && s.peek(2).is_some_and(|d| d.is_ascii_digit())
+                            {
+                                s.bump();
+                                s.bump();
+                            } else {
+                                s.bump();
+                            }
+                        }
+                        // A single '.' continues the number unless it is
+                        // a range (`0..10`) or a method call (`1.max(2)`).
+                        Some(b'.') if s.peek(1).is_some_and(|d| d.is_ascii_digit()) => {
+                            s.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Num,
+                    line,
+                });
+            }
+            other => {
+                s.bump();
+                out.tokens.push(Token {
+                    tok: Tok::Punct(other as char),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// After the `r`/`br` prefix ident: does a raw string start here
+/// (zero or more `#` then `"`)?
+fn starts_raw_string(s: &Scanner<'_>) -> bool {
+    let mut i = 0usize;
+    while s.peek(i) == Some(b'#') {
+        i += 1;
+    }
+    s.peek(i) == Some(b'"')
+}
+
+/// Consumes a cooked string starting at the opening `"`; returns its
+/// content (escapes left as written).
+fn lex_cooked_string(s: &mut Scanner<'_>) -> String {
+    s.bump(); // opening "
+    let start = s.pos;
+    loop {
+        match s.peek(0) {
+            Some(b'\\') => {
+                s.bump();
+                s.bump();
+            }
+            Some(b'"') => break,
+            Some(_) => {
+                s.bump();
+            }
+            None => break,
+        }
+    }
+    let content = String::from_utf8_lossy(&s.src[start..s.pos]).into_owned();
+    s.bump(); // closing "
+    content
+}
+
+/// Consumes a raw string starting at the `#…#"` run; returns content.
+fn lex_raw_string(s: &mut Scanner<'_>) -> String {
+    let mut hashes = 0usize;
+    while s.peek(0) == Some(b'#') {
+        hashes += 1;
+        s.bump();
+    }
+    s.bump(); // opening "
+    let start = s.pos;
+    let end;
+    'outer: loop {
+        match s.peek(0) {
+            Some(b'"') => {
+                // Need `hashes` #s right after to close.
+                let mut ok = true;
+                for i in 0..hashes {
+                    if s.peek(1 + i) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    end = s.pos;
+                    s.bump(); // "
+                    for _ in 0..hashes {
+                        s.bump();
+                    }
+                    break 'outer;
+                }
+                s.bump();
+            }
+            Some(_) => {
+                s.bump();
+            }
+            None => {
+                end = s.pos;
+                break 'outer;
+            }
+        }
+    }
+    String::from_utf8_lossy(&s.src[start..end]).into_owned()
+}
+
+/// Consumes the body of a char literal after the opening `'` (one char
+/// or escape, then the closing `'`).
+fn lex_char_body(s: &mut Scanner<'_>) {
+    if s.peek(0) == Some(b'\\') {
+        // Backslash plus the escaped char — this covers `'\''` and
+        // `'\\'`; longer escapes (`\u{…}`, `\x41`) fall through to the
+        // scan below.
+        s.bump();
+        s.bump();
+    } else {
+        s.bump();
+    }
+    // Consume up to the closing quote (multi-byte UTF-8, \u{…} tails).
+    while s.peek(0).is_some() && s.peek(0) != Some(b'\'') {
+        s.bump();
+    }
+    s.bump(); // closing '
+}
+
+/// `'` starts either a char literal or a lifetime. Lifetime iff the
+/// next char starts an identifier and the char after that identifier
+/// run is not a closing `'`.
+fn lex_quote(s: &mut Scanner<'_>, out: &mut Lexed, line: u32) {
+    let next = s.peek(1);
+    let is_lifetime = match next {
+        Some(c) if is_ident_start(c) => {
+            // 'a' is a char, 'ab is a lifetime, 'a, is a lifetime.
+            let mut i = 2usize;
+            while s.peek(i).is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            s.peek(i) != Some(b'\'')
+        }
+        _ => false,
+    };
+    if is_lifetime {
+        s.bump(); // '
+        while s.peek(0).is_some_and(is_ident_continue) {
+            s.bump();
+        }
+        out.tokens.push(Token {
+            tok: Tok::Lifetime,
+            line,
+        });
+    } else {
+        s.bump(); // '
+        lex_char_body(s);
+        out.tokens.push(Token {
+            tok: Tok::Char,
+            line,
+        });
+    }
+}
+
+/// Finds `#[cfg(test)]` (and `#[cfg(all(test, …))]` etc.) regions: the
+/// attribute plus the annotated item through its balanced braces (or
+/// terminating `;`). An inner `#![cfg(test)]` marks the whole file.
+fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].tok != Tok::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let inner = matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!')));
+        let bracket = if inner { i + 2 } else { i + 1 };
+        if !matches!(tokens.get(bracket).map(|t| &t.tok), Some(Tok::Punct('['))) {
+            i += 1;
+            continue;
+        }
+        // Scan the balanced [...] for `cfg` … `test`.
+        let (attr_end, is_cfg_test) = scan_attr(tokens, bracket);
+        if !is_cfg_test {
+            i = attr_end;
+            continue;
+        }
+        if inner {
+            // Whole file is a test region.
+            let last = tokens.last().map(|t| t.line).unwrap_or(1);
+            regions.push((1, last));
+            return regions;
+        }
+        let start_line = tokens[i].line;
+        // Skip any further attributes, then cover the item.
+        let mut j = attr_end;
+        while matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Punct('#')))
+            && matches!(tokens.get(j + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+        {
+            let (e, _) = scan_attr(tokens, j + 1);
+            j = e;
+        }
+        // Find the item's opening `{` (or a `;` ending a braceless
+        // item); `{` in an expression position before the item body is
+        // not possible at item level, so the first brace wins.
+        let mut end_line = tokens.get(j).map(|t| t.line).unwrap_or(start_line);
+        while let Some(t) = tokens.get(j) {
+            match t.tok {
+                Tok::Punct(';') => {
+                    end_line = t.line;
+                    break;
+                }
+                Tok::Punct('{') => {
+                    let mut depth = 0usize;
+                    while let Some(t2) = tokens.get(j) {
+                        match t2.tok {
+                            Tok::Punct('{') => depth += 1,
+                            Tok::Punct('}') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    end_line = t2.line;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    break;
+                }
+                _ => {
+                    end_line = t.line;
+                    j += 1;
+                }
+            }
+        }
+        regions.push((start_line, end_line));
+        i = j + 1;
+    }
+    regions
+}
+
+/// Scans a balanced `[...]` attribute starting at its `[`; returns
+/// (index past the closing `]`, whether it is a cfg attr naming `test`).
+/// `#[cfg(not(test))]` is production code, not a test region.
+fn scan_attr(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    let mut j = open;
+    while let Some(t) = tokens.get(j) {
+        match &t.tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, saw_cfg && saw_test && !saw_not);
+                }
+            }
+            Tok::Ident(id) if id == "cfg" => saw_cfg = true,
+            Tok::Ident(id) if id == "test" && !saw_not => saw_test = true,
+            Tok::Ident(id) if id == "not" => saw_not = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (tokens.len(), false)
+}

@@ -1,0 +1,629 @@
+//! pcpm-lint: workspace-native static analysis for the pcpm repo.
+//!
+//! Four contracts that ordinary `rustc`/clippy lints cannot see, because
+//! they are *this repo's* invariants, are enforced over every product
+//! source file:
+//!
+//! * `determinism` — kernel crates (`crates/core`, `crates/graph`,
+//!   `crates/algos`, and the compute paths of `shims/rayon` /
+//!   `shims/rand`) must not read wall clocks, iterate hash-ordered
+//!   containers, or spawn ad-hoc threads. Chunk-order bit-identity is
+//!   the repo's central claim; these are the ways it silently breaks.
+//!   The telemetry module (`crates/core/src/telemetry.rs`) is the one
+//!   sanctioned owner of wall-clock access.
+//! * `unsafe-budget` — every `unsafe` token in product code must be
+//!   accounted for: either pinned (file + exact count) in
+//!   `crates/lint/unsafe-allowlist.txt`, or excused by an in-source
+//!   pragma with a reason. New unsafe anywhere else fails the build.
+//! * `serve-panic` — `crates/serve/src/{proto,server,metrics}.rs` answer
+//!   malformed input with typed errors; `unwrap()` / `expect()` /
+//!   `panic!` / `todo!` outside `#[cfg(test)]` are findings.
+//! * `telemetry-registry` — span and metric-family name literals must be
+//!   unique, registered (`SPAN_NAMES`, `METRIC_FAMILIES`), and
+//!   documented, so dashboards and the registry cannot drift apart.
+//!
+//! Suppression is explicit and audited: `// pcpm-lint: allow(<rule>,
+//! reason = "...")` with a mandatory reason; unused pragmas are
+//! themselves findings. The linter does not lint its own crate —
+//! `crates/lint` sources, docs, and fixtures are built out of rule
+//! counter-examples.
+//!
+//! Std-only by design: a hand-rolled lexer (no `syn`, no crates.io)
+//! keeps the tool buildable in the offline environment.
+
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+
+use rules::FileAnalysis;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The suppressible rule identifiers. The reserved id `pragma` (used
+/// for malformed or unused pragmas) is deliberately absent: pragma
+/// hygiene findings cannot be suppressed by more pragmas.
+pub const RULE_NAMES: &[&str] = &[
+    "determinism",
+    "unsafe-budget",
+    "serve-panic",
+    "telemetry-registry",
+];
+
+/// Location of the pinned unsafe sites, relative to the workspace root.
+pub const ALLOWLIST_REL: &str = "crates/lint/unsafe-allowlist.txt";
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (one of [`RULE_NAMES`], or the reserved `pragma`).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Whether an in-source pragma may suppress it.
+    pub suppressible: bool,
+}
+
+impl Finding {
+    /// A finding under a suppressible rule.
+    pub fn rule(rule: &str, path: &str, line: u32, message: impl Into<String>) -> Self {
+        Finding {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            line,
+            message: message.into(),
+            suppressible: true,
+        }
+    }
+
+    /// A pragma-hygiene finding (reserved rule id, never suppressible).
+    pub fn pragma(path: &str, line: u32, message: impl Into<String>) -> Self {
+        Finding {
+            rule: "pragma".to_string(),
+            path: path.to_string(),
+            line,
+            message: message.into(),
+            suppressible: false,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} — {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rule families apply to a file.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Scope {
+    pub determinism: bool,
+    pub serve_panic: bool,
+    pub unsafe_budget: bool,
+    pub telemetry: bool,
+}
+
+impl Scope {
+    pub fn any(&self) -> bool {
+        self.determinism || self.serve_panic || self.unsafe_budget || self.telemetry
+    }
+}
+
+/// Kernel crates: code whose output must be bit-identical run to run.
+const KERNEL_PREFIXES: &[&str] = &[
+    "crates/core/src/",
+    "crates/graph/src/",
+    "crates/algos/src/",
+    "shims/rayon/src/",
+    "shims/rand/src/",
+];
+
+/// The serve hot path: files that must never panic a worker.
+const SERVE_HOT: &[&str] = &[
+    "crates/serve/src/proto.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/metrics.rs",
+];
+
+/// The one module allowed to read wall clocks in a kernel crate.
+const TELEMETRY_MODULE: &str = "crates/core/src/telemetry.rs";
+
+/// Classifies a workspace-relative path (forward slashes) into rule
+/// scopes. Non-product files (tests, benches, examples, fixtures) and
+/// the linter's own crate get no scope and are skipped entirely.
+pub fn classify(rel: &str) -> Scope {
+    let product = rel.ends_with(".rs")
+        && (rel.starts_with("src/")
+            || ((rel.starts_with("crates/") || rel.starts_with("shims/"))
+                && rel.contains("/src/")));
+    if !product || rel.starts_with("crates/lint/") {
+        return Scope::default();
+    }
+    Scope {
+        determinism: rel != TELEMETRY_MODULE && KERNEL_PREFIXES.iter().any(|p| rel.starts_with(p)),
+        serve_panic: SERVE_HOT.contains(&rel),
+        unsafe_budget: true,
+        telemetry: true,
+    }
+}
+
+/// One pinned unsafe site: a file and the exact number of `unsafe`
+/// tokens it is budgeted for.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    pub file: String,
+    pub count: usize,
+    pub reason: String,
+    pub line: u32,
+}
+
+/// The checked-in unsafe allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// Display path for findings that point at the allowlist itself.
+    pub path: String,
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// An empty allowlist (fixture tests).
+    pub fn empty() -> Self {
+        Allowlist {
+            path: ALLOWLIST_REL.to_string(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Parses `<path> <count> <reason…>` lines; `#` starts a comment.
+    /// Malformed lines become (non-suppressible) findings against the
+    /// allowlist file itself.
+    pub fn parse(path: &str, text: &str, findings: &mut Vec<Finding>) -> Self {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx as u32 + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut parts = trimmed.splitn(3, char::is_whitespace);
+            let file = parts.next().unwrap_or_default().to_string();
+            let count = parts.next().and_then(|c| c.parse::<usize>().ok());
+            let reason = parts.next().unwrap_or("").trim().to_string();
+            match count {
+                Some(count) if !reason.is_empty() => entries.push(AllowEntry {
+                    file,
+                    count,
+                    reason,
+                    line,
+                }),
+                _ => findings.push(Finding {
+                    rule: "unsafe-budget".to_string(),
+                    path: path.to_string(),
+                    line,
+                    message: format!(
+                        "malformed allowlist entry `{trimmed}` \
+                         (want `<path> <count> <reason>`)"
+                    ),
+                    suppressible: false,
+                }),
+            }
+        }
+        Allowlist {
+            path: path.to_string(),
+            entries,
+        }
+    }
+}
+
+/// An in-memory source file, addressed by its workspace-relative path.
+/// The path decides the scope, so fixture tests pick their scope by
+/// choosing the synthetic path.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    pub rel: String,
+    pub text: String,
+}
+
+/// Lints a set of in-memory files against an allowlist. This is the
+/// whole pipeline: per-file passes, workspace-level aggregation
+/// (unsafe budget, telemetry registry), pragma application, unused
+/// pragma detection, and deterministic ordering.
+pub fn lint_files(files: &[SourceFile], allowlist: &Allowlist) -> Vec<Finding> {
+    let mut analyses: Vec<FileAnalysis> = Vec::new();
+    for f in files {
+        let scope = classify(&f.rel);
+        if !scope.any() {
+            continue;
+        }
+        analyses.push(rules::analyze(&f.rel, &f.text, scope));
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for a in &analyses {
+        findings.extend(a.findings.iter().cloned());
+    }
+    check_unsafe_budget(&analyses, allowlist, &mut findings);
+    check_telemetry(&analyses, &mut findings);
+    apply_pragmas(&analyses, &mut findings);
+
+    findings.sort_by(|x, y| {
+        (x.path.as_str(), x.line, x.rule.as_str(), x.message.as_str()).cmp(&(
+            y.path.as_str(),
+            y.line,
+            y.rule.as_str(),
+            y.message.as_str(),
+        ))
+    });
+    findings.dedup();
+    findings
+}
+
+/// Every non-test `unsafe` token must be either pinned in the
+/// allowlist (file + exact count, so the budget cannot creep) or
+/// excused by a pragma. Allowlist entries that no longer match reality
+/// are stale and fail too.
+fn check_unsafe_budget(
+    analyses: &[FileAnalysis],
+    allowlist: &Allowlist,
+    findings: &mut Vec<Finding>,
+) {
+    let by_file: BTreeMap<&str, &AllowEntry> = allowlist
+        .entries
+        .iter()
+        .map(|e| (e.file.as_str(), e))
+        .collect();
+    for a in analyses {
+        if !classify(&a.rel).unsafe_budget {
+            continue;
+        }
+        match by_file.get(a.rel.as_str()) {
+            Some(entry) => {
+                if entry.count != a.unsafe_lines.len() {
+                    findings.push(Finding::rule(
+                        "unsafe-budget",
+                        &a.rel,
+                        a.unsafe_lines.first().copied().unwrap_or(1),
+                        format!(
+                            "file has {} `unsafe` token(s) but the allowlist pins \
+                             exactly {} — update {} deliberately",
+                            a.unsafe_lines.len(),
+                            entry.count,
+                            allowlist.path
+                        ),
+                    ));
+                }
+            }
+            None => {
+                for &line in &a.unsafe_lines {
+                    findings.push(Finding::rule(
+                        "unsafe-budget",
+                        &a.rel,
+                        line,
+                        format!(
+                            "`unsafe` outside the checked-in allowlist ({}); \
+                             pin the site there or excuse it with a pragma",
+                            allowlist.path
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for e in &allowlist.entries {
+        let live = analyses
+            .iter()
+            .any(|a| a.rel == e.file && !a.unsafe_lines.is_empty());
+        if !live {
+            findings.push(Finding {
+                rule: "unsafe-budget".to_string(),
+                path: allowlist.path.clone(),
+                line: e.line,
+                message: format!(
+                    "stale allowlist entry: `{}` has no non-test `unsafe` tokens \
+                     (or was not scanned); remove the entry",
+                    e.file
+                ),
+                suppressible: false,
+            });
+        }
+    }
+}
+
+/// Span names must be registered in `SPAN_NAMES`, opened at exactly one
+/// call site, and documented (appear in backticks in the registry
+/// file's comments). Metric-family literals must match
+/// `METRIC_FAMILIES` (modulo histogram `_bucket`/`_sum`/`_count`
+/// suffixes). Registered spans nobody opens are dead weight.
+fn check_telemetry(analyses: &[FileAnalysis], findings: &mut Vec<Finding>) {
+    // Merge registries (the workspace has one of each; fixtures may
+    // supply their own).
+    let mut registry: Vec<(String, String, u32)> = Vec::new(); // (name, file, line)
+    let mut families: Vec<(String, String, u32)> = Vec::new();
+    let mut registry_docs = String::new();
+    for a in analyses {
+        if let Some(r) = &a.span_registry {
+            registry.extend(r.iter().map(|(n, l)| (n.clone(), a.rel.clone(), *l)));
+            registry_docs.push_str(&a.comment_text);
+            registry_docs.push('\n');
+        }
+        if let Some(f) = &a.metric_families {
+            families.extend(f.iter().map(|(n, l)| (n.clone(), a.rel.clone(), *l)));
+        }
+    }
+
+    // Duplicate registry / family entries.
+    for (list, what) in [(&registry, "span"), (&families, "metric family")] {
+        let mut seen: BTreeMap<&str, &(String, String, u32)> = BTreeMap::new();
+        for entry in list.iter() {
+            if let Some(first) = seen.get(entry.0.as_str()) {
+                findings.push(Finding::rule(
+                    "telemetry-registry",
+                    &entry.1,
+                    entry.2,
+                    format!(
+                        "duplicate {what} `{}` (first registered at {}:{})",
+                        entry.0, first.1, first.2
+                    ),
+                ));
+            } else {
+                seen.insert(entry.0.as_str(), entry);
+            }
+        }
+    }
+
+    // Span call sites: registered, and unique across the workspace.
+    let mut sites: Vec<(&str, &str, u32)> = Vec::new();
+    for a in analyses {
+        for (name, line) in &a.span_sites {
+            sites.push((name.as_str(), a.rel.as_str(), *line));
+        }
+    }
+    sites.sort();
+    if !registry.is_empty() {
+        for &(name, file, line) in &sites {
+            if !registry.iter().any(|(n, _, _)| n == name) {
+                findings.push(Finding::rule(
+                    "telemetry-registry",
+                    file,
+                    line,
+                    format!(
+                        "span `{name}` is not registered in SPAN_NAMES \
+                         ({TELEMETRY_MODULE})"
+                    ),
+                ));
+            }
+        }
+        for (name, file, line) in &registry {
+            if !sites.iter().any(|&(n, _, _)| n == name) {
+                findings.push(Finding::rule(
+                    "telemetry-registry",
+                    file,
+                    *line,
+                    format!("registered span `{name}` is never opened; remove it"),
+                ));
+            }
+            if !registry_docs.contains(&format!("`{name}`")) {
+                findings.push(Finding::rule(
+                    "telemetry-registry",
+                    file,
+                    *line,
+                    format!(
+                        "registered span `{name}` is not documented \
+                         (no `{name}` in the registry module's comments)"
+                    ),
+                ));
+            }
+        }
+    }
+    for w in sites.windows(2) {
+        if w[0].0 == w[1].0 {
+            findings.push(Finding::rule(
+                "telemetry-registry",
+                w[1].1,
+                w[1].2,
+                format!(
+                    "span `{}` is also opened at {}:{}; span names identify one \
+                     call site",
+                    w[1].0, w[0].1, w[0].2
+                ),
+            ));
+        }
+    }
+
+    // Metric-family literals.
+    if !families.is_empty() {
+        for a in analyses {
+            for (lit, line) in &a.metric_literals {
+                let base = lit
+                    .strip_suffix("_bucket")
+                    .or_else(|| lit.strip_suffix("_sum"))
+                    .or_else(|| lit.strip_suffix("_count"))
+                    .unwrap_or(lit.as_str());
+                if !families.iter().any(|(n, _, _)| n == lit || n == base) {
+                    findings.push(Finding::rule(
+                        "telemetry-registry",
+                        &a.rel,
+                        *line,
+                        format!(
+                            "metric literal `{lit}` is not registered in \
+                             METRIC_FAMILIES"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Applies pragmas: a suppressible finding is dropped when its file has
+/// a pragma for the same rule targeting its line (or the whole file).
+/// Pragmas that suppress nothing become findings themselves.
+fn apply_pragmas(analyses: &[FileAnalysis], findings: &mut Vec<Finding>) {
+    let pragmas: Vec<(&str, &pragma::Pragma)> = analyses
+        .iter()
+        .flat_map(|a| a.pragmas.iter().map(move |p| (a.rel.as_str(), p)))
+        .collect();
+    let mut used = vec![false; pragmas.len()];
+
+    findings.retain(|f| {
+        if !f.suppressible {
+            return true;
+        }
+        let mut keep = true;
+        for (i, (file, p)) in pragmas.iter().enumerate() {
+            if *file == f.path && p.rule == f.rule && p.target.is_none_or(|t| t == f.line) {
+                keep = false;
+                used[i] = true;
+            }
+        }
+        keep
+    });
+
+    for (i, (file, p)) in pragmas.iter().enumerate() {
+        if !used[i] {
+            findings.push(Finding::pragma(
+                file,
+                p.line,
+                format!(
+                    "unused pragma: no `{}` finding {} to suppress",
+                    p.rule,
+                    match p.target {
+                        Some(t) => format!("on line {t}"),
+                        None => "in this file".to_string(),
+                    }
+                ),
+            ));
+        }
+    }
+}
+
+/// Walks the workspace at `root`, reads the allowlist, and lints every
+/// product `.rs` file.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut pre = Vec::new();
+    let allowlist = match std::fs::read_to_string(root.join(ALLOWLIST_REL)) {
+        Ok(text) => Allowlist::parse(ALLOWLIST_REL, &text, &mut pre),
+        Err(_) => {
+            pre.push(Finding {
+                rule: "unsafe-budget".to_string(),
+                path: ALLOWLIST_REL.to_string(),
+                line: 1,
+                message: "unsafe allowlist is missing".to_string(),
+                suppressible: false,
+            });
+            Allowlist::empty()
+        }
+    };
+
+    let mut files = Vec::new();
+    collect_rs(root, root, &mut files)?;
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+
+    let mut findings = lint_files(&files, &allowlist);
+    findings.extend(pre);
+    findings.sort_by(|x, y| (x.path.as_str(), x.line).cmp(&(y.path.as_str(), y.line)));
+    Ok(findings)
+}
+
+/// Directories that can never hold product sources.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures", "testdata"];
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if !classify(&rel).any() {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path)?;
+            out.push(SourceFile { rel, text });
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// `Cargo.toml` declaring `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Renders findings as `path:line: rule — message` lines.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    for f in findings {
+        s.push_str(&f.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders findings as a JSON array (std-only serializer).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut s = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            json_escape(&f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("]\n");
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,71 @@
+//! `pcpm-lint` CLI: lint the workspace, print findings, exit non-zero
+//! when any remain. Exit codes: 0 clean, 1 findings, 2 usage/io error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: pcpm-lint [--json] [--root <dir>]
+  --json        emit findings as a JSON array instead of human lines
+  --root <dir>  workspace root (default: nearest [workspace] Cargo.toml)";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("pcpm-lint: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pcpm-lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| pcpm_lint::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("pcpm-lint: no [workspace] Cargo.toml above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match pcpm_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("pcpm-lint: io error walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", pcpm_lint::render_json(&findings));
+    } else {
+        print!("{}", pcpm_lint::render_human(&findings));
+        if findings.is_empty() {
+            eprintln!("pcpm-lint: clean");
+        } else {
+            eprintln!("pcpm-lint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,141 @@
+//! In-source suppression pragmas.
+//!
+//! Grammar (inside a `//` line comment):
+//!
+//! ```text
+//! pcpm-lint: allow(<rule>, reason = "<non-empty text>")
+//! pcpm-lint: allow-file(<rule>, reason = "<non-empty text>")
+//! ```
+//!
+//! The reason is **mandatory** — a pragma without one is itself a
+//! finding — and a pragma that suppresses nothing is an `unused-pragma`
+//! finding, so stale exemptions cannot linger after the code they
+//! excused is gone. `allow` targets the pragma's own line (trailing
+//! comment) or, for a comment on its own line, the next line holding
+//! any token; `allow-file` exempts the whole file from one rule.
+
+use crate::lexer::{Comment, Token};
+use crate::{Finding, RULE_NAMES};
+
+/// One parsed, well-formed pragma.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pragma {
+    /// The rule being suppressed.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Line the pragma comment sits on.
+    pub line: u32,
+    /// `None` for `allow-file`; `Some(line)` the pragma targets.
+    pub target: Option<u32>,
+}
+
+/// Extracts pragmas from the comment stream. Malformed pragmas (bad
+/// syntax, unknown rule, missing/empty reason) become findings
+/// immediately; those findings use the reserved rule id `pragma` and
+/// are not themselves suppressible.
+pub fn parse_pragmas(
+    path: &str,
+    comments: &[Comment],
+    tokens: &[Token],
+    findings: &mut Vec<Finding>,
+) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find("pcpm-lint:") else {
+            continue;
+        };
+        if !c.is_line {
+            findings.push(Finding::pragma(
+                path,
+                c.line,
+                "pragmas must be `//` line comments",
+            ));
+            continue;
+        }
+        let rest = c.text[at + "pcpm-lint:".len()..].trim();
+        match parse_body(rest) {
+            Ok((rule, reason, file_wide)) => {
+                if !RULE_NAMES.contains(&rule.as_str()) {
+                    findings.push(Finding::pragma(
+                        path,
+                        c.line,
+                        format!("unknown rule `{rule}` (known: {})", RULE_NAMES.join(", ")),
+                    ));
+                    continue;
+                }
+                let target = if file_wide {
+                    None
+                } else {
+                    Some(target_line(tokens, c.line))
+                };
+                out.push(Pragma {
+                    rule,
+                    reason,
+                    line: c.line,
+                    target,
+                });
+            }
+            Err(msg) => findings.push(Finding::pragma(path, c.line, msg)),
+        }
+    }
+    out
+}
+
+/// Parses `allow(<rule>, reason = "<text>")` / `allow-file(…)`.
+/// Returns (rule, reason, is_file_wide).
+fn parse_body(rest: &str) -> Result<(String, String, bool), String> {
+    let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (false, r)
+    } else {
+        return Err("expected `allow(...)` or `allow-file(...)`".into());
+    };
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('(').ok_or("expected `(` after allow")?;
+    let rest = rest.strip_suffix(')').ok_or("expected closing `)`")?.trim();
+    let (rule, rest) = match rest.split_once(',') {
+        Some((r, rest)) => (r.trim(), rest.trim()),
+        None => {
+            return Err(format!(
+                "missing mandatory `reason = \"...\"` for rule `{}`",
+                rest.trim()
+            ))
+        }
+    };
+    if rule.is_empty() || !rule.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-') {
+        return Err(format!("bad rule name `{rule}`"));
+    }
+    let rest = rest
+        .strip_prefix("reason")
+        .ok_or("expected `reason = \"...\"`")?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('=')
+        .ok_or("expected `=` after reason")?
+        .trim_start();
+    let inner = rest
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or("reason must be a quoted string")?;
+    if inner.trim().is_empty() {
+        return Err("reason must not be empty".into());
+    }
+    Ok((rule.to_string(), inner.to_string(), file_wide))
+}
+
+/// The line an `allow` pragma applies to: its own line when that line
+/// holds code tokens (trailing comment), otherwise the next line with
+/// any token.
+fn target_line(tokens: &[Token], pragma_line: u32) -> u32 {
+    if tokens.iter().any(|t| t.line == pragma_line) {
+        return pragma_line;
+    }
+    tokens
+        .iter()
+        .map(|t| t.line)
+        .filter(|&l| l > pragma_line)
+        .min()
+        .unwrap_or(pragma_line)
+}

@@ -1,0 +1,233 @@
+//! The rule passes. Each pass walks the token stream of one file
+//! (comments and string contents can never trip a rule) and the
+//! workspace runner aggregates the cross-file checks (unsafe allowlist,
+//! telemetry registry).
+
+use crate::lexer::{lex, Tok, Token};
+use crate::pragma::{parse_pragmas, Pragma};
+use crate::{Finding, Scope};
+
+/// Everything one file contributes to the workspace-level verdict.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Workspace-relative path (forward slashes).
+    pub rel: String,
+    /// Per-file findings (determinism, serve-panic, pragma syntax).
+    pub findings: Vec<Finding>,
+    /// Well-formed pragmas awaiting application.
+    pub pragmas: Vec<Pragma>,
+    /// Lines of non-test `unsafe` tokens (for the budget rule).
+    pub unsafe_lines: Vec<u32>,
+    /// Non-test `span("…")` / `span_n("…", …)` call sites.
+    pub span_sites: Vec<(String, u32)>,
+    /// Non-test `pcpm_*` metric-family string literals.
+    pub metric_literals: Vec<(String, u32)>,
+    /// `SPAN_NAMES` registry entries, when this file declares them.
+    pub span_registry: Option<Vec<(String, u32)>>,
+    /// `METRIC_FAMILIES` entries, when this file declares them.
+    pub metric_families: Option<Vec<(String, u32)>>,
+    /// Concatenated comment text (registry-docs check).
+    pub comment_text: String,
+}
+
+/// Lexes and analyzes one file under `scope`.
+pub fn analyze(rel: &str, src: &str, scope: Scope) -> FileAnalysis {
+    let lexed = lex(src);
+    let regions = lexed.test_line_ranges();
+    let in_test = |line: u32| lexed.is_test_line(&regions, line);
+    let toks = &lexed.tokens;
+
+    let mut a = FileAnalysis {
+        rel: rel.to_string(),
+        comment_text: lexed
+            .comments
+            .iter()
+            .map(|c| c.text.as_str())
+            .collect::<Vec<_>>()
+            .join("\n"),
+        ..FileAnalysis::default()
+    };
+    a.pragmas = parse_pragmas(rel, &lexed.comments, toks, &mut a.findings);
+
+    for (i, t) in toks.iter().enumerate() {
+        if in_test(t.line) {
+            continue;
+        }
+        match &t.tok {
+            Tok::Ident(id) => {
+                if scope.determinism {
+                    determinism_at(rel, toks, i, id, &mut a.findings);
+                }
+                if scope.serve_panic {
+                    serve_panic_at(rel, toks, i, id, &mut a.findings);
+                }
+                if scope.unsafe_budget && id == "unsafe" {
+                    a.unsafe_lines.push(t.line);
+                }
+                if scope.telemetry {
+                    if (id == "span" || id == "span_n") && !is_fn_def(toks, i) {
+                        if let Some(name) = call_str_arg(toks, i) {
+                            a.span_sites.push((name, t.line));
+                        }
+                    }
+                    if id == "SPAN_NAMES" && a.span_registry.is_none() {
+                        a.span_registry = Some(str_array_after(toks, i));
+                    }
+                    if id == "METRIC_FAMILIES" && a.metric_families.is_none() {
+                        a.metric_families = Some(str_array_after(toks, i));
+                    }
+                }
+            }
+            Tok::Str(s) if scope.telemetry && s.starts_with("pcpm_") => {
+                let family: String = s
+                    .bytes()
+                    .take_while(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || *b == b'_')
+                    .map(|b| b as char)
+                    .collect();
+                a.metric_literals.push((family, t.line));
+            }
+            _ => {}
+        }
+    }
+    a
+}
+
+/// `determinism`: no wall-clock, hash-order or ad-hoc threading inside
+/// kernel crates — chunk-order bit-identity is the repo's central
+/// invariant, and every one of these smuggles scheduler or hasher state
+/// into a result or a code path that must not depend on it.
+fn determinism_at(rel: &str, toks: &[Token], i: usize, id: &str, out: &mut Vec<Finding>) {
+    let line = toks[i].line;
+    match id {
+        "HashMap" | "HashSet" => out.push(Finding::rule(
+            "determinism",
+            rel,
+            line,
+            format!(
+                "`{id}` in a kernel crate: iteration order is nondeterministic; \
+                 use `BTreeMap`/`BTreeSet`/`Vec`, or suppress with a reason if no \
+                 iteration order can reach a result"
+            ),
+        )),
+        "SystemTime" => out.push(Finding::rule(
+            "determinism",
+            rel,
+            line,
+            "`SystemTime` in a kernel crate: wall-clock reads belong in the \
+             telemetry module",
+        )),
+        "Instant" if path_seq(toks, i, &["Instant", "now"]) => out.push(Finding::rule(
+            "determinism",
+            rel,
+            line,
+            "`Instant::now()` in a kernel crate: time kernels with \
+             `telemetry::stopwatch()` (the telemetry module owns wall-clock access)",
+        )),
+        "thread"
+            if path_seq(toks, i, &["thread", "spawn"])
+                || path_seq(toks, i, &["thread", "Builder"]) =>
+        {
+            out.push(Finding::rule(
+                "determinism",
+                rel,
+                line,
+                "ad-hoc thread creation in a kernel crate: all parallelism must \
+                 flow through the deterministic chunk-order pool",
+            ))
+        }
+        _ => {}
+    }
+}
+
+/// `serve-panic`: the serve hot path answers malformed input with a
+/// typed reply and never takes a worker down.
+fn serve_panic_at(rel: &str, toks: &[Token], i: usize, id: &str, out: &mut Vec<Finding>) {
+    let line = toks[i].line;
+    let next = toks.get(i + 1).map(|t| &t.tok);
+    match id {
+        "unwrap" | "expect" if next == Some(&Tok::Punct('(')) => out.push(Finding::rule(
+            "serve-panic",
+            rel,
+            line,
+            format!(
+                "`{id}()` on the serve hot path: propagate a typed \
+                 `ProtoError`/wire error instead of panicking a worker"
+            ),
+        )),
+        "panic" | "todo" if next == Some(&Tok::Punct('!')) => out.push(Finding::rule(
+            "serve-panic",
+            rel,
+            line,
+            format!("`{id}!` on the serve hot path: answer with a typed error instead"),
+        )),
+        _ => {}
+    }
+}
+
+/// Matches `seg0 :: seg1` starting at token `i` (which holds `seg0`).
+fn path_seq(toks: &[Token], i: usize, segs: &[&str; 2]) -> bool {
+    matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Ident(id)) if id == segs[0])
+        && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+        && toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+        && matches!(toks.get(i + 3).map(|t| &t.tok), Some(Tok::Ident(id)) if id == segs[1])
+}
+
+/// Is token `i` the name in `fn span(...)` rather than a call?
+fn is_fn_def(toks: &[Token], i: usize) -> bool {
+    i > 0 && matches!(&toks[i - 1].tok, Tok::Ident(id) if id == "fn")
+}
+
+/// For `name("literal"…)`: the string literal directly after the `(`.
+fn call_str_arg(toks: &[Token], i: usize) -> Option<String> {
+    if toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('(')) {
+        return None;
+    }
+    match toks.get(i + 2).map(|t| &t.tok) {
+        Some(Tok::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+/// Collects the string literals of the first bracketed `[…]` after
+/// token `i` (the shape of `const NAMES: [&str; N] = [ "a", "b" ];`).
+fn str_array_after(toks: &[Token], i: usize) -> Vec<(String, u32)> {
+    let mut j = i;
+    // Skip to the `=`, stepping over the `[&str; N]` type ascription —
+    // its internal `;` must not read as end-of-item and its bracket
+    // must not be mistaken for the initializer.
+    let mut depth = 0usize;
+    loop {
+        match toks.get(j).map(|t| &t.tok) {
+            Some(Tok::Punct('[')) => depth += 1,
+            Some(Tok::Punct(']')) => depth = depth.saturating_sub(1),
+            Some(Tok::Punct('=')) if depth == 0 => break,
+            Some(Tok::Punct(';')) if depth == 0 => return Vec::new(),
+            Some(_) => {}
+            None => return Vec::new(),
+        }
+        j += 1;
+    }
+    while let Some(t) = toks.get(j) {
+        if t.tok == Tok::Punct('[') {
+            break;
+        }
+        j += 1;
+    }
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    while let Some(t) = toks.get(j) {
+        match &t.tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Str(s) => out.push((s.clone(), t.line)),
+            _ => {}
+        }
+        j += 1;
+    }
+    out
+}

@@ -1,0 +1,6 @@
+pub fn f() {
+    // pcpm-lint: allow(determinism, reason = "fixture: suppress exactly one line")
+    let _t = std::time::Instant::now();
+    let _u = std::time::Instant::now();
+    let _v = std::time::Instant::now(); // pcpm-lint: allow(determinism, reason = "fixture: trailing-comment form")
+}

@@ -1,0 +1,16 @@
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+pub fn f() {
+    let _m: HashMap<u32, u32> = HashMap::new();
+    let _t = Instant::now();
+    let _w = SystemTime::now();
+    let _h = std::thread::spawn(|| {});
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hash_in_tests_is_fine() {
+        let _m = std::collections::HashMap::<u32, u32>::new();
+        let _t = std::time::Instant::now();
+    }
+}

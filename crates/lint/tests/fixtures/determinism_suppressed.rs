@@ -1,0 +1,6 @@
+// pcpm-lint: allow-file(determinism, reason = "fixture: the whole file exercises file-wide suppression")
+use std::collections::HashMap;
+pub fn f() {
+    let _m: HashMap<u32, u32> = HashMap::new();
+    let _t = std::time::Instant::now();
+}

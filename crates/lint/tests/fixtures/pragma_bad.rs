@@ -1,0 +1,10 @@
+// pcpm-lint: allow(bogus-rule, reason = "x")
+pub fn a() {}
+// pcpm-lint: allow(determinism)
+pub fn b() {}
+// pcpm-lint: allow(determinism, reason = "")
+pub fn c() {}
+// pcpm-lint: allow(determinism, reason = "valid but nothing here to suppress")
+pub fn d() {}
+/* pcpm-lint: allow(determinism, reason = "block comments are not pragma carriers") */
+pub fn e() {}

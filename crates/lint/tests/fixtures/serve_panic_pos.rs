@@ -1,0 +1,18 @@
+pub fn f(v: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = v.expect("boom");
+    if a > b {
+        panic!("no");
+    }
+    todo!()
+}
+pub fn ok(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::ok(None).checked_add(1).unwrap(), 1);
+    }
+}

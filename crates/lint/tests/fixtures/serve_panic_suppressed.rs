@@ -1,0 +1,4 @@
+pub fn f(v: Option<u32>) -> u32 {
+    // pcpm-lint: allow(serve-panic, reason = "fixture: value is Some by construction")
+    v.unwrap()
+}

@@ -1,0 +1,4 @@
+pub const METRIC_FAMILIES: [&str; 2] = ["pcpm_good_total", "pcpm_latency_seconds"];
+pub fn g() -> [&'static str; 3] {
+    ["pcpm_good_total", "pcpm_latency_seconds_bucket", "pcpm_rogue_total"]
+}

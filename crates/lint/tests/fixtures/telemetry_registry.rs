@@ -1,0 +1,4 @@
+//! Fixture span registry. Taxonomy: `alpha` covers phase A, `beta`
+//! covers phase B, `gamma` is registered and documented but never
+//! opened; omega is registered but neither documented nor opened.
+pub const SPAN_NAMES: [&str; 4] = ["alpha", "beta", "gamma", "omega"];

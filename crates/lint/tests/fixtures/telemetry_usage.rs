@@ -1,0 +1,6 @@
+pub fn f() {
+    let _a = telemetry::span("alpha");
+    let _b = telemetry::span("beta");
+    let _b2 = telemetry::span_n("beta", 1);
+    let _d = telemetry::span("delta");
+}

@@ -1,0 +1,11 @@
+pub unsafe fn danger() {}
+pub fn f() {
+    unsafe { danger() }
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_in_tests_is_not_budgeted() {
+        unsafe { super::danger() }
+    }
+}

@@ -1,0 +1,5 @@
+// pcpm-lint: allow-file(unsafe-budget, reason = "fixture: exercises the pragma escape hatch for unsafe")
+pub unsafe fn danger() {}
+pub fn f() {
+    unsafe { danger() }
+}

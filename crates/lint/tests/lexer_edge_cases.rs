@@ -1,0 +1,190 @@
+//! Edge cases the hand-rolled lexer must get right for the rules to be
+//! sound: `unsafe` hidden in strings/comments must not become a token,
+//! raw strings and nested block comments must be skipped whole, and
+//! `#[cfg(test)]` region detection must track item braces.
+
+use pcpm_lint::lexer::{lex, Tok};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Ident(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn unsafe_in_string_is_not_a_token() {
+    let src = r#"let s = "unsafe { HashMap }"; let n = 1;"#;
+    assert_eq!(idents(src), vec!["let", "s", "let", "n"]);
+    let lexed = lex(src);
+    let strs: Vec<&str> = lexed
+        .tokens
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(strs, vec!["unsafe { HashMap }"]);
+}
+
+#[test]
+fn unsafe_in_comments_is_not_a_token() {
+    let src = "// unsafe here\n/* and unsafe there */\nfn safe_fn() {}\n";
+    assert_eq!(idents(src), vec!["fn", "safe_fn"]);
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 2);
+    assert!(lexed.comments[0].is_line);
+    assert!(!lexed.comments[1].is_line);
+}
+
+#[test]
+fn nested_block_comments() {
+    let src = "/* outer /* inner unsafe */ still comment */ fn f() {}";
+    assert_eq!(idents(src), vec!["fn", "f"]);
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(lexed.comments[0].text.contains("inner unsafe"));
+}
+
+#[test]
+fn raw_strings_any_hash_depth() {
+    // The "# inside a single-hash raw string must not close a
+    // double-hash one, and quotes inside need no escaping.
+    let src = r####"let a = r"unsafe"; let b = r#"has "quotes" and unsafe"#; let c = r##"ends "# not yet"##;"####;
+    assert_eq!(idents(src), vec!["let", "a", "let", "b", "let", "c"]);
+    let strs: Vec<String> = lex(src)
+        .tokens
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Str(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        strs,
+        vec![
+            "unsafe".to_string(),
+            "has \"quotes\" and unsafe".to_string(),
+            "ends \"# not yet".to_string(),
+        ]
+    );
+}
+
+#[test]
+fn byte_strings_and_byte_chars() {
+    let src = "let a = b\"unsafe\"; let c = b'u'; let d = br#\"raw unsafe\"#;";
+    assert_eq!(idents(src), vec!["let", "a", "let", "c", "let", "d"]);
+    let lexed = lex(src);
+    let kinds: Vec<&Tok> = lexed
+        .tokens
+        .iter()
+        .filter(|t| matches!(t.tok, Tok::Str(_) | Tok::Char))
+        .map(|t| &t.tok)
+        .collect();
+    assert!(matches!(kinds[0], Tok::Str(s) if s == "unsafe"));
+    assert!(matches!(kinds[1], Tok::Char));
+    assert!(matches!(kinds[2], Tok::Str(s) if s == "raw unsafe"));
+}
+
+#[test]
+fn raw_identifier_is_an_ident_not_a_string() {
+    // r#match lexes to the bare name; r#"…"# stays a string.
+    let src = "fn r#match(r#unsafe: u32) {} let s = r#\"text\"#;";
+    assert_eq!(
+        idents(src),
+        vec!["fn", "match", "unsafe", "u32", "let", "s"]
+    );
+}
+
+#[test]
+fn char_vs_lifetime_disambiguation() {
+    let src = "let c: char = 'a'; fn f<'a>(x: &'a str) -> &'static str { x }";
+    let lexed = lex(src);
+    let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+    let lifetimes = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.tok == Tok::Lifetime)
+        .count();
+    assert_eq!(chars, 1, "only 'a' is a char literal");
+    assert_eq!(lifetimes, 3, "<'a>, &'a, &'static");
+}
+
+#[test]
+fn escaped_char_literals() {
+    for src in ["let q = '\\'';", "let b = '\\\\';", "let u = '\\u{1F600}';"] {
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count(),
+            1,
+            "{src}"
+        );
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.tok == Tok::Lifetime)
+                .count(),
+            0,
+            "{src}"
+        );
+    }
+}
+
+#[test]
+fn multi_line_raw_string_keeps_line_numbers() {
+    let src = "let a = r#\"line one\nline two\nline three\"#;\nfn after() {}\n";
+    let lexed = lex(src);
+    let after = lexed
+        .tokens
+        .iter()
+        .find(|t| t.tok == Tok::Ident("after".into()))
+        .expect("after token");
+    assert_eq!(after.line, 4, "raw string newlines must advance the line");
+}
+
+#[test]
+fn cfg_test_region_covers_item_braces() {
+    let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {\n    }\n}\nfn prod2() {}\n";
+    let lexed = lex(src);
+    let regions = lexed.test_line_ranges();
+    assert_eq!(regions, vec![(2, 6)]);
+    assert!(!lexed.is_test_line(&regions, 1));
+    assert!(lexed.is_test_line(&regions, 4));
+    assert!(!lexed.is_test_line(&regions, 7));
+}
+
+#[test]
+fn cfg_not_test_is_not_a_test_region() {
+    let src = "#[cfg(not(test))]\nfn prod() {}\n#[cfg(all(test, feature))]\nfn gated() {}\n";
+    let regions = lex(src).test_line_ranges();
+    assert_eq!(
+        regions,
+        vec![(3, 4)],
+        "not(test) excluded, all(test,…) included"
+    );
+}
+
+#[test]
+fn inner_cfg_test_marks_whole_file() {
+    let src = "#![cfg(test)]\nfn anything() {\n    let x = 1;\n}\n";
+    let lexed = lex(src);
+    let regions = lexed.test_line_ranges();
+    assert_eq!(regions.len(), 1);
+    assert!(lexed.is_test_line(&regions, 1));
+    assert!(lexed.is_test_line(&regions, 4));
+}
+
+#[test]
+fn cfg_test_with_extra_attributes_between() {
+    // #[cfg(test)] #[allow(dead_code)] mod … — the region must extend
+    // over the item even with attributes stacked after the cfg.
+    let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n    fn t() {}\n}\n";
+    let regions = lex(src).test_line_ranges();
+    assert_eq!(regions, vec![(1, 5)]);
+}

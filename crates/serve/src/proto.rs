@@ -903,7 +903,10 @@ macro_rules! cursor_le {
         fn $name(&mut self) -> Result<$t, ProtoError> {
             let n = std::mem::size_of::<$t>();
             let bytes = self.bytes(n)?;
-            Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized above")))
+            let arr = bytes
+                .try_into()
+                .map_err(|_| ProtoError("internal: cursor slice width".into()))?;
+            Ok(<$t>::from_le_bytes(arr))
         }
     };
 }
@@ -1013,7 +1016,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<RawFrame>> {
     }
     let mut body = vec![0u8; body_len];
     r.read_exact(&mut body)?;
-    let version = u16::from_le_bytes(body[..2].try_into().expect("length checked"));
+    let version = u16::from_le_bytes([body[0], body[1]]);
     let kind = body[2];
     body.drain(..3);
     Ok(Some(RawFrame {

@@ -166,8 +166,22 @@ impl ServerHandle {
 
     /// Waits for the server to finish draining.
     pub fn join(self) -> io::Result<()> {
-        self.join.join().expect("server thread panicked")
+        match self.join.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("server thread panicked")),
+        }
     }
+}
+
+/// Locks `m`, recovering the data if a previous holder panicked.
+///
+/// Every mutex in this file guards swap-published values (the serving
+/// state `Arc`, pending-request queues): holders only read or replace
+/// whole values, never leave them half-written, so mutex poisoning
+/// carries no information a worker could act on — and the serve-panic
+/// contract says a worker must not die over it.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 impl Server {
@@ -260,21 +274,24 @@ impl Server {
         let writer_metrics = Arc::clone(&metrics);
         let writer = thread::Builder::new()
             .name("pcpm-serve-writer".into())
-            .spawn(move || writer_loop(writer_state, update_rx, writer_metrics))
-            .expect("spawn writer");
+            .spawn(move || writer_loop(writer_state, update_rx, writer_metrics))?;
 
         // Metrics exposition: a second listener answering any HTTP GET
         // with Prometheus text; lives on its own thread, polls the
         // shutdown flag.
-        let metrics_thread = metrics_listener.map(|ml| {
-            let m = Arc::clone(&metrics);
-            let s = Arc::clone(&state);
-            let sd = Arc::clone(&shutdown);
-            thread::Builder::new()
-                .name("pcpm-serve-metrics".into())
-                .spawn(move || metrics_http_loop(ml, s, m, sd))
-                .expect("spawn metrics listener")
-        });
+        let metrics_thread = match metrics_listener {
+            Some(ml) => {
+                let m = Arc::clone(&metrics);
+                let s = Arc::clone(&state);
+                let sd = Arc::clone(&shutdown);
+                Some(
+                    thread::Builder::new()
+                        .name("pcpm-serve-metrics".into())
+                        .spawn(move || metrics_http_loop(ml, s, m, sd))?,
+                )
+            }
+            None => None,
+        };
 
         // Workers: each pulls whole connections off a shared queue,
         // stamped with their accept time for queue-wait accounting.
@@ -295,8 +312,7 @@ impl Server {
             workers.push(
                 thread::Builder::new()
                     .name(format!("pcpm-serve-worker-{w}"))
-                    .spawn(move || worker_loop(ctx))
-                    .expect("spawn worker"),
+                    .spawn(move || worker_loop(ctx))?,
             );
         }
         drop(update_tx);
@@ -330,21 +346,21 @@ impl Server {
     }
 
     /// Runs the server on a background thread, returning a handle for
-    /// the bound address and graceful shutdown.
-    pub fn spawn(self) -> ServerHandle {
+    /// the bound address and graceful shutdown. Fails only when the OS
+    /// refuses the accept thread.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.addr;
         let metrics_addr = self.metrics_addr;
         let shutdown = self.shutdown_flag();
         let join = thread::Builder::new()
             .name("pcpm-serve-accept".into())
-            .spawn(move || self.run())
-            .expect("spawn server");
-        ServerHandle {
+            .spawn(move || self.run())?;
+        Ok(ServerHandle {
             addr,
             metrics_addr,
             shutdown,
             join,
-        }
+        })
     }
 }
 
@@ -409,7 +425,7 @@ fn writer_loop(
     rx: mpsc::Receiver<WriteJob>,
     metrics: Arc<Metrics>,
 ) {
-    let n = state.lock().expect("state lock").shards.len();
+    let n = lock_recover(&state).shards.len();
     let mut shards: Vec<Option<WriterShard>> = (0..n).map(|_| None).collect();
     while let Ok(job) = rx.recv() {
         let resp = apply_update(&state, &mut shards, job.engine, job.batch, &metrics);
@@ -424,7 +440,7 @@ fn apply_update(
     batch: UpdateBatch,
     metrics: &Metrics,
 ) -> Response {
-    let cur = Arc::clone(&state.lock().expect("state lock"));
+    let cur = Arc::clone(&lock_recover(state));
     let Some(shard) = cur.shards.get(idx) else {
         return err_resp(
             ErrorCode::UnknownEngine,
@@ -440,26 +456,31 @@ fn apply_update(
     // Lazily build the writer's private overlay + engine the first time
     // this shard is written. The writer is the sole mutator, so its
     // private state stays in lockstep with what it has published.
-    if shards[idx].is_none() {
-        let q = PcpmConfig::default()
-            .with_partition_bytes(shard.snapshot.partition_bytes())
-            .partition_nodes();
-        let delta = match DeltaGraph::new(Arc::clone(shard.snapshot.graph()), q) {
-            Ok(d) => d,
-            Err(e) => return stream_err(e),
-        };
-        let engine = match SnapshotEngineBuilder::<PlusF32>::from_snapshot(
-            shard.snapshot.clone(),
-            shard.load,
-        )
-        .build()
-        {
-            Ok(e) => e,
-            Err(e) => return engine_err(e),
-        };
-        shards[idx] = Some(WriterShard { delta, engine });
-    }
-    let ws = shards[idx].as_mut().expect("built above");
+    // (`take`/`insert` instead of `is_none` + `as_mut().expect(..)`
+    // keeps the slot-filled proof in the types.)
+    let existing = match shards[idx].take() {
+        Some(ws) => ws,
+        None => {
+            let q = PcpmConfig::default()
+                .with_partition_bytes(shard.snapshot.partition_bytes())
+                .partition_nodes();
+            let delta = match DeltaGraph::new(Arc::clone(shard.snapshot.graph()), q) {
+                Ok(d) => d,
+                Err(e) => return stream_err(e),
+            };
+            let engine = match SnapshotEngineBuilder::<PlusF32>::from_snapshot(
+                shard.snapshot.clone(),
+                shard.load,
+            )
+            .build()
+            {
+                Ok(e) => e,
+                Err(e) => return engine_err(e),
+            };
+            WriterShard { delta, engine }
+        }
+    };
+    let ws = shards[idx].insert(existing);
     let stats = match ws.delta.apply(&batch) {
         Ok(s) => s,
         Err(e) => return stream_err(e),
@@ -476,7 +497,7 @@ fn apply_update(
     // Publish: clone-on-write of the shard vector, epoch + 1. Readers
     // holding the previous Arc keep serving the old epoch untouched.
     let publish_t0 = Instant::now();
-    let mut guard = state.lock().expect("state lock");
+    let mut guard = lock_recover(state);
     let prev = Arc::clone(&guard);
     let mut next_shards = prev.shards.clone();
     next_shards[idx].snapshot = new_snapshot;
@@ -516,7 +537,7 @@ fn metrics_http_loop(
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let epoch = state.lock().expect("state lock").epoch;
+                let epoch = lock_recover(&state).epoch;
                 let _ = serve_metrics_request(stream, &metrics, epoch);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -600,12 +621,12 @@ struct PprBatcher {
 impl PprBatcher {
     /// Publishes `pending` for any same-key leader to claim.
     fn publish(&self, pending: PendingPpr) {
-        self.queue.lock().expect("ppr queue lock").push(pending);
+        lock_recover(&self.queue).push(pending);
     }
 
     /// Claims every queued request matching `(engine, params)`.
     fn claim(&self, engine: u16, params: &QueryParams) -> Vec<PendingPpr> {
-        let mut q = self.queue.lock().expect("ppr queue lock");
+        let mut q = lock_recover(&self.queue);
         let mut claimed = Vec::new();
         let mut kept = Vec::with_capacity(q.len());
         for p in q.drain(..) {
@@ -646,7 +667,7 @@ fn worker_loop(ctx: WorkerCtx) {
         // Holding the queue lock only around the timed recv keeps
         // sibling workers runnable.
         let next = {
-            let rx = worker.ctx.conn_rx.lock().expect("conn queue lock");
+            let rx = lock_recover(&worker.ctx.conn_rx);
             rx.recv_timeout(POLL_INTERVAL)
         };
         match next {
@@ -727,7 +748,7 @@ impl Worker {
     /// The published state, cloned out from under the lock; worker
     /// caches are invalidated when the epoch moved.
     fn current(&mut self) -> Arc<ServingState> {
-        let cur = Arc::clone(&self.ctx.state.lock().expect("state lock"));
+        let cur = Arc::clone(&lock_recover(&self.ctx.state));
         if self.caches.len() != cur.shards.len() {
             self.caches = (0..cur.shards.len()).map(|_| AlgCache::default()).collect();
             self.cache_epoch = cur.epoch;
@@ -804,10 +825,18 @@ impl Worker {
         };
         let cfg = query_cfg(&shard.snapshot, &params);
         let graph = Arc::clone(shard.snapshot.graph());
-        let weights = shard
-            .snapshot
-            .weights()
-            .map(|w| EdgeWeights::new(&graph, w.to_vec()).expect("snapshot weights parallel"));
+        let weights = match shard.snapshot.weights() {
+            Some(w) => match EdgeWeights::new(&graph, w.to_vec()) {
+                Ok(ew) => Some(ew),
+                Err(e) => {
+                    return err_resp(
+                        ErrorCode::Internal,
+                        format!("snapshot weights inconsistent with its graph: {e}"),
+                    )
+                }
+            },
+            None => None,
+        };
         let threads = self.ctx.threads;
         let eng = match cached_engine(
             &mut self.caches[engine as usize].pr,
@@ -1026,17 +1055,23 @@ fn cached_engine<'a, A: Algebra>(
     snapshot: &Snapshot,
     threads: Option<usize>,
 ) -> Result<&'a mut Engine<A>, Response> {
-    if slot.is_none() {
-        let mut b = SnapshotEngineBuilder::<A>::from_snapshot(snapshot.clone(), Duration::ZERO);
-        if let Some(t) = threads {
-            b = b.threads(t);
+    // `take`/`insert` instead of `is_none` + `as_mut().expect(..)`: the
+    // returned borrow is produced by the insertion itself, so there is
+    // no "filled above" proof left for a panic to enforce.
+    let engine = match slot.take() {
+        Some(e) => e,
+        None => {
+            let mut b = SnapshotEngineBuilder::<A>::from_snapshot(snapshot.clone(), Duration::ZERO);
+            if let Some(t) = threads {
+                b = b.threads(t);
+            }
+            match b.build() {
+                Ok(e) => e,
+                Err(e) => return Err(engine_err(e)),
+            }
         }
-        match b.build() {
-            Ok(e) => *slot = Some(e),
-            Err(e) => return Err(engine_err(e)),
-        }
-    }
-    Ok(slot.as_mut().expect("filled above"))
+    };
+    Ok(slot.insert(engine))
 }
 
 /// Query config: the snapshot pins the structural knobs (partition
@@ -1113,7 +1148,7 @@ fn read_frame_idle(stream: &mut TcpStream, shutdown: &AtomicBool) -> io::Result<
     let mut rest = [0u8; 3];
     Read::read_exact(&mut reader, &mut rest)?;
     framed.extend_from_slice(&rest);
-    let body_len = u32::from_le_bytes(framed[..4].try_into().expect("4 bytes")) as usize;
+    let body_len = u32::from_le_bytes([framed[0], framed[1], framed[2], framed[3]]) as usize;
     if !(3..=crate::proto::MAX_FRAME_BYTES).contains(&body_len) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,

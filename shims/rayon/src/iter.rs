@@ -12,6 +12,8 @@
 //! not. In particular `sum::<f64>()` rounds identically on 1 and N
 //! threads — the property the workspace's determinism suite asserts.
 
+// pcpm-lint: allow-file(unsafe-budget, reason = "vendored rayon stand-in: slice/UnsafeCell producer internals carry per-site SAFETY arguments and are audited as a unit; replaced wholesale if real rayon returns")
+
 use crate::pool;
 use std::cell::UnsafeCell;
 use std::iter::Sum;

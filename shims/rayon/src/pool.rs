@@ -1,3 +1,4 @@
+// pcpm-lint: allow-file(unsafe-budget, reason = "vendored rayon stand-in: the Job lifetime-erasure protocol (transmute to 'static plus Send/Sync impls) is the pool's documented core and is audited in-file, not site-by-site")
 //! The work-sharing execution core behind the rayon shim.
 //!
 //! One [`PoolShared`] owns a single *job slot*: at most one parallel
@@ -337,6 +338,7 @@ impl PoolHandle {
         let workers = (0..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                // pcpm-lint: allow(determinism, reason = "this is the deterministic pool itself: the one sanctioned spawner every kernel must route through")
                 let handle = std::thread::Builder::new()
                     .name(format!("pcpm-rayon-{i}"))
                     .spawn(move || worker_loop(shared))

@@ -27,7 +27,16 @@ const RUNS: usize = 16;
 /// Raw pointer that may cross threads; disjoint-range use only.
 struct SyncPtr<T>(*mut T);
 
+// SAFETY: SyncPtr is only ever constructed over the slice being sorted
+// (or its scratch twin) and only dereferenced through ranges proved
+// disjoint per worker: run subranges in phase 1, pair output ranges in
+// phase 2 (see `pair_bounds`). No two threads touch the same element
+// between synchronization points, and `T: Send` makes moving the
+// pointees across those threads sound. `pcpm-lint` pins this file's
+// unsafe count in crates/lint/unsafe-allowlist.txt.
 unsafe impl<T: Send> Send for SyncPtr<T> {}
+// SAFETY: sharing &SyncPtr only shares the address; all dereferences go
+// through the disjoint ranges argued above.
 unsafe impl<T: Send> Sync for SyncPtr<T> {}
 
 impl<T> SyncPtr<T> {
@@ -76,7 +85,10 @@ pub(crate) fn par_merge_sort<T: Ord + Send>(v: &mut [T], stable: bool) {
         for r in range {
             let lo = r * run_w;
             let hi = len.min(lo + run_w);
-            // SAFETY: run subranges are disjoint.
+            debug_assert!(lo < hi && hi <= len, "run {r} out of bounds");
+            // SAFETY: run r covers [r*run_w, min(len, (r+1)*run_w)) —
+            // consecutive half-open intervals, disjoint by construction
+            // — and `base` is valid for all `len` elements.
             let run = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
             if stable {
                 run.sort();
@@ -103,8 +115,12 @@ pub(crate) fn par_merge_sort<T: Ord + Send>(v: &mut [T], stable: bool) {
         let pairs = len.div_ceil(2 * width);
         pool::run_job(pairs, &|range: Range<usize>| {
             for p in range {
-                // SAFETY: pair output ranges are disjoint; every element
-                // is read once from src and written once to dst.
+                // SAFETY: pair p reads src and writes dst only inside
+                // `pair_bounds(len, p, width)` — consecutive half-open
+                // intervals aligned to `2*width`, so output ranges are
+                // disjoint across pairs (asserted in `pair_bounds`) —
+                // and every element is read once from src and written
+                // once to dst.
                 unsafe { merge_pair(src.get(), dst.get(), len, p, width) };
             }
         });
@@ -119,6 +135,26 @@ pub(crate) fn par_merge_sort<T: Ord + Send>(v: &mut [T], stable: bool) {
     // `scratch` drops as MaybeUninit: frees storage, drops no elements.
 }
 
+/// The half-open element ranges merge pair `pair` touches:
+/// `[lo, mid)` and `[mid, hi)` read from `src`, `[lo, hi)` written to
+/// `dst`. Pure arithmetic on `(len, pair, width)` — pair ranges tile
+/// `0..len` in consecutive `2*width` strides, which is the disjointness
+/// the merge phase's `unsafe` relies on; the debug assertions pin the
+/// tiling down so a stride-math regression fails loudly under
+/// `cargo test` instead of corrupting a sort.
+fn pair_bounds(len: usize, pair: usize, width: usize) -> (usize, usize, usize) {
+    let lo = pair * 2 * width;
+    let mid = len.min(lo + width);
+    let hi = len.min(lo + 2 * width);
+    debug_assert!(
+        lo <= mid && mid <= hi && hi <= len,
+        "pair {pair} bounds out of order"
+    );
+    debug_assert!(lo < len, "pair {pair} starts past the slice");
+    debug_assert_eq!(lo % (2 * width), 0, "pair {pair} not aligned to its stride");
+    (lo, mid, hi)
+}
+
 /// Merges sorted `src[lo..mid]` and `src[mid..hi]` into `dst[lo..hi]`,
 /// taking from the left run on ties (stability).
 ///
@@ -128,9 +164,7 @@ pub(crate) fn par_merge_sort<T: Ord + Send>(v: &mut [T], stable: bool) {
 /// ranges across calls must be disjoint, and each element must be
 /// treated as moved from `src` afterwards.
 unsafe fn merge_pair<T: Ord>(src: *const T, dst: *mut T, len: usize, pair: usize, width: usize) {
-    let lo = pair * 2 * width;
-    let mid = len.min(lo + width);
-    let hi = len.min(lo + 2 * width);
+    let (lo, mid, hi) = pair_bounds(len, pair, width);
     let (mut a, mut b, mut out) = (lo, mid, lo);
     while a < mid && b < hi {
         let take_left = match (*src.add(a)).cmp(&*src.add(b)) {

@@ -114,6 +114,7 @@ struct Options {
     seeds: Vec<u32>,
     sources: Vec<u32>,
     timeout: Option<f64>,
+    json: bool,
     extra: Vec<String>,
 }
 
@@ -160,6 +161,7 @@ fn parse_args() -> Result<Options, String> {
         seeds: Vec::new(),
         sources: Vec::new(),
         timeout: None,
+        json: false,
         extra: Vec::new(),
     };
     let mut positional = Vec::new();
@@ -346,13 +348,24 @@ fn parse_args() -> Result<Options, String> {
                 let v = take_value(&mut rest, &mut i)?;
                 opts.kernel = v.parse()?;
             }
+            "--json" => opts.json = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             pos => positional.push(pos.to_string()),
         }
         i += 1;
     }
-    opts.path = positional.first().cloned().ok_or("missing graph path")?;
-    opts.extra = positional[1..].to_vec();
+    opts.path = match positional.first() {
+        Some(p) => p.clone(),
+        // `lint` operates on the workspace itself; it takes no input
+        // path.
+        None if opts.command == "lint" => String::new(),
+        None => return Err("missing graph path".into()),
+    };
+    opts.extra = if positional.is_empty() {
+        Vec::new()
+    } else {
+        positional[1..].to_vec()
+    };
     Ok(opts)
 }
 
@@ -383,6 +396,33 @@ fn config(opts: &Options) -> PcpmConfig {
 }
 
 /// `pcpm gen`: seeded synthetic graph written in the binary format.
+/// `pcpm lint [--json]`: run the workspace static-analysis pass
+/// in-process (the same engine as `cargo run -p pcpm-lint`). Any
+/// finding exits non-zero through the normal error path.
+fn run_lint(opts: &Options) -> Result<(), String> {
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = pcpm::lint::find_workspace_root(&cwd)
+        .ok_or("lint: no [workspace] Cargo.toml above the current directory")?;
+    let findings = pcpm::lint::lint_workspace(&root).map_err(|e| e.to_string())?;
+    if opts.json {
+        print!("{}", pcpm::lint::render_json(&findings));
+    } else {
+        print!("{}", pcpm::lint::render_human(&findings));
+    }
+    if findings.is_empty() {
+        if !opts.json {
+            eprintln!("# lint: clean");
+        }
+        Ok(())
+    } else {
+        // Findings are a lint verdict, not a CLI usage error: report the
+        // count and exit 1 without the usage banner (2 stays reserved
+        // for bad invocations and I/O errors).
+        eprintln!("pcpm: lint: {} finding(s)", findings.len());
+        std::process::exit(1);
+    }
+}
+
 fn run_gen(opts: &Options) -> Result<(), String> {
     let graph = match opts.kind.as_str() {
         "rmat" => pcpm::graph::gen::rmat(&RmatConfig::graph500(
@@ -863,6 +903,10 @@ fn run() -> Result<(), String> {
 }
 
 fn run_command(opts: Options) -> Result<(), String> {
+    if opts.command == "lint" {
+        // No graph input: the workspace sources are the subject.
+        return run_lint(&opts);
+    }
     if opts.command == "gen" {
         // The positional path is the *output*; nothing to load.
         return run_gen(&opts);
@@ -1074,7 +1118,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("pcpm: {e}");
             eprintln!(
-                "usage: pcpm <stats|pagerank|ppr|components|bfs|sssp|convert|gen|gen-updates|stream|build-cache|serve|query> <graph|snapshot|addr> [flags]"
+                "usage: pcpm <stats|pagerank|ppr|components|bfs|sssp|convert|gen|gen-updates|stream|build-cache|serve|query|lint> <graph|snapshot|addr> [flags]"
             );
             ExitCode::from(2)
         }

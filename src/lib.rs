@@ -20,7 +20,10 @@
 //!   models (`pcpm-memsim`);
 //! - [`serve`] — the long-lived query dataplane: `.pcpmc` snapshots
 //!   served over TCP with a worker pool, epoch-tagged answers and
-//!   RCU-style engine swaps on update (`pcpm-serve`).
+//!   RCU-style engine swaps on update (`pcpm-serve`);
+//! - [`lint`] — the workspace-native static-analysis pass (`pcpm lint`)
+//!   enforcing the determinism, unsafe-budget, serve-panic-freedom and
+//!   telemetry-registry contracts (`pcpm-lint`).
 //!
 //! # Quick start
 //!
@@ -83,6 +86,7 @@ pub use pcpm_algos as algos;
 pub use pcpm_baselines as baselines;
 pub use pcpm_core as core;
 pub use pcpm_graph as graph;
+pub use pcpm_lint as lint;
 pub use pcpm_memsim as memsim;
 pub use pcpm_serve as serve;
 pub use pcpm_stream as stream;

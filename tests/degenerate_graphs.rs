@@ -124,7 +124,7 @@ fn degenerate_graphs_serve_without_panicking() {
             },
         )
         .unwrap();
-        let handle = server.spawn();
+        let handle = server.spawn().unwrap();
         let mut client = Client::connect(handle.addr()).unwrap();
         let (epoch, engines) = client.health().unwrap();
         assert_eq!((epoch, engines), (0, 1));

@@ -50,7 +50,7 @@ fn spawn_server_with(
         },
     )
     .unwrap();
-    server.spawn()
+    server.spawn().unwrap()
 }
 
 fn params(cfg: &PcpmConfig) -> QueryParams {
